@@ -1,0 +1,275 @@
+//! CGM 2D weighted dominance counting (Figure 5 Group B row 7) — exact
+//! and fully coarse-grained.
+//!
+//! For every point `p`, compute the total weight of points `q ≠ p` with
+//! `q.x ≤ p.x` and `q.y ≤ p.y`. The decomposition:
+//!
+//! * points are bucketed by `y` (sampled splitters) *and* slabbed by `x`
+//!   (sampled splitters);
+//! * **local term** — dominance among points of the same `x`-slab,
+//!   computed exactly with the sequential Fenwick sweep;
+//! * **full-bucket cross term** — the `v × v` weight matrix `W[slab][bucket]`
+//!   is all-reduced (`O(v²)` items), so every processor can evaluate
+//!   `Σ_{slab < j, bucket < k} W` in O(1) per point;
+//! * **partial-bucket cross term** — each point queries the owner of its
+//!   own `y`-bucket, which knows every point of that bucket together
+//!   with its `x`-slab, and answers `Σ weight{y ≤ y_p, slab < j}`.
+//!
+//! `λ = 5` rounds, every h-relation `O(N/v + v²)`.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::dominance::dominance_weights;
+
+use super::slab::{choose_splitters, local_samples, slab_of};
+
+/// State:
+/// `((points as (id, x, y, w), x_splitters, y_splitters),
+///   (bucket_points as (x, y, w, slab), w_matrix_prefix),
+///   answers as (id, weight))`
+pub type DominanceState = (
+    (Vec<[i64; 4]>, Vec<i64>, Vec<i64>),
+    (Vec<[i64; 4]>, Vec<i64>),
+    Vec<(u64, i64)>,
+);
+
+/// The exact CGM dominance-counting program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmDominance;
+
+impl CgmProgram for CgmDominance {
+    /// `(tag, a, [b, c, d])`:
+    /// tag 0 = x-sample (a); 1 = y-sample (a);
+    /// 2 = point to y-bucket `(id = a, [x, y, w])`;
+    /// 3 = W row entry `(slab = a, [bucket, weight, 0])`;
+    /// 4 = point to x-slab `(id = a, [x, y, w])`;
+    /// 5 = partial query `(id = a, [y, slab, 0])`;
+    /// 6 = partial reply `(id = a, [weight, 0, 0])`.
+    type Msg = (u64, i64, [i64; 3]);
+    type State = DominanceState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut DominanceState) -> Status {
+        let v = ctx.v;
+        match ctx.round {
+            0 => {
+                let xs: Vec<i64> = state.0 .0.iter().map(|p| p[1]).collect();
+                let ys: Vec<i64> = state.0 .0.iter().map(|p| p[2]).collect();
+                for dst in 0..v {
+                    ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (0, x, [0; 3])));
+                    ctx.send(dst, local_samples(&ys, v).into_iter().map(|y| (1, y, [0; 3])));
+                }
+                Status::Continue
+            }
+            1 => {
+                let mut xsamples = Vec::new();
+                let mut ysamples = Vec::new();
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(tag, val, _) in items {
+                        if tag == 0 {
+                            xsamples.push(val);
+                        } else {
+                            ysamples.push(val);
+                        }
+                    }
+                }
+                state.0 .1 = choose_splitters(xsamples, v);
+                state.0 .2 = choose_splitters(ysamples, v);
+                for &[id, x, y, w] in &state.0 .0 {
+                    ctx.push(slab_of(&state.0 .2, y), (2, id, [x, y, w]));
+                }
+                state.0 .0.clear();
+                Status::Continue
+            }
+            2 => {
+                // y-bucket owner: record bucket points with their x-slab,
+                // broadcast this bucket's W row, forward points to x-slabs.
+                let mut w_row = vec![0i64; v];
+                let mut forwards: Vec<(usize, Self::Msg)> = Vec::new();
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(_, id, [x, y, w]) in items {
+                        let slab = slab_of(&state.0 .1, x);
+                        state.1 .0.push([x, y, w, slab as i64]);
+                        w_row[slab] += w;
+                        forwards.push((slab, (4, id, [x, y, w])));
+                    }
+                }
+                for (dst, msg) in forwards {
+                    ctx.push(dst, msg);
+                }
+                // sort bucket points by (y, slab) for prefix queries
+                state.1 .0.sort_unstable_by_key(|p| (p[1], p[3]));
+                let bucket = ctx.pid as i64;
+                for dst in 0..v {
+                    for (slab, &w) in w_row.iter().enumerate() {
+                        if w != 0 {
+                            ctx.push(dst, (3, slab as i64, [bucket, w, 0]));
+                        }
+                    }
+                }
+                Status::Continue
+            }
+            3 => {
+                // x-slab owner: W matrix prefix, local dominance, and
+                // partial-bucket queries.
+                let mut w_mat = vec![vec![0i64; v]; v]; // [slab][bucket]
+                let mut pts: Vec<[i64; 4]> = Vec::new(); // id, x, y, w
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(tag, a, [b, c, d]) in items {
+                        match tag {
+                            3 => w_mat[a as usize][b as usize] += c,
+                            4 => pts.push([a, b, c, d]),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+                pts.sort_unstable(); // by id: deterministic
+                // prefix sums: pref[jslab][kbucket] = Σ_{i<jslab, k'<kbucket} W
+                let mut pref = vec![vec![0i64; v + 1]; v + 1];
+                for j in 0..v {
+                    for k in 0..v {
+                        pref[j + 1][k + 1] =
+                            pref[j][k + 1] + pref[j + 1][k] - pref[j][k] + w_mat[j][k];
+                    }
+                }
+                // local dominance among this slab's points
+                let coords: Vec<(i64, i64)> = pts.iter().map(|p| (p[1], p[2])).collect();
+                let weights: Vec<i64> = pts.iter().map(|p| p[3]).collect();
+                let local = dominance_weights(&coords, &weights);
+                let j = ctx.pid;
+                state.2 = pts
+                    .iter()
+                    .zip(&local)
+                    .map(|(p, &l)| {
+                        let k = slab_of(&state.0 .2, p[2]);
+                        let full = pref[j][k];
+                        (p[0] as u64, l as i64 + full)
+                    })
+                    .collect();
+                // partial-bucket queries: bucket k of each point, slabs < j
+                for p in &pts {
+                    let k = slab_of(&state.0 .2, p[2]);
+                    ctx.push(k, (5, p[0], [p[2], j as i64, 0]));
+                }
+                Status::Continue
+            }
+            4 => {
+                // y-bucket owner answers partial queries over its sorted
+                // bucket points.
+                let mut replies: Vec<(usize, Self::Msg)> = Vec::new();
+                for (src, items) in ctx.incoming.iter() {
+                    for &(_, id, [y, jslab, _]) in items {
+                        let total: i64 = state
+                            .1
+                             .0
+                            .iter()
+                            .take_while(|p| p[1] <= y)
+                            .filter(|p| p[3] < jslab)
+                            .map(|p| p[2])
+                            .sum();
+                        replies.push((src, (6, id, [total, 0, 0])));
+                    }
+                }
+                for (dst, msg) in replies {
+                    ctx.push(dst, msg);
+                }
+                Status::Continue
+            }
+            _ => {
+                let mut partial: std::collections::HashMap<u64, i64> =
+                    std::collections::HashMap::new();
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(_, id, [wsum, _, _]) in items {
+                        partial.insert(id as u64, wsum);
+                    }
+                }
+                for (id, acc) in state.2.iter_mut() {
+                    *acc += partial.get(id).copied().unwrap_or(0);
+                }
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_points};
+    use cgmio_geom::dominance::dominance_weights_naive;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn init(pts: &[(i64, i64)], w: &[i64], v: usize) -> Vec<DominanceState> {
+        let rows: Vec<[i64; 4]> = pts
+            .iter()
+            .zip(w)
+            .enumerate()
+            .map(|(i, (&(x, y), &w))| [i as i64, x, y, w])
+            .collect();
+        block_split(rows, v)
+            .into_iter()
+            .map(|b| ((b, Vec::new(), Vec::new()), (Vec::new(), Vec::new()), Vec::new()))
+            .collect()
+    }
+
+    fn answers(fin: &[DominanceState], n: usize) -> Vec<i64> {
+        let mut out = vec![0i64; n];
+        for (_, _, a) in fin {
+            for &(id, w) in a {
+                out[id as usize] = w;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        for seed in 0..5u64 {
+            let pts = random_points(300, 80, seed); // dense: many coordinate ties
+            let mut rng = StdRng::seed_from_u64(seed + 50);
+            let w: Vec<i64> = (0..300).map(|_| rng.gen_range(0..20)).collect();
+            let want: Vec<i64> =
+                dominance_weights_naive(&pts, &w).into_iter().map(|x| x as i64).collect();
+            for v in [4usize, 7] {
+                let (fin, costs) =
+                    DirectRunner::default().run(&CgmDominance, init(&pts, &w, v)).unwrap();
+                assert_eq!(answers(&fin, 300), want, "seed {seed} v {v}");
+                assert_eq!(costs.lambda(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_accumulates() {
+        let pts: Vec<(i64, i64)> = (0..40).map(|i| (i, i)).collect();
+        let w = vec![1i64; 40];
+        let (fin, _) = DirectRunner::default().run(&CgmDominance, init(&pts, &w, 5)).unwrap();
+        let got = answers(&fin, 40);
+        for (i, &x) in got.iter().enumerate() {
+            assert_eq!(x, i as i64);
+        }
+    }
+
+    #[test]
+    fn duplicates_not_counted_as_dominating() {
+        let pts = vec![(5, 5), (5, 5), (9, 9)];
+        let w = vec![3, 4, 10];
+        let (fin, _) = DirectRunner::default().run(&CgmDominance, init(&pts, &w, 3)).unwrap();
+        assert_eq!(answers(&fin, 3), vec![0, 0, 7]);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let pts = random_points(200, 50, 3);
+        let mut rng = StdRng::seed_from_u64(99);
+        let w: Vec<i64> = (0..200).map(|_| rng.gen_range(0..10)).collect();
+        let want: Vec<i64> =
+            dominance_weights_naive(&pts, &w).into_iter().map(|x| x as i64).collect();
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmDominance, init(&pts, &w, 8)).unwrap();
+        assert_eq!(answers(&fin, 200), want);
+    }
+}

@@ -1,0 +1,168 @@
+//! CGM lower envelope of non-crossing segments
+//! (Figure 5 Group B rows 4–5).
+//!
+//! Each processor computes the exact envelope of its own segments, then
+//! a `⌈log₂ v⌉`-round combining tree merges partial envelopes pairwise
+//! (processor `i` with bit `k` set ships its envelope to `i − 2^k`);
+//! after the last round processor 0 holds the global envelope. Every
+//! merge uses the exact sequential merge from `cgmio-geom`. Envelope
+//! sizes are `O(m)` for `m` non-crossing segments, so round `k` moves
+//! `O(2^k · N/v)` items at `v/2^k` processors — the classic gather with
+//! combining.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::{lower_envelope, merge_envelopes, EnvPiece, Point};
+
+use super::super::graphs::jump_iters;
+
+/// An envelope piece on the wire / in state: `(seg_id, [x1, x2, ax, ay,
+/// bx, by])` — the piece interval plus the visible segment's endpoints
+/// (so a receiver can run exact comparisons without a segment table).
+pub type WirePiece = (u64, [i64; 6]);
+
+/// State: `(segments as (id, [ax, ay, bx, by]), envelope_pieces)`.
+/// After the run, processor 0's `envelope_pieces` is the global lower
+/// envelope, in order.
+pub type EnvelopeState = (Vec<(u64, [i64; 4])>, Vec<WirePiece>);
+
+/// The combining-tree lower-envelope program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmLowerEnvelope;
+
+fn to_wire(pieces: &[EnvPiece], segs: &[(u64, [i64; 4])]) -> Vec<WirePiece> {
+    pieces
+        .iter()
+        .map(|p| {
+            let (id, s) = segs[p.seg as usize];
+            (id, [p.x1, p.x2, s[0], s[1], s[2], s[3]])
+        })
+        .collect()
+}
+
+/// Merge two wire-format envelopes exactly.
+pub fn merge_wire(a: &[WirePiece], b: &[WirePiece]) -> Vec<WirePiece> {
+    // Build a combined segment table; piece seg indices point into it.
+    let mut segs: Vec<(Point, Point)> = Vec::with_capacity(a.len() + b.len());
+    let mut ids: Vec<u64> = Vec::with_capacity(a.len() + b.len());
+    let mut conv = |src: &[WirePiece]| -> Vec<EnvPiece> {
+        src.iter()
+            .map(|&(id, [x1, x2, ax, ay, bx, by])| {
+                segs.push(((ax, ay), (bx, by)));
+                ids.push(id);
+                EnvPiece { x1, x2, seg: (segs.len() - 1) as u32 }
+            })
+            .collect()
+    };
+    let pa = conv(a);
+    let pb = conv(b);
+    let merged = merge_envelopes(&pa, &pb, &segs, true);
+    merged
+        .iter()
+        .map(|p| {
+            let s = segs[p.seg as usize];
+            (ids[p.seg as usize], [p.x1, p.x2, s.0 .0, s.0 .1, s.1 .0, s.1 .1])
+        })
+        .collect()
+}
+
+impl CgmProgram for CgmLowerEnvelope {
+    type Msg = WirePiece;
+    type State = EnvelopeState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, WirePiece>, state: &mut EnvelopeState) -> Status {
+        let v = ctx.v;
+        let levels = jump_iters(v);
+        if ctx.round == 0 {
+            let segs: Vec<(Point, Point)> = state
+                .0
+                .iter()
+                .map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by)))
+                .collect();
+            let env = lower_envelope(&segs);
+            state.1 = to_wire(&env, &state.0);
+            state.0.clear();
+        } else {
+            // merge whatever arrived (at most one partner per round)
+            let arrived: Vec<WirePiece> = ctx.incoming.flatten();
+            if !arrived.is_empty() {
+                state.1 = merge_wire(&state.1, &arrived);
+            }
+        }
+        if ctx.round == levels {
+            return Status::Done;
+        }
+        let k = ctx.round;
+        if ctx.pid & (1 << k) != 0 && ctx.pid % (1 << k) == 0 {
+            let partner = ctx.pid - (1 << k);
+            let pieces = std::mem::take(&mut state.1);
+            ctx.send(partner, pieces);
+        }
+        Status::Continue
+    }
+
+    fn rounds_hint(&self, v: usize) -> Option<usize> {
+        Some(jump_iters(v) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_segments};
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn make(n: usize, width: i64, seed: u64) -> Vec<(u64, [i64; 4])> {
+        random_segments(n, width, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, [s.ax, s.ay, s.bx, s.by]))
+            .collect()
+    }
+
+    fn init(segs: &[(u64, [i64; 4])], v: usize) -> Vec<EnvelopeState> {
+        block_split(segs.to_vec(), v).into_iter().map(|b| (b, Vec::new())).collect()
+    }
+
+    fn reference(segs: &[(u64, [i64; 4])]) -> Vec<WirePiece> {
+        let pts: Vec<(Point, Point)> =
+            segs.iter().map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by))).collect();
+        let env = lower_envelope(&pts);
+        to_wire(&env, segs)
+    }
+
+    #[test]
+    fn matches_sequential_envelope() {
+        for seed in 0..4u64 {
+            let segs = make(80, 400, seed);
+            let want = reference(&segs);
+            for v in [2usize, 4, 7, 8] {
+                let (fin, costs) =
+                    DirectRunner::default().run(&CgmLowerEnvelope, init(&segs, v)).unwrap();
+                assert_eq!(fin[0].1, want, "seed {seed} v {v}");
+                assert!(costs.lambda() <= jump_iters(v));
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_degenerates() {
+        let segs = make(20, 100, 9);
+        let want = reference(&segs);
+        let (fin, _) = DirectRunner::default().run(&CgmLowerEnvelope, init(&segs, 1)).unwrap();
+        assert_eq!(fin[0].1, want);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (fin, _) = DirectRunner::default().run(&CgmLowerEnvelope, init(&[], 4)).unwrap();
+        assert!(fin[0].1.is_empty());
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let segs = make(60, 300, 2);
+        let want = reference(&segs);
+        let (fin, _) = ThreadedRunner::new(3).run(&CgmLowerEnvelope, init(&segs, 8)).unwrap();
+        assert_eq!(fin[0].1, want);
+    }
+}

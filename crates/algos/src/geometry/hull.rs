@@ -1,0 +1,237 @@
+//! CGM 2D convex hull and multi-directional separability
+//! (Figure 5 Group B rows 3 and 7).
+//!
+//! Hull: sample → slab-partition by `x` → local hull per slab →
+//! all-gather the slab hulls (the global hull's vertices are a subset)
+//! → identical final hull computed everywhere. `λ = 3`. The gather is
+//! `O(Σ slab-hull sizes)` — `O(v·√N)` expected for random inputs,
+//! `O(N)` adversarially (circle); the cited CGM algorithms assume the
+//! same slackness.
+//!
+//! Separability: each processor holds points of two sets `A` and `B`;
+//! one round gathers per-direction projection extrema (`O(k·v)` items
+//! for `k` directions), after which every processor knows, for each
+//! direction `d`, whether `A` can be translated to infinity along `d`
+//! without meeting `B` (projection test on the hulls).
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::{convex_hull, Point};
+
+use super::slab::{choose_splitters, local_samples, slab_of};
+
+/// State: `(points, hull_out)` — after the run every processor holds the
+/// full hull in ccw order.
+pub type HullState = (Vec<Point>, Vec<Point>);
+
+/// The slab-based CGM convex hull.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmConvexHull;
+
+impl CgmProgram for CgmConvexHull {
+    type Msg = (i64, i64);
+    type State = HullState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, (i64, i64)>, state: &mut HullState) -> Status {
+        let v = ctx.v;
+        match ctx.round {
+            0 => {
+                let xs: Vec<i64> = state.0.iter().map(|p| p.0).collect();
+                for dst in 0..v {
+                    ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (x, 0)));
+                }
+                Status::Continue
+            }
+            1 => {
+                let samples: Vec<i64> =
+                    ctx.incoming.flatten().into_iter().map(|(x, _)| x).collect();
+                let splitters = choose_splitters(samples, v);
+                for &p in &state.0 {
+                    ctx.push(slab_of(&splitters, p.0), p);
+                }
+                state.0.clear();
+                Status::Continue
+            }
+            2 => {
+                let slab_points = ctx.incoming.flatten();
+                let local_hull = convex_hull(&slab_points);
+                for dst in 0..v {
+                    ctx.send(dst, local_hull.iter().copied());
+                }
+                Status::Continue
+            }
+            _ => {
+                let candidates = ctx.incoming.flatten();
+                state.1 = convex_hull(&candidates);
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(4)
+    }
+}
+
+/// State: `((points_a, points_b), (directions, separable_flags))`.
+/// `separable_flags[k] = 1` iff `A` is separable from `B` along
+/// `directions[k]`.
+pub type SeparabilityState = ((Vec<Point>, Vec<Point>), (Vec<Point>, Vec<u64>));
+
+/// Uni-/multi-directional separability of two point sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmSeparability;
+
+impl CgmProgram for CgmSeparability {
+    /// `(direction_index, which_set, projection)` extrema.
+    type Msg = (u64, u64, i64);
+    type State = SeparabilityState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, (u64, u64, i64)>, state: &mut SeparabilityState) -> Status {
+        let v = ctx.v;
+        let dirs = state.1 .0.clone();
+        match ctx.round {
+            0 => {
+                // Broadcast per-direction local extrema: max⟨a,d⟩ over A,
+                // min⟨b,d⟩ over B. Missing sets are skipped.
+                for (k, &d) in dirs.iter().enumerate() {
+                    let proj = |p: Point| {
+                        (p.0 as i128 * d.0 as i128 + p.1 as i128 * d.1 as i128) as i64
+                    };
+                    if let Some(amax) = state.0 .0.iter().copied().map(proj).max() {
+                        for dst in 0..v {
+                            ctx.push(dst, (k as u64, 0, amax));
+                        }
+                    }
+                    if let Some(bmin) = state.0 .1.iter().copied().map(proj).min() {
+                        for dst in 0..v {
+                            ctx.push(dst, (k as u64, 1, bmin));
+                        }
+                    }
+                }
+                Status::Continue
+            }
+            _ => {
+                let mut amax = vec![i64::MIN; dirs.len()];
+                let mut bmin = vec![i64::MAX; dirs.len()];
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(k, which, val) in items {
+                        if which == 0 {
+                            amax[k as usize] = amax[k as usize].max(val);
+                        } else {
+                            bmin[k as usize] = bmin[k as usize].min(val);
+                        }
+                    }
+                }
+                state.1 .1 =
+                    (0..dirs.len()).map(|k| u64::from(amax[k] < bmin[k])).collect();
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_points};
+    use cgmio_geom::hull_separable_in_direction;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init_hull(pts: &[Point], v: usize) -> Vec<HullState> {
+        block_split(pts.to_vec(), v).into_iter().map(|b| (b, Vec::new())).collect()
+    }
+
+    #[test]
+    fn matches_sequential_hull() {
+        for seed in 0..4u64 {
+            let pts = random_points(800, 10_000, seed);
+            let want = convex_hull(&pts);
+            let (fin, costs) =
+                DirectRunner::default().run(&CgmConvexHull, init_hull(&pts, 6)).unwrap();
+            for (_, hull) in &fin {
+                assert_eq!(hull, &want, "seed {seed}");
+            }
+            assert_eq!(costs.lambda(), 3);
+        }
+    }
+
+    #[test]
+    fn circle_points_all_on_hull() {
+        // worst case for the gather: every point is a hull vertex
+        let n = 120i64;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                ((10_000.0 * a.cos()) as i64, (10_000.0 * a.sin()) as i64)
+            })
+            .collect();
+        let want = convex_hull(&pts);
+        let (fin, _) = DirectRunner::default().run(&CgmConvexHull, init_hull(&pts, 5)).unwrap();
+        assert_eq!(fin[0].1, want);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        // collinear
+        let pts: Vec<Point> = (0..50).map(|i| (i, 2 * i)).collect();
+        let (fin, _) = DirectRunner::default().run(&CgmConvexHull, init_hull(&pts, 4)).unwrap();
+        assert_eq!(fin[0].1, convex_hull(&pts));
+        // fewer points than processors
+        let pts = vec![(3, 4), (1, 2)];
+        let (fin, _) = DirectRunner::default().run(&CgmConvexHull, init_hull(&pts, 4)).unwrap();
+        assert_eq!(fin[0].1, convex_hull(&pts));
+    }
+
+    #[test]
+    fn hull_works_on_threads() {
+        let pts = random_points(500, 5_000, 9);
+        let want = convex_hull(&pts);
+        let (fin, _) = ThreadedRunner::new(3).run(&CgmConvexHull, init_hull(&pts, 6)).unwrap();
+        assert_eq!(fin[3].1, want);
+    }
+
+    fn init_sep(
+        a: &[Point],
+        b: &[Point],
+        dirs: &[Point],
+        v: usize,
+    ) -> Vec<SeparabilityState> {
+        block_split(a.to_vec(), v)
+            .into_iter()
+            .zip(block_split(b.to_vec(), v))
+            .map(|(ab, bb)| ((ab, bb), (dirs.to_vec(), Vec::new())))
+            .collect()
+    }
+
+    #[test]
+    fn separability_matches_reference() {
+        let a = random_points(300, 1000, 1);
+        let b: Vec<Point> = random_points(300, 1000, 2).into_iter().map(|(x, y)| (x + 2000, y)).collect();
+        let dirs = vec![(1, 0), (-1, 0), (0, 1), (1, 1), (-3, 2)];
+        let (fin, costs) =
+            DirectRunner::default().run(&CgmSeparability, init_sep(&a, &b, &dirs, 5)).unwrap();
+        for (k, &d) in dirs.iter().enumerate() {
+            let want = hull_separable_in_direction(&a, &b, d);
+            for s in &fin {
+                assert_eq!(s.1 .1[k] == 1, want, "dir {d:?}");
+            }
+        }
+        assert_eq!(costs.lambda(), 1);
+    }
+
+    #[test]
+    fn overlapping_sets_never_separable() {
+        let a = random_points(100, 500, 3);
+        let b = random_points(100, 500, 4);
+        let dirs = vec![(1, 0), (0, 1), (-1, -1)];
+        let (fin, _) =
+            DirectRunner::default().run(&CgmSeparability, init_sep(&a, &b, &dirs, 4)).unwrap();
+        for (k, &d) in dirs.iter().enumerate() {
+            assert_eq!(fin[0].1 .1[k] == 1, hull_separable_in_direction(&a, &b, d));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! CGM 3D maxima (Figure 5 Group B row 6).
+//!
+//! Slab-partition by `x`; each slab computes its local maxima and its
+//! `(y, z)` staircase; staircases are all-gathered so every slab can
+//! filter its local maxima against the staircases of strictly-larger-`x`
+//! slabs. `λ = 3` rounds; the gather is `O(Σ staircase sizes)`.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::maxima_3d;
+
+use super::slab::{choose_splitters, local_samples, slab_of};
+
+/// A 3D input point with its global index.
+pub type Pt3 = (u64, (i64, i64, i64));
+
+/// State: `(points, maximal_indices_out)`.
+pub type MaximaState = (Vec<Pt3>, Vec<u64>);
+
+/// The slab-based 3D maxima program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmMaxima3d;
+
+/// The `(y, z)` staircase (maximal pairs) of a point multiset:
+/// descending `y`, ascending `z`.
+fn staircase(pts: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    let mut sorted: Vec<(i64, i64)> = pts.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // y desc, z desc
+    let mut out: Vec<(i64, i64)> = Vec::new();
+    let mut best_z = i64::MIN;
+    for (y, z) in sorted {
+        if z > best_z {
+            out.push((y, z));
+            best_z = z;
+        }
+    }
+    out
+}
+
+/// Is `(y, z)` dominated (both ≥) by a staircase entry?
+fn dominated(stairs: &[(i64, i64)], y: i64, z: i64) -> bool {
+    // stairs: y descending, z ascending. Entries with y' >= y form a
+    // prefix; the last of them has the largest z.
+    let pos = stairs.partition_point(|&(sy, _)| sy >= y);
+    pos > 0 && stairs[pos - 1].1 >= z
+}
+
+impl CgmProgram for CgmMaxima3d {
+    /// Rounds 0/2 use `(tag_or_idx, (x_or_y, y_or_z, z))` frames.
+    type Msg = (u64, (i64, i64, i64));
+    type State = MaximaState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut MaximaState) -> Status {
+        let v = ctx.v;
+        match ctx.round {
+            0 => {
+                let xs: Vec<i64> = state.0.iter().map(|p| p.1 .0).collect();
+                for dst in 0..v {
+                    ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (0, (x, 0, 0))));
+                }
+                Status::Continue
+            }
+            1 => {
+                let samples: Vec<i64> =
+                    ctx.incoming.flatten().into_iter().map(|(_, (x, _, _))| x).collect();
+                let splitters = choose_splitters(samples, v);
+                for &(idx, p) in &state.0 {
+                    ctx.push(slab_of(&splitters, p.0), (idx, p));
+                }
+                state.0.clear();
+                Status::Continue
+            }
+            2 => {
+                state.0 = ctx.incoming.flatten();
+                // broadcast this slab's (y, z) staircase
+                let yz: Vec<(i64, i64)> = state.0.iter().map(|&(_, (_, y, z))| (y, z)).collect();
+                for dst in 0..v {
+                    ctx.send(dst, staircase(&yz).into_iter().map(|(y, z)| (0, (y, z, 0))));
+                }
+                Status::Continue
+            }
+            _ => {
+                // merge staircases of strictly-higher slabs
+                let higher: Vec<(i64, i64)> = ctx
+                    .incoming
+                    .iter()
+                    .filter(|&(src, _)| src > ctx.pid)
+                    .flat_map(|(_, items)| items.iter().map(|&(_, (y, z, _))| (y, z)))
+                    .collect();
+                let stairs = staircase(&higher);
+                // local maxima first, then global filter
+                let coords: Vec<(i64, i64, i64)> = state.0.iter().map(|&(_, p)| p).collect();
+                let local_max = maxima_3d(&coords);
+                state.1 = local_max
+                    .into_iter()
+                    .filter(|&i| {
+                        let (_, y, z) = coords[i];
+                        !dominated(&stairs, y, z)
+                    })
+                    .map(|i| state.0[i].0)
+                    .collect();
+                state.1.sort_unstable();
+                state.0.clear();
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::block_split;
+    use cgmio_geom::maxima::maxima_3d_naive;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn pts3(n: usize, range: i64, seed: u64) -> Vec<(i64, i64, i64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                (rng.gen_range(0..range), rng.gen_range(0..range), rng.gen_range(0..range))
+            })
+            .collect()
+    }
+
+    fn init(pts: &[(i64, i64, i64)], v: usize) -> Vec<MaximaState> {
+        let indexed: Vec<Pt3> = pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
+        block_split(indexed, v).into_iter().map(|b| (b, Vec::new())).collect()
+    }
+
+    fn result(fin: &[MaximaState]) -> Vec<u64> {
+        let mut out: Vec<u64> = fin.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        for seed in 0..5u64 {
+            let pts = pts3(400, 60, seed); // small range => many ties
+            let want: Vec<u64> = maxima_3d_naive(&pts).into_iter().map(|i| i as u64).collect();
+            let (fin, costs) = DirectRunner::default().run(&CgmMaxima3d, init(&pts, 7)).unwrap();
+            assert_eq!(result(&fin), want, "seed {seed}");
+            assert_eq!(costs.lambda(), 3);
+        }
+    }
+
+    #[test]
+    fn chain_and_antichain() {
+        let chain: Vec<(i64, i64, i64)> = (0..60).map(|i| (i, i, i)).collect();
+        let (fin, _) = DirectRunner::default().run(&CgmMaxima3d, init(&chain, 4)).unwrap();
+        assert_eq!(result(&fin), vec![59]);
+
+        let anti: Vec<(i64, i64, i64)> = (0..60).map(|i| (i, 59 - i, 7)).collect();
+        let (fin, _) = DirectRunner::default().run(&CgmMaxima3d, init(&anti, 4)).unwrap();
+        assert_eq!(result(&fin).len(), 60);
+    }
+
+    #[test]
+    fn duplicates_handled() {
+        let pts = vec![(5, 5, 5), (5, 5, 5), (6, 6, 6), (0, 0, 9)];
+        let (fin, _) = DirectRunner::default().run(&CgmMaxima3d, init(&pts, 3)).unwrap();
+        assert_eq!(result(&fin), vec![2, 3]);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let pts = pts3(300, 100, 9);
+        let want: Vec<u64> = maxima_3d_naive(&pts).into_iter().map(|i| i as u64).collect();
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmMaxima3d, init(&pts, 6)).unwrap();
+        assert_eq!(result(&fin), want);
+    }
+}

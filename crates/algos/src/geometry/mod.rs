@@ -1,0 +1,36 @@
+//! Geometry / GIS CGM algorithms (the paper's Figure 5 Group B).
+//!
+//! The programs share one structural idea: a sampling round establishes
+//! `x`-splitters, data is routed into `v` vertical slabs, each processor
+//! solves its slab with the exact sequential substrate from
+//! `cgmio-geom`, and a constant number of exchange rounds stitches the
+//! slab answers together. All predicates are exact (`i64`/`i128`), so
+//! every program is validated for *equality* against its sequential
+//! reference.
+//!
+//! Coarseness caveats are documented per program: e.g. hull/maxima
+//! candidate gathers are `O(output)`-sized (tiny for random inputs,
+//! up to `O(N)` adversarially), and segments/rectangles are duplicated
+//! into each slab they overlap — the same assumptions the cited CGM
+//! algorithms make via `N/v ≥ v^ε` slackness.
+
+pub mod dominance;
+pub mod envelope;
+pub mod hull;
+pub mod maxima;
+pub mod nn;
+pub mod pointloc;
+pub mod rects;
+pub mod slab;
+pub mod stab;
+pub mod triangulate;
+
+pub use dominance::{CgmDominance, DominanceState};
+pub use envelope::{CgmLowerEnvelope, EnvelopeState};
+pub use hull::{CgmConvexHull, CgmSeparability, HullState, SeparabilityState};
+pub use maxima::{CgmMaxima3d, MaximaState};
+pub use nn::{CgmAllNearestNeighbors, NnState};
+pub use pointloc::{CgmPointLocation, PointLocState};
+pub use rects::{CgmUnionArea, UnionAreaState};
+pub use stab::{CgmIntervalStab, StabState};
+pub use triangulate::{CgmTriangulate, TriangulateState};

@@ -1,0 +1,210 @@
+//! CGM all-nearest-neighbours for a planar point set
+//! (Figure 5 Group B row 6).
+//!
+//! Slab-partition by `x`; each slab answers its points locally with a
+//! kd-tree, then sends a query to every other slab whose `x`-range is
+//! closer than the current best distance (for random inputs only the
+//! adjacent slabs, and only for points near a boundary). One
+//! reply round later every point has its exact nearest neighbour.
+//! `λ = 4`, exact squared distances in `i64` (coordinates must stay
+//! below `2^30`).
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::{KdTree, Point};
+
+use super::slab::{choose_splitters, local_samples, slab_of, slab_range};
+
+/// State: `((points_with_ids, splitters), results)` — `results` maps
+/// each owned point id to `(nn_id, d²)`.
+pub type NnState = ((Vec<(u64, (i64, i64))>, Vec<i64>), Vec<(u64, u64, u64)>);
+
+/// The slab-based all-nearest-neighbours program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmAllNearestNeighbors;
+
+fn best_merge(cur: (u64, u64), cand: (u64, u64)) -> (u64, u64) {
+    // compare (d², id)
+    if (cand.1, cand.0) < (cur.1, cur.0) {
+        cand
+    } else {
+        cur
+    }
+}
+
+impl CgmProgram for CgmAllNearestNeighbors {
+    /// `(tag, id_or_qid, (x, y))` with tag 0 = sample/point, 1 = query,
+    /// 2 = reply (then the payload is `(qid, (candidate_id, d²))`).
+    type Msg = (u64, u64, (i64, i64));
+    type State = NnState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut NnState) -> Status {
+        let v = ctx.v;
+        match ctx.round {
+            0 => {
+                let xs: Vec<i64> = state.0 .0.iter().map(|p| p.1 .0).collect();
+                for dst in 0..v {
+                    ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (0, 0, (x, 0))));
+                }
+                Status::Continue
+            }
+            1 => {
+                let samples: Vec<i64> =
+                    ctx.incoming.flatten().into_iter().map(|(_, _, (x, _))| x).collect();
+                state.0 .1 = choose_splitters(samples, v);
+                for &(id, p) in &state.0 .0 {
+                    ctx.push(slab_of(&state.0 .1, p.0), (0, id, p));
+                }
+                state.0 .0.clear();
+                Status::Continue
+            }
+            2 => {
+                state.0 .0 = ctx
+                    .incoming
+                    .flatten()
+                    .into_iter()
+                    .map(|(_, id, p)| (id, p))
+                    .collect();
+                let pts: Vec<Point> = state.0 .0.iter().map(|&(_, p)| p).collect();
+                let tree = KdTree::build(&pts);
+                let splitters = state.0 .1.clone();
+                state.1 = Vec::with_capacity(pts.len());
+                for (k, &(id, p)) in state.0 .0.iter().enumerate() {
+                    let local = tree.nearest(p, k as u32);
+                    let (mut nn, mut d2v): (u64, u64) = match local {
+                        Some((j, d)) => (state.0 .0[j as usize].0, d as u64),
+                        None => (u64::MAX, u64::MAX),
+                    };
+                    // query other slabs closer than the current best
+                    for j in 0..v {
+                        if j == ctx.pid {
+                            continue;
+                        }
+                        let (lo, hi) = slab_range(&splitters, j);
+                        let xdist = if p.0 < lo {
+                            (lo - p.0) as u64
+                        } else if p.0 >= hi {
+                            (p.0 - hi + 1) as u64
+                        } else {
+                            0
+                        };
+                        // `<=` so equal-distance candidates (which may
+                        // win the tie on smaller id) are also fetched
+                        if d2v == u64::MAX || xdist.saturating_mul(xdist) <= d2v {
+                            ctx.push(j, (1, id, p));
+                        }
+                    }
+                    // stash current best alongside the id
+                    if nn == u64::MAX {
+                        d2v = u64::MAX;
+                        nn = u64::MAX;
+                    }
+                    state.1.push((id, nn, d2v));
+                }
+                Status::Continue
+            }
+            3 => {
+                // answer foreign queries with the best local candidate
+                let pts: Vec<Point> = state.0 .0.iter().map(|&(_, p)| p).collect();
+                let tree = KdTree::build(&pts);
+                let mut replies: Vec<(usize, Self::Msg)> = Vec::new();
+                for (src, items) in ctx.incoming.iter() {
+                    for &(_, qid, p) in items {
+                        if let Some((j, d)) = tree.nearest(p, u32::MAX) {
+                            let cand = state.0 .0[j as usize].0;
+                            replies.push((src, (2, qid, (cand as i64, d as i64))));
+                        }
+                    }
+                }
+                for (dst, msg) in replies {
+                    ctx.push(dst, msg);
+                }
+                Status::Continue
+            }
+            _ => {
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(_, qid, (cand, d2c)) in items {
+                        if let Some(entry) =
+                            state.1.iter_mut().find(|(id, _, _)| *id == qid)
+                        {
+                            let merged =
+                                best_merge((entry.1, entry.2), (cand as u64, d2c as u64));
+                            entry.1 = merged.0;
+                            entry.2 = merged.1;
+                        }
+                    }
+                }
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_points};
+    use cgmio_geom::kdtree::all_nearest_neighbors;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init(pts: &[Point], v: usize) -> Vec<NnState> {
+        let indexed: Vec<(u64, Point)> =
+            pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
+        block_split(indexed, v).into_iter().map(|b| ((b, Vec::new()), Vec::new())).collect()
+    }
+
+    fn result(fin: &[NnState], n: usize) -> Vec<u64> {
+        let mut out = vec![u64::MAX; n];
+        for (_, res) in fin {
+            for &(id, nn, _) in res {
+                out[id as usize] = nn;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        for seed in 0..4u64 {
+            let pts = random_points(500, 2_000, seed);
+            let want: Vec<u64> =
+                all_nearest_neighbors(&pts).into_iter().map(|x| x as u64).collect();
+            let (fin, costs) =
+                DirectRunner::default().run(&CgmAllNearestNeighbors, init(&pts, 6)).unwrap();
+            assert_eq!(result(&fin, pts.len()), want, "seed {seed}");
+            assert_eq!(costs.lambda(), 4);
+        }
+    }
+
+    #[test]
+    fn cross_slab_neighbours_found() {
+        // two tight clusters far apart: every NN is inside the cluster,
+        // except with singleton "bridge" points whose NN crosses slabs
+        let mut pts: Vec<Point> = (0..40).map(|i| (i % 8, i / 8)).collect();
+        pts.extend((0..40).map(|i| (1_000_000 + i % 8, i / 8)));
+        let want: Vec<u64> = all_nearest_neighbors(&pts).into_iter().map(|x| x as u64).collect();
+        let (fin, _) =
+            DirectRunner::default().run(&CgmAllNearestNeighbors, init(&pts, 5)).unwrap();
+        assert_eq!(result(&fin, pts.len()), want);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let pts = vec![(0, 0), (10, 0)];
+        let (fin, _) =
+            DirectRunner::default().run(&CgmAllNearestNeighbors, init(&pts, 4)).unwrap();
+        assert_eq!(result(&fin, 2), vec![1, 0]);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let pts = random_points(300, 1_000, 7);
+        let want: Vec<u64> = all_nearest_neighbors(&pts).into_iter().map(|x| x as u64).collect();
+        let (fin, _) =
+            ThreadedRunner::new(3).run(&CgmAllNearestNeighbors, init(&pts, 6)).unwrap();
+        assert_eq!(result(&fin, pts.len()), want);
+    }
+}

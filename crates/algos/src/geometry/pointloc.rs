@@ -1,0 +1,217 @@
+//! CGM batched planar point location / next-element search /
+//! trapezoidal decomposition (Figure 5 Group B rows 1–2).
+//!
+//! For every query point, find the non-crossing segment directly below
+//! it. Slab-partition by `x`: each segment is replicated into every slab
+//! it overlaps (bounded by the segment's slab span — the coarseness
+//! assumption of the cited CGM algorithm), queries are routed by `x`,
+//! and each slab answers its queries with the exact sequential sweep.
+//! `λ = 2`. Running the program with queries = segment endpoints yields
+//! the trapezoidal-decomposition information.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::{sweep_point_location, Point};
+
+use super::slab::{choose_splitters, local_samples, slab_of};
+
+/// State: `((segments as (id, [ax, ay, bx, by]), queries as (qid, x,
+/// y)), answers as (qid, seg_id_or_MAX))`.
+pub type PointLocState =
+    ((Vec<(u64, [i64; 4])>, Vec<(u64, i64, i64)>), Vec<(u64, u64)>);
+
+/// The slab-based batched point-location program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmPointLocation;
+
+impl CgmProgram for CgmPointLocation {
+    /// `(tag, id, [a, b, c, d])`: tag 0 = sample (a = x); 1 = segment;
+    /// 2 = query (a = x, b = y).
+    type Msg = (u64, u64, [i64; 4]);
+    type State = PointLocState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut PointLocState) -> Status {
+        let v = ctx.v;
+        match ctx.round {
+            0 => {
+                let xs: Vec<i64> = state
+                    .0
+                     .0
+                    .iter()
+                    .flat_map(|s| [s.1[0], s.1[2]])
+                    .chain(state.0 .1.iter().map(|q| q.1))
+                    .collect();
+                for dst in 0..v {
+                    ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (0, 0, [x, 0, 0, 0])));
+                }
+                Status::Continue
+            }
+            1 => {
+                let samples: Vec<i64> =
+                    ctx.incoming.flatten().into_iter().map(|(_, _, s)| s[0]).collect();
+                let splitters = choose_splitters(samples, v);
+                for &(id, s) in &state.0 .0 {
+                    let first = slab_of(&splitters, s[0]);
+                    let last = slab_of(&splitters, s[2]);
+                    for j in first..=last {
+                        ctx.push(j, (1, id, s));
+                    }
+                }
+                for &(qid, x, y) in &state.0 .1 {
+                    ctx.push(slab_of(&splitters, x), (2, qid, [x, y, 0, 0]));
+                }
+                state.0 .0.clear();
+                state.0 .1.clear();
+                Status::Continue
+            }
+            _ => {
+                let mut segs: Vec<(u64, (Point, Point))> = Vec::new();
+                let mut queries: Vec<(u64, Point)> = Vec::new();
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(tag, id, [a, b, c, d]) in items {
+                        match tag {
+                            1 => segs.push((id, ((a, b), (c, d)))),
+                            2 => queries.push((id, (a, b))),
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+                segs.sort_unstable_by_key(|&(id, _)| id);
+                let coords: Vec<(Point, Point)> = segs.iter().map(|&(_, s)| s).collect();
+                let qpts: Vec<Point> = queries.iter().map(|&(_, p)| p).collect();
+                let found = sweep_point_location(&coords, &qpts);
+                state.1 = queries
+                    .iter()
+                    .zip(found)
+                    .map(|(&(qid, _), f)| (qid, f.map(|i| segs[i as usize].0).unwrap_or(u64::MAX)))
+                    .collect();
+                state.1.sort_unstable();
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_points, random_segments};
+    use cgmio_geom::segment_below;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn make_segs(n: usize, width: i64, seed: u64) -> Vec<(u64, [i64; 4])> {
+        random_segments(n, width, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, [s.ax, s.ay, s.bx, s.by]))
+            .collect()
+    }
+
+    fn init(
+        segs: &[(u64, [i64; 4])],
+        queries: &[(u64, i64, i64)],
+        v: usize,
+    ) -> Vec<PointLocState> {
+        block_split(segs.to_vec(), v)
+            .into_iter()
+            .zip(block_split(queries.to_vec(), v))
+            .map(|(sb, qb)| ((sb, qb), Vec::new()))
+            .collect()
+    }
+
+    fn answers(fin: &[PointLocState]) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> =
+            fin.iter().flat_map(|(_, a)| a.iter().copied()).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_reference_on_random_inputs() {
+        for seed in 0..4u64 {
+            let segs = make_segs(50, 400, seed);
+            let coords: Vec<(Point, Point)> = segs
+                .iter()
+                .map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by)))
+                .collect();
+            let queries: Vec<(u64, i64, i64)> = random_points(200, 400, seed + 9)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y))| (i as u64, x, y * 2))
+                .collect();
+            let want: Vec<(u64, u64)> = queries
+                .iter()
+                .map(|&(qid, x, y)| {
+                    (qid, segment_below(&coords, (x, y)).map(u64::from).unwrap_or(u64::MAX))
+                })
+                .collect();
+            let mut want = want;
+            want.sort_unstable();
+            let (fin, costs) =
+                DirectRunner::default().run(&CgmPointLocation, init(&segs, &queries, 6)).unwrap();
+            assert_eq!(answers(&fin), want, "seed {seed}");
+            assert_eq!(costs.lambda(), 2);
+        }
+    }
+
+    #[test]
+    fn trapezoid_decomposition_via_endpoint_queries() {
+        let segs = make_segs(30, 300, 7);
+        let coords: Vec<(Point, Point)> =
+            segs.iter().map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by))).collect();
+        // queries = endpoints nudged down by 0 (the endpoint itself):
+        // answer is the segment itself or the one below it
+        let queries: Vec<(u64, i64, i64)> = segs
+            .iter()
+            .flat_map(|&(id, [ax, ay, bx, by])| {
+                [(2 * id, ax, ay), (2 * id + 1, bx, by)]
+            })
+            .collect();
+        let (fin, _) =
+            DirectRunner::default().run(&CgmPointLocation, init(&segs, &queries, 5)).unwrap();
+        for &(qid, found) in &answers(&fin) {
+            let (sid, x, y) = {
+                let q = queries.iter().find(|q| q.0 == qid).unwrap();
+                (qid / 2, q.1, q.2)
+            };
+            // the endpoint lies on its own segment, so the answer is a
+            // segment at the same height or the segment itself
+            let want = segment_below(&coords, (x, y)).map(u64::from).unwrap();
+            assert_eq!(found, want, "endpoint of segment {sid}");
+        }
+    }
+
+    #[test]
+    fn queries_below_everything_return_max() {
+        let segs = make_segs(10, 100, 1);
+        let queries = vec![(0u64, 50i64, -10_000i64)];
+        let (fin, _) =
+            DirectRunner::default().run(&CgmPointLocation, init(&segs, &queries, 4)).unwrap();
+        assert_eq!(answers(&fin), vec![(0, u64::MAX)]);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let segs = make_segs(40, 300, 3);
+        let coords: Vec<(Point, Point)> =
+            segs.iter().map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by))).collect();
+        let queries: Vec<(u64, i64, i64)> = random_points(100, 300, 8)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (i as u64, x, y * 2))
+            .collect();
+        let mut want: Vec<(u64, u64)> = queries
+            .iter()
+            .map(|&(qid, x, y)| {
+                (qid, segment_below(&coords, (x, y)).map(u64::from).unwrap_or(u64::MAX))
+            })
+            .collect();
+        want.sort_unstable();
+        let (fin, _) =
+            ThreadedRunner::new(4).run(&CgmPointLocation, init(&segs, &queries, 8)).unwrap();
+        assert_eq!(answers(&fin), want);
+    }
+}

@@ -1,0 +1,152 @@
+//! CGM area of a union of rectangles (Figure 5 Group B row 6).
+//!
+//! Slab-partition by `x` (splitters sampled from rectangle edges); each
+//! rectangle is clipped into the slabs it overlaps — the slabs partition
+//! the plane, so per-slab union areas (computed with the exact
+//! sequential sweepline) simply add up; a final all-gather of the `v`
+//! partial areas gives every processor the exact total. Rectangle
+//! duplication is bounded by the number of slabs a rectangle spans
+//! (`O(1)` for the workloads used here, `O(v)` adversarially — the
+//! slackness the cited CGM algorithm assumes).
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::union_area;
+
+use super::slab::{choose_splitters, local_samples, slab_of, slab_range};
+
+/// State: `(rects as (x1, y1, x2, y2), total_area_out)`; the area is
+/// stored as `(hi, lo)` limbs of the exact `i128`.
+pub type UnionAreaState = (Vec<[i64; 4]>, Vec<u64>);
+
+/// The slab-based union-area program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmUnionArea;
+
+impl CgmProgram for CgmUnionArea {
+    /// `(tag, [a, b, c, d])`: tag 0 = sample (a = x), 1 = clipped rect,
+    /// 2 = partial area (a = hi limb, b = lo limb).
+    type Msg = (u64, [i64; 4]);
+    type State = UnionAreaState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut UnionAreaState) -> Status {
+        let v = ctx.v;
+        match ctx.round {
+            0 => {
+                let xs: Vec<i64> =
+                    state.0.iter().flat_map(|r| [r[0], r[2]]).collect();
+                for dst in 0..v {
+                    ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (0, [x, 0, 0, 0])));
+                }
+                Status::Continue
+            }
+            1 => {
+                let samples: Vec<i64> =
+                    ctx.incoming.flatten().into_iter().map(|(_, r)| r[0]).collect();
+                let splitters = choose_splitters(samples, v);
+                for &[x1, y1, x2, y2] in &state.0 {
+                    let first = slab_of(&splitters, x1);
+                    // x2 is exclusive on the right for slab purposes
+                    let last = slab_of(&splitters, x2 - 1);
+                    for j in first..=last {
+                        let (lo, hi) = slab_range(&splitters, j);
+                        let cx1 = x1.max(lo);
+                        let cx2 = x2.min(hi);
+                        if cx1 < cx2 {
+                            ctx.push(j, (1, [cx1, y1, cx2, y2]));
+                        }
+                    }
+                }
+                state.0.clear();
+                Status::Continue
+            }
+            2 => {
+                let rects: Vec<(i64, i64, i64, i64)> = ctx
+                    .incoming
+                    .flatten()
+                    .into_iter()
+                    .map(|(_, [x1, y1, x2, y2])| (x1, y1, x2, y2))
+                    .collect();
+                let area = union_area(&rects);
+                let hi = (area >> 64) as i64;
+                let lo = area as u64 as i64;
+                for dst in 0..v {
+                    ctx.push(dst, (2, [hi, lo, 0, 0]));
+                }
+                Status::Continue
+            }
+            _ => {
+                let total: i128 = ctx
+                    .incoming
+                    .flatten()
+                    .into_iter()
+                    .map(|(_, [hi, lo, _, _])| ((hi as i128) << 64) | (lo as u64 as i128))
+                    .sum();
+                state.1 = vec![(total >> 64) as u64, total as u64];
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(4)
+    }
+}
+
+/// Decode the `(hi, lo)` limb pair stored in the final state.
+pub fn decode_area(limbs: &[u64]) -> i128 {
+    ((limbs[0] as i128) << 64) | limbs[1] as i128
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_rects};
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init(rects: &[(i64, i64, i64, i64)], v: usize) -> Vec<UnionAreaState> {
+        let arr: Vec<[i64; 4]> = rects.iter().map(|&(a, b, c, d)| [a, b, c, d]).collect();
+        block_split(arr, v).into_iter().map(|b| (b, Vec::new())).collect()
+    }
+
+    fn gen(n: usize, scale: i64, seed: u64) -> Vec<(i64, i64, i64, i64)> {
+        random_rects(n, scale, seed).into_iter().map(|r| (r.x1, r.y1, r.x2, r.y2)).collect()
+    }
+
+    #[test]
+    fn matches_sequential_union_area() {
+        for seed in 0..5u64 {
+            let rects = gen(200, 500, seed);
+            let want = union_area(&rects);
+            let (fin, costs) = DirectRunner::default().run(&CgmUnionArea, init(&rects, 6)).unwrap();
+            for (_, limbs) in &fin {
+                assert_eq!(decode_area(limbs), want, "seed {seed}");
+            }
+            assert_eq!(costs.lambda(), 3);
+        }
+    }
+
+    #[test]
+    fn spanning_rectangles_not_double_counted() {
+        // one huge rectangle spanning all slabs plus noise
+        let mut rects = gen(50, 200, 9);
+        rects.push((0, 0, 1_000, 1_000));
+        let want = union_area(&rects);
+        let (fin, _) = DirectRunner::default().run(&CgmUnionArea, init(&rects, 8)).unwrap();
+        assert_eq!(decode_area(&fin[0].1), want);
+    }
+
+    #[test]
+    fn identical_rects_and_single_rect() {
+        let rects = vec![(2, 2, 7, 9), (2, 2, 7, 9)];
+        let (fin, _) = DirectRunner::default().run(&CgmUnionArea, init(&rects, 3)).unwrap();
+        assert_eq!(decode_area(&fin[0].1), 35);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let rects = gen(150, 300, 4);
+        let want = union_area(&rects);
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmUnionArea, init(&rects, 6)).unwrap();
+        assert_eq!(decode_area(&fin[0].1), want);
+    }
+}

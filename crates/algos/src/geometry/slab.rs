@@ -1,0 +1,73 @@
+//! Shared slab-partition arithmetic: splitter selection from gathered
+//! samples and slab lookup.
+
+/// Choose `v − 1` splitters from the gathered samples (regular
+/// selection over the sorted sample multiset).
+pub fn choose_splitters(mut samples: Vec<i64>, v: usize) -> Vec<i64> {
+    samples.sort_unstable();
+    (1..v).filter_map(|k| samples.get(k * samples.len() / v).copied()).collect()
+}
+
+/// Slab index of coordinate `x` under `splitters` (slab `i` covers
+/// `[s_i, s_{i+1})` with `s_0 = −∞`): equal coordinates always map to
+/// the same slab.
+pub fn slab_of(splitters: &[i64], x: i64) -> usize {
+    splitters.partition_point(|&s| s <= x)
+}
+
+/// The slab range `[lo, hi)` of slab `i` (open-ended at the extremes).
+pub fn slab_range(splitters: &[i64], i: usize) -> (i64, i64) {
+    let lo = if i == 0 { i64::MIN } else { splitters[i - 1] };
+    let hi = if i < splitters.len() { splitters[i] } else { i64::MAX };
+    (lo, hi)
+}
+
+/// Regular samples of the values in `xs` (up to `v` of them).
+pub fn local_samples(xs: &[i64], v: usize) -> Vec<i64> {
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    (0..v).filter_map(|k| sorted.get(k * sorted.len() / v).copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitters_partition_consistently() {
+        let samples = vec![5, 1, 9, 3, 7, 2, 8, 4, 6, 0];
+        let sp = choose_splitters(samples, 4);
+        assert_eq!(sp.len(), 3);
+        // every value maps to exactly one slab; slabs are ordered
+        let mut last = 0;
+        for x in 0..10 {
+            let s = slab_of(&sp, x);
+            assert!(s >= last);
+            last = s;
+            let (lo, hi) = slab_range(&sp, s);
+            assert!(lo <= x && x < hi || (s == 0 && x < hi));
+        }
+    }
+
+    #[test]
+    fn equal_values_same_slab() {
+        let sp = vec![5, 5, 9]; // duplicate splitters collapse slabs
+        assert_eq!(slab_of(&sp, 5), 2);
+        assert_eq!(slab_of(&sp, 4), 0);
+        assert_eq!(slab_of(&sp, 9), 3);
+    }
+
+    #[test]
+    fn empty_samples_give_single_slab() {
+        let sp = choose_splitters(vec![], 4);
+        assert!(sp.is_empty());
+        assert_eq!(slab_of(&sp, 123), 0);
+    }
+
+    #[test]
+    fn local_sampling_is_regular() {
+        let xs: Vec<i64> = (0..100).rev().collect();
+        let s = local_samples(&xs, 4);
+        assert_eq!(s, vec![0, 25, 50, 75]);
+    }
+}

@@ -1,0 +1,301 @@
+//! CGM triangulation of a planar point set (Figure 5 Group B row 1).
+//!
+//! Each slab triangulates its own points with the exact sequential
+//! sweep; a `⌈log₂ v⌉`-round combining tree then merges adjacent slab
+//! groups: only the *hulls* travel, and the receiver triangulates the
+//! pocket between the two x-separated hulls (common tangents + ear
+//! clipping with exact predicates), so the merge traffic is
+//! `O(hull sizes)`, not `O(N)`. Triangles stay distributed; the final
+//! triangulation is their union.
+//!
+//! For point sets in general position the union is a proper
+//! triangulation of the convex hull; collinear runs along slab hulls can
+//! produce T-junction seams (still a valid tiling by area), which the
+//! tests verify by exact area accounting.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+use cgmio_geom::{convex_hull, orient2d, Point};
+
+use super::super::graphs::jump_iters;
+use super::slab::{choose_splitters, local_samples, slab_of};
+
+/// An identified point on the wire.
+pub type IdPoint = (u64, (i64, i64));
+
+/// State: `((points, hull), triangles as [id; 3])`.
+pub type TriangulateState = ((Vec<IdPoint>, Vec<IdPoint>), Vec<[u64; 3]>);
+
+/// The slab + hull-merge triangulation program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmTriangulate;
+
+/// Common upper/lower tangent between two x-separated hulls: returns
+/// indices `(ia, ib)` into `a` and `b`. `upper = true` finds the tangent
+/// with all points on or below; tie points on the tangent line resolve
+/// to the innermost pair (rightmost in `a`, leftmost in `b`) so the
+/// pocket polygon is tight.
+fn tangent(a: &[IdPoint], b: &[IdPoint], upper: bool) -> (usize, usize) {
+    let below = |p: Point, q: Point, r: Point| {
+        let o = orient2d(p, q, r);
+        if upper {
+            o <= 0
+        } else {
+            o >= 0
+        }
+    };
+    let mut best: Option<(usize, usize)> = None;
+    for (i, &(_, pa)) in a.iter().enumerate() {
+        'cand: for (j, &(_, pb)) in b.iter().enumerate() {
+            for &(_, c) in a.iter().chain(b.iter()) {
+                if c != pa && c != pb && !below(pa, pb, c) {
+                    continue 'cand;
+                }
+            }
+            best = Some(match best {
+                None => (i, j),
+                Some((bi, bj)) => {
+                    // innermost: a-side max x, b-side min x
+                    let ai = if (a[i].1 .0, a[i].1 .1) > (a[bi].1 .0, a[bi].1 .1) { i } else { bi };
+                    let bjn = if (b[j].1 .0, b[j].1 .1) < (b[bj].1 .0, b[bj].1 .1) { j } else { bj };
+                    (ai, bjn)
+                }
+            });
+        }
+    }
+    best.expect("x-separated non-empty hulls always have a tangent")
+}
+
+/// Ear-clip a simple (possibly degenerate) ccw polygon with exact
+/// predicates; collinear vertices are dropped without emitting.
+fn ear_clip(mut poly: Vec<IdPoint>, out: &mut Vec<[u64; 3]>) {
+    'outer: while poly.len() >= 3 {
+        let n = poly.len();
+        for i in 0..n {
+            let (pa, pb, pc) = (poly[(i + n - 1) % n], poly[i], poly[(i + 1) % n]);
+            let o = orient2d(pa.1, pb.1, pc.1);
+            if o <= 0 {
+                continue;
+            }
+            // blocked if any other vertex is inside or on the two ear
+            // edges (being on the chord pa–pc is fine)
+            let mut blocked = false;
+            for &(_, p) in &poly {
+                if p == pa.1 || p == pb.1 || p == pc.1 {
+                    continue;
+                }
+                let o1 = orient2d(pa.1, pb.1, p);
+                let o2 = orient2d(pb.1, pc.1, p);
+                let o3 = orient2d(pc.1, pa.1, p);
+                if o1 >= 0 && o2 >= 0 && o3 > 0 {
+                    blocked = true;
+                    break;
+                }
+            }
+            if !blocked {
+                out.push([pa.0, pb.0, pc.0]);
+                poly.remove(i);
+                continue 'outer;
+            }
+        }
+        // no positive ear: drop a collinear vertex if one exists
+        for i in 0..n {
+            let (pa, pb, pc) = (poly[(i + n - 1) % n], poly[i], poly[(i + 1) % n]);
+            if orient2d(pa.1, pb.1, pc.1) == 0 {
+                poly.remove(i);
+                continue 'outer;
+            }
+        }
+        return; // degenerate leftover (zero-area pocket)
+    }
+}
+
+/// Triangulate the pocket between x-separated hulls `a` (left) and `b`
+/// (right), both ccw; returns the merged hull.
+fn merge_hulls(a: &[IdPoint], b: &[IdPoint], out: &mut Vec<[u64; 3]>) -> Vec<IdPoint> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let (au, bu) = tangent(a, b, true);
+    let (al, bl) = tangent(a, b, false);
+    // pocket polygon (cw): a_l → ccw chain → a_u, then b_u → ccw chain → b_l
+    let mut poly: Vec<IdPoint> = Vec::new();
+    let mut i = al;
+    loop {
+        poly.push(a[i]);
+        if i == au {
+            break;
+        }
+        i = (i + 1) % a.len();
+    }
+    let mut j = bu;
+    loop {
+        poly.push(b[j]);
+        if j == bl {
+            break;
+        }
+        j = (j + 1) % b.len();
+    }
+    poly.reverse(); // ccw
+    if poly.len() >= 3 {
+        ear_clip(poly, out);
+    }
+
+    // merged hull via the exact hull of the two hulls' points
+    let pts: Vec<Point> = a.iter().chain(b.iter()).map(|&(_, p)| p).collect();
+    let id_of: std::collections::HashMap<Point, u64> =
+        a.iter().chain(b.iter()).map(|&(id, p)| (p, id)).collect();
+    convex_hull(&pts).into_iter().map(|p| (id_of[&p], p)).collect()
+}
+
+impl CgmProgram for CgmTriangulate {
+    /// `(tag, id, (x, y))`: tag 0 = sample, 1 = routed point, 2 = hull
+    /// point (in ccw order).
+    type Msg = (u64, u64, (i64, i64));
+    type State = TriangulateState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut TriangulateState) -> Status {
+        let v = ctx.v;
+        let levels = jump_iters(v);
+        match ctx.round {
+            0 => {
+                let xs: Vec<i64> = state.0 .0.iter().map(|p| p.1 .0).collect();
+                for dst in 0..v {
+                    ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (0, 0, (x, 0))));
+                }
+                Status::Continue
+            }
+            1 => {
+                let samples: Vec<i64> =
+                    ctx.incoming.flatten().into_iter().map(|(_, _, (x, _))| x).collect();
+                let splitters = choose_splitters(samples, v);
+                for &(id, p) in &state.0 .0 {
+                    ctx.push(slab_of(&splitters, p.0), (1, id, p));
+                }
+                state.0 .0.clear();
+                Status::Continue
+            }
+            r => {
+                if r == 2 {
+                    // local triangulation + local hull
+                    let slab: Vec<IdPoint> =
+                        ctx.incoming.flatten().into_iter().map(|(_, id, p)| (id, p)).collect();
+                    let coords: Vec<Point> = slab.iter().map(|&(_, p)| p).collect();
+                    state.1 = cgmio_geom::triangulate_points(&coords)
+                        .into_iter()
+                        .map(|(a, b, c)| [slab[a as usize].0, slab[b as usize].0, slab[c as usize].0])
+                        .collect();
+                    let id_of: std::collections::HashMap<Point, u64> =
+                        slab.iter().map(|&(id, p)| (p, id)).collect();
+                    state.0 .1 =
+                        convex_hull(&coords).into_iter().map(|p| (id_of[&p], p)).collect();
+                } else {
+                    // merge an arriving hull (we are left of the sender)
+                    let arrived: Vec<IdPoint> =
+                        ctx.incoming.flatten().into_iter().map(|(_, id, p)| (id, p)).collect();
+                    if !arrived.is_empty() {
+                        let mine = std::mem::take(&mut state.0 .1);
+                        state.0 .1 = merge_hulls(&mine, &arrived, &mut state.1);
+                    }
+                }
+                let k = r - 2;
+                if k == levels {
+                    return Status::Done;
+                }
+                if ctx.pid & (1 << k) != 0 && ctx.pid % (1 << k) == 0 {
+                    let partner = ctx.pid - (1 << k);
+                    let hull = std::mem::take(&mut state.0 .1);
+                    ctx.send(partner, hull.into_iter().map(|(id, p)| (2, id, p)));
+                }
+                Status::Continue
+            }
+        }
+    }
+
+    fn rounds_hint(&self, v: usize) -> Option<usize> {
+        Some(jump_iters(v) + 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_points};
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init(pts: &[Point], v: usize) -> Vec<TriangulateState> {
+        let indexed: Vec<IdPoint> =
+            pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
+        block_split(indexed, v).into_iter().map(|b| ((b, Vec::new()), Vec::new())).collect()
+    }
+
+    fn all_triangles(fin: &[TriangulateState]) -> Vec<[u64; 3]> {
+        fin.iter().flat_map(|(_, t)| t.iter().copied()).collect()
+    }
+
+    fn hull_doubled_area(pts: &[Point]) -> i128 {
+        let hull = convex_hull(pts);
+        let mut s = 0i128;
+        for i in 1..hull.len().saturating_sub(1) {
+            s += orient2d(hull[0], hull[i], hull[i + 1]);
+        }
+        s
+    }
+
+    fn validate(pts: &[Point], tris: &[[u64; 3]]) {
+        let mut area = 0i128;
+        let mut edge_count = std::collections::HashMap::new();
+        for &[a, b, c] in tris {
+            let o =
+                orient2d(pts[a as usize], pts[b as usize], pts[c as usize]);
+            assert!(o > 0, "triangle must be ccw and non-degenerate");
+            area += o;
+            for (u, w) in [(a, b), (b, c), (c, a)] {
+                *edge_count.entry((u.min(w), u.max(w))).or_insert(0u32) += 1;
+            }
+        }
+        assert_eq!(area, hull_doubled_area(pts), "triangles must tile the hull exactly");
+        assert!(edge_count.values().all(|&c| c <= 2), "edge used more than twice");
+    }
+
+    #[test]
+    fn tiles_hull_on_random_inputs() {
+        for seed in 0..5u64 {
+            let pts = random_points(400, 5_000, seed);
+            for v in [2usize, 4, 6, 8] {
+                let (fin, _) =
+                    DirectRunner::default().run(&CgmTriangulate, init(&pts, v)).unwrap();
+                validate(&pts, &all_triangles(&fin));
+            }
+        }
+    }
+
+    #[test]
+    fn single_processor_matches_sequential_shape() {
+        let pts = random_points(100, 1_000, 9);
+        let (fin, _) = DirectRunner::default().run(&CgmTriangulate, init(&pts, 1)).unwrap();
+        validate(&pts, &all_triangles(&fin));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let pts = vec![(0, 0), (10, 0), (0, 10)];
+        let (fin, _) = DirectRunner::default().run(&CgmTriangulate, init(&pts, 4)).unwrap();
+        let tris = all_triangles(&fin);
+        assert_eq!(tris.len(), 1);
+        validate(&pts, &tris);
+
+        let pts = vec![(0, 0), (10, 0)];
+        let (fin, _) = DirectRunner::default().run(&CgmTriangulate, init(&pts, 4)).unwrap();
+        assert!(all_triangles(&fin).is_empty());
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let pts = random_points(300, 4_000, 3);
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmTriangulate, init(&pts, 8)).unwrap();
+        validate(&pts, &all_triangles(&fin));
+    }
+}

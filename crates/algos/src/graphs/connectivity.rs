@@ -1,0 +1,310 @@
+//! CGM connected components and spanning forest by min-label hooking
+//! with pointer-jumping shortcuts (Figure 5 Group C row 2).
+//!
+//! Vertices and edges are both block-distributed. Each iteration spends
+//! six rounds:
+//!
+//! 1. edge owners query the current labels of their edges' endpoints,
+//! 2. vertex owners reply,
+//! 3. edge owners propose hooks `label[max(lu,lv)] ← min(lu,lv)`,
+//! 4. vertex owners apply the best proposal per target (recording the
+//!    hooking edge the *first* time a vertex loses its root status —
+//!    those edges form a spanning forest) and issue shortcut queries
+//!    `label[label[x]]`,
+//! 5. owners reply,
+//! 6. owners apply shortcuts and broadcast whether anything changed.
+//!
+//! Labels only decrease, hooks go to strictly smaller labels, and the
+//! shortcut halves label-chain depth, so the fixpoint (`O(log n)`
+//! iterations) labels every vertex with the minimum vertex id of its
+//! component.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+
+use super::owner;
+use cgmio_data::block_split_ranges;
+
+/// Message: `(tag, a, b, c)` — see the round constants below.
+type Msg = (u64, u64, u64, u64);
+
+const QLABEL: u64 = 0; // (QLABEL, vertex, edge_slot, end): what's vertex's label?
+const RLABEL: u64 = 1; // (RLABEL, edge_slot, label, end)
+const PROPOSE: u64 = 2; // (PROPOSE, root, new_label, edge_id)
+const QSHORT: u64 = 3; // (QSHORT, target, asker, 0)
+const RSHORT: u64 = 4; // (RSHORT, asker, label_of_target, 0)
+const CHANGED: u64 = 5; // (CHANGED, count, 0, 0)
+
+/// State of one processor:
+/// `((n_vertices, labels, forest_edge_ids), (n_edges, edge_endpoints, scratch))`.
+///
+/// * `labels` — current label of each owned vertex; at completion, the
+///   minimum vertex id of its component.
+/// * `forest_edge_ids` — global ids of the spanning-forest edges this
+///   processor recorded.
+/// * `edge_endpoints` — the owned block of the edge list, as `(u, v)`.
+/// * `scratch` — per-owned-edge endpoint labels gathered this iteration
+///   (`2` entries per edge, `u64::MAX` when unknown).
+pub type ConnState = ((u64, Vec<u64>, Vec<u64>), (u64, Vec<(u64, u64)>, Vec<u64>));
+
+/// The hook-and-shortcut connectivity program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmConnectivity;
+
+impl CgmProgram for CgmConnectivity {
+    type Msg = Msg;
+    type State = ConnState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Msg>, state: &mut ConnState) -> Status {
+        let v = ctx.v;
+        let n = state.0 .0 as usize;
+        let m = state.1 .0 as usize;
+        let my_verts = block_split_ranges(n, v, ctx.pid);
+        let my_edges = block_split_ranges(m, v, ctx.pid);
+        let phase = ctx.round % 6;
+
+        match phase {
+            0 => {
+                // Convergence check (skipped in iteration 0), then edge
+                // owners query endpoint labels.
+                if ctx.round > 0 {
+                    let total: u64 = ctx
+                        .incoming
+                        .iter()
+                        .flat_map(|(_, items)| items.iter())
+                        .map(|&(tag, count, _, _)| {
+                            debug_assert_eq!(tag, CHANGED);
+                            count
+                        })
+                        .sum();
+                    if total == 0 {
+                        return Status::Done;
+                    }
+                }
+                state.1 .2 = vec![u64::MAX; 2 * my_edges.len()];
+                for (slot, &(a, b)) in state.1 .1.iter().enumerate() {
+                    ctx.push(owner(n, v, a as usize), (QLABEL, a, slot as u64, 0));
+                    ctx.push(owner(n, v, b as usize), (QLABEL, b, slot as u64, 1));
+                }
+                Status::Continue
+            }
+            1 => {
+                // Vertex owners answer label queries.
+                let mut replies: Vec<(usize, Msg)> = Vec::new();
+                for (src, items) in ctx.incoming.iter() {
+                    for &(_, vertex, slot, end) in items {
+                        let li = vertex as usize - my_verts.start;
+                        replies.push((src, (RLABEL, slot, state.0 .1[li], end)));
+                    }
+                }
+                for (dst, msg) in replies {
+                    ctx.push(dst, msg);
+                }
+                Status::Continue
+            }
+            2 => {
+                // Edge owners assemble labels and propose hooks.
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(_, slot, label, end) in items {
+                        state.1 .2[2 * slot as usize + end as usize] = label;
+                    }
+                }
+                for slot in 0..my_edges.len() {
+                    let (lu, lv) = (state.1 .2[2 * slot], state.1 .2[2 * slot + 1]);
+                    if lu != lv {
+                        let (lo, hi) = (lu.min(lv), lu.max(lv));
+                        let edge_id = (my_edges.start + slot) as u64;
+                        ctx.push(owner(n, v, hi as usize), (PROPOSE, hi, lo, edge_id));
+                    }
+                }
+                Status::Continue
+            }
+            3 => {
+                // Vertex owners apply the best proposal per target,
+                // recording forest edges on first de-rooting, then issue
+                // shortcut queries.
+                // BTreeMap keeps the apply order deterministic, so final
+                // states are identical across all runners.
+                let mut best: std::collections::BTreeMap<u64, (u64, u64)> =
+                    std::collections::BTreeMap::new();
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(_, root, new_label, edge_id) in items {
+                        best.entry(root)
+                            .and_modify(|cur| *cur = (*cur).min((new_label, edge_id)))
+                            .or_insert((new_label, edge_id));
+                    }
+                }
+                for (root, (new_label, edge_id)) in best {
+                    let li = root as usize - my_verts.start;
+                    if new_label < state.0 .1[li] {
+                        if state.0 .1[li] == root {
+                            state.0 .2.push(edge_id);
+                        }
+                        state.0 .1[li] = new_label;
+                    }
+                }
+                for (i, &l) in state.0 .1.iter().enumerate() {
+                    let x = (my_verts.start + i) as u64;
+                    if l != x {
+                        ctx.push(owner(n, v, l as usize), (QSHORT, l, x, 0));
+                    }
+                }
+                Status::Continue
+            }
+            4 => {
+                // Owners answer shortcut queries.
+                let mut replies: Vec<(usize, Msg)> = Vec::new();
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(_, target, asker, _) in items {
+                        let li = target as usize - my_verts.start;
+                        replies.push((
+                            owner(n, v, asker as usize),
+                            (RSHORT, asker, state.0 .1[li], 0),
+                        ));
+                    }
+                }
+                for (dst, msg) in replies {
+                    ctx.push(dst, msg);
+                }
+                Status::Continue
+            }
+            _ => {
+                // Apply shortcuts; broadcast whether this processor saw
+                // any change this iteration (hook or shortcut). Labels
+                // changed by hooks are detected by comparing against the
+                // iteration-start snapshot held in edge scratch? — we
+                // track changes directly:
+                let mut changed = 0u64;
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(_, asker, new_label, _) in items {
+                        let li = asker as usize - my_verts.start;
+                        if new_label < state.0 .1[li] {
+                            state.0 .1[li] = new_label;
+                            changed += 1;
+                        }
+                    }
+                }
+                // Hook-phase changes also count: recompute from scratch
+                // labels — an edge with differing endpoint labels at
+                // query time means the iteration was still active.
+                for slot in 0..my_edges.len() {
+                    if state.1 .2.get(2 * slot).copied().unwrap_or(u64::MAX)
+                        != state.1 .2.get(2 * slot + 1).copied().unwrap_or(u64::MAX)
+                    {
+                        changed += 1;
+                    }
+                }
+                for dst in 0..v {
+                    ctx.push(dst, (CHANGED, changed, 0, 0));
+                }
+                Status::Continue
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, gnm_edges};
+    use cgmio_graph::cc_labels;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init(n: usize, edges: &[(u64, u64)], v: usize) -> Vec<ConnState> {
+        let vert_blocks = block_split((0..n as u64).collect::<Vec<_>>(), v);
+        let edge_blocks = block_split(edges.to_vec(), v);
+        vert_blocks
+            .into_iter()
+            .zip(edge_blocks)
+            .map(|(vb, eb)| {
+                ((n as u64, vb, Vec::new()), (edges.len() as u64, eb, Vec::new()))
+            })
+            .collect()
+    }
+
+    fn labels_of(fin: &[ConnState]) -> Vec<u64> {
+        fin.iter().flat_map(|((_, l, _), _)| l.iter().copied()).collect()
+    }
+
+    fn forest_of(fin: &[ConnState], edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
+        fin.iter()
+            .flat_map(|((_, _, f), _)| f.iter().map(|&e| edges[e as usize]))
+            .collect()
+    }
+
+    #[test]
+    fn components_match_reference() {
+        for (n, m, v, seed) in [(100, 150, 8, 1u64), (200, 100, 6, 2), (50, 300, 4, 3)] {
+            let edges = gnm_edges(n, m, seed);
+            let want = cc_labels(n, &edges);
+            let (fin, costs) =
+                DirectRunner::default().run(&CgmConnectivity, init(n, &edges, v)).unwrap();
+            assert_eq!(labels_of(&fin), want, "n={n} m={m}");
+            // O(log n) iterations of 6 rounds
+            assert!(costs.lambda() <= 6 * (2 * super::super::jump_iters(n) + 3));
+        }
+    }
+
+    #[test]
+    fn spanning_forest_is_valid() {
+        let n = 150;
+        let edges = gnm_edges(n, 250, 7);
+        let (fin, _) = DirectRunner::default().run(&CgmConnectivity, init(n, &edges, 6)).unwrap();
+        let forest = forest_of(&fin, &edges);
+        let want_labels = cc_labels(n, &edges);
+        let comp_count = {
+            let mut u = want_labels.clone();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        };
+        assert_eq!(forest.len(), n - comp_count, "forest edge count");
+        // forest connects exactly the same components
+        assert_eq!(cc_labels(n, &forest), want_labels);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let (fin, costs) = DirectRunner::default().run(&CgmConnectivity, init(5, &[], 3)).unwrap();
+        assert_eq!(labels_of(&fin), vec![0, 1, 2, 3, 4]);
+        assert!(forest_of(&fin, &[]).is_empty());
+        assert!(costs.lambda() <= 12);
+    }
+
+    #[test]
+    fn single_path_worst_case() {
+        // A path stresses the shortcutting: still O(log n) iterations.
+        let n = 128;
+        let edges: Vec<(u64, u64)> = (0..n as u64 - 1).map(|i| (i, i + 1)).collect();
+        let (fin, costs) =
+            DirectRunner::default().run(&CgmConnectivity, init(n, &edges, 8)).unwrap();
+        assert!(labels_of(&fin).iter().all(|&l| l == 0));
+        let iters = costs.lambda() / 6 + 1;
+        assert!(iters <= 2 * super::super::jump_iters(n) + 3, "iters = {iters}");
+        let forest = forest_of(&fin, &edges);
+        assert_eq!(forest.len(), n - 1);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let n = 80;
+        let edges = gnm_edges(n, 120, 5);
+        let want = cc_labels(n, &edges);
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmConnectivity, init(n, &edges, 8)).unwrap();
+        assert_eq!(labels_of(&fin), want);
+    }
+
+    #[test]
+    fn two_cliques() {
+        let mut edges = Vec::new();
+        for i in 0..5u64 {
+            for j in i + 1..5 {
+                edges.push((i, j));
+                edges.push((i + 5, j + 5));
+            }
+        }
+        let (fin, _) = DirectRunner::default().run(&CgmConnectivity, init(10, &edges, 4)).unwrap();
+        let l = labels_of(&fin);
+        assert!(l[..5].iter().all(|&x| x == 0));
+        assert!(l[5..].iter().all(|&x| x == 5));
+    }
+}

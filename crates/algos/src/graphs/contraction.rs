@@ -1,0 +1,290 @@
+//! CGM expression-tree evaluation (Figure 5 Group C row 1's "tree
+//! contraction, expression tree evaluation").
+//!
+//! Nodes of a binary expression DAG-free tree are block-distributed;
+//! values flow bottom-up: in every round each processor evaluates the
+//! owned nodes whose operand values have arrived and forwards results to
+//! parent owners. The root's owner broadcasts completion. The number of
+//! rounds equals the tree height + 2 — `O(log N)` for the random
+//! expression trees of `cgmio-data` (balanced by construction), the
+//! regime in which the paper's Group C I/O bound applies. (A
+//! height-independent rake-and-compress contraction is a documented
+//! possible extension — see DESIGN.md.)
+//!
+//! Arithmetic is modulo the Mersenne prime [`MOD`] so `Mul` chains stay
+//! exact; `Max` compares residues.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+
+use super::owner;
+use cgmio_data::block_split_ranges;
+use cgmio_data::{ExprNode, Op};
+
+/// All arithmetic is mod this prime (2⁶¹ − 1).
+pub const MOD: u64 = (1 << 61) - 1;
+
+/// Messages `[tag, a, b, c]`.
+type Msg = [u64; 4];
+
+const VALUE: u64 = 0; // [_, parent_node, child_node, value]
+const FINISHED: u64 = 1; // [_, root_value, 0, 0]
+
+/// Encoded node: `(kind/op, left, right, value)` where kind 0 = leaf
+/// (value in `.3`), 1 = Add, 2 = Mul, 3 = Max.
+pub type PackedNode = (u64, u64, u64, u64);
+
+/// Pack a [`cgmio_data::ExprNode`].
+pub fn pack_node(n: &ExprNode) -> PackedNode {
+    match *n {
+        ExprNode::Leaf(v) => (0, 0, 0, (v.rem_euclid(MOD as i64)) as u64),
+        ExprNode::Node(op, l, r) => {
+            let k = match op {
+                Op::Add => 1,
+                Op::Mul => 2,
+                Op::Max => 3,
+            };
+            (k, l as u64, r as u64, u64::MAX)
+        }
+    }
+}
+
+fn apply_op(kind: u64, a: u64, b: u64) -> u64 {
+    match kind {
+        1 => (a + b) % MOD,
+        2 => ((a as u128 * b as u128) % MOD as u128) as u64,
+        3 => a.max(b),
+        _ => unreachable!("leaf has no operands"),
+    }
+}
+
+/// Reference evaluation with the same mod-`MOD` semantics.
+pub fn eval_expression_mod(nodes: &[ExprNode]) -> u64 {
+    fn eval(nodes: &[ExprNode], i: usize) -> u64 {
+        match nodes[i] {
+            ExprNode::Leaf(v) => v.rem_euclid(MOD as i64) as u64,
+            ExprNode::Node(op, a, b) => {
+                let x = eval(nodes, a);
+                let y = eval(nodes, b);
+                match op {
+                    Op::Add => (x + y) % MOD,
+                    Op::Mul => ((x as u128 * y as u128) % MOD as u128) as u64,
+                    Op::Max => x.max(y),
+                }
+            }
+        }
+    }
+    eval(nodes, nodes.len() - 1)
+}
+
+/// State: `((n, packed_nodes… as 4 parallel vecs), (parent_of, pending), result)`:
+/// concretely `((n, kinds, lefts), (rights, values), (parents, result_holder, scratch))`.
+pub type ExprEvalState = (
+    (u64, Vec<u64>, Vec<u64>),
+    (Vec<u64>, Vec<u64>),
+    (Vec<u64>, Vec<u64>, Vec<u64>),
+);
+
+/// Build initial per-processor states from a node array (root = last
+/// node).
+pub fn expr_states(nodes: &[ExprNode], v: usize) -> Vec<ExprEvalState> {
+    let n = nodes.len();
+    // parent pointers
+    let mut parent = vec![u64::MAX; n];
+    for (i, node) in nodes.iter().enumerate() {
+        if let ExprNode::Node(_, l, r) = node {
+            parent[*l] = i as u64;
+            parent[*r] = i as u64;
+        }
+    }
+    let packed: Vec<PackedNode> = nodes.iter().map(pack_node).collect();
+    let blocks = cgmio_data::block_split(packed, v);
+    let pblocks = cgmio_data::block_split(parent, v);
+    blocks
+        .into_iter()
+        .zip(pblocks)
+        .map(|(b, pb)| {
+            let kinds: Vec<u64> = b.iter().map(|x| x.0).collect();
+            let lefts: Vec<u64> = b.iter().map(|x| x.1).collect();
+            let rights: Vec<u64> = b.iter().map(|x| x.2).collect();
+            let values: Vec<u64> = b.iter().map(|x| x.3).collect();
+            ((n as u64, kinds, lefts), (rights, values), (pb, vec![u64::MAX], Vec::new()))
+        })
+        .collect()
+}
+
+/// The bottom-up evaluation program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmExprEval;
+
+impl CgmProgram for CgmExprEval {
+    type Msg = Msg;
+    type State = ExprEvalState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Msg>, state: &mut ExprEvalState) -> Status {
+        let v = ctx.v;
+        let n = state.0 .0 as usize;
+        let my_range = block_split_ranges(n, v, ctx.pid);
+        let root = (n - 1) as u64;
+
+        // operand slots: reuse `lefts`/`rights` — once a child's value
+        // arrives, overwrite the child index with MOD + value + 1 tag?
+        // Cleaner: scratch holds received operand values keyed 2*li(+1),
+        // initialised lazily.
+        if state.2 .2.is_empty() {
+            state.2 .2 = vec![u64::MAX; 2 * my_range.len().max(1)];
+        }
+
+        let mut finished = false;
+        for (_src, items) in ctx.incoming.iter() {
+            for &[tag, a, b, c] in items {
+                match tag {
+                    VALUE => {
+                        let li = a as usize - my_range.start;
+                        // which operand? left or right child
+                        if state.0 .2[li] == b {
+                            state.2 .2[2 * li] = c;
+                        } else {
+                            debug_assert_eq!(state.1 .0[li], b);
+                            state.2 .2[2 * li + 1] = c;
+                        }
+                    }
+                    FINISHED => {
+                        state.2 .1[0] = a;
+                        finished = true;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+        if finished {
+            return Status::Done;
+        }
+
+        // Evaluate ready nodes. In round 0, leaves are ready; later,
+        // internal nodes whose operands arrived.
+        let mut newly: Vec<(u64, u64)> = Vec::new(); // (node, value)
+        for li in 0..my_range.len() {
+            let g = (my_range.start + li) as u64;
+            let ready_now = if ctx.round == 0 {
+                state.0 .1[li] == 0 // leaf
+            } else {
+                state.0 .1[li] != 0
+                    && state.1 .1[li] == u64::MAX
+                    && state.2 .2[2 * li] != u64::MAX
+                    && state.2 .2[2 * li + 1] != u64::MAX
+            };
+            if ready_now {
+                let val = if state.0 .1[li] == 0 {
+                    state.1 .1[li]
+                } else {
+                    let val = apply_op(state.0 .1[li], state.2 .2[2 * li], state.2 .2[2 * li + 1]);
+                    state.1 .1[li] = val;
+                    val
+                };
+                newly.push((g, val));
+            }
+        }
+        for (g, val) in newly {
+            if g == root {
+                for dst in 0..v {
+                    ctx.push(dst, [FINISHED, val, 0, 0]);
+                }
+            } else {
+                let p = state.2 .0[(g as usize) - my_range.start];
+                ctx.push(owner(n, v, p as usize), [VALUE, p, g, val]);
+            }
+        }
+        Status::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::random_expression;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn result_of(fin: &[ExprEvalState]) -> u64 {
+        // the FINISHED broadcast reaches every processor
+        let r = fin[0].2 .1[0];
+        for s in fin {
+            assert_eq!(s.2 .1[0], r, "all processors must agree on the result");
+        }
+        r
+    }
+
+    fn height(nodes: &[ExprNode], i: usize) -> usize {
+        match nodes[i] {
+            ExprNode::Leaf(_) => 0,
+            ExprNode::Node(_, a, b) => 1 + height(nodes, a).max(height(nodes, b)),
+        }
+    }
+
+    #[test]
+    fn evaluates_random_expressions() {
+        for (leaves, v, seed) in [(64usize, 6usize, 1u64), (200, 8, 2), (33, 4, 3)] {
+            let nodes = random_expression(leaves, seed);
+            let want = eval_expression_mod(&nodes);
+            let (fin, costs) =
+                DirectRunner::default().run(&CgmExprEval, expr_states(&nodes, v)).unwrap();
+            assert_eq!(result_of(&fin), want, "leaves={leaves} seed={seed}");
+            // rounds track tree height (values climb one level per round)
+            let h = height(&nodes, nodes.len() - 1);
+            assert!(costs.lambda() <= h + 2, "λ = {} height = {h}", costs.lambda());
+        }
+    }
+
+    #[test]
+    fn single_leaf() {
+        let nodes = random_expression(1, 0);
+        let want = eval_expression_mod(&nodes);
+        let (fin, _) = DirectRunner::default().run(&CgmExprEval, expr_states(&nodes, 1)).unwrap();
+        assert_eq!(result_of(&fin), want);
+    }
+
+    #[test]
+    fn hand_built_expression() {
+        // (2 + 3) * max(4, 1) = 20
+        let nodes = vec![
+            ExprNode::Leaf(2),
+            ExprNode::Leaf(3),
+            ExprNode::Leaf(4),
+            ExprNode::Leaf(1),
+            ExprNode::Node(Op::Add, 0, 1),
+            ExprNode::Node(Op::Max, 2, 3),
+            ExprNode::Node(Op::Mul, 4, 5),
+        ];
+        let (fin, _) = DirectRunner::default().run(&CgmExprEval, expr_states(&nodes, 3)).unwrap();
+        assert_eq!(result_of(&fin), 20);
+    }
+
+    #[test]
+    fn mul_chain_stays_exact_mod_p() {
+        // 3^40 mod MOD via a comb of Muls
+        let mut nodes = vec![ExprNode::Leaf(3); 40];
+        let mut roots: Vec<usize> = (0..40).collect();
+        while roots.len() > 1 {
+            let a = roots.remove(0);
+            let b = roots.remove(0);
+            nodes.push(ExprNode::Node(Op::Mul, a, b));
+            roots.push(nodes.len() - 1);
+        }
+        let want = {
+            let mut acc: u128 = 1;
+            for _ in 0..40 {
+                acc = acc * 3 % MOD as u128;
+            }
+            acc as u64
+        };
+        let (fin, _) = DirectRunner::default().run(&CgmExprEval, expr_states(&nodes, 4)).unwrap();
+        assert_eq!(result_of(&fin), want);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let nodes = random_expression(128, 7);
+        let want = eval_expression_mod(&nodes);
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmExprEval, expr_states(&nodes, 8)).unwrap();
+        assert_eq!(result_of(&fin), want);
+    }
+}

@@ -1,0 +1,298 @@
+//! CGM Euler tour of a tree (Figure 5 Group C row 1's "Euler tour")
+//! with weighted list ranking: computes every node's depth and every
+//! tour arc's position in `O(log N)` rounds.
+//!
+//! Construction: each tree edge `{x, parent(x)}` contributes an up-arc
+//! `2x` (`x → parent`) and a down-arc `2x+1` (`parent → x`). The tour
+//! successor of an arc entering vertex `w` from neighbour `u` leaves `w`
+//! toward the next neighbour after `u` in the cyclic order
+//! `[children ascending…, parent]`; cutting at the root makes the cycle
+//! a path. Weighted pointer jumping (weights +1 down, −1 up) then gives
+//! suffix sums from which depths and tour positions fall out.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+
+use super::{jump_iters, owner};
+use cgmio_data::block_split_ranges;
+
+/// Messages are `[tag, a, b, c, d]`.
+type Msg = [u64; 5];
+
+const ANNOUNCE: u64 = 0; // [_, child, parent, 0, 0]
+const SETSUCC: u64 = 1; // [_, arc, succ, 0, 0]
+const REQ: u64 = 2; // [_, target_arc, asker_arc, 0, 0]
+const RPL: u64 = 3; // [_, asker_arc, valw, val2, succ]
+const TAILARC: u64 = 4; // [_, tail_arc, 0, 0, 0] broadcast by the root owner
+
+/// State:
+/// `((meta = [n, tail_arc], parent_block, depth_out), (arc_succ, arc_valw, arc_val2))`.
+///
+/// Arc arrays hold 2 entries per owned node (`2x`, `2x+1`); `valw` is an
+/// `i64` stored as two's-complement `u64`. Sums are tail-exclusive (the
+/// tail arc's values are pinned to 0), so a node's depth is
+/// `2 − valw[2x+1]` and the tour position of arc `a` is
+/// `2(n−1) − 1 − val2[a]`. As in list ranking, pointers that reach the
+/// tail stop requesting — this both avoids double counting past the
+/// tail's self-loop and keeps every round an `O(N/v)` h-relation.
+pub type EulerState = ((Vec<u64>, Vec<u64>, Vec<u64>), (Vec<u64>, Vec<u64>, Vec<u64>));
+
+/// The Euler-tour program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmEulerTour;
+
+/// Tour position of an arc given its final `val2` entry.
+pub fn tour_position(n: usize, val2: u64) -> u64 {
+    (2 * (n as u64 - 1) - 1).wrapping_sub(val2)
+}
+
+impl CgmProgram for CgmEulerTour {
+    type Msg = Msg;
+    type State = EulerState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Msg>, state: &mut EulerState) -> Status {
+        let v = ctx.v;
+        let n = state.0 .0[0] as usize;
+        let my_range = block_split_ranges(n, v, ctx.pid);
+        let arc_owner = |arc: u64| owner(n, v, (arc / 2) as usize);
+        let iters = jump_iters(2 * n);
+
+        match ctx.round {
+            0 => {
+                // Announce children to parent owners.
+                for (i, &p) in state.0 .1.iter().enumerate() {
+                    let x = (my_range.start + i) as u64;
+                    if p != x {
+                        ctx.push(owner(n, v, p as usize), [ANNOUNCE, x, p, 0, 0]);
+                    }
+                }
+                Status::Continue
+            }
+            1 => {
+                // Build children lists and compute arc successors.
+                let mut children: Vec<Vec<u64>> = vec![Vec::new(); my_range.len()];
+                for (_src, items) in ctx.incoming.iter() {
+                    for &[_, child, parent, _, _] in items {
+                        children[parent as usize - my_range.start].push(child);
+                    }
+                }
+                for c in &mut children {
+                    c.sort_unstable();
+                }
+                // Initialise local arc arrays (inert self-loops).
+                let nl = my_range.len();
+                state.1 .0 = (0..2 * nl).map(|a| (2 * my_range.start + a) as u64).collect();
+                state.1 .1 = vec![0u64; 2 * nl];
+                state.1 .2 = vec![0u64; 2 * nl];
+
+                for (i, kids) in children.iter().enumerate() {
+                    let w = (my_range.start + i) as u64;
+                    let is_root = state.0 .1[i] == w;
+                    // Arc entering w from its parent: 2w+1 (local).
+                    if !is_root {
+                        let succ = match kids.first() {
+                            Some(&c1) => 2 * c1 + 1,
+                            None => 2 * w,
+                        };
+                        state.1 .0[2 * i + 1] = succ;
+                        state.1 .1[2 * i + 1] = 1u64; // down-arc weight +1
+                        state.1 .2[2 * i + 1] = 1;
+                        // Up-arc 2w gets weight −1; its successor is set
+                        // by the owner of w's parent (or below if local).
+                        state.1 .1[2 * i] = (-1i64) as u64;
+                        state.1 .2[2 * i] = 1;
+                    }
+                    // Arcs entering w from each child.
+                    for (j, &c) in kids.iter().enumerate() {
+                        let succ = if j + 1 < kids.len() {
+                            2 * kids[j + 1] + 1
+                        } else if !is_root {
+                            2 * w
+                        } else {
+                            // tail: self-loop the last up-arc into the
+                            // root, and tell everyone which arc it is
+                            for dst in 0..ctx.v {
+                                ctx.push(dst, [TAILARC, 2 * c, 0, 0, 0]);
+                            }
+                            2 * c
+                        };
+                        ctx.push(arc_owner(2 * c), [SETSUCC, 2 * c, succ, 0, 0]);
+                    }
+                }
+                Status::Continue
+            }
+            r => {
+                let k = (r - 2) / 2;
+                if (r - 2) % 2 == 1 {
+                    // Reply phase.
+                    let mut replies: Vec<(usize, Msg)> = Vec::new();
+                    for (_src, items) in ctx.incoming.iter() {
+                        for &[_, target, asker, _, _] in items {
+                            let li = target as usize - 2 * my_range.start;
+                            replies.push((
+                                arc_owner(asker),
+                                [RPL, asker, state.1 .1[li], state.1 .2[li], state.1 .0[li]],
+                            ));
+                        }
+                    }
+                    for (dst, msg) in replies {
+                        ctx.push(dst, msg);
+                    }
+                    return Status::Continue;
+                }
+                // Even phase: apply, then request (or finish).
+                if k == 0 {
+                    for (_src, items) in ctx.incoming.iter() {
+                        for &[tag, arc, succ, _, _] in items {
+                            match tag {
+                                SETSUCC => {
+                                    let li = arc as usize - 2 * my_range.start;
+                                    state.1 .0[li] = succ;
+                                    if succ == arc {
+                                        // tail arc: tail-exclusive sums
+                                        state.1 .1[li] = 0;
+                                        state.1 .2[li] = 0;
+                                    }
+                                }
+                                TAILARC => {
+                                    if state.0 .0.len() < 2 {
+                                        state.0 .0.push(arc);
+                                    } else {
+                                        state.0 .0[1] = arc;
+                                    }
+                                }
+                                _ => unreachable!(),
+                            }
+                        }
+                    }
+                } else {
+                    for (_src, items) in ctx.incoming.iter() {
+                        for &[tag, asker, valw, val2, succ] in items {
+                            debug_assert_eq!(tag, RPL);
+                            let li = asker as usize - 2 * my_range.start;
+                            state.1 .1[li] = state.1 .1[li].wrapping_add(valw);
+                            state.1 .2[li] = state.1 .2[li].wrapping_add(val2);
+                            state.1 .0[li] = succ;
+                        }
+                    }
+                }
+                if k == iters {
+                    // Extract depths: prefix-inclusive weight at the
+                    // down-arc 2x+1 equals w − w_tail − val = 2 − valw.
+                    state.0 .2 = (0..my_range.len())
+                        .map(|i| {
+                            let x = (my_range.start + i) as u64;
+                            if state.0 .1[i] == x {
+                                0
+                            } else {
+                                2u64.wrapping_sub(state.1 .1[2 * i + 1])
+                            }
+                        })
+                        .collect();
+                    return Status::Done;
+                }
+                let tail = state.0 .0.get(1).copied().unwrap_or(u64::MAX);
+                for (li, &s) in state.1 .0.iter().enumerate() {
+                    let a = (2 * my_range.start + li) as u64;
+                    if s != a && s != tail {
+                        ctx.push(arc_owner(s), [REQ, s, a, 0, 0]);
+                    }
+                }
+                Status::Continue
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_tree_parents};
+    use cgmio_graph::{depths_from_parents, euler_tour, Tree};
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init(parent: &[u64], v: usize) -> Vec<EulerState> {
+        block_split(parent.to_vec(), v)
+            .into_iter()
+            .map(|b| {
+                ((vec![parent.len() as u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new()))
+            })
+            .collect()
+    }
+
+    fn depths_of(fin: &[EulerState]) -> Vec<u64> {
+        fin.iter().flat_map(|((_, _, d), _)| d.iter().copied()).collect()
+    }
+
+    /// Reference arc sequence of the tour: arc ids in tour order.
+    fn reference_arc_order(parent: &[u64]) -> Vec<u64> {
+        let tree = Tree::from_parents(parent);
+        let (tour, _) = euler_tour(&tree);
+        tour.windows(2)
+            .map(|w| {
+                let (a, b) = (w[0], w[1]);
+                if parent[b as usize] == a {
+                    2 * b + 1 // down
+                } else {
+                    2 * a // up
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn depths_match_reference() {
+        for (n, v, seed) in [(200, 8, 1u64), (63, 5, 2), (500, 6, 3)] {
+            let parent = random_tree_parents(n, seed);
+            let want = depths_from_parents(&parent);
+            let (fin, _) = DirectRunner::default().run(&CgmEulerTour, init(&parent, v)).unwrap();
+            assert_eq!(depths_of(&fin), want, "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn tour_positions_match_reference() {
+        let n = 120;
+        let parent = random_tree_parents(n, 4);
+        let want_order = reference_arc_order(&parent);
+        let (fin, _) = DirectRunner::default().run(&CgmEulerTour, init(&parent, 7)).unwrap();
+        // gather final val2 per arc
+        let val2: Vec<u64> = fin.iter().flat_map(|(_, (_, _, v2))| v2.iter().copied()).collect();
+        let mut got: Vec<(u64, u64)> = want_order
+            .iter()
+            .map(|&arc| (tour_position(n, val2[arc as usize]), arc))
+            .collect();
+        got.sort_unstable();
+        let got_order: Vec<u64> = got.iter().map(|&(_, a)| a).collect();
+        assert_eq!(got_order, want_order);
+        // positions are exactly 0..2(n-1)
+        for (i, &(pos, _)) in got.iter().enumerate() {
+            assert_eq!(pos, i as u64);
+        }
+    }
+
+    #[test]
+    fn path_and_star_trees() {
+        // path: 0 <- 1 <- 2 <- 3
+        let parent = vec![0, 0, 1, 2];
+        let (fin, _) = DirectRunner::default().run(&CgmEulerTour, init(&parent, 2)).unwrap();
+        assert_eq!(depths_of(&fin), vec![0, 1, 2, 3]);
+        // star: all children of 0
+        let parent = vec![0, 0, 0, 0, 0];
+        let (fin, _) = DirectRunner::default().run(&CgmEulerTour, init(&parent, 3)).unwrap();
+        assert_eq!(depths_of(&fin), vec![0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let (fin, _) = DirectRunner::default().run(&CgmEulerTour, init(&[0], 1)).unwrap();
+        assert_eq!(depths_of(&fin), vec![0]);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let parent = random_tree_parents(150, 8);
+        let want = depths_from_parents(&parent);
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmEulerTour, init(&parent, 6)).unwrap();
+        assert_eq!(depths_of(&fin), want);
+    }
+}

@@ -1,0 +1,341 @@
+//! CGM batched lowest common ancestors by distributed binary lifting
+//! (Figure 5 Group C row 1's "Lowest common ancestor").
+//!
+//! Phase 1 (`2K` rounds, `K = ⌈log₂ n⌉`): build the ancestor table
+//! `anc_k[x]` (ancestor at distance `2^k`, clamped at the root) and
+//! depths by pointer jumping. Phase 2: all queries synchronously walk
+//! the standard lifting schedule — fetch depths, equalise them bit by
+//! bit, descend jointly from the highest level, and finish with one
+//! parent hop — each step one request/reply round pair.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+
+use super::{jump_iters, owner};
+use cgmio_data::block_split_ranges;
+
+/// Messages `[tag, a, b, c]`.
+type Msg = [u64; 4];
+
+const REQ: u64 = 0; // [_, target_vertex, corr, level]: send (anc_level, depth)
+const RPL: u64 = 1; // [_, corr, anc_value, depth_value]
+
+/// State:
+/// `((n, parent_block, anc_flat), (depth_block, queries), (qa, qb, (da, db)))`.
+///
+/// `anc_flat` holds `K+1` levels × local vertices. `queries` are
+/// `(a, b)` pairs owned by this processor; when the run completes, `qa`
+/// holds the answers.
+pub type LcaState = (
+    (u64, Vec<u64>, Vec<u64>),
+    (Vec<u64>, Vec<(u64, u64)>),
+    (Vec<u64>, Vec<u64>, (Vec<u64>, Vec<u64>)),
+);
+
+/// The batched-LCA program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmBatchedLca;
+
+struct Schedule {
+    k: usize,
+    build_end: usize, // rounds [0, build_end): table construction
+    depth_end: usize, // + 2: depth fetch + swap
+    lift_end: usize,  // + 2K: equalise depths
+    joint_end: usize, // + 2K: joint descent
+    total: usize,     // + 2: final parent hop
+}
+
+fn schedule(n: usize) -> Schedule {
+    let k = jump_iters(n);
+    let build_end = 2 * k;
+    let depth_end = build_end + 2;
+    let lift_end = depth_end + 2 * k;
+    let joint_end = lift_end + 2 * k;
+    Schedule { k, build_end, depth_end, lift_end, joint_end, total: joint_end + 2 }
+}
+
+impl CgmProgram for CgmBatchedLca {
+    type Msg = Msg;
+    type State = LcaState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Msg>, state: &mut LcaState) -> Status {
+        let v = ctx.v;
+        let n = state.0 .0 as usize;
+        if n <= 1 {
+            // trivial tree: every query answers the root
+            state.2 .0 = state.1 .1.iter().map(|_| 0).collect();
+            state.2 .1 = state.2 .0.clone();
+            return Status::Done;
+        }
+        let my_range = block_split_ranges(n, v, ctx.pid);
+        let nl = my_range.len();
+        let sched = schedule(n);
+        let kk = sched.k;
+        let r = ctx.round;
+
+        // Odd rounds: answer (anc_level, depth) lookups uniformly.
+        if r % 2 == 1 {
+            let mut replies: Vec<(usize, Msg)> = Vec::new();
+            for (src, items) in ctx.incoming.iter() {
+                for &[_, target, corr, level] in items {
+                    let li = target as usize - my_range.start;
+                    let anc = state.0 .2[level as usize * nl + li];
+                    let depth = state.1 .0[li];
+                    replies.push((src, [RPL, corr, anc, depth]));
+                }
+            }
+            for (dst, msg) in replies {
+                ctx.push(dst, msg);
+            }
+            return Status::Continue;
+        }
+
+        // Gather this round's incoming replies (one per correlation id).
+        let apply: Vec<(u64, u64, u64)> = ctx
+            .incoming
+            .iter()
+            .flat_map(|(_, items)| items.iter().map(|&[_, corr, anc, d]| (corr, anc, d)))
+            .collect();
+
+        // --- Phase 1: build ancestor table + depths -------------------
+        if r < sched.build_end {
+            let k = r / 2;
+            if k == 0 {
+                state.0 .2 = vec![0; (kk + 1) * nl];
+                state.0 .2[..nl].copy_from_slice(&state.0 .1);
+                state.1 .0 = state
+                    .0
+                    .1
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| u64::from(p != (my_range.start + i) as u64))
+                    .collect();
+            } else {
+                for &(corr, anc, d) in &apply {
+                    let li = corr as usize;
+                    state.0 .2[k * nl + li] = anc;
+                    state.1 .0[li] += d;
+                }
+            }
+            for li in 0..nl {
+                let y = state.0 .2[k * nl + li];
+                if y == (my_range.start + li) as u64 {
+                    state.0 .2[(k + 1) * nl + li] = y; // clamped at root
+                } else {
+                    ctx.push(owner(n, v, y as usize), [REQ, y, li as u64, k as u64]);
+                }
+            }
+            return Status::Continue;
+        }
+
+        let q = state.1 .1.len();
+        let (qpart, dpart) = (&mut state.2, &state.1 .1);
+        let (qa, qb) = (&mut qpart.0, &mut qpart.1);
+        let (da, db) = (&mut qpart.2 .0, &mut qpart.2 .1);
+
+        // --- Phase 2a: fetch depths -----------------------------------
+        if r == sched.build_end {
+            // Apply the final table-building replies first.
+            for &(corr, anc, d) in &apply {
+                let li = corr as usize;
+                state.0 .2[kk * nl + li] = anc;
+                state.1 .0[li] += d;
+            }
+            *qa = dpart.iter().map(|&(a, _)| a).collect();
+            *qb = dpart.iter().map(|&(_, b)| b).collect();
+            *da = vec![0; q];
+            *db = vec![0; q];
+            for (slot, &(a, b)) in dpart.iter().enumerate() {
+                ctx.push(owner(n, v, a as usize), [REQ, a, 2 * slot as u64, 0]);
+                ctx.push(owner(n, v, b as usize), [REQ, b, 2 * slot as u64 + 1, 0]);
+            }
+            return Status::Continue;
+        }
+
+        // --- Phase 2b: equalise depths --------------------------------
+        if r > sched.build_end && r <= sched.lift_end {
+            if r == sched.depth_end {
+                for &(corr, _anc, d) in &apply {
+                    if corr % 2 == 0 {
+                        da[corr as usize / 2] = d;
+                    } else {
+                        db[corr as usize / 2] = d;
+                    }
+                }
+                for slot in 0..q {
+                    if da[slot] < db[slot] {
+                        qa.swap(slot, slot);
+                        let (x, y) = (qa[slot], qb[slot]);
+                        qa[slot] = y;
+                        qb[slot] = x;
+                        let (x, y) = (da[slot], db[slot]);
+                        da[slot] = y;
+                        db[slot] = x;
+                    }
+                }
+            } else {
+                // apply last bit's lift: corr = slot
+                for &(corr, anc, _) in &apply {
+                    qa[corr as usize] = anc;
+                }
+            }
+            let step = (r - sched.depth_end) / 2;
+            if step < kk {
+                let bit = kk - 1 - step;
+                for slot in 0..q {
+                    let delta = da[slot] - db[slot];
+                    if delta & (1 << bit) != 0 {
+                        da[slot] -= 1 << bit;
+                        ctx.push(
+                            owner(n, v, qa[slot] as usize),
+                            [REQ, qa[slot], slot as u64, bit as u64],
+                        );
+                    }
+                }
+                return Status::Continue;
+            }
+            // r == lift_end falls through into the joint phase below.
+        }
+
+        // --- Phase 2c: joint descent ----------------------------------
+        if r >= sched.lift_end && r <= sched.joint_end {
+            if r > sched.lift_end {
+                // corr = 2·slot + side
+                let mut pending: std::collections::BTreeMap<usize, [u64; 2]> =
+                    std::collections::BTreeMap::new();
+                for &(corr, anc, _) in &apply {
+                    pending.entry(corr as usize / 2).or_insert([u64::MAX; 2])
+                        [corr as usize % 2] = anc;
+                }
+                for (slot, [na, nb]) in pending {
+                    debug_assert!(na != u64::MAX && nb != u64::MAX);
+                    if na != nb {
+                        qa[slot] = na;
+                        qb[slot] = nb;
+                    }
+                }
+            }
+            let step = (r - sched.lift_end) / 2;
+            if step < kk {
+                let bit = kk - 1 - step;
+                for slot in 0..q {
+                    if qa[slot] != qb[slot] {
+                        ctx.push(
+                            owner(n, v, qa[slot] as usize),
+                            [REQ, qa[slot], 2 * slot as u64, bit as u64],
+                        );
+                        ctx.push(
+                            owner(n, v, qb[slot] as usize),
+                            [REQ, qb[slot], 2 * slot as u64 + 1, bit as u64],
+                        );
+                    }
+                }
+                return Status::Continue;
+            }
+            // r == joint_end: final parent hop for unresolved queries.
+            for slot in 0..q {
+                if qa[slot] != qb[slot] {
+                    ctx.push(owner(n, v, qa[slot] as usize), [REQ, qa[slot], slot as u64, 0]);
+                }
+            }
+            return Status::Continue;
+        }
+
+        // --- Phase 2d: collect answers --------------------------------
+        debug_assert_eq!(r, sched.total);
+        for &(corr, anc, _) in &apply {
+            qa[corr as usize] = anc;
+            qb[corr as usize] = anc;
+        }
+        Status::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_tree_parents};
+    use cgmio_graph::LcaTable;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn init(parent: &[u64], queries: &[(u64, u64)], v: usize) -> Vec<LcaState> {
+        let n = parent.len() as u64;
+        block_split(parent.to_vec(), v)
+            .into_iter()
+            .zip(block_split(queries.to_vec(), v))
+            .map(|(pb, qb)| {
+                (
+                    (n, pb, Vec::new()),
+                    (Vec::new(), qb),
+                    (Vec::new(), Vec::new(), (Vec::new(), Vec::new())),
+                )
+            })
+            .collect()
+    }
+
+    fn answers(fin: &[LcaState]) -> Vec<u64> {
+        fin.iter().flat_map(|(_, _, (qa, _, _))| qa.iter().copied()).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_random_trees() {
+        for (n, v, seed) in [(100usize, 6usize, 1u64), (250, 8, 2), (33, 3, 9)] {
+            let parent = random_tree_parents(n, seed);
+            let table = LcaTable::new(&parent);
+            let mut rng = StdRng::seed_from_u64(seed + 7);
+            let queries: Vec<(u64, u64)> = (0..150)
+                .map(|_| (rng.gen_range(0..n as u64), rng.gen_range(0..n as u64)))
+                .collect();
+            let want: Vec<u64> = queries.iter().map(|&(a, b)| table.lca(a, b)).collect();
+            let (fin, _) =
+                DirectRunner::default().run(&CgmBatchedLca, init(&parent, &queries, v)).unwrap();
+            assert_eq!(answers(&fin), want, "n={n} seed={seed}");
+        }
+    }
+
+    #[test]
+    fn identity_and_ancestor_queries() {
+        let parent = vec![0, 0, 1, 2, 2]; // path 0-1-2 with children 3,4 on 2
+        let queries = vec![(3, 3), (3, 4), (0, 4), (1, 3), (4, 1)];
+        let (fin, _) =
+            DirectRunner::default().run(&CgmBatchedLca, init(&parent, &queries, 3)).unwrap();
+        assert_eq!(answers(&fin), vec![3, 2, 0, 1, 1]);
+    }
+
+    #[test]
+    fn path_tree_queries() {
+        let n = 64u64;
+        let parent: Vec<u64> = (0..n).map(|i| i.saturating_sub(1)).collect();
+        let queries = vec![(63, 0), (63, 32), (10, 20), (5, 5)];
+        let (fin, _) =
+            DirectRunner::default().run(&CgmBatchedLca, init(&parent, &queries, 4)).unwrap();
+        assert_eq!(answers(&fin), vec![0, 32, 10, 5]);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let parent = random_tree_parents(120, 3);
+        let table = LcaTable::new(&parent);
+        let queries: Vec<(u64, u64)> =
+            (0..60).map(|i| ((i * 7) % 120, (i * 13 + 5) % 120)).collect();
+        let want: Vec<u64> = queries.iter().map(|&(a, b)| table.lca(a, b)).collect();
+        let (fin, _) =
+            ThreadedRunner::new(4).run(&CgmBatchedLca, init(&parent, &queries, 6)).unwrap();
+        assert_eq!(answers(&fin), want);
+    }
+
+    #[test]
+    fn no_queries_still_terminates() {
+        let parent = random_tree_parents(40, 5);
+        let (fin, _) = DirectRunner::default().run(&CgmBatchedLca, init(&parent, &[], 4)).unwrap();
+        assert!(answers(&fin).is_empty());
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let (fin, _) =
+            DirectRunner::default().run(&CgmBatchedLca, init(&[0], &[(0, 0), (0, 0)], 1)).unwrap();
+        assert_eq!(answers(&fin), vec![0, 0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! CGM list ranking by pointer jumping (Figure 5 Group C row 1).
+//!
+//! Nodes of a linked list (successor array, tail self-looped) are
+//! block-distributed. The tail's id is broadcast first; thereafter
+//! `⌈log₂ n⌉` jump iterations of two rounds each (request / reply) give
+//! every node its distance to the tail.
+//!
+//! The tail broadcast is what keeps every round a genuine `O(N/v)`
+//! h-relation: a node whose pointer has reached the tail stops
+//! requesting (its rank is final), and any *other* node is the
+//! `2^k`-successor of at most one node, so no processor ever receives
+//! more than one request per owned node per round.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+
+use super::{jump_iters, owner};
+use cgmio_data::block_split_ranges;
+
+/// State: `(meta = [n, tail], succ_block, rank_block)`. On completion
+/// `rank[x]` is the distance from `x` to the tail (tail = 0).
+pub type ListRankState = (Vec<u64>, Vec<u64>, Vec<u64>);
+
+/// The pointer-jumping list ranker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmListRank;
+
+impl CgmProgram for CgmListRank {
+    /// Round 0: `(tail_id, 0, 0)` broadcast.
+    /// Odd rounds: `(target_node, asker, 0)` requests.
+    /// Even rounds ≥ 2: `(asker, rank_of_target, succ_of_target)` replies.
+    type Msg = (u64, u64, u64);
+    type State = ListRankState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, (u64, u64, u64)>, state: &mut ListRankState) -> Status {
+        let v = ctx.v;
+        let n = state.0[0] as usize;
+        let my_range = block_split_ranges(n, v, ctx.pid);
+        let iters = jump_iters(n);
+
+        if ctx.round == 0 {
+            // Initialise ranks and broadcast the tail id.
+            state.2 = state
+                .1
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| u64::from(s != (my_range.start + i) as u64))
+                .collect();
+            for (i, &s) in state.1.iter().enumerate() {
+                let g = (my_range.start + i) as u64;
+                if s == g {
+                    for dst in 0..v {
+                        ctx.push(dst, (g, 0, 0));
+                    }
+                }
+            }
+            return Status::Continue;
+        }
+
+        if ctx.round % 2 == 0 {
+            // Reply phase: answer with current (rank, succ).
+            let mut replies: Vec<(usize, (u64, u64, u64))> = Vec::new();
+            for (_src, items) in ctx.incoming.iter() {
+                for &(node, asker, _) in items {
+                    let li = node as usize - my_range.start;
+                    replies
+                        .push((owner(n, v, asker as usize), (asker, state.2[li], state.1[li])));
+                }
+            }
+            for (dst, msg) in replies {
+                ctx.push(dst, msg);
+            }
+            return Status::Continue;
+        }
+
+        // Odd round 2k+1: apply replies (k > 0) / record tail (k = 0),
+        // then send the next wave of requests.
+        let k = ctx.round / 2;
+        if k == 0 {
+            let tail = ctx
+                .incoming
+                .iter()
+                .flat_map(|(_, items)| items.iter())
+                .map(|&(t, _, _)| t)
+                .next()
+                .expect("list must have a tail");
+            if state.0.len() < 2 {
+                state.0.push(tail);
+            } else {
+                state.0[1] = tail;
+            }
+        } else {
+            for (_src, items) in ctx.incoming.iter() {
+                for &(asker, add, new_succ) in items {
+                    let li = asker as usize - my_range.start;
+                    state.2[li] += add;
+                    state.1[li] = new_succ;
+                }
+            }
+        }
+        if k == iters {
+            return Status::Done;
+        }
+        let tail = state.0[1];
+        for (i, &s) in state.1.iter().enumerate() {
+            let g = (my_range.start + i) as u64;
+            if s != g && s != tail {
+                ctx.push(owner(n, v, s as usize), (s, g, 0));
+            }
+        }
+        Status::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, random_list};
+    use cgmio_graph::list_ranks;
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init(succ: &[u64], v: usize) -> Vec<ListRankState> {
+        block_split(succ.to_vec(), v)
+            .into_iter()
+            .map(|b| (vec![succ.len() as u64], b, Vec::new()))
+            .collect()
+    }
+
+    fn collect_ranks(fin: &[ListRankState]) -> Vec<u64> {
+        fin.iter().flat_map(|(_, _, r)| r.iter().copied()).collect()
+    }
+
+    #[test]
+    fn ranks_random_lists() {
+        for (n, v, seed) in [(500, 8, 1u64), (1000, 7, 2), (64, 4, 3)] {
+            let (succ, _) = random_list(n, seed);
+            let want = list_ranks(&succ);
+            let (fin, costs) = DirectRunner::default().run(&CgmListRank, init(&succ, v)).unwrap();
+            assert_eq!(collect_ranks(&fin), want, "n={n} v={v}");
+            assert!(costs.lambda() <= 2 * jump_iters(n) + 2);
+        }
+    }
+
+    #[test]
+    fn all_succ_point_to_tail_after_run() {
+        let (succ, _) = random_list(300, 9);
+        let tail = (0..300).find(|&x| succ[x] == x as u64).unwrap() as u64;
+        let (fin, _) = DirectRunner::default().run(&CgmListRank, init(&succ, 6)).unwrap();
+        for (_, s, _) in &fin {
+            assert!(s.iter().all(|&x| x == tail));
+        }
+    }
+
+    #[test]
+    fn tiny_lists() {
+        let (fin, _) = DirectRunner::default().run(&CgmListRank, init(&[0], 1)).unwrap();
+        assert_eq!(collect_ranks(&fin), vec![0]);
+        // two nodes: 1 -> 0(tail)
+        let (fin, _) = DirectRunner::default().run(&CgmListRank, init(&[0, 0], 2)).unwrap();
+        assert_eq!(collect_ranks(&fin), vec![0, 1]);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let (succ, _) = random_list(400, 4);
+        let want = list_ranks(&succ);
+        let (fin, _) = ThreadedRunner::new(4).run(&CgmListRank, init(&succ, 8)).unwrap();
+        assert_eq!(collect_ranks(&fin), want);
+    }
+
+    #[test]
+    fn h_relation_is_bounded_by_block_size() {
+        // The tail-broadcast optimisation keeps every round an
+        // O(n/v)-relation: requests to any non-tail node are unique.
+        let (succ, _) = random_list(800, 7);
+        let v = 8;
+        let (_, costs) = DirectRunner::default().run(&CgmListRank, init(&succ, v)).unwrap();
+        assert!(
+            costs.max_h() <= 800usize.div_ceil(v) + v + 2,
+            "h = {} exceeds the coarse-grained bound",
+            costs.max_h()
+        );
+    }
+}

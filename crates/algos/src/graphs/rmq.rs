@@ -1,0 +1,226 @@
+//! Distributed range-min/max over an indexed value array — the CGM
+//! doubling sparse table used for the subtree aggregates of
+//! Tarjan–Vishkin biconnectivity (low/high/cover values are range
+//! queries over preorder space).
+//!
+//! Values `(index, val)` arrive in arbitrary distribution; they are
+//! routed to their index-block owner, a doubling table
+//! `st[k][i] = agg(values[i .. i+2^k])` is built in `2⌈log₂ n⌉`
+//! request/reply rounds, and each query `[l, r)` is answered with the
+//! classic two overlapping power-of-two windows.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+
+use super::{jump_iters, owner};
+use cgmio_data::block_split_ranges;
+
+/// Messages `[tag, a, b, c, d]`.
+type Msg = [u64; 5];
+
+const ROUTE: u64 = 0; // [_, index, val, 0, 0]
+const REQ: u64 = 1; // [_, index, corr, level, 0]
+const RPL: u64 = 2; // [_, corr, min, max, 0]
+const QRY: u64 = 3; // same frame as REQ but answered from level `level`
+const ANS: u64 = 4; // [_, qid, min, max, side]
+
+/// State: `((n, values_in as (idx, val), queries as (qid, l, r)),
+/// (st_min, st_max), answers as (qid, min, max))`.
+pub type RmqState = (
+    (u64, Vec<(u64, u64)>, Vec<[u64; 3]>),
+    (Vec<u64>, Vec<u64>),
+    Vec<[u64; 3]>,
+);
+
+/// The distributed range-min/max program. Missing indices behave as
+/// neutral elements (`u64::MAX` for min, `0` for max).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmRangeMinMax;
+
+fn query_round(n: usize) -> usize {
+    // 0: route; 2k+1 (k = 0..kk−1): install level k, request level k+1;
+    // 2k+2: replies; 2·kk+1: install level kk and issue queries;
+    // 2·kk+2: query replies; 2·kk+3: fold → Done.
+    2 * jump_iters(n) + 1
+}
+
+impl CgmProgram for CgmRangeMinMax {
+    type Msg = Msg;
+    type State = RmqState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Msg>, state: &mut RmqState) -> Status {
+        let v = ctx.v;
+        let n = state.0 .0 as usize;
+        let my_range = block_split_ranges(n, v, ctx.pid);
+        let nl = my_range.len();
+        let kk = jump_iters(n);
+        let qr = query_round(n);
+
+        if ctx.round == 0 {
+            for &(idx, val) in &state.0 .1 {
+                ctx.push(owner(n, v, idx as usize), [ROUTE, idx, val, 0, 0]);
+            }
+            state.0 .1.clear();
+            return Status::Continue;
+        }
+
+        // Even rounds answer table lookups (REQ during the build, QRY
+        // right after the query round).
+        if ctx.round % 2 == 0 {
+            let mut replies: Vec<(usize, Msg)> = Vec::new();
+            for (src, items) in ctx.incoming.iter() {
+                for &[tag, index, corr, level, _] in items {
+                    debug_assert!(tag == REQ || tag == QRY);
+                    let li = index as usize - my_range.start;
+                    let off = level as usize * nl + li;
+                    let (mn, mx) = (state.1 .0[off], state.1 .1[off]);
+                    let rtag = if tag == REQ { RPL } else { ANS };
+                    replies.push((src, [rtag, corr, mn, mx, 0]));
+                }
+            }
+            for (dst, msg) in replies {
+                ctx.push(dst, msg);
+            }
+            return Status::Continue;
+        }
+
+        // Odd round 2k+1: install level k, then request level k+1 (or
+        // issue queries when the table is complete).
+        if ctx.round <= qr {
+            let k = ctx.round / 2;
+            if k == 0 {
+                state.1 .0 = vec![u64::MAX; (kk + 1) * nl.max(1)];
+                state.1 .1 = vec![0u64; (kk + 1) * nl.max(1)];
+                for (_src, items) in ctx.incoming.iter() {
+                    for &[tag, idx, val, _, _] in items {
+                        debug_assert_eq!(tag, ROUTE);
+                        let li = idx as usize - my_range.start;
+                        state.1 .0[li] = state.1 .0[li].min(val);
+                        state.1 .1[li] = state.1 .1[li].max(val);
+                    }
+                }
+            } else {
+                // replies carry st[k−1][i + 2^(k−1)]
+                for (_src, items) in ctx.incoming.iter() {
+                    for &[tag, corr, mn, mx, _] in items {
+                        debug_assert_eq!(tag, RPL);
+                        let li = corr as usize;
+                        let prev = (k - 1) * nl + li;
+                        state.1 .0[k * nl + li] = state.1 .0[prev].min(mn);
+                        state.1 .1[k * nl + li] = state.1 .1[prev].max(mx);
+                    }
+                }
+            }
+            if ctx.round < qr {
+                // build level k+1: fetch st[k][i + 2^k]
+                for li in 0..nl {
+                    let i = my_range.start + li;
+                    let j = i + (1usize << k);
+                    if j < n {
+                        ctx.push(owner(n, v, j), [REQ, j as u64, li as u64, k as u64, 0]);
+                    } else {
+                        state.1 .0[(k + 1) * nl + li] = state.1 .0[k * nl + li];
+                        state.1 .1[(k + 1) * nl + li] = state.1 .1[k * nl + li];
+                    }
+                }
+            } else {
+                // table complete: issue the two window lookups per query
+                state.2 = state.0 .2.iter().map(|q| [q[0], u64::MAX, 0]).collect();
+                for (slot, q) in state.0 .2.iter().enumerate() {
+                    let (l, r) = (q[1] as usize, q[2] as usize);
+                    if l >= r {
+                        continue; // empty range: neutral answer
+                    }
+                    let span = r - l;
+                    let k = ((usize::BITS - 1 - span.leading_zeros()) as usize).min(kk);
+                    let a = l;
+                    let b = r - (1 << k);
+                    ctx.push(owner(n, v, a), [QRY, a as u64, 2 * slot as u64, k as u64, 0]);
+                    if b != a {
+                        ctx.push(owner(n, v, b), [QRY, b as u64, 2 * slot as u64 + 1, k as u64, 0]);
+                    }
+                }
+            }
+            return Status::Continue;
+        }
+
+        // final round qr + 2: fold the window answers
+        debug_assert_eq!(ctx.round, qr + 2);
+        for (_src, items) in ctx.incoming.iter() {
+            for &[tag, corr, mn, mx, _] in items {
+                debug_assert_eq!(tag, ANS);
+                let slot = corr as usize / 2;
+                state.2[slot][1] = state.2[slot][1].min(mn);
+                state.2[slot][2] = state.2[slot][2].max(mx);
+            }
+        }
+        Status::Done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::block_split;
+    use cgmio_model::DirectRunner;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run(
+        n: usize,
+        vals: &[(u64, u64)],
+        queries: &[[u64; 3]],
+        v: usize,
+    ) -> Vec<[u64; 3]> {
+        let states: Vec<RmqState> = block_split(vals.to_vec(), v)
+            .into_iter()
+            .zip(block_split(queries.to_vec(), v))
+            .map(|(vb, qb)| ((n as u64, vb, qb), (Vec::new(), Vec::new()), Vec::new()))
+            .collect();
+        let (fin, _) = DirectRunner::default().run(&CgmRangeMinMax, states).unwrap();
+        let mut out: Vec<[u64; 3]> = fin.into_iter().flat_map(|(_, _, a)| a).collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_arrays() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, v) in &[(50usize, 4usize), (200, 7), (33, 3)] {
+            let arr: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let vals: Vec<(u64, u64)> =
+                arr.iter().enumerate().map(|(i, &x)| (i as u64, x)).collect();
+            let queries: Vec<[u64; 3]> = (0..60u64)
+                .map(|qid| {
+                    let l = rng.gen_range(0..n as u64);
+                    let r = rng.gen_range(l..=n as u64);
+                    [qid, l, r]
+                })
+                .collect();
+            let got = run(n, &vals, &queries, v);
+            for q in &queries {
+                let (qid, l, r) = (q[0], q[1] as usize, q[2] as usize);
+                let want_min = arr[l..r].iter().copied().min().unwrap_or(u64::MAX);
+                let want_max = arr[l..r].iter().copied().max().unwrap_or(0);
+                let row = got.iter().find(|a| a[0] == qid).unwrap();
+                assert_eq!(row[1], want_min, "n={n} q={q:?}");
+                assert_eq!(row[2], want_max, "n={n} q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_values_use_neutral_elements() {
+        // only index 3 has a value
+        let got = run(8, &[(3, 42)], &[[0, 0, 8], [1, 4, 8], [2, 3, 4]], 3);
+        assert_eq!(got[0], [0, 42, 42]);
+        assert_eq!(got[1], [1, u64::MAX, 0]);
+        assert_eq!(got[2], [2, 42, 42]);
+    }
+
+    #[test]
+    fn empty_ranges_and_tiny_n() {
+        let got = run(1, &[(0, 5)], &[[0, 0, 0], [1, 0, 1]], 1);
+        assert_eq!(got[0], [0, u64::MAX, 0]);
+        assert_eq!(got[1], [1, 5, 5]);
+    }
+}

@@ -1,0 +1,149 @@
+//! *CGMTranspose* — matrix transpose as a single h-relation (`λ = 1`),
+//! analogous to [`crate::permute::CgmPermute`] but with the destination
+//! computed from the matrix shape rather than carried as data
+//! (paper Section 3.1, Group A row 3).
+//!
+//! A `k × ℓ` matrix stored row-major is block-distributed over the `v`
+//! processors; element at global position `g = r·ℓ + c` moves to
+//! position `c·k + r` of the transposed (ℓ × k, row-major) matrix.
+
+use cgmio_model::{CgmProgram, RoundCtx, Status};
+
+use cgmio_data::block_split_ranges;
+
+/// State: `(local_elements, rows_k, cols_l)`; after the run the local
+/// block of the transposed matrix.
+pub type TransposeState = (Vec<u64>, u64, u64);
+
+/// The CGM matrix-transpose program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CgmTranspose;
+
+fn owner(n: usize, v: usize, g: usize) -> usize {
+    let base = n / v;
+    let extra = n % v;
+    let boundary = extra * (base + 1);
+    if g < boundary {
+        g / (base + 1)
+    } else {
+        extra + (g - boundary) / base.max(1)
+    }
+}
+
+impl CgmProgram for CgmTranspose {
+    type Msg = (u64, u64);
+    type State = TransposeState;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, (u64, u64)>, state: &mut TransposeState) -> Status {
+        let v = ctx.v;
+        let (k, l) = (state.1, state.2);
+        let n = (k * l) as usize;
+        match ctx.round {
+            0 => {
+                let my_range = block_split_ranges(n, v, ctx.pid);
+                for (off, &val) in state.0.iter().enumerate() {
+                    let g = (my_range.start + off) as u64;
+                    let (r, c) = (g / l, g % l);
+                    let g2 = c * k + r;
+                    ctx.push(owner(n, v, g2 as usize), (g2, val));
+                }
+                state.0.clear();
+                Status::Continue
+            }
+            _ => {
+                let my_range = block_split_ranges(n, v, ctx.pid);
+                let mut out = vec![0u64; my_range.len()];
+                for (_src, items) in ctx.incoming.iter() {
+                    for &(g2, val) in items {
+                        out[g2 as usize - my_range.start] = val;
+                    }
+                }
+                state.0 = out;
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(2)
+    }
+}
+
+/// Sequential reference transpose (row-major `k × ℓ` → row-major
+/// `ℓ × k`).
+pub fn transpose_reference(m: &[u64], k: usize, l: usize) -> Vec<u64> {
+    assert_eq!(m.len(), k * l);
+    let mut out = vec![0u64; k * l];
+    for r in 0..k {
+        for c in 0..l {
+            out[c * k + r] = m[r * l + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{block_split, uniform_u64};
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    fn init(m: &[u64], k: u64, l: u64, v: usize) -> Vec<TransposeState> {
+        block_split(m.to_vec(), v).into_iter().map(|b| (b, k, l)).collect()
+    }
+
+    fn check(fin: &[TransposeState], m: &[u64], k: usize, l: usize) {
+        let flat: Vec<u64> = fin.iter().flat_map(|(b, _, _)| b.iter().copied()).collect();
+        assert_eq!(flat, transpose_reference(m, k, l));
+    }
+
+    #[test]
+    fn transposes_rectangular() {
+        let (k, l) = (37, 53);
+        let m = uniform_u64(k * l, 1);
+        let v = 6;
+        let (fin, costs) =
+            DirectRunner::default().run(&CgmTranspose, init(&m, k as u64, l as u64, v)).unwrap();
+        check(&fin, &m, k, l);
+        assert_eq!(costs.lambda(), 1);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let (k, l) = (16, 24);
+        let m = uniform_u64(k * l, 9);
+        let v = 4;
+        let (fin, _) =
+            DirectRunner::default().run(&CgmTranspose, init(&m, k as u64, l as u64, v)).unwrap();
+        let t: Vec<u64> = fin.iter().flat_map(|(b, _, _)| b.iter().copied()).collect();
+        let (fin2, _) =
+            DirectRunner::default().run(&CgmTranspose, init(&t, l as u64, k as u64, v)).unwrap();
+        let tt: Vec<u64> = fin2.iter().flat_map(|(b, _, _)| b.iter().copied()).collect();
+        assert_eq!(tt, m);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let v = 3;
+        // row vector
+        let m: Vec<u64> = (0..7).collect();
+        let (fin, _) = DirectRunner::default().run(&CgmTranspose, init(&m, 1, 7, v)).unwrap();
+        check(&fin, &m, 1, 7);
+        // column vector
+        let (fin, _) = DirectRunner::default().run(&CgmTranspose, init(&m, 7, 1, v)).unwrap();
+        check(&fin, &m, 7, 1);
+        // 1x1
+        let (fin, _) = DirectRunner::default().run(&CgmTranspose, init(&[5], 1, 1, 1)).unwrap();
+        check(&fin, &[5], 1, 1);
+    }
+
+    #[test]
+    fn works_on_threads() {
+        let (k, l) = (40, 25);
+        let m = uniform_u64(k * l, 4);
+        let v = 8;
+        let (fin, _) =
+            ThreadedRunner::new(4).run(&CgmTranspose, init(&m, k as u64, l as u64, v)).unwrap();
+        check(&fin, &m, k, l);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cgmio-baselines — classical PDM algorithms for comparison
+//!
+//! The paper's Figure 5 compares its simulated EM-CGM algorithms against
+//! the classical single-machine external-memory algorithms; its Figure 3
+//! compares against a CGM program left to the operating system's virtual
+//! memory. This crate implements those baselines:
+//!
+//! * [`external_merge_sort`] — the textbook `Θ((N/DB)·log_{M/B}(N/B))`
+//!   multiway merge sort over a [`cgmio_pdm::DiskArray`], with exact
+//!   I/O accounting;
+//! * [`naive_permutation`] — the direct one-item-at-a-time permutation
+//!   (the `Θ(N)` side of the PDM permutation bound);
+//! * [`sort_based_permutation`] / [`sort_based_transpose`] — the
+//!   sort-reduction side of the bound;
+//! * [`paged`] — mergesort over an LRU-paged store standing in for the
+//!   "CGM algorithm using virtual memory" baseline of Figure 3.
+
+#![warn(missing_docs)]
+
+pub mod mergesort;
+pub mod paged;
+pub mod permute;
+
+pub use mergesort::{external_merge_sort, ExternalSortReport};
+pub use paged::{paged_merge_sort, PagedSortReport};
+pub use permute::{naive_permutation, sort_based_permutation, sort_based_transpose};

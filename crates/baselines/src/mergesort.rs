@@ -1,0 +1,296 @@
+//! External multiway merge sort on the Parallel Disk Model — the
+//! classical `Θ((N/DB)·log_{M/B}(N/B))` algorithm the paper's Group A
+//! rows are compared against.
+//!
+//! Run formation reads memory-sized chunks with fully parallel striped
+//! I/O; each merge pass merges up to `M/B − 1` runs with one block
+//! buffer per run, batching buffer refills into parallel operations
+//! whenever the needed blocks fall on distinct disks.
+
+use cgmio_pdm::{DiskArray, DiskGeometry, IoRequest, IoStats, Item, Layout};
+
+/// Outcome of an external sort.
+#[derive(Debug, Clone)]
+pub struct ExternalSortReport {
+    /// Exact I/O counters.
+    pub io: IoStats,
+    /// Number of merge passes performed (0 when one run sufficed).
+    pub merge_passes: usize,
+    /// Number of initial runs.
+    pub initial_runs: usize,
+    /// The predicted pass count `⌈log_{M/B}(N/M)⌉` for reference.
+    pub predicted_passes: usize,
+}
+
+fn items_per_block<K: Item>(geom: DiskGeometry) -> usize {
+    (geom.block_bytes / K::SIZE).max(1)
+}
+
+/// Write `items` as consecutive blocks starting at `base_track`,
+/// fully parallel.
+fn write_stream<K: Item>(
+    disks: &mut DiskArray,
+    base_track: u64,
+    start_block: u64,
+    items: &[K],
+) -> u64 {
+    let geom = disks.geometry();
+    let per = items_per_block::<K>(geom);
+    let layout = Layout { num_disks: geom.num_disks, base_track };
+    let queue: Vec<IoRequest> = items
+        .chunks(per)
+        .enumerate()
+        .map(|(q, chunk)| IoRequest {
+            addr: layout.addr(start_block + q as u64),
+            data: K::encode_slice(chunk),
+        })
+        .collect();
+    disks.write_fifo(&queue).expect("baseline write");
+    items.len().div_ceil(per) as u64
+}
+
+/// Read `n_items` from consecutive blocks at `base_track`/`start_block`.
+fn read_stream<K: Item>(
+    disks: &mut DiskArray,
+    base_track: u64,
+    start_block: u64,
+    n_items: usize,
+) -> Vec<K> {
+    let geom = disks.geometry();
+    let per = items_per_block::<K>(geom);
+    let layout = Layout { num_disks: geom.num_disks, base_track };
+    let nblocks = n_items.div_ceil(per);
+    let blocks = disks
+        .read_fifo((0..nblocks as u64).map(|q| layout.addr(start_block + q)))
+        .expect("baseline read");
+    let mut bytes = Vec::with_capacity(nblocks * geom.block_bytes);
+    for b in blocks {
+        bytes.extend_from_slice(&b);
+    }
+    K::decode_slice(&bytes, n_items)
+}
+
+/// Sort `input` externally with memory for `mem_items` items. Returns
+/// the sorted data and the I/O report; the disks end up holding the
+/// sorted stream (region A or B depending on pass parity).
+pub fn external_merge_sort<K: Item + Ord>(
+    geom: DiskGeometry,
+    mem_items: usize,
+    input: &[K],
+) -> (Vec<K>, ExternalSortReport) {
+    assert!(mem_items >= 2 * items_per_block::<K>(geom), "memory must hold at least two blocks");
+    if input.is_empty() {
+        return (
+            Vec::new(),
+            ExternalSortReport {
+                io: IoStats::new(geom.num_disks),
+                merge_passes: 0,
+                initial_runs: 0,
+                predicted_passes: 0,
+            },
+        );
+    }
+    let mut disks = DiskArray::new(geom);
+    let per = items_per_block::<K>(geom);
+    let n = input.len();
+    let total_blocks = (n.div_ceil(per) as u64).max(1);
+    // Two ping-pong regions, far enough apart.
+    let region = |which: usize| which as u64 * (total_blocks.div_ceil(geom.num_disks as u64) + 2);
+
+    // Run formation.
+    let mut runs: Vec<(u64, usize)> = Vec::new(); // (start block, items)
+    {
+        let mut start_block = 0u64;
+        for chunk in input.chunks(mem_items.max(1)) {
+            let mut buf = chunk.to_vec();
+            buf.sort_unstable();
+            let blocks = write_stream(&mut disks, region(0), start_block, &buf);
+            runs.push((start_block, buf.len()));
+            start_block += blocks;
+        }
+    }
+    let initial_runs = runs.len();
+
+    // Merge passes.
+    let fan_in = (mem_items / per).saturating_sub(1).max(2);
+    let mut pass = 0usize;
+    let mut cur_region = 0usize;
+    while runs.len() > 1 {
+        let mut next_runs: Vec<(u64, usize)> = Vec::new();
+        let mut out_block = 0u64;
+        for group in runs.chunks(fan_in) {
+            let (blocks_used, items) =
+                merge_group::<K>(&mut disks, region(cur_region), region(1 - cur_region), out_block, group);
+            next_runs.push((out_block, items));
+            out_block += blocks_used;
+        }
+        runs = next_runs;
+        cur_region = 1 - cur_region;
+        pass += 1;
+    }
+
+    let (start, items) = runs[0];
+    let sorted = if items == 0 {
+        Vec::new()
+    } else {
+        read_stream::<K>(&mut disks, region(cur_region), start, items)
+    };
+    // exclude the final verification read from the algorithm cost? No —
+    // the paper's sorting cost includes writing/reading the output once;
+    // we keep all counted operations.
+    let mb = mem_items / per;
+    let nb = n.div_ceil(per).max(1);
+    let predicted = if mb <= 1 || nb <= mem_items / per {
+        initial_runs.max(1).ilog2() as usize
+    } else {
+        (initial_runs as f64).log((mb - 1).max(2) as f64).ceil() as usize
+    };
+    let report = ExternalSortReport {
+        io: disks.stats().clone(),
+        merge_passes: pass,
+        initial_runs,
+        predicted_passes: predicted.max(usize::from(initial_runs > 1)),
+    };
+    (sorted, report)
+}
+
+/// Merge one group of runs from `src_region` into `dst_region` at
+/// `out_block`; returns (blocks written, items written).
+fn merge_group<K: Item + Ord>(
+    disks: &mut DiskArray,
+    src_region: u64,
+    dst_region: u64,
+    out_block: u64,
+    group: &[(u64, usize)],
+) -> (u64, usize) {
+    let geom = disks.geometry();
+    let per = items_per_block::<K>(geom);
+    let src_layout = Layout { num_disks: geom.num_disks, base_track: src_region };
+    let dst_layout = Layout { num_disks: geom.num_disks, base_track: dst_region };
+
+    struct RunCursor<K> {
+        next_block: u64,
+        blocks_left: u64,
+        items_left: usize,
+        buf: std::collections::VecDeque<K>,
+    }
+    let mut cursors: Vec<RunCursor<K>> = group
+        .iter()
+        .map(|&(start, items)| RunCursor {
+            next_block: start,
+            blocks_left: items.div_ceil(per) as u64,
+            items_left: items,
+            buf: std::collections::VecDeque::new(),
+        })
+        .collect();
+
+    let total_items: usize = group.iter().map(|&(_, it)| it).sum();
+    let mut out_buf: Vec<K> = Vec::with_capacity(per);
+    let mut written_blocks = 0u64;
+    let mut produced = 0usize;
+
+    while produced < total_items {
+        // Refill every empty, non-exhausted cursor in one batched wave.
+        let need: Vec<usize> = cursors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.buf.is_empty() && c.blocks_left > 0)
+            .map(|(i, _)| i)
+            .collect();
+        if !need.is_empty() {
+            let addrs: Vec<_> = need.iter().map(|&i| src_layout.addr(cursors[i].next_block)).collect();
+            let blocks = disks.read_fifo(addrs.into_iter()).expect("merge read");
+            for (&i, block) in need.iter().zip(blocks) {
+                let c = &mut cursors[i];
+                let take = c.items_left.min(per);
+                c.buf.extend(K::decode_slice(&block, take));
+                c.items_left -= take;
+                c.next_block += 1;
+                c.blocks_left -= 1;
+            }
+        }
+        // Pop the global minimum among cursor fronts.
+        let (best, _) = cursors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.buf.front().map(|k| (i, *k)))
+            .min_by_key(|&(i, k)| (k, i))
+            .expect("some cursor must have data");
+        let k = cursors[best].buf.pop_front().unwrap();
+        out_buf.push(k);
+        produced += 1;
+        if out_buf.len() == per || produced == total_items {
+            let data = K::encode_slice(&out_buf);
+            disks
+                .write_fifo(&[IoRequest {
+                    addr: dst_layout.addr(out_block + written_blocks),
+                    data,
+                }])
+                .expect("merge write");
+            written_blocks += 1;
+            out_buf.clear();
+        }
+    }
+    (written_blocks, total_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{few_distinct_u64, reverse_sorted_u64, uniform_u64};
+
+    fn geom(d: usize, bb: usize) -> DiskGeometry {
+        DiskGeometry::new(d, bb)
+    }
+
+    #[test]
+    fn sorts_correctly() {
+        for (n, mem, d) in [(1000usize, 64usize, 2usize), (5000, 256, 4), (100, 32, 1)] {
+            let keys = uniform_u64(n, n as u64);
+            let (sorted, rep) = external_merge_sort(geom(d, 64), mem, &keys);
+            let mut want = keys.clone();
+            want.sort_unstable();
+            assert_eq!(sorted, want, "n={n} mem={mem}");
+            assert!(rep.io.total_ops() > 0);
+        }
+    }
+
+    #[test]
+    fn adversarial_inputs() {
+        let g = geom(2, 64);
+        for keys in [reverse_sorted_u64(777), few_distinct_u64(500, 2, 1), vec![], vec![42]] {
+            let (sorted, _) = external_merge_sort(g, 64, &keys);
+            let mut want = keys.clone();
+            want.sort_unstable();
+            assert_eq!(sorted, want);
+        }
+    }
+
+    #[test]
+    fn io_grows_with_passes() {
+        // Small memory forces more passes and therefore more I/O per item.
+        let keys = uniform_u64(4096, 7);
+        let (_, small_mem) = external_merge_sort(geom(2, 64), 32, &keys);
+        let (_, big_mem) = external_merge_sort(geom(2, 64), 2048, &keys);
+        assert!(small_mem.merge_passes > big_mem.merge_passes);
+        assert!(small_mem.io.total_ops() > big_mem.io.total_ops());
+    }
+
+    #[test]
+    fn run_formation_is_fully_parallel() {
+        let keys = uniform_u64(1024, 3);
+        let (_, rep) = external_merge_sort(geom(4, 64), 1024, &keys);
+        // single run: one striped write + final read; everything full ops
+        assert_eq!(rep.merge_passes, 0);
+        assert!(rep.io.parallel_efficiency() > 0.9, "eff = {}", rep.io.parallel_efficiency());
+    }
+
+    #[test]
+    fn pass_count_matches_theory_shape() {
+        // N/M runs merged with fan-in M/B-1: passes ≈ log_{M/B}(N/M).
+        let keys = uniform_u64(8192, 9);
+        let (_, rep) = external_merge_sort(geom(1, 64), 128, &keys); // per=8, fan_in=15
+        assert_eq!(rep.initial_runs, 64);
+        assert_eq!(rep.merge_passes, 2); // 64 -> 5 -> 1
+    }
+}

@@ -1,0 +1,127 @@
+//! The "virtual memory" baseline of the paper's Figure 3: the same
+//! sorting work, but performed through an OS-style demand-paged memory
+//! instead of explicit blocked I/O. Every page fault is a single-page,
+//! single-disk transfer — no blocking, no disk parallelism — which is
+//! exactly why this curve leaves the linear regime once the working set
+//! exceeds memory.
+
+use cgmio_pdm::paged::{PagedStore, PageStats};
+use cgmio_pdm::DiskTimingModel;
+
+/// Outcome of a paged sort.
+#[derive(Debug, Clone)]
+pub struct PagedSortReport {
+    /// Paging counters.
+    pub stats: PageStats,
+    /// Page size used (bytes).
+    pub page_bytes: usize,
+}
+
+impl PagedSortReport {
+    /// Modelled wall time: each fault/writeback is one single-disk
+    /// positioning + one page transfer.
+    pub fn io_time_us(&self, model: &DiskTimingModel) -> f64 {
+        self.stats.transfers() as f64 * model.op_time_us(self.page_bytes)
+    }
+}
+
+/// Bottom-up merge sort over a demand-paged array of `u64`s with
+/// `frames` resident pages of `page_bytes`. Returns the sorted keys and
+/// the paging report.
+pub fn paged_merge_sort(keys: &[u64], page_bytes: usize, frames: usize) -> (Vec<u64>, PagedSortReport) {
+    let n = keys.len();
+    let mut store = PagedStore::new(page_bytes, frames);
+    // regions: A at 0, B after n items
+    let offset = |region: usize, i: usize| (region * n + i) as u64 * 8;
+    for (i, &k) in keys.iter().enumerate() {
+        store.write(offset(0, i), &k.to_le_bytes());
+    }
+    // don't charge the input load against the sort: the EM-CGM runs
+    // also receive their input pre-distributed
+    store.reset_stats();
+
+    let mut width = 1usize;
+    let mut cur = 0usize;
+    while width < n {
+        let (src, dst) = (cur, 1 - cur);
+        let mut lo = 0usize;
+        while lo < n {
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            let (mut i, mut j, mut o) = (lo, mid, lo);
+            while i < mid || j < hi {
+                let take_left = if i >= mid {
+                    false
+                } else if j >= hi {
+                    true
+                } else {
+                    store.read_u64(offset(src, i)) <= store.read_u64(offset(src, j))
+                };
+                let v = if take_left {
+                    let v = store.read_u64(offset(src, i));
+                    i += 1;
+                    v
+                } else {
+                    let v = store.read_u64(offset(src, j));
+                    j += 1;
+                    v
+                };
+                store.write_u64(offset(dst, o), v);
+                o += 1;
+            }
+            lo = hi;
+        }
+        cur = 1 - cur;
+        width *= 2;
+    }
+    let out: Vec<u64> = (0..n).map(|i| store.read_u64(offset(cur, i))).collect();
+    (out, PagedSortReport { stats: store.stats().clone(), page_bytes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::uniform_u64;
+
+    #[test]
+    fn sorts_correctly() {
+        for n in [0usize, 1, 2, 100, 1000] {
+            let keys = uniform_u64(n, n as u64 + 1);
+            let (sorted, _) = paged_merge_sort(&keys, 256, 16);
+            let mut want = keys.clone();
+            want.sort_unstable();
+            assert_eq!(sorted, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn no_faults_when_everything_fits() {
+        let keys = uniform_u64(128, 1);
+        // 2 regions * 128 u64 = 2048 bytes = 8 pages of 256
+        let (_, rep) = paged_merge_sort(&keys, 256, 64);
+        assert_eq!(rep.stats.writebacks, 0);
+        // only cold faults for the working set
+        assert!(rep.stats.faults <= 16, "faults = {}", rep.stats.faults);
+    }
+
+    #[test]
+    fn thrashing_when_memory_is_tight() {
+        let keys = uniform_u64(4096, 2);
+        let (_, small) = paged_merge_sort(&keys, 256, 8);
+        let (_, large) = paged_merge_sort(&keys, 256, 1024);
+        assert!(
+            small.stats.transfers() > 10 * large.stats.transfers().max(1),
+            "small = {} large = {}",
+            small.stats.transfers(),
+            large.stats.transfers()
+        );
+    }
+
+    #[test]
+    fn io_time_reflects_page_size() {
+        let keys = uniform_u64(1024, 3);
+        let (_, rep) = paged_merge_sort(&keys, 256, 8);
+        let m = DiskTimingModel::nineties_disk();
+        assert!(rep.io_time_us(&m) > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! Ablations of the paper's two layout/balancing design choices:
+//! staggered vs naive message-matrix layout (Figure 2), and
+//! BalancedRouting vs raw skewed traffic (Lemma 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgmio_bench::{config_for, layout_ablation_ops};
+use cgmio_core::SeqEmRunner;
+use cgmio_model::demo::AllToOne;
+use cgmio_routing::Balanced;
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layout");
+    for (v, d, bpm) in [(16usize, 4usize, 2u64), (32, 8, 2)] {
+        g.bench_with_input(
+            BenchmarkId::new("staggered_vs_naive", format!("v{v}_d{d}_b{bpm}")),
+            &(v, d, bpm),
+            |b, &(v, d, bpm)| b.iter(|| layout_ablation_ops(v, d, bpm)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_balancing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balancing");
+    g.sample_size(10);
+    let v = 8usize;
+    let items = 2048usize;
+    let mk = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+    let plain = AllToOne { items_per_proc: items };
+    let cfg = config_for(&plain, mk(), v, 1, 2, 1024);
+    g.bench_function("unbalanced_em", |b| {
+        b.iter(|| SeqEmRunner::new(cfg.clone()).run(&plain, mk()).unwrap())
+    });
+    let bal = Balanced::new(plain);
+    let bcfg = config_for(&bal, mk(), v, 1, 2, 1024);
+    g.bench_function("balanced_em", |b| {
+        b.iter(|| SeqEmRunner::new(bcfg.clone()).run(&bal, mk()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_layouts, bench_balancing);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Wall-clock comparison of the same CGM sorting program across the
+//! four runners (the paper's portability claim), plus the external
+//! merge-sort baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgmio_algos::CgmSort;
+use cgmio_baselines::external_merge_sort;
+use cgmio_bench::config_for;
+use cgmio_core::{ParEmRunner, SeqEmRunner};
+use cgmio_data::{block_split, uniform_u64};
+use cgmio_model::{DirectRunner, ThreadedRunner};
+use cgmio_pdm::DiskGeometry;
+
+fn bench_sort_runners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_runners");
+    g.sample_size(10);
+    let v = 8usize;
+    for n in [1usize << 14, 1 << 16] {
+        let keys = uniform_u64(n, 42);
+        let mk = || {
+            block_split(keys.clone(), v)
+                .into_iter()
+                .map(|b| (b, Vec::new()))
+                .collect::<Vec<(Vec<u64>, Vec<u64>)>>()
+        };
+        let prog = CgmSort::<u64>::by_pivots();
+
+        g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| DirectRunner::default().run(&prog, mk()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("threaded_p4", n), &n, |b, _| {
+            b.iter(|| ThreadedRunner::new(4).run(&prog, mk()).unwrap())
+        });
+        let cfg = config_for(&prog, mk(), v, 1, 2, 2048);
+        g.bench_with_input(BenchmarkId::new("seq_em_d2", n), &n, |b, _| {
+            b.iter(|| SeqEmRunner::new(cfg.clone()).run(&prog, mk()).unwrap())
+        });
+        let mut pcfg = cfg.clone();
+        pcfg.p = 4;
+        g.bench_with_input(BenchmarkId::new("par_em_p4_d2", n), &n, |b, _| {
+            b.iter(|| ParEmRunner::new(pcfg.clone()).run(&prog, mk()).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("ext_merge_sort", n), &n, |b, _| {
+            b.iter(|| external_merge_sort(DiskGeometry::new(2, 2048), n / v, &keys))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort_runners);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the sequential substrates the CGM programs
+//! delegate their per-slab work to.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cgmio_baselines::paged_merge_sort;
+use cgmio_data::{gnm_edges, random_points, random_segments, random_tree_parents, uniform_u64};
+use cgmio_geom::{convex_hull, lower_envelope, triangulate_points, union_area, KdTree};
+use cgmio_graph::{cc_labels, LcaTable};
+
+fn bench_geom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("geom");
+    g.sample_size(20);
+    let pts = random_points(10_000, 1_000_000, 1);
+    g.bench_function("convex_hull_10k", |b| b.iter(|| convex_hull(&pts)));
+    g.bench_function("triangulate_10k", |b| b.iter(|| triangulate_points(&pts)));
+    g.bench_function("kdtree_build_10k", |b| b.iter(|| KdTree::build(&pts)));
+    let segs: Vec<_> = random_segments(5_000, 100_000, 2)
+        .into_iter()
+        .map(|s| ((s.ax, s.ay), (s.bx, s.by)))
+        .collect();
+    g.bench_function("lower_envelope_5k", |b| b.iter(|| lower_envelope(&segs)));
+    let rects: Vec<_> = cgmio_data::random_rects(5_000, 100_000, 3)
+        .into_iter()
+        .map(|r| (r.x1, r.y1, r.x2, r.y2))
+        .collect();
+    g.bench_function("union_area_5k", |b| b.iter(|| union_area(&rects)));
+    g.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.sample_size(20);
+    let edges = gnm_edges(10_000, 30_000, 4);
+    g.bench_function("cc_labels_10k_30k", |b| b.iter(|| cc_labels(10_000, &edges)));
+    let parent = random_tree_parents(10_000, 5);
+    g.bench_function("lca_table_build_10k", |b| b.iter(|| LcaTable::new(&parent)));
+    g.finish();
+}
+
+fn bench_paging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paging");
+    g.sample_size(10);
+    let keys = uniform_u64(1 << 14, 6);
+    g.bench_function("paged_merge_sort_16k_tight", |b| {
+        b.iter(|| paged_merge_sort(&keys, 4096, 16))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_geom, bench_graph, bench_paging);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `reproduce` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce [all|fig1|fig2|fig3|fig4|fig5a|fig5a-scaling|fig5b|fig5c|
+//!            fig6|fig7|fig8|audit|ablation|cache] [--out DIR]
+//! ```
+//!
+//! Each experiment prints an aligned table and archives a CSV under
+//! `results/` (or `--out DIR`).
+
+use cgmio_bench::experiments as ex;
+use cgmio_bench::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut out_dir = std::path::PathBuf::from("results");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => {
+                out_dir = std::path::PathBuf::from(it.next().expect("--out needs a directory"));
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+
+    let menu: Vec<(&str, fn() -> Table)> = vec![
+        ("fig1", ex::fig1),
+        ("fig2", ex::fig2),
+        ("fig3", ex::fig3),
+        ("fig4", ex::fig4),
+        ("fig5a", ex::fig5a),
+        ("fig5a-scaling", ex::fig5a_scaling),
+        ("fig5b", ex::fig5b),
+        ("fig5c", ex::fig5c),
+        ("fig6", ex::fig6),
+        ("fig7", ex::fig7),
+        ("fig8", ex::fig8),
+        ("audit", ex::audit),
+        ("ablation", ex::ablation_balance),
+        ("cache", ex::cache),
+    ];
+
+    let selected: Vec<&(&str, fn() -> Table)> = if which.iter().any(|w| w == "all") {
+        menu.iter().collect()
+    } else {
+        menu.iter()
+            .filter(|(name, _)| which.iter().any(|w| w == name))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment; available:");
+        for (name, _) in &menu {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    }
+
+    for (name, f) in selected {
+        eprintln!("running {name} ...");
+        let t = f();
+        println!("{}", t.render());
+        match t.save_csv(&out_dir) {
+            Ok(p) => eprintln!("  saved {}", p.display()),
+            Err(e) => eprintln!("  csv save failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,736 @@
+//! One function per paper artefact. See DESIGN.md §4 for the index.
+
+use crate::{
+    disk_model, em_permute_report, em_sort_report, em_transpose_report, layout_ablation_ops,
+    run_seq_em, sweep_sizes, Table,
+};
+
+use cgmio_algos::geometry::{
+    rects::decode_area, CgmAllNearestNeighbors, CgmConvexHull, CgmDominance, CgmIntervalStab,
+    CgmLowerEnvelope, CgmMaxima3d, CgmPointLocation, CgmTriangulate,
+};
+use cgmio_algos::graphs::{
+    contraction::expr_states, CgmBatchedLca, CgmConnectivity, CgmEulerTour, CgmExprEval,
+    CgmListRank,
+};
+use cgmio_algos::CgmSort;
+use cgmio_baselines::{external_merge_sort, naive_permutation, paged_merge_sort, sort_based_permutation};
+use cgmio_core::{measure_requirements, params, EmConfig, SeqEmRunner};
+use cgmio_data as data;
+use cgmio_pdm::DiskGeometry;
+use cgmio_routing::{bin_sizes, theorem1_bounds, Balanced};
+
+/// Figure 1: bin sizes produced by BalancedRouting step 1, against the
+/// Theorem 1 bounds, for a skewed and a random message matrix.
+pub fn fig1() -> Table {
+    let mut t = Table::new(
+        "fig1_balanced_bins",
+        &["case", "v", "total", "min_bin", "max_bin", "thm1_lo", "thm1_hi"],
+    );
+    for v in [8usize, 16, 32] {
+        let cases: Vec<(&str, Vec<usize>)> = vec![
+            ("all_to_one", {
+                let mut l = vec![0; v];
+                l[0] = 64 * v;
+                l
+            }),
+            ("uniform", vec![64; v]),
+            ("ramp", (0..v).map(|j| 8 * j).collect()),
+        ];
+        for (name, lens) in cases {
+            let total: usize = lens.iter().sum();
+            let bins = bin_sizes(0, v, &lens);
+            let b = theorem1_bounds(total, v);
+            t.row(vec![
+                name.into(),
+                v.to_string(),
+                total.to_string(),
+                bins.iter().min().unwrap().to_string(),
+                bins.iter().max().unwrap().to_string(),
+                format!("{:.1}", b.v_times_min as f64 / v as f64),
+                format!("{:.1}", b.v_times_max as f64 / v as f64),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 2: staggered vs naive message-matrix layout — parallel write
+/// operations and the achieved disk parallelism.
+pub fn fig2() -> Table {
+    let mut t = Table::new(
+        "fig2_staggered_layout",
+        &["v", "D", "blocks_per_msg", "staggered_ops", "naive_ops", "speedup"],
+    );
+    for (v, d, bpm) in [(8usize, 4usize, 2u64), (16, 4, 1), (16, 8, 3), (32, 8, 2)] {
+        let (stag, naive) = layout_ablation_ops(v, d, bpm);
+        t.row(vec![
+            v.to_string(),
+            d.to_string(),
+            bpm.to_string(),
+            stag.to_string(),
+            naive.to_string(),
+            format!("{:.2}", naive as f64 / stag as f64),
+        ]);
+    }
+    t
+}
+
+/// Figure 3: sorting wall-time (modelled I/O time) — CGM over demand
+/// paging vs the EM-CGM simulation.
+pub fn fig3() -> Table {
+    let mut t = Table::new(
+        "fig3_sort_vm_vs_em",
+        &["n", "em_ops", "em_ms", "vm_transfers", "vm_ms", "vm_over_em"],
+    );
+    let model = disk_model();
+    let (v, d, bb) = (16usize, 1usize, 4096usize);
+    // VM baseline memory: 64 frames of 4 KiB = 256 KiB — the crossover
+    // happens once the two sort regions exceed this.
+    let (page, frames) = (4096usize, 64usize);
+    for n in sweep_sizes() {
+        let em = em_sort_report(n, v, d, bb);
+        let em_us = em.io_time_us(&model);
+        let keys = data::uniform_u64(n, 42);
+        let (_, vm) = paged_merge_sort(&keys, page, frames);
+        let vm_us = vm.io_time_us(&model);
+        t.row(vec![
+            n.to_string(),
+            em.breakdown.algorithm_ops().to_string(),
+            format!("{:.1}", em_us / 1e3),
+            vm.stats.transfers().to_string(),
+            format!("{:.1}", vm_us / 1e3),
+            format!("{:.2}", vm_us / em_us.max(1e-9)),
+        ]);
+    }
+    t
+}
+
+/// Figure 4: EM-CGM sort with D = 1, 2, 4 disks per processor.
+pub fn fig4() -> Table {
+    let mut t = Table::new(
+        "fig4_sort_multidisk",
+        &["n", "D", "ops", "io_ms", "ops_vs_d1"],
+    );
+    let model = disk_model();
+    let (v, bb) = (16usize, 4096usize);
+    for n in sweep_sizes() {
+        let base_ops = em_sort_report(n, v, 1, bb).breakdown.algorithm_ops();
+        for d in [1usize, 2, 4] {
+            let rep = em_sort_report(n, v, d, bb);
+            t.row(vec![
+                n.to_string(),
+                d.to_string(),
+                rep.breakdown.algorithm_ops().to_string(),
+                format!("{:.1}", rep.io_time_us(&model) / 1e3),
+                format!("{:.2}", rep.breakdown.algorithm_ops() as f64 / base_ops as f64),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 5, Group A: sorting / permutation / transpose — measured EM
+/// I/O against the `O(N/(pDB))` bound and the classical baselines.
+pub fn fig5a() -> Table {
+    let mut t = Table::new(
+        "fig5a_fundamental",
+        &["problem", "n", "em_ops", "ops_per_NDB", "baseline", "baseline_ops", "base_per_NDB"],
+    );
+    let (v, d, bb) = (16usize, 2usize, 2048usize);
+    let per_block = bb / 8;
+    let geom = DiskGeometry::new(d, bb);
+    for n in sweep_sizes() {
+        let ndb = (n as f64) / (d as f64 * per_block as f64);
+        // sorting vs external merge sort (M = 4 blocks per... use N/v items)
+        let em = em_sort_report(n, v, d, bb);
+        let keys = data::uniform_u64(n, 42);
+        let (_, ms) = external_merge_sort(geom, (n / v).max(2 * per_block), &keys);
+        t.row(vec![
+            "sort".into(),
+            n.to_string(),
+            em.breakdown.algorithm_ops().to_string(),
+            format!("{:.2}", em.breakdown.algorithm_ops() as f64 / ndb),
+            "merge_sort".into(),
+            ms.io.total_ops().to_string(),
+            format!("{:.2}", ms.io.total_ops() as f64 / ndb),
+        ]);
+        // permutation vs naive and sort-based
+        let em = em_permute_report(n, v, d, bb);
+        let vals = data::uniform_u64(n, 7);
+        let perm = data::random_permutation(n, 8);
+        let (_, np) = naive_permutation(geom, &vals, &perm);
+        let (_, sp) = sort_based_permutation(geom, (n / v).max(2 * per_block), &vals, &perm);
+        t.row(vec![
+            "permute".into(),
+            n.to_string(),
+            em.breakdown.algorithm_ops().to_string(),
+            format!("{:.2}", em.breakdown.algorithm_ops() as f64 / ndb),
+            "naive".into(),
+            np.total_ops().to_string(),
+            format!("{:.2}", np.total_ops() as f64 / ndb),
+        ]);
+        t.row(vec![
+            "permute".into(),
+            n.to_string(),
+            em.breakdown.algorithm_ops().to_string(),
+            format!("{:.2}", em.breakdown.algorithm_ops() as f64 / ndb),
+            "sort_based".into(),
+            sp.total_ops().to_string(),
+            format!("{:.2}", sp.total_ops() as f64 / ndb),
+        ]);
+        // transpose
+        let k = 1usize << 7;
+        let l = n / k;
+        let em = em_transpose_report(k, l, v, d, bb);
+        t.row(vec![
+            "transpose".into(),
+            n.to_string(),
+            em.breakdown.algorithm_ops().to_string(),
+            format!("{:.2}", em.breakdown.algorithm_ops() as f64 / ndb),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
+    t
+}
+
+/// Figure 5, Group A continued: scalability in `p` — per-processor I/O
+/// of the parallel EM engine.
+pub fn fig5a_scaling() -> Table {
+    let mut t = Table::new(
+        "fig5a_scaling_p",
+        &["n", "p", "ops_per_proc", "vs_p1", "cross_items"],
+    );
+    let (v, d, bb) = (16usize, 2usize, 2048usize);
+    let n = 1 << 16;
+    let keys = data::uniform_u64(n, 42);
+    let mk = || {
+        data::block_split(keys.clone(), v)
+            .into_iter()
+            .map(|b| (b, Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+    let (_, _, req) = measure_requirements(&prog, mk()).unwrap();
+    let mut base = 0.0f64;
+    for p in [1usize, 2, 4, 8] {
+        let cfg = EmConfig::from_requirements(v, p, d, bb, &req);
+        let (_, rep) = cgmio_core::ParEmRunner::new(cfg).run(&prog, mk()).unwrap();
+        let opp = rep.io_ops_per_proc();
+        if p == 1 {
+            base = opp;
+        }
+        t.row(vec![
+            n.to_string(),
+            p.to_string(),
+            format!("{opp:.0}"),
+            format!("{:.2}", opp / base),
+            rep.cross_thread_items.to_string(),
+        ]);
+    }
+    t
+}
+
+fn geometry_row(t: &mut Table, problem: &str, n: usize, rep: &cgmio_core::EmRunReport, d: usize, bb: usize) {
+    let per_block = bb / 16; // points are 16 bytes
+    let ndb = n as f64 / (d as f64 * per_block as f64);
+    let nlogndb = ndb * (n as f64).log2();
+    t.row(vec![
+        problem.into(),
+        n.to_string(),
+        rep.breakdown.algorithm_ops().to_string(),
+        format!("{:.2}", rep.breakdown.algorithm_ops() as f64 / ndb),
+        format!("{:.3}", rep.breakdown.algorithm_ops() as f64 / nlogndb),
+        format!("{:.2}", rep.io.parallel_efficiency()),
+    ]);
+}
+
+/// Figure 5, Group B: geometry/GIS — measured EM I/O per problem with
+/// the `N/DB` and `(N log N)/DB` normalisations of the paper's table.
+pub fn fig5b() -> Table {
+    let mut t = Table::new(
+        "fig5b_geometry",
+        &["problem", "n", "em_ops", "ops_per_NDB", "ops_per_NlogNDB", "parallel_eff"],
+    );
+    let (v, d, bb) = (8usize, 2usize, 2048usize);
+    for n in [1usize << 12, 1 << 14] {
+        // convex hull
+        let pts = data::random_points(n, 1_000_000, 1);
+        let mk = || {
+            data::block_split(pts.clone(), v)
+                .into_iter()
+                .map(|b| (b, Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmConvexHull, mk, v, d, bb);
+        geometry_row(&mut t, "convex_hull", n, &rep, d, bb);
+
+        // 3D maxima
+        let pts3: Vec<(u64, (i64, i64, i64))> = data::uniform_u64(3 * n, 2)
+            .chunks(3)
+            .enumerate()
+            .map(|(i, c)| (i as u64, ((c[0] % 65536) as i64, (c[1] % 65536) as i64, (c[2] % 65536) as i64)))
+            .collect();
+        let mk = || {
+            data::block_split(pts3.clone(), v)
+                .into_iter()
+                .map(|b| (b, Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmMaxima3d, mk, v, d, bb);
+        geometry_row(&mut t, "3d_maxima", n, &rep, d, bb);
+
+        // all nearest neighbours
+        let pts = data::random_points(n, 1_000_000, 3);
+        let idx: Vec<(u64, (i64, i64))> =
+            pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
+        let mk = || {
+            data::block_split(idx.clone(), v)
+                .into_iter()
+                .map(|b| ((b, Vec::new()), Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmAllNearestNeighbors, mk, v, d, bb);
+        geometry_row(&mut t, "all_nn", n, &rep, d, bb);
+
+        // union of rectangles
+        let rects: Vec<[i64; 4]> = data::random_rects(n, 100_000, 4)
+            .into_iter()
+            .map(|r| [r.x1, r.y1, r.x2, r.y2])
+            .collect();
+        let mk = || {
+            data::block_split(rects.clone(), v)
+                .into_iter()
+                .map(|b| (b, Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (fin, rep) = run_seq_em(&CgmUnionAreaWrap, mk, v, d, bb);
+        assert!(decode_area(&fin[0].1) > 0);
+        geometry_row(&mut t, "union_area", n, &rep, d, bb);
+
+        // dominance counting
+        let pts = data::random_points(n, 100_000, 5);
+        let rows: Vec<[i64; 4]> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| [i as i64, x, y, (i % 7) as i64])
+            .collect();
+        let mk = || {
+            data::block_split(rows.clone(), v)
+                .into_iter()
+                .map(|b| ((b, Vec::new(), Vec::new()), (Vec::new(), Vec::new()), Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmDominance, mk, v, d, bb);
+        geometry_row(&mut t, "dominance", n, &rep, d, bb);
+
+        // lower envelope
+        let segs: Vec<(u64, [i64; 4])> = data::random_segments(n, 100_000, 6)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, [s.ax, s.ay, s.bx, s.by]))
+            .collect();
+        let mk = || {
+            data::block_split(segs.clone(), v)
+                .into_iter()
+                .map(|b| (b, Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmLowerEnvelope, mk, v, d, bb);
+        geometry_row(&mut t, "lower_envelope", n, &rep, d, bb);
+
+        // interval stabbing (segment tree + batched 1D point location)
+        let ivs: Vec<[i64; 3]> = data::uniform_u64(2 * n, 7)
+            .chunks(2)
+            .map(|c| {
+                let a = (c[0] % 1_000_000) as i64;
+                [a, a + (c[1] % 10_000) as i64, 1]
+            })
+            .collect();
+        let qs: Vec<(u64, i64)> =
+            (0..n as u64).map(|i| (i, (i as i64 * 37) % 1_000_000)).collect();
+        let mk = || {
+            data::block_split(ivs.clone(), v)
+                .into_iter()
+                .zip(data::block_split(qs.clone(), v))
+                .map(|(ib, qb)| ((ib, qb), Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmIntervalStab, mk, v, d, bb);
+        geometry_row(&mut t, "segment_tree_stab", n, &rep, d, bb);
+
+        // batched planar point location (also = trapezoidation core)
+        let segs: Vec<(u64, [i64; 4])> = data::random_segments(n / 4, 200_000, 8)
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as u64, [s.ax, s.ay, s.bx, s.by]))
+            .collect();
+        let queries: Vec<(u64, i64, i64)> = data::random_points(n, 200_000, 9)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| (i as u64, x, y * 3))
+            .collect();
+        let mk = || {
+            data::block_split(segs.clone(), v)
+                .into_iter()
+                .zip(data::block_split(queries.clone(), v))
+                .map(|(sb, qb)| ((sb, qb), Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmPointLocation, mk, v, d, bb);
+        geometry_row(&mut t, "point_location", n, &rep, d, bb);
+
+        // triangulation
+        let pts = data::random_points(n, 1_000_000, 10);
+        let idx: Vec<(u64, (i64, i64))> =
+            pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
+        let mk = || {
+            data::block_split(idx.clone(), v)
+                .into_iter()
+                .map(|b| ((b, Vec::new()), Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmTriangulate, mk, v, d, bb);
+        geometry_row(&mut t, "triangulation", n, &rep, d, bb);
+    }
+    t
+}
+
+use cgmio_algos::geometry::rects::CgmUnionArea as CgmUnionAreaWrap;
+
+/// Figure 5, Group C: list/tree/graph problems — measured EM I/O with
+/// the `(N log v)/DB` normalisation.
+pub fn fig5c() -> Table {
+    let mut t = Table::new(
+        "fig5c_graphs",
+        &["problem", "n", "em_ops", "lambda", "ops_per_NlogvDB", "parallel_eff"],
+    );
+    let (v, d, bb) = (8usize, 2usize, 2048usize);
+    let per_block = bb / 24; // 3-word messages dominate
+    let logv = (v as f64).log2();
+    let norm = |n: usize, ops: u64| {
+        let ndb = n as f64 / (d as f64 * per_block as f64);
+        ops as f64 / (ndb * logv)
+    };
+    for n in [1usize << 12, 1 << 14] {
+        // list ranking
+        let (succ, _) = data::random_list(n, 1);
+        let mk = || {
+            data::block_split(succ.clone(), v)
+                .into_iter()
+                .map(|b| (vec![n as u64], b, Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmListRank, mk, v, d, bb);
+        t.row(vec![
+            "list_ranking".into(),
+            n.to_string(),
+            rep.breakdown.algorithm_ops().to_string(),
+            rep.costs.lambda().to_string(),
+            format!("{:.2}", norm(n, rep.breakdown.algorithm_ops())),
+            format!("{:.2}", rep.io.parallel_efficiency()),
+        ]);
+
+        // Euler tour (depths + tour positions)
+        let parent = data::random_tree_parents(n, 2);
+        let mk = || {
+            data::block_split(parent.clone(), v)
+                .into_iter()
+                .map(|b| ((vec![n as u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new())))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmEulerTour, mk, v, d, bb);
+        t.row(vec![
+            "euler_tour".into(),
+            n.to_string(),
+            rep.breakdown.algorithm_ops().to_string(),
+            rep.costs.lambda().to_string(),
+            format!("{:.2}", norm(n, rep.breakdown.algorithm_ops())),
+            format!("{:.2}", rep.io.parallel_efficiency()),
+        ]);
+
+        // connected components + spanning forest
+        let edges = data::gnm_edges(n, 2 * n, 3);
+        let mk = || {
+            let vb = data::block_split((0..n as u64).collect::<Vec<_>>(), v);
+            let eb = data::block_split(edges.clone(), v);
+            vb.into_iter()
+                .zip(eb)
+                .map(|(vv, ee)| ((n as u64, vv, Vec::new()), (edges.len() as u64, ee, Vec::new())))
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmConnectivity, mk, v, d, bb);
+        t.row(vec![
+            "connected_comp".into(),
+            n.to_string(),
+            rep.breakdown.algorithm_ops().to_string(),
+            rep.costs.lambda().to_string(),
+            format!("{:.2}", norm(n, rep.breakdown.algorithm_ops())),
+            format!("{:.2}", rep.io.parallel_efficiency()),
+        ]);
+
+        // batched LCA
+        let parent = data::random_tree_parents(n, 4);
+        let queries: Vec<(u64, u64)> =
+            (0..n as u64).map(|i| ((i * 7) % n as u64, (i * 13 + 5) % n as u64)).collect();
+        let mk = || {
+            data::block_split(parent.clone(), v)
+                .into_iter()
+                .zip(data::block_split(queries.clone(), v))
+                .map(|(pb, qb)| {
+                    (
+                        (n as u64, pb, Vec::new()),
+                        (Vec::new(), qb),
+                        (Vec::new(), Vec::new(), (Vec::new(), Vec::new())),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        let (_, rep) = run_seq_em(&CgmBatchedLca, mk, v, d, bb);
+        t.row(vec![
+            "batched_lca".into(),
+            n.to_string(),
+            rep.breakdown.algorithm_ops().to_string(),
+            rep.costs.lambda().to_string(),
+            format!("{:.2}", norm(n, rep.breakdown.algorithm_ops())),
+            format!("{:.2}", rep.io.parallel_efficiency()),
+        ]);
+
+        // expression tree evaluation
+        let nodes = data::random_expression(n / 2, 5);
+        let mk = || expr_states(&nodes, v);
+        let (_, rep) = run_seq_em(&CgmExprEval, mk, v, d, bb);
+        t.row(vec![
+            "expr_eval".into(),
+            n.to_string(),
+            rep.breakdown.algorithm_ops().to_string(),
+            rep.costs.lambda().to_string(),
+            format!("{:.2}", norm(n, rep.breakdown.algorithm_ops())),
+            format!("{:.2}", rep.io.parallel_efficiency()),
+        ]);
+
+        // biconnected components (Tarjan–Vishkin composition)
+        let nb = n / 4; // the 6-phase composition is the heaviest row
+        let bedges = {
+            // connected: random tree + extra edges
+            let mut es: Vec<(u64, u64)> = (1..nb as u64)
+                .map(|x| (x.wrapping_mul(0x9E37_79B9) % x, x))
+                .collect();
+            es.extend(data::gnm_edges(nb, nb / 2, 7));
+            es.sort_unstable();
+            es.dedup();
+            es.retain(|&(a, b)| a != b);
+            es
+        };
+        let (_, rep) = cgmio_algos::graphs::cgm_biconnected_components(
+            nb,
+            &bedges,
+            v,
+            cgmio_algos::graphs::Exec::SeqEm { d, block_bytes: bb },
+        );
+        t.row(vec![
+            "biconnected".into(),
+            nb.to_string(),
+            rep.io_ops.to_string(),
+            rep.rounds.to_string(),
+            format!("{:.2}", norm(nb, rep.io_ops)),
+            "-".into(),
+        ]);
+    }
+    t
+}
+
+/// Figure 6: the surface `N^(c−1) = v^c·B^(c−1)` (B = 1000 items).
+pub fn fig6() -> Table {
+    let mut t = Table::new("fig6_surface", &["c", "v", "B", "N_min", "log10_N"]);
+    for c in [2.0f64, 3.0] {
+        for v in [10f64, 100.0, 1000.0, 10_000.0] {
+            let n = params::surface_n(v, 1000.0, c);
+            t.row(vec![
+                format!("{c}"),
+                format!("{v}"),
+                "1000".into(),
+                format!("{n:.3e}"),
+                format!("{:.2}", n.log10()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 7: the c = 2 slice — minimum N per processor count.
+pub fn fig7() -> Table {
+    let mut t = Table::new("fig7_c2_slice", &["v", "B", "N_min", "check_log_term"]);
+    for v in [2f64, 8.0, 32.0, 100.0, 1000.0, 10_000.0] {
+        let n = params::surface_n(v, 1000.0, 2.0);
+        let lt = params::log_term(n * 1.0001, v, 1000.0).unwrap();
+        t.row(vec![format!("{v}"), "1000".into(), format!("{n:.3e}"), format!("{lt:.3}")]);
+    }
+    t
+}
+
+/// Figure 8: effective throughput vs block size (Stevens' measurement,
+/// reproduced on the disk timing model).
+pub fn fig8() -> Table {
+    let mut t = Table::new("fig8_blocksize", &["block_bytes", "throughput_MB_s", "frac_of_peak"]);
+    let m = disk_model();
+    let peak = m.bandwidth_bytes_per_us * 1e6;
+    let mut b = 512usize;
+    while b <= 16 << 20 {
+        let thr = m.throughput_bytes_per_s(b);
+        t.row(vec![
+            b.to_string(),
+            format!("{:.2}", thr / 1e6),
+            format!("{:.3}", thr / peak),
+        ]);
+        b *= 4;
+    }
+    t
+}
+
+/// Theorem 2/3 audit: measured context vs message I/O against the
+/// predicted `O(λ·vμ/(DB))` bound, plus the memory high-water mark.
+pub fn audit() -> Table {
+    let mut t = Table::new(
+        "audit_theorem2",
+        &["n", "lambda", "ctx_ops", "msg_ops", "predicted_ops", "measured_over_pred", "peak_mem_B"],
+    );
+    let (v, d, bb) = (16usize, 2usize, 2048usize);
+    for n in [1usize << 14, 1 << 16] {
+        let rep = em_sort_report(n, v, d, bb);
+        let lambda = rep.costs.lambda() as f64;
+        let mu = rep.costs.max_context_bytes as f64;
+        let predicted = lambda * (v as f64) * mu / (d as f64 * bb as f64);
+        let measured = rep.breakdown.algorithm_ops() as f64;
+        t.row(vec![
+            n.to_string(),
+            format!("{lambda}"),
+            rep.breakdown.ctx_ops.to_string(),
+            rep.breakdown.msg_ops.to_string(),
+            format!("{predicted:.0}"),
+            format!("{:.2}", measured / predicted),
+            rep.peak_mem_bytes.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A maximally skewed exchange: each processor ships its whole block to
+/// one neighbour in a single message (size `N/v`, i.e. `v×` the balanced
+/// message size) — the pattern Lemma 2 exists to fix.
+#[derive(Clone, Copy)]
+struct BulkShift {
+    items: usize,
+}
+
+impl cgmio_model::CgmProgram for BulkShift {
+    type Msg = u64;
+    type State = Vec<u64>;
+
+    fn round(
+        &self,
+        ctx: &mut cgmio_model::RoundCtx<'_, u64>,
+        state: &mut Vec<u64>,
+    ) -> cgmio_model::Status {
+        match ctx.round {
+            0 => {
+                let dst = (ctx.pid + 1) % ctx.v;
+                let base = ctx.pid as u64 * 1000;
+                ctx.send(dst, (0..self.items as u64).map(move |k| base + k));
+                cgmio_model::Status::Continue
+            }
+            _ => {
+                *state = ctx.incoming.flatten();
+                cgmio_model::Status::Done
+            }
+        }
+    }
+}
+
+/// BalancedRouting ablation: skewed traffic through the EM engine with
+/// and without the Lemma 2 transformation.
+pub fn ablation_balance() -> Table {
+    let mut t = Table::new(
+        "ablation_balance",
+        &["variant", "msg_ops", "max_message", "parallel_eff", "slot_items"],
+    );
+    let v = 16usize;
+    let items = 4096usize;
+    let (d, bb) = (4usize, 1024usize);
+    let mk = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+    let plain = BulkShift { items };
+    {
+        let (_, _, req) = measure_requirements(&plain, mk()).unwrap();
+        let cfg = EmConfig::from_requirements(v, 1, d, bb, &req);
+        let slot = cfg.msg_slot_items;
+        let (_, rep) = SeqEmRunner::new(cfg).run(&plain, mk()).unwrap();
+        t.row(vec![
+            "unbalanced".into(),
+            rep.breakdown.msg_ops.to_string(),
+            rep.costs.max_message().to_string(),
+            format!("{:.2}", rep.io.parallel_efficiency()),
+            slot.to_string(),
+        ]);
+    }
+    {
+        let bal = Balanced::new(plain);
+        let (_, _, req) = measure_requirements(&bal, mk()).unwrap();
+        let cfg = EmConfig::from_requirements(v, 1, d, bb, &req);
+        let slot = cfg.msg_slot_items;
+        let (_, rep) = SeqEmRunner::new(cfg).run(&bal, mk()).unwrap();
+        t.row(vec![
+            "balanced".into(),
+            rep.breakdown.msg_ops.to_string(),
+            rep.costs.max_message().to_string(),
+            format!("{:.2}", rep.io.parallel_efficiency()),
+            slot.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Section 5 cache extension: the same parameter collapse at the
+/// cache / main-memory interface.
+pub fn cache() -> Table {
+    let mut t = Table::new(
+        "cache_extension",
+        &["M_I_bytes", "B_I_bytes", "M/B", "N_max_c2_items", "N_max_c3_items"],
+    );
+    for (mi, bi) in [(32 * 1024usize, 64usize), (256 * 1024, 64), (8 * 1024 * 1024, 64)] {
+        let mb = (mi / bi) as f64;
+        // log_{M/B}(N/B) <= c  <=>  N <= B * (M/B)^c (items scaled by B)
+        let n2 = mb.powi(2) * (bi as f64 / 8.0);
+        let n3 = mb.powi(3) * (bi as f64 / 8.0);
+        t.row(vec![
+            mi.to_string(),
+            bi.to_string(),
+            format!("{mb}"),
+            format!("{n2:.3e}"),
+            format!("{n3:.3e}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_figures_have_rows() {
+        for t in [fig1(), fig2(), fig6(), fig7(), fig8(), cache()] {
+            assert!(!t.rows.is_empty(), "{} is empty", t.title);
+        }
+    }
+
+    #[test]
+    fn ablation_shows_balancing_helps_parallelism() {
+        let t = ablation_balance();
+        assert_eq!(t.rows.len(), 2);
+        let unbal_max: u64 = t.rows[0][2].parse().unwrap();
+        let bal_max: u64 = t.rows[1][2].parse().unwrap();
+        assert!(bal_max < unbal_max, "balanced max message must shrink");
+    }
+}

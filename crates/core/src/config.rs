@@ -1,0 +1,200 @@
+//! EM-CGM machine configuration and the paper's parameter conditions.
+
+use cgmio_pdm::DiskGeometry;
+
+use crate::measure::Requirements;
+use crate::EmError;
+
+/// Configuration of the simulated EM-CGM target machine.
+///
+/// The paper's model parameters map as: `v` virtual processors, `p` real
+/// processors, `D = num_disks` drives **per real processor**, block size
+/// `B = block_bytes`, internal memory `M = mem_bytes` per real processor.
+#[derive(Debug, Clone)]
+pub struct EmConfig {
+    /// Virtual processors of the simulated CGM machine.
+    pub v: usize,
+    /// Real processors of the target machine (1 for Algorithm 2).
+    pub p: usize,
+    /// Disks per real processor (`D`).
+    pub num_disks: usize,
+    /// Block size in bytes (`B`, in bytes rather than items).
+    pub block_bytes: usize,
+    /// Internal memory per real processor, bytes (`M`). Used for the
+    /// memory audit; exceeded ⇒ error in strict mode, report otherwise.
+    pub mem_bytes: usize,
+    /// Fixed message-slot capacity, in items. Any single (src → dst)
+    /// message larger than this aborts the run. Balanced programs need
+    /// only `h/v + (v−1)/2`.
+    pub msg_slot_items: usize,
+    /// Fixed context-slot capacity, in bytes (`≥ μ`).
+    pub max_ctx_bytes: usize,
+    /// Fail (rather than record) when memory or parameter checks fail.
+    pub strict: bool,
+    /// Livelock guard.
+    pub round_limit: usize,
+}
+
+impl EmConfig {
+    /// A config sized from measured [`Requirements`] with headroom:
+    /// slots exactly fit the measured maxima.
+    pub fn from_requirements(
+        v: usize,
+        p: usize,
+        num_disks: usize,
+        block_bytes: usize,
+        req: &Requirements,
+    ) -> Self {
+        Self {
+            v,
+            p,
+            num_disks,
+            block_bytes,
+            // M must hold one context plus its in/out message traffic.
+            mem_bytes: (req.max_ctx_bytes + 2 * req.max_proc_recv_bytes.max(req.max_proc_sent_bytes))
+                .max(num_disks * block_bytes),
+            msg_slot_items: req.max_msg_items.max(1),
+            max_ctx_bytes: req.max_ctx_bytes.max(8),
+            strict: false,
+            round_limit: cgmio_model::DEFAULT_ROUND_LIMIT,
+        }
+    }
+
+    /// Disk geometry of each real processor's array.
+    pub fn geometry(&self) -> DiskGeometry {
+        DiskGeometry::new(self.num_disks, self.block_bytes)
+    }
+
+    /// Block size in items of `item_bytes` each (rounded down; the
+    /// engine packs bytes, so no alignment is required — this is for
+    /// parameter checks only).
+    pub fn block_items(&self, item_bytes: usize) -> usize {
+        (self.block_bytes / item_bytes).max(1)
+    }
+
+    /// Sanity-check structural fields.
+    pub fn validate(&self) -> Result<(), EmError> {
+        if self.v == 0 {
+            return Err(EmError::BadConfig("v must be positive".into()));
+        }
+        if self.p == 0 || self.p > self.v {
+            return Err(EmError::BadConfig(format!("need 1 <= p <= v, got p={} v={}", self.p, self.v)));
+        }
+        if self.msg_slot_items == 0 {
+            return Err(EmError::BadConfig("msg_slot_items must be positive".into()));
+        }
+        if self.max_ctx_bytes == 0 {
+            return Err(EmError::BadConfig("max_ctx_bytes must be positive".into()));
+        }
+        // PDM requires M >= D*B (one block from each disk in memory).
+        if self.mem_bytes < self.num_disks * self.block_bytes {
+            return Err(EmError::BadConfig(format!(
+                "M = {} bytes < D*B = {} bytes",
+                self.mem_bytes,
+                self.num_disks * self.block_bytes
+            )));
+        }
+        Ok(())
+    }
+
+    /// Evaluate the paper's parameter conditions for a problem of
+    /// `n_items` items of `item_bytes` bytes each.
+    pub fn check_params(&self, n_items: u64, item_bytes: usize) -> ParamCheck {
+        let v = self.v as u64;
+        let d = self.num_disks as u64;
+        let b_items = self.block_items(item_bytes) as u64;
+        ParamCheck {
+            n_ge_vdb: n_items >= v * d * b_items,
+            lemma2: cgmio_routing::lemma2_feasible(n_items, v, b_items),
+            b_le_n_over_v2: b_items <= (n_items / (v * v)).max(1),
+            m_ge_n_over_v: self.mem_bytes as u64 >= n_items * item_bytes as u64 / v,
+        }
+    }
+}
+
+/// Which of the paper's parameter conditions hold for a given run.
+///
+/// These are the premises of Theorems 2 and 3; the engine runs correctly
+/// regardless, but the `O(N/(pDB))` I/O bound is only promised when all
+/// hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamCheck {
+    /// `N = Ω(vDB)`: enough data to keep all disks of all virtual
+    /// processors busy.
+    pub n_ge_vdb: bool,
+    /// Lemma 2: `N ≥ v²B + v²(v−1)/2`, so balancing can guarantee
+    /// block-sized minimum messages.
+    pub lemma2: bool,
+    /// `B = O(N/v²)`: a block is no larger than a balanced message.
+    pub b_le_n_over_v2: bool,
+    /// `M = Ω(N/v)`: one virtual processor's context fits in memory.
+    pub m_ge_n_over_v: bool,
+}
+
+impl ParamCheck {
+    /// All conditions hold.
+    pub fn all_ok(&self) -> bool {
+        self.n_ge_vdb && self.lemma2 && self.b_le_n_over_v2 && self.m_ge_n_over_v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> EmConfig {
+        EmConfig {
+            v: 8,
+            p: 2,
+            num_disks: 2,
+            block_bytes: 64,
+            mem_bytes: 1 << 20,
+            msg_slot_items: 32,
+            max_ctx_bytes: 4096,
+            strict: false,
+            round_limit: 100,
+        }
+    }
+
+    #[test]
+    fn valid_config_passes() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = base();
+        c.p = 0;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.p = 9;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.mem_bytes = 10;
+        assert!(c.validate().is_err());
+        let mut c = base();
+        c.msg_slot_items = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn param_check_thresholds() {
+        let c = base();
+        // item = 8 bytes -> B = 8 items; v = 8, D = 2 -> vDB = 128 items
+        let chk = c.check_params(128, 8);
+        assert!(chk.n_ge_vdb);
+        let chk = c.check_params(127, 8);
+        assert!(!chk.n_ge_vdb);
+        // Lemma 2: v^2*B + v^2(v-1)/2 = 64*8 + 64*3.5 = 512 + 224 = 736
+        assert!(c.check_params(736, 8).lemma2);
+        assert!(!c.check_params(735, 8).lemma2);
+    }
+
+    #[test]
+    fn block_items_rounds_down() {
+        let c = base();
+        assert_eq!(c.block_items(8), 8);
+        assert_eq!(c.block_items(24), 2);
+        assert_eq!(c.block_items(1000), 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Context swapping — steps (a) and (e) of Algorithm 2.
+//!
+//! The contexts of the virtual processors are stored in fixed-size slots
+//! in one *consecutive-format* stream: block `q` of the stream lives on
+//! disk `q mod D`, so reading or writing any context (a contiguous block
+//! range) is a sequence of fully parallel I/O operations. This is the
+//! paper's deterministic context distribution: "we split the context
+//! `V_j` into blocks of size `B` and store the `i`-th block of `V_j` on
+//! disk `(i + j·(μ/B)) mod D`".
+
+use cgmio_pdm::{DiskArray, IoRequest, Layout};
+
+use crate::EmError;
+
+/// Fixed-slot context store over one disk array.
+pub struct ContextStore {
+    layout: Layout,
+    slot_blocks: u64,
+    block_bytes: usize,
+    cap_bytes: usize,
+    lens: Vec<usize>,
+}
+
+impl ContextStore {
+    /// A store for `count` contexts of up to `cap_bytes` bytes each,
+    /// placed at `base_track` of an array with `num_disks` drives.
+    pub fn new(
+        num_disks: usize,
+        block_bytes: usize,
+        base_track: u64,
+        count: usize,
+        cap_bytes: usize,
+    ) -> Self {
+        let slot_blocks = (cap_bytes as u64).div_ceil(block_bytes as u64).max(1);
+        Self {
+            layout: Layout { num_disks, base_track },
+            slot_blocks,
+            block_bytes,
+            cap_bytes,
+            lens: vec![0; count],
+        }
+    }
+
+    /// Tracks this store occupies per drive.
+    pub fn total_tracks(&self) -> u64 {
+        self.layout.tracks_for(self.lens.len() as u64 * self.slot_blocks) + 1
+    }
+
+    /// Current encoded length of context `slot` (0 when never written).
+    pub fn len(&self, slot: usize) -> usize {
+        self.lens[slot]
+    }
+
+    /// True if no context was ever written.
+    pub fn is_empty(&self) -> bool {
+        self.lens.iter().all(|&l| l == 0)
+    }
+
+    /// Write context `slot`. Uses `⌈len/B⌉` blocks in consecutive format
+    /// (fully parallel via the FIFO scheduler).
+    pub fn write(&mut self, disks: &mut DiskArray, slot: usize, bytes: &[u8]) -> Result<(), EmError> {
+        if bytes.len() > self.cap_bytes {
+            return Err(EmError::CtxSlotOverflow { pid: slot, len: bytes.len(), cap: self.cap_bytes });
+        }
+        let base = slot as u64 * self.slot_blocks;
+        let queue: Vec<IoRequest> = bytes
+            .chunks(self.block_bytes)
+            .enumerate()
+            .map(|(q, chunk)| IoRequest { addr: self.layout.addr(base + q as u64), data: chunk.to_vec() })
+            .collect();
+        disks.write_fifo(&queue)?;
+        self.lens[slot] = bytes.len();
+        Ok(())
+    }
+
+    /// Read context `slot` back (exactly the bytes last written).
+    pub fn read(&mut self, disks: &mut DiskArray, slot: usize) -> Result<Vec<u8>, EmError> {
+        let len = self.lens[slot];
+        let nblocks = (len as u64).div_ceil(self.block_bytes as u64);
+        let base = slot as u64 * self.slot_blocks;
+        let addrs = (0..nblocks).map(|q| self.layout.addr(base + q));
+        let blocks = disks.read_fifo(addrs)?;
+        let mut out = Vec::with_capacity(len);
+        for b in blocks {
+            out.extend_from_slice(&b);
+        }
+        out.truncate(len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_pdm::DiskGeometry;
+
+    #[test]
+    fn roundtrip_varied_lengths() {
+        let mut disks = DiskArray::new(DiskGeometry::new(3, 16));
+        let mut store = ContextStore::new(3, 16, 0, 4, 100);
+        let payloads: Vec<Vec<u8>> = vec![
+            vec![1; 100],
+            vec![2; 1],
+            vec![],
+            (0..77).collect(),
+        ];
+        for (i, p) in payloads.iter().enumerate() {
+            store.write(&mut disks, i, p).unwrap();
+        }
+        for (i, p) in payloads.iter().enumerate() {
+            assert_eq!(&store.read(&mut disks, i).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn rewrite_shrinks_and_grows() {
+        let mut disks = DiskArray::new(DiskGeometry::new(2, 8));
+        let mut store = ContextStore::new(2, 8, 5, 2, 64);
+        store.write(&mut disks, 0, &[7; 60]).unwrap();
+        store.write(&mut disks, 0, &[9; 3]).unwrap();
+        assert_eq!(store.read(&mut disks, 0).unwrap(), vec![9; 3]);
+        store.write(&mut disks, 0, &[4; 64]).unwrap();
+        assert_eq!(store.read(&mut disks, 0).unwrap(), vec![4; 64]);
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let mut disks = DiskArray::new(DiskGeometry::new(1, 8));
+        let mut store = ContextStore::new(1, 8, 0, 1, 10);
+        let e = store.write(&mut disks, 0, &[0; 11]).unwrap_err();
+        assert!(matches!(e, EmError::CtxSlotOverflow { pid: 0, len: 11, cap: 10 }));
+    }
+
+    #[test]
+    fn io_is_fully_parallel() {
+        let d = 4;
+        let mut disks = DiskArray::new(DiskGeometry::new(d, 8));
+        let mut store = ContextStore::new(d, 8, 0, 2, 8 * 8);
+        // 8 blocks per context, D = 4 -> 2 ops per write, all full.
+        store.write(&mut disks, 0, &[1; 64]).unwrap();
+        store.write(&mut disks, 1, &[2; 64]).unwrap();
+        assert_eq!(disks.stats().write_ops, 4);
+        assert_eq!(disks.stats().full_ops, 4);
+        store.read(&mut disks, 1).unwrap();
+        assert_eq!(disks.stats().read_ops, 2);
+        assert_eq!(disks.stats().full_ops, 6);
+    }
+
+    #[test]
+    fn slots_do_not_collide() {
+        let mut disks = DiskArray::new(DiskGeometry::new(2, 4));
+        let mut store = ContextStore::new(2, 4, 0, 3, 12);
+        store.write(&mut disks, 0, &[1; 12]).unwrap();
+        store.write(&mut disks, 1, &[2; 12]).unwrap();
+        store.write(&mut disks, 2, &[3; 12]).unwrap();
+        assert_eq!(store.read(&mut disks, 0).unwrap(), vec![1; 12]);
+        assert_eq!(store.read(&mut disks, 1).unwrap(), vec![2; 12]);
+        assert_eq!(store.read(&mut disks, 2).unwrap(), vec![3; 12]);
+    }
+}

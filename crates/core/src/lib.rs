@@ -1,0 +1,129 @@
+//! # cgmio-core — the CGM → EM-CGM simulation engine
+//!
+//! This crate is the reproduction of the paper's primary contribution: a
+//! **deterministic simulation** that runs any CGM algorithm (any
+//! [`cgmio_model::CgmProgram`]) as an external-memory algorithm on a
+//! machine with `p ≤ v` real processors, each with `M` internal memory
+//! and `D` disks of block size `B` — turning the virtual machine's
+//! message traffic into **blocked, fully parallel disk I/O**.
+//!
+//! * [`SeqEmRunner`] implements Algorithm 2 (*SeqCompoundSuperstep*):
+//!   a single real processor cycles through the `v` virtual processors,
+//!   swapping each one's *context* in from disk (consecutive format),
+//!   delivering its incoming messages from the staggered **message
+//!   matrix** (the paper's Figure 2), running the compound superstep,
+//!   and writing the generated messages and updated context back out.
+//! * [`ParEmRunner`] implements Algorithm 3 (*ParCompoundSuperstep*):
+//!   `p` real processors each simulate `v/p` virtual processors against
+//!   their own local disk arrays, exchanging generated messages over the
+//!   real interconnect before writing them to the destination's disks.
+//! * [`measure_requirements`] dry-runs a program in memory to discover
+//!   the parameters the theorems are stated in: `λ`, `h`, `μ` and the
+//!   largest message — from which [`EmConfig`] slot sizes follow.
+//! * [`params`] holds the parameter-space analysis of the paper's
+//!   Section 1.4 (Figures 6 and 7): when does the `log_{M/B}(N/B)` term
+//!   collapse to a constant?
+//!
+//! Every run returns an [`EmRunReport`] with exact I/O counts split into
+//! context vs message traffic, h-relation accounting, memory high-water
+//! marks, and the Theorem 2/3 parameter checks — the quantities the
+//! paper's experiments (and this workspace's `reproduce` harness) report.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod measure;
+pub mod msgmatrix;
+pub mod par;
+pub mod params;
+pub mod report;
+pub mod seq;
+
+pub use config::{EmConfig, ParamCheck};
+pub use measure::{measure_requirements, Requirements};
+pub use par::ParEmRunner;
+pub use report::{EmRunReport, IoBreakdown};
+pub use seq::SeqEmRunner;
+
+use cgmio_model::ModelError;
+use cgmio_pdm::IoError;
+
+/// Errors produced by the EM runners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmError {
+    /// Superstep semantics violated (same conditions as the in-memory
+    /// runners).
+    Model(ModelError),
+    /// Disk layer error (conflict, bad address, oversized block).
+    Io(IoError),
+    /// A message exceeded the configured slot size. Wrap the program in
+    /// [`cgmio_routing::Balanced`] or enlarge `msg_slot_items`.
+    MsgSlotOverflow {
+        /// Sending virtual processor.
+        src: usize,
+        /// Receiving virtual processor.
+        dst: usize,
+        /// Message length in items.
+        len: usize,
+        /// Configured slot capacity in items.
+        slot: usize,
+    },
+    /// A context exceeded the configured slot size; enlarge
+    /// `max_ctx_bytes`.
+    CtxSlotOverflow {
+        /// Virtual processor whose context overflowed.
+        pid: usize,
+        /// Encoded context length in bytes.
+        len: usize,
+        /// Configured capacity in bytes.
+        cap: usize,
+    },
+    /// Strict mode: a compound superstep needed more internal memory
+    /// than the configured `M`.
+    MemoryExceeded {
+        /// Virtual processor being simulated.
+        pid: usize,
+        /// Bytes required.
+        need: usize,
+        /// Configured internal memory `M` in bytes.
+        m: usize,
+    },
+    /// Invalid configuration.
+    BadConfig(String),
+}
+
+impl From<ModelError> for EmError {
+    fn from(e: ModelError) -> Self {
+        EmError::Model(e)
+    }
+}
+
+impl From<IoError> for EmError {
+    fn from(e: IoError) -> Self {
+        EmError::Io(e)
+    }
+}
+
+impl std::fmt::Display for EmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmError::Model(e) => write!(f, "model error: {e}"),
+            EmError::Io(e) => write!(f, "I/O error: {e}"),
+            EmError::MsgSlotOverflow { src, dst, len, slot } => write!(
+                f,
+                "message {src}->{dst} of {len} items exceeds slot of {slot} \
+                 (wrap the program in cgmio_routing::Balanced or enlarge msg_slot_items)"
+            ),
+            EmError::CtxSlotOverflow { pid, len, cap } => {
+                write!(f, "context of vp {pid} is {len} bytes, slot holds {cap}")
+            }
+            EmError::MemoryExceeded { pid, need, m } => {
+                write!(f, "simulating vp {pid} needs {need} bytes of internal memory, M = {m}")
+            }
+            EmError::BadConfig(s) => write!(f, "bad config: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for EmError {}

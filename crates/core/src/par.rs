@@ -1,0 +1,578 @@
+//! Algorithm 3 — *ParCompoundSuperstep*: simulating a `v`-processor CGM
+//! on a `p`-processor EM-CGM.
+//!
+//! Each real processor (an OS thread here) owns its own `D`-disk array
+//! and simulates a contiguous block of `v/p` virtual processors. Per
+//! compound superstep it:
+//!
+//! * **(a)/(b)** reads each local virtual processor's context and inbox
+//!   from its *local* disks,
+//! * **(c)** simulates the computation,
+//! * **(d)** ships the generated messages over the real interconnect to
+//!   the destination's owner, which arranges them in memory and writes
+//!   them to *its* disks in the staggered format (exactly the paper's
+//!   step (d)).
+//!
+//! Arrivals are written in sorted `(src, dst)` order, making both the
+//! final states and the I/O operation counts fully deterministic
+//! regardless of thread scheduling.
+
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use cgmio_model::cost::{CommCosts, RoundCost};
+use cgmio_model::threaded::{block_range, owner_of};
+use cgmio_model::{CgmProgram, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status};
+use cgmio_pdm::{DiskArray, IoStats, Item};
+
+use crate::config::EmConfig;
+use crate::context::ContextStore;
+use crate::msgmatrix::MessageMatrix;
+use crate::report::{EmRunReport, IoBreakdown};
+use crate::EmError;
+
+/// Multi-processor external-memory runner (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct ParEmRunner {
+    /// Machine configuration (`p` real processors, each with its own
+    /// disk array).
+    pub config: EmConfig,
+}
+
+type Packet<M> = Vec<(usize, usize, Vec<M>)>;
+
+struct RoundCtl {
+    n_done: usize,
+    sent_total: usize,
+    max_sent: usize,
+    max_received: usize,
+    max_message: usize,
+    min_message: usize,
+    cross_items: u64,
+    max_ctx: usize,
+}
+
+enum Decision {
+    Continue,
+    Stop,
+    Fail(EmError),
+}
+
+struct WorkerOut<S> {
+    finals: Vec<S>,
+    io: IoStats,
+    breakdown: IoBreakdown,
+    peak_mem: usize,
+}
+
+impl ParEmRunner {
+    /// Create a runner for the given configuration.
+    pub fn new(config: EmConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run `prog` from the given initial states across `p` real
+    /// processors. Semantics and final states are identical to
+    /// [`crate::SeqEmRunner`] and the in-memory runners.
+    pub fn run<P: CgmProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<(Vec<P::State>, EmRunReport), EmError> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let v = cfg.v;
+        if states.len() != v {
+            return Err(EmError::BadConfig(format!(
+                "config.v = {v} but {} initial states were given",
+                states.len()
+            )));
+        }
+        let p = cfg.p.min(v);
+
+        // Interconnect plumbing (same topology as the threaded runner).
+        let mut data_tx: Vec<Vec<Sender<Packet<P::Msg>>>> = (0..p).map(|_| Vec::new()).collect();
+        let mut data_rx: Vec<Receiver<Packet<P::Msg>>> = Vec::with_capacity(p);
+        {
+            let mut txs_per_dst: Vec<Vec<Sender<Packet<P::Msg>>>> =
+                (0..p).map(|_| Vec::new()).collect();
+            for j in 0..p {
+                let (tx, rx) = unbounded();
+                data_rx.push(rx);
+                for _ in 0..p {
+                    txs_per_dst[j].push(tx.clone());
+                }
+            }
+            for (i, row) in data_tx.iter_mut().enumerate() {
+                for txs in txs_per_dst.iter() {
+                    row.push(txs[i].clone());
+                }
+            }
+        }
+        let (ctrl_tx, ctrl_rx) = unbounded::<(usize, Result<RoundCtl, EmError>)>();
+        let mut dec_tx: Vec<Sender<Decision>> = Vec::with_capacity(p);
+        let mut dec_rx: Vec<Receiver<Decision>> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            dec_tx.push(tx);
+            dec_rx.push(rx);
+        }
+
+        let mut blocks: Vec<Vec<P::State>> = Vec::with_capacity(p);
+        {
+            let mut it = states.into_iter();
+            for t in 0..p {
+                let r = block_range(v, p, t);
+                blocks.push(it.by_ref().take(r.len()).collect());
+            }
+        }
+
+        let start = Instant::now();
+        let mut costs = CommCosts::default();
+        let mut cross_total = 0u64;
+        let mut run_error: Option<EmError> = None;
+        let mut max_ctx_seen = 0usize;
+        let mut outs: Vec<Option<WorkerOut<P::State>>> = (0..p).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (t, block) in blocks.into_iter().enumerate() {
+                let my_tx = std::mem::take(&mut data_tx[t]);
+                let my_rx = data_rx[t].clone();
+                let my_ctrl = ctrl_tx.clone();
+                let my_dec = dec_rx[t].clone();
+                let cfg = cfg.clone();
+                handles.push(scope.spawn(move || {
+                    worker::<P>(prog, &cfg, t, v, p, block, my_tx, my_rx, my_ctrl, my_dec)
+                }));
+            }
+            drop(ctrl_tx);
+
+            for round in 0..=cfg.round_limit {
+                let mut n_done = 0usize;
+                let mut rc = RoundCost { min_message: usize::MAX, ..RoundCost::default() };
+                let mut cross = 0u64;
+                let mut err: Option<EmError> = None;
+                for _ in 0..p {
+                    match ctrl_rx.recv().expect("worker died") {
+                        (_t, Ok(c)) => {
+                            n_done += c.n_done;
+                            rc.total_items += c.sent_total;
+                            rc.max_sent = rc.max_sent.max(c.max_sent);
+                            rc.max_received = rc.max_received.max(c.max_received);
+                            rc.max_message = rc.max_message.max(c.max_message);
+                            if c.min_message > 0 {
+                                rc.min_message = rc.min_message.min(c.min_message);
+                            }
+                            cross += c.cross_items;
+                            max_ctx_seen = max_ctx_seen.max(c.max_ctx);
+                        }
+                        (_t, Err(e)) => err = Some(e),
+                    }
+                }
+                if rc.min_message == usize::MAX {
+                    rc.min_message = 0;
+                }
+                cross_total += cross;
+                let sent_any = rc.total_items > 0;
+                if err.is_none() && (sent_any || n_done < v) {
+                    costs.rounds.push(rc);
+                }
+                let decision = if let Some(e) = err {
+                    Decision::Fail(e)
+                } else if n_done == v {
+                    if sent_any {
+                        Decision::Fail(ModelError::MessagesAfterDone.into())
+                    } else {
+                        Decision::Stop
+                    }
+                } else if n_done != 0 {
+                    Decision::Fail(ModelError::StatusDisagreement { round }.into())
+                } else if round == cfg.round_limit {
+                    Decision::Fail(ModelError::RoundLimit(cfg.round_limit).into())
+                } else {
+                    Decision::Continue
+                };
+                let stop = !matches!(decision, Decision::Continue);
+                if let Decision::Fail(ref e) = decision {
+                    run_error = Some(e.clone());
+                }
+                for tx in &dec_tx {
+                    tx.send(match decision {
+                        Decision::Continue => Decision::Continue,
+                        Decision::Stop => Decision::Stop,
+                        Decision::Fail(ref e) => Decision::Fail(e.clone()),
+                    })
+                    .expect("worker died");
+                }
+                if stop {
+                    break;
+                }
+            }
+
+            for (t, h) in handles.into_iter().enumerate() {
+                match h.join().expect("worker panicked") {
+                    Ok(w) => outs[t] = Some(w),
+                    Err(e) => {
+                        if run_error.is_none() {
+                            run_error = Some(e);
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some(e) = run_error {
+            return Err(e);
+        }
+        costs.max_context_bytes = max_ctx_seen;
+
+        let mut finals = Vec::with_capacity(v);
+        let mut io = IoStats::new(cfg.num_disks);
+        let mut breakdown = IoBreakdown::default();
+        let mut peak_mem = 0usize;
+        for w in outs.into_iter().map(|o| o.expect("missing worker result")) {
+            finals.extend(w.finals);
+            io.merge(&w.io);
+            breakdown.setup_ops += w.breakdown.setup_ops;
+            breakdown.ctx_ops += w.breakdown.ctx_ops;
+            breakdown.msg_ops += w.breakdown.msg_ops;
+            breakdown.readout_ops += w.breakdown.readout_ops;
+            peak_mem = peak_mem.max(w.peak_mem);
+        }
+
+        let report = EmRunReport {
+            costs,
+            io,
+            breakdown,
+            geometry: cfg.geometry(),
+            p,
+            v,
+            peak_mem_bytes: peak_mem,
+            cross_thread_items: cross_total,
+            wall: start.elapsed(),
+        };
+        Ok((finals, report))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker<P: CgmProgram>(
+    prog: &P,
+    cfg: &EmConfig,
+    t: usize,
+    v: usize,
+    p: usize,
+    states: Vec<P::State>,
+    data_tx: Vec<Sender<Packet<P::Msg>>>,
+    data_rx: Receiver<Packet<P::Msg>>,
+    ctrl: Sender<(usize, Result<RoundCtl, EmError>)>,
+    dec: Receiver<Decision>,
+) -> Result<WorkerOut<P::State>, EmError> {
+    let my_range = block_range(v, p, t);
+    let n_local = my_range.len();
+    let geom = cfg.geometry();
+    let mut disks = DiskArray::new(geom);
+
+    let mut ctx_store =
+        ContextStore::new(geom.num_disks, geom.block_bytes, 0, n_local, cfg.max_ctx_bytes);
+    let mat_base = ctx_store.total_tracks();
+    let mk_mat = |base| {
+        MessageMatrix::<P::Msg>::new(
+            geom.num_disks,
+            geom.block_bytes,
+            base,
+            v,
+            my_range.start,
+            n_local,
+            cfg.msg_slot_items,
+        )
+    };
+    let mut mats = [mk_mat(mat_base), mk_mat(mat_base)];
+    let tracks = mats[0].total_tracks();
+    mats[1] = mk_mat(mat_base + tracks);
+
+    // Input distribution.
+    let mut setup_err = None;
+    for (k, state) in states.into_iter().enumerate() {
+        if let Err(e) = ctx_store.write(&mut disks, k, &state.to_bytes()) {
+            setup_err = Some(e);
+            break;
+        }
+    }
+    let mut breakdown =
+        IoBreakdown { setup_ops: disks.stats().total_ops(), ..IoBreakdown::default() };
+    let mut peak_mem = 0usize;
+
+    let mut round = 0usize;
+    loop {
+        let cur = round % 2;
+        let mut ctl = RoundCtl {
+            n_done: 0,
+            sent_total: 0,
+            max_sent: 0,
+            max_received: 0,
+            max_message: 0,
+            min_message: usize::MAX,
+            cross_items: 0,
+            max_ctx: 0,
+        };
+        let mut packets: Vec<Packet<P::Msg>> = (0..p).map(|_| Vec::new()).collect();
+        let mut phase_err: Option<EmError> = setup_err.take();
+
+        if phase_err.is_none() {
+            'compute: for k in 0..n_local {
+                let pid = my_range.start + k;
+                // (a) context in
+                let ops0 = disks.stats().total_ops();
+                let ctx_bytes = match ctx_store.read(&mut disks, k) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        phase_err = Some(e);
+                        break 'compute;
+                    }
+                };
+                breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+                let mut state = P::State::from_bytes(&ctx_bytes);
+
+                // (b) messages in (local disks)
+                let ops0 = disks.stats().total_ops();
+                let (left, right) = mats.split_at_mut(1);
+                let mat_cur = if cur == 0 { &mut left[0] } else { &mut right[0] };
+                let inbox_items = mat_cur.received_items(k);
+                ctl.max_received = ctl.max_received.max(inbox_items);
+                let per_src = match mat_cur.read_for_dst(&mut disks, pid) {
+                    Ok(x) => x,
+                    Err(e) => {
+                        phase_err = Some(e);
+                        break 'compute;
+                    }
+                };
+                breakdown.msg_ops += disks.stats().total_ops() - ops0;
+
+                // (c) compute
+                let mut outbox = Outbox::new(v);
+                let status = {
+                    let mut rctx = RoundCtx {
+                        pid,
+                        v,
+                        round,
+                        incoming: Incoming::new(per_src),
+                        outbox: &mut outbox,
+                    };
+                    prog.round(&mut rctx, &mut state)
+                };
+                if status == Status::Done {
+                    ctl.n_done += 1;
+                }
+                let out_items = outbox.total();
+                let mem = ctx_bytes.len() + (inbox_items + out_items) * P::Msg::SIZE;
+                peak_mem = peak_mem.max(mem);
+                if cfg.strict && mem > cfg.mem_bytes {
+                    phase_err = Some(EmError::MemoryExceeded { pid, need: mem, m: cfg.mem_bytes });
+                    break 'compute;
+                }
+
+                // (d) ship generated messages to their owners
+                let sent: usize = out_items;
+                ctl.sent_total += sent;
+                ctl.max_sent = ctl.max_sent.max(sent);
+                for (dst, msg) in outbox.into_per_dst().into_iter().enumerate() {
+                    if msg.is_empty() {
+                        continue;
+                    }
+                    ctl.max_message = ctl.max_message.max(msg.len());
+                    ctl.min_message = ctl.min_message.min(msg.len());
+                    let owner = owner_of(v, p, dst);
+                    if owner != t {
+                        ctl.cross_items += msg.len() as u64;
+                    }
+                    packets[owner].push((pid, dst, msg));
+                }
+
+                // (e) context out
+                let bytes = state.to_bytes();
+                ctl.max_ctx = ctl.max_ctx.max(bytes.len());
+                let ops0 = disks.stats().total_ops();
+                if let Err(e) = ctx_store.write(&mut disks, k, &bytes) {
+                    phase_err = Some(e);
+                    break 'compute;
+                }
+                breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+            }
+        }
+
+        // Exchange: always send one packet per peer so nobody deadlocks,
+        // even on error.
+        for (j, tx) in data_tx.iter().enumerate() {
+            tx.send(std::mem::take(&mut packets[j])).expect("peer died");
+        }
+        let mut arrivals: Vec<(usize, usize, Vec<P::Msg>)> = Vec::new();
+        for _ in 0..p {
+            arrivals.extend(data_rx.recv().expect("peer died"));
+        }
+
+        // Arrange arrivals in memory and write them to the local disks
+        // (the receiving half of step (d)). Sorted order keeps I/O
+        // deterministic.
+        if phase_err.is_none() {
+            arrivals.sort_unstable_by_key(|&(src, dst, _)| (dst, src));
+            let (left, right) = mats.split_at_mut(1);
+            let mat_next = if cur == 0 { &mut right[0] } else { &mut left[0] };
+            let entries: Vec<(usize, usize, &[P::Msg])> =
+                arrivals.iter().map(|(src, dst, m)| (*src, *dst, m.as_slice())).collect();
+            let ops0 = disks.stats().total_ops();
+            if let Err(e) = mat_next.write_batch(&mut disks, &entries) {
+                phase_err = Some(e);
+            }
+            breakdown.msg_ops += disks.stats().total_ops() - ops0;
+        }
+
+        let report = match phase_err {
+            Some(e) => Err(e),
+            None => Ok(ctl),
+        };
+        ctrl.send((t, report)).expect("coordinator died");
+        match dec.recv().expect("coordinator died") {
+            Decision::Continue => {
+                mats[cur].clear();
+                round += 1;
+            }
+            Decision::Stop => break,
+            Decision::Fail(e) => return Err(e),
+        }
+    }
+
+    // Final readout.
+    let ops0 = disks.stats().total_ops();
+    let mut finals = Vec::with_capacity(n_local);
+    for k in 0..n_local {
+        let bytes = ctx_store.read(&mut disks, k)?;
+        finals.push(P::State::from_bytes(&bytes));
+    }
+    breakdown.readout_ops = disks.stats().total_ops() - ops0;
+
+    Ok(WorkerOut { finals, io: disks.stats().clone(), breakdown, peak_mem })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure_requirements;
+    use crate::seq::SeqEmRunner;
+    use cgmio_model::demo::{AllToAll, AllToOne, PrefixSum, TokenRing};
+    use cgmio_model::DirectRunner;
+    use cgmio_routing::Balanced;
+
+    fn config_for<P: CgmProgram>(
+        prog: &P,
+        states: Vec<P::State>,
+        v: usize,
+        p: usize,
+        d: usize,
+        bb: usize,
+    ) -> EmConfig {
+        let (_, _, req) = measure_requirements(prog, states).unwrap();
+        EmConfig::from_requirements(v, p, d, bb, &req)
+    }
+
+    #[test]
+    fn matches_direct_for_various_p() {
+        let v = 8;
+        let prog = AllToAll { items_per_pair: 6 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let (want, _) = DirectRunner::default().run(&prog, init()).unwrap();
+        for p in [1usize, 2, 3, 4, 8] {
+            let cfg = config_for(&prog, init(), v, p, 2, 32);
+            let (got, rep) = ParEmRunner::new(cfg).run(&prog, init()).unwrap();
+            assert_eq!(got, want, "p={p}");
+            assert_eq!(rep.p, p);
+            if p > 1 {
+                assert!(rep.cross_thread_items > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn p1_matches_seq_runner_io_exactly() {
+        // With p = 1 Algorithm 3 degenerates to Algorithm 2: same final
+        // states and same I/O counts.
+        let v = 6;
+        let prog = AllToAll { items_per_pair: 5 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let cfg = config_for(&prog, init(), v, 1, 2, 32);
+        let (seq_states, seq_rep) = SeqEmRunner::new(cfg.clone()).run(&prog, init()).unwrap();
+        let (par_states, par_rep) = ParEmRunner::new(cfg).run(&prog, init()).unwrap();
+        assert_eq!(par_states, seq_states);
+        assert_eq!(par_rep.breakdown.ctx_ops, seq_rep.breakdown.ctx_ops);
+        assert_eq!(par_rep.breakdown.msg_ops, seq_rep.breakdown.msg_ops);
+        assert_eq!(par_rep.io.total_ops(), seq_rep.io.total_ops());
+    }
+
+    #[test]
+    fn per_proc_io_drops_with_p() {
+        // The paper's point: I/O time scales as v/p. Aggregated ops stay
+        // roughly constant, so per-proc ops fall ~linearly in p.
+        let v = 8;
+        let prog = AllToAll { items_per_pair: 32 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let ops = |p: usize| {
+            let cfg = config_for(&prog, init(), v, p, 2, 64);
+            let (_, rep) = ParEmRunner::new(cfg).run(&prog, init()).unwrap();
+            rep.io_ops_per_proc()
+        };
+        let o1 = ops(1);
+        let o4 = ops(4);
+        assert!(o4 < o1 / 2.0, "o1={o1} o4={o4}");
+    }
+
+    #[test]
+    fn balanced_program_on_parallel_em() {
+        let v = 6;
+        let plain = AllToOne { items_per_proc: 30 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let (want, _) = DirectRunner::default().run(&plain, init()).unwrap();
+        let bal = Balanced::new(plain);
+        let cfg = config_for(&bal, init(), v, 3, 2, 64);
+        let (got, _) = ParEmRunner::new(cfg).run(&bal, init()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prefix_sum_on_parallel_em() {
+        let v = 7;
+        let init = || {
+            (0..v as u64)
+                .map(|i| ((0..i + 1).collect::<Vec<u64>>(), Vec::new()))
+                .collect::<Vec<_>>()
+        };
+        let (want, _) = DirectRunner::default().run(&PrefixSum, init()).unwrap();
+        let cfg = config_for(&PrefixSum, init(), v, 3, 1, 16);
+        let (got, _) = ParEmRunner::new(cfg).run(&PrefixSum, init()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn error_in_worker_propagates() {
+        let v = 4;
+        let prog = AllToOne { items_per_proc: 50 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let mut cfg = config_for(&prog, init(), v, 2, 1, 32);
+        cfg.msg_slot_items = 10;
+        let e = ParEmRunner::new(cfg).run(&prog, init()).unwrap_err();
+        assert!(matches!(e, EmError::MsgSlotOverflow { .. }));
+    }
+
+    #[test]
+    fn token_ring_multi_round_on_parallel_em() {
+        let v = 6;
+        let prog = TokenRing { rounds: 7 };
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let (want, _) = DirectRunner::default().run(&prog, init()).unwrap();
+        let cfg = config_for(&prog, init(), v, 3, 2, 16);
+        let (got, rep) = ParEmRunner::new(cfg).run(&prog, init()).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(rep.costs.lambda(), 7);
+    }
+}

@@ -1,0 +1,89 @@
+//! Parameter-space analysis (the paper's Section 1.4, Figures 6 and 7).
+//!
+//! The PDM sorting bound is `Θ((N/DB)·log_{M/B}(N/B))`. With the CGM
+//! memory regime `M = N/v`, the logarithm `log_{M/B}(N/B)` is at most a
+//! constant `c` exactly when `(M/B)^c ≥ N/B`, i.e. on or above the
+//! surface `N^{c−1} = v^c·B^{c−1}`. These helpers evaluate that surface
+//! and the resulting constant; the `reproduce fig6`/`fig7` commands dump
+//! them as grids.
+
+/// The value of `log_{M/B}(N/B)` with `M = N/v` (all quantities in
+/// items). Returns `None` when the parameters are degenerate
+/// (`N ≤ v·B`, i.e. a context does not even hold one block per
+/// processor, or `N ≤ B`).
+pub fn log_term(n: f64, v: f64, b: f64) -> Option<f64> {
+    if n <= b || n <= v * b {
+        return None;
+    }
+    Some((n / b).ln() / (n / (v * b)).ln())
+}
+
+/// Does the logarithmic term collapse to at most `c`? (`(M/B)^c ≥ N/B`
+/// with `M = N/v`.)
+pub fn log_vanishes(n: f64, v: f64, b: f64, c: f64) -> bool {
+    match log_term(n, v, b) {
+        Some(t) => t <= c,
+        None => false,
+    }
+}
+
+/// The Figure 6 surface: the smallest `N` satisfying
+/// `N^(c−1) = v^c·B^(c−1)`, i.e. `N = v^(c/(c−1))·B`. Any `N` on or
+/// above it makes `log_{M/B}(N/B) ≤ c`.
+pub fn surface_n(v: f64, b: f64, c: f64) -> f64 {
+    assert!(c > 1.0, "the surface is defined for c > 1");
+    v.powf(c / (c - 1.0)) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_matches_paper_figure7_scale() {
+        // Paper: for c = 2, B = 1000, v = 100 -> N ≈ 10 mega-items.
+        let n = surface_n(100.0, 1000.0, 2.0);
+        assert!((n - 1e7).abs() / 1e7 < 1e-9, "n = {n}");
+        // and v = 10_000 -> N = 10^8 * 10^3 = 10^11 (~100 giga-items).
+        let n = surface_n(10_000.0, 1000.0, 2.0);
+        assert!((n - 1e11).abs() / 1e11 < 1e-9, "n = {n}");
+    }
+
+    #[test]
+    fn surface_c3_needs_less_data() {
+        // Larger constant c => much smaller N. Paper: c = 3, v = 10^4:
+        // N = v^{3/2} * B = 10^6 * 10^3 = 10^9 (1 giga-item).
+        let n = surface_n(10_000.0, 1000.0, 3.0);
+        assert!((n - 1e9).abs() / 1e9 < 1e-9, "n = {n}");
+        assert!(n < surface_n(10_000.0, 1000.0, 2.0));
+    }
+
+    #[test]
+    fn log_term_on_surface_equals_c() {
+        for (v, b, c) in [(100.0, 1000.0, 2.0), (50.0, 512.0, 3.0), (1000.0, 1000.0, 2.5)] {
+            let n = surface_n(v, b, c);
+            let t = log_term(n, v, b).unwrap();
+            assert!((t - c).abs() < 1e-6, "v={v} b={b} c={c}: log term = {t}");
+            assert!(log_vanishes(n * 1.001, v, b, c));
+            assert!(!log_vanishes(n * 0.999, v, b, c));
+        }
+    }
+
+    #[test]
+    fn degenerate_params_yield_none() {
+        assert_eq!(log_term(100.0, 10.0, 100.0), None); // N = B·v, M/B = 1
+        assert_eq!(log_term(50.0, 1.0, 100.0), None); // N < B
+        assert!(!log_vanishes(100.0, 10.0, 100.0, 5.0));
+    }
+
+    #[test]
+    fn log_term_decreases_with_n() {
+        // More data (with v, B fixed) pushes the log term down toward 1.
+        let v = 64.0;
+        let b = 1024.0;
+        let t1 = log_term(1e7, v, b).unwrap();
+        let t2 = log_term(1e9, v, b).unwrap();
+        let t3 = log_term(1e12, v, b).unwrap();
+        assert!(t1 > t2 && t2 > t3 && t3 > 1.0);
+    }
+}

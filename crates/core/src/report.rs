@@ -1,0 +1,128 @@
+//! Run reports: the measured quantities the paper's theorems and
+//! experiments are stated in.
+
+use std::time::Duration;
+
+use cgmio_model::CommCosts;
+use cgmio_pdm::{DiskGeometry, DiskTimingModel, IoStats};
+
+/// Parallel-I/O operation counts split by purpose.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoBreakdown {
+    /// Operations spent loading the initial contexts onto the disks
+    /// (input distribution — not charged to the algorithm, reported
+    /// separately like the paper's input assumption).
+    pub setup_ops: u64,
+    /// Context swap operations (steps (a)/(e)).
+    pub ctx_ops: u64,
+    /// Message matrix operations (steps (b)/(d)).
+    pub msg_ops: u64,
+    /// Operations to read the final contexts back.
+    pub readout_ops: u64,
+}
+
+impl IoBreakdown {
+    /// Operations charged to the algorithm proper (excluding input
+    /// distribution and final readout).
+    pub fn algorithm_ops(&self) -> u64 {
+        self.ctx_ops + self.msg_ops
+    }
+}
+
+/// Full report of an EM-CGM run.
+#[derive(Debug, Clone)]
+pub struct EmRunReport {
+    /// h-relation accounting (identical in shape to the in-memory
+    /// runners').
+    pub costs: CommCosts,
+    /// Aggregated disk counters over all real processors.
+    pub io: IoStats,
+    /// Operation counts by purpose (aggregated).
+    pub breakdown: IoBreakdown,
+    /// Disk geometry per real processor.
+    pub geometry: DiskGeometry,
+    /// Real processors used.
+    pub p: usize,
+    /// Virtual processors simulated.
+    pub v: usize,
+    /// Peak internal memory used to simulate any single virtual
+    /// processor: context + inbox + outbox bytes.
+    pub peak_mem_bytes: usize,
+    /// Items that crossed a real-processor boundary (0 for Algorithm 2).
+    pub cross_thread_items: u64,
+    /// Wall-clock time of the superstep loop.
+    pub wall: Duration,
+}
+
+impl EmRunReport {
+    /// Per-real-processor parallel I/O count — the paper's I/O
+    /// complexity measure (`t_io / G`). Operations are aggregated over
+    /// real processors and divided by `p`, since the `p` arrays operate
+    /// concurrently.
+    pub fn io_ops_per_proc(&self) -> f64 {
+        self.breakdown.algorithm_ops() as f64 / self.p as f64
+    }
+
+    /// Modelled I/O wall-time in microseconds for a given disk timing
+    /// model (`G` times the op count, with the `p` processors' disk
+    /// arrays operating concurrently).
+    pub fn io_time_us(&self, model: &DiskTimingModel) -> f64 {
+        self.io_ops_per_proc() * model.op_time_us(self.geometry.block_bytes)
+    }
+
+    /// The paper's headline prediction for one round of simulated
+    /// h-relation: `O(N/(pDB))` parallel I/Os. Returns the measured
+    /// ratio `io_ops_per_proc / (total_items·item_bytes/(p·D·B))` — a
+    /// constant (independent of N, D, B, p) when the simulation achieves
+    /// its bound.
+    pub fn ops_vs_linear_bound(&self, total_items: u64, item_bytes: usize) -> f64 {
+        let linear = (total_items as f64 * item_bytes as f64)
+            / (self.p as f64 * self.geometry.num_disks as f64 * self.geometry.block_bytes as f64);
+        if linear == 0.0 {
+            f64::INFINITY
+        } else {
+            self.io_ops_per_proc() / linear
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> EmRunReport {
+        EmRunReport {
+            costs: CommCosts::default(),
+            io: IoStats::new(2),
+            breakdown: IoBreakdown { setup_ops: 10, ctx_ops: 30, msg_ops: 50, readout_ops: 5 },
+            geometry: DiskGeometry::new(2, 100),
+            p: 2,
+            v: 8,
+            peak_mem_bytes: 1234,
+            cross_thread_items: 0,
+            wall: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn algorithm_ops_excludes_setup_and_readout() {
+        let r = report();
+        assert_eq!(r.breakdown.algorithm_ops(), 80);
+        assert_eq!(r.io_ops_per_proc(), 40.0);
+    }
+
+    #[test]
+    fn linear_bound_ratio() {
+        let r = report();
+        // N = 1000 items of 8 bytes: linear = 8000/(2*2*100) = 20 ops
+        let ratio = r.ops_vs_linear_bound(1000, 8);
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_time_uses_model() {
+        let r = report();
+        let m = DiskTimingModel { position_us: 0.0, bandwidth_bytes_per_us: 100.0 };
+        assert!((r.io_time_us(&m) - 40.0 * 1.0).abs() < 1e-9);
+    }
+}

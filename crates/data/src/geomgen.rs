@@ -1,0 +1,167 @@
+//! Planar workloads: point sets, non-crossing segment sets, rectangles.
+//!
+//! All coordinates are integers (`i64`) so the geometry substrate can use
+//! exact predicates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A segment between two integer points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seg {
+    /// Left endpoint (`ax <= bx`).
+    pub ax: i64,
+    /// Left endpoint y.
+    pub ay: i64,
+    /// Right endpoint x.
+    pub bx: i64,
+    /// Right endpoint y.
+    pub by: i64,
+}
+
+/// An axis-aligned rectangle `[x1, x2] × [y1, y2]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rect {
+    /// Left edge.
+    pub x1: i64,
+    /// Bottom edge.
+    pub y1: i64,
+    /// Right edge (`> x1`).
+    pub x2: i64,
+    /// Top edge (`> y1`).
+    pub y2: i64,
+}
+
+/// `n` distinct random points with coordinates in `[0, scale)`.
+/// Distinctness is guaranteed by rejection; requires `scale² ≥ 4n`.
+pub fn random_points(n: usize, scale: i64, seed: u64) -> Vec<(i64, i64)> {
+    assert!(scale > 1 && (scale as i128) * (scale as i128) >= 4 * n as i128);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(n * 2);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let p = (rng.gen_range(0..scale), rng.gen_range(0..scale));
+        if seen.insert(p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Points on a jittered grid — distinct by construction, useful for
+/// Delaunay stress tests (many cocircular-ish configurations).
+pub fn grid_points(side: usize, spacing: i64, jitter: i64, seed: u64) -> Vec<(i64, i64)> {
+    assert!(jitter * 2 < spacing, "jitter must keep points distinct");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(side * side);
+    for i in 0..side {
+        for j in 0..side {
+            let dx = if jitter > 0 { rng.gen_range(-jitter..=jitter) } else { 0 };
+            let dy = if jitter > 0 { rng.gen_range(-jitter..=jitter) } else { 0 };
+            out.push((i as i64 * spacing + dx, j as i64 * spacing + dy));
+        }
+    }
+    out
+}
+
+/// `n` pairwise non-crossing segments: segment `k` lives at its own
+/// integer elevation band (distinct `y` ranges), with random horizontal
+/// extent — non-intersecting by construction, arbitrary x-overlaps.
+pub fn random_segments(n: usize, width: i64, seed: u64) -> Vec<Seg> {
+    assert!(width > 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|k| {
+            let y = 10 * k as i64;
+            let x1 = rng.gen_range(0..width - 1);
+            let x2 = rng.gen_range(x1 + 1..width);
+            // small slope within the band keeps segments non-horizontal
+            // sometimes, still non-crossing (bands are 10 apart, slopes
+            // bounded by ±4).
+            let dy1 = rng.gen_range(-4i64..=4);
+            let dy2 = rng.gen_range(-4i64..=4);
+            Seg { ax: x1, ay: y + dy1, bx: x2, by: y + dy2 }
+        })
+        .collect()
+}
+
+/// `n` random rectangles inside `[0, scale)²` with positive area.
+pub fn random_rects(n: usize, scale: i64, seed: u64) -> Vec<Rect> {
+    assert!(scale > 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x1 = rng.gen_range(0..scale - 1);
+            let x2 = rng.gen_range(x1 + 1..scale);
+            let y1 = rng.gen_range(0..scale - 1);
+            let y2 = rng.gen_range(y1 + 1..scale);
+            Rect { x1, y1, x2, y2 }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_are_distinct() {
+        let pts = random_points(2000, 1_000_000, 11);
+        let mut s = pts.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 2000);
+    }
+
+    #[test]
+    fn grid_points_distinct_and_counted() {
+        let pts = grid_points(10, 100, 20, 5);
+        assert_eq!(pts.len(), 100);
+        let mut s = pts.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 100);
+    }
+
+    fn orient(ax: i64, ay: i64, bx: i64, by: i64, cx: i64, cy: i64) -> i128 {
+        (bx - ax) as i128 * (cy - ay) as i128 - (by - ay) as i128 * (cx - ax) as i128
+    }
+
+    fn segs_cross(s: &Seg, t: &Seg) -> bool {
+        let d1 = orient(s.ax, s.ay, s.bx, s.by, t.ax, t.ay);
+        let d2 = orient(s.ax, s.ay, s.bx, s.by, t.bx, t.by);
+        let d3 = orient(t.ax, t.ay, t.bx, t.by, s.ax, s.ay);
+        let d4 = orient(t.ax, t.ay, t.bx, t.by, s.bx, s.by);
+        ((d1 > 0) != (d2 > 0)) && ((d3 > 0) != (d4 > 0)) && d1 != 0 && d2 != 0 && d3 != 0 && d4 != 0
+    }
+
+    #[test]
+    fn segments_do_not_cross() {
+        let segs = random_segments(100, 1000, 3);
+        for i in 0..segs.len() {
+            for j in i + 1..segs.len() {
+                assert!(!segs_cross(&segs[i], &segs[j]), "{i} x {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn segments_are_left_to_right() {
+        for s in random_segments(200, 500, 9) {
+            assert!(s.ax < s.bx);
+        }
+    }
+
+    #[test]
+    fn rects_have_positive_area() {
+        for r in random_rects(300, 1000, 2) {
+            assert!(r.x2 > r.x1 && r.y2 > r.y1);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(random_points(50, 1000, 1), random_points(50, 1000, 1));
+        assert_eq!(random_rects(50, 1000, 1), random_rects(50, 1000, 1));
+    }
+}

@@ -1,0 +1,253 @@
+//! Lists, trees, graphs and expression trees (Group C workloads).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::keys::random_permutation;
+
+/// A random singly linked list over nodes `0..n`, returned as a
+/// successor array: `succ[i]` is the next node, and the unique tail
+/// points to itself. The head is returned alongside.
+pub fn random_list(n: usize, seed: u64) -> (Vec<u64>, u64) {
+    assert!(n >= 1);
+    let order = random_permutation(n, seed);
+    let mut succ = vec![0u64; n];
+    for w in order.windows(2) {
+        succ[w[0] as usize] = w[1];
+    }
+    let tail = *order.last().unwrap();
+    succ[tail as usize] = tail;
+    (succ, order[0])
+}
+
+/// A random rooted tree over nodes `0..n` as a parent array (`parent[0]
+/// = 0` is the root). Node `i`'s parent is uniform over earlier nodes of
+/// a random relabelling, giving non-degenerate shapes.
+pub fn random_tree_parents(n: usize, seed: u64) -> Vec<u64> {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let label = random_permutation(n, seed ^ 0x9e3779b97f4a7c15);
+    // Build in label order: label[0] is the root.
+    let mut parent = vec![0u64; n];
+    parent[label[0] as usize] = label[0];
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        parent[label[i] as usize] = label[j];
+    }
+    // Relabel so node 0 is the root (swap roles of 0 and label[0]).
+    let root = label[0];
+    if root != 0 {
+        let map = |x: u64| {
+            if x == root {
+                0
+            } else if x == 0 {
+                root
+            } else {
+                x
+            }
+        };
+        let mut out = vec![0u64; n];
+        for x in 0..n {
+            out[map(x as u64) as usize] = map(parent[x]);
+        }
+        return out;
+    }
+    parent
+}
+
+/// A random forest: like [`random_tree_parents`] but each non-first node
+/// becomes a new root with probability `1/avg_tree_size`.
+pub fn random_forest_parents(n: usize, avg_tree_size: usize, seed: u64) -> Vec<u64> {
+    assert!(n >= 1 && avg_tree_size >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parent = vec![0u64; n];
+    parent[0] = 0;
+    for i in 1..n {
+        if rng.gen_range(0..avg_tree_size) == 0 {
+            parent[i] = i as u64; // new root
+        } else {
+            parent[i] = rng.gen_range(0..i) as u64;
+        }
+    }
+    parent
+}
+
+/// `m` distinct undirected edges over `n` vertices, no self-loops
+/// (the G(n, m) model). Requires `m ≤ n(n−1)/2`.
+pub fn gnm_edges(n: usize, m: usize, seed: u64) -> Vec<(u64, u64)> {
+    assert!(n >= 2);
+    let max = n as u128 * (n as u128 - 1) / 2;
+    assert!(m as u128 <= max, "too many edges requested");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut out = Vec::with_capacity(m);
+    while out.len() < m {
+        let a = rng.gen_range(0..n as u64);
+        let b = rng.gen_range(0..n as u64);
+        if a == b {
+            continue;
+        }
+        let e = (a.min(b), a.max(b));
+        if seen.insert(e) {
+            out.push(e);
+        }
+    }
+    out
+}
+
+/// Operators of a random arithmetic expression tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Addition.
+    Add,
+    /// Multiplication (values kept small to avoid overflow in tests).
+    Mul,
+    /// Maximum.
+    Max,
+}
+
+/// One node of an expression tree in array form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprNode {
+    /// Leaf with a constant value.
+    Leaf(i64),
+    /// Internal node applying `Op` to children `(left, right)`.
+    Node(Op, usize, usize),
+}
+
+/// A random full binary expression tree with `leaves` leaves, returned
+/// as a node array whose last element is the root. Leaf values are in
+/// `0..8` so `Mul` chains stay in range.
+pub fn random_expression(leaves: usize, seed: u64) -> Vec<ExprNode> {
+    assert!(leaves >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<ExprNode> = Vec::with_capacity(2 * leaves - 1);
+    let mut roots: Vec<usize> = (0..leaves)
+        .map(|_| {
+            nodes.push(ExprNode::Leaf(rng.gen_range(0..8)));
+            nodes.len() - 1
+        })
+        .collect();
+    while roots.len() > 1 {
+        let i = rng.gen_range(0..roots.len());
+        let a = roots.swap_remove(i);
+        let j = rng.gen_range(0..roots.len());
+        let b = roots.swap_remove(j);
+        let op = match rng.gen_range(0..3) {
+            0 => Op::Add,
+            1 => Op::Mul,
+            _ => Op::Max,
+        };
+        nodes.push(ExprNode::Node(op, a, b));
+        roots.push(nodes.len() - 1);
+    }
+    nodes
+}
+
+/// Evaluate an expression-tree node array (reference semantics for the
+/// CGM expression evaluation algorithm). Values saturate.
+pub fn eval_expression(nodes: &[ExprNode]) -> i64 {
+    fn eval(nodes: &[ExprNode], i: usize) -> i64 {
+        match nodes[i] {
+            ExprNode::Leaf(v) => v,
+            ExprNode::Node(op, a, b) => {
+                let x = eval(nodes, a);
+                let y = eval(nodes, b);
+                match op {
+                    Op::Add => x.saturating_add(y),
+                    Op::Mul => x.saturating_mul(y),
+                    Op::Max => x.max(y),
+                }
+            }
+        }
+    }
+    eval(nodes, nodes.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_single_chain() {
+        let n = 500;
+        let (succ, head) = random_list(n, 3);
+        let mut seen = vec![false; n];
+        let mut cur = head;
+        for _ in 0..n - 1 {
+            assert!(!seen[cur as usize]);
+            seen[cur as usize] = true;
+            cur = succ[cur as usize];
+        }
+        // last node is the tail: self-loop
+        assert!(!seen[cur as usize]);
+        assert_eq!(succ[cur as usize], cur);
+    }
+
+    #[test]
+    fn tree_parent_array_is_rooted_at_zero() {
+        let n = 300;
+        let parent = random_tree_parents(n, 7);
+        assert_eq!(parent[0], 0);
+        // every node reaches the root
+        for mut x in 0..n as u64 {
+            for _ in 0..n {
+                if x == 0 {
+                    break;
+                }
+                x = parent[x as usize];
+            }
+            assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    fn forest_has_multiple_roots() {
+        let parent = random_forest_parents(1000, 50, 1);
+        let roots = parent.iter().enumerate().filter(|&(i, &p)| p == i as u64).count();
+        assert!(roots > 3, "roots = {roots}");
+        // acyclic: every node reaches some root
+        for mut x in 0..1000u64 {
+            for _ in 0..1001 {
+                let p = parent[x as usize];
+                if p == x {
+                    break;
+                }
+                x = p;
+            }
+            assert_eq!(parent[x as usize], x);
+        }
+    }
+
+    #[test]
+    fn gnm_edges_distinct_no_loops() {
+        let edges = gnm_edges(100, 500, 9);
+        assert_eq!(edges.len(), 500);
+        let mut s = edges.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 500);
+        for (a, b) in edges {
+            assert!(a < b && b < 100);
+        }
+    }
+
+    #[test]
+    fn expression_evaluates() {
+        let nodes = random_expression(64, 5);
+        assert_eq!(nodes.len(), 127);
+        let v1 = eval_expression(&nodes);
+        let v2 = eval_expression(&random_expression(64, 5));
+        assert_eq!(v1, v2, "deterministic");
+    }
+
+    #[test]
+    fn tiny_sizes_work() {
+        let (succ, head) = random_list(1, 0);
+        assert_eq!(succ, vec![0]);
+        assert_eq!(head, 0);
+        assert_eq!(random_tree_parents(1, 0), vec![0]);
+        let e = random_expression(1, 0);
+        assert_eq!(e.len(), 1);
+    }
+}

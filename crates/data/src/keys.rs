@@ -1,0 +1,127 @@
+//! Key sequences and permutations (sorting / permutation workloads).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `n` uniform random `u64` keys.
+pub fn uniform_u64(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// `n` already-sorted keys (adversarially easy input).
+pub fn sorted_u64(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| i * 3 + 1).collect()
+}
+
+/// `n` reverse-sorted keys.
+pub fn reverse_sorted_u64(n: usize) -> Vec<u64> {
+    (0..n as u64).rev().map(|i| i * 3 + 1).collect()
+}
+
+/// Sorted keys with `swaps` random transpositions applied.
+pub fn almost_sorted_u64(n: usize, swaps: usize, seed: u64) -> Vec<u64> {
+    let mut keys = sorted_u64(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..swaps {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        keys.swap(i, j);
+    }
+    keys
+}
+
+/// `n` keys drawn from only `distinct` values (duplicate-heavy input,
+/// the classic sample-sort stress case).
+pub fn few_distinct_u64(n: usize, distinct: usize, seed: u64) -> Vec<u64> {
+    assert!(distinct >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0..distinct as u64) * 7 + 3).collect()
+}
+
+/// A heavy-tailed ("zipf-like") key distribution: value `k` has weight
+/// `∝ 1/(k+1)`. Implemented by inverse-CDF over a harmonic prefix table.
+pub fn zipf_like_u64(n: usize, universe: usize, seed: u64) -> Vec<u64> {
+    assert!(universe >= 1);
+    let mut cdf = Vec::with_capacity(universe);
+    let mut acc = 0.0f64;
+    for k in 0..universe {
+        acc += 1.0 / (k as f64 + 1.0);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.gen::<f64>() * total;
+            cdf.partition_point(|&c| c < x) as u64
+        })
+        .collect()
+}
+
+/// A uniformly random permutation of `0..n` (Fisher–Yates).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u64> {
+    let mut perm: Vec<u64> = (0..n as u64).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_u64(100, 7), uniform_u64(100, 7));
+        assert_ne!(uniform_u64(100, 7), uniform_u64(100, 8));
+        assert_eq!(random_permutation(50, 3), random_permutation(50, 3));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = random_permutation(1000, 42);
+        let mut seen = vec![false; 1000];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sorted_and_reverse_are_inverses() {
+        let a = sorted_u64(10);
+        let mut b = reverse_sorted_u64(10);
+        b.reverse();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn few_distinct_respects_universe() {
+        let keys = few_distinct_u64(500, 5, 1);
+        let mut uniq: Vec<u64> = keys.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert!(uniq.len() <= 5);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let keys = zipf_like_u64(10_000, 100, 9);
+        let zeros = keys.iter().filter(|&&k| k == 0).count();
+        let nineties = keys.iter().filter(|&&k| k >= 90).count();
+        assert!(zeros * 2 > nineties, "zeros={zeros} tail={nineties}");
+        assert!(keys.iter().all(|&k| k < 100));
+    }
+
+    #[test]
+    fn almost_sorted_mostly_sorted() {
+        let keys = almost_sorted_u64(1000, 5, 4);
+        let inversions = keys.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions <= 20);
+    }
+}

@@ -1,0 +1,25 @@
+//! # cgmio-data — deterministic workload generators
+//!
+//! Every experiment in the workspace draws its input from here, always
+//! through a caller-supplied seed, so runs are reproducible bit-for-bit.
+//! Generators cover the workloads of the paper's Figure 5: key sequences
+//! and permutations (Group A), planar point/segment/rectangle sets
+//! (Group B), and lists, trees and graphs (Group C).
+
+#![warn(missing_docs)]
+
+pub mod geomgen;
+pub mod graphgen;
+pub mod keys;
+pub mod split;
+
+pub use geomgen::{grid_points, random_points, random_rects, random_segments, Rect, Seg};
+pub use graphgen::{
+    gnm_edges, random_expression, random_forest_parents, random_list, random_tree_parents,
+    ExprNode, Op,
+};
+pub use keys::{
+    almost_sorted_u64, few_distinct_u64, random_permutation, reverse_sorted_u64, sorted_u64,
+    uniform_u64, zipf_like_u64,
+};
+pub use split::{block_split, block_split_ranges};

@@ -1,0 +1,60 @@
+//! Block distribution of a global input across `v` virtual processors —
+//! the standard CGM input convention (processor `i` holds items
+//! `i·N/v .. (i+1)·N/v`).
+
+/// Split `items` into `v` contiguous blocks whose sizes differ by at
+/// most one (first `n mod v` blocks get the extra item).
+pub fn block_split<T>(items: Vec<T>, v: usize) -> Vec<Vec<T>> {
+    assert!(v >= 1);
+    let n = items.len();
+    let mut out = Vec::with_capacity(v);
+    let mut it = items.into_iter();
+    for t in 0..v {
+        let r = block_split_ranges(n, v, t);
+        out.push(it.by_ref().take(r.len()).collect());
+    }
+    out
+}
+
+/// The index range of block `t` under [`block_split`].
+pub fn block_split_ranges(n: usize, v: usize, t: usize) -> std::ops::Range<usize> {
+    let base = n / v;
+    let extra = n % v;
+    let start = t * base + t.min(extra);
+    start..start + base + usize::from(t < extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_in_order() {
+        let items: Vec<u32> = (0..23).collect();
+        let blocks = block_split(items.clone(), 5);
+        assert_eq!(blocks.len(), 5);
+        let flat: Vec<u32> = blocks.iter().flatten().copied().collect();
+        assert_eq!(flat, items);
+        // sizes differ by at most 1
+        let sizes: Vec<usize> = blocks.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![5, 5, 5, 4, 4]);
+    }
+
+    #[test]
+    fn ranges_match_split() {
+        let n = 23;
+        let v = 5;
+        let blocks = block_split((0..n as u32).collect::<Vec<_>>(), v);
+        for t in 0..v {
+            let r = block_split_ranges(n, v, t);
+            assert_eq!(blocks[t].len(), r.len());
+            assert_eq!(blocks[t].first().copied(), r.clone().next().map(|x| x as u32));
+        }
+    }
+
+    #[test]
+    fn more_blocks_than_items() {
+        let blocks = block_split(vec![1, 2], 4);
+        assert_eq!(blocks, vec![vec![1], vec![2], vec![], vec![]]);
+    }
+}

@@ -1,0 +1,113 @@
+//! 2D weighted dominance counting (Group B row 7): for every point, the
+//! total weight of points it dominates (`q.x ≤ p.x` and `q.y ≤ p.y`,
+//! `q ≠ p`).
+
+use crate::fenwick::Fenwick;
+use crate::predicates::Point;
+
+/// For each input point, the sum of weights of the points it dominates.
+/// Sweep by `x` with a Fenwick tree over compressed `y` ranks;
+/// `O(n log n)`, exact in `i128`.
+pub fn dominance_weights(pts: &[Point], weights: &[i64]) -> Vec<i128> {
+    assert_eq!(pts.len(), weights.len());
+    let n = pts.len();
+    // compress y
+    let mut ys: Vec<i64> = pts.iter().map(|p| p.1).collect();
+    ys.sort_unstable();
+    ys.dedup();
+    let yrank = |y: i64| ys.binary_search(&y).unwrap();
+
+    // sweep points in (x, y) order; equal points are grouped so that a
+    // point never counts itself or its exact duplicates.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&i| pts[i]);
+
+    let mut out = vec![0i128; n];
+    let mut bit = Fenwick::new(ys.len());
+    let mut i = 0;
+    while i < n {
+        // group of identical (x, y) points
+        let mut j = i;
+        while j < n && pts[order[j]] == pts[order[i]] {
+            j += 1;
+        }
+        // pending: strictly-smaller-x points are all inserted; equal-x
+        // points with smaller y too. Insert equal-x smaller-y first:
+        // sort order guarantees they came earlier and were inserted.
+        let r = yrank(pts[order[i]].1);
+        let count = bit.prefix(r);
+        for &idx in &order[i..j] {
+            out[idx] = count;
+        }
+        for &idx in &order[i..j] {
+            bit.add(r, weights[idx] as i128);
+        }
+        i = j;
+    }
+    out
+}
+
+/// O(n²) reference.
+pub fn dominance_weights_naive(pts: &[Point], weights: &[i64]) -> Vec<i128> {
+    (0..pts.len())
+        .map(|i| {
+            pts.iter()
+                .zip(weights)
+                .enumerate()
+                .filter(|&(j, (q, _))| j != i && q.0 <= pts[i].0 && q.1 <= pts[i].1 && *q != pts[i])
+                .map(|(_, (_, &w))| w as i128)
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::random_points;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn small_example() {
+        let pts = vec![(0, 0), (1, 1), (2, 0), (1, 2)];
+        let w = vec![1, 10, 100, 1000];
+        // (0,0): nothing; (1,1): (0,0); (2,0): (0,0); (1,2): (0,0)+(1,1)
+        assert_eq!(dominance_weights(&pts, &w), vec![0, 1, 1, 11]);
+    }
+
+    #[test]
+    fn duplicates_do_not_dominate_each_other() {
+        let pts = vec![(3, 3), (3, 3), (0, 0)];
+        let w = vec![5, 7, 1];
+        assert_eq!(dominance_weights(&pts, &w), vec![1, 1, 0]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        for seed in 0..5u64 {
+            let pts = random_points(200, 50, seed); // small range => many x/y ties
+            let mut rng = StdRng::seed_from_u64(seed + 100);
+            let w: Vec<i64> = (0..200).map(|_| rng.gen_range(-20..20)).collect();
+            assert_eq!(dominance_weights(&pts, &w), dominance_weights_naive(&pts, &w), "{seed}");
+        }
+    }
+
+    #[test]
+    fn boundary_equal_coordinates_count() {
+        // q with equal x but smaller y IS dominated.
+        let pts = vec![(5, 1), (5, 9)];
+        let w = vec![2, 3];
+        assert_eq!(dominance_weights(&pts, &w), vec![0, 2]);
+    }
+
+    #[test]
+    fn chain_accumulates() {
+        let pts: Vec<Point> = (0..20).map(|i| (i, i)).collect();
+        let w = vec![1i64; 20];
+        let d = dominance_weights(&pts, &w);
+        for (i, &x) in d.iter().enumerate() {
+            assert_eq!(x, i as i128);
+        }
+    }
+}

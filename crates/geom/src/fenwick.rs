@@ -1,0 +1,76 @@
+//! Fenwick (binary-indexed) tree — prefix sums under point updates,
+//! used by the dominance-counting reference.
+
+/// A Fenwick tree over `i128` values.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<i128>,
+}
+
+impl Fenwick {
+    /// A tree over positions `0..n`, all zero.
+    pub fn new(n: usize) -> Self {
+        Self { tree: vec![0; n + 1] }
+    }
+
+    /// Add `delta` at position `i`.
+    pub fn add(&mut self, i: usize, delta: i128) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of positions `0..=i`.
+    pub fn prefix(&self, i: usize) -> i128 {
+        let mut i = (i + 1).min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over the whole array.
+    pub fn total(&self) -> i128 {
+        self.prefix(self.tree.len().saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums() {
+        let mut f = Fenwick::new(10);
+        f.add(0, 5);
+        f.add(3, 2);
+        f.add(9, -1);
+        assert_eq!(f.prefix(0), 5);
+        assert_eq!(f.prefix(2), 5);
+        assert_eq!(f.prefix(3), 7);
+        assert_eq!(f.prefix(9), 6);
+        assert_eq!(f.total(), 6);
+    }
+
+    #[test]
+    fn matches_naive_on_random_ops() {
+        let n = 64;
+        let mut f = Fenwick::new(n);
+        let mut naive = vec![0i128; n];
+        let mut x = 123456789u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (x >> 33) as usize % n;
+            let d = ((x % 17) as i128) - 8;
+            f.add(i, d);
+            naive[i] += d;
+            let q = (x >> 17) as usize % n;
+            let want: i128 = naive[..=q].iter().sum();
+            assert_eq!(f.prefix(q), want);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Convex hulls (Andrew's monotone chain) and hull-based directional
+//! separability.
+
+use crate::predicates::{orient2d, Point};
+
+/// The convex hull of `pts` in counter-clockwise order, starting from
+/// the lexicographically smallest point. Collinear boundary points are
+/// dropped; degenerate inputs (≤ 2 distinct points, or all collinear)
+/// return the distinct extreme points.
+pub fn convex_hull(pts: &[Point]) -> Vec<Point> {
+    let mut p: Vec<Point> = pts.to_vec();
+    p.sort_unstable();
+    p.dedup();
+    let n = p.len();
+    if n <= 2 {
+        return p;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // lower hull
+    for &pt in &p {
+        while hull.len() >= 2 && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], pt) <= 0 {
+            hull.pop();
+        }
+        hull.push(pt);
+    }
+    // upper hull
+    let lower_len = hull.len() + 1;
+    for &pt in p.iter().rev().skip(1) {
+        while hull.len() >= lower_len && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], pt) <= 0
+        {
+            hull.pop();
+        }
+        hull.push(pt);
+    }
+    hull.pop();
+    // all-collinear input collapses to the two extremes
+    if hull.len() < 3 {
+        hull.truncate(2);
+    }
+    hull
+}
+
+/// Uni-directional separability of two *point sets by a line
+/// perpendicular to `dir`*: can `a` be translated to infinity along
+/// `dir` without ever meeting `b`? For convex obstacles this holds iff
+/// there is a separating line with normal `dir`, i.e. iff
+/// `max_{p∈a} ⟨p, dir⟩ < min_{q∈b} ⟨q, dir⟩` — a projection test that
+/// only needs the hulls' extreme points.
+pub fn hull_separable_in_direction(a: &[Point], b: &[Point], dir: (i64, i64)) -> bool {
+    assert!(dir != (0, 0), "direction must be non-zero");
+    let proj = |p: Point| p.0 as i128 * dir.0 as i128 + p.1 as i128 * dir.1 as i128;
+    let amax = a.iter().copied().map(proj).max();
+    let bmin = b.iter().copied().map(proj).min();
+    match (amax, bmin) {
+        (Some(am), Some(bm)) => am < bm,
+        _ => true, // an empty set is separable from anything
+    }
+}
+
+/// Is `q` strictly inside the convex polygon `hull` (ccw)?
+pub fn inside_hull(hull: &[Point], q: Point) -> bool {
+    if hull.len() < 3 {
+        return false;
+    }
+    hull.iter()
+        .zip(hull.iter().cycle().skip(1))
+        .all(|(&a, &b)| orient2d(a, b, q) > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::random_points;
+
+    #[test]
+    fn square_hull() {
+        let pts = vec![(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)];
+        let h = convex_hull(&pts);
+        assert_eq!(h, vec![(0, 0), (2, 0), (2, 2), (0, 2)]);
+    }
+
+    #[test]
+    fn collinear_input_gives_extremes() {
+        let pts: Vec<Point> = (0..10).map(|i| (i, 2 * i)).collect();
+        assert_eq!(convex_hull(&pts), vec![(0, 0), (9, 18)]);
+    }
+
+    #[test]
+    fn duplicates_and_tiny_inputs() {
+        assert_eq!(convex_hull(&[]), vec![]);
+        assert_eq!(convex_hull(&[(1, 1), (1, 1)]), vec![(1, 1)]);
+        assert_eq!(convex_hull(&[(2, 3), (0, 1)]), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn hull_contains_all_points() {
+        let pts = random_points(500, 1000, 3);
+        let h = convex_hull(&pts);
+        // every point on or inside: no point strictly outside any edge
+        for &q in &pts {
+            for (i, &a) in h.iter().enumerate() {
+                let b = h[(i + 1) % h.len()];
+                assert!(orient2d(a, b, q) >= 0, "{q:?} outside edge {a:?}-{b:?}");
+            }
+        }
+        // hull is strictly convex (no collinear triples)
+        for i in 0..h.len() {
+            let (a, b, c) = (h[i], h[(i + 1) % h.len()], h[(i + 2) % h.len()]);
+            assert!(orient2d(a, b, c) > 0);
+        }
+    }
+
+    #[test]
+    fn hull_is_subset_of_input() {
+        let pts = random_points(200, 500, 9);
+        let h = convex_hull(&pts);
+        for p in &h {
+            assert!(pts.contains(p));
+        }
+    }
+
+    #[test]
+    fn separability_by_projection() {
+        let a = vec![(0, 0), (1, 1), (2, 0)];
+        let b = vec![(5, 0), (6, 1)];
+        assert!(hull_separable_in_direction(&a, &b, (1, 0)));
+        assert!(!hull_separable_in_direction(&b, &a, (1, 0)));
+        assert!(hull_separable_in_direction(&b, &a, (-1, 0)));
+        // overlapping in y: not separable vertically
+        assert!(!hull_separable_in_direction(&a, &b, (0, 1)));
+        // empty set separable
+        assert!(hull_separable_in_direction(&[], &b, (1, 0)));
+    }
+
+    #[test]
+    fn inside_hull_checks() {
+        let h = vec![(0, 0), (4, 0), (4, 4), (0, 4)];
+        assert!(inside_hull(&h, (2, 2)));
+        assert!(!inside_hull(&h, (4, 2))); // boundary is not strict inside
+        assert!(!inside_hull(&h, (5, 2)));
+    }
+}

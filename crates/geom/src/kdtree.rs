@@ -1,0 +1,163 @@
+//! A 2-d tree for exact nearest-neighbour queries (Group B row 6's
+//! "2D-nearest neighbors of a point set").
+
+use crate::predicates::{dist2, Point};
+
+/// Static kd-tree over a point set.
+pub struct KdTree {
+    /// Points in tree order.
+    pts: Vec<Point>,
+    /// Original index of each tree-order point.
+    idx: Vec<u32>,
+}
+
+impl KdTree {
+    /// Build from a point slice (indices refer to this slice).
+    pub fn build(points: &[Point]) -> Self {
+        let mut pairs: Vec<(Point, u32)> =
+            points.iter().copied().zip(0..points.len() as u32).collect();
+        build_rec(&mut pairs, 0);
+        let (pts, idx) = pairs.into_iter().unzip();
+        Self { pts, idx }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.pts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pts.is_empty()
+    }
+
+    /// Nearest neighbour of `q`, excluding points at original index
+    /// `exclude` (use `u32::MAX` for none). Returns `(original_index,
+    /// squared_distance)`. Ties broken by smallest original index.
+    pub fn nearest(&self, q: Point, exclude: u32) -> Option<(u32, i128)> {
+        if self.pts.is_empty() {
+            return None;
+        }
+        let mut best: Option<(u32, i128)> = None;
+        self.search(0, self.pts.len(), 0, q, exclude, &mut best);
+        best
+    }
+
+    fn search(
+        &self,
+        lo: usize,
+        hi: usize,
+        axis: usize,
+        q: Point,
+        exclude: u32,
+        best: &mut Option<(u32, i128)>,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let p = self.pts[mid];
+        let i = self.idx[mid];
+        if i != exclude {
+            let d = dist2(q, p);
+            let better = match *best {
+                None => true,
+                Some((bi, bd)) => d < bd || (d == bd && i < bi),
+            };
+            if better {
+                *best = Some((i, d));
+            }
+        }
+        let qc = if axis == 0 { q.0 } else { q.1 };
+        let pc = if axis == 0 { p.0 } else { p.1 };
+        let (near, far) = if qc <= pc { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        self.search(near.0, near.1, 1 - axis, q, exclude, best);
+        let plane = (qc - pc) as i128 * (qc - pc) as i128;
+        if best.map(|(_, bd)| plane <= bd).unwrap_or(true) {
+            self.search(far.0, far.1, 1 - axis, q, exclude, best);
+        }
+    }
+}
+
+fn build_rec(pairs: &mut [(Point, u32)], axis: usize) {
+    if pairs.len() <= 1 {
+        return;
+    }
+    let mid = pairs.len() / 2;
+    pairs.select_nth_unstable_by_key(mid, |&(p, i)| {
+        if axis == 0 {
+            (p.0, p.1, i)
+        } else {
+            (p.1, p.0, i)
+        }
+    });
+    let (l, r) = pairs.split_at_mut(mid);
+    build_rec(l, 1 - axis);
+    build_rec(&mut r[1..], 1 - axis);
+}
+
+/// All nearest neighbours: for every point, the index of its closest
+/// other point (ties to the smallest index). Returns `u32::MAX` entries
+/// only when the input has a single point.
+pub fn all_nearest_neighbors(points: &[Point]) -> Vec<u32> {
+    let tree = KdTree::build(points);
+    (0..points.len() as u32)
+        .map(|i| tree.nearest(points[i as usize], i).map(|(j, _)| j).unwrap_or(u32::MAX))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::random_points;
+
+    fn naive_nn(points: &[Point], i: usize) -> u32 {
+        let mut best = (u32::MAX, i128::MAX);
+        for (j, &q) in points.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            let d = dist2(points[i], q);
+            if d < best.1 || (d == best.1 && (j as u32) < best.0) {
+                best = (j as u32, d);
+            }
+        }
+        best.0
+    }
+
+    #[test]
+    fn matches_naive_on_random_sets() {
+        for seed in 0..4u64 {
+            let pts = random_points(300, 100, seed); // dense => distance ties occur
+            let nn = all_nearest_neighbors(&pts);
+            for i in 0..pts.len() {
+                assert_eq!(nn[i], naive_nn(&pts, i), "seed {seed} i {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(all_nearest_neighbors(&[(0, 0)]), vec![u32::MAX]);
+        assert_eq!(all_nearest_neighbors(&[(0, 0), (1, 0)]), vec![1, 0]);
+        assert!(KdTree::build(&[]).nearest((0, 0), u32::MAX).is_none());
+    }
+
+    #[test]
+    fn nearest_with_no_exclusion_finds_self() {
+        let pts = vec![(5, 5), (9, 9)];
+        let t = KdTree::build(&pts);
+        assert_eq!(t.nearest((5, 5), u32::MAX), Some((0, 0)));
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point> = (0..10).map(|i| (i * i, 0)).collect(); // growing gaps
+        let nn = all_nearest_neighbors(&pts);
+        for i in 1..10usize {
+            // nearest of point i is i-1 (previous gap smaller than next)
+            assert_eq!(nn[i], (i - 1) as u32, "i={i}");
+        }
+        assert_eq!(nn[0], 1);
+    }
+}

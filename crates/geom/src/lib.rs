@@ -1,0 +1,31 @@
+//! # cgmio-geom — computational-geometry substrate
+//!
+//! Exact integer predicates and sequential reference implementations for
+//! the paper's Group B problems. All coordinates are `i64` bounded by
+//! [`predicates::MAX_COORD`] so every predicate evaluates exactly in
+//! `i128`.
+
+#![warn(missing_docs)]
+
+pub mod dominance;
+pub mod envelope;
+pub mod fenwick;
+pub mod hull;
+pub mod kdtree;
+pub mod maxima;
+pub mod pointloc;
+pub mod predicates;
+pub mod rects;
+pub mod segtree;
+pub mod triangulate;
+
+pub use envelope::{lower_envelope, merge_envelopes, upper_envelope, EnvPiece};
+pub use fenwick::Fenwick;
+pub use hull::{convex_hull, hull_separable_in_direction};
+pub use kdtree::KdTree;
+pub use maxima::maxima_3d;
+pub use pointloc::{segment_below, sweep_point_location, trapezoids};
+pub use predicates::{cmp_at_x, orient2d, Point};
+pub use rects::union_area;
+pub use segtree::IntervalTree;
+pub use triangulate::triangulate_points;

@@ -1,0 +1,111 @@
+//! 3D maxima (reference): a point is *maximal* when no other point
+//! dominates it in all three coordinates.
+
+/// Indices of the maximal points of `pts` (a point `q` dominates `p`
+/// when `q ≥ p` coordinate-wise and `q ≠ p`). Classic sweep: descending
+/// `x`, maintaining the 2D staircase of `(y, z)` maxima.
+pub fn maxima_3d(pts: &[(i64, i64, i64)]) -> Vec<usize> {
+    // Exact duplicates do not dominate each other: sweep over distinct
+    // points, then expand back to indices.
+    let mut uniq: Vec<(i64, i64, i64)> = pts.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let maximal_uniq = maxima_3d_distinct(&uniq);
+    let maximal: std::collections::HashSet<(i64, i64, i64)> =
+        maximal_uniq.into_iter().map(|i| uniq[i]).collect();
+    (0..pts.len()).filter(|&i| maximal.contains(&pts[i])).collect()
+}
+
+/// Sweep over *distinct* points (descending x, then descending (y, z) so
+/// dominators are scanned before dominatees).
+fn maxima_3d_distinct(pts: &[(i64, i64, i64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..pts.len()).collect();
+    idx.sort_unstable_by(|&a, &b| pts[b].cmp(&pts[a]));
+    // staircase: y -> max z among processed points with that-or-higher y;
+    // kept as a Vec of (y, z) with y descending and z strictly increasing.
+    let mut stairs: Vec<(i64, i64)> = Vec::new();
+    let mut out = Vec::new();
+    for &i in &idx {
+        let (_, y, z) = pts[i];
+        // dominated iff some processed point has y' >= y and z' >= z.
+        // stairs is sorted by y descending; binary search the last entry
+        // with y' >= y and check its max z (z increases along the vec).
+        let pos = stairs.partition_point(|&(sy, _)| sy >= y);
+        let dominated = pos > 0 && stairs[pos - 1].1 >= z;
+        if !dominated {
+            out.push(i);
+            // insert (y, z), discarding dominated stairs entries
+            // (those with y' <= y and z' <= z).
+            let ins = stairs.partition_point(|&(sy, _)| sy > y);
+            let mut end = ins;
+            while end < stairs.len() && stairs[end].1 <= z {
+                end += 1;
+            }
+            stairs.splice(ins..end, [(y, z)]);
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// O(n²) reference for tests.
+pub fn maxima_3d_naive(pts: &[(i64, i64, i64)]) -> Vec<usize> {
+    (0..pts.len())
+        .filter(|&i| {
+            !pts.iter().enumerate().any(|(j, q)| {
+                j != i
+                    && q.0 >= pts[i].0
+                    && q.1 >= pts[i].1
+                    && q.2 >= pts[i].2
+                    && *q != pts[i]
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn simple_case() {
+        let pts = vec![(0, 0, 0), (1, 1, 1), (2, 0, 0), (0, 2, 0), (0, 0, 2)];
+        // (0,0,0) dominated by (1,1,1); others are maximal
+        assert_eq!(maxima_3d(&pts), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts: Vec<(i64, i64, i64)> = (0..300)
+                .map(|_| (rng.gen_range(0..40), rng.gen_range(0..40), rng.gen_range(0..40)))
+                .collect();
+            assert_eq!(maxima_3d(&pts), maxima_3d_naive(&pts), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn duplicates_are_all_maximal_or_all_not() {
+        let pts = vec![(5, 5, 5), (5, 5, 5), (6, 6, 6)];
+        // both duplicates dominated by (6,6,6)
+        assert_eq!(maxima_3d(&pts), vec![2]);
+        let pts = vec![(5, 5, 5), (5, 5, 5)];
+        // equal points do not dominate each other
+        assert_eq!(maxima_3d(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn chain_has_single_maximum() {
+        let pts: Vec<(i64, i64, i64)> = (0..50).map(|i| (i, i, i)).collect();
+        assert_eq!(maxima_3d(&pts), vec![49]);
+    }
+
+    #[test]
+    fn antichain_all_maximal() {
+        let pts: Vec<(i64, i64, i64)> = (0..50).map(|i| (i, 49 - i, 0)).collect();
+        assert_eq!(maxima_3d(&pts).len(), 50);
+    }
+}

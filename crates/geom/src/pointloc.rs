@@ -1,0 +1,205 @@
+//! Batched planar point location over non-crossing segments: for every
+//! query point, the segment directly below it ("next element search"),
+//! plus the trapezoidal decomposition derived from segment endpoints
+//! (Group B rows 1–2).
+
+use crate::predicates::{seg_y_cmp, Point};
+use std::cmp::Ordering;
+
+/// The index of the segment directly below point `q` (the segment with
+/// the greatest `y < q.y`, or containing `q`), or `None`. Linear scan —
+/// used as the exact reference.
+pub fn segment_below(segs: &[(Point, Point)], q: Point) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    for (i, &s) in segs.iter().enumerate() {
+        if s.0 .0 <= q.0 && q.0 <= s.1 .0 && seg_y_cmp(s, q.0, q.1) != Ordering::Greater {
+            best = Some(match best {
+                None => i as u32,
+                Some(b) => {
+                    // keep the higher of the two at q.0; ties -> smaller id
+                    match crate::predicates::cmp_at_x(segs[b as usize], s, q.0) {
+                        Ordering::Less => i as u32,
+                        Ordering::Greater => b,
+                        Ordering::Equal => b.min(i as u32),
+                    }
+                }
+            });
+        }
+    }
+    best
+}
+
+/// Batched point location by plane sweep: for each query, the segment
+/// directly below (or containing) it. `O((n + m) log (n + m))` with a
+/// y-ordered active list; segments must be non-crossing and
+/// non-vertical.
+pub fn sweep_point_location(segs: &[(Point, Point)], queries: &[Point]) -> Vec<Option<u32>> {
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Ev {
+        // order within equal x: insert segments first (so a query at a
+        // left endpoint sees the segment), then queries, then removals
+        // (so a query at a right endpoint still sees it).
+        Insert = 0,
+        Query = 1,
+        Remove = 2,
+    }
+    let mut events: Vec<(i64, Ev, u32)> = Vec::with_capacity(2 * segs.len() + queries.len());
+    for (i, s) in segs.iter().enumerate() {
+        assert!(s.0 .0 < s.1 .0, "segments must be non-vertical, left-to-right");
+        events.push((s.0 .0, Ev::Insert, i as u32));
+        events.push((s.1 .0, Ev::Remove, i as u32));
+    }
+    for (i, q) in queries.iter().enumerate() {
+        events.push((q.0, Ev::Query, i as u32));
+    }
+    events.sort_unstable();
+
+    let mut active: Vec<u32> = Vec::new(); // sorted by y at current x
+    let mut out = vec![None; queries.len()];
+    for (x, ev, id) in events {
+        match ev {
+            Ev::Insert => {
+                let s = segs[id as usize];
+                let pos = active.partition_point(|&a| {
+                    match crate::predicates::cmp_at_x(segs[a as usize], s, x) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        // equal at x (shared endpoint): order by the other
+                        // endpoint via comparison slightly to the right —
+                        // use the segment end x of the shorter overlap.
+                        Ordering::Equal => {
+                            let hx = segs[a as usize].1 .0.min(s.1 .0);
+                            match crate::predicates::cmp_at_x(segs[a as usize], s, hx) {
+                                Ordering::Less => true,
+                                Ordering::Greater => false,
+                                Ordering::Equal => a < id,
+                            }
+                        }
+                    }
+                });
+                active.insert(pos, id);
+            }
+            Ev::Remove => {
+                let pos = active.iter().position(|&a| a == id).expect("active segment");
+                active.remove(pos);
+            }
+            Ev::Query => {
+                let q = queries[id as usize];
+                // highest active segment with y <= q.y at x
+                let pos = active.partition_point(|&a| {
+                    seg_y_cmp(segs[a as usize], x, q.1) != Ordering::Greater
+                });
+                out[id as usize] = pos.checked_sub(1).map(|p| active[p]);
+            }
+        }
+    }
+    out
+}
+
+/// Trapezoidal decomposition summary: for every segment endpoint, the
+/// segment directly below it (excluding its own segment). This is the
+/// vertical-extension information defining the trapezoidation.
+pub fn trapezoids(segs: &[(Point, Point)]) -> Vec<(Option<u32>, Option<u32>)> {
+    let below_of = |q: Point, skip: u32| -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for (i, &s) in segs.iter().enumerate() {
+            if i as u32 == skip {
+                continue;
+            }
+            if s.0 .0 <= q.0 && q.0 <= s.1 .0 && seg_y_cmp(s, q.0, q.1) != Ordering::Greater {
+                best = Some(match best {
+                    None => i as u32,
+                    Some(b) => match crate::predicates::cmp_at_x(segs[b as usize], s, q.0) {
+                        Ordering::Less => i as u32,
+                        Ordering::Greater => b,
+                        Ordering::Equal => b.min(i as u32),
+                    },
+                });
+            }
+        }
+        best
+    };
+    segs.iter()
+        .enumerate()
+        .map(|(i, &(a, b))| (below_of(a, i as u32), below_of(b, i as u32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{random_points, random_segments};
+
+    fn to_segs(raw: &[cgmio_data::Seg]) -> Vec<(Point, Point)> {
+        raw.iter().map(|s| ((s.ax, s.ay), (s.bx, s.by))).collect()
+    }
+
+    #[test]
+    fn sweep_matches_reference_on_random_inputs() {
+        for seed in 0..5u64 {
+            let segs = to_segs(&random_segments(50, 300, seed));
+            let queries: Vec<Point> = random_points(200, 300, seed + 50)
+                .into_iter()
+                .map(|(x, y)| (x, y * 2)) // spread above/below bands
+                .collect();
+            let got = sweep_point_location(&segs, &queries);
+            for (qi, &q) in queries.iter().enumerate() {
+                let want = segment_below(&segs, q);
+                match (got[qi], want) {
+                    (Some(g), Some(w)) if g != w => {
+                        // both must be at the same height at q.x (a tie)
+                        assert_eq!(
+                            crate::predicates::cmp_at_x(segs[g as usize], segs[w as usize], q.0),
+                            Ordering::Equal,
+                            "seed {seed} q {q:?}: got {g} want {w}"
+                        );
+                    }
+                    (g, w) => assert_eq!(g, w, "seed {seed} q {q:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_on_segment_returns_it() {
+        let segs = vec![((0, 0), (10, 0)), ((0, 5), (10, 5))];
+        let r = sweep_point_location(&segs, &[(5, 0), (5, 5), (5, 3), (5, -1)]);
+        assert_eq!(r, vec![Some(0), Some(1), Some(0), None]);
+    }
+
+    #[test]
+    fn queries_at_endpoints() {
+        let segs = vec![((2, 1), (8, 1))];
+        let r = sweep_point_location(&segs, &[(2, 1), (8, 1), (1, 1), (9, 1)]);
+        assert_eq!(r, vec![Some(0), Some(0), None, None]);
+    }
+
+    #[test]
+    fn trapezoid_below_info() {
+        // three stacked shelves
+        let segs = vec![((0, 0), (10, 0)), ((2, 5), (8, 5)), ((3, 9), (7, 9))];
+        let t = trapezoids(&segs);
+        assert_eq!(t[0], (None, None));
+        assert_eq!(t[1], (Some(0), Some(0)));
+        assert_eq!(t[2], (Some(1), Some(1)));
+    }
+
+    #[test]
+    fn trapezoids_on_random_segments_are_consistent() {
+        let segs = to_segs(&random_segments(40, 200, 9));
+        let t = trapezoids(&segs);
+        for (i, &(la, lb)) in t.iter().enumerate() {
+            // the reported below-segment must indeed be below the endpoint
+            for (end, below) in [(segs[i].0, la), (segs[i].1, lb)] {
+                if let Some(b) = below {
+                    assert_ne!(b as usize, i);
+                    assert_ne!(
+                        seg_y_cmp(segs[b as usize], end.0, end.1),
+                        Ordering::Greater,
+                        "segment {b} claimed below endpoint {end:?} of {i}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Exact integer predicates.
+//!
+//! Coordinates are `i64` with magnitude at most [`MAX_COORD`]; all
+//! determinants then fit comfortably in `i128`, so every predicate is
+//! exact — no epsilons anywhere in the workspace.
+
+/// A planar point with integer coordinates.
+pub type Point = (i64, i64);
+
+/// Maximum coordinate magnitude for exactness (2^40— far beyond any
+/// workload generator in this workspace, and orient2d then fits in
+/// ~2^82 ≪ i128).
+pub const MAX_COORD: i64 = 1 << 40;
+
+#[inline]
+fn chk(p: Point) {
+    debug_assert!(
+        p.0.abs() <= MAX_COORD && p.1.abs() <= MAX_COORD,
+        "coordinate out of exact range: {p:?}"
+    );
+}
+
+/// Twice the signed area of triangle `abc`: positive when `c` lies to
+/// the left of directed line `a → b` (counter-clockwise turn).
+pub fn orient2d(a: Point, b: Point, c: Point) -> i128 {
+    chk(a);
+    chk(b);
+    chk(c);
+    (b.0 - a.0) as i128 * (c.1 - a.1) as i128 - (b.1 - a.1) as i128 * (c.0 - a.0) as i128
+}
+
+/// Do the closed segments `ab` and `cd` intersect?
+pub fn segments_intersect(a: Point, b: Point, c: Point, d: Point) -> bool {
+    let d1 = orient2d(c, d, a);
+    let d2 = orient2d(c, d, b);
+    let d3 = orient2d(a, b, c);
+    let d4 = orient2d(a, b, d);
+    if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) && ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+        return true;
+    }
+    let on = |p: Point, q: Point, r: Point| {
+        orient2d(p, q, r) == 0
+            && r.0 >= p.0.min(q.0)
+            && r.0 <= p.0.max(q.0)
+            && r.1 >= p.1.min(q.1)
+            && r.1 <= p.1.max(q.1)
+    };
+    on(c, d, a) || on(c, d, b) || on(a, b, c) || on(a, b, d)
+}
+
+/// Compare the `y` values of two non-vertical segments at abscissa `x`
+/// (which must lie in both x-ranges). Exact: cross-multiplies the two
+/// rational ordinates.
+pub fn cmp_at_x(s: (Point, Point), t: (Point, Point), x: i64) -> std::cmp::Ordering {
+    let ((sax, say), (sbx, sby)) = s;
+    let ((tax, tay), (tbx, tby)) = t;
+    debug_assert!(sax <= x && x <= sbx && sax < sbx, "x not in s range");
+    debug_assert!(tax <= x && x <= tbx && tax < tbx, "x not in t range");
+    // y_s(x) = say + (sby-say)(x-sax)/(sbx-sax); compare
+    // y_s(x) ? y_t(x) via cross multiplication with positive denominators.
+    let ds = (sbx - sax) as i128;
+    let dt = (tbx - tax) as i128;
+    let ys = say as i128 * ds + (sby - say) as i128 * (x - sax) as i128;
+    let yt = tay as i128 * dt + (tby - tay) as i128 * (x - tax) as i128;
+    (ys * dt).cmp(&(yt * ds))
+}
+
+/// Exact y-ordinate comparison of a segment at `x` against a point's y:
+/// `Ordering::Less` means the segment passes below `y` at `x`.
+pub fn seg_y_cmp(s: (Point, Point), x: i64, y: i64) -> std::cmp::Ordering {
+    let ((ax, ay), (bx, by)) = s;
+    debug_assert!(ax <= x && x <= bx && ax < bx);
+    let d = (bx - ax) as i128;
+    let ys = ay as i128 * d + (by - ay) as i128 * (x - ax) as i128;
+    ys.cmp(&(y as i128 * d))
+}
+
+/// Squared euclidean distance (exact in `i128`).
+pub fn dist2(a: Point, b: Point) -> i128 {
+    let dx = (a.0 - b.0) as i128;
+    let dy = (a.1 - b.1) as i128;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn orientation_signs() {
+        assert!(orient2d((0, 0), (1, 0), (0, 1)) > 0); // left turn
+        assert!(orient2d((0, 0), (1, 0), (0, -1)) < 0); // right turn
+        assert_eq!(orient2d((0, 0), (1, 1), (2, 2)), 0); // collinear
+    }
+
+    #[test]
+    fn orientation_is_antisymmetric() {
+        let (a, b, c) = ((3, 7), (-2, 5), (10, -4));
+        assert_eq!(orient2d(a, b, c), -orient2d(b, a, c));
+        assert_eq!(orient2d(a, b, c), orient2d(b, c, a));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        // proper crossing
+        assert!(segments_intersect((0, 0), (4, 4), (0, 4), (4, 0)));
+        // shared endpoint
+        assert!(segments_intersect((0, 0), (2, 2), (2, 2), (5, 0)));
+        // touching at interior point
+        assert!(segments_intersect((0, 0), (4, 0), (2, 0), (2, 3)));
+        // disjoint parallel
+        assert!(!segments_intersect((0, 0), (4, 0), (0, 1), (4, 1)));
+        // collinear disjoint
+        assert!(!segments_intersect((0, 0), (1, 0), (2, 0), (3, 0)));
+        // collinear overlapping
+        assert!(segments_intersect((0, 0), (2, 0), (1, 0), (3, 0)));
+    }
+
+    #[test]
+    fn cmp_at_x_exact_rationals() {
+        // s: (0,0)-(3,1) has y=2/3 at x=2; t: (0,2)-(4,-2) has y=0 at x=2
+        let s = ((0, 0), (3, 1));
+        let t = ((0, 2), (4, -2));
+        assert_eq!(cmp_at_x(s, t, 2), Ordering::Greater);
+        assert_eq!(cmp_at_x(t, s, 2), Ordering::Less);
+        assert_eq!(cmp_at_x(s, s, 2), Ordering::Equal);
+        // crossing point x where both equal: s2 (0,0)-(4,4), t2 (0,4)-(4,0) at x=2
+        assert_eq!(cmp_at_x(((0, 0), (4, 4)), ((0, 4), (4, 0)), 2), Ordering::Equal);
+    }
+
+    #[test]
+    fn seg_y_cmp_thirds() {
+        let s = ((0, 0), (3, 2)); // y = 2x/3
+        assert_eq!(seg_y_cmp(s, 1, 1), Ordering::Less); // 2/3 < 1
+        assert_eq!(seg_y_cmp(s, 3, 2), Ordering::Equal);
+        assert_eq!(seg_y_cmp(s, 1, 0), Ordering::Greater); // 2/3 > 0
+    }
+
+    #[test]
+    fn dist2_exact() {
+        assert_eq!(dist2((0, 0), (3, 4)), 25);
+        assert_eq!(dist2((-1, -1), (-1, -1)), 0);
+    }
+}

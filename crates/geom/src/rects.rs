@@ -1,0 +1,157 @@
+//! Area of a union of axis-aligned rectangles (Group B row 6) — the
+//! classic sweepline with a coverage-count segment tree over compressed
+//! y-coordinates.
+
+/// An axis-aligned rectangle `[x1, x2] × [y1, y2]` (half-open
+/// semantics are irrelevant for area).
+pub type IRect = (i64, i64, i64, i64); // x1, y1, x2, y2
+
+struct CoverTree {
+    ys: Vec<i64>,
+    count: Vec<u32>,
+    covered: Vec<i64>, // covered length within the node's y-range
+}
+
+impl CoverTree {
+    fn new(mut ys: Vec<i64>) -> Self {
+        ys.sort_unstable();
+        ys.dedup();
+        let n = ys.len().max(2);
+        Self { count: vec![0; 4 * n], covered: vec![0; 4 * n], ys }
+    }
+
+    fn update(&mut self, node: usize, lo: usize, hi: usize, l: usize, r: usize, delta: i32) {
+        if r <= lo || hi <= l {
+            return;
+        }
+        if l <= lo && hi <= r {
+            self.count[node] = (self.count[node] as i32 + delta) as u32;
+        } else {
+            let mid = (lo + hi) / 2;
+            self.update(2 * node, lo, mid, l, r, delta);
+            self.update(2 * node + 1, mid, hi, l, r, delta);
+        }
+        self.covered[node] = if self.count[node] > 0 {
+            self.ys[hi] - self.ys[lo]
+        } else if hi - lo == 1 {
+            0
+        } else {
+            self.covered[2 * node] + self.covered[2 * node + 1]
+        };
+    }
+
+    fn add(&mut self, y1: i64, y2: i64, delta: i32) {
+        let l = self.ys.binary_search(&y1).unwrap();
+        let r = self.ys.binary_search(&y2).unwrap();
+        if l < r {
+            let leaves = self.ys.len() - 1;
+            self.update(1, 0, leaves, l, r, delta);
+        }
+    }
+
+    fn covered(&self) -> i64 {
+        self.covered[1]
+    }
+}
+
+/// Exact area of the union of `rects`.
+pub fn union_area(rects: &[IRect]) -> i128 {
+    if rects.is_empty() {
+        return 0;
+    }
+    // events: (x, y1, y2, +1/-1)
+    let mut events: Vec<(i64, i64, i64, i32)> = Vec::with_capacity(2 * rects.len());
+    let mut ys = Vec::with_capacity(2 * rects.len());
+    for &(x1, y1, x2, y2) in rects {
+        assert!(x1 < x2 && y1 < y2, "degenerate rectangle");
+        events.push((x1, y1, y2, 1));
+        events.push((x2, y1, y2, -1));
+        ys.push(y1);
+        ys.push(y2);
+    }
+    events.sort_unstable();
+    let mut tree = CoverTree::new(ys);
+    let mut area: i128 = 0;
+    let mut last_x = events[0].0;
+    for (x, y1, y2, delta) in events {
+        area += (x - last_x) as i128 * tree.covered() as i128;
+        last_x = x;
+        tree.add(y1, y2, delta);
+    }
+    area
+}
+
+/// O(grid) reference for tests: rasterise over the bounding box.
+pub fn union_area_naive(rects: &[IRect]) -> i128 {
+    if rects.is_empty() {
+        return 0;
+    }
+    let xs: Vec<i64> = {
+        let mut v: Vec<i64> = rects.iter().flat_map(|r| [r.0, r.2]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let ys: Vec<i64> = {
+        let mut v: Vec<i64> = rects.iter().flat_map(|r| [r.1, r.3]).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut area = 0i128;
+    for i in 0..xs.len() - 1 {
+        for j in 0..ys.len() - 1 {
+            let (cx, cy) = (xs[i], ys[j]);
+            if rects.iter().any(|&(x1, y1, x2, y2)| x1 <= cx && cx < x2 && y1 <= cy && cy < y2) {
+                area += (xs[i + 1] - xs[i]) as i128 * (ys[j + 1] - ys[j]) as i128;
+            }
+        }
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::random_rects;
+
+    #[test]
+    fn single_rect() {
+        assert_eq!(union_area(&[(0, 0, 4, 3)]), 12);
+    }
+
+    #[test]
+    fn disjoint_and_nested_and_overlapping() {
+        assert_eq!(union_area(&[(0, 0, 2, 2), (3, 3, 5, 5)]), 8);
+        assert_eq!(union_area(&[(0, 0, 10, 10), (2, 2, 4, 4)]), 100);
+        assert_eq!(union_area(&[(0, 0, 3, 3), (2, 2, 5, 5)]), 9 + 9 - 1);
+        // identical duplicates
+        assert_eq!(union_area(&[(1, 1, 4, 4), (1, 1, 4, 4)]), 9);
+    }
+
+    #[test]
+    fn matches_naive_on_random_sets() {
+        for seed in 0..6u64 {
+            let rects: Vec<IRect> =
+                random_rects(25, 60, seed).into_iter().map(|r| (r.x1, r.y1, r.x2, r.y2)).collect();
+            assert_eq!(union_area(&rects), union_area_naive(&rects), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(union_area(&[]), 0);
+    }
+
+    #[test]
+    fn area_bounded_by_sum_and_bbox() {
+        let rects: Vec<IRect> =
+            random_rects(40, 100, 9).into_iter().map(|r| (r.x1, r.y1, r.x2, r.y2)).collect();
+        let a = union_area(&rects);
+        let sum: i128 =
+            rects.iter().map(|r| (r.2 - r.0) as i128 * (r.3 - r.1) as i128).sum();
+        assert!(a <= sum);
+        assert!(a <= 100 * 100);
+        assert!(a > 0);
+    }
+}

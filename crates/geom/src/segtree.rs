@@ -1,0 +1,163 @@
+//! Segment (interval) tree over a fixed set of intervals, answering
+//! batched stabbing queries — the reference for the paper's "segment
+//! tree construction" and "batched planar point location" rows.
+
+/// A static interval tree over compressed endpoint coordinates.
+pub struct IntervalTree {
+    /// Sorted distinct endpoints; elementary slabs are the gaps.
+    xs: Vec<i64>,
+    /// Intervals stored at each node (canonical cover allocation).
+    node_lists: Vec<Vec<u32>>,
+    leaves: usize,
+}
+
+impl IntervalTree {
+    /// Build over closed intervals `[a, b]` (`a ≤ b`).
+    pub fn build(intervals: &[(i64, i64)]) -> Self {
+        let mut xs: Vec<i64> = intervals.iter().flat_map(|&(a, b)| [a, b]).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        // elementary intervals: [x_i, x_{i+1}); plus point-slabs handled
+        // by closed-interval insertion below. Use 2m+1 style: leaves are
+        // the xs themselves and the gaps; simplest: leaves = xs.len()
+        // point-slabs + gaps => use segment tree over 2*len-1 elementary
+        // pieces. We implement over `2·len − 1` leaves:
+        // leaf 2i = point x_i, leaf 2i+1 = open gap (x_i, x_{i+1}).
+        let base = if xs.is_empty() { 1 } else { 2 * xs.len() - 1 };
+        let leaves = base.next_power_of_two();
+        let mut t = Self { xs, node_lists: vec![Vec::new(); 2 * leaves], leaves };
+        for (i, &(a, b)) in intervals.iter().enumerate() {
+            t.insert(i as u32, a, b);
+        }
+        t
+    }
+
+    fn leaf_range(&self, a: i64, b: i64) -> (usize, usize) {
+        // closed [a, b] covers leaves [2*rank(a), 2*rank(b)] inclusive.
+        let ra = self.xs.binary_search(&a).expect("endpoint must exist");
+        let rb = self.xs.binary_search(&b).expect("endpoint must exist");
+        (2 * ra, 2 * rb + 1) // half-open in leaf indices
+    }
+
+    fn insert(&mut self, id: u32, a: i64, b: i64) {
+        assert!(a <= b);
+        let (l, r) = self.leaf_range(a, b);
+        self.insert_rec(1, 0, self.leaves, l, r, id);
+    }
+
+    fn insert_rec(&mut self, node: usize, lo: usize, hi: usize, l: usize, r: usize, id: u32) {
+        if r <= lo || hi <= l {
+            return;
+        }
+        if l <= lo && hi <= r {
+            self.node_lists[node].push(id);
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        self.insert_rec(2 * node, lo, mid, l, r, id);
+        self.insert_rec(2 * node + 1, mid, hi, l, r, id);
+    }
+
+    /// All interval ids containing `x`, ascending.
+    pub fn stab(&self, x: i64) -> Vec<u32> {
+        if self.xs.is_empty() {
+            return Vec::new();
+        }
+        // locate leaf for x
+        let r = self.xs.partition_point(|&e| e < x);
+        let leaf = if r < self.xs.len() && self.xs[r] == x {
+            2 * r // point slab
+        } else if r == 0 || r >= self.xs.len() {
+            return Vec::new(); // outside all endpoints
+        } else {
+            2 * (r - 1) + 1 // gap slab between x_{r-1} and x_r
+        };
+        let mut out = Vec::new();
+        let mut node = self.leaves + leaf;
+        while node >= 1 {
+            out.extend_from_slice(&self.node_lists[node]);
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Total stored interval fragments (the `O(n log n)` space bound).
+    pub fn fragments(&self) -> usize {
+        self.node_lists.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn naive_stab(intervals: &[(i64, i64)], x: i64) -> Vec<u32> {
+        intervals
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(a, b))| a <= x && x <= b)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    #[test]
+    fn basic_stabbing() {
+        let iv = vec![(0, 10), (5, 15), (12, 20)];
+        let t = IntervalTree::build(&iv);
+        assert_eq!(t.stab(3), vec![0]);
+        assert_eq!(t.stab(5), vec![0, 1]);
+        assert_eq!(t.stab(10), vec![0, 1]);
+        assert_eq!(t.stab(11), vec![1]);
+        assert_eq!(t.stab(12), vec![1, 2]);
+        assert_eq!(t.stab(16), vec![2]);
+        assert_eq!(t.stab(25), Vec::<u32>::new());
+        assert_eq!(t.stab(-1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn matches_naive_on_random_intervals() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let iv: Vec<(i64, i64)> = (0..60)
+                .map(|_| {
+                    let a = rng.gen_range(0..100);
+                    let b = rng.gen_range(a..=100);
+                    (a, b)
+                })
+                .collect();
+            let t = IntervalTree::build(&iv);
+            for x in -5..106 {
+                assert_eq!(t.stab(x), naive_stab(&iv, x), "seed {seed} x {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn point_intervals() {
+        let iv = vec![(5, 5), (5, 7)];
+        let t = IntervalTree::build(&iv);
+        assert_eq!(t.stab(5), vec![0, 1]);
+        assert_eq!(t.stab(6), vec![1]);
+        assert_eq!(t.stab(4), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn space_is_near_linear_log() {
+        let iv: Vec<(i64, i64)> = (0..512).map(|i| (i, i + 37)).collect();
+        let t = IntervalTree::build(&iv);
+        let n = 512.0f64;
+        assert!((t.fragments() as f64) < 4.0 * n * n.log2(), "fragments = {}", t.fragments());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = IntervalTree::build(&[]);
+        assert_eq!(t.stab(0), Vec::<u32>::new());
+    }
+}

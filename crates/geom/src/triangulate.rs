@@ -1,0 +1,160 @@
+//! Triangulation of a planar point set (Group B row 1's
+//! "triangulation"): incremental sweep over lexicographically sorted
+//! points, maintaining the hull of the processed prefix as lower/upper
+//! chains. Each vertex popped from a chain emits one triangle, which
+//! exactly tiles the area added by the new point. `O(n log n)`.
+
+use crate::predicates::{orient2d, Point};
+
+/// Triangulate `pts` (duplicates are ignored). Returns triangles as
+/// index triples, counter-clockwise. All-collinear inputs yield no
+/// triangles.
+pub fn triangulate_points(pts: &[Point]) -> Vec<(u32, u32, u32)> {
+    let n = pts.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&i| pts[i as usize]);
+    order.dedup_by_key(|i| pts[*i as usize]);
+
+    let mut tris: Vec<(u32, u32, u32)> = Vec::new();
+    // Lower chain keeps left turns (o > 0 at interior vertices of a ccw
+    // hull's lower boundary); upper chain keeps right turns. A new point
+    // pops the vertices it can "see" past, emitting one ccw triangle per
+    // pop; together the pops tile the region the new point adds.
+    let mut lower: Vec<u32> = Vec::new();
+    let mut upper: Vec<u32> = Vec::new();
+    for &i in &order {
+        let p = pts[i as usize];
+        while lower.len() >= 2 {
+            let a = lower[lower.len() - 2];
+            let b = lower[lower.len() - 1];
+            if orient2d(pts[a as usize], pts[b as usize], p) < 0 {
+                tris.push((b, a, i));
+                lower.pop();
+            } else {
+                break;
+            }
+        }
+        while upper.len() >= 2 {
+            let a = upper[upper.len() - 2];
+            let b = upper[upper.len() - 1];
+            if orient2d(pts[a as usize], pts[b as usize], p) > 0 {
+                tris.push((a, b, i));
+                upper.pop();
+            } else {
+                break;
+            }
+        }
+        lower.push(i);
+        upper.push(i);
+    }
+    tris
+}
+
+/// Total doubled area of a triangle list (exact).
+pub fn doubled_area(pts: &[Point], tris: &[(u32, u32, u32)]) -> i128 {
+    tris.iter()
+        .map(|&(a, b, c)| orient2d(pts[a as usize], pts[b as usize], pts[c as usize]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull::convex_hull;
+    use cgmio_data::random_points;
+
+    fn hull_doubled_area(pts: &[Point]) -> i128 {
+        let hull = convex_hull(pts);
+        let mut s = 0i128;
+        for i in 1..hull.len().saturating_sub(1) {
+            s += orient2d(hull[0], hull[i], hull[i + 1]);
+        }
+        s
+    }
+
+    fn validate(pts: &[Point], tris: &[(u32, u32, u32)]) {
+        // all ccw (non-degenerate)
+        for &(a, b, c) in tris {
+            assert!(orient2d(pts[a as usize], pts[b as usize], pts[c as usize]) > 0, "ccw");
+        }
+        // triangles tile the hull: positive pieces summing to the hull
+        // area cannot overlap or leave gaps
+        assert_eq!(doubled_area(pts, tris), hull_doubled_area(pts), "area tiling");
+        // interior edges shared exactly twice
+        let mut edge_count = std::collections::HashMap::new();
+        for &(a, b, c) in tris {
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                *edge_count.entry((u.min(v), u.max(v))).or_insert(0u32) += 1;
+            }
+        }
+        assert!(edge_count.values().all(|&c| c <= 2), "edge used more than twice");
+        // every distinct non-collinear-set point appears in a triangle
+        if !tris.is_empty() {
+            let used: std::collections::HashSet<u32> =
+                tris.iter().flat_map(|&(a, b, c)| [a, b, c]).collect();
+            let mut uniq: Vec<Point> = pts.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(used.len(), uniq.len(), "every point must be used");
+        }
+    }
+
+    #[test]
+    fn square_with_center() {
+        let pts = vec![(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)];
+        let tris = triangulate_points(&pts);
+        validate(&pts, &tris);
+        assert_eq!(tris.len(), 4);
+    }
+
+    #[test]
+    fn triangle_only() {
+        let pts = vec![(0, 0), (5, 0), (0, 5)];
+        let tris = triangulate_points(&pts);
+        assert_eq!(tris.len(), 1);
+        validate(&pts, &tris);
+    }
+
+    #[test]
+    fn collinear_input_has_no_triangles() {
+        let pts: Vec<Point> = (0..10).map(|i| (i, 3 * i)).collect();
+        assert!(triangulate_points(&pts).is_empty());
+    }
+
+    #[test]
+    fn collinear_run_plus_apex() {
+        let pts = vec![(0, 0), (1, 0), (2, 0), (3, 1)];
+        let tris = triangulate_points(&pts);
+        validate(&pts, &tris);
+        assert_eq!(tris.len(), 2); // 2n − 2 − h with h = 4 boundary points
+    }
+
+    #[test]
+    fn random_sets_validate() {
+        for seed in 0..6u64 {
+            let pts = random_points(150, 1000, seed);
+            let tris = triangulate_points(&pts);
+            validate(&pts, &tris);
+        }
+    }
+
+    #[test]
+    fn grid_with_collinear_points() {
+        let mut pts = Vec::new();
+        for x in 0..5i64 {
+            for y in 0..5i64 {
+                pts.push((x * 10, y * 10));
+            }
+        }
+        let tris = triangulate_points(&pts);
+        validate(&pts, &tris);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let pts = vec![(0, 0), (0, 0), (5, 0), (0, 5), (5, 0)];
+        let tris = triangulate_points(&pts);
+        assert_eq!(tris.len(), 1);
+        validate(&pts, &tris);
+    }
+}

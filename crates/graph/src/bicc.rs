@@ -1,0 +1,182 @@
+//! Biconnected components and articulation points (iterative Tarjan),
+//! reference semantics for the CGM Tarjan–Vishkin program.
+
+
+/// Assign every edge a biconnected-component id. Returns
+/// `(component_id_per_edge, component_count)`; edge order matches the
+/// input slice. Isolated vertices contribute no edges.
+pub fn biconnected_components(n: usize, edges: &[(u64, u64)]) -> (Vec<u32>, u32) {
+    // Build adjacency with edge indices.
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n]; // (neighbour, edge id)
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        adj[a as usize].push((b as u32, e as u32));
+        adj[b as usize].push((a as u32, e as u32));
+    }
+    let mut comp = vec![u32::MAX; edges.len()];
+    let mut num = vec![u32::MAX; n]; // discovery order
+    let mut low = vec![u32::MAX; n];
+    let mut timer = 0u32;
+    let mut comp_count = 0u32;
+    let mut edge_stack: Vec<u32> = Vec::new();
+
+    // Iterative DFS frame: (vertex, parent edge id, next adjacency index)
+    let mut frame: Vec<(u32, u32, u32)> = Vec::new();
+    for start in 0..n as u32 {
+        if num[start as usize] != u32::MAX {
+            continue;
+        }
+        num[start as usize] = timer;
+        low[start as usize] = timer;
+        timer += 1;
+        frame.push((start, u32::MAX, 0));
+        while let Some(top) = frame.len().checked_sub(1) {
+            let (u, pe, idx) = frame[top];
+            if (idx as usize) < adj[u as usize].len() {
+                frame[top].2 += 1;
+                let (w, e) = adj[u as usize][idx as usize];
+                if e == pe {
+                    continue;
+                }
+                if num[w as usize] == u32::MAX {
+                    edge_stack.push(e);
+                    num[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    frame.push((w, e, 0));
+                } else if num[w as usize] < num[u as usize] {
+                    // back edge
+                    edge_stack.push(e);
+                    low[u as usize] = low[u as usize].min(num[w as usize]);
+                }
+            } else {
+                frame.pop();
+                if let Some(&(parent, _, _)) = frame.last() {
+                    low[parent as usize] = low[parent as usize].min(low[u as usize]);
+                    if low[u as usize] >= num[parent as usize] {
+                        // parent is an articulation point (or root):
+                        // pop the component containing edge (parent, u).
+                        while let Some(&top) = edge_stack.last() {
+                            let (a, b) = edges[top as usize];
+                            let deeper = num[a as usize].max(num[b as usize]);
+                            if deeper >= num[u as usize] {
+                                comp[top as usize] = comp_count;
+                                edge_stack.pop();
+                            } else {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+/// Articulation points: vertices whose removal disconnects their
+/// component — derived from the biconnected components (a vertex is an
+/// articulation point iff its incident edges span more than one
+/// component).
+pub fn articulation_points(n: usize, edges: &[(u64, u64)]) -> Vec<bool> {
+    let (comp, _) = biconnected_components(n, edges);
+    let mut seen: Vec<Option<u32>> = vec![None; n];
+    let mut art = vec![false; n];
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        for x in [a as usize, b as usize] {
+            match seen[x] {
+                None => seen[x] = Some(comp[e]),
+                Some(c) if c != comp[e] => art[x] = true,
+                _ => {}
+            }
+        }
+    }
+    art
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc_labels;
+    use cgmio_data::gnm_edges;
+
+    #[test]
+    fn two_triangles_sharing_a_vertex() {
+        // 0-1-2-0 and 2-3-4-2 share vertex 2 (an articulation point).
+        let edges = vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)];
+        let (comp, count) = biconnected_components(5, &edges);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_eq!(comp[4], comp[5]);
+        assert_ne!(comp[0], comp[3]);
+        let art = articulation_points(5, &edges);
+        assert_eq!(art, vec![false, false, true, false, false]);
+    }
+
+    #[test]
+    fn bridge_is_its_own_component() {
+        // path 0-1-2: both edges are bridges, separate components.
+        let edges = vec![(0, 1), (1, 2)];
+        let (comp, count) = biconnected_components(3, &edges);
+        assert_eq!(count, 2);
+        assert_ne!(comp[0], comp[1]);
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let edges: Vec<(u64, u64)> = (0..8).map(|i| (i, (i + 1) % 8)).collect();
+        let (comp, count) = biconnected_components(8, &edges);
+        assert_eq!(count, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+        assert!(articulation_points(8, &edges).iter().all(|&a| !a));
+    }
+
+    /// Brute-force articulation check: removing v increases components.
+    fn naive_articulation(n: usize, edges: &[(u64, u64)], v: u64) -> bool {
+        let comp_before = {
+            let l = cc_labels(n, edges);
+            let mut u: Vec<u64> = (0..n as u64).filter(|&x| x != v).map(|x| l[x as usize]).collect();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        };
+        let filtered: Vec<(u64, u64)> =
+            edges.iter().copied().filter(|&(a, b)| a != v && b != v).collect();
+        let comp_after = {
+            let l = cc_labels(n, &filtered);
+            let mut u: Vec<u64> = (0..n as u64).filter(|&x| x != v).map(|x| l[x as usize]).collect();
+            u.sort_unstable();
+            u.dedup();
+            u.len()
+        };
+        comp_after > comp_before
+    }
+
+    #[test]
+    fn articulation_matches_bruteforce_on_random_graphs() {
+        for seed in 0..4u64 {
+            let n = 24;
+            let edges = gnm_edges(n, 30, seed);
+            let art = articulation_points(n, &edges);
+            for v in 0..n as u64 {
+                // skip isolated vertices (no incident edges): both give false
+                assert_eq!(
+                    art[v as usize],
+                    naive_articulation(n, &edges, v),
+                    "seed {seed} v {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        let edges = vec![(0, 1), (2, 3), (3, 4), (4, 2)];
+        let (comp, count) = biconnected_components(5, &edges);
+        assert_eq!(count, 2);
+        assert_ne!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Ear decomposition via the lca-labelling of Maon–Schieber–Vishkin
+//! (the algorithm the paper's Group C row simulates).
+//!
+//! Every non-tree edge of a DFS tree is labelled by the depth of the lca
+//! of its endpoints (ties broken by serial number); every tree edge
+//! joins the ear of the smallest label covering it. For a two-edge-
+//! connected graph this yields an ear decomposition: ear 0 is a cycle
+//! and every later ear is a path whose endpoints lie on earlier ears.
+
+use crate::lca::LcaTable;
+
+/// Result of [`open_ear_decomposition`].
+#[derive(Debug, Clone)]
+pub struct EarDecomposition {
+    /// Ear number of every input edge.
+    pub ear_of_edge: Vec<u32>,
+    /// Number of ears (`m − n + 1` for a connected graph).
+    pub num_ears: u32,
+}
+
+/// Compute an ear decomposition of a connected, two-edge-connected
+/// graph. Returns `None` when the graph is disconnected or has a bridge
+/// (no ear decomposition exists).
+pub fn open_ear_decomposition(n: usize, edges: &[(u64, u64)]) -> Option<EarDecomposition> {
+    if n == 0 {
+        return Some(EarDecomposition { ear_of_edge: Vec::new(), num_ears: 0 });
+    }
+    // DFS tree from vertex 0.
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+    for (e, &(a, b)) in edges.iter().enumerate() {
+        adj[a as usize].push((b as u32, e as u32));
+        adj[b as usize].push((a as u32, e as u32));
+    }
+    let mut parent = vec![u64::MAX; n];
+    let mut parent_edge = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    parent[0] = 0;
+    let mut stack = vec![0u32];
+    let mut seen = vec![false; n];
+    seen[0] = true;
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &(w, e) in &adj[u as usize] {
+            if !seen[w as usize] {
+                seen[w as usize] = true;
+                parent[w as usize] = u as u64;
+                parent_edge[w as usize] = e;
+                stack.push(w);
+            }
+        }
+    }
+    if order.len() != n {
+        return None; // disconnected
+    }
+    let is_tree_edge = {
+        let mut t = vec![false; edges.len()];
+        for x in 1..n {
+            t[parent_edge[x] as usize] = true;
+        }
+        t
+    };
+    let depth = crate::euler::depths_from_parents(&parent);
+    let lca_table = LcaTable::new(&parent);
+
+    // Non-tree edges sorted by (lca depth, serial) — the ear order.
+    let mut nontree: Vec<(u64, u32)> = edges
+        .iter()
+        .enumerate()
+        .filter(|&(e, _)| !is_tree_edge[e])
+        .map(|(e, &(a, b))| (depth[lca_table.lca(a, b) as usize], e as u32))
+        .collect();
+    nontree.sort_unstable();
+
+    let mut ear_of_edge = vec![u32::MAX; edges.len()];
+    // jump[x]: first ancestor (inclusive) whose parent edge is still
+    // unassigned — path-compressed climbing.
+    let mut jump: Vec<u32> = (0..n as u32).collect();
+    fn find(jump: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while jump[root as usize] != root {
+            root = jump[root as usize];
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = jump[cur as usize];
+            jump[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    for (ear, &(_, e)) in nontree.iter().enumerate() {
+        ear_of_edge[e as usize] = ear as u32;
+        let (a, b) = edges[e as usize];
+        let l = lca_table.lca(a, b);
+        for side in [a, b] {
+            let mut x = find(&mut jump, side as u32);
+            while depth[x as usize] > depth[l as usize] {
+                ear_of_edge[parent_edge[x as usize] as usize] = ear as u32;
+                jump[x as usize] = parent[x as usize] as u32;
+                x = find(&mut jump, x);
+            }
+        }
+    }
+    if ear_of_edge.iter().any(|&e| e == u32::MAX) {
+        return None; // a tree edge covered by no non-tree edge = bridge
+    }
+    Some(EarDecomposition { ear_of_edge, num_ears: nontree.len() as u32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Validate the ear-decomposition properties.
+    fn validate(n: usize, edges: &[(u64, u64)], d: &EarDecomposition) {
+        assert_eq!(d.ear_of_edge.len(), edges.len());
+        let mut on_earlier: Vec<Option<u32>> = vec![None; n]; // first ear touching vertex
+        for ear in 0..d.num_ears {
+            let ear_edges: Vec<(u64, u64)> = edges
+                .iter()
+                .zip(&d.ear_of_edge)
+                .filter(|&(_, &e)| e == ear)
+                .map(|(&ed, _)| ed)
+                .collect();
+            assert!(!ear_edges.is_empty(), "ear {ear} is empty");
+            // Degree count: a simple path has exactly two odd-degree
+            // endpoints; a cycle none.
+            let mut deg = std::collections::HashMap::new();
+            for &(a, b) in &ear_edges {
+                *deg.entry(a).or_insert(0u32) += 1;
+                *deg.entry(b).or_insert(0u32) += 1;
+            }
+            let odd: Vec<u64> = deg.iter().filter(|(_, &d)| d % 2 == 1).map(|(&v, _)| v).collect();
+            if ear == 0 {
+                assert!(odd.is_empty(), "ear 0 must be a cycle, odd = {odd:?}");
+                assert!(deg.values().all(|&x| x == 2));
+            } else {
+                assert_eq!(odd.len(), 2, "ear {ear} must be a simple path: deg = {deg:?}");
+                assert!(deg.values().all(|&x| x <= 2));
+                // endpoints lie on earlier ears, internal vertices are new
+                for (&v, &dv) in &deg {
+                    let earlier = on_earlier[v as usize].map(|e| e < ear).unwrap_or(false);
+                    if dv == 1 {
+                        assert!(earlier, "endpoint {v} of ear {ear} not on an earlier ear");
+                    } else {
+                        assert!(!earlier, "internal vertex {v} of ear {ear} already used");
+                    }
+                }
+            }
+            for (&v, _) in &deg {
+                on_earlier[v as usize].get_or_insert(ear);
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_is_one_ear() {
+        let edges: Vec<(u64, u64)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        let d = open_ear_decomposition(6, &edges).unwrap();
+        assert_eq!(d.num_ears, 1);
+        validate(6, &edges, &d);
+    }
+
+    #[test]
+    fn cycle_with_chord_is_two_ears() {
+        let mut edges: Vec<(u64, u64)> = (0..6).map(|i| (i, (i + 1) % 6)).collect();
+        edges.push((0, 3));
+        let d = open_ear_decomposition(6, &edges).unwrap();
+        assert_eq!(d.num_ears, 2);
+        validate(6, &edges, &d);
+    }
+
+    #[test]
+    fn k4_has_three_ears() {
+        let edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let d = open_ear_decomposition(4, &edges).unwrap();
+        assert_eq!(d.num_ears, 3); // m - n + 1
+        validate(4, &edges, &d);
+    }
+
+    #[test]
+    fn bridge_graph_rejected() {
+        // two triangles joined by a bridge
+        let edges = vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)];
+        assert!(open_ear_decomposition(6, &edges).is_none());
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let edges = vec![(0, 1), (1, 2), (2, 0)];
+        assert!(open_ear_decomposition(4, &edges).is_none());
+    }
+
+    #[test]
+    fn random_biconnected_graphs_validate() {
+        // Hamiltonian cycle + random chords is 2-connected.
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 30;
+            let mut edges: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, (i + 1) % n as u64)).collect();
+            let mut seen: std::collections::HashSet<(u64, u64)> = edges.iter().copied()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            for _ in 0..20 {
+                let a = rng.gen_range(0..n as u64);
+                let b = rng.gen_range(0..n as u64);
+                if a != b && seen.insert((a.min(b), a.max(b))) {
+                    edges.push((a.min(b), a.max(b)));
+                }
+            }
+            let d = open_ear_decomposition(n, &edges).unwrap();
+            assert_eq!(d.num_ears as usize, edges.len() - n + 1);
+            validate(n, &edges, &d);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Rooted trees, Euler tours and list ranking (reference semantics).
+
+/// A rooted tree built from a parent array (`parent[root] = root`).
+#[derive(Debug, Clone)]
+pub struct Tree {
+    /// Parent of each node (root points to itself).
+    pub parent: Vec<u64>,
+    /// Children lists, in ascending order (deterministic tours).
+    pub children: Vec<Vec<u64>>,
+    /// The root node.
+    pub root: u64,
+}
+
+impl Tree {
+    /// Build from a parent array.
+    pub fn from_parents(parent: &[u64]) -> Self {
+        let n = parent.len();
+        let mut children = vec![Vec::new(); n];
+        let mut root = 0u64;
+        for (x, &p) in parent.iter().enumerate() {
+            if p == x as u64 {
+                root = x as u64;
+            } else {
+                children[p as usize].push(x as u64);
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        Self { parent: parent.to_vec(), children, root }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+/// Depth of every node (root = 0), iterative BFS down the tree.
+pub fn depths_from_parents(parent: &[u64]) -> Vec<u64> {
+    let tree = Tree::from_parents(parent);
+    let mut depth = vec![0u64; parent.len()];
+    let mut stack = vec![tree.root];
+    while let Some(x) = stack.pop() {
+        for &c in &tree.children[x as usize] {
+            depth[c as usize] = depth[x as usize] + 1;
+            stack.push(c);
+        }
+    }
+    depth
+}
+
+/// The Euler tour of a rooted tree: the DFS visit sequence of vertices
+/// (`2n − 1` entries), children visited in ascending order. Returns
+/// `(tour, first_occurrence)`.
+pub fn euler_tour(tree: &Tree) -> (Vec<u64>, Vec<usize>) {
+    let n = tree.len();
+    let mut tour = Vec::with_capacity(2 * n.saturating_sub(1) + 1);
+    let mut first = vec![usize::MAX; n];
+    // Iterative DFS emitting a vertex each time it is (re-)entered.
+    enum Ev {
+        Enter(u64),
+        Emit(u64),
+    }
+    let mut stack = vec![Ev::Enter(tree.root)];
+    while let Some(ev) = stack.pop() {
+        match ev {
+            Ev::Emit(x) => tour.push(x),
+            Ev::Enter(x) => {
+                if first[x as usize] == usize::MAX {
+                    first[x as usize] = tour.len();
+                }
+                tour.push(x);
+                // push children in reverse so they pop ascending;
+                // after each child, re-emit x.
+                for &c in tree.children[x as usize].iter().rev() {
+                    stack.push(Ev::Emit(x));
+                    stack.push(Ev::Enter(c));
+                }
+            }
+        }
+    }
+    (tour, first)
+}
+
+/// Reference list ranking: given a successor array (tail points to
+/// itself), return for every node its distance to the tail (tail = 0).
+pub fn list_ranks(succ: &[u64]) -> Vec<u64> {
+    let n = succ.len();
+    // find head: the node nobody points to (excluding self-loops)
+    let mut pointed = vec![false; n];
+    for (x, &s) in succ.iter().enumerate() {
+        if s != x as u64 {
+            pointed[s as usize] = true;
+        }
+    }
+    let head = (0..n).find(|&x| !pointed[x]).expect("list must have a head");
+    // walk, recording positions
+    let mut order = Vec::with_capacity(n);
+    let mut cur = head as u64;
+    loop {
+        order.push(cur);
+        let nxt = succ[cur as usize];
+        if nxt == cur {
+            break;
+        }
+        cur = nxt;
+    }
+    assert_eq!(order.len(), n, "successor array must form a single chain");
+    let mut rank = vec![0u64; n];
+    for (pos, &x) in order.iter().enumerate() {
+        rank[x as usize] = (n - 1 - pos) as u64;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::{random_list, random_tree_parents};
+
+    #[test]
+    fn tour_of_small_tree() {
+        // 0 -> {1, 2}, 1 -> {3}
+        let parent = vec![0, 0, 0, 1];
+        let tree = Tree::from_parents(&parent);
+        let (tour, first) = euler_tour(&tree);
+        assert_eq!(tour, vec![0, 1, 3, 1, 0, 2, 0]);
+        assert_eq!(first, vec![0, 1, 5, 2]);
+    }
+
+    #[test]
+    fn tour_length_is_2n_minus_1() {
+        let parent = random_tree_parents(500, 3);
+        let tree = Tree::from_parents(&parent);
+        let (tour, first) = euler_tour(&tree);
+        assert_eq!(tour.len(), 2 * 500 - 1);
+        // every vertex appears; first occurrences are correct
+        for v in 0..500u64 {
+            assert_eq!(tour[first[v as usize]], v);
+            assert!(tour[..first[v as usize]].iter().all(|&x| x != v));
+        }
+        // consecutive tour entries are tree edges
+        for w in tour.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert!(parent[a as usize] == b || parent[b as usize] == a);
+        }
+    }
+
+    #[test]
+    fn depths_are_consistent_with_parents() {
+        let parent = random_tree_parents(300, 9);
+        let depth = depths_from_parents(&parent);
+        for x in 0..300usize {
+            if parent[x] == x as u64 {
+                assert_eq!(depth[x], 0);
+            } else {
+                assert_eq!(depth[x], depth[parent[x] as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn list_ranking_reference() {
+        // 3 -> 1 -> 4 -> 0 -> 2(tail)
+        let succ = vec![2, 4, 2, 1, 0];
+        assert_eq!(list_ranks(&succ), vec![1, 3, 0, 4, 2]);
+    }
+
+    #[test]
+    fn list_ranking_random() {
+        let (succ, head) = random_list(400, 5);
+        let ranks = list_ranks(&succ);
+        assert_eq!(ranks[head as usize], 399);
+        let tail = (0..400).find(|&x| succ[x] == x as u64).unwrap();
+        assert_eq!(ranks[tail], 0);
+        // ranks decrease by one along the chain
+        for x in 0..400usize {
+            if succ[x] != x as u64 {
+                assert_eq!(ranks[x], ranks[succ[x] as usize] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_structures() {
+        let tree = Tree::from_parents(&[0]);
+        let (tour, first) = euler_tour(&tree);
+        assert_eq!(tour, vec![0]);
+        assert_eq!(first, vec![0]);
+        assert_eq!(list_ranks(&[0]), vec![0]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Lowest common ancestors via Euler tour + sparse-table RMQ
+//! (reference semantics for the CGM batched-LCA program).
+
+use crate::euler::{depths_from_parents, euler_tour, Tree};
+
+/// O(n log n) preprocessing, O(1) queries.
+pub struct LcaTable {
+    first: Vec<usize>,
+    /// Sparse table over (depth, vertex) pairs of the tour.
+    table: Vec<Vec<(u64, u64)>>,
+}
+
+impl LcaTable {
+    /// Build for the tree given by a parent array.
+    pub fn new(parent: &[u64]) -> Self {
+        let tree = Tree::from_parents(parent);
+        let depth = depths_from_parents(parent);
+        let (tour, first) = euler_tour(&tree);
+        let base: Vec<(u64, u64)> = tour.iter().map(|&v| (depth[v as usize], v)).collect();
+        let mut table = vec![base];
+        let mut len = 1usize;
+        while 2 * len <= table[0].len() {
+            let prev = table.last().unwrap();
+            let next: Vec<(u64, u64)> =
+                (0..prev.len() - len).map(|i| prev[i].min(prev[i + len])).collect();
+            table.push(next);
+            len *= 2;
+        }
+        Self { first, table }
+    }
+
+    /// The LCA of `a` and `b`.
+    pub fn lca(&self, a: u64, b: u64) -> u64 {
+        let (mut i, mut j) = (self.first[a as usize], self.first[b as usize]);
+        if i > j {
+            std::mem::swap(&mut i, &mut j);
+        }
+        let span = j - i + 1;
+        let k = usize::BITS as usize - 1 - span.leading_zeros() as usize;
+        let row = &self.table[k];
+        row[i].min(row[j + 1 - (1 << k)]).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::random_tree_parents;
+
+    fn naive_lca(parent: &[u64], depth: &[u64], mut a: u64, mut b: u64) -> u64 {
+        while a != b {
+            if depth[a as usize] >= depth[b as usize] {
+                a = parent[a as usize];
+            } else {
+                b = parent[b as usize];
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        for seed in 0..3u64 {
+            let parent = random_tree_parents(200, seed);
+            let depth = depths_from_parents(&parent);
+            let t = LcaTable::new(&parent);
+            for q in 0..500u64 {
+                let a = (q * 37) % 200;
+                let b = (q * 101 + 13) % 200;
+                assert_eq!(t.lca(a, b), naive_lca(&parent, &depth, a, b), "seed {seed} ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn lca_identities() {
+        let parent = random_tree_parents(64, 1);
+        let t = LcaTable::new(&parent);
+        for v in 0..64u64 {
+            assert_eq!(t.lca(v, v), v);
+            assert_eq!(t.lca(v, 0), 0, "root is ancestor of all");
+        }
+        // lca with parent is the parent
+        for v in 1..64u64 {
+            let p = parent[v as usize];
+            if p != v {
+                assert_eq!(t.lca(v, p), p);
+            }
+        }
+    }
+
+    #[test]
+    fn path_tree() {
+        // 0 - 1 - 2 - 3 (a path)
+        let parent = vec![0, 0, 1, 2];
+        let t = LcaTable::new(&parent);
+        assert_eq!(t.lca(3, 1), 1);
+        assert_eq!(t.lca(2, 3), 2);
+        assert_eq!(t.lca(0, 3), 0);
+    }
+}

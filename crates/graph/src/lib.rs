@@ -1,0 +1,43 @@
+//! # cgmio-graph — graph substrate
+//!
+//! Sequential reference implementations for the paper's Group C
+//! problems. The CGM programs in `cgmio-algos` are validated against
+//! these on every test input.
+
+#![warn(missing_docs)]
+
+pub mod bicc;
+pub mod ear;
+pub mod euler;
+pub mod lca;
+pub mod unionfind;
+
+pub use bicc::{articulation_points, biconnected_components};
+pub use ear::open_ear_decomposition;
+pub use euler::{depths_from_parents, euler_tour, list_ranks, Tree};
+pub use lca::LcaTable;
+pub use unionfind::{cc_labels, spanning_forest, UnionFind};
+
+/// Undirected adjacency lists from an edge list.
+pub fn adjacency(n: usize, edges: &[(u64, u64)]) -> Vec<Vec<u64>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        adj[a as usize].push(b);
+        adj[b as usize].push(a);
+    }
+    adj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let adj = adjacency(4, &[(0, 1), (1, 2), (0, 3)]);
+        assert_eq!(adj[0], vec![1, 3]);
+        assert_eq!(adj[1], vec![0, 2]);
+        assert_eq!(adj[2], vec![1]);
+        assert_eq!(adj[3], vec![0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Union–find, connected components and spanning forests (reference
+//! semantics for the CGM hook-and-contract algorithms).
+
+/// Disjoint-set forest with union by rank and path compression.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] as usize != root {
+            root = self.parent[root] as usize;
+        }
+        let mut cur = x;
+        while cur != root {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = root as u32;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as u32,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as u32,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as u32;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+}
+
+/// Canonical component labels: `labels[x]` = smallest vertex id in `x`'s
+/// component (deterministic, comparable across implementations).
+pub fn cc_labels(n: usize, edges: &[(u64, u64)]) -> Vec<u64> {
+    let mut uf = UnionFind::new(n);
+    for &(a, b) in edges {
+        uf.union(a as usize, b as usize);
+    }
+    let mut min_of_root = vec![u64::MAX; n];
+    for x in 0..n {
+        let r = uf.find(x);
+        min_of_root[r] = min_of_root[r].min(x as u64);
+    }
+    (0..n).map(|x| min_of_root[uf.find(x)]).collect()
+}
+
+/// A spanning forest: the subset of `edges` (in input order) that
+/// connected previously separate components.
+pub fn spanning_forest(n: usize, edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut uf = UnionFind::new(n);
+    edges.iter().copied().filter(|&(a, b)| uf.union(a as usize, b as usize)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_data::gnm_edges;
+
+    #[test]
+    fn components_of_two_triangles() {
+        let edges = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let labels = cc_labels(7, &edges);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3, 6]);
+    }
+
+    #[test]
+    fn forest_has_n_minus_c_edges() {
+        let n = 200;
+        let edges = gnm_edges(n, 400, 7);
+        let labels = cc_labels(n, &edges);
+        let mut comps: Vec<u64> = labels.clone();
+        comps.sort_unstable();
+        comps.dedup();
+        let forest = spanning_forest(n, &edges);
+        assert_eq!(forest.len(), n - comps.len());
+        // forest spans the same components
+        assert_eq!(cc_labels(n, &forest), labels);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_ne!(uf.find(2), uf.find(0));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.find(1), uf.find(2));
+    }
+
+    #[test]
+    fn empty_graph_is_all_singletons() {
+        assert_eq!(cc_labels(3, &[]), vec![0, 1, 2]);
+        assert!(spanning_forest(3, &[]).is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! h-relation and round accounting.
+//!
+//! The simulation theorems are parameterised by `λ` (rounds), `h`
+//! (per-processor communication volume per round) and `μ` (context
+//! size). Runners measure all three so experiments can verify the
+//! theorems' premises instead of assuming them.
+
+/// Communication cost of a single round.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundCost {
+    /// Maximum items sent by any processor this round.
+    pub max_sent: usize,
+    /// Maximum items received by any processor this round.
+    pub max_received: usize,
+    /// Total items moved this round.
+    pub total_items: usize,
+    /// Largest single (src → dst) message, in items.
+    pub max_message: usize,
+    /// Smallest non-empty (src → dst) message, in items (0 if none sent).
+    pub min_message: usize,
+}
+
+impl RoundCost {
+    /// The h of this round's h-relation: max over processors of
+    /// items sent or received.
+    pub fn h(&self) -> usize {
+        self.max_sent.max(self.max_received)
+    }
+}
+
+/// Aggregated costs of a full CGM run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommCosts {
+    /// Per-round costs, in order (`λ = rounds.len()`).
+    pub rounds: Vec<RoundCost>,
+    /// Largest context observed (bytes) — `μ`, measured by the EM
+    /// runners; 0 for in-memory runners that never encode contexts.
+    pub max_context_bytes: usize,
+}
+
+impl CommCosts {
+    /// Number of communication rounds (`λ`).
+    pub fn lambda(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Maximum h over all rounds.
+    pub fn max_h(&self) -> usize {
+        self.rounds.iter().map(RoundCost::h).max().unwrap_or(0)
+    }
+
+    /// Total items communicated over the whole run.
+    pub fn total_items(&self) -> usize {
+        self.rounds.iter().map(|r| r.total_items).sum()
+    }
+
+    /// Largest single message observed over the whole run.
+    pub fn max_message(&self) -> usize {
+        self.rounds.iter().map(|r| r.max_message).max().unwrap_or(0)
+    }
+
+    /// Smallest non-empty message observed over the whole run (0 when no
+    /// messages at all were sent).
+    pub fn min_message(&self) -> usize {
+        self.rounds.iter().filter(|r| r.max_message > 0).map(|r| r.min_message).min().unwrap_or(0)
+    }
+}
+
+/// Compute a [`RoundCost`] from the full `v × v` message matrix of one
+/// round (`matrix[src][dst]` = message length in items).
+pub fn round_cost_from_matrix(matrix: &[Vec<usize>]) -> RoundCost {
+    let v = matrix.len();
+    let mut cost = RoundCost { min_message: usize::MAX, ..RoundCost::default() };
+    let mut recv = vec![0usize; v];
+    for (src, row) in matrix.iter().enumerate() {
+        debug_assert_eq!(row.len(), v);
+        let sent: usize = row.iter().sum();
+        cost.max_sent = cost.max_sent.max(sent);
+        cost.total_items += sent;
+        let _ = src;
+        for (dst, &len) in row.iter().enumerate() {
+            recv[dst] += len;
+            if len > 0 {
+                cost.max_message = cost.max_message.max(len);
+                cost.min_message = cost.min_message.min(len);
+            }
+        }
+    }
+    cost.max_received = recv.into_iter().max().unwrap_or(0);
+    if cost.min_message == usize::MAX {
+        cost.min_message = 0;
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_cost() {
+        // 3 procs; proc 0 sends 2->1 and 3->2; proc 2 sends 5->0
+        let m = vec![vec![0, 2, 3], vec![0, 0, 0], vec![5, 0, 0]];
+        let c = round_cost_from_matrix(&m);
+        assert_eq!(c.max_sent, 5);
+        assert_eq!(c.max_received, 5);
+        assert_eq!(c.total_items, 10);
+        assert_eq!(c.max_message, 5);
+        assert_eq!(c.min_message, 2);
+        assert_eq!(c.h(), 5);
+    }
+
+    #[test]
+    fn empty_matrix_cost() {
+        let m = vec![vec![0, 0], vec![0, 0]];
+        let c = round_cost_from_matrix(&m);
+        assert_eq!(c, RoundCost::default());
+    }
+
+    #[test]
+    fn aggregate() {
+        let mut costs = CommCosts::default();
+        costs.rounds.push(RoundCost {
+            max_sent: 4,
+            max_received: 2,
+            total_items: 6,
+            max_message: 4,
+            min_message: 2,
+        });
+        costs.rounds.push(RoundCost {
+            max_sent: 1,
+            max_received: 8,
+            total_items: 9,
+            max_message: 3,
+            min_message: 1,
+        });
+        assert_eq!(costs.lambda(), 2);
+        assert_eq!(costs.max_h(), 8);
+        assert_eq!(costs.total_items(), 15);
+        assert_eq!(costs.max_message(), 4);
+        assert_eq!(costs.min_message(), 1);
+    }
+}

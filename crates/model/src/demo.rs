@@ -1,0 +1,141 @@
+//! Tiny CGM programs used by tests, docs and examples across the
+//! workspace. They are deliberately simple — the real algorithm
+//! catalogue lives in `cgmio-algos`.
+
+use crate::program::{CgmProgram, RoundCtx, Status};
+
+/// Each processor holds one token and passes it to `(pid + 1) mod v`
+/// every round, `rounds` times. State: `Vec<u64>` with exactly one token.
+#[derive(Debug, Clone, Copy)]
+pub struct TokenRing {
+    /// Number of rotation rounds.
+    pub rounds: usize,
+}
+
+impl CgmProgram for TokenRing {
+    type Msg = u64;
+    type State = Vec<u64>;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, u64>, state: &mut Vec<u64>) -> Status {
+        if ctx.round > 0 {
+            let from = (ctx.pid + ctx.v - 1) % ctx.v;
+            state[0] = ctx.incoming.from(from)[0];
+        }
+        if ctx.round == self.rounds {
+            return Status::Done;
+        }
+        let token = state[0];
+        ctx.push((ctx.pid + 1) % ctx.v, token);
+        Status::Continue
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(self.rounds + 1)
+    }
+}
+
+/// Global prefix sums over the concatenation of all processors' local
+/// values, in one communication round: every processor broadcasts its
+/// local sum, then offsets its local prefix sums by the totals of lower
+/// processors. State: `(values, prefix)`.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixSum;
+
+impl CgmProgram for PrefixSum {
+    type Msg = u64;
+    type State = (Vec<u64>, Vec<u64>);
+
+    fn round(&self, ctx: &mut RoundCtx<'_, u64>, state: &mut (Vec<u64>, Vec<u64>)) -> Status {
+        match ctx.round {
+            0 => {
+                let local_sum: u64 = state.0.iter().sum();
+                for dst in 0..ctx.v {
+                    ctx.push(dst, local_sum);
+                }
+                Status::Continue
+            }
+            _ => {
+                let offset: u64 = (0..ctx.pid).map(|src| ctx.incoming.from(src)[0]).sum();
+                let mut acc = offset;
+                state.1 = state
+                    .0
+                    .iter()
+                    .map(|&x| {
+                        acc += x;
+                        acc
+                    })
+                    .collect();
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(2)
+    }
+}
+
+/// Total exchange: processor `src` sends `items_per_pair` items
+/// `(src·v + dst)·10 + k` to every `dst`; each receiver stores the
+/// flattened inbox. Exercises the full message matrix with equal-size
+/// messages. State: `Vec<u64>` (received items).
+#[derive(Debug, Clone, Copy)]
+pub struct AllToAll {
+    /// Items per (src, dst) pair.
+    pub items_per_pair: usize,
+}
+
+impl CgmProgram for AllToAll {
+    type Msg = u64;
+    type State = Vec<u64>;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, u64>, state: &mut Vec<u64>) -> Status {
+        match ctx.round {
+            0 => {
+                for dst in 0..ctx.v {
+                    let base = (ctx.pid * ctx.v + dst) as u64 * 10;
+                    ctx.send(dst, (0..self.items_per_pair as u64).map(|k| base + k));
+                }
+                Status::Continue
+            }
+            _ => {
+                *state = ctx.incoming.flatten();
+                Status::Done
+            }
+        }
+    }
+
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        Some(2)
+    }
+}
+
+/// A deliberately *unbalanced* exchange: every processor sends its whole
+/// `N/v` payload to processor 0. Used by tests and ablations to show what
+/// BalancedRouting fixes. State: `Vec<u64>`.
+#[derive(Debug, Clone, Copy)]
+pub struct AllToOne {
+    /// Items each processor sends to processor 0.
+    pub items_per_proc: usize,
+}
+
+impl CgmProgram for AllToOne {
+    type Msg = u64;
+    type State = Vec<u64>;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, u64>, state: &mut Vec<u64>) -> Status {
+        match ctx.round {
+            0 => {
+                let base = ctx.pid as u64 * self.items_per_proc as u64;
+                ctx.send(0, (0..self.items_per_proc as u64).map(|k| base + k));
+                Status::Continue
+            }
+            _ => {
+                if ctx.pid == 0 {
+                    *state = ctx.incoming.flatten();
+                }
+                Status::Done
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Sequential in-memory CGM runner — the reference semantics.
+//!
+//! Every other runner (threaded, external-memory sequential,
+//! external-memory parallel) must produce final states identical to this
+//! one; the integration tests assert exactly that.
+
+use crate::cost::{round_cost_from_matrix, CommCosts};
+use crate::program::{CgmProgram, Incoming, Outbox, RoundCtx, Status};
+use crate::{ModelError, DEFAULT_ROUND_LIMIT};
+
+/// Runs all `v` virtual processors in a single thread, round by round.
+#[derive(Debug, Clone)]
+pub struct DirectRunner {
+    /// Abort after this many rounds (livelock guard).
+    pub round_limit: usize,
+}
+
+impl Default for DirectRunner {
+    fn default() -> Self {
+        Self { round_limit: DEFAULT_ROUND_LIMIT }
+    }
+}
+
+impl DirectRunner {
+    /// Run `prog` on the given initial per-processor states (`v =
+    /// states.len()`). Returns final states and measured costs.
+    pub fn run<P: CgmProgram>(
+        &self,
+        prog: &P,
+        mut states: Vec<P::State>,
+    ) -> Result<(Vec<P::State>, CommCosts), ModelError> {
+        let v = states.len();
+        let mut inboxes: Vec<Incoming<P::Msg>> = (0..v).map(|_| Incoming::empty(v)).collect();
+        let mut costs = CommCosts::default();
+
+        for round in 0..self.round_limit {
+            let mut outs: Vec<Vec<Vec<P::Msg>>> = Vec::with_capacity(v);
+            let mut n_done = 0usize;
+
+            let old_inboxes =
+                std::mem::replace(&mut inboxes, Vec::new());
+            for (pid, (state, inbox)) in states.iter_mut().zip(old_inboxes).enumerate() {
+                let mut outbox = Outbox::new(v);
+                let mut ctx = RoundCtx { pid, v, round, incoming: inbox, outbox: &mut outbox };
+                match prog.round(&mut ctx, state) {
+                    Status::Done => n_done += 1,
+                    Status::Continue => {}
+                }
+                outs.push(outbox.into_per_dst());
+            }
+
+            // Cost accounting from the full message matrix.
+            let matrix: Vec<Vec<usize>> =
+                outs.iter().map(|per_dst| per_dst.iter().map(Vec::len).collect()).collect();
+            let round_cost = round_cost_from_matrix(&matrix);
+            let sent_any = round_cost.total_items > 0;
+            if sent_any || n_done < v {
+                costs.rounds.push(round_cost);
+            }
+
+            if n_done == v {
+                if sent_any {
+                    return Err(ModelError::MessagesAfterDone);
+                }
+                return Ok((states, costs));
+            }
+            if n_done != 0 {
+                return Err(ModelError::StatusDisagreement { round });
+            }
+
+            // Route: inbox[dst].from(src) = outs[src][dst].
+            let mut per_dst_per_src: Vec<Vec<Vec<P::Msg>>> =
+                (0..v).map(|_| Vec::with_capacity(v)).collect();
+            for out in outs {
+                for (dst, msg) in out.into_iter().enumerate() {
+                    per_dst_per_src[dst].push(msg);
+                }
+            }
+            inboxes = per_dst_per_src.into_iter().map(Incoming::new).collect();
+        }
+        Err(ModelError::RoundLimit(self.round_limit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demo::{AllToAll, PrefixSum, TokenRing};
+
+    #[test]
+    fn token_ring_rotates() {
+        let v = 5;
+        let prog = TokenRing { rounds: 3 };
+        let states: Vec<Vec<u64>> = (0..v as u64).map(|i| vec![i]).collect();
+        let (fin, costs) = DirectRunner::default().run(&prog, states).unwrap();
+        // token i ends up 3 positions clockwise: proc j holds (j - 3) mod v
+        for (j, s) in fin.iter().enumerate() {
+            assert_eq!(s[0], ((j + v - 3) % v) as u64);
+        }
+        assert_eq!(costs.lambda(), 3);
+        assert_eq!(costs.max_h(), 1);
+    }
+
+    #[test]
+    fn prefix_sum_is_correct() {
+        let v = 4;
+        let vals: Vec<Vec<u64>> = vec![vec![1, 2], vec![3], vec![], vec![4, 5, 6]];
+        let states: Vec<(Vec<u64>, Vec<u64>)> =
+            vals.iter().map(|xs| (xs.clone(), Vec::new())).collect();
+        let (fin, costs) = DirectRunner::default().run(&PrefixSum, states).unwrap();
+        let mut expect = Vec::new();
+        let mut acc = 0;
+        for xs in &vals {
+            for &x in xs {
+                acc += x;
+                expect.push(acc);
+            }
+        }
+        let got: Vec<u64> = fin.iter().flat_map(|(_, pre)| pre.iter().copied()).collect();
+        assert_eq!(got, expect);
+        assert_eq!(costs.lambda(), 1, "one communication round");
+        let _ = v;
+    }
+
+    #[test]
+    fn all_to_all_delivers_in_source_order() {
+        let v = 6;
+        let states: Vec<Vec<u64>> = (0..v).map(|_| Vec::new()).collect();
+        let (fin, costs) = DirectRunner::default().run(&AllToAll { items_per_pair: 3 }, states).unwrap();
+        for (dst, s) in fin.iter().enumerate() {
+            let expect: Vec<u64> = (0..v)
+                .flat_map(|src| (0..3).map(move |k| (src * v + dst) as u64 * 10 + k))
+                .collect();
+            assert_eq!(s, &expect, "dst {dst}");
+        }
+        assert_eq!(costs.max_h(), 3 * v);
+        assert_eq!(costs.rounds[0].min_message, 3);
+        assert_eq!(costs.rounds[0].max_message, 3);
+    }
+
+    #[test]
+    fn round_limit_guards_livelock() {
+        struct Forever;
+        impl CgmProgram for Forever {
+            type Msg = u64;
+            type State = u64;
+            fn round(&self, _ctx: &mut RoundCtx<'_, u64>, _s: &mut u64) -> Status {
+                Status::Continue
+            }
+        }
+        let r = DirectRunner { round_limit: 10 };
+        let e = r.run(&Forever, vec![0, 0]).unwrap_err();
+        assert_eq!(e, ModelError::RoundLimit(10));
+    }
+
+    #[test]
+    fn disagreement_detected() {
+        struct Half;
+        impl CgmProgram for Half {
+            type Msg = u64;
+            type State = u64;
+            fn round(&self, ctx: &mut RoundCtx<'_, u64>, _s: &mut u64) -> Status {
+                if ctx.pid == 0 {
+                    Status::Done
+                } else {
+                    Status::Continue
+                }
+            }
+        }
+        let e = DirectRunner::default().run(&Half, vec![0, 0]).unwrap_err();
+        assert_eq!(e, ModelError::StatusDisagreement { round: 0 });
+    }
+
+    #[test]
+    fn messages_after_done_detected() {
+        struct Chatty;
+        impl CgmProgram for Chatty {
+            type Msg = u64;
+            type State = u64;
+            fn round(&self, ctx: &mut RoundCtx<'_, u64>, _s: &mut u64) -> Status {
+                ctx.push(0, 1);
+                Status::Done
+            }
+        }
+        let e = DirectRunner::default().run(&Chatty, vec![0, 0]).unwrap_err();
+        assert_eq!(e, ModelError::MessagesAfterDone);
+    }
+}

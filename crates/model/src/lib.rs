@@ -1,0 +1,88 @@
+//! # cgmio-model — the Coarse Grained Multicomputer machine model
+//!
+//! The CGM model (Dehne et al., 1993) is a BSP-like machine with only two
+//! parameters: `n` (problem size) and `v` (processors), each processor
+//! holding `O(n/v)` data. Computation alternates *computation rounds*
+//! with *communication rounds*; each communication round is a single
+//! h-relation with `h = O(n/v)`.
+//!
+//! This crate defines:
+//!
+//! * [`CgmProgram`] — an algorithm as a per-processor superstep state
+//!   machine. The same unmodified program runs on every runner in the
+//!   workspace: the in-memory [`DirectRunner`], the multi-threaded
+//!   [`ThreadedRunner`] (the "real parallel machine" of the paper's
+//!   Figure 3 baseline), and the external-memory simulation runners in
+//!   `cgmio-core` — which is precisely the portability claim of the
+//!   paper's simulation technique.
+//! * [`ProcState`] — serialisable per-processor *context*, so the EM
+//!   runners can swap contexts to disk (the `μ`/`M` story of the paper).
+//! * [`CommCosts`] — exact h-relation accounting (`λ`, per-round maximum
+//!   fan-in/fan-out, total volume), the quantities the simulation
+//!   theorems are stated in.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod demo;
+pub mod direct;
+pub mod program;
+pub mod state;
+pub mod threaded;
+
+pub use cost::{CommCosts, RoundCost};
+pub use direct::DirectRunner;
+pub use program::{CgmProgram, Incoming, Outbox, RoundCtx, Status};
+pub use state::{Decoder, Encoder, ProcState};
+pub use threaded::{ThreadedRunner, ThreadedRunReport};
+
+/// Errors produced by the model runners.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A processor addressed a destination `>= v`.
+    BadDestination {
+        /// Sending virtual processor.
+        src: usize,
+        /// The invalid destination.
+        dst: usize,
+        /// Number of virtual processors.
+        v: usize,
+    },
+    /// All processors reported `Done` but some also sent messages.
+    MessagesAfterDone,
+    /// The run exceeded the configured round limit (likely livelock).
+    RoundLimit(
+        /// The limit that was hit.
+        usize,
+    ),
+    /// Mixed Done/Continue statuses in a round where the runner requires
+    /// agreement.
+    StatusDisagreement {
+        /// The round in which the disagreement happened.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::BadDestination { src, dst, v } => {
+                write!(f, "processor {src} sent to invalid destination {dst} (v = {v})")
+            }
+            ModelError::MessagesAfterDone => {
+                write!(f, "all processors reported Done but messages were sent")
+            }
+            ModelError::RoundLimit(l) => write!(f, "exceeded round limit {l}"),
+            ModelError::StatusDisagreement { round } => {
+                write!(f, "processors disagreed on termination in round {round}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Safety valve: a CGM algorithm that runs this many rounds is considered
+/// livelocked. Every algorithm in this workspace uses `O(log v)` rounds
+/// or fewer.
+pub const DEFAULT_ROUND_LIMIT: usize = 10_000;

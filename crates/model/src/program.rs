@@ -1,0 +1,202 @@
+//! The CGM program abstraction: a per-processor superstep state machine.
+
+use cgmio_pdm::Item;
+
+use crate::state::ProcState;
+
+/// What a processor reports at the end of a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// More rounds needed.
+    Continue,
+    /// This processor is finished. A run terminates in the first round
+    /// where **every** processor reports `Done`; a round in which
+    /// statuses disagree is an error (CGM supersteps are globally
+    /// synchronous, so well-formed programs agree on termination).
+    Done,
+}
+
+/// Messages received by one processor in one round, indexed by source.
+///
+/// `incoming.from(src)` is the (possibly empty) sequence of items sent by
+/// virtual processor `src` in the previous communication round, in send
+/// order. This source-indexed shape mirrors the simulation engine's
+/// message matrix, where the `(src, dst)` slot is a fixed disk region.
+#[derive(Debug)]
+pub struct Incoming<M> {
+    per_src: Vec<Vec<M>>,
+}
+
+impl<M> Incoming<M> {
+    /// Build from a per-source vector (length `v`).
+    pub fn new(per_src: Vec<Vec<M>>) -> Self {
+        Self { per_src }
+    }
+
+    /// Empty inbox for `v` sources.
+    pub fn empty(v: usize) -> Self {
+        Self { per_src: (0..v).map(|_| Vec::new()).collect() }
+    }
+
+    /// Messages from processor `src`.
+    pub fn from(&self, src: usize) -> &[M] {
+        &self.per_src[src]
+    }
+
+    /// Iterate `(src, items)` over all sources (including empty ones).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[M])> {
+        self.per_src.iter().enumerate().map(|(s, v)| (s, v.as_slice()))
+    }
+
+    /// All received items, in source order, flattened.
+    pub fn flatten(&self) -> Vec<M>
+    where
+        M: Copy,
+    {
+        self.per_src.iter().flat_map(|v| v.iter().copied()).collect()
+    }
+
+    /// Total number of items received (the `h` of the h-relation, on the
+    /// receive side).
+    pub fn total(&self) -> usize {
+        self.per_src.iter().map(Vec::len).sum()
+    }
+
+    /// Consume, returning the per-source vectors.
+    pub fn into_per_src(self) -> Vec<Vec<M>> {
+        self.per_src
+    }
+}
+
+/// Staging area for the messages a processor sends in one round.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    per_dst: Vec<Vec<M>>,
+}
+
+impl<M: Item> Outbox<M> {
+    /// New empty outbox for `v` destinations.
+    pub fn new(v: usize) -> Self {
+        Self { per_dst: (0..v).map(|_| Vec::new()).collect() }
+    }
+
+    /// Number of destinations (`v`).
+    pub fn v(&self) -> usize {
+        self.per_dst.len()
+    }
+
+    /// Append one item to the message for `dst`.
+    pub fn push(&mut self, dst: usize, item: M) {
+        self.per_dst[dst].push(item);
+    }
+
+    /// Append many items to the message for `dst`.
+    pub fn send(&mut self, dst: usize, items: impl IntoIterator<Item = M>) {
+        self.per_dst[dst].extend(items);
+    }
+
+    /// Items queued for `dst` so far.
+    pub fn queued(&self, dst: usize) -> usize {
+        self.per_dst[dst].len()
+    }
+
+    /// Total items queued (send-side `h`).
+    pub fn total(&self) -> usize {
+        self.per_dst.iter().map(Vec::len).sum()
+    }
+
+    /// Consume, returning per-destination vectors.
+    pub fn into_per_dst(self) -> Vec<Vec<M>> {
+        self.per_dst
+    }
+}
+
+/// Everything a processor sees during one compound superstep: identity,
+/// round number, the inbox from the previous communication round, and the
+/// outbox for the next one.
+pub struct RoundCtx<'a, M> {
+    /// This virtual processor's id, `0 ≤ pid < v`.
+    pub pid: usize,
+    /// Number of virtual processors.
+    pub v: usize,
+    /// Round number, starting at 0.
+    pub round: usize,
+    /// Messages received (sent in round `round − 1`; empty in round 0).
+    pub incoming: Incoming<M>,
+    /// Messages to deliver before round `round + 1`.
+    pub outbox: &'a mut Outbox<M>,
+}
+
+impl<M: Item> RoundCtx<'_, M> {
+    /// Shorthand for `outbox.send`.
+    pub fn send(&mut self, dst: usize, items: impl IntoIterator<Item = M>) {
+        self.outbox.send(dst, items);
+    }
+
+    /// Shorthand for `outbox.push`.
+    pub fn push(&mut self, dst: usize, item: M) {
+        self.outbox.push(dst, item);
+    }
+}
+
+/// A CGM algorithm.
+///
+/// The algorithm is expressed as the body of one *compound superstep*:
+/// receive, compute, send. The runner owns scheduling, message routing
+/// and (for the external-memory runners) context/message disk layout.
+///
+/// Contract:
+/// * `State` is the processor's *context* in the paper's sense; its
+///   encoded size is the `μ` parameter. It must round-trip through
+///   [`ProcState`] encoding losslessly.
+/// * Each round, each processor sends and receives `O(N/v)` items in
+///   total (the h-relation discipline). Runners *measure* h rather than
+///   trusting the program; the EM runners additionally *enforce* a slot
+///   bound.
+/// * All processors must report [`Status::Done`] in the same round, with
+///   no messages sent in that final round.
+pub trait CgmProgram: Send + Sync {
+    /// Message item type.
+    type Msg: Item;
+    /// Per-processor context.
+    type State: ProcState + Send;
+
+    /// Execute one compound superstep on one virtual processor.
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut Self::State) -> Status;
+
+    /// Optional hint: number of rounds, if known a priori (used only for
+    /// progress reporting; termination always comes from [`Status`]).
+    fn rounds_hint(&self, _v: usize) -> Option<usize> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_accumulates_per_destination() {
+        let mut o: Outbox<u64> = Outbox::new(3);
+        o.push(0, 1);
+        o.send(2, [2, 3]);
+        o.push(2, 4);
+        assert_eq!(o.queued(0), 1);
+        assert_eq!(o.queued(1), 0);
+        assert_eq!(o.queued(2), 3);
+        assert_eq!(o.total(), 4);
+        let per = o.into_per_dst();
+        assert_eq!(per[2], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn incoming_indexing_and_flatten() {
+        let inc = Incoming::new(vec![vec![1u64, 2], vec![], vec![3]]);
+        assert_eq!(inc.from(0), &[1, 2]);
+        assert_eq!(inc.from(1), &[] as &[u64]);
+        assert_eq!(inc.total(), 3);
+        assert_eq!(inc.flatten(), vec![1, 2, 3]);
+        let pairs: Vec<(usize, usize)> = inc.iter().map(|(s, m)| (s, m.len())).collect();
+        assert_eq!(pairs, vec![(0, 2), (1, 0), (2, 1)]);
+    }
+}

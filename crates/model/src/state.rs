@@ -1,0 +1,239 @@
+//! Serialisable per-processor contexts.
+//!
+//! The EM-CGM simulation swaps each virtual processor's *context* to disk
+//! between supersteps (steps (a)/(e) of the paper's Algorithm 2). A
+//! context is anything implementing [`ProcState`]: a lossless, fixed
+//! self-describing binary encoding. The encoded length is the context
+//! size; its maximum over processors and rounds is the paper's `μ`.
+
+use cgmio_pdm::Item;
+
+/// Streaming encoder used by [`ProcState::encode`].
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// New empty encoder.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Append a length-prefixed slice of items.
+    pub fn items<T: Item>(&mut self, xs: &[T]) -> &mut Self {
+        self.u64(xs.len() as u64);
+        let start = self.buf.len();
+        self.buf.resize(start + xs.len() * T::SIZE, 0);
+        for (i, x) in xs.iter().enumerate() {
+            x.write_to(&mut self.buf[start + i * T::SIZE..start + (i + 1) * T::SIZE]);
+        }
+        self
+    }
+
+    /// Append a bare `u64`.
+    pub fn u64(&mut self, x: u64) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    /// Append a bare `i64`.
+    pub fn i64(&mut self, x: i64) -> &mut Self {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+        self
+    }
+
+    /// Append one item.
+    pub fn item<T: Item>(&mut self, x: &T) -> &mut Self {
+        let start = self.buf.len();
+        self.buf.resize(start + T::SIZE, 0);
+        x.write_to(&mut self.buf[start..]);
+        self
+    }
+
+    /// Append raw bytes, length-prefixed.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Finish, returning the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Streaming decoder used by [`ProcState::decode`].
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Read a length-prefixed item slice.
+    pub fn items<T: Item>(&mut self) -> Vec<T> {
+        let n = self.u64() as usize;
+        let bytes = n * T::SIZE;
+        let out = T::decode_slice(&self.buf[self.pos..self.pos + bytes], n);
+        self.pos += bytes;
+        out
+    }
+
+    /// Read a bare `u64`.
+    pub fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    /// Read a bare `i64`.
+    pub fn i64(&mut self) -> i64 {
+        let v = i64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
+    /// Read one item.
+    pub fn item<T: Item>(&mut self) -> T {
+        let v = T::read_from(&self.buf[self.pos..self.pos + T::SIZE]);
+        self.pos += T::SIZE;
+        v
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Vec<u8> {
+        let n = self.u64() as usize;
+        let out = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        out
+    }
+
+    /// True if the whole buffer was consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// A virtual processor context that can be swapped to disk.
+pub trait ProcState: Sized {
+    /// Serialise into `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Reconstruct from `dec`. Must be the exact inverse of `encode`.
+    fn decode(dec: &mut Decoder<'_>) -> Self;
+
+    /// Encoded size in bytes (the context size; max over procs = `μ`).
+    fn encoded_len(&self) -> usize {
+        let mut e = Encoder::new();
+        self.encode(&mut e);
+        e.finish().len()
+    }
+
+    /// Convenience: encode to a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode(&mut e);
+        e.finish()
+    }
+
+    /// Convenience: decode from a buffer.
+    fn from_bytes(buf: &[u8]) -> Self {
+        Self::decode(&mut Decoder::new(buf))
+    }
+}
+
+impl<T: Item> ProcState for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.items(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Self {
+        dec.items()
+    }
+}
+
+impl ProcState for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Self {
+        dec.u64()
+    }
+}
+
+impl<A: ProcState, B: ProcState> ProcState for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Self {
+        let a = A::decode(dec);
+        let b = B::decode(dec);
+        (a, b)
+    }
+}
+
+impl<A: ProcState, B: ProcState, C: ProcState> ProcState for (A, B, C) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+        self.2.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Self {
+        let a = A::decode(dec);
+        let b = B::decode(dec);
+        let c = C::decode(dec);
+        (a, b, c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_roundtrip() {
+        let v: Vec<u64> = (0..50).collect();
+        let bytes = v.to_bytes();
+        assert_eq!(Vec::<u64>::from_bytes(&bytes), v);
+        assert_eq!(v.encoded_len(), 8 + 50 * 8);
+    }
+
+    #[test]
+    fn tuple_state_roundtrip() {
+        let s: (u64, Vec<i64>, Vec<(u64, u64)>) = (7, vec![-1, 2], vec![(1, 2), (3, 4)]);
+        let bytes = s.to_bytes();
+        let back = <(u64, Vec<i64>, Vec<(u64, u64)>)>::from_bytes(&bytes);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn encoder_decoder_mixed_stream() {
+        let mut e = Encoder::new();
+        e.u64(5).i64(-9).item(&(1u32, 2u32)).bytes(b"hi").items(&[7u16, 8, 9]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u64(), 5);
+        assert_eq!(d.i64(), -9);
+        assert_eq!(d.item::<(u32, u32)>(), (1, 2));
+        assert_eq!(d.bytes(), b"hi");
+        assert_eq!(d.items::<u16>(), vec![7, 8, 9]);
+        assert!(d.is_exhausted());
+    }
+
+    #[test]
+    fn empty_vec_roundtrip() {
+        let v: Vec<u64> = vec![];
+        assert_eq!(Vec::<u64>::from_bytes(&v.to_bytes()), v);
+    }
+}

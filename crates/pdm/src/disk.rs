@@ -1,0 +1,399 @@
+//! The simulated disk array.
+//!
+//! [`DiskArray`] models the `D` drives of one EM-CGM processor. The
+//! central invariant, enforced on every operation, is the PDM rule that a
+//! single parallel I/O may access **at most one track per disk**. Any
+//! violation is a programming error in the layer above and is reported as
+//! an [`IoError`] rather than silently serialised, so layout bugs (the
+//! kind the paper's staggered format exists to prevent) cannot hide.
+
+use crate::file_backend::FileStorage;
+use crate::stats::IoStats;
+use crate::DiskGeometry;
+
+/// Address of one block: drive index plus track number on that drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackAddr {
+    /// Drive index, `0 ≤ disk < D`.
+    pub disk: usize,
+    /// Track number on that drive.
+    pub track: u64,
+}
+
+impl TrackAddr {
+    /// Convenience constructor.
+    pub fn new(disk: usize, track: u64) -> Self {
+        Self { disk, track }
+    }
+}
+
+/// A single block transfer request (used by the FIFO write scheduler).
+#[derive(Debug, Clone)]
+pub struct IoRequest {
+    /// Where the block goes.
+    pub addr: TrackAddr,
+    /// Block payload; at most `block_bytes` long (shorter payloads are
+    /// zero-padded on disk).
+    pub data: Vec<u8>,
+}
+
+/// Errors surfaced by the disk array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Two requests in one parallel operation addressed the same disk.
+    DiskConflict {
+        /// The drive that was addressed twice.
+        disk: usize,
+    },
+    /// A request addressed a drive `>= D`.
+    NoSuchDisk {
+        /// The offending drive index.
+        disk: usize,
+        /// Number of drives in the array.
+        num_disks: usize,
+    },
+    /// A write payload exceeded the block size.
+    BlockTooLarge {
+        /// Payload length in bytes.
+        len: usize,
+        /// Configured block size in bytes.
+        block_bytes: usize,
+    },
+    /// Underlying file backend failed.
+    Backend(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::DiskConflict { disk } => {
+                write!(f, "parallel I/O touches disk {disk} more than once")
+            }
+            IoError::NoSuchDisk { disk, num_disks } => {
+                write!(f, "disk {disk} out of range (array has {num_disks})")
+            }
+            IoError::BlockTooLarge { len, block_bytes } => {
+                write!(f, "payload of {len} bytes exceeds block size {block_bytes}")
+            }
+            IoError::Backend(e) => write!(f, "backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+enum Storage {
+    /// In-memory tracks, allocated on demand. `None` reads as zeros.
+    Mem(Vec<Vec<Option<Box<[u8]>>>>),
+    /// Real files, one per drive.
+    File(FileStorage),
+}
+
+/// A `D`-drive disk array with exact parallel-I/O accounting.
+///
+/// ```
+/// use cgmio_pdm::{DiskArray, DiskGeometry, TrackAddr};
+/// let mut arr = DiskArray::new(DiskGeometry::new(2, 8));
+/// arr.parallel_write(&[
+///     (TrackAddr::new(0, 0), &[1u8; 8][..]),
+///     (TrackAddr::new(1, 0), &[2u8; 8][..]),
+/// ]).unwrap();
+/// let blocks = arr.parallel_read(&[TrackAddr::new(0, 0), TrackAddr::new(1, 0)]).unwrap();
+/// assert_eq!(blocks[0], vec![1u8; 8]);
+/// assert_eq!(arr.stats().total_ops(), 2);
+/// assert_eq!(arr.stats().full_ops, 2);
+/// ```
+pub struct DiskArray {
+    geom: DiskGeometry,
+    storage: Storage,
+    stats: IoStats,
+}
+
+impl DiskArray {
+    /// Create an in-memory disk array.
+    pub fn new(geom: DiskGeometry) -> Self {
+        Self {
+            storage: Storage::Mem(vec![Vec::new(); geom.num_disks]),
+            stats: IoStats::new(geom.num_disks),
+            geom,
+        }
+    }
+
+    /// Create a disk array backed by real files in `dir` (one file per
+    /// drive). I/O accounting is identical to the in-memory backend.
+    pub fn new_file_backed(geom: DiskGeometry, dir: &std::path::Path) -> Result<Self, IoError> {
+        let fs = FileStorage::open(dir, geom).map_err(|e| IoError::Backend(e.to_string()))?;
+        Ok(Self { storage: Storage::File(fs), stats: IoStats::new(geom.num_disks), geom })
+    }
+
+    /// The array geometry.
+    pub fn geometry(&self) -> DiskGeometry {
+        self.geom
+    }
+
+    /// I/O counters accumulated so far.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Reset the I/O counters (the disk contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = IoStats::new(self.geom.num_disks);
+    }
+
+    /// Highest allocated track per disk (diagnostics / disk-space audit).
+    pub fn tracks_used(&self) -> Vec<u64> {
+        match &self.storage {
+            Storage::Mem(disks) => disks.iter().map(|d| d.len() as u64).collect(),
+            Storage::File(fs) => fs.tracks_used(),
+        }
+    }
+
+    fn check_op(&self, addrs: impl Iterator<Item = TrackAddr>) -> Result<usize, IoError> {
+        let mut seen = vec![false; self.geom.num_disks];
+        let mut n = 0;
+        for a in addrs {
+            if a.disk >= self.geom.num_disks {
+                return Err(IoError::NoSuchDisk { disk: a.disk, num_disks: self.geom.num_disks });
+            }
+            if seen[a.disk] {
+                return Err(IoError::DiskConflict { disk: a.disk });
+            }
+            seen[a.disk] = true;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// One parallel read of up to `D` blocks (distinct disks). Returns the
+    /// block contents in request order; unwritten tracks read as zeros.
+    pub fn parallel_read(&mut self, addrs: &[TrackAddr]) -> Result<Vec<Vec<u8>>, IoError> {
+        let n = self.check_op(addrs.iter().copied())?;
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let bb = self.geom.block_bytes;
+        let mut out = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            let block = match &mut self.storage {
+                Storage::Mem(disks) => {
+                    let disk = &disks[a.disk];
+                    disk.get(a.track as usize)
+                        .and_then(|t| t.as_ref())
+                        .map(|t| t.to_vec())
+                        .unwrap_or_else(|| vec![0u8; bb])
+                }
+                Storage::File(fs) => {
+                    fs.read_track(a.disk, a.track).map_err(|e| IoError::Backend(e.to_string()))?
+                }
+            };
+            self.stats.per_disk_blocks[a.disk] += 1;
+            out.push(block);
+        }
+        self.stats.record_read(n, self.geom.num_disks);
+        Ok(out)
+    }
+
+    /// One parallel write of up to `D` blocks (distinct disks). Payloads
+    /// shorter than a block are zero-padded.
+    pub fn parallel_write(&mut self, writes: &[(TrackAddr, &[u8])]) -> Result<(), IoError> {
+        let n = self.check_op(writes.iter().map(|(a, _)| *a))?;
+        if n == 0 {
+            return Ok(());
+        }
+        let bb = self.geom.block_bytes;
+        for (_, data) in writes {
+            if data.len() > bb {
+                return Err(IoError::BlockTooLarge { len: data.len(), block_bytes: bb });
+            }
+        }
+        for (a, data) in writes {
+            match &mut self.storage {
+                Storage::Mem(disks) => {
+                    let disk = &mut disks[a.disk];
+                    let idx = a.track as usize;
+                    if disk.len() <= idx {
+                        disk.resize_with(idx + 1, || None);
+                    }
+                    let mut block = vec![0u8; bb].into_boxed_slice();
+                    block[..data.len()].copy_from_slice(data);
+                    disk[idx] = Some(block);
+                }
+                Storage::File(fs) => {
+                    fs.write_track(a.disk, a.track, data)
+                        .map_err(|e| IoError::Backend(e.to_string()))?;
+                }
+            }
+            self.stats.per_disk_blocks[a.disk] += 1;
+        }
+        self.stats.record_write(n, self.geom.num_disks);
+        Ok(())
+    }
+
+    /// The paper's `DiskWrite` procedure: service a FIFO queue of block
+    /// writes, packing blocks into parallel operations **strictly in FIFO
+    /// order** and closing the current operation as soon as a block's disk
+    /// conflicts with an earlier block in the same cycle.
+    ///
+    /// Returns the number of parallel operations used. With a staggered
+    /// layout this is `ceil(len/D)`; with a naive layout it degrades — the
+    /// difference is what the paper's Figure 2 illustrates, and what the
+    /// `ablation` benches measure.
+    pub fn write_fifo(&mut self, queue: &[IoRequest]) -> Result<usize, IoError> {
+        let mut ops = 0;
+        let mut cycle: Vec<(TrackAddr, &[u8])> = Vec::with_capacity(self.geom.num_disks);
+        let mut used = vec![false; self.geom.num_disks];
+        for req in queue {
+            if req.addr.disk >= self.geom.num_disks {
+                return Err(IoError::NoSuchDisk {
+                    disk: req.addr.disk,
+                    num_disks: self.geom.num_disks,
+                });
+            }
+            if used[req.addr.disk] || cycle.len() == self.geom.num_disks {
+                self.parallel_write(&cycle)?;
+                ops += 1;
+                cycle.clear();
+                used.iter_mut().for_each(|u| *u = false);
+            }
+            used[req.addr.disk] = true;
+            cycle.push((req.addr, &req.data));
+        }
+        if !cycle.is_empty() {
+            self.parallel_write(&cycle)?;
+            ops += 1;
+        }
+        Ok(ops)
+    }
+
+    /// Read `nblocks` blocks whose addresses are produced by `addrs`,
+    /// chunked greedily into legal parallel operations (FIFO order, one
+    /// operation per disk conflict — mirror of [`Self::write_fifo`]).
+    pub fn read_fifo(
+        &mut self,
+        addrs: impl Iterator<Item = TrackAddr>,
+    ) -> Result<Vec<Vec<u8>>, IoError> {
+        let mut out = Vec::new();
+        let mut cycle: Vec<TrackAddr> = Vec::with_capacity(self.geom.num_disks);
+        let mut used = vec![false; self.geom.num_disks];
+        for a in addrs {
+            if a.disk >= self.geom.num_disks {
+                return Err(IoError::NoSuchDisk { disk: a.disk, num_disks: self.geom.num_disks });
+            }
+            if used[a.disk] || cycle.len() == self.geom.num_disks {
+                out.extend(self.parallel_read(&cycle)?);
+                cycle.clear();
+                used.iter_mut().for_each(|u| *u = false);
+            }
+            used[a.disk] = true;
+            cycle.push(a);
+        }
+        if !cycle.is_empty() {
+            out.extend(self.parallel_read(&cycle)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arr(d: usize, b: usize) -> DiskArray {
+        DiskArray::new(DiskGeometry::new(d, b))
+    }
+
+    #[test]
+    fn roundtrip_and_zero_fill() {
+        let mut a = arr(3, 4);
+        a.parallel_write(&[(TrackAddr::new(1, 5), &[9, 9][..])]).unwrap();
+        let r = a
+            .parallel_read(&[TrackAddr::new(0, 5), TrackAddr::new(1, 5), TrackAddr::new(2, 0)])
+            .unwrap();
+        assert_eq!(r[0], vec![0; 4]);
+        assert_eq!(r[1], vec![9, 9, 0, 0]);
+        assert_eq!(r[2], vec![0; 4]);
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let mut a = arr(2, 4);
+        let e = a.parallel_read(&[TrackAddr::new(0, 0), TrackAddr::new(0, 1)]).unwrap_err();
+        assert_eq!(e, IoError::DiskConflict { disk: 0 });
+    }
+
+    #[test]
+    fn out_of_range_disk_detected() {
+        let mut a = arr(2, 4);
+        let e = a.parallel_read(&[TrackAddr::new(2, 0)]).unwrap_err();
+        assert_eq!(e, IoError::NoSuchDisk { disk: 2, num_disks: 2 });
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let mut a = arr(1, 4);
+        let e = a.parallel_write(&[(TrackAddr::new(0, 0), &[0u8; 5][..])]).unwrap_err();
+        assert_eq!(e, IoError::BlockTooLarge { len: 5, block_bytes: 4 });
+    }
+
+    #[test]
+    fn empty_ops_are_free() {
+        let mut a = arr(2, 4);
+        a.parallel_read(&[]).unwrap();
+        a.parallel_write(&[]).unwrap();
+        assert_eq!(a.stats().total_ops(), 0);
+    }
+
+    #[test]
+    fn fifo_write_packs_until_conflict() {
+        let mut a = arr(2, 4);
+        // disks 0,1,0,1 -> two fully parallel ops
+        let q: Vec<IoRequest> = (0..4)
+            .map(|i| IoRequest { addr: TrackAddr::new(i % 2, (i / 2) as u64), data: vec![i as u8] })
+            .collect();
+        assert_eq!(a.write_fifo(&q).unwrap(), 2);
+        assert_eq!(a.stats().full_ops, 2);
+
+        // all on disk 0 -> four serial ops
+        let mut a = arr(2, 4);
+        let q: Vec<IoRequest> = (0..4)
+            .map(|i| IoRequest { addr: TrackAddr::new(0, i as u64), data: vec![i as u8] })
+            .collect();
+        assert_eq!(a.write_fifo(&q).unwrap(), 4);
+        assert_eq!(a.stats().full_ops, 0);
+    }
+
+    #[test]
+    fn fifo_read_matches_write_order() {
+        let mut a = arr(3, 2);
+        let addrs: Vec<TrackAddr> =
+            (0..7).map(|i| TrackAddr::new(i % 3, (i / 3) as u64)).collect();
+        for (i, &ad) in addrs.iter().enumerate() {
+            a.parallel_write(&[(ad, &[i as u8, 0][..])]).unwrap();
+        }
+        let blocks = a.read_fifo(addrs.iter().copied()).unwrap();
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(b[0], i as u8);
+        }
+        // 7 blocks over 3 disks, round-robin -> 3 ops
+        assert_eq!(a.stats().read_ops, 3);
+    }
+
+    #[test]
+    fn per_disk_accounting() {
+        let mut a = arr(2, 4);
+        a.parallel_write(&[(TrackAddr::new(0, 0), &[1][..]), (TrackAddr::new(1, 0), &[2][..])])
+            .unwrap();
+        a.parallel_read(&[TrackAddr::new(0, 0)]).unwrap();
+        assert_eq!(a.stats().per_disk_blocks, vec![2, 1]);
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut a = arr(1, 4);
+        a.parallel_write(&[(TrackAddr::new(0, 0), &[1, 2, 3, 4][..])]).unwrap();
+        a.parallel_write(&[(TrackAddr::new(0, 0), &[9][..])]).unwrap();
+        let r = a.parallel_read(&[TrackAddr::new(0, 0)]).unwrap();
+        assert_eq!(r[0], vec![9, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fixed-size binary records.
+//!
+//! Everything that crosses a disk block or a message boundary in the
+//! simulation implements [`Item`]: a `Copy` type with a fixed-width
+//! little-endian encoding. Fixed width is essential — the paper's entire
+//! layout story (blocked messages, `b′ = ⌈b/B⌉` blocks per message,
+//! striped contexts) presumes records of known size.
+
+/// A fixed-size, plain-old-data record.
+pub trait Item: Copy + Send + Sync + 'static {
+    /// Encoded size in bytes.
+    const SIZE: usize;
+
+    /// Encode into `buf` (exactly `SIZE` bytes).
+    fn write_to(&self, buf: &mut [u8]);
+
+    /// Decode from `buf` (exactly `SIZE` bytes).
+    fn read_from(buf: &[u8]) -> Self;
+
+    /// Encode a slice of items into a fresh byte vector.
+    fn encode_slice(items: &[Self]) -> Vec<u8> {
+        let mut out = vec![0u8; items.len() * Self::SIZE];
+        for (i, it) in items.iter().enumerate() {
+            it.write_to(&mut out[i * Self::SIZE..(i + 1) * Self::SIZE]);
+        }
+        out
+    }
+
+    /// Decode `n` items from the front of `buf`.
+    fn decode_slice(buf: &[u8], n: usize) -> Vec<Self> {
+        assert!(buf.len() >= n * Self::SIZE, "buffer too short for {n} items");
+        (0..n).map(|i| Self::read_from(&buf[i * Self::SIZE..(i + 1) * Self::SIZE])).collect()
+    }
+}
+
+macro_rules! impl_item_int {
+    ($($t:ty),*) => {$(
+        impl Item for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            fn write_to(&self, buf: &mut [u8]) {
+                buf[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+            fn read_from(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().unwrap())
+            }
+        }
+    )*};
+}
+
+impl_item_int!(u8, u16, u32, u64, u128, i8, i16, i32, i64, i128);
+
+impl Item for f64 {
+    const SIZE: usize = 8;
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[..8].copy_from_slice(&self.to_le_bytes());
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        f64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+}
+
+impl<A: Item, B: Item> Item for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+    fn write_to(&self, buf: &mut [u8]) {
+        self.0.write_to(&mut buf[..A::SIZE]);
+        self.1.write_to(&mut buf[A::SIZE..A::SIZE + B::SIZE]);
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        (A::read_from(&buf[..A::SIZE]), B::read_from(&buf[A::SIZE..A::SIZE + B::SIZE]))
+    }
+}
+
+impl<A: Item, B: Item, C: Item> Item for (A, B, C) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE;
+    fn write_to(&self, buf: &mut [u8]) {
+        self.0.write_to(&mut buf[..A::SIZE]);
+        self.1.write_to(&mut buf[A::SIZE..A::SIZE + B::SIZE]);
+        self.2.write_to(&mut buf[A::SIZE + B::SIZE..Self::SIZE]);
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        (
+            A::read_from(&buf[..A::SIZE]),
+            B::read_from(&buf[A::SIZE..A::SIZE + B::SIZE]),
+            C::read_from(&buf[A::SIZE + B::SIZE..Self::SIZE]),
+        )
+    }
+}
+
+impl<A: Item, B: Item, C: Item, D: Item> Item for (A, B, C, D) {
+    const SIZE: usize = A::SIZE + B::SIZE + C::SIZE + D::SIZE;
+    fn write_to(&self, buf: &mut [u8]) {
+        self.0.write_to(&mut buf[..A::SIZE]);
+        self.1.write_to(&mut buf[A::SIZE..A::SIZE + B::SIZE]);
+        self.2.write_to(&mut buf[A::SIZE + B::SIZE..A::SIZE + B::SIZE + C::SIZE]);
+        self.3.write_to(&mut buf[A::SIZE + B::SIZE + C::SIZE..Self::SIZE]);
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        (
+            A::read_from(&buf[..A::SIZE]),
+            B::read_from(&buf[A::SIZE..A::SIZE + B::SIZE]),
+            C::read_from(&buf[A::SIZE + B::SIZE..A::SIZE + B::SIZE + C::SIZE]),
+            D::read_from(&buf[A::SIZE + B::SIZE + C::SIZE..Self::SIZE]),
+        )
+    }
+}
+
+impl<T: Item, const N: usize> Item for [T; N] {
+    const SIZE: usize = T::SIZE * N;
+    fn write_to(&self, buf: &mut [u8]) {
+        for (i, it) in self.iter().enumerate() {
+            it.write_to(&mut buf[i * T::SIZE..(i + 1) * T::SIZE]);
+        }
+    }
+    fn read_from(buf: &[u8]) -> Self {
+        std::array::from_fn(|i| T::read_from(&buf[i * T::SIZE..(i + 1) * T::SIZE]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let mut buf = [0u8; 8];
+        0xDEAD_BEEF_u64.write_to(&mut buf);
+        assert_eq!(u64::read_from(&buf), 0xDEAD_BEEF);
+        let mut buf = [0u8; 4];
+        (-7i32).write_to(&mut buf);
+        assert_eq!(i32::read_from(&buf), -7);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let v: (u64, i32, u8) = (42, -5, 7);
+        let mut buf = [0u8; 13];
+        assert_eq!(<(u64, i32, u8)>::SIZE, 13);
+        v.write_to(&mut buf);
+        assert_eq!(<(u64, i32, u8)>::read_from(&buf), v);
+    }
+
+    #[test]
+    fn quad_and_array_roundtrip() {
+        let v: (u64, u64, u64, u64) = (1, 2, 3, 4);
+        let mut buf = [0u8; 32];
+        v.write_to(&mut buf);
+        assert_eq!(<(u64, u64, u64, u64)>::read_from(&buf), v);
+
+        let a: [i64; 3] = [-1, 0, 9];
+        let mut buf = [0u8; 24];
+        a.write_to(&mut buf);
+        assert_eq!(<[i64; 3]>::read_from(&buf), a);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let xs: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        let bytes = u32::encode_slice(&xs);
+        assert_eq!(bytes.len(), 400);
+        assert_eq!(u32::decode_slice(&bytes, 100), xs);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut buf = [0u8; 8];
+        (1.5f64).write_to(&mut buf);
+        assert_eq!(f64::read_from(&buf), 1.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decode_too_short_panics() {
+        let bytes = vec![0u8; 7];
+        let _ = u64::decode_slice(&bytes, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Demand-paged memory simulator.
+//!
+//! Two of the paper's experiments need a *paging* cost model rather than
+//! the explicit blocked I/O of the PDM:
+//!
+//! * the "CGM algorithm using virtual memory" baseline of **Figure 3** —
+//!   the operating system pages contexts and mailboxes in and out in
+//!   page-sized single-disk transfers, in whatever order the program
+//!   touches memory, and
+//! * the **Section 5 cache extension**, where the same two-level analysis
+//!   is applied to the cache/main-memory interface.
+//!
+//! [`PagedStore`] is a flat byte-addressed store backed by `frames`
+//! resident page frames with CLOCK (second-chance) replacement — a
+//! faithful stand-in for an OS page cache. Every miss counts one *fault*;
+//! dirty evictions count one *writeback*. Faults and writebacks are
+//! single-page, single-disk transfers, which is exactly why the paged
+//! baseline loses to the blocked, `D`-disk-parallel simulation.
+
+use std::collections::HashMap;
+
+/// Counters for a [`PagedStore`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PageStats {
+    /// Byte-level accesses (reads + writes).
+    pub accesses: u64,
+    /// Page touches (one per page spanned by each access).
+    pub page_touches: u64,
+    /// Page faults (misses that loaded a page).
+    pub faults: u64,
+    /// Dirty pages written back on eviction.
+    pub writebacks: u64,
+}
+
+impl PageStats {
+    /// Total single-page disk transfers implied by the trace.
+    pub fn transfers(&self) -> u64 {
+        self.faults + self.writebacks
+    }
+}
+
+struct Frame {
+    page: u64,
+    data: Box<[u8]>,
+    referenced: bool,
+    dirty: bool,
+}
+
+/// Byte-addressed store with an LRU-approximating (CLOCK) page cache.
+pub struct PagedStore {
+    page_bytes: usize,
+    max_frames: usize,
+    frames: Vec<Frame>,
+    map: HashMap<u64, usize>,
+    hand: usize,
+    /// Evicted pages live here ("on disk").
+    backing: HashMap<u64, Box<[u8]>>,
+    stats: PageStats,
+}
+
+impl PagedStore {
+    /// Create a store with `max_frames` resident frames of `page_bytes`
+    /// each (so resident memory is `max_frames * page_bytes`).
+    pub fn new(page_bytes: usize, max_frames: usize) -> Self {
+        assert!(page_bytes >= 1 && max_frames >= 1);
+        Self {
+            page_bytes,
+            max_frames,
+            frames: Vec::new(),
+            map: HashMap::new(),
+            hand: 0,
+            backing: HashMap::new(),
+            stats: PageStats::default(),
+        }
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &PageStats {
+        &self.stats
+    }
+
+    /// Reset the counters (contents and cache state are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = PageStats::default();
+    }
+
+    fn frame_for(&mut self, page: u64) -> usize {
+        if let Some(&idx) = self.map.get(&page) {
+            self.frames[idx].referenced = true;
+            return idx;
+        }
+        self.stats.faults += 1;
+        let data = self
+            .backing
+            .remove(&page)
+            .unwrap_or_else(|| vec![0u8; self.page_bytes].into_boxed_slice());
+        if self.frames.len() < self.max_frames {
+            let idx = self.frames.len();
+            self.frames.push(Frame { page, data, referenced: true, dirty: false });
+            self.map.insert(page, idx);
+            return idx;
+        }
+        // CLOCK eviction: sweep, clearing reference bits, until an
+        // unreferenced frame is found.
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            if self.frames[idx].referenced {
+                self.frames[idx].referenced = false;
+            } else {
+                let old = std::mem::replace(
+                    &mut self.frames[idx],
+                    Frame { page, data, referenced: true, dirty: false },
+                );
+                self.map.remove(&old.page);
+                if old.dirty {
+                    self.stats.writebacks += 1;
+                }
+                self.backing.insert(old.page, old.data);
+                self.map.insert(page, idx);
+                return idx;
+            }
+        }
+    }
+
+    /// Read `buf.len()` bytes starting at byte `offset`.
+    pub fn read(&mut self, offset: u64, buf: &mut [u8]) {
+        self.stats.accesses += 1;
+        let pb = self.page_bytes as u64;
+        let mut pos = 0usize;
+        while pos < buf.len() {
+            let addr = offset + pos as u64;
+            let page = addr / pb;
+            let in_page = (addr % pb) as usize;
+            let n = (self.page_bytes - in_page).min(buf.len() - pos);
+            self.stats.page_touches += 1;
+            let idx = self.frame_for(page);
+            buf[pos..pos + n].copy_from_slice(&self.frames[idx].data[in_page..in_page + n]);
+            pos += n;
+        }
+    }
+
+    /// Write `data` starting at byte `offset`.
+    pub fn write(&mut self, offset: u64, data: &[u8]) {
+        self.stats.accesses += 1;
+        let pb = self.page_bytes as u64;
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let addr = offset + pos as u64;
+            let page = addr / pb;
+            let in_page = (addr % pb) as usize;
+            let n = (self.page_bytes - in_page).min(data.len() - pos);
+            self.stats.page_touches += 1;
+            let idx = self.frame_for(page);
+            self.frames[idx].data[in_page..in_page + n].copy_from_slice(&data[pos..pos + n]);
+            self.frames[idx].dirty = true;
+            pos += n;
+        }
+    }
+
+    /// Convenience: read a `u64` at byte `offset`.
+    pub fn read_u64(&mut self, offset: u64) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(offset, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Convenience: write a `u64` at byte `offset`.
+    pub fn write_u64(&mut self, offset: u64, v: u64) {
+        self.write(offset, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_cache() {
+        let mut s = PagedStore::new(64, 4);
+        s.write(10, &[1, 2, 3]);
+        let mut b = [0u8; 3];
+        s.read(10, &mut b);
+        assert_eq!(b, [1, 2, 3]);
+        assert_eq!(s.stats().faults, 1); // single page, loaded once
+        assert_eq!(s.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut s = PagedStore::new(8, 4);
+        let data: Vec<u8> = (0..20).collect();
+        s.write(4, &data); // spans pages 0,1,2,3 -> wait: bytes 4..24 -> pages 0..2
+        let mut b = vec![0u8; 20];
+        s.read(4, &mut b);
+        assert_eq!(b, data);
+        assert_eq!(s.stats().faults, 3); // pages 0,1,2
+    }
+
+    #[test]
+    fn eviction_preserves_data_and_counts_writebacks() {
+        let mut s = PagedStore::new(8, 2);
+        for p in 0..5u64 {
+            s.write(p * 8, &[p as u8; 8]);
+        }
+        // re-read everything; evicted pages must come back intact
+        for p in 0..5u64 {
+            let mut b = [0u8; 8];
+            s.read(p * 8, &mut b);
+            assert_eq!(b, [p as u8; 8]);
+        }
+        assert!(s.stats().faults >= 5, "each page faulted at least once");
+        assert!(s.stats().writebacks >= 3, "dirty evictions recorded");
+    }
+
+    #[test]
+    fn sequential_scan_faults_once_per_page() {
+        let mut s = PagedStore::new(16, 2);
+        let n_pages = 50u64;
+        for p in 0..n_pages {
+            let mut b = [0u8; 16];
+            s.read(p * 16, &mut b);
+        }
+        assert_eq!(s.stats().faults, n_pages);
+        assert_eq!(s.stats().writebacks, 0, "clean pages are dropped silently");
+    }
+
+    #[test]
+    fn hot_page_stays_resident_under_clock() {
+        // Page 0 is touched between every other access; CLOCK's reference
+        // bit must keep it resident, so faults stay ~ one per cold page.
+        let mut s = PagedStore::new(8, 3);
+        s.write(0, &[42; 8]);
+        for p in 1..40u64 {
+            let mut b = [0u8; 8];
+            s.read(p * 8, &mut b);
+            s.read(0, &mut b); // re-touch hot page
+            assert_eq!(b[0], 42);
+        }
+        // 1 fault for page 0 + one per cold page; allow slack for CLOCK
+        // approximation but page 0 must not thrash.
+        assert!(s.stats().faults <= 45, "faults = {}", s.stats().faults);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Lemma 2 transformation as a program adapter.
+//!
+//! [`Balanced<P>`] wraps any [`CgmProgram`] `P` and mechanically replaces
+//! each of its communication rounds by the two balanced rounds of
+//! Algorithm 1. The wrapped program's final states are bit-identical to
+//! the original's; the number of rounds doubles (`λ → 2λ`), and every
+//! message in every round obeys the Theorem-1 size bounds — which is what
+//! lets the EM simulation engine allocate fixed-size message slots and
+//! guarantee blocked I/O.
+//!
+//! Each routed item carries a `(src, final_dst, seq)` tag so the second
+//! hop can re-bin it and the final receiver can reassemble messages in
+//! exact send order.
+
+use cgmio_pdm::Item;
+use cgmio_model::{CgmProgram, Incoming, Outbox, RoundCtx, Status};
+
+/// Wire format of a routed item: `(src, final_dst, seq, payload)`.
+pub type Routed<M> = (u32, u32, u64, M);
+
+/// Adapter state — just the inner program's state (the adapter itself is
+/// stateless between rounds).
+pub type BalancedState<S> = S;
+
+/// Wraps a CGM program, routing all its traffic through Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct Balanced<P> {
+    /// The wrapped program.
+    pub inner: P,
+}
+
+impl<P> Balanced<P> {
+    /// Wrap `inner`.
+    pub fn new(inner: P) -> Self {
+        Self { inner }
+    }
+}
+
+/// Largest message Theorem 1 allows in a balanced round where the
+/// processor's total send (or receive) volume is `h`:
+/// `⌊(h + v(v−1)/2) / v⌋`.
+pub fn max_balanced_msg(h: usize, v: usize) -> usize {
+    (h + v * (v - 1) / 2) / v
+}
+
+impl<P: CgmProgram> CgmProgram for Balanced<P> {
+    type Msg = Routed<P::Msg>;
+    type State = P::State;
+
+    fn round(&self, ctx: &mut RoundCtx<'_, Self::Msg>, state: &mut Self::State) -> Status {
+        let v = ctx.v;
+        let pid = ctx.pid;
+        if ctx.round % 2 == 1 {
+            // Superstep B: re-bin received elements by final destination
+            // and deliver (steps (3)–(4) of Algorithm 1).
+            for (_intermediate, items) in ctx.incoming.iter() {
+                for &(src, fdst, seq, payload) in items {
+                    ctx.outbox.push(fdst as usize, (src, fdst, seq, payload));
+                }
+            }
+            return Status::Continue;
+        }
+
+        // Superstep A (adapter round 2k = inner round k):
+        // 1. reassemble the inner program's inbox from the tagged items
+        //    delivered by the previous Superstep B;
+        let mut per_src: Vec<Vec<(u64, P::Msg)>> = (0..v).map(|_| Vec::new()).collect();
+        for (_intermediate, items) in ctx.incoming.iter() {
+            for &(src, _fdst, seq, payload) in items {
+                per_src[src as usize].push((seq, payload));
+            }
+        }
+        let per_src: Vec<Vec<P::Msg>> = per_src
+            .into_iter()
+            .map(|mut msgs| {
+                msgs.sort_unstable_by_key(|&(seq, _)| seq);
+                debug_assert!(msgs.iter().enumerate().all(|(i, &(s, _))| s == i as u64));
+                msgs.into_iter().map(|(_, m)| m).collect()
+            })
+            .collect();
+
+        // 2. run the inner round;
+        let mut inner_out: Outbox<P::Msg> = Outbox::new(v);
+        let status = {
+            let mut inner_ctx = RoundCtx {
+                pid,
+                v,
+                round: ctx.round / 2,
+                incoming: Incoming::new(per_src),
+                outbox: &mut inner_out,
+            };
+            self.inner.round(&mut inner_ctx, state)
+        };
+
+        // 3. deal the inner outbox into bins: word ℓ of msg(pid → j) goes
+        //    to intermediate (pid + j + ℓ) mod v (step (1) of Alg. 1).
+        for (j, msg) in inner_out.into_per_dst().into_iter().enumerate() {
+            for (l, payload) in msg.into_iter().enumerate() {
+                let bin = (pid + j + l) % v;
+                ctx.outbox.push(bin, (pid as u32, j as u32, l as u64, payload));
+            }
+        }
+
+        match status {
+            Status::Done => {
+                debug_assert_eq!(
+                    ctx.outbox.total(),
+                    0,
+                    "inner program sent messages in its Done round"
+                );
+                Status::Done
+            }
+            Status::Continue => Status::Continue,
+        }
+    }
+
+    fn rounds_hint(&self, v: usize) -> Option<usize> {
+        self.inner.rounds_hint(v).map(|r| 2 * r)
+    }
+}
+
+// A static guard that the wire format really is a fixed-size Item.
+const _: () = {
+    const fn assert_item<T: Item>() {}
+    assert_item::<Routed<u64>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_model::demo::{AllToAll, AllToOne, PrefixSum, TokenRing};
+    use cgmio_model::{DirectRunner, ThreadedRunner};
+
+    #[test]
+    fn balanced_all_to_all_matches_plain() {
+        let v = 7;
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let plain = AllToAll { items_per_pair: 5 };
+        let (want, plain_costs) = DirectRunner::default().run(&plain, init()).unwrap();
+        let (got, bal_costs) = DirectRunner::default().run(&Balanced::new(plain), init()).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(bal_costs.lambda(), 2 * plain_costs.lambda());
+    }
+
+    #[test]
+    fn balanced_prefix_sum_matches_plain() {
+        let v = 5usize;
+        let init = || {
+            (0..v as u64)
+                .map(|i| (vec![i, i + 1, 2 * i], Vec::new()))
+                .collect::<Vec<(Vec<u64>, Vec<u64>)>>()
+        };
+        let (want, _) = DirectRunner::default().run(&PrefixSum, init()).unwrap();
+        let (got, _) = DirectRunner::default().run(&Balanced::new(PrefixSum), init()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn balanced_token_ring_matches_plain() {
+        let v = 6;
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let prog = TokenRing { rounds: 5 };
+        let (want, _) = DirectRunner::default().run(&prog, init()).unwrap();
+        let (got, _) = DirectRunner::default().run(&Balanced::new(prog), init()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn skewed_traffic_is_balanced_within_theorem1() {
+        // AllToOne: one receiver gets everything. Unbalanced max message
+        // = items_per_proc; balanced max message obeys Theorem 1.
+        let v = 8;
+        let items = 64;
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let plain = AllToOne { items_per_proc: items };
+
+        let (want, plain_costs) = DirectRunner::default().run(&plain, init()).unwrap();
+        assert_eq!(plain_costs.max_message(), items);
+
+        let (got, bal_costs) = DirectRunner::default().run(&Balanced::new(plain), init()).unwrap();
+        assert_eq!(got, want);
+        // Round A: each sender holds `items` data -> messages ≤ items/v + (v−1)/2.
+        // Round B: receiver 0's h = v·items -> messages ≤ items + (v−1)/2.
+        let bound_b = max_balanced_msg(v * items, v);
+        assert!(
+            bal_costs.max_message() <= bound_b,
+            "max {} > bound {}",
+            bal_costs.max_message(),
+            bound_b
+        );
+        // And the balanced max is far below the unbalanced concentration
+        // h = v·items at one destination.
+        assert!(bal_costs.max_message() < v * items / 2);
+    }
+
+    #[test]
+    fn balanced_runs_on_threads_too() {
+        let v = 9;
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let plain = AllToAll { items_per_pair: 3 };
+        let (want, _) = DirectRunner::default().run(&plain, init()).unwrap();
+        let (got, _) = ThreadedRunner::new(3).run(&Balanced::new(plain), init()).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn max_balanced_msg_formula() {
+        // h = 100, v = 4: 100/4 + 6/... = (100 + 6)/4 = 26
+        assert_eq!(max_balanced_msg(100, 4), 26);
+        assert_eq!(max_balanced_msg(0, 4), 1); // only slack
+        assert_eq!(max_balanced_msg(7, 1), 7);
+    }
+}

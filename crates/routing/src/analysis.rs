@@ -1,0 +1,168 @@
+//! Pure bin-size analysis for Algorithm 1 (used by the Figure 1
+//! experiment and the Theorem-1 property tests).
+
+/// Message-size bounds promised by Theorem 1 for a processor holding
+/// `total` items split into `v` bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BalanceBounds {
+    /// Lower bound, scaled by `v` to stay in integers:
+    /// `v·min_msg ≥ total − v(v−1)/2` ⟺ `min_msg ≥ total/v − (v−1)/2`.
+    pub v_times_min: i64,
+    /// Upper bound, scaled by `v`: `v·max_msg ≤ total + v(v−1)/2`.
+    pub v_times_max: i64,
+}
+
+/// Theorem 1 bounds for `total` items at one processor, `v` processors.
+pub fn theorem1_bounds(total: usize, v: usize) -> BalanceBounds {
+    let slack = (v as i64) * (v as i64 - 1) / 2;
+    BalanceBounds { v_times_min: total as i64 - slack, v_times_max: total as i64 + slack }
+}
+
+/// Superstep A, step (1): sizes of the `v` local bins at processor `i`
+/// after dealing each message `msg_{ij}` (of length `msg_lens[j]`)
+/// round-robin starting at bin `(i + j) mod v`.
+///
+/// `bin_sizes(...)[k]` is also the size of the message `i → k` in the
+/// first balanced round.
+pub fn bin_sizes(i: usize, v: usize, msg_lens: &[usize]) -> Vec<usize> {
+    assert_eq!(msg_lens.len(), v);
+    let mut bins = vec![0usize; v];
+    for (j, &len) in msg_lens.iter().enumerate() {
+        // Message j's words ℓ = 0..len go to bins (i + j + ℓ) mod v:
+        // each bin gets ⌊len/v⌋, and the `len mod v` bins starting at
+        // (i + j) mod v get one extra.
+        let base = len / v;
+        let extra = len % v;
+        let start = (i + j) % v;
+        for (k, b) in bins.iter_mut().enumerate() {
+            let offset = (k + v - start) % v;
+            *b += base + usize::from(offset < extra);
+        }
+    }
+    bins
+}
+
+/// Superstep B, step (4): the size of the message `j → k` in the second
+/// balanced round (the *superbin* decomposition of the proof in the
+/// paper's appendix), given the full original message-length matrix
+/// `lens[i][k]` (= |msg from i to k|).
+pub fn superbin_sizes(v: usize, lens: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    assert_eq!(lens.len(), v);
+    // second_round[j][k] = Σ_i #{ℓ < lens[i][k] : (i + k + ℓ) mod v == j}
+    let mut out = vec![vec![0usize; v]; v];
+    for (i, row) in lens.iter().enumerate() {
+        assert_eq!(row.len(), v);
+        for (k, &len) in row.iter().enumerate() {
+            let base = len / v;
+            let extra = len % v;
+            let start = (i + k) % v;
+            for (j, o) in out.iter_mut().enumerate() {
+                let offset = (j + v - start) % v;
+                o[k] += base + usize::from(offset < extra);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_conserve_items() {
+        let lens = vec![10, 0, 3, 7];
+        let bins = bin_sizes(2, 4, &lens);
+        assert_eq!(bins.iter().sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn single_message_spreads_evenly() {
+        // one message of length 10 over v=4 bins: sizes {3,3,2,2}
+        let bins = bin_sizes(0, 4, &[10, 0, 0, 0]);
+        let mut sorted = bins.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn observation1_extra_elements_bounded() {
+        // Observation 1: bins hold at most v(v−1)/2 extras over v·min.
+        let v = 5;
+        let lens = vec![13, 1, 0, 22, 4];
+        let bins = bin_sizes(3, v, &lens);
+        let min = *bins.iter().min().unwrap();
+        let total: usize = bins.iter().sum();
+        assert!(total - v * min <= v * (v - 1) / 2);
+    }
+
+    #[test]
+    fn superbins_conserve_per_destination() {
+        let v = 4;
+        let lens: Vec<Vec<usize>> =
+            vec![vec![1, 2, 3, 4], vec![4, 3, 2, 1], vec![0, 0, 9, 0], vec![5, 5, 5, 5]];
+        let sb = superbin_sizes(v, &lens);
+        for k in 0..v {
+            let col_total: usize = lens.iter().map(|r| r[k]).sum();
+            let sb_total: usize = sb.iter().map(|r| r[k]).sum();
+            assert_eq!(col_total, sb_total, "destination {k}");
+        }
+    }
+
+    proptest! {
+        /// Theorem 1(A): every first-round message within bounds.
+        #[test]
+        fn round_a_messages_within_theorem1(
+            v in 2usize..12,
+            seed_lens in proptest::collection::vec(0usize..200, 12),
+        ) {
+            for i in 0..v {
+                let lens: Vec<usize> = seed_lens.iter().take(v).copied().collect();
+                let total: usize = lens.iter().sum();
+                let bins = bin_sizes(i, v, &lens);
+                let b = theorem1_bounds(total, v);
+                for &s in &bins {
+                    prop_assert!((v as i64) * (s as i64) >= b.v_times_min);
+                    prop_assert!((v as i64) * (s as i64) <= b.v_times_max);
+                }
+            }
+        }
+
+        /// Theorem 1(B): second-round messages within bounds relative to
+        /// the receiver's total h.
+        #[test]
+        fn round_b_messages_within_theorem1(
+            v in 2usize..10,
+            flat in proptest::collection::vec(0usize..60, 100),
+        ) {
+            let lens: Vec<Vec<usize>> =
+                (0..v).map(|i| (0..v).map(|j| flat[i * v + j]).collect()).collect();
+            let sb = superbin_sizes(v, &lens);
+            for k in 0..v {
+                let h_k: usize = lens.iter().map(|r| r[k]).sum();
+                let b = theorem1_bounds(h_k, v);
+                for j in 0..v {
+                    let s = sb[j][k] as i64;
+                    prop_assert!((v as i64) * s >= b.v_times_min,
+                        "v={v} j={j} k={k} s={s} h={h_k}");
+                    prop_assert!((v as i64) * s <= b.v_times_max);
+                }
+            }
+        }
+
+        /// Max-min spread of round-A bins is at most v (each message
+        /// contributes a spread of ≤ 1).
+        #[test]
+        fn round_a_spread_at_most_v(
+            v in 2usize..12,
+            seed_lens in proptest::collection::vec(0usize..500, 12),
+        ) {
+            let lens: Vec<usize> = seed_lens.iter().take(v).copied().collect();
+            let bins = bin_sizes(0, v, &lens);
+            let max = *bins.iter().max().unwrap();
+            let min = *bins.iter().min().unwrap();
+            prop_assert!(max - min <= v);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # cgmio-routing — BalancedRouting (the paper's Algorithm 1)
+//!
+//! A CGM communication round is an h-relation: every processor sends and
+//! receives at most `h = O(N/v)` items — but *individual* messages may
+//! have arbitrary sizes, which ruins the disk layout story of the EM
+//! simulation (fixed-size message slots, minimum block-size messages).
+//!
+//! BalancedRouting (after Bader, Helman and JáJá [10]) replaces one
+//! arbitrary h-relation by **two balanced rounds**:
+//!
+//! * **Superstep A** — processor `i` deals word `ℓ` of its message to `j`
+//!   into local bin `(i + j + ℓ) mod v`, then ships bin `k` to processor
+//!   `k`;
+//! * **Superstep B** — each processor re-bins what it received by final
+//!   destination and delivers.
+//!
+//! **Theorem 1**: if each processor starts with exactly `n/v` data and no
+//! processor receives more than `h`, then every message in round A lies
+//! in `[n/v² − (v−1)/2, n/v² + (v−1)/2]` and every message in round B in
+//! `[h/v − (v−1)/2, h/v + (v−1)/2]`.
+//!
+//! This crate provides:
+//!
+//! * pure analysis functions ([`bin_sizes`], [`superbin_sizes`],
+//!   [`theorem1_bounds`]) used by the Figure 1 experiment and the
+//!   property-test suite,
+//! * parameter checks for Lemma 1 / Lemma 2 ([`lemma1_feasible`],
+//!   [`lemma2_feasible`]),
+//! * [`Balanced`] — an adapter that wraps **any** [`CgmProgram`] and
+//!   mechanically rewrites each of its communication rounds into the two
+//!   balanced rounds, preserving semantics exactly (same final states).
+//!   This is the `λ → 2λ` transformation of Lemma 2.
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod analysis;
+pub mod params;
+
+pub use adapter::{Balanced, BalancedState, Routed};
+pub use analysis::{bin_sizes, superbin_sizes, theorem1_bounds, BalanceBounds};
+pub use params::{lemma1_feasible, lemma2_feasible, min_n_for_block, min_n_for_msg_size};

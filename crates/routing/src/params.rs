@@ -1,0 +1,53 @@
+//! Parameter-feasibility checks for Lemma 1 and Lemma 2.
+
+/// Lemma 1: a minimum message size of `b_min` items can be guaranteed by
+/// balancing iff `N ≥ v²·b_min + v²(v−1)/2`.
+pub fn lemma1_feasible(n: u64, v: u64, b_min: u64) -> bool {
+    n >= min_n_for_msg_size(v, b_min)
+}
+
+/// Smallest `N` for which Lemma 1 guarantees minimum message size
+/// `b_min`.
+pub fn min_n_for_msg_size(v: u64, b_min: u64) -> u64 {
+    v * v * b_min + v * v * (v - 1) / 2
+}
+
+/// Lemma 2: the λ communication rounds of a CGM algorithm can be replaced
+/// by 2λ balanced rounds with minimum message size `Ω(B)` and maximum
+/// message size `2N/v²`, provided `N ≥ v²B + v²(v−1)/2`.
+pub fn lemma2_feasible(n: u64, v: u64, block_items: u64) -> bool {
+    n >= min_n_for_block(v, block_items)
+}
+
+/// Smallest `N` satisfying Lemma 2 for block size `B` (in items).
+pub fn min_n_for_block(v: u64, block_items: u64) -> u64 {
+    min_n_for_msg_size(v, block_items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_threshold_exact() {
+        let v = 8;
+        let b = 16;
+        let n = min_n_for_msg_size(v, b);
+        assert_eq!(n, 64 * 16 + 64 * 7 / 2);
+        assert!(lemma1_feasible(n, v, b));
+        assert!(!lemma1_feasible(n - 1, v, b));
+    }
+
+    #[test]
+    fn lemma2_equals_lemma1_at_block_size() {
+        assert_eq!(min_n_for_block(10, 128), min_n_for_msg_size(10, 128));
+        assert!(lemma2_feasible(1 << 20, 10, 128));
+    }
+
+    #[test]
+    fn single_proc_degenerate() {
+        // v = 1: no communication, any N works for any b_min = N.
+        assert!(lemma1_feasible(100, 1, 100));
+        assert!(!lemma1_feasible(99, 1, 100));
+    }
+}

@@ -1,0 +1,117 @@
+//! GIS pipeline: the paper's Group B algorithms on one synthetic
+//! "map" dataset, all through the external-memory engine.
+//!
+//! A point cloud is triangulated, its hull and all-nearest-neighbour
+//! graph extracted, building footprints (rectangles) are measured for
+//! covered area, and a batch of query points is located against a road
+//! set — each step an EM-CGM run with exact I/O accounting.
+//!
+//! ```sh
+//! cargo run --release --example gis_pipeline
+//! ```
+
+use cgmio_algos::geometry::rects::decode_area;
+use cgmio_algos::geometry::{
+    CgmAllNearestNeighbors, CgmConvexHull, CgmPointLocation, CgmTriangulate, CgmUnionArea,
+};
+use cgmio_bench::run_seq_em;
+use cgmio_data as data;
+
+fn main() {
+    let v = 8;
+    let (d, bb) = (2, 2048);
+    let n = 20_000;
+
+    // survey points
+    let pts = data::random_points(n, 1_000_000, 1);
+
+    // convex hull of the surveyed region
+    let mk = || {
+        data::block_split(pts.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_seq_em(&CgmConvexHull, mk, v, d, bb);
+    println!(
+        "hull:          {:4} vertices               {:6} I/Os, eff {:.2}",
+        fin[0].1.len(),
+        rep.breakdown.algorithm_ops(),
+        rep.io.parallel_efficiency()
+    );
+
+    // triangulated terrain model
+    let idx: Vec<(u64, (i64, i64))> =
+        pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
+    let mk = || {
+        data::block_split(idx.clone(), v)
+            .into_iter()
+            .map(|b| ((b, Vec::new()), Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_seq_em(&CgmTriangulate, mk, v, d, bb);
+    let tris: usize = fin.iter().map(|(_, t)| t.len()).sum();
+    println!(
+        "triangulation: {tris:4} triangles              {:6} I/Os, eff {:.2}",
+        rep.breakdown.algorithm_ops(),
+        rep.io.parallel_efficiency()
+    );
+
+    // nearest sensor for every sensor
+    let mk = || {
+        data::block_split(idx.clone(), v)
+            .into_iter()
+            .map(|b| ((b, Vec::new()), Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_seq_em(&CgmAllNearestNeighbors, mk, v, d, bb);
+    let answered: usize = fin.iter().map(|(_, r)| r.len()).sum();
+    println!(
+        "all-NN:        {answered:4} pairs             {:9} I/Os, eff {:.2}",
+        rep.breakdown.algorithm_ops(),
+        rep.io.parallel_efficiency()
+    );
+
+    // building footprints: covered area
+    let rects: Vec<[i64; 4]> = data::random_rects(n / 2, 500_000, 2)
+        .into_iter()
+        .map(|r| [r.x1, r.y1, r.x2, r.y2])
+        .collect();
+    let mk = || {
+        data::block_split(rects.clone(), v)
+            .into_iter()
+            .map(|b| (b, Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_seq_em(&CgmUnionArea, mk, v, d, bb);
+    println!(
+        "union area:    {:e} square units    {:6} I/Os, eff {:.2}",
+        decode_area(&fin[0].1) as f64,
+        rep.breakdown.algorithm_ops(),
+        rep.io.parallel_efficiency()
+    );
+
+    // locate queries against a road network (non-crossing segments)
+    let roads: Vec<(u64, [i64; 4])> = data::random_segments(n / 8, 1_000_000, 3)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, [s.ax, s.ay, s.bx, s.by]))
+        .collect();
+    let queries: Vec<(u64, i64, i64)> = data::random_points(n, 1_000_000, 4)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (x, y))| (i as u64, x, y * 3))
+        .collect();
+    let mk = || {
+        data::block_split(roads.clone(), v)
+            .into_iter()
+            .zip(data::block_split(queries.clone(), v))
+            .map(|(rb, qb)| ((rb, qb), Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_seq_em(&CgmPointLocation, mk, v, d, bb);
+    let located: usize =
+        fin.iter().flat_map(|(_, a)| a.iter()).filter(|&&(_, s)| s != u64::MAX).count();
+    println!(
+        "point-loc:     {located:4} of {n} queries hit   {:6} I/Os, eff {:.2}",
+        rep.breakdown.algorithm_ops(),
+        rep.io.parallel_efficiency()
+    );
+}

@@ -1,0 +1,133 @@
+//! Graph pipeline: the paper's Group C algorithms end to end on the
+//! parallel external-memory engine (Algorithm 3, p = 4 real processors).
+//!
+//! A random forest of roads is analysed: connected components and a
+//! spanning forest, then the largest tree is rooted (Euler tour depths),
+//! batch-queried for lowest common ancestors, and an expression tree
+//! over sensor readings is evaluated.
+//!
+//! ```sh
+//! cargo run --release --example graph_pipeline
+//! ```
+
+use cgmio_algos::graphs::{
+    contraction::{eval_expression_mod, expr_states},
+    CgmBatchedLca, CgmConnectivity, CgmEulerTour, CgmExprEval, CgmListRank,
+};
+use cgmio_bench::config_for;
+use cgmio_core::ParEmRunner;
+use cgmio_data as data;
+use cgmio_graph::cc_labels;
+
+fn run_par<P: cgmio_model::CgmProgram>(
+    prog: &P,
+    mk: impl Fn() -> Vec<P::State>,
+    v: usize,
+) -> (Vec<P::State>, cgmio_core::EmRunReport) {
+    let cfg = {
+        let mut c = config_for(prog, mk(), v, 4, 2, 2048);
+        c.p = 4;
+        c
+    };
+    ParEmRunner::new(cfg).run(prog, mk()).unwrap()
+}
+
+fn main() {
+    let v = 8;
+    let n = 10_000;
+
+    // 1. connected components + spanning forest of a sparse graph
+    let edges = data::gnm_edges(n, n + n / 2, 1);
+    let mk = || {
+        let vb = data::block_split((0..n as u64).collect::<Vec<_>>(), v);
+        let eb = data::block_split(edges.clone(), v);
+        vb.into_iter()
+            .zip(eb)
+            .map(|(vv, ee)| ((n as u64, vv, Vec::new()), (edges.len() as u64, ee, Vec::new())))
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_par(&CgmConnectivity, mk, v);
+    let labels: Vec<u64> = fin.iter().flat_map(|((_, l, _), _)| l.iter().copied()).collect();
+    assert_eq!(labels, cc_labels(n, &edges));
+    let comps = {
+        let mut u = labels.clone();
+        u.sort_unstable();
+        u.dedup();
+        u.len()
+    };
+    let forest: usize = fin.iter().map(|((_, _, f), _)| f.len()).sum();
+    println!(
+        "connectivity: {comps} components, {forest} forest edges, {} I/Os/proc",
+        rep.io_ops_per_proc() as u64
+    );
+
+    // 2. list ranking of a pipeline of processing stages
+    let (succ, _) = data::random_list(n, 2);
+    let mk = || {
+        data::block_split(succ.clone(), v)
+            .into_iter()
+            .map(|b| (vec![n as u64], b, Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_par(&CgmListRank, mk, v);
+    let max_rank = fin.iter().flat_map(|(_, _, r)| r.iter().copied()).max().unwrap();
+    println!(
+        "list ranking: chain of {} stages ranked in {} rounds, {} I/Os/proc",
+        max_rank + 1,
+        rep.costs.lambda(),
+        rep.io_ops_per_proc() as u64
+    );
+
+    // 3. rooted tree analysis: depths via Euler tour
+    let parent = data::random_tree_parents(n, 3);
+    let mk = || {
+        data::block_split(parent.clone(), v)
+            .into_iter()
+            .map(|b| ((vec![n as u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new())))
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_par(&CgmEulerTour, mk, v);
+    let max_depth = fin.iter().flat_map(|((_, _, d), _)| d.iter().copied()).max().unwrap();
+    println!(
+        "euler tour:   tree height {max_depth}, λ = {}, {} I/Os/proc",
+        rep.costs.lambda(),
+        rep.io_ops_per_proc() as u64
+    );
+
+    // 4. batched LCA queries on the same tree
+    let queries: Vec<(u64, u64)> =
+        (0..n as u64).map(|i| ((i * 7) % n as u64, (i * 13 + 5) % n as u64)).collect();
+    let mk = || {
+        data::block_split(parent.clone(), v)
+            .into_iter()
+            .zip(data::block_split(queries.clone(), v))
+            .map(|(pb, qb)| {
+                (
+                    (n as u64, pb, Vec::new()),
+                    (Vec::new(), qb),
+                    (Vec::new(), Vec::new(), (Vec::new(), Vec::new())),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let (fin, rep) = run_par(&CgmBatchedLca, mk, v);
+    let answered: usize = fin.iter().map(|(_, _, (qa, _, _))| qa.len()).sum();
+    println!(
+        "batched LCA:  {answered} queries answered, λ = {}, {} I/Os/proc",
+        rep.costs.lambda(),
+        rep.io_ops_per_proc() as u64
+    );
+
+    // 5. expression tree over sensor readings
+    let nodes = data::random_expression(n / 2, 4);
+    let want = eval_expression_mod(&nodes);
+    let mk = || expr_states(&nodes, v);
+    let (fin, rep) = run_par(&CgmExprEval, mk, v);
+    let got = fin[0].2 .1[0];
+    assert_eq!(got, want);
+    println!(
+        "expr eval:    value {got} (verified), λ = {}, {} I/Os/proc",
+        rep.costs.lambda(),
+        rep.io_ops_per_proc() as u64
+    );
+}

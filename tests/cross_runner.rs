@@ -1,0 +1,209 @@
+//! Cross-runner equivalence: every CGM program in the catalogue must
+//! produce bit-identical final states on the in-memory reference runner,
+//! the multi-threaded runner, and both external-memory simulation
+//! engines — the paper's central claim made executable.
+
+use cgmio_algos::geometry::{CgmConvexHull, CgmDominance, CgmIntervalStab, CgmUnionArea};
+use cgmio_algos::graphs::{CgmConnectivity, CgmEulerTour, CgmListRank};
+use cgmio_algos::{CgmPermute, CgmSort, CgmTranspose};
+use cgmio_core::{measure_requirements, EmConfig, ParEmRunner, SeqEmRunner};
+use cgmio_data as data;
+use cgmio_model::{CgmProgram, DirectRunner, ThreadedRunner};
+
+/// Run `prog` on all four runners and demand identical final states.
+fn assert_all_runners_agree<P>(prog: &P, mk: impl Fn() -> Vec<P::State>, label: &str)
+where
+    P: CgmProgram,
+    P::State: PartialEq + std::fmt::Debug + Clone,
+{
+    let v = mk().len();
+    let (want, _) = DirectRunner::default().run(prog, mk()).unwrap();
+
+    let (threaded, _) = ThreadedRunner::new(3).run(prog, mk()).unwrap();
+    assert_eq!(threaded, want, "{label}: threaded != direct");
+
+    let (_, _, req) = measure_requirements(prog, mk()).unwrap();
+    for d in [1usize, 3] {
+        let cfg = EmConfig::from_requirements(v, 1, d, 512, &req);
+        let (seq_em, rep) = SeqEmRunner::new(cfg).run(prog, mk()).unwrap();
+        assert_eq!(seq_em, want, "{label}: seq EM (D={d}) != direct");
+        assert!(rep.breakdown.algorithm_ops() > 0 || rep.costs.total_items() == 0);
+
+        let mut cfg = EmConfig::from_requirements(v, 1, d, 512, &req);
+        cfg.p = (v / 2).max(2).min(v);
+        let (par_em, _) = ParEmRunner::new(cfg).run(prog, mk()).unwrap();
+        assert_eq!(par_em, want, "{label}: par EM (D={d}) != direct");
+    }
+}
+
+#[test]
+fn sort_agrees_everywhere() {
+    let keys = data::uniform_u64(3000, 1);
+    let v = 6;
+    assert_all_runners_agree(
+        &CgmSort::<u64>::block_distributed(),
+        || data::block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect(),
+        "sort",
+    );
+}
+
+#[test]
+fn permute_agrees_everywhere() {
+    let n = 2000;
+    let v = 5;
+    let vals = data::uniform_u64(n, 2);
+    let perm = data::random_permutation(n, 3);
+    assert_all_runners_agree(
+        &CgmPermute,
+        || {
+            data::block_split(vals.clone(), v)
+                .into_iter()
+                .zip(data::block_split(perm.clone(), v))
+                .map(|(vb, pb)| (vb, pb, n as u64))
+                .collect()
+        },
+        "permute",
+    );
+}
+
+#[test]
+fn transpose_agrees_everywhere() {
+    let (k, l) = (40, 30);
+    let v = 6;
+    let m = data::uniform_u64(k * l, 4);
+    assert_all_runners_agree(
+        &CgmTranspose,
+        || {
+            data::block_split(m.clone(), v)
+                .into_iter()
+                .map(|b| (b, k as u64, l as u64))
+                .collect()
+        },
+        "transpose",
+    );
+}
+
+#[test]
+fn convex_hull_agrees_everywhere() {
+    let pts = data::random_points(1200, 50_000, 5);
+    let v = 6;
+    assert_all_runners_agree(
+        &CgmConvexHull,
+        || data::block_split(pts.clone(), v).into_iter().map(|b| (b, Vec::new())).collect(),
+        "hull",
+    );
+}
+
+#[test]
+fn union_area_agrees_everywhere() {
+    let rects: Vec<[i64; 4]> = data::random_rects(600, 5_000, 6)
+        .into_iter()
+        .map(|r| [r.x1, r.y1, r.x2, r.y2])
+        .collect();
+    let v = 5;
+    assert_all_runners_agree(
+        &CgmUnionArea,
+        || data::block_split(rects.clone(), v).into_iter().map(|b| (b, Vec::new())).collect(),
+        "union_area",
+    );
+}
+
+#[test]
+fn interval_stab_agrees_everywhere() {
+    let ivs: Vec<[i64; 3]> = data::uniform_u64(800, 7)
+        .chunks(2)
+        .map(|c| {
+            let a = (c[0] % 10_000) as i64;
+            [a, a + (c[1] % 500) as i64, 1 + (c[1] % 5) as i64]
+        })
+        .collect();
+    let qs: Vec<(u64, i64)> = (0..400u64).map(|i| (i, (i as i64 * 29) % 10_000)).collect();
+    let v = 5;
+    assert_all_runners_agree(
+        &CgmIntervalStab,
+        || {
+            data::block_split(ivs.clone(), v)
+                .into_iter()
+                .zip(data::block_split(qs.clone(), v))
+                .map(|(ib, qb)| ((ib, qb), Vec::new()))
+                .collect()
+        },
+        "interval_stab",
+    );
+}
+
+#[test]
+fn dominance_agrees_everywhere() {
+    let pts = data::random_points(800, 2_000, 8);
+    let rows: Vec<[i64; 4]> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| [i as i64, x, y, (i % 9) as i64])
+        .collect();
+    let v = 5;
+    assert_all_runners_agree(
+        &CgmDominance,
+        || {
+            data::block_split(rows.clone(), v)
+                .into_iter()
+                .map(|b| ((b, Vec::new(), Vec::new()), (Vec::new(), Vec::new()), Vec::new()))
+                .collect()
+        },
+        "dominance",
+    );
+}
+
+#[test]
+fn list_ranking_agrees_everywhere() {
+    let (succ, _) = data::random_list(1500, 9);
+    let v = 6;
+    assert_all_runners_agree(
+        &CgmListRank,
+        || {
+            data::block_split(succ.clone(), v)
+                .into_iter()
+                .map(|b| (vec![1500u64], b, Vec::new()))
+                .collect()
+        },
+        "list_ranking",
+    );
+}
+
+#[test]
+fn euler_tour_agrees_everywhere() {
+    let parent = data::random_tree_parents(1000, 10);
+    let v = 5;
+    assert_all_runners_agree(
+        &CgmEulerTour,
+        || {
+            data::block_split(parent.clone(), v)
+                .into_iter()
+                .map(|b| {
+                    ((vec![1000u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new()))
+                })
+                .collect()
+        },
+        "euler_tour",
+    );
+}
+
+#[test]
+fn connectivity_agrees_everywhere() {
+    let n = 600;
+    let edges = data::gnm_edges(n, 900, 11);
+    let v = 5;
+    assert_all_runners_agree(
+        &CgmConnectivity,
+        || {
+            let vb = data::block_split((0..n as u64).collect::<Vec<_>>(), v);
+            let eb = data::block_split(edges.clone(), v);
+            vb.into_iter()
+                .zip(eb)
+                .map(|(vv, ee)| {
+                    ((n as u64, vv, Vec::new()), (edges.len() as u64, ee, Vec::new()))
+                })
+                .collect()
+        },
+        "connectivity",
+    );
+}

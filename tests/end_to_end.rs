@@ -1,0 +1,153 @@
+//! End-to-end integration: the paper's headline claims, measured.
+
+use cgmio_algos::CgmSort;
+use cgmio_baselines::{external_merge_sort, paged_merge_sort};
+use cgmio_core::{measure_requirements, EmConfig, ParEmRunner, SeqEmRunner};
+use cgmio_data as data;
+use cgmio_model::demo::AllToOne;
+use cgmio_pdm::{DiskGeometry, DiskTimingModel};
+use cgmio_routing::Balanced;
+
+fn sort_states(keys: &[u64], v: usize) -> Vec<(Vec<u64>, Vec<u64>)> {
+    data::block_split(keys.to_vec(), v).into_iter().map(|b| (b, Vec::new())).collect()
+}
+
+/// Claim 2 of the paper: sorting in `O(N/(pDB))` I/Os — the measured
+/// op count divided by `N/(DB)` must not grow with `N`.
+#[test]
+fn sorting_io_is_linear_in_n() {
+    let v = 8;
+    let (d, bb) = (2usize, 1024usize);
+    let ratio = |n: usize| {
+        let keys = data::uniform_u64(n, 1);
+        let prog = CgmSort::<u64>::by_pivots();
+        let (_, _, req) = measure_requirements(&prog, sort_states(&keys, v)).unwrap();
+        let cfg = EmConfig::from_requirements(v, 1, d, bb, &req);
+        let (_, rep) = SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+        rep.breakdown.algorithm_ops() as f64 / (n as f64 / (d as f64 * (bb / 8) as f64))
+    };
+    let small = ratio(1 << 13);
+    let large = ratio(1 << 16);
+    assert!(
+        large <= small * 1.25,
+        "I/O per N/(DB) must not grow with N: small = {small:.2}, large = {large:.2}"
+    );
+}
+
+/// Claim 6: scalability — doubling p halves per-processor I/O.
+#[test]
+fn parallel_em_scales_with_p() {
+    let n = 1 << 15;
+    let v = 8;
+    let keys = data::uniform_u64(n, 2);
+    let prog = CgmSort::<u64>::by_pivots();
+    let (_, _, req) = measure_requirements(&prog, sort_states(&keys, v)).unwrap();
+    let ops = |p: usize| {
+        let mut cfg = EmConfig::from_requirements(v, p, 2, 1024, &req);
+        cfg.p = p;
+        let (_, rep) = ParEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+        rep.io_ops_per_proc()
+    };
+    let p1 = ops(1);
+    let p2 = ops(2);
+    let p4 = ops(4);
+    assert!(p2 < 0.6 * p1, "p=2 must halve per-proc I/O: {p2} vs {p1}");
+    assert!(p4 < 0.35 * p1, "p=4 must quarter per-proc I/O: {p4} vs {p1}");
+}
+
+/// Figure 4: more disks per processor cut I/O ops proportionally.
+#[test]
+fn multiple_disks_reduce_io() {
+    let n = 1 << 15;
+    let v = 8;
+    let keys = data::uniform_u64(n, 3);
+    let prog = CgmSort::<u64>::by_pivots();
+    let ops = |d: usize| {
+        let (_, _, req) = measure_requirements(&prog, sort_states(&keys, v)).unwrap();
+        let cfg = EmConfig::from_requirements(v, 1, d, 1024, &req);
+        let (_, rep) = SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+        rep.breakdown.algorithm_ops()
+    };
+    let d1 = ops(1);
+    let d4 = ops(4);
+    assert!(
+        (d4 as f64) < 0.4 * d1 as f64,
+        "4 disks should cut ops ~4x: d1 = {d1}, d4 = {d4}"
+    );
+}
+
+/// Figure 3: the EM simulation beats demand paging once the problem
+/// leaves memory, on modelled disk time.
+#[test]
+fn em_beats_virtual_memory_out_of_core() {
+    let n = 1 << 16;
+    let v = 16;
+    let keys = data::uniform_u64(n, 4);
+    let prog = CgmSort::<u64>::by_pivots();
+    let (_, _, req) = measure_requirements(&prog, sort_states(&keys, v)).unwrap();
+    let cfg = EmConfig::from_requirements(v, 1, 1, 4096, &req);
+    let (_, rep) = SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+    let model = DiskTimingModel::nineties_disk();
+    let em_us = rep.io_time_us(&model);
+    // VM with 256 KiB of memory for a 512 KiB problem
+    let (_, vm) = paged_merge_sort(&keys, 4096, 64);
+    let vm_us = vm.io_time_us(&model);
+    assert!(
+        vm_us > 2.0 * em_us,
+        "paging must lose out of core: vm = {vm_us:.0}us, em = {em_us:.0}us"
+    );
+}
+
+/// Lemma 2 in action: balancing bounds the message slot (and hence the
+/// memory the engine must provision per message).
+#[test]
+fn balancing_shrinks_message_slots() {
+    let v = 16;
+    let mk = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+    let plain = AllToOne { items_per_proc: 1024 };
+    let (_, _, req_plain) = measure_requirements(&plain, mk()).unwrap();
+    let bal = Balanced::new(plain);
+    let (_, _, req_bal) = measure_requirements(&bal, mk()).unwrap();
+    // Unbalanced: one 1024-item message. Balanced: ≤ h/v + (v-1)/2 on
+    // the first hop and ≤ 1024 + slack on the second hop... per-message:
+    let h = 16 * 1024; // receiver-side h at processor 0
+    assert_eq!(req_plain.max_msg_items, 1024);
+    assert!(
+        req_bal.max_msg_items <= h / v + v,
+        "balanced messages must obey Theorem 1: {}",
+        req_bal.max_msg_items
+    );
+}
+
+/// External merge sort's I/O grows with log_{M/B}(N/B) while the
+/// simulation's stays linear — the crossover story of Section 1.3.
+#[test]
+fn merge_sort_pass_count_grows_em_stays_flat() {
+    let geom = DiskGeometry::new(2, 1024);
+    let n = 1 << 16;
+    let keys = data::uniform_u64(n, 5);
+    // tiny memory => many passes
+    let (_, tight) = external_merge_sort(geom, 512, &keys);
+    // big memory => one pass
+    let (_, roomy) = external_merge_sort(geom, n / 2, &keys);
+    assert!(tight.merge_passes >= 2);
+    assert!(roomy.merge_passes <= 1);
+    assert!(tight.io.total_ops() > roomy.io.total_ops());
+}
+
+/// The whole pipeline also works with states on *file-backed* disks —
+/// nothing in the engine depends on the in-memory medium. (Smoke test.)
+#[test]
+fn file_backed_medium_roundtrip() {
+    use cgmio_pdm::{DiskArray, Item, TrackAddr};
+    let dir = std::env::temp_dir().join(format!("cgmio-it-{}", std::process::id()));
+    let geom = DiskGeometry::new(3, 256);
+    let mut disks = DiskArray::new_file_backed(geom, &dir).unwrap();
+    let payload: Vec<u64> = (0..32).collect();
+    disks
+        .parallel_write(&[(TrackAddr::new(2, 7), &u64::encode_slice(&payload)[..])])
+        .unwrap();
+    let back = disks.parallel_read(&[TrackAddr::new(2, 7)]).unwrap();
+    assert_eq!(u64::decode_slice(&back[0], 32), payload);
+    std::fs::remove_dir_all(&dir).ok();
+}
