@@ -17,8 +17,8 @@
 //!
 //! `λ = 5` rounds, every h-relation `O(N/v + v²)`.
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::dominance::dominance_weights;
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::slab::{choose_splitters, local_samples, slab_of};
 
@@ -26,11 +26,8 @@ use super::slab::{choose_splitters, local_samples, slab_of};
 /// `((points as (id, x, y, w), x_splitters, y_splitters),
 ///   (bucket_points as (x, y, w, slab), w_matrix_prefix),
 ///   answers as (id, weight))`
-pub type DominanceState = (
-    (Vec<[i64; 4]>, Vec<i64>, Vec<i64>),
-    (Vec<[i64; 4]>, Vec<i64>),
-    Vec<(u64, i64)>,
-);
+pub type DominanceState =
+    ((Vec<[i64; 4]>, Vec<i64>, Vec<i64>), (Vec<[i64; 4]>, Vec<i64>), Vec<(u64, i64)>);
 
 /// The exact CGM dominance-counting program.
 #[derive(Debug, Clone, Copy, Default)]
@@ -122,7 +119,7 @@ impl CgmProgram for CgmDominance {
                     }
                 }
                 pts.sort_unstable(); // by id: deterministic
-                // prefix sums: pref[jslab][kbucket] = Σ_{i<jslab, k'<kbucket} W
+                                     // prefix sums: pref[jslab][kbucket] = Σ_{i<jslab, k'<kbucket} W
                 let mut pref = vec![vec![0i64; v + 1]; v + 1];
                 for j in 0..v {
                     for k in 0..v {
@@ -204,12 +201,8 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn init(pts: &[(i64, i64)], w: &[i64], v: usize) -> Vec<DominanceState> {
-        let rows: Vec<[i64; 4]> = pts
-            .iter()
-            .zip(w)
-            .enumerate()
-            .map(|(i, (&(x, y), &w))| [i as i64, x, y, w])
-            .collect();
+        let rows: Vec<[i64; 4]> =
+            pts.iter().zip(w).enumerate().map(|(i, (&(x, y), &w))| [i as i64, x, y, w]).collect();
         block_split(rows, v)
             .into_iter()
             .map(|b| ((b, Vec::new(), Vec::new()), (Vec::new(), Vec::new()), Vec::new()))

@@ -10,8 +10,8 @@
 //! `O(2^k · N/v)` items at `v/2^k` processors — the classic gather with
 //! combining.
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::{lower_envelope, merge_envelopes, EnvPiece, Point};
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::super::graphs::jump_iters;
 
@@ -73,11 +73,8 @@ impl CgmProgram for CgmLowerEnvelope {
         let v = ctx.v;
         let levels = jump_iters(v);
         if ctx.round == 0 {
-            let segs: Vec<(Point, Point)> = state
-                .0
-                .iter()
-                .map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by)))
-                .collect();
+            let segs: Vec<(Point, Point)> =
+                state.0.iter().map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by))).collect();
             let env = lower_envelope(&segs);
             state.1 = to_wire(&env, &state.0);
             state.0.clear();
@@ -92,7 +89,7 @@ impl CgmProgram for CgmLowerEnvelope {
             return Status::Done;
         }
         let k = ctx.round;
-        if ctx.pid & (1 << k) != 0 && ctx.pid % (1 << k) == 0 {
+        if ctx.pid & (1 << k) != 0 && ctx.pid.is_multiple_of(1 << k) {
             let partner = ctx.pid - (1 << k);
             let pieces = std::mem::take(&mut state.1);
             ctx.send(partner, pieces);

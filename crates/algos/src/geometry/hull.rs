@@ -14,8 +14,8 @@
 //! direction `d`, whether `A` can be translated to infinity along `d`
 //! without meeting `B` (projection test on the hulls).
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::{convex_hull, Point};
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::slab::{choose_splitters, local_samples, slab_of};
 
@@ -86,7 +86,11 @@ impl CgmProgram for CgmSeparability {
     type Msg = (u64, u64, i64);
     type State = SeparabilityState;
 
-    fn round(&self, ctx: &mut RoundCtx<'_, (u64, u64, i64)>, state: &mut SeparabilityState) -> Status {
+    fn round(
+        &self,
+        ctx: &mut RoundCtx<'_, (u64, u64, i64)>,
+        state: &mut SeparabilityState,
+    ) -> Status {
         let v = ctx.v;
         let dirs = state.1 .0.clone();
         match ctx.round {
@@ -94,9 +98,8 @@ impl CgmProgram for CgmSeparability {
                 // Broadcast per-direction local extrema: max⟨a,d⟩ over A,
                 // min⟨b,d⟩ over B. Missing sets are skipped.
                 for (k, &d) in dirs.iter().enumerate() {
-                    let proj = |p: Point| {
-                        (p.0 as i128 * d.0 as i128 + p.1 as i128 * d.1 as i128) as i64
-                    };
+                    let proj =
+                        |p: Point| (p.0 as i128 * d.0 as i128 + p.1 as i128 * d.1 as i128) as i64;
                     if let Some(amax) = state.0 .0.iter().copied().map(proj).max() {
                         for dst in 0..v {
                             ctx.push(dst, (k as u64, 0, amax));
@@ -122,8 +125,7 @@ impl CgmProgram for CgmSeparability {
                         }
                     }
                 }
-                state.1 .1 =
-                    (0..dirs.len()).map(|k| u64::from(amax[k] < bmin[k])).collect();
+                state.1 .1 = (0..dirs.len()).map(|k| u64::from(amax[k] < bmin[k])).collect();
                 Status::Done
             }
         }
@@ -194,12 +196,7 @@ mod tests {
         assert_eq!(fin[3].1, want);
     }
 
-    fn init_sep(
-        a: &[Point],
-        b: &[Point],
-        dirs: &[Point],
-        v: usize,
-    ) -> Vec<SeparabilityState> {
+    fn init_sep(a: &[Point], b: &[Point], dirs: &[Point], v: usize) -> Vec<SeparabilityState> {
         block_split(a.to_vec(), v)
             .into_iter()
             .zip(block_split(b.to_vec(), v))
@@ -210,7 +207,8 @@ mod tests {
     #[test]
     fn separability_matches_reference() {
         let a = random_points(300, 1000, 1);
-        let b: Vec<Point> = random_points(300, 1000, 2).into_iter().map(|(x, y)| (x + 2000, y)).collect();
+        let b: Vec<Point> =
+            random_points(300, 1000, 2).into_iter().map(|(x, y)| (x + 2000, y)).collect();
         let dirs = vec![(1, 0), (-1, 0), (0, 1), (1, 1), (-3, 2)];
         let (fin, costs) =
             DirectRunner::default().run(&CgmSeparability, init_sep(&a, &b, &dirs, 5)).unwrap();

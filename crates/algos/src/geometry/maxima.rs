@@ -5,8 +5,8 @@
 //! filter its local maxima against the staircases of strictly-larger-`x`
 //! slabs. `λ = 3` rounds; the gather is `O(Σ staircase sizes)`.
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::maxima_3d;
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::slab::{choose_splitters, local_samples, slab_of};
 
@@ -122,14 +122,13 @@ mod tests {
     fn pts3(n: usize, range: i64, seed: u64) -> Vec<(i64, i64, i64)> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|_| {
-                (rng.gen_range(0..range), rng.gen_range(0..range), rng.gen_range(0..range))
-            })
+            .map(|_| (rng.gen_range(0..range), rng.gen_range(0..range), rng.gen_range(0..range)))
             .collect()
     }
 
     fn init(pts: &[(i64, i64, i64)], v: usize) -> Vec<MaximaState> {
-        let indexed: Vec<Pt3> = pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
+        let indexed: Vec<Pt3> =
+            pts.iter().copied().enumerate().map(|(i, p)| (i as u64, p)).collect();
         block_split(indexed, v).into_iter().map(|b| (b, Vec::new())).collect()
     }
 

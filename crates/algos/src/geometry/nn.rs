@@ -9,8 +9,8 @@
 //! `λ = 4`, exact squared distances in `i64` (coordinates must stay
 //! below `2^30`).
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::{KdTree, Point};
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::slab::{choose_splitters, local_samples, slab_of, slab_range};
 
@@ -58,12 +58,7 @@ impl CgmProgram for CgmAllNearestNeighbors {
                 Status::Continue
             }
             2 => {
-                state.0 .0 = ctx
-                    .incoming
-                    .flatten()
-                    .into_iter()
-                    .map(|(_, id, p)| (id, p))
-                    .collect();
+                state.0 .0 = ctx.incoming.flatten().into_iter().map(|(_, id, p)| (id, p)).collect();
                 let pts: Vec<Point> = state.0 .0.iter().map(|&(_, p)| p).collect();
                 let tree = KdTree::build(&pts);
                 let splitters = state.0 .1.clone();
@@ -123,11 +118,8 @@ impl CgmProgram for CgmAllNearestNeighbors {
             _ => {
                 for (_src, items) in ctx.incoming.iter() {
                     for &(_, qid, (cand, d2c)) in items {
-                        if let Some(entry) =
-                            state.1.iter_mut().find(|(id, _, _)| *id == qid)
-                        {
-                            let merged =
-                                best_merge((entry.1, entry.2), (cand as u64, d2c as u64));
+                        if let Some(entry) = state.1.iter_mut().find(|(id, _, _)| *id == qid) {
+                            let merged = best_merge((entry.1, entry.2), (cand as u64, d2c as u64));
                             entry.1 = merged.0;
                             entry.2 = merged.1;
                         }
@@ -186,16 +178,14 @@ mod tests {
         let mut pts: Vec<Point> = (0..40).map(|i| (i % 8, i / 8)).collect();
         pts.extend((0..40).map(|i| (1_000_000 + i % 8, i / 8)));
         let want: Vec<u64> = all_nearest_neighbors(&pts).into_iter().map(|x| x as u64).collect();
-        let (fin, _) =
-            DirectRunner::default().run(&CgmAllNearestNeighbors, init(&pts, 5)).unwrap();
+        let (fin, _) = DirectRunner::default().run(&CgmAllNearestNeighbors, init(&pts, 5)).unwrap();
         assert_eq!(result(&fin, pts.len()), want);
     }
 
     #[test]
     fn tiny_inputs() {
         let pts = vec![(0, 0), (10, 0)];
-        let (fin, _) =
-            DirectRunner::default().run(&CgmAllNearestNeighbors, init(&pts, 4)).unwrap();
+        let (fin, _) = DirectRunner::default().run(&CgmAllNearestNeighbors, init(&pts, 4)).unwrap();
         assert_eq!(result(&fin, 2), vec![1, 0]);
     }
 
@@ -203,8 +193,7 @@ mod tests {
     fn works_on_threads() {
         let pts = random_points(300, 1_000, 7);
         let want: Vec<u64> = all_nearest_neighbors(&pts).into_iter().map(|x| x as u64).collect();
-        let (fin, _) =
-            ThreadedRunner::new(3).run(&CgmAllNearestNeighbors, init(&pts, 6)).unwrap();
+        let (fin, _) = ThreadedRunner::new(3).run(&CgmAllNearestNeighbors, init(&pts, 6)).unwrap();
         assert_eq!(result(&fin, pts.len()), want);
     }
 }

@@ -9,15 +9,14 @@
 //! `λ = 2`. Running the program with queries = segment endpoints yields
 //! the trapezoidal-decomposition information.
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::{sweep_point_location, Point};
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::slab::{choose_splitters, local_samples, slab_of};
 
 /// State: `((segments as (id, [ax, ay, bx, by]), queries as (qid, x,
 /// y)), answers as (qid, seg_id_or_MAX))`.
-pub type PointLocState =
-    ((Vec<(u64, [i64; 4])>, Vec<(u64, i64, i64)>), Vec<(u64, u64)>);
+pub type PointLocState = ((Vec<(u64, [i64; 4])>, Vec<(u64, i64, i64)>), Vec<(u64, u64)>);
 
 /// The slab-based batched point-location program.
 #[derive(Debug, Clone, Copy, Default)]
@@ -110,11 +109,7 @@ mod tests {
             .collect()
     }
 
-    fn init(
-        segs: &[(u64, [i64; 4])],
-        queries: &[(u64, i64, i64)],
-        v: usize,
-    ) -> Vec<PointLocState> {
+    fn init(segs: &[(u64, [i64; 4])], queries: &[(u64, i64, i64)], v: usize) -> Vec<PointLocState> {
         block_split(segs.to_vec(), v)
             .into_iter()
             .zip(block_split(queries.to_vec(), v))
@@ -123,8 +118,7 @@ mod tests {
     }
 
     fn answers(fin: &[PointLocState]) -> Vec<(u64, u64)> {
-        let mut out: Vec<(u64, u64)> =
-            fin.iter().flat_map(|(_, a)| a.iter().copied()).collect();
+        let mut out: Vec<(u64, u64)> = fin.iter().flat_map(|(_, a)| a.iter().copied()).collect();
         out.sort_unstable();
         out
     }
@@ -133,10 +127,8 @@ mod tests {
     fn matches_reference_on_random_inputs() {
         for seed in 0..4u64 {
             let segs = make_segs(50, 400, seed);
-            let coords: Vec<(Point, Point)> = segs
-                .iter()
-                .map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by)))
-                .collect();
+            let coords: Vec<(Point, Point)> =
+                segs.iter().map(|&(_, [ax, ay, bx, by])| ((ax, ay), (bx, by))).collect();
             let queries: Vec<(u64, i64, i64)> = random_points(200, 400, seed + 9)
                 .into_iter()
                 .enumerate()
@@ -166,9 +158,7 @@ mod tests {
         // answer is the segment itself or the one below it
         let queries: Vec<(u64, i64, i64)> = segs
             .iter()
-            .flat_map(|&(id, [ax, ay, bx, by])| {
-                [(2 * id, ax, ay), (2 * id + 1, bx, by)]
-            })
+            .flat_map(|&(id, [ax, ay, bx, by])| [(2 * id, ax, ay), (2 * id + 1, bx, by)])
             .collect();
         let (fin, _) =
             DirectRunner::default().run(&CgmPointLocation, init(&segs, &queries, 5)).unwrap();

@@ -9,8 +9,8 @@
 //! (`O(1)` for the workloads used here, `O(v)` adversarially — the
 //! slackness the cited CGM algorithm assumes).
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::union_area;
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::slab::{choose_splitters, local_samples, slab_of, slab_range};
 
@@ -32,8 +32,7 @@ impl CgmProgram for CgmUnionArea {
         let v = ctx.v;
         match ctx.round {
             0 => {
-                let xs: Vec<i64> =
-                    state.0.iter().flat_map(|r| [r[0], r[2]]).collect();
+                let xs: Vec<i64> = state.0.iter().flat_map(|r| [r[0], r[2]]).collect();
                 for dst in 0..v {
                     ctx.send(dst, local_samples(&xs, v).into_iter().map(|x| (0, [x, 0, 0, 0])));
                 }

@@ -45,7 +45,7 @@ mod tests {
             assert!(s >= last);
             last = s;
             let (lo, hi) = slab_range(&sp, s);
-            assert!(lo <= x && x < hi || (s == 0 && x < hi));
+            assert!(x < hi && (lo <= x || s == 0));
         }
     }
 

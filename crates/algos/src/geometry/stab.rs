@@ -9,8 +9,8 @@
 //! classic distributed segment-tree trick, `λ = 3`, all h-relations
 //! `O(N/v + v)`.
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::IntervalTree;
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::slab::{choose_splitters, local_samples, slab_of};
 
@@ -92,9 +92,8 @@ impl CgmProgram for CgmIntervalStab {
                 // count.
                 local.sort_unstable();
                 let spanning: i64 = deltas[..=ctx.pid].iter().sum();
-                let tree = IntervalTree::build(
-                    &local.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
-                );
+                let tree =
+                    IntervalTree::build(&local.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>());
                 state.1 = queries
                     .into_iter()
                     .map(|(qid, x)| {
@@ -149,8 +148,7 @@ mod tests {
     }
 
     fn answers(fin: &[StabState]) -> Vec<(u64, i64)> {
-        let mut out: Vec<(u64, i64)> =
-            fin.iter().flat_map(|(_, a)| a.iter().copied()).collect();
+        let mut out: Vec<(u64, i64)> = fin.iter().flat_map(|(_, a)| a.iter().copied()).collect();
         out.sort_unstable();
         out
     }
@@ -159,8 +157,7 @@ mod tests {
     fn matches_naive_on_random_inputs() {
         for seed in 0..5u64 {
             let (ivs, qs) = gen(150, 300, seed);
-            let want: Vec<(u64, i64)> =
-                qs.iter().map(|&(qid, x)| (qid, naive(&ivs, x))).collect();
+            let want: Vec<(u64, i64)> = qs.iter().map(|&(qid, x)| (qid, naive(&ivs, x))).collect();
             let mut want = want;
             want.sort_unstable();
             for v in [3usize, 6, 8] {
@@ -194,8 +191,7 @@ mod tests {
     #[test]
     fn works_on_threads() {
         let (ivs, qs) = gen(100, 200, 9);
-        let mut want: Vec<(u64, i64)> =
-            qs.iter().map(|&(qid, x)| (qid, naive(&ivs, x))).collect();
+        let mut want: Vec<(u64, i64)> = qs.iter().map(|&(qid, x)| (qid, naive(&ivs, x))).collect();
         want.sort_unstable();
         let (fin, _) = ThreadedRunner::new(4).run(&CgmIntervalStab, init(&ivs, &qs, 8)).unwrap();
         assert_eq!(answers(&fin), want);

@@ -13,8 +13,8 @@
 //! produce T-junction seams (still a valid tiling by area), which the
 //! tests verify by exact area accounting.
 
-use cgmio_model::{CgmProgram, RoundCtx, Status};
 use cgmio_geom::{convex_hull, orient2d, Point};
+use cgmio_model::{CgmProgram, RoundCtx, Status};
 
 use super::super::graphs::jump_iters;
 use super::slab::{choose_splitters, local_samples, slab_of};
@@ -56,7 +56,8 @@ fn tangent(a: &[IdPoint], b: &[IdPoint], upper: bool) -> (usize, usize) {
                 Some((bi, bj)) => {
                     // innermost: a-side max x, b-side min x
                     let ai = if (a[i].1 .0, a[i].1 .1) > (a[bi].1 .0, a[bi].1 .1) { i } else { bi };
-                    let bjn = if (b[j].1 .0, b[j].1 .1) < (b[bj].1 .0, b[bj].1 .1) { j } else { bj };
+                    let bjn =
+                        if (b[j].1 .0, b[j].1 .1) < (b[bj].1 .0, b[bj].1 .1) { j } else { bj };
                     (ai, bjn)
                 }
             });
@@ -185,12 +186,13 @@ impl CgmProgram for CgmTriangulate {
                     let coords: Vec<Point> = slab.iter().map(|&(_, p)| p).collect();
                     state.1 = cgmio_geom::triangulate_points(&coords)
                         .into_iter()
-                        .map(|(a, b, c)| [slab[a as usize].0, slab[b as usize].0, slab[c as usize].0])
+                        .map(|(a, b, c)| {
+                            [slab[a as usize].0, slab[b as usize].0, slab[c as usize].0]
+                        })
                         .collect();
                     let id_of: std::collections::HashMap<Point, u64> =
                         slab.iter().map(|&(id, p)| (p, id)).collect();
-                    state.0 .1 =
-                        convex_hull(&coords).into_iter().map(|p| (id_of[&p], p)).collect();
+                    state.0 .1 = convex_hull(&coords).into_iter().map(|p| (id_of[&p], p)).collect();
                 } else {
                     // merge an arriving hull (we are left of the sender)
                     let arrived: Vec<IdPoint> =
@@ -248,8 +250,7 @@ mod tests {
         let mut area = 0i128;
         let mut edge_count = std::collections::HashMap::new();
         for &[a, b, c] in tris {
-            let o =
-                orient2d(pts[a as usize], pts[b as usize], pts[c as usize]);
+            let o = orient2d(pts[a as usize], pts[b as usize], pts[c as usize]);
             assert!(o > 0, "triangle must be ccw and non-degenerate");
             area += o;
             for (u, w) in [(a, b), (b, c), (c, a)] {
@@ -265,8 +266,7 @@ mod tests {
         for seed in 0..5u64 {
             let pts = random_points(400, 5_000, seed);
             for v in [2usize, 4, 6, 8] {
-                let (fin, _) =
-                    DirectRunner::default().run(&CgmTriangulate, init(&pts, v)).unwrap();
+                let (fin, _) = DirectRunner::default().run(&CgmTriangulate, init(&pts, v)).unwrap();
                 validate(&pts, &all_triangles(&fin));
             }
         }

@@ -215,9 +215,7 @@ mod tests {
         vert_blocks
             .into_iter()
             .zip(edge_blocks)
-            .map(|(vb, eb)| {
-                ((n as u64, vb, Vec::new()), (edges.len() as u64, eb, Vec::new()))
-            })
+            .map(|(vb, eb)| ((n as u64, vb, Vec::new()), (edges.len() as u64, eb, Vec::new())))
             .collect()
     }
 
@@ -226,9 +224,7 @@ mod tests {
     }
 
     fn forest_of(fin: &[ConnState], edges: &[(u64, u64)]) -> Vec<(u64, u64)> {
-        fin.iter()
-            .flat_map(|((_, _, f), _)| f.iter().map(|&e| edges[e as usize]))
-            .collect()
+        fin.iter().flat_map(|((_, _, f), _)| f.iter().map(|&e| edges[e as usize])).collect()
     }
 
     #[test]

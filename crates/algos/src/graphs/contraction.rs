@@ -78,11 +78,8 @@ pub fn eval_expression_mod(nodes: &[ExprNode]) -> u64 {
 
 /// State: `((n, packed_nodes… as 4 parallel vecs), (parent_of, pending), result)`:
 /// concretely `((n, kinds, lefts), (rights, values), (parents, result_holder, scratch))`.
-pub type ExprEvalState = (
-    (u64, Vec<u64>, Vec<u64>),
-    (Vec<u64>, Vec<u64>),
-    (Vec<u64>, Vec<u64>, Vec<u64>),
-);
+pub type ExprEvalState =
+    ((u64, Vec<u64>, Vec<u64>), (Vec<u64>, Vec<u64>), (Vec<u64>, Vec<u64>, Vec<u64>));
 
 /// Build initial per-processor states from a node array (root = last
 /// node).

@@ -257,10 +257,8 @@ mod tests {
         let (fin, _) = DirectRunner::default().run(&CgmEulerTour, init(&parent, 7)).unwrap();
         // gather final val2 per arc
         let val2: Vec<u64> = fin.iter().flat_map(|(_, (_, _, v2))| v2.iter().copied()).collect();
-        let mut got: Vec<(u64, u64)> = want_order
-            .iter()
-            .map(|&arc| (tour_position(n, val2[arc as usize]), arc))
-            .collect();
+        let mut got: Vec<(u64, u64)> =
+            want_order.iter().map(|&arc| (tour_position(n, val2[arc as usize]), arc)).collect();
         got.sort_unstable();
         let got_order: Vec<u64> = got.iter().map(|&(_, a)| a).collect();
         assert_eq!(got_order, want_order);

@@ -104,7 +104,7 @@ impl CgmProgram for CgmBatchedLca {
                 state.0 .2[..nl].copy_from_slice(&state.0 .1);
                 state.1 .0 = state
                     .0
-                    .1
+                     .1
                     .iter()
                     .enumerate()
                     .map(|(i, &p)| u64::from(p != (my_range.start + i) as u64))
@@ -203,8 +203,8 @@ impl CgmProgram for CgmBatchedLca {
                 let mut pending: std::collections::BTreeMap<usize, [u64; 2]> =
                     std::collections::BTreeMap::new();
                 for &(corr, anc, _) in &apply {
-                    pending.entry(corr as usize / 2).or_insert([u64::MAX; 2])
-                        [corr as usize % 2] = anc;
+                    pending.entry(corr as usize / 2).or_insert([u64::MAX; 2])[corr as usize % 2] =
+                        anc;
                 }
                 for (slot, [na, nb]) in pending {
                     debug_assert!(na != u64::MAX && nb != u64::MAX);

@@ -56,14 +56,13 @@ impl CgmProgram for CgmListRank {
             return Status::Continue;
         }
 
-        if ctx.round % 2 == 0 {
+        if ctx.round.is_multiple_of(2) {
             // Reply phase: answer with current (rank, succ).
             let mut replies: Vec<(usize, (u64, u64, u64))> = Vec::new();
             for (_src, items) in ctx.incoming.iter() {
                 for &(node, asker, _) in items {
                     let li = node as usize - my_range.start;
-                    replies
-                        .push((owner(n, v, asker as usize), (asker, state.2[li], state.1[li])));
+                    replies.push((owner(n, v, asker as usize), (asker, state.2[li], state.1[li])));
                 }
             }
             for (dst, msg) in replies {

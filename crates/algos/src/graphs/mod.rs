@@ -18,7 +18,9 @@ pub use euler::{CgmEulerTour, EulerState};
 pub use lca::{CgmBatchedLca, LcaState};
 pub use listrank::{CgmListRank, ListRankState};
 pub use rmq::{CgmRangeMinMax, RmqState};
-pub use tv::{cgm_biconnected_components, cgm_open_ear_decomposition, CgmRootTree, CompositionReport, Exec};
+pub use tv::{
+    cgm_biconnected_components, cgm_open_ear_decomposition, CgmRootTree, CompositionReport, Exec,
+};
 
 /// Owner of global index `g` under the block distribution of `n` items
 /// over `v` processors.

@@ -25,11 +25,7 @@ const ANS: u64 = 4; // [_, qid, min, max, side]
 
 /// State: `((n, values_in as (idx, val), queries as (qid, l, r)),
 /// (st_min, st_max), answers as (qid, min, max))`.
-pub type RmqState = (
-    (u64, Vec<(u64, u64)>, Vec<[u64; 3]>),
-    (Vec<u64>, Vec<u64>),
-    Vec<[u64; 3]>,
-);
+pub type RmqState = ((u64, Vec<(u64, u64)>, Vec<[u64; 3]>), (Vec<u64>, Vec<u64>), Vec<[u64; 3]>);
 
 /// The distributed range-min/max program. Missing indices behave as
 /// neutral elements (`u64::MAX` for min, `0` for max).
@@ -65,7 +61,7 @@ impl CgmProgram for CgmRangeMinMax {
 
         // Even rounds answer table lookups (REQ during the build, QRY
         // right after the query round).
-        if ctx.round % 2 == 0 {
+        if ctx.round.is_multiple_of(2) {
             let mut replies: Vec<(usize, Msg)> = Vec::new();
             for (src, items) in ctx.incoming.iter() {
                 for &[tag, index, corr, level, _] in items {
@@ -165,12 +161,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    fn run(
-        n: usize,
-        vals: &[(u64, u64)],
-        queries: &[[u64; 3]],
-        v: usize,
-    ) -> Vec<[u64; 3]> {
+    fn run(n: usize, vals: &[(u64, u64)], queries: &[[u64; 3]], v: usize) -> Vec<[u64; 3]> {
         let states: Vec<RmqState> = block_split(vals.to_vec(), v)
             .into_iter()
             .zip(block_split(queries.to_vec(), v))

@@ -89,15 +89,11 @@ impl CgmProgram for CgmRootTree {
                 for (_src, items) in ctx.incoming.iter() {
                     for &[tag, a, b, e, _] in items {
                         debug_assert_eq!(tag, ANN);
-                        if owner(n, v, a as usize) == ctx.pid
-                            && my_verts.contains(&(a as usize))
-                        {
+                        if owner(n, v, a as usize) == ctx.pid && my_verts.contains(&(a as usize)) {
                             // neighbour b via edge e; arc entering a is 2e+1
                             incident[a as usize - my_verts.start].push((b, e, true));
                         }
-                        if owner(n, v, b as usize) == ctx.pid
-                            && my_verts.contains(&(b as usize))
-                        {
+                        if owner(n, v, b as usize) == ctx.pid && my_verts.contains(&(b as usize)) {
                             incident[b as usize - my_verts.start].push((a, e, false));
                         }
                     }
@@ -319,8 +315,7 @@ pub fn cgm_biconnected_components(
     );
     let labels: Vec<u64> = fin.iter().flat_map(|((_, l, _), _)| l.iter().copied()).collect();
     assert!(labels.iter().all(|&l| l == 0), "biconnectivity needs a connected graph");
-    let mut tree_ids: Vec<u64> =
-        fin.iter().flat_map(|((_, _, f), _)| f.iter().copied()).collect();
+    let mut tree_ids: Vec<u64> = fin.iter().flat_map(|((_, _, f), _)| f.iter().copied()).collect();
     tree_ids.sort_unstable();
     let tree_edges: Vec<(u64, u64)> = tree_ids.iter().map(|&e| edges[e as usize]).collect();
     let is_tree: Vec<bool> = {
@@ -357,9 +352,7 @@ pub fn cgm_biconnected_components(
         || {
             block_split(parent.clone(), v)
                 .into_iter()
-                .map(|b| {
-                    ((vec![n as u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new()))
-                })
+                .map(|b| ((vec![n as u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new())))
                 .collect()
         },
         &mut report,
@@ -375,7 +368,7 @@ pub fn cgm_biconnected_components(
         let p_down = pos(2 * x + 1);
         let p_up = pos(2 * x);
         pre[x] = (p_down + 1 + depth[x]) / 2;
-        size[x] = (p_up - p_down + 1) / 2;
+        size[x] = (p_up - p_down).div_ceil(2);
     }
     size[0] = n as u64;
 
@@ -412,8 +405,7 @@ pub fn cgm_biconnected_components(
             (pre[u], hi)
         })
         .collect();
-    let queries: Vec<[u64; 3]> =
-        (0..n).map(|x| [x as u64, pre[x], pre[x] + size[x]]).collect();
+    let queries: Vec<[u64; 3]> = (0..n).map(|x| [x as u64, pre[x], pre[x] + size[x]]).collect();
     let rmq = |vals: &[(u64, u64)], report: &mut CompositionReport| -> Vec<[u64; 3]> {
         let fin = run_phase(
             exec,
@@ -472,8 +464,7 @@ pub fn cgm_biconnected_components(
         },
         &mut report,
     );
-    let aux_label: Vec<u64> =
-        fin.iter().flat_map(|((_, l, _), _)| l.iter().copied()).collect();
+    let aux_label: Vec<u64> = fin.iter().flat_map(|((_, l, _), _)| l.iter().copied()).collect();
 
     // Map every input edge to its component: tree edge -> deeper
     // endpoint's aux label; nontree -> deeper endpoint's tree edge.
@@ -536,8 +527,7 @@ pub fn cgm_open_ear_decomposition(
     if labels.iter().any(|&l| l != 0) {
         return (None, report); // disconnected
     }
-    let mut tree_ids: Vec<u64> =
-        fin.iter().flat_map(|((_, _, f), _)| f.iter().copied()).collect();
+    let mut tree_ids: Vec<u64> = fin.iter().flat_map(|((_, _, f), _)| f.iter().copied()).collect();
     tree_ids.sort_unstable();
     let tree_edges: Vec<(u64, u64)> = tree_ids.iter().map(|&e| edges[e as usize]).collect();
     let mut is_tree = vec![false; m];
@@ -569,9 +559,7 @@ pub fn cgm_open_ear_decomposition(
         || {
             block_split(parent.clone(), v)
                 .into_iter()
-                .map(|b| {
-                    ((vec![n as u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new()))
-                })
+                .map(|b| ((vec![n as u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new())))
                 .collect()
         },
         &mut report,
@@ -584,17 +572,13 @@ pub fn cgm_open_ear_decomposition(
     let mut size = vec![1u64; n];
     for x in 1..n {
         pre[x] = (pos(2 * x + 1) + 1 + depth[x]) / 2;
-        size[x] = (pos(2 * x) - pos(2 * x + 1) + 1) / 2;
+        size[x] = (pos(2 * x) - pos(2 * x + 1)).div_ceil(2);
     }
     size[0] = n as u64;
 
     // Phase 4: lca of every nontree edge.
-    let nontree: Vec<(usize, (u64, u64))> = edges
-        .iter()
-        .copied()
-        .enumerate()
-        .filter(|&(e, _)| !is_tree[e])
-        .collect();
+    let nontree: Vec<(usize, (u64, u64))> =
+        edges.iter().copied().enumerate().filter(|&(e, _)| !is_tree[e]).collect();
     let queries: Vec<(u64, u64)> = nontree.iter().map(|&(_, e)| e).collect();
     let fin = run_phase(
         exec,
@@ -633,8 +617,7 @@ pub fn cgm_open_ear_decomposition(
         c_of[b as usize] = c_of[b as usize].min(label[k]);
     }
     let vals: Vec<(u64, u64)> = (0..n).map(|u| (pre[u], c_of[u])).collect();
-    let rqueries: Vec<[u64; 3]> =
-        (0..n).map(|x| [x as u64, pre[x], pre[x] + size[x]]).collect();
+    let rqueries: Vec<[u64; 3]> = (0..n).map(|x| [x as u64, pre[x], pre[x] + size[x]]).collect();
     let fin = run_phase(
         exec,
         &CgmRangeMinMax,
@@ -731,9 +714,8 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = 40;
             // random tree + extra edges = connected
-            let mut edges: Vec<(u64, u64)> = (1..n as u64)
-                .map(|x| (rng.gen_range(0..x), x))
-                .collect();
+            let mut edges: Vec<(u64, u64)> =
+                (1..n as u64).map(|x| (rng.gen_range(0..x), x)).collect();
             let mut seen: std::collections::HashSet<(u64, u64)> =
                 edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
             for _ in 0..25 {
@@ -765,20 +747,15 @@ mod tests {
         let num_ears = *ears.iter().max().unwrap() + 1;
         let mut on_earlier: Vec<Option<u32>> = vec![None; n];
         for ear in 0..num_ears {
-            let ear_edges: Vec<(u64, u64)> = edges
-                .iter()
-                .zip(ears)
-                .filter(|&(_, &e)| e == ear)
-                .map(|(&ed, _)| ed)
-                .collect();
+            let ear_edges: Vec<(u64, u64)> =
+                edges.iter().zip(ears).filter(|&(_, &e)| e == ear).map(|(&ed, _)| ed).collect();
             assert!(!ear_edges.is_empty(), "ear {ear} empty");
             let mut deg = std::collections::HashMap::new();
             for &(a, b) in &ear_edges {
                 *deg.entry(a).or_insert(0u32) += 1;
                 *deg.entry(b).or_insert(0u32) += 1;
             }
-            let odd: Vec<u64> =
-                deg.iter().filter(|(_, &d)| d % 2 == 1).map(|(&v, _)| v).collect();
+            let odd: Vec<u64> = deg.iter().filter(|(_, &d)| d % 2 == 1).map(|(&v, _)| v).collect();
             if ear == 0 {
                 assert!(odd.is_empty(), "ear 0 must be a cycle");
                 assert!(deg.values().all(|&x| x == 2));
@@ -794,7 +771,7 @@ mod tests {
                     }
                 }
             }
-            for (&vx, _) in &deg {
+            for &vx in deg.keys() {
                 on_earlier[vx as usize].get_or_insert(ear);
             }
         }
@@ -826,11 +803,7 @@ mod tests {
             let (got, rep) = cgm_open_ear_decomposition(n, &edges, 4, Exec::Direct);
             let got = got.expect("2-edge-connected");
             // m - n + 1 ears, like the reference
-            assert_eq!(
-                *got.iter().max().unwrap() as usize + 1,
-                edges.len() - n + 1,
-                "ear count"
-            );
+            assert_eq!(*got.iter().max().unwrap() as usize + 1, edges.len() - n + 1, "ear count");
             validate_ears(n, &edges, &got);
             assert!(rep.rounds > 0);
         }
@@ -863,15 +836,11 @@ mod tests {
         for seed in 0..4u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = 60usize;
-            let edges: Vec<(u64, u64)> =
-                (1..n as u64).map(|x| (rng.gen_range(0..x), x)).collect();
+            let edges: Vec<(u64, u64)> = (1..n as u64).map(|x| (rng.gen_range(0..x), x)).collect();
             let states: Vec<RootTreeState> = block_split(edges.clone(), 5)
                 .into_iter()
                 .map(|eb| {
-                    (
-                        (vec![n as u64, edges.len() as u64], eb, Vec::new()),
-                        (Vec::new(), Vec::new()),
-                    )
+                    ((vec![n as u64, edges.len() as u64], eb, Vec::new()), (Vec::new(), Vec::new()))
                 })
                 .collect();
             let (fin, _) = DirectRunner::default().run(&CgmRootTree, states).unwrap();

@@ -129,9 +129,8 @@ where
                     })
                     .collect();
                 samples.sort_unstable();
-                let pivots: Vec<K> = (1..v)
-                    .filter_map(|k| samples.get(k * samples.len() / v).copied())
-                    .collect();
+                let pivots: Vec<K> =
+                    (1..v).filter_map(|k| samples.get(k * samples.len() / v).copied()).collect();
 
                 // Partition the sorted local run and route.
                 let mut sizes = vec![0u64; v];
@@ -149,7 +148,10 @@ where
                 if self.rebalance {
                     // Announce this row of the partition matrix to all.
                     for t in 0..v {
-                        ctx.send(t, sizes.iter().enumerate().map(|(d, &s)| SortMsg::Count(d as u32, s)));
+                        ctx.send(
+                            t,
+                            sizes.iter().enumerate().map(|(d, &s)| SortMsg::Count(d as u32, s)),
+                        );
                     }
                 }
                 state.0.clear();
@@ -306,8 +308,7 @@ mod tests {
     #[test]
     fn pair_keys_sort_lexicographically() {
         let v = 4;
-        let pairs: Vec<(u64, u64)> =
-            uniform_u64(600, 5).into_iter().map(|k| (k % 10, k)).collect();
+        let pairs: Vec<(u64, u64)> = uniform_u64(600, 5).into_iter().map(|k| (k % 10, k)).collect();
         let states: Vec<SortState<(u64, u64)>> =
             block_split(pairs.clone(), v).into_iter().map(|b| (b, Vec::new())).collect();
         let (fin, _) = DirectRunner::default().run(&CgmSort::by_pivots(), states).unwrap();

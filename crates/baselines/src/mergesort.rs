@@ -119,8 +119,13 @@ pub fn external_merge_sort<K: Item + Ord>(
         let mut next_runs: Vec<(u64, usize)> = Vec::new();
         let mut out_block = 0u64;
         for group in runs.chunks(fan_in) {
-            let (blocks_used, items) =
-                merge_group::<K>(&mut disks, region(cur_region), region(1 - cur_region), out_block, group);
+            let (blocks_used, items) = merge_group::<K>(
+                &mut disks,
+                region(cur_region),
+                region(1 - cur_region),
+                out_block,
+                group,
+            );
             next_runs.push((out_block, items));
             out_block += blocks_used;
         }
@@ -198,7 +203,8 @@ fn merge_group<K: Item + Ord>(
             .map(|(i, _)| i)
             .collect();
         if !need.is_empty() {
-            let addrs: Vec<_> = need.iter().map(|&i| src_layout.addr(cursors[i].next_block)).collect();
+            let addrs: Vec<_> =
+                need.iter().map(|&i| src_layout.addr(cursors[i].next_block)).collect();
             let blocks = disks.read_fifo(addrs.into_iter()).expect("merge read");
             for (&i, block) in need.iter().zip(blocks) {
                 let c = &mut cursors[i];

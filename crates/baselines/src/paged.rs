@@ -5,7 +5,7 @@
 //! exactly why this curve leaves the linear regime once the working set
 //! exceeds memory.
 
-use cgmio_pdm::paged::{PagedStore, PageStats};
+use cgmio_pdm::paged::{PageStats, PagedStore};
 use cgmio_pdm::DiskTimingModel;
 
 /// Outcome of a paged sort.
@@ -28,7 +28,11 @@ impl PagedSortReport {
 /// Bottom-up merge sort over a demand-paged array of `u64`s with
 /// `frames` resident pages of `page_bytes`. Returns the sorted keys and
 /// the paging report.
-pub fn paged_merge_sort(keys: &[u64], page_bytes: usize, frames: usize) -> (Vec<u64>, PagedSortReport) {
+pub fn paged_merge_sort(
+    keys: &[u64],
+    page_bytes: usize,
+    frames: usize,
+) -> (Vec<u64>, PagedSortReport) {
     let n = keys.len();
     let mut store = PagedStore::new(page_bytes, frames);
     // regions: A at 0, B after n items

@@ -14,11 +14,7 @@ use crate::mergesort::external_merge_sort;
 /// a read-modify-write per item (with a one-block cache for consecutive
 /// hits) — the `Θ(N/D)`-ish side of the PDM bound, dreadful for random
 /// permutations. Returns the permuted vector and the I/O counters.
-pub fn naive_permutation(
-    geom: DiskGeometry,
-    values: &[u64],
-    perm: &[u64],
-) -> (Vec<u64>, IoStats) {
+pub fn naive_permutation(geom: DiskGeometry, values: &[u64], perm: &[u64]) -> (Vec<u64>, IoStats) {
     assert_eq!(values.len(), perm.len());
     let mut disks = DiskArray::new(geom);
     let per = (geom.block_bytes / 8).max(1);
@@ -67,8 +63,7 @@ pub fn sort_based_permutation(
     values: &[u64],
     perm: &[u64],
 ) -> (Vec<u64>, IoStats) {
-    let pairs: Vec<(u64, u64)> =
-        perm.iter().zip(values).map(|(&d, &v)| (d, v)).collect();
+    let pairs: Vec<(u64, u64)> = perm.iter().zip(values).map(|(&d, &v)| (d, v)).collect();
     let (sorted, rep) = external_merge_sort(geom, mem_items, &pairs);
     (sorted.into_iter().map(|(_, v)| v).collect(), rep.io)
 }

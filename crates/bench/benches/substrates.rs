@@ -1,5 +1,9 @@
 //! Micro-benchmarks of the sequential substrates the CGM programs
-//! delegate their per-slab work to.
+//! delegate their per-slab work to, plus the synchronous-vs-concurrent
+//! storage backend sweep (archived as `results/backend_sweep.csv`).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -7,6 +11,9 @@ use cgmio_baselines::paged_merge_sort;
 use cgmio_data::{gnm_edges, random_points, random_segments, random_tree_parents, uniform_u64};
 use cgmio_geom::{convex_hull, lower_envelope, triangulate_points, union_area, KdTree};
 use cgmio_graph::{cc_labels, LcaTable};
+use cgmio_io::{ConcurrentStorage, IoEngineOpts};
+use cgmio_pdm::testutil::TempDir;
+use cgmio_pdm::{DiskArray, DiskGeometry, IoRequest, TrackAddr};
 
 fn bench_geom(c: &mut Criterion) {
     let mut g = c.benchmark_group("geom");
@@ -48,5 +55,69 @@ fn bench_paging(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_geom, bench_graph, bench_paging);
+/// FIFO-write `tracks` blocks to every drive, flush, read them back —
+/// one superstep's worth of context/message traffic, physically.
+fn backend_workload(arr: &mut DiskArray, d: usize, tracks: u64, block: &[u8]) {
+    let reqs: Vec<IoRequest> = (0..tracks)
+        .flat_map(|t| (0..d).map(move |k| TrackAddr::new(k, t)))
+        .map(|addr| IoRequest { addr, data: block.to_vec() })
+        .collect();
+    arr.write_fifo(&reqs).unwrap();
+    arr.flush(false).unwrap();
+    arr.read_fifo(reqs.iter().map(|r| r.addr)).unwrap();
+}
+
+fn mk_backend(kind: &str, geom: DiskGeometry, dir: &Path) -> DiskArray {
+    match kind {
+        "sync-file" => DiskArray::new_file_backed(geom, dir).unwrap(),
+        "concurrent-file" => DiskArray::with_storage(
+            geom,
+            Box::new(ConcurrentStorage::open_dir(dir, geom, IoEngineOpts::default()).unwrap()),
+        ),
+        other => panic!("unknown backend {other}"),
+    }
+}
+
+/// Sync vs concurrent file backend over D ∈ {1, 2, 4}: identical op
+/// counts by construction, so the comparison isolates the wall-clock
+/// effect of overlapping a parallel op's D transfers.
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("io_backends");
+    g.sample_size(10);
+    let bb = 4096usize;
+    let tracks = 64u64;
+    let block = vec![0xA5u8; bb];
+    let mut rows = vec!["backend,D,tracks_per_drive,block_bytes,mean_us,mb_per_s".to_string()];
+    for d in [1usize, 2, 4] {
+        let geom = DiskGeometry::new(d, bb);
+        for kind in ["sync-file", "concurrent-file"] {
+            let tmp = TempDir::new("cgmio-backend-sweep");
+            let mut arr = mk_backend(kind, geom, tmp.path());
+            g.bench_function(format!("{kind}/D{d}"), |b| {
+                b.iter(|| backend_workload(&mut arr, d, tracks, &block))
+            });
+            // Explicit timing pass for the archived CSV.
+            backend_workload(&mut arr, d, tracks, &block); // warm-up
+            let samples = 10u32;
+            let t0 = Instant::now();
+            for _ in 0..samples {
+                backend_workload(&mut arr, d, tracks, &block);
+            }
+            let mean_us = t0.elapsed().as_micros() as f64 / samples as f64;
+            let bytes = 2.0 * d as f64 * tracks as f64 * bb as f64; // write + read
+            rows.push(format!("{kind},{d},{tracks},{bb},{mean_us:.1},{:.1}", bytes / mean_us));
+        }
+    }
+    g.finish();
+    let out = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let path = out.join("backend_sweep.csv");
+    let saved =
+        std::fs::create_dir_all(&out).and_then(|()| std::fs::write(&path, rows.join("\n") + "\n"));
+    match saved {
+        Ok(()) => eprintln!("saved {}", path.display()),
+        Err(e) => eprintln!("backend_sweep.csv save failed: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_geom, bench_graph, bench_paging, bench_backends);
 criterion_main!(benches);

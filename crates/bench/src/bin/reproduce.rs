@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig3|fig4|fig5a|fig5a-scaling|fig5b|fig5c|
-//!            fig6|fig7|fig8|audit|ablation|cache] [--out DIR]
+//!            fig6|fig7|fig8|audit|ablation|cache|io-trace] [--out DIR]
 //! ```
 //!
 //! Each experiment prints an aligned table and archives a CSV under
-//! `results/` (or `--out DIR`).
+//! `results/` (or `--out DIR`). `io-trace` additionally archives the
+//! Fig 3 sort's physical I/O event log as `fig3_io_trace.jsonl`.
 
 use cgmio_bench::experiments as ex;
 use cgmio_bench::Table;
@@ -28,29 +29,31 @@ fn main() {
         which.push("all".into());
     }
 
-    let menu: Vec<(&str, fn() -> Table)> = vec![
-        ("fig1", ex::fig1),
-        ("fig2", ex::fig2),
-        ("fig3", ex::fig3),
-        ("fig4", ex::fig4),
-        ("fig5a", ex::fig5a),
-        ("fig5a-scaling", ex::fig5a_scaling),
-        ("fig5b", ex::fig5b),
-        ("fig5c", ex::fig5c),
-        ("fig6", ex::fig6),
-        ("fig7", ex::fig7),
-        ("fig8", ex::fig8),
-        ("audit", ex::audit),
-        ("ablation", ex::ablation_balance),
-        ("cache", ex::cache),
+    // Experiments take the output directory: most ignore it (the CSV is
+    // archived by this binary), but io-trace writes its JSONL there too.
+    type Exp = Box<dyn Fn(&std::path::Path) -> Table>;
+    let menu: Vec<(&str, Exp)> = vec![
+        ("fig1", Box::new(|_| ex::fig1())),
+        ("fig2", Box::new(|_| ex::fig2())),
+        ("fig3", Box::new(|_| ex::fig3())),
+        ("fig4", Box::new(|_| ex::fig4())),
+        ("fig5a", Box::new(|_| ex::fig5a())),
+        ("fig5a-scaling", Box::new(|_| ex::fig5a_scaling())),
+        ("fig5b", Box::new(|_| ex::fig5b())),
+        ("fig5c", Box::new(|_| ex::fig5c())),
+        ("fig6", Box::new(|_| ex::fig6())),
+        ("fig7", Box::new(|_| ex::fig7())),
+        ("fig8", Box::new(|_| ex::fig8())),
+        ("audit", Box::new(|_| ex::audit())),
+        ("ablation", Box::new(|_| ex::ablation_balance())),
+        ("cache", Box::new(|_| ex::cache())),
+        ("io-trace", Box::new(ex::io_trace)),
     ];
 
-    let selected: Vec<&(&str, fn() -> Table)> = if which.iter().any(|w| w == "all") {
+    let selected: Vec<&(&str, Exp)> = if which.iter().any(|w| w == "all") {
         menu.iter().collect()
     } else {
-        menu.iter()
-            .filter(|(name, _)| which.iter().any(|w| w == name))
-            .collect()
+        menu.iter().filter(|(name, _)| which.iter().any(|w| w == name)).collect()
     };
     if selected.is_empty() {
         eprintln!("unknown experiment; available:");
@@ -62,7 +65,7 @@ fn main() {
 
     for (name, f) in selected {
         eprintln!("running {name} ...");
-        let t = f();
+        let t = f(&out_dir);
         println!("{}", t.render());
         match t.save_csv(&out_dir) {
             Ok(p) => eprintln!("  saved {}", p.display()),

@@ -14,7 +14,9 @@ use cgmio_algos::graphs::{
     CgmListRank,
 };
 use cgmio_algos::CgmSort;
-use cgmio_baselines::{external_merge_sort, naive_permutation, paged_merge_sort, sort_based_permutation};
+use cgmio_baselines::{
+    external_merge_sort, naive_permutation, paged_merge_sort, sort_based_permutation,
+};
 use cgmio_core::{measure_requirements, params, EmConfig, SeqEmRunner};
 use cgmio_data as data;
 use cgmio_pdm::DiskGeometry;
@@ -108,10 +110,7 @@ pub fn fig3() -> Table {
 
 /// Figure 4: EM-CGM sort with D = 1, 2, 4 disks per processor.
 pub fn fig4() -> Table {
-    let mut t = Table::new(
-        "fig4_sort_multidisk",
-        &["n", "D", "ops", "io_ms", "ops_vs_d1"],
-    );
+    let mut t = Table::new("fig4_sort_multidisk", &["n", "D", "ops", "io_ms", "ops_vs_d1"]);
     let model = disk_model();
     let (v, bb) = (16usize, 4096usize);
     for n in sweep_sizes() {
@@ -199,18 +198,12 @@ pub fn fig5a() -> Table {
 /// Figure 5, Group A continued: scalability in `p` — per-processor I/O
 /// of the parallel EM engine.
 pub fn fig5a_scaling() -> Table {
-    let mut t = Table::new(
-        "fig5a_scaling_p",
-        &["n", "p", "ops_per_proc", "vs_p1", "cross_items"],
-    );
+    let mut t = Table::new("fig5a_scaling_p", &["n", "p", "ops_per_proc", "vs_p1", "cross_items"]);
     let (v, d, bb) = (16usize, 2usize, 2048usize);
     let n = 1 << 16;
     let keys = data::uniform_u64(n, 42);
     let mk = || {
-        data::block_split(keys.clone(), v)
-            .into_iter()
-            .map(|b| (b, Vec::new()))
-            .collect::<Vec<_>>()
+        data::block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
     };
     let prog = CgmSort::<u64>::by_pivots();
     let (_, _, req) = measure_requirements(&prog, mk()).unwrap();
@@ -233,7 +226,14 @@ pub fn fig5a_scaling() -> Table {
     t
 }
 
-fn geometry_row(t: &mut Table, problem: &str, n: usize, rep: &cgmio_core::EmRunReport, d: usize, bb: usize) {
+fn geometry_row(
+    t: &mut Table,
+    problem: &str,
+    n: usize,
+    rep: &cgmio_core::EmRunReport,
+    d: usize,
+    bb: usize,
+) {
     let per_block = bb / 16; // points are 16 bytes
     let ndb = n as f64 / (d as f64 * per_block as f64);
     let nlogndb = ndb * (n as f64).log2();
@@ -271,7 +271,9 @@ pub fn fig5b() -> Table {
         let pts3: Vec<(u64, (i64, i64, i64))> = data::uniform_u64(3 * n, 2)
             .chunks(3)
             .enumerate()
-            .map(|(i, c)| (i as u64, ((c[0] % 65536) as i64, (c[1] % 65536) as i64, (c[2] % 65536) as i64)))
+            .map(|(i, c)| {
+                (i as u64, ((c[0] % 65536) as i64, (c[1] % 65536) as i64, (c[2] % 65536) as i64))
+            })
             .collect();
         let mk = || {
             data::block_split(pts3.clone(), v)
@@ -312,11 +314,8 @@ pub fn fig5b() -> Table {
 
         // dominance counting
         let pts = data::random_points(n, 100_000, 5);
-        let rows: Vec<[i64; 4]> = pts
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| [i as i64, x, y, (i % 7) as i64])
-            .collect();
+        let rows: Vec<[i64; 4]> =
+            pts.iter().enumerate().map(|(i, &(x, y))| [i as i64, x, y, (i % 7) as i64]).collect();
         let mk = || {
             data::block_split(rows.clone(), v)
                 .into_iter()
@@ -349,8 +348,7 @@ pub fn fig5b() -> Table {
                 [a, a + (c[1] % 10_000) as i64, 1]
             })
             .collect();
-        let qs: Vec<(u64, i64)> =
-            (0..n as u64).map(|i| (i, (i as i64 * 37) % 1_000_000)).collect();
+        let qs: Vec<(u64, i64)> = (0..n as u64).map(|i| (i, (i as i64 * 37) % 1_000_000)).collect();
         let mk = || {
             data::block_split(ivs.clone(), v)
                 .into_iter()
@@ -515,9 +513,8 @@ pub fn fig5c() -> Table {
         let nb = n / 4; // the 6-phase composition is the heaviest row
         let bedges = {
             // connected: random tree + extra edges
-            let mut es: Vec<(u64, u64)> = (1..nb as u64)
-                .map(|x| (x.wrapping_mul(0x9E37_79B9) % x, x))
-                .collect();
+            let mut es: Vec<(u64, u64)> =
+                (1..nb as u64).map(|x| (x.wrapping_mul(0x9E37_79B9) % x, x)).collect();
             es.extend(data::gnm_edges(nb, nb / 2, 7));
             es.sort_unstable();
             es.dedup();
@@ -580,11 +577,7 @@ pub fn fig8() -> Table {
     let mut b = 512usize;
     while b <= 16 << 20 {
         let thr = m.throughput_bytes_per_s(b);
-        t.row(vec![
-            b.to_string(),
-            format!("{:.2}", thr / 1e6),
-            format!("{:.3}", thr / peak),
-        ]);
+        t.row(vec![b.to_string(), format!("{:.2}", thr / 1e6), format!("{:.3}", thr / peak)]);
         b *= 4;
     }
     t
@@ -691,6 +684,59 @@ pub fn ablation_balance() -> Table {
     t
 }
 
+/// I/O event trace of the Figure 3 sort run through the `cgmio-io`
+/// concurrent engine. The full per-transfer event log of the Fig 3
+/// geometry (D = 1) is archived as `fig3_io_trace.jsonl` under the
+/// output directory; the table summarises the traces for D ∈ {1, 2, 4}.
+pub fn io_trace(out_dir: &std::path::Path) -> Table {
+    let mut t = Table::new(
+        "io_trace_summary",
+        &[
+            "n",
+            "D",
+            "events",
+            "reads",
+            "writes",
+            "prefetches",
+            "cache_hits",
+            "bytes",
+            "max_queue_depth",
+            "mean_read_lat_us",
+        ],
+    );
+    let (v, bb) = (16usize, 4096usize);
+    let n = 1usize << 14;
+    for d in [1usize, 2, 4] {
+        let drives = cgmio_pdm::testutil::TempDir::new("cgmio-trace");
+        let rep = crate::em_sort_report_traced(n, v, d, bb, drives.path());
+        let s = cgmio_io::summarize(&rep.io_trace);
+        if d == 1 {
+            // Fig 3's geometry — archive the full event log.
+            let path = out_dir.join("fig3_io_trace.jsonl");
+            let saved = std::fs::create_dir_all(out_dir)
+                .and_then(|()| std::fs::File::create(&path))
+                .and_then(|mut f| cgmio_io::write_jsonl(&rep.io_trace, &mut f));
+            match saved {
+                Ok(()) => eprintln!("  saved {}", path.display()),
+                Err(e) => eprintln!("  trace save failed: {e}"),
+            }
+        }
+        t.row(vec![
+            n.to_string(),
+            d.to_string(),
+            rep.io_trace.len().to_string(),
+            s.reads.to_string(),
+            s.writes.to_string(),
+            s.prefetches.to_string(),
+            s.cache_hits.to_string(),
+            s.bytes.to_string(),
+            s.max_queue_depth.to_string(),
+            s.mean_read_latency_us.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Section 5 cache extension: the same parameter collapse at the
 /// cache / main-memory interface.
 pub fn cache() -> Table {
@@ -723,6 +769,17 @@ mod tests {
         for t in [fig1(), fig2(), fig6(), fig7(), fig8(), cache()] {
             assert!(!t.rows.is_empty(), "{} is empty", t.title);
         }
+    }
+
+    #[test]
+    fn io_trace_archives_fig3_jsonl() {
+        let out = cgmio_pdm::testutil::TempDir::new("cgmio-io-trace-exp");
+        let t = io_trace(out.path());
+        assert_eq!(t.rows.len(), 3, "one summary row per D");
+        let text = std::fs::read_to_string(out.path().join("fig3_io_trace.jsonl")).unwrap();
+        assert!(text.lines().count() > 100, "Fig 3 sort must produce a substantial trace");
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(text.contains("\"kind\":\"prefetch\""), "read-ahead must appear in the trace");
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use std::fmt::Write as _;
 
 use cgmio_algos::{CgmPermute, CgmSort, CgmTranspose};
-use cgmio_core::{measure_requirements, EmConfig, EmRunReport, SeqEmRunner};
+use cgmio_core::{measure_requirements, BackendSpec, EmConfig, EmRunReport, SeqEmRunner};
+use cgmio_io::IoEngineOpts;
 use cgmio_model::{CgmProgram, DirectRunner};
 use cgmio_pdm::{DiskGeometry, DiskTimingModel, IoRequest, MessageMatrixLayout};
 
@@ -54,12 +55,7 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
         let line = |cells: &[String], widths: &[usize]| {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.header, &widths));
         for row in &self.rows {
@@ -156,12 +152,7 @@ pub fn layout_ablation_ops(v: usize, d: usize, blocks_per_msg: u64) -> (u64, u64
             .flat_map(|dst| {
                 (0..blocks_per_msg).map(move |q| {
                     let g = src as u64 * blocks_per_msg + q;
-                    cgmio_pdm::consecutive_addr(
-                        d,
-                        dst as u64 * tracks_per_band,
-                        0,
-                        g,
-                    )
+                    cgmio_pdm::consecutive_addr(d, dst as u64 * tracks_per_band, 0, g)
                 })
             })
             .map(|addr| IoRequest { addr, data: vec![0u8; 8] })
@@ -192,6 +183,34 @@ pub fn em_sort_report(n: usize, v: usize, d: usize, block_bytes: usize) -> EmRun
     rep
 }
 
+/// The Figure 3 sort again, but on the `cgmio-io` concurrent file
+/// engine with the I/O event trace enabled. `drive_dir` holds the
+/// simulated drive files; the trace comes back in
+/// `EmRunReport::io_trace`. Counts are identical to [`em_sort_report`]
+/// (backend equivalence); only physical timing differs.
+pub fn em_sort_report_traced(
+    n: usize,
+    v: usize,
+    d: usize,
+    block_bytes: usize,
+    drive_dir: &std::path::Path,
+) -> EmRunReport {
+    let keys = cgmio_data::uniform_u64(n, 42);
+    let mk = || {
+        cgmio_data::block_split(keys.clone(), v)
+            .into_iter()
+            .map(|b| (b, Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+    let mut cfg = config_for(&prog, mk(), v, 1, d, block_bytes);
+    cfg.backend = BackendSpec::Concurrent {
+        dir: Some(drive_dir.to_path_buf()),
+        opts: IoEngineOpts { trace: true, ..Default::default() },
+    };
+    SeqEmRunner::new(cfg).run(&prog, mk()).expect("EM run").1
+}
+
 /// EM permutation report for `n` items.
 pub fn em_permute_report(n: usize, v: usize, d: usize, block_bytes: usize) -> EmRunReport {
     let vals = cgmio_data::uniform_u64(n, 7);
@@ -207,7 +226,13 @@ pub fn em_permute_report(n: usize, v: usize, d: usize, block_bytes: usize) -> Em
 }
 
 /// EM transpose report for a `k × ℓ` matrix.
-pub fn em_transpose_report(k: usize, l: usize, v: usize, d: usize, block_bytes: usize) -> EmRunReport {
+pub fn em_transpose_report(
+    k: usize,
+    l: usize,
+    v: usize,
+    d: usize,
+    block_bytes: usize,
+) -> EmRunReport {
     let m = cgmio_data::uniform_u64(k * l, 5);
     let mk = || {
         cgmio_data::block_split(m.clone(), v)

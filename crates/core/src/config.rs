@@ -1,9 +1,42 @@
 //! EM-CGM machine configuration and the paper's parameter conditions.
 
-use cgmio_pdm::DiskGeometry;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cgmio_io::{ConcurrentStorage, IoEngineOpts, TraceHandle};
+use cgmio_pdm::{DiskArray, DiskGeometry, MemStorage, TrackStorage};
 
 use crate::measure::Requirements;
 use crate::EmError;
+
+/// Which physical storage sits behind each real processor's disk array.
+///
+/// All backends are observationally equivalent through `DiskArray` —
+/// identical contents, identical `IoStats`, identical legality errors
+/// (property-tested in `cgmio-io`) — so the choice only affects
+/// wall-clock behaviour and persistence.
+#[derive(Debug, Clone, Default)]
+pub enum BackendSpec {
+    /// In-memory tracks (the default; fastest, nothing persisted).
+    #[default]
+    Mem,
+    /// Synchronous files, one per simulated drive, under `dir`
+    /// (per-processor subdirectory `p{t}` for the parallel runner).
+    SyncFile {
+        /// Directory holding the drive files.
+        dir: PathBuf,
+    },
+    /// The `cgmio-io` concurrent engine: per-drive worker threads with
+    /// read-ahead and write-behind. `dir = None` runs it over in-memory
+    /// tracks (concurrency without touching the filesystem).
+    Concurrent {
+        /// Directory for the drive files, or `None` for memory-backed.
+        dir: Option<PathBuf>,
+        /// Engine tuning (queue depth, prefetch cache, durability,
+        /// tracing). `opts.proc` is overwritten with the worker index.
+        opts: IoEngineOpts,
+    },
+}
 
 /// Configuration of the simulated EM-CGM target machine.
 ///
@@ -33,6 +66,8 @@ pub struct EmConfig {
     pub strict: bool,
     /// Livelock guard.
     pub round_limit: usize,
+    /// Storage backend for each real processor's disk array.
+    pub backend: BackendSpec,
 }
 
 impl EmConfig {
@@ -51,12 +86,53 @@ impl EmConfig {
             num_disks,
             block_bytes,
             // M must hold one context plus its in/out message traffic.
-            mem_bytes: (req.max_ctx_bytes + 2 * req.max_proc_recv_bytes.max(req.max_proc_sent_bytes))
-                .max(num_disks * block_bytes),
+            mem_bytes: (req.max_ctx_bytes
+                + 2 * req.max_proc_recv_bytes.max(req.max_proc_sent_bytes))
+            .max(num_disks * block_bytes),
             msg_slot_items: req.max_msg_items.max(1),
             max_ctx_bytes: req.max_ctx_bytes.max(8),
             strict: false,
             round_limit: cgmio_model::DEFAULT_ROUND_LIMIT,
+            backend: BackendSpec::Mem,
+        }
+    }
+
+    /// Build the disk array of real processor `worker_idx` according to
+    /// [`Self::backend`], plus the trace handle when the concurrent
+    /// engine was configured with `opts.trace`. File backends get a
+    /// per-processor subdirectory `p{worker_idx}` so the `p` arrays
+    /// never share files.
+    pub fn build_disks(
+        &self,
+        worker_idx: usize,
+    ) -> Result<(DiskArray, Option<TraceHandle>), EmError> {
+        let geom = self.geometry();
+        match &self.backend {
+            BackendSpec::Mem => Ok((DiskArray::new(geom), None)),
+            BackendSpec::SyncFile { dir } => {
+                let arr = DiskArray::new_file_backed(geom, &dir.join(format!("p{worker_idx}")))
+                    .map_err(|e| EmError::BadConfig(format!("opening file backend: {e}")))?;
+                Ok((arr, None))
+            }
+            BackendSpec::Concurrent { dir, opts } => {
+                let mut opts = opts.clone();
+                opts.proc = worker_idx;
+                let storage = match dir {
+                    Some(d) => {
+                        ConcurrentStorage::open_dir(&d.join(format!("p{worker_idx}")), geom, opts)
+                            .map_err(|e| {
+                            EmError::BadConfig(format!("opening concurrent backend: {e}"))
+                        })?
+                    }
+                    None => ConcurrentStorage::new(
+                        Arc::new(MemStorage::new(geom)) as Arc<dyn TrackStorage>,
+                        geom.num_disks,
+                        opts,
+                    ),
+                };
+                let trace = storage.trace_handle();
+                Ok((DiskArray::with_storage(geom, Box::new(storage)), trace))
+            }
         }
     }
 
@@ -78,7 +154,10 @@ impl EmConfig {
             return Err(EmError::BadConfig("v must be positive".into()));
         }
         if self.p == 0 || self.p > self.v {
-            return Err(EmError::BadConfig(format!("need 1 <= p <= v, got p={} v={}", self.p, self.v)));
+            return Err(EmError::BadConfig(format!(
+                "need 1 <= p <= v, got p={} v={}",
+                self.p, self.v
+            )));
         }
         if self.msg_slot_items == 0 {
             return Err(EmError::BadConfig("msg_slot_items must be positive".into()));
@@ -153,6 +232,7 @@ mod tests {
             max_ctx_bytes: 4096,
             strict: false,
             round_limit: 100,
+            backend: BackendSpec::Mem,
         }
     }
 

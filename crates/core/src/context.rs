@@ -58,19 +58,40 @@ impl ContextStore {
 
     /// Write context `slot`. Uses `⌈len/B⌉` blocks in consecutive format
     /// (fully parallel via the FIFO scheduler).
-    pub fn write(&mut self, disks: &mut DiskArray, slot: usize, bytes: &[u8]) -> Result<(), EmError> {
+    pub fn write(
+        &mut self,
+        disks: &mut DiskArray,
+        slot: usize,
+        bytes: &[u8],
+    ) -> Result<(), EmError> {
         if bytes.len() > self.cap_bytes {
-            return Err(EmError::CtxSlotOverflow { pid: slot, len: bytes.len(), cap: self.cap_bytes });
+            return Err(EmError::CtxSlotOverflow {
+                pid: slot,
+                len: bytes.len(),
+                cap: self.cap_bytes,
+            });
         }
         let base = slot as u64 * self.slot_blocks;
         let queue: Vec<IoRequest> = bytes
             .chunks(self.block_bytes)
             .enumerate()
-            .map(|(q, chunk)| IoRequest { addr: self.layout.addr(base + q as u64), data: chunk.to_vec() })
+            .map(|(q, chunk)| IoRequest {
+                addr: self.layout.addr(base + q as u64),
+                data: chunk.to_vec(),
+            })
             .collect();
         disks.write_fifo(&queue)?;
         self.lens[slot] = bytes.len();
         Ok(())
+    }
+
+    /// Track addresses a `read(slot)` would touch right now — used as a
+    /// prefetch hint for asynchronous backends (never counted as I/O).
+    pub fn read_addrs(&self, slot: usize) -> Vec<cgmio_pdm::TrackAddr> {
+        let len = self.lens[slot];
+        let nblocks = (len as u64).div_ceil(self.block_bytes as u64);
+        let base = slot as u64 * self.slot_blocks;
+        (0..nblocks).map(|q| self.layout.addr(base + q)).collect()
     }
 
     /// Read context `slot` back (exactly the bytes last written).
@@ -98,12 +119,7 @@ mod tests {
     fn roundtrip_varied_lengths() {
         let mut disks = DiskArray::new(DiskGeometry::new(3, 16));
         let mut store = ContextStore::new(3, 16, 0, 4, 100);
-        let payloads: Vec<Vec<u8>> = vec![
-            vec![1; 100],
-            vec![2; 1],
-            vec![],
-            (0..77).collect(),
-        ];
+        let payloads: Vec<Vec<u8>> = vec![vec![1; 100], vec![2; 1], vec![], (0..77).collect()];
         for (i, p) in payloads.iter().enumerate() {
             store.write(&mut disks, i, p).unwrap();
         }

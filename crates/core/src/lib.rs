@@ -40,7 +40,7 @@ pub mod params;
 pub mod report;
 pub mod seq;
 
-pub use config::{EmConfig, ParamCheck};
+pub use config::{BackendSpec, EmConfig, ParamCheck};
 pub use measure::{measure_requirements, Requirements};
 pub use par::ParEmRunner;
 pub use report::{EmRunReport, IoBreakdown};

@@ -124,6 +124,20 @@ impl<M: Item> MessageMatrix<M> {
         Ok(())
     }
 
+    /// Track addresses `read_for_dst(dst)` would touch right now — used
+    /// as a prefetch hint for asynchronous backends (never counted).
+    pub fn read_addrs_for_dst(&self, dst: usize) -> Vec<cgmio_pdm::TrackAddr> {
+        let dst_local = dst - self.dst_base;
+        let mut addrs = Vec::new();
+        for (src, &len) in self.lens[dst_local].iter().enumerate() {
+            let nblocks = (len as usize * M::SIZE).div_ceil(self.block_bytes);
+            for q in 0..nblocks {
+                addrs.push(self.layout.addr(src, dst_local, q as u64));
+            }
+        }
+        addrs
+    }
+
     /// Read the full inbox of global destination `dst`: one `Vec<M>` per
     /// source, in source order (steps (b) of Algorithm 2). Only occupied
     /// blocks are read, in staggered order (round-robin across disks for
@@ -209,7 +223,8 @@ mod tests {
         let v = 4;
         let (mut disks, mut m) = setup(d, bb, v, 4); // slot 4 items = 2 blocks
         for src in 0..v {
-            let msgs: Vec<Vec<u64>> = (0..v).map(|dst| vec![src as u64, dst as u64, 0, 1]).collect();
+            let msgs: Vec<Vec<u64>> =
+                (0..v).map(|dst| vec![src as u64, dst as u64, 0, 1]).collect();
             let entries: Vec<(usize, usize, &[u64])> =
                 msgs.iter().enumerate().map(|(dst, ms)| (src, dst, ms.as_slice())).collect();
             m.write_batch(&mut disks, &entries).unwrap();

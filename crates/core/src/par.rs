@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
+use cgmio_io::TraceEvent;
 use cgmio_model::cost::{CommCosts, RoundCost};
 use cgmio_model::threaded::{block_range, owner_of};
 use cgmio_model::{CgmProgram, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status};
@@ -64,6 +65,7 @@ struct WorkerOut<S> {
     io: IoStats,
     breakdown: IoBreakdown,
     peak_mem: usize,
+    trace: Vec<TraceEvent>,
 }
 
 impl ParEmRunner {
@@ -97,11 +99,11 @@ impl ParEmRunner {
         {
             let mut txs_per_dst: Vec<Vec<Sender<Packet<P::Msg>>>> =
                 (0..p).map(|_| Vec::new()).collect();
-            for j in 0..p {
+            for txs in txs_per_dst.iter_mut() {
                 let (tx, rx) = unbounded();
                 data_rx.push(rx);
                 for _ in 0..p {
-                    txs_per_dst[j].push(tx.clone());
+                    txs.push(tx.clone());
                 }
             }
             for (i, row) in data_tx.iter_mut().enumerate() {
@@ -232,6 +234,7 @@ impl ParEmRunner {
         let mut io = IoStats::new(cfg.num_disks);
         let mut breakdown = IoBreakdown::default();
         let mut peak_mem = 0usize;
+        let mut io_trace = Vec::new();
         for w in outs.into_iter().map(|o| o.expect("missing worker result")) {
             finals.extend(w.finals);
             io.merge(&w.io);
@@ -240,6 +243,7 @@ impl ParEmRunner {
             breakdown.msg_ops += w.breakdown.msg_ops;
             breakdown.readout_ops += w.breakdown.readout_ops;
             peak_mem = peak_mem.max(w.peak_mem);
+            io_trace.extend(w.trace);
         }
 
         let report = EmRunReport {
@@ -252,6 +256,7 @@ impl ParEmRunner {
             peak_mem_bytes: peak_mem,
             cross_thread_items: cross_total,
             wall: start.elapsed(),
+            io_trace,
         };
         Ok((finals, report))
     }
@@ -273,7 +278,17 @@ fn worker<P: CgmProgram>(
     let my_range = block_range(v, p, t);
     let n_local = my_range.len();
     let geom = cfg.geometry();
-    let mut disks = DiskArray::new(geom);
+    // A backend that fails to open must not break the round protocol
+    // (the coordinator expects one control message per worker per
+    // round), so fall back to memory and report the error in round 0.
+    let mut setup_err = None;
+    let (mut disks, trace) = match cfg.build_disks(t) {
+        Ok(x) => x,
+        Err(e) => {
+            setup_err = Some(e);
+            (DiskArray::new(geom), None)
+        }
+    };
 
     let mut ctx_store =
         ContextStore::new(geom.num_disks, geom.block_bytes, 0, n_local, cfg.max_ctx_bytes);
@@ -294,11 +309,12 @@ fn worker<P: CgmProgram>(
     mats[1] = mk_mat(mat_base + tracks);
 
     // Input distribution.
-    let mut setup_err = None;
-    for (k, state) in states.into_iter().enumerate() {
-        if let Err(e) = ctx_store.write(&mut disks, k, &state.to_bytes()) {
-            setup_err = Some(e);
-            break;
+    if setup_err.is_none() {
+        for (k, state) in states.into_iter().enumerate() {
+            if let Err(e) = ctx_store.write(&mut disks, k, &state.to_bytes()) {
+                setup_err = Some(e);
+                break;
+            }
         }
     }
     let mut breakdown =
@@ -350,6 +366,15 @@ fn worker<P: CgmProgram>(
                     }
                 };
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
+
+                // Read-ahead: hint the next local vp's context and inbox
+                // while this one computes (no-op on synchronous
+                // backends; never counted as I/O).
+                if k + 1 < n_local {
+                    let mut hints = ctx_store.read_addrs(k + 1);
+                    hints.extend(mat_cur.read_addrs_for_dst(my_range.start + k + 1));
+                    disks.prefetch(&hints);
+                }
 
                 // (c) compute
                 let mut outbox = Outbox::new(v);
@@ -429,6 +454,14 @@ fn worker<P: CgmProgram>(
             breakdown.msg_ops += disks.stats().total_ops() - ops0;
         }
 
+        // Superstep barrier: drain write-behind, apply the durability
+        // policy, surface any deferred write error. Uncounted.
+        if phase_err.is_none() {
+            if let Err(e) = disks.flush(false) {
+                phase_err = Some(e.into());
+            }
+        }
+
         let report = match phase_err {
             Some(e) => Err(e),
             None => Ok(ctl),
@@ -453,7 +486,13 @@ fn worker<P: CgmProgram>(
     }
     breakdown.readout_ops = disks.stats().total_ops() - ops0;
 
-    Ok(WorkerOut { finals, io: disks.stats().clone(), breakdown, peak_mem })
+    Ok(WorkerOut {
+        finals,
+        io: disks.stats().clone(),
+        breakdown,
+        peak_mem,
+        trace: trace.map(|t| t.drain()).unwrap_or_default(),
+    })
 }
 
 #[cfg(test)]
@@ -562,6 +601,51 @@ mod tests {
         cfg.msg_slot_items = 10;
         let e = ParEmRunner::new(cfg).run(&prog, init()).unwrap_err();
         assert!(matches!(e, EmError::MsgSlotOverflow { .. }));
+    }
+
+    #[test]
+    fn concurrent_backend_matches_mem_across_p() {
+        // Per-worker engines (each with its own drive threads) must not
+        // change results or aggregate counts for any p.
+        let v = 8;
+        let prog = AllToAll { items_per_pair: 6 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let dir = cgmio_pdm::testutil::TempDir::new("cgmio-par-backends");
+        for p in [2usize, 3, 8] {
+            let base_cfg = config_for(&prog, init(), v, p, 2, 32);
+            let (want, want_rep) = ParEmRunner::new(base_cfg.clone()).run(&prog, init()).unwrap();
+            let mut cfg = base_cfg.clone();
+            cfg.backend = crate::BackendSpec::Concurrent {
+                dir: Some(dir.path().join(format!("p{p}"))),
+                opts: cgmio_io::IoEngineOpts { trace: true, ..Default::default() },
+            };
+            let (got, rep) = ParEmRunner::new(cfg).run(&prog, init()).unwrap();
+            assert_eq!(got, want, "p={p}");
+            assert_eq!(rep.io, want_rep.io, "p={p}");
+            assert_eq!(rep.breakdown, want_rep.breakdown, "p={p}");
+            // one trace event per physical block transfer, tagged by proc
+            let summary = cgmio_io::summarize(&rep.io_trace);
+            assert_eq!(summary.reads as u64, rep.io.blocks_read, "p={p}");
+            assert_eq!(summary.writes as u64, rep.io.blocks_written, "p={p}");
+            let procs: std::collections::BTreeSet<usize> =
+                rep.io_trace.iter().map(|e| e.proc).collect();
+            assert_eq!(procs.len(), p, "p={p}: every worker must contribute events");
+        }
+    }
+
+    #[test]
+    fn bad_backend_dir_fails_cleanly() {
+        // An unopenable backend must error out, not deadlock the round
+        // protocol.
+        let v = 4;
+        let prog = AllToAll { items_per_pair: 2 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let mut cfg = config_for(&prog, init(), v, 2, 1, 32);
+        cfg.backend = crate::BackendSpec::SyncFile {
+            dir: std::path::PathBuf::from("/proc/cgmio-definitely-not-writable"),
+        };
+        let e = ParEmRunner::new(cfg).run(&prog, init()).unwrap_err();
+        assert!(matches!(e, EmError::BadConfig(_)), "got {e:?}");
     }
 
     #[test]

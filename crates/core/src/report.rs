@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use cgmio_io::TraceEvent;
 use cgmio_model::CommCosts;
 use cgmio_pdm::{DiskGeometry, DiskTimingModel, IoStats};
 
@@ -52,6 +53,11 @@ pub struct EmRunReport {
     pub cross_thread_items: u64,
     /// Wall-clock time of the superstep loop.
     pub wall: Duration,
+    /// Physical I/O event trace, when the run used a
+    /// `BackendSpec::Concurrent` backend with `opts.trace` set (empty
+    /// otherwise). For `p > 1` the traces of all real processors are
+    /// concatenated; `TraceEvent::proc` tells them apart.
+    pub io_trace: Vec<TraceEvent>,
 }
 
 impl EmRunReport {
@@ -101,6 +107,7 @@ mod tests {
             peak_mem_bytes: 1234,
             cross_thread_items: 0,
             wall: Duration::ZERO,
+            io_trace: Vec::new(),
         }
     }
 

@@ -19,8 +19,10 @@
 use std::time::Instant;
 
 use cgmio_model::cost::round_cost_from_matrix;
-use cgmio_model::{CgmProgram, CommCosts, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status};
-use cgmio_pdm::{DiskArray, Item};
+use cgmio_model::{
+    CgmProgram, CommCosts, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status,
+};
+use cgmio_pdm::Item;
 
 use crate::config::EmConfig;
 use crate::context::ContextStore;
@@ -59,13 +61,21 @@ impl SeqEmRunner {
             )));
         }
         let geom = cfg.geometry();
-        let mut disks = DiskArray::new(geom);
+        let (mut disks, trace) = cfg.build_disks(0)?;
 
         let mut ctx_store =
             ContextStore::new(geom.num_disks, geom.block_bytes, 0, v, cfg.max_ctx_bytes);
         let mat_base = ctx_store.total_tracks();
         let mut mats: [MessageMatrix<P::Msg>; 2] = [
-            MessageMatrix::new(geom.num_disks, geom.block_bytes, mat_base, v, 0, v, cfg.msg_slot_items),
+            MessageMatrix::new(
+                geom.num_disks,
+                geom.block_bytes,
+                mat_base,
+                v,
+                0,
+                v,
+                cfg.msg_slot_items,
+            ),
             MessageMatrix::new(
                 geom.num_disks,
                 geom.block_bytes,
@@ -108,7 +118,7 @@ impl SeqEmRunner {
             let mut n_done = 0usize;
             let mut matrix_lens: Vec<Vec<usize>> = vec![vec![0; v]; v];
 
-            for pid in 0..v {
+            for (pid, matrix_row) in matrix_lens.iter_mut().enumerate() {
                 // (a) context in
                 let ops0 = disks.stats().total_ops();
                 let ctx_bytes = ctx_store.read(&mut disks, pid)?;
@@ -118,11 +128,23 @@ impl SeqEmRunner {
                 // (b) messages in
                 let ops0 = disks.stats().total_ops();
                 let (left, right) = mats.split_at_mut(1);
-                let (mat_cur, mat_next) =
-                    if cur == 0 { (&mut left[0], &mut right[0]) } else { (&mut right[0], &mut left[0]) };
+                let (mat_cur, mat_next) = if cur == 0 {
+                    (&mut left[0], &mut right[0])
+                } else {
+                    (&mut right[0], &mut left[0])
+                };
                 let inbox_items = mat_cur.received_items(pid);
                 let per_src = mat_cur.read_for_dst(&mut disks, pid)?;
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
+
+                // Read-ahead: while vp `pid` computes, hint the next
+                // vp's context and inbox to the backend (a no-op for
+                // synchronous backends; never counted as I/O).
+                if pid + 1 < v {
+                    let mut hints = ctx_store.read_addrs(pid + 1);
+                    hints.extend(mat_cur.read_addrs_for_dst(pid + 1));
+                    disks.prefetch(&hints);
+                }
 
                 // (c) compute
                 let mut outbox = Outbox::new(v);
@@ -150,8 +172,8 @@ impl SeqEmRunner {
 
                 // (d) messages out (staggered format, FIFO-packed)
                 let per_dst = outbox.into_per_dst();
-                for (dst, msg) in per_dst.iter().enumerate() {
-                    matrix_lens[pid][dst] = msg.len();
+                for (cell, msg) in matrix_row.iter_mut().zip(&per_dst) {
+                    *cell = msg.len();
                 }
                 let entries: Vec<(usize, usize, &[P::Msg])> = per_dst
                     .iter()
@@ -169,6 +191,10 @@ impl SeqEmRunner {
                 ctx_store.write(&mut disks, pid, &bytes)?;
                 breakdown.ctx_ops += disks.stats().total_ops() - ops0;
             }
+
+            // Superstep barrier: drain write-behind, apply the durability
+            // policy, surface any deferred write error. Uncounted.
+            disks.flush(false)?;
 
             let round_cost = round_cost_from_matrix(&matrix_lens);
             let sent_any = round_cost.total_items > 0;
@@ -209,6 +235,7 @@ impl SeqEmRunner {
             peak_mem_bytes: peak_mem,
             cross_thread_items: 0,
             wall,
+            io_trace: trace.map(|t| t.drain()).unwrap_or_default(),
         };
         Ok((finals, report))
     }
@@ -328,6 +355,59 @@ mod tests {
         let big = run(128);
         assert!(big <= small * 2 + 8, "small={small} big={big}");
         assert!(big >= small, "small={small} big={big}");
+    }
+
+    #[test]
+    fn concurrent_backend_matches_mem_exactly() {
+        // The asynchronous pipeline (read-ahead + write-behind) must not
+        // change results, I/O counts, or the op breakdown — only
+        // wall-clock behaviour.
+        let v = 6;
+        let prog = AllToAll { items_per_pair: 7 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let base_cfg = config_for(&prog, init(), v, 2, 32);
+        let (want, want_rep) = SeqEmRunner::new(base_cfg.clone()).run(&prog, init()).unwrap();
+
+        let dir = cgmio_pdm::testutil::TempDir::new("cgmio-seq-backends");
+        let backends = [
+            crate::BackendSpec::SyncFile { dir: dir.path().join("sync") },
+            crate::BackendSpec::Concurrent { dir: None, opts: Default::default() },
+            crate::BackendSpec::Concurrent {
+                dir: Some(dir.path().join("conc")),
+                opts: cgmio_io::IoEngineOpts {
+                    durability: cgmio_io::Durability::SyncPerSuperstep,
+                    trace: true,
+                    ..Default::default()
+                },
+            },
+        ];
+        for backend in backends {
+            let mut cfg = base_cfg.clone();
+            cfg.backend = backend;
+            let (got, rep) = SeqEmRunner::new(cfg).run(&prog, init()).unwrap();
+            assert_eq!(got, want);
+            assert_eq!(rep.io, want_rep.io);
+            assert_eq!(rep.breakdown, want_rep.breakdown);
+        }
+    }
+
+    #[test]
+    fn concurrent_backend_emits_trace() {
+        let v = 4;
+        let prog = AllToAll { items_per_pair: 4 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let mut cfg = config_for(&prog, init(), v, 2, 32);
+        cfg.backend = crate::BackendSpec::Concurrent {
+            dir: None,
+            opts: cgmio_io::IoEngineOpts { trace: true, ..Default::default() },
+        };
+        let (_, rep) = SeqEmRunner::new(cfg).run(&prog, init()).unwrap();
+        let summary = cgmio_io::summarize(&rep.io_trace);
+        // every counted block transfer appears as a physical event
+        assert_eq!(summary.reads as u64, rep.io.blocks_read);
+        assert_eq!(summary.writes as u64, rep.io.blocks_written);
+        assert!(summary.prefetches > 0, "read-ahead hints must reach the engine");
+        assert!(summary.cache_hits > 0, "prefetched blocks must satisfy demand reads");
     }
 
     #[test]

@@ -62,11 +62,11 @@ pub fn random_forest_parents(n: usize, avg_tree_size: usize, seed: u64) -> Vec<u
     let mut rng = StdRng::seed_from_u64(seed);
     let mut parent = vec![0u64; n];
     parent[0] = 0;
-    for i in 1..n {
+    for (i, p) in parent.iter_mut().enumerate().skip(1) {
         if rng.gen_range(0..avg_tree_size) == 0 {
-            parent[i] = i as u64; // new root
+            *p = i as u64; // new root
         } else {
-            parent[i] = rng.gen_range(0..i) as u64;
+            *p = rng.gen_range(0..i) as u64;
         }
     }
     parent

@@ -45,10 +45,10 @@ mod tests {
         let n = 23;
         let v = 5;
         let blocks = block_split((0..n as u32).collect::<Vec<_>>(), v);
-        for t in 0..v {
+        for (t, block) in blocks.iter().enumerate() {
             let r = block_split_ranges(n, v, t);
-            assert_eq!(blocks[t].len(), r.len());
-            assert_eq!(blocks[t].first().copied(), r.clone().next().map(|x| x as u32));
+            assert_eq!(block.len(), r.len());
+            assert_eq!(block.first().copied(), r.clone().next().map(|x| x as u32));
         }
     }
 

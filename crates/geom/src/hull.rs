@@ -26,7 +26,8 @@ pub fn convex_hull(pts: &[Point]) -> Vec<Point> {
     // upper hull
     let lower_len = hull.len() + 1;
     for &pt in p.iter().rev().skip(1) {
-        while hull.len() >= lower_len && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], pt) <= 0
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], pt) <= 0
         {
             hull.pop();
         }
@@ -62,9 +63,7 @@ pub fn inside_hull(hull: &[Point], q: Point) -> bool {
     if hull.len() < 3 {
         return false;
     }
-    hull.iter()
-        .zip(hull.iter().cycle().skip(1))
-        .all(|(&a, &b)| orient2d(a, b, q) > 0)
+    hull.iter().zip(hull.iter().cycle().skip(1)).all(|(&a, &b)| orient2d(a, b, q) > 0)
 }
 
 #[cfg(test)]

@@ -70,7 +70,8 @@ impl KdTree {
         }
         let qc = if axis == 0 { q.0 } else { q.1 };
         let pc = if axis == 0 { p.0 } else { p.1 };
-        let (near, far) = if qc <= pc { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
+        let (near, far) =
+            if qc <= pc { ((lo, mid), (mid + 1, hi)) } else { ((mid + 1, hi), (lo, mid)) };
         self.search(near.0, near.1, 1 - axis, q, exclude, best);
         let plane = (qc - pc) as i128 * (qc - pc) as i128;
         if best.map(|(_, bd)| plane <= bd).unwrap_or(true) {
@@ -84,13 +85,16 @@ fn build_rec(pairs: &mut [(Point, u32)], axis: usize) {
         return;
     }
     let mid = pairs.len() / 2;
-    pairs.select_nth_unstable_by_key(mid, |&(p, i)| {
-        if axis == 0 {
-            (p.0, p.1, i)
-        } else {
-            (p.1, p.0, i)
-        }
-    });
+    pairs.select_nth_unstable_by_key(
+        mid,
+        |&(p, i)| {
+            if axis == 0 {
+                (p.0, p.1, i)
+            } else {
+                (p.1, p.0, i)
+            }
+        },
+    );
     let (l, r) = pairs.split_at_mut(mid);
     build_rec(l, 1 - axis);
     build_rec(&mut r[1..], 1 - axis);
@@ -130,8 +134,8 @@ mod tests {
         for seed in 0..4u64 {
             let pts = random_points(300, 100, seed); // dense => distance ties occur
             let nn = all_nearest_neighbors(&pts);
-            for i in 0..pts.len() {
-                assert_eq!(nn[i], naive_nn(&pts, i), "seed {seed} i {i}");
+            for (i, &got) in nn.iter().enumerate() {
+                assert_eq!(got, naive_nn(&pts, i), "seed {seed} i {i}");
             }
         }
     }
@@ -154,9 +158,9 @@ mod tests {
     fn collinear_points() {
         let pts: Vec<Point> = (0..10).map(|i| (i * i, 0)).collect(); // growing gaps
         let nn = all_nearest_neighbors(&pts);
-        for i in 1..10usize {
+        for (i, &got) in nn.iter().enumerate().skip(1) {
             // nearest of point i is i-1 (previous gap smaller than next)
-            assert_eq!(nn[i], (i - 1) as u32, "i={i}");
+            assert_eq!(got, (i - 1) as u32, "i={i}");
         }
         assert_eq!(nn[0], 1);
     }

@@ -53,11 +53,7 @@ pub fn maxima_3d_naive(pts: &[(i64, i64, i64)]) -> Vec<usize> {
     (0..pts.len())
         .filter(|&i| {
             !pts.iter().enumerate().any(|(j, q)| {
-                j != i
-                    && q.0 >= pts[i].0
-                    && q.1 >= pts[i].1
-                    && q.2 >= pts[i].2
-                    && *q != pts[i]
+                j != i && q.0 >= pts[i].0 && q.1 >= pts[i].1 && q.2 >= pts[i].2 && *q != pts[i]
             })
         })
         .collect()

@@ -86,9 +86,8 @@ pub fn sweep_point_location(segs: &[(Point, Point)], queries: &[Point]) -> Vec<O
             Ev::Query => {
                 let q = queries[id as usize];
                 // highest active segment with y <= q.y at x
-                let pos = active.partition_point(|&a| {
-                    seg_y_cmp(segs[a as usize], x, q.1) != Ordering::Greater
-                });
+                let pos = active
+                    .partition_point(|&a| seg_y_cmp(segs[a as usize], x, q.1) != Ordering::Greater);
                 out[id as usize] = pos.checked_sub(1).map(|p| active[p]);
             }
         }

@@ -148,8 +148,7 @@ mod tests {
         let rects: Vec<IRect> =
             random_rects(40, 100, 9).into_iter().map(|r| (r.x1, r.y1, r.x2, r.y2)).collect();
         let a = union_area(&rects);
-        let sum: i128 =
-            rects.iter().map(|r| (r.2 - r.0) as i128 * (r.3 - r.1) as i128).sum();
+        let sum: i128 = rects.iter().map(|r| (r.2 - r.0) as i128 * (r.3 - r.1) as i128).sum();
         assert!(a <= sum);
         assert!(a <= 100 * 100);
         assert!(a > 0);

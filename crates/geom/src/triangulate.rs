@@ -52,9 +52,7 @@ pub fn triangulate_points(pts: &[Point]) -> Vec<(u32, u32, u32)> {
 
 /// Total doubled area of a triangle list (exact).
 pub fn doubled_area(pts: &[Point], tris: &[(u32, u32, u32)]) -> i128 {
-    tris.iter()
-        .map(|&(a, b, c)| orient2d(pts[a as usize], pts[b as usize], pts[c as usize]))
-        .sum()
+    tris.iter().map(|&(a, b, c)| orient2d(pts[a as usize], pts[b as usize], pts[c as usize])).sum()
 }
 
 #[cfg(test)]

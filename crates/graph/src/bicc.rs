@@ -1,7 +1,6 @@
 //! Biconnected components and articulation points (iterative Tarjan),
 //! reference semantics for the CGM Tarjan–Vishkin program.
 
-
 /// Assign every edge a biconnected-component id. Returns
 /// `(component_id_per_edge, component_count)`; edge order matches the
 /// input slice. Isolated vertices contribute no edges.
@@ -137,7 +136,8 @@ mod tests {
     fn naive_articulation(n: usize, edges: &[(u64, u64)], v: u64) -> bool {
         let comp_before = {
             let l = cc_labels(n, edges);
-            let mut u: Vec<u64> = (0..n as u64).filter(|&x| x != v).map(|x| l[x as usize]).collect();
+            let mut u: Vec<u64> =
+                (0..n as u64).filter(|&x| x != v).map(|x| l[x as usize]).collect();
             u.sort_unstable();
             u.dedup();
             u.len()
@@ -146,7 +146,8 @@ mod tests {
             edges.iter().copied().filter(|&(a, b)| a != v && b != v).collect();
         let comp_after = {
             let l = cc_labels(n, &filtered);
-            let mut u: Vec<u64> = (0..n as u64).filter(|&x| x != v).map(|x| l[x as usize]).collect();
+            let mut u: Vec<u64> =
+                (0..n as u64).filter(|&x| x != v).map(|x| l[x as usize]).collect();
             u.sort_unstable();
             u.dedup();
             u.len()
@@ -162,11 +163,7 @@ mod tests {
             let art = articulation_points(n, &edges);
             for v in 0..n as u64 {
                 // skip isolated vertices (no incident edges): both give false
-                assert_eq!(
-                    art[v as usize],
-                    naive_articulation(n, &edges, v),
-                    "seed {seed} v {v}"
-                );
+                assert_eq!(art[v as usize], naive_articulation(n, &edges, v), "seed {seed} v {v}");
             }
         }
     }

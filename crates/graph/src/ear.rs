@@ -102,7 +102,7 @@ pub fn open_ear_decomposition(n: usize, edges: &[(u64, u64)]) -> Option<EarDecom
             }
         }
     }
-    if ear_of_edge.iter().any(|&e| e == u32::MAX) {
+    if ear_of_edge.contains(&u32::MAX) {
         return None; // a tree edge covered by no non-tree edge = bridge
     }
     Some(EarDecomposition { ear_of_edge, num_ears: nontree.len() as u32 })
@@ -150,7 +150,7 @@ mod tests {
                     }
                 }
             }
-            for (&v, _) in &deg {
+            for &v in deg.keys() {
                 on_earlier[v as usize].get_or_insert(ear);
             }
         }
@@ -200,10 +200,10 @@ mod tests {
         for seed in 0..8u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let n = 30;
-            let mut edges: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, (i + 1) % n as u64)).collect();
-            let mut seen: std::collections::HashSet<(u64, u64)> = edges.iter().copied()
-                .map(|(a, b)| (a.min(b), a.max(b)))
-                .collect();
+            let mut edges: Vec<(u64, u64)> =
+                (0..n as u64).map(|i| (i, (i + 1) % n as u64)).collect();
+            let mut seen: std::collections::HashSet<(u64, u64)> =
+                edges.iter().copied().map(|(a, b)| (a.min(b), a.max(b))).collect();
             for _ in 0..20 {
                 let a = rng.gen_range(0..n as u64);
                 let b = rng.gen_range(0..n as u64);

@@ -1,0 +1,542 @@
+//! The concurrent I/O engine: one worker thread + bounded submission
+//! queue per simulated drive.
+//!
+//! A PDM parallel operation touches at most one track per disk, so the
+//! `D` block transfers of one legal operation land on `D` different
+//! workers and proceed concurrently — the simulation finally *behaves*
+//! like the model it counts: one parallel op ≈ one physical op time.
+//!
+//! On top of the per-drive queues the engine layers:
+//!
+//! * **write-behind** — `write_batch` returns once the blocks are
+//!   queued; the bounded queue (`IoEngineOpts::queue_depth`) provides
+//!   backpressure, and write errors are held sticky until the next
+//!   write or flush surfaces them,
+//! * **prefetch** — `prefetch` enqueues background reads into a small
+//!   per-drive cache; a later demand read of the same track is a cache
+//!   hit. Hints are dropped (never block) when a queue is full,
+//! * **coherence for free** — each drive's queue is FIFO, so a demand
+//!   read submitted after a write-behind of the same track always sees
+//!   the new data, with no extra locking,
+//! * **durability modes** — [`Durability::SyncPerSuperstep`] makes every
+//!   flush fsync the drive files (in parallel, one fsync per worker);
+//!   [`Durability::None`] leaves persistence to the OS page cache,
+//! * **graceful shutdown** — dropping the engine closes the queues;
+//!   workers drain every already-submitted op before exiting, and the
+//!   drop joins them.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use cgmio_pdm::{DiskGeometry, FileStorage, TrackAddr, TrackStorage};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use crate::trace::{OpKind, TraceEvent, TraceHandle};
+
+/// When data must reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Never fsync; persistence is best-effort (fastest, the default —
+    /// the simulation's results don't depend on surviving power loss).
+    #[default]
+    None,
+    /// Every flush (the runners flush once per superstep) fsyncs all
+    /// drive files before returning.
+    SyncPerSuperstep,
+}
+
+/// Tuning knobs for [`ConcurrentStorage`].
+#[derive(Debug, Clone)]
+pub struct IoEngineOpts {
+    /// Capacity of each drive's submission queue; a full queue makes
+    /// writers block (backpressure) and prefetch hints get dropped.
+    pub queue_depth: usize,
+    /// Blocks each drive's prefetch cache may hold (FIFO eviction).
+    pub prefetch_cache_blocks: usize,
+    /// Durability mode applied on flush.
+    pub durability: Durability,
+    /// Record an I/O event trace (see [`crate::trace`]).
+    pub trace: bool,
+    /// Simulated processor index stamped into trace events.
+    pub proc: usize,
+}
+
+impl Default for IoEngineOpts {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            prefetch_cache_blocks: 16,
+            durability: Durability::None,
+            trace: false,
+            proc: 0,
+        }
+    }
+}
+
+/// One queued drive operation. `submit_us`/`seq` are 0 unless tracing.
+enum DriveOp {
+    Read { track: u64, reply: Sender<io::Result<Vec<u8>>>, seq: u64, submit_us: u64 },
+    Write { track: u64, data: Vec<u8>, seq: u64, submit_us: u64 },
+    Prefetch { track: u64, seq: u64, submit_us: u64 },
+    Flush { sync: bool, reply: Sender<io::Result<()>>, seq: u64, submit_us: u64 },
+}
+
+/// [`TrackStorage`] that services each drive from its own worker thread.
+///
+/// Layers over any inner `TrackStorage` (normally a [`FileStorage`]; the
+/// tests also wrap instrumented and in-memory backends). Drop-in behind
+/// `DiskArray::with_storage` — logical I/O accounting is unchanged
+/// because the accounting layer sits above the storage trait.
+pub struct ConcurrentStorage {
+    inner: Arc<dyn TrackStorage>,
+    queues: Vec<Sender<DriveOp>>,
+    workers: Vec<JoinHandle<()>>,
+    write_err: Arc<Mutex<Option<String>>>,
+    durability: Durability,
+    trace: Option<TraceHandle>,
+}
+
+impl ConcurrentStorage {
+    /// Spin up one worker per drive over an existing backend.
+    pub fn new(inner: Arc<dyn TrackStorage>, num_disks: usize, opts: IoEngineOpts) -> Self {
+        let write_err = Arc::new(Mutex::new(None));
+        let trace = opts.trace.then(TraceHandle::new);
+        let mut queues = Vec::with_capacity(num_disks);
+        let mut workers = Vec::with_capacity(num_disks);
+        for drive in 0..num_disks {
+            let (tx, rx) = bounded(opts.queue_depth);
+            let ctx = WorkerCtx {
+                drive,
+                proc: opts.proc,
+                inner: inner.clone(),
+                write_err: write_err.clone(),
+                trace: trace.clone(),
+                cache_cap: opts.prefetch_cache_blocks,
+            };
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cgmio-io-d{drive}"))
+                    .spawn(move || ctx.run(rx))
+                    .expect("spawn drive worker"),
+            );
+            queues.push(tx);
+        }
+        Self { inner, queues, workers, write_err, durability: opts.durability, trace }
+    }
+
+    /// Open (or create) file-backed drives in `dir` and run them through
+    /// the concurrent engine.
+    pub fn open_dir(dir: &Path, geom: DiskGeometry, opts: IoEngineOpts) -> io::Result<Self> {
+        let fs = FileStorage::open(dir, geom)?;
+        Ok(Self::new(Arc::new(fs), geom.num_disks, opts))
+    }
+
+    /// Handle onto the event trace, if `opts.trace` was set. Clone it
+    /// before moving the storage into a `DiskArray`.
+    pub fn trace_handle(&self) -> Option<TraceHandle> {
+        self.trace.clone()
+    }
+
+    fn stamp(&self) -> (u64, u64) {
+        match &self.trace {
+            Some(t) => (t.next_seq(), t.now_us()),
+            None => (0, 0),
+        }
+    }
+
+    fn take_write_err(&self) -> io::Result<()> {
+        match self.write_err.lock().unwrap().take() {
+            Some(msg) => Err(io::Error::other(format!("deferred write failed: {msg}"))),
+            None => Ok(()),
+        }
+    }
+
+    fn submit(&self, drive: usize, op: DriveOp) -> io::Result<()> {
+        self.queues[drive]
+            .send(op)
+            .map_err(|_| io::Error::other(format!("drive {drive} worker is gone")))
+    }
+}
+
+impl TrackStorage for ConcurrentStorage {
+    fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>> {
+        self.read_batch(&[TrackAddr::new(disk, track)]).map(|mut v| v.pop().unwrap())
+    }
+
+    fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()> {
+        self.write_batch(&[(TrackAddr::new(disk, track), data)])
+    }
+
+    /// Submit every read of the (legal) operation before awaiting any
+    /// reply: the transfers overlap across drives.
+    fn read_batch(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
+        let mut replies = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            let (tx, rx) = bounded(1);
+            let (seq, submit_us) = self.stamp();
+            self.submit(a.disk, DriveOp::Read { track: a.track, reply: tx, seq, submit_us })?;
+            replies.push(rx);
+        }
+        replies
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| io::Error::other("drive worker died mid-read"))?)
+            .collect()
+    }
+
+    /// Write-behind: returns once all blocks are queued. Errors from
+    /// earlier deferred writes surface here (or at flush).
+    fn write_batch(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+        self.take_write_err()?;
+        for (a, data) in writes {
+            let (seq, submit_us) = self.stamp();
+            self.submit(
+                a.disk,
+                DriveOp::Write { track: a.track, data: data.to_vec(), seq, submit_us },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Best-effort hint; a full queue drops it rather than blocking.
+    fn prefetch(&self, addrs: &[TrackAddr]) {
+        for a in addrs {
+            let (seq, submit_us) = self.stamp();
+            match self.queues[a.disk].try_send(DriveOp::Prefetch { track: a.track, seq, submit_us })
+            {
+                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
+
+    /// Drain every drive's queue (in parallel), fsync when the
+    /// durability mode demands it, and surface deferred write errors.
+    fn flush(&self, sync: bool) -> io::Result<()> {
+        let fsync = sync || self.durability == Durability::SyncPerSuperstep;
+        let mut replies = Vec::with_capacity(self.queues.len());
+        for drive in 0..self.queues.len() {
+            let (tx, rx) = bounded(1);
+            let (seq, submit_us) = self.stamp();
+            self.submit(drive, DriveOp::Flush { sync: fsync, reply: tx, seq, submit_us })?;
+            replies.push(rx);
+        }
+        for rx in replies {
+            rx.recv().map_err(|_| io::Error::other("drive worker died mid-flush"))??;
+        }
+        self.take_write_err()
+    }
+
+    fn sync_disk(&self, disk: usize) -> io::Result<()> {
+        let (tx, rx) = bounded(1);
+        let (seq, submit_us) = self.stamp();
+        self.submit(disk, DriveOp::Flush { sync: true, reply: tx, seq, submit_us })?;
+        rx.recv().map_err(|_| io::Error::other("drive worker died mid-sync"))?
+    }
+
+    fn tracks_used(&self) -> Vec<u64> {
+        // Drain pending writes so file lengths are current; a deferred
+        // error stays sticky for the next write/flush to report.
+        let _ = self.flush(false);
+        self.inner.tracks_used()
+    }
+}
+
+impl Drop for ConcurrentStorage {
+    /// Graceful shutdown: close the queues, let every worker drain its
+    /// remaining submitted ops, and join them.
+    fn drop(&mut self) {
+        self.queues.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Per-drive worker state.
+struct WorkerCtx {
+    drive: usize,
+    proc: usize,
+    inner: Arc<dyn TrackStorage>,
+    write_err: Arc<Mutex<Option<String>>>,
+    trace: Option<TraceHandle>,
+    cache_cap: usize,
+}
+
+impl WorkerCtx {
+    fn run(self, rx: Receiver<DriveOp>) {
+        // Prefetch cache: worker-local, so no locks. FIFO eviction.
+        let mut cache: HashMap<u64, Vec<u8>> = HashMap::new();
+        let mut order: VecDeque<u64> = VecDeque::new();
+        // recv() drains already-queued ops even after the engine dropped
+        // its senders, then errors out — that's the graceful shutdown.
+        while let Ok(op) = rx.recv() {
+            let depth = rx.len();
+            match op {
+                DriveOp::Read { track, reply, seq, submit_us } => {
+                    let start_us = self.now_us();
+                    let (res, hit) = match cache.get(&track) {
+                        Some(data) => (Ok(data.clone()), true),
+                        None => (self.inner.read_track(self.drive, track), false),
+                    };
+                    let bytes = res.as_ref().map(|d| d.len()).unwrap_or(0);
+                    // Record before replying so a caller that observed
+                    // the result also observes the trace event.
+                    self.record(OpKind::Read, track, bytes, depth, seq, submit_us, start_us, hit);
+                    // The engine may already have given up on this read;
+                    // a closed reply channel is not an error.
+                    let _ = reply.send(res);
+                }
+                DriveOp::Write { track, data, seq, submit_us } => {
+                    let start_us = self.now_us();
+                    // FIFO order makes later reads see this write; the
+                    // cache entry is stale either way, so drop it.
+                    if cache.remove(&track).is_some() {
+                        order.retain(|&t| t != track);
+                    }
+                    let bytes = data.len();
+                    if let Err(e) = self.inner.write_track(self.drive, track, &data) {
+                        self.write_err.lock().unwrap().get_or_insert(e.to_string());
+                    }
+                    self.record(
+                        OpKind::Write,
+                        track,
+                        bytes,
+                        depth,
+                        seq,
+                        submit_us,
+                        start_us,
+                        false,
+                    );
+                }
+                DriveOp::Prefetch { track, seq, submit_us } => {
+                    let start_us = self.now_us();
+                    let hit = cache.contains_key(&track);
+                    let mut bytes = 0;
+                    if !hit && self.cache_cap > 0 {
+                        // Failed prefetches are dropped: the demand read
+                        // will retry and report any real error.
+                        if let Ok(data) = self.inner.read_track(self.drive, track) {
+                            bytes = data.len();
+                            if order.len() >= self.cache_cap {
+                                if let Some(old) = order.pop_front() {
+                                    cache.remove(&old);
+                                }
+                            }
+                            cache.insert(track, data);
+                            order.push_back(track);
+                        }
+                    }
+                    self.record(
+                        OpKind::Prefetch,
+                        track,
+                        bytes,
+                        depth,
+                        seq,
+                        submit_us,
+                        start_us,
+                        hit,
+                    );
+                }
+                DriveOp::Flush { sync, reply, seq, submit_us } => {
+                    let start_us = self.now_us();
+                    let res = if sync { self.inner.sync_disk(self.drive) } else { Ok(()) };
+                    self.record(OpKind::Flush, 0, 0, depth, seq, submit_us, start_us, false);
+                    let _ = reply.send(res);
+                }
+            }
+        }
+    }
+
+    fn now_us(&self) -> u64 {
+        self.trace.as_ref().map(|t| t.now_us()).unwrap_or(0)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &self,
+        kind: OpKind,
+        track: u64,
+        bytes: usize,
+        queue_depth: usize,
+        seq: u64,
+        submit_us: u64,
+        start_us: u64,
+        cache_hit: bool,
+    ) {
+        if let Some(t) = &self.trace {
+            t.record(TraceEvent {
+                seq,
+                proc: self.proc,
+                drive: self.drive,
+                kind,
+                track,
+                bytes,
+                queue_depth,
+                submit_us,
+                start_us,
+                end_us: t.now_us(),
+                cache_hit,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgmio_pdm::{DiskArray, MemStorage};
+
+    fn engine(d: usize, bb: usize, opts: IoEngineOpts) -> ConcurrentStorage {
+        let geom = DiskGeometry::new(d, bb);
+        ConcurrentStorage::new(Arc::new(MemStorage::new(geom)), d, opts)
+    }
+
+    #[test]
+    fn roundtrip_through_workers() {
+        let s = engine(2, 4, IoEngineOpts::default());
+        s.write_batch(&[(TrackAddr::new(0, 0), &[1u8, 2][..]), (TrackAddr::new(1, 7), &[3u8][..])])
+            .unwrap();
+        let r = s.read_batch(&[TrackAddr::new(0, 0), TrackAddr::new(1, 7)]).unwrap();
+        assert_eq!(r, vec![vec![1, 2, 0, 0], vec![3, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn read_after_write_behind_is_coherent() {
+        let s = engine(1, 2, IoEngineOpts::default());
+        // Hammer the same track: the demand read must always see the
+        // write submitted just before it (per-drive FIFO ordering).
+        for i in 0..200u8 {
+            s.write_track(0, 0, &[i]).unwrap();
+            assert_eq!(s.read_track(0, 0).unwrap(), vec![i, 0]);
+        }
+    }
+
+    #[test]
+    fn prefetch_hits_cache_and_write_invalidates() {
+        let opts = IoEngineOpts { trace: true, ..Default::default() };
+        let s = engine(1, 2, opts);
+        let t = s.trace_handle().unwrap();
+        s.write_track(0, 3, &[9]).unwrap();
+        s.prefetch(&[TrackAddr::new(0, 3)]);
+        s.flush(false).unwrap();
+        assert_eq!(s.read_track(0, 3).unwrap(), vec![9, 0]);
+        // write invalidates; next read must see fresh data, not cache
+        s.write_track(0, 3, &[8]).unwrap();
+        assert_eq!(s.read_track(0, 3).unwrap(), vec![8, 0]);
+        let evs = t.snapshot();
+        let hits: Vec<bool> =
+            evs.iter().filter(|e| e.kind == OpKind::Read).map(|e| e.cache_hit).collect();
+        assert_eq!(hits, vec![true, false], "first read hits prefetch, post-write read misses");
+    }
+
+    #[test]
+    fn flush_drains_write_behind() {
+        let geom = DiskGeometry::new(2, 4);
+        let inner: Arc<dyn TrackStorage> = Arc::new(MemStorage::new(geom));
+        let s = ConcurrentStorage::new(inner.clone(), 2, IoEngineOpts::default());
+        for t in 0..50 {
+            s.write_batch(&[
+                (TrackAddr::new(0, t), &[1u8][..]),
+                (TrackAddr::new(1, t), &[2u8][..]),
+            ])
+            .unwrap();
+        }
+        s.flush(false).unwrap();
+        // After flush every submitted write has reached the inner store.
+        assert_eq!(inner.tracks_used(), vec![50, 50]);
+    }
+
+    #[test]
+    fn drop_drains_in_flight_writes() {
+        let geom = DiskGeometry::new(1, 4);
+        let inner: Arc<dyn TrackStorage> = Arc::new(MemStorage::new(geom));
+        {
+            let s = ConcurrentStorage::new(inner.clone(), 1, IoEngineOpts::default());
+            for t in 0..30 {
+                s.write_track(0, t, &[7]).unwrap();
+            }
+            // no flush: Drop must drain
+        }
+        assert_eq!(inner.tracks_used(), vec![30]);
+        assert_eq!(inner.read_track(0, 29).unwrap(), vec![7, 0, 0, 0]);
+    }
+
+    #[test]
+    fn deferred_write_error_is_sticky_until_surfaced() {
+        struct FailingWrites;
+        impl TrackStorage for FailingWrites {
+            fn read_track(&self, _d: usize, _t: u64) -> io::Result<Vec<u8>> {
+                Ok(vec![0; 4])
+            }
+            fn write_track(&self, _d: usize, _t: u64, _data: &[u8]) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                vec![0]
+            }
+        }
+        let s = ConcurrentStorage::new(Arc::new(FailingWrites), 1, IoEngineOpts::default());
+        // submission itself succeeds (write-behind)...
+        s.write_track(0, 0, &[1]).unwrap();
+        // ...the failure surfaces at the flush barrier
+        let e = s.flush(false).unwrap_err();
+        assert!(e.to_string().contains("disk full"), "{e}");
+        // and the engine recovers once reported
+        s.flush(false).unwrap();
+    }
+
+    #[test]
+    fn durability_mode_fsyncs_on_flush() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CountSyncs(AtomicUsize);
+        impl TrackStorage for CountSyncs {
+            fn read_track(&self, _d: usize, _t: u64) -> io::Result<Vec<u8>> {
+                Ok(vec![0; 4])
+            }
+            fn write_track(&self, _d: usize, _t: u64, _data: &[u8]) -> io::Result<()> {
+                Ok(())
+            }
+            fn sync_disk(&self, _disk: usize) -> io::Result<()> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                vec![0, 0]
+            }
+        }
+        let counted = Arc::new(CountSyncs(AtomicUsize::new(0)));
+        let opts = IoEngineOpts { durability: Durability::SyncPerSuperstep, ..Default::default() };
+        let s = ConcurrentStorage::new(counted.clone() as Arc<dyn TrackStorage>, 2, opts);
+        s.flush(false).unwrap();
+        assert_eq!(counted.0.load(Ordering::SeqCst), 2, "one fsync per drive");
+
+        let lax = Arc::new(CountSyncs(AtomicUsize::new(0)));
+        let s2 = ConcurrentStorage::new(
+            lax.clone() as Arc<dyn TrackStorage>,
+            2,
+            IoEngineOpts::default(),
+        );
+        s2.flush(false).unwrap();
+        assert_eq!(lax.0.load(Ordering::SeqCst), 0, "Durability::None never fsyncs");
+    }
+
+    #[test]
+    fn works_behind_disk_array_with_identical_accounting() {
+        let geom = DiskGeometry::new(2, 4);
+        let s = engine(2, 4, IoEngineOpts::default());
+        let mut arr = DiskArray::with_storage(geom, Box::new(s));
+        arr.parallel_write(&[
+            (TrackAddr::new(0, 0), &[1u8][..]),
+            (TrackAddr::new(1, 0), &[2u8][..]),
+        ])
+        .unwrap();
+        let r = arr.parallel_read(&[TrackAddr::new(0, 0), TrackAddr::new(1, 0)]).unwrap();
+        assert_eq!(r[0], vec![1, 0, 0, 0]);
+        assert_eq!(r[1], vec![2, 0, 0, 0]);
+        assert_eq!(arr.stats().total_ops(), 2);
+        assert_eq!(arr.stats().full_ops, 2);
+        assert_eq!(arr.stats().per_disk_blocks, vec![2, 2]);
+    }
+}

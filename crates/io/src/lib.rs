@@ -1,0 +1,31 @@
+//! # cgmio-io — concurrent parallel-disk I/O engine
+//!
+//! The PDM substrate in `cgmio-pdm` *counts* parallel I/O operations; it
+//! does not *perform* them in parallel. This crate adds the missing
+//! physical concurrency behind the same [`cgmio_pdm::TrackStorage`]
+//! trait, so a legal parallel operation's ≤ `D` block transfers really
+//! overlap in time:
+//!
+//! * [`ConcurrentStorage`] — one worker thread + bounded submission
+//!   queue per simulated drive, with write-behind, a per-drive prefetch
+//!   cache, configurable [`Durability`], and graceful shutdown that
+//!   drains in-flight writes,
+//! * [`trace`] — an opt-in I/O event trace (per-op latency, queue depth,
+//!   bytes, cache hits) exportable as JSONL or CSV.
+//!
+//! The engine is a drop-in behind `DiskArray::with_storage`: legality
+//! checks ("≤ 1 track per disk per op") and [`cgmio_pdm::IoStats`]
+//! accounting live above the storage trait, so counts are identical to
+//! the synchronous backends — only wall-clock behaviour changes. The
+//! EM-CGM runners in `cgmio-core` use it to read the next virtual
+//! processor's context ahead of the current one's compute step and to
+//! write contexts/messages behind it (the asynchronous pipeline the
+//! paper's physical prototype relied on).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod trace;
+
+pub use engine::{ConcurrentStorage, Durability, IoEngineOpts};
+pub use trace::{summarize, write_csv, write_jsonl, OpKind, TraceEvent, TraceHandle, TraceSummary};

@@ -1,0 +1,304 @@
+//! I/O event trace: one record per physical transfer the concurrent
+//! engine services, with queue depth and per-op latency.
+//!
+//! Tracing is opt-in (see `IoEngineOpts::trace`) and deliberately cheap:
+//! a worker appends one struct to a shared vector per op. Timestamps are
+//! microseconds since the engine's creation, so traces from one run are
+//! directly comparable across drives and processors.
+//!
+//! Export is hand-rolled JSONL / CSV — the records are flat, so neither
+//! needs a serialisation framework.
+
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What a traced operation did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Demand read (counted as I/O by the cost model).
+    Read,
+    /// Write-behind write (counted when submitted).
+    Write,
+    /// Background prefetch (a hint; never counted).
+    Prefetch,
+    /// Pipeline drain / fsync barrier.
+    Flush,
+}
+
+impl OpKind {
+    /// Stable lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Prefetch => "prefetch",
+            OpKind::Flush => "flush",
+        }
+    }
+}
+
+/// One serviced drive operation.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Global submission order across all drives of this engine.
+    pub seq: u64,
+    /// Simulated processor the engine belongs to.
+    pub proc: usize,
+    /// Drive that serviced the op.
+    pub drive: usize,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Track addressed (0 for flushes).
+    pub track: u64,
+    /// Payload bytes moved.
+    pub bytes: usize,
+    /// Ops still queued on this drive when this op started service.
+    pub queue_depth: usize,
+    /// Microseconds since engine creation when the op was submitted.
+    pub submit_us: u64,
+    /// When the drive worker started servicing it.
+    pub start_us: u64,
+    /// When service completed.
+    pub end_us: u64,
+    /// Whether a read/prefetch was satisfied from the prefetch cache.
+    pub cache_hit: bool,
+}
+
+impl TraceEvent {
+    /// Service time in microseconds.
+    pub fn service_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Total latency (queueing + service) in microseconds.
+    pub fn latency_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.submit_us)
+    }
+}
+
+struct TraceShared {
+    epoch: Instant,
+    seq: AtomicU64,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// Clonable handle onto an engine's trace buffer. Clone it *before*
+/// boxing the storage into a `DiskArray`; the handle stays valid for the
+/// engine's whole lifetime.
+#[derive(Clone)]
+pub struct TraceHandle(Arc<TraceShared>);
+
+impl TraceHandle {
+    /// Fresh, empty trace buffer; `epoch` is "now".
+    pub fn new() -> Self {
+        Self(Arc::new(TraceShared {
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Microseconds elapsed since the engine's epoch.
+    pub fn now_us(&self) -> u64 {
+        self.0.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Claim the next global sequence number.
+    pub fn next_seq(&self) -> u64 {
+        self.0.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append one event.
+    pub fn record(&self, ev: TraceEvent) {
+        self.0.events.lock().unwrap().push(ev);
+    }
+
+    /// Copy out all events so far, sorted by submission order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut evs = self.0.events.lock().unwrap().clone();
+        evs.sort_by_key(|e| e.seq);
+        evs
+    }
+
+    /// Move out all events so far (the buffer is left empty).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut evs = std::mem::take(&mut *self.0.events.lock().unwrap());
+        evs.sort_by_key(|e| e.seq);
+        evs
+    }
+}
+
+impl Default for TraceHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Write events as JSON Lines: one flat object per line.
+pub fn write_jsonl(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
+    for e in events {
+        writeln!(
+            w,
+            "{{\"seq\":{},\"proc\":{},\"drive\":{},\"kind\":\"{}\",\"track\":{},\
+             \"bytes\":{},\"queue_depth\":{},\"submit_us\":{},\"start_us\":{},\
+             \"end_us\":{},\"cache_hit\":{}}}",
+            e.seq,
+            e.proc,
+            e.drive,
+            e.kind.name(),
+            e.track,
+            e.bytes,
+            e.queue_depth,
+            e.submit_us,
+            e.start_us,
+            e.end_us,
+            e.cache_hit
+        )?;
+    }
+    Ok(())
+}
+
+/// Write events as CSV with a header row.
+pub fn write_csv(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
+    writeln!(w, "seq,proc,drive,kind,track,bytes,queue_depth,submit_us,start_us,end_us,cache_hit")?;
+    for e in events {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            e.seq,
+            e.proc,
+            e.drive,
+            e.kind.name(),
+            e.track,
+            e.bytes,
+            e.queue_depth,
+            e.submit_us,
+            e.start_us,
+            e.end_us,
+            e.cache_hit
+        )?;
+    }
+    Ok(())
+}
+
+/// Aggregate view of a trace (for quick reporting without spreadsheet
+/// tooling).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Demand reads serviced.
+    pub reads: usize,
+    /// Writes serviced.
+    pub writes: usize,
+    /// Prefetches serviced.
+    pub prefetches: usize,
+    /// Reads + prefetches satisfied from the cache.
+    pub cache_hits: usize,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+    /// Maximum queue depth observed at service start.
+    pub max_queue_depth: usize,
+    /// Mean demand-read latency (queue + service), microseconds.
+    pub mean_read_latency_us: u64,
+}
+
+/// Summarise a trace.
+pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
+    let mut s = TraceSummary::default();
+    let mut read_lat = 0u64;
+    for e in events {
+        match e.kind {
+            OpKind::Read => {
+                s.reads += 1;
+                read_lat += e.latency_us();
+            }
+            OpKind::Write => s.writes += 1,
+            OpKind::Prefetch => s.prefetches += 1,
+            OpKind::Flush => {}
+        }
+        if e.cache_hit {
+            s.cache_hits += 1;
+        }
+        s.bytes += e.bytes as u64;
+        s.max_queue_depth = s.max_queue_depth.max(e.queue_depth);
+    }
+    if s.reads > 0 {
+        s.mean_read_latency_us = read_lat / s.reads as u64;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, kind: OpKind, hit: bool) -> TraceEvent {
+        TraceEvent {
+            seq,
+            proc: 0,
+            drive: seq as usize % 2,
+            kind,
+            track: seq,
+            bytes: 8,
+            queue_depth: seq as usize,
+            submit_us: 10 * seq,
+            start_us: 10 * seq + 1,
+            end_us: 10 * seq + 5,
+            cache_hit: hit,
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut buf = Vec::new();
+        write_jsonl(&[ev(0, OpKind::Read, false), ev(1, OpKind::Write, false)], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"seq\":0,"));
+        assert!(lines[0].contains("\"kind\":\"read\""));
+        assert!(lines[1].contains("\"kind\":\"write\""));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut buf = Vec::new();
+        write_csv(&[ev(0, OpKind::Prefetch, true)], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("seq,proc,drive,kind"));
+        assert!(lines[1].contains(",prefetch,"));
+        assert!(lines[1].ends_with("true"));
+    }
+
+    #[test]
+    fn summary_counts_and_latency() {
+        let evs = vec![
+            ev(0, OpKind::Read, false),
+            ev(1, OpKind::Read, true),
+            ev(2, OpKind::Write, false),
+        ];
+        let s = summarize(&evs);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert_eq!(s.bytes, 24);
+        assert_eq!(s.max_queue_depth, 2);
+        // latency = end - submit = 5 for every op
+        assert_eq!(s.mean_read_latency_us, 5);
+    }
+
+    #[test]
+    fn handle_snapshot_sorts_by_seq() {
+        let t = TraceHandle::new();
+        t.record(ev(1, OpKind::Read, false));
+        t.record(ev(0, OpKind::Write, false));
+        let evs = t.snapshot();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(t.drain().len(), 2);
+        assert!(t.snapshot().is_empty());
+    }
+}

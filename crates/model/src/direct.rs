@@ -37,8 +37,7 @@ impl DirectRunner {
             let mut outs: Vec<Vec<Vec<P::Msg>>> = Vec::with_capacity(v);
             let mut n_done = 0usize;
 
-            let old_inboxes =
-                std::mem::replace(&mut inboxes, Vec::new());
+            let old_inboxes = std::mem::take(&mut inboxes);
             for (pid, (state, inbox)) in states.iter_mut().zip(old_inboxes).enumerate() {
                 let mut outbox = Outbox::new(v);
                 let mut ctx = RoundCtx { pid, v, round, incoming: inbox, outbox: &mut outbox };
@@ -126,7 +125,8 @@ mod tests {
     fn all_to_all_delivers_in_source_order() {
         let v = 6;
         let states: Vec<Vec<u64>> = (0..v).map(|_| Vec::new()).collect();
-        let (fin, costs) = DirectRunner::default().run(&AllToAll { items_per_pair: 3 }, states).unwrap();
+        let (fin, costs) =
+            DirectRunner::default().run(&AllToAll { items_per_pair: 3 }, states).unwrap();
         for (dst, s) in fin.iter().enumerate() {
             let expect: Vec<u64> = (0..v)
                 .flat_map(|src| (0..3).map(move |k| (src * v + dst) as u64 * 10 + k))

@@ -34,7 +34,7 @@ pub use cost::{CommCosts, RoundCost};
 pub use direct::DirectRunner;
 pub use program::{CgmProgram, Incoming, Outbox, RoundCtx, Status};
 pub use state::{Decoder, Encoder, ProcState};
-pub use threaded::{ThreadedRunner, ThreadedRunReport};
+pub use threaded::{ThreadedRunReport, ThreadedRunner};
 
 /// Errors produced by the model runners.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -101,11 +101,11 @@ impl ThreadedRunner {
         {
             let mut txs_per_dst: Vec<Vec<Sender<Packet<P::Msg>>>> =
                 (0..p).map(|_| Vec::new()).collect();
-            for j in 0..p {
+            for txs in txs_per_dst.iter_mut() {
                 let (tx, rx) = unbounded();
                 data_rx.push(rx);
                 for _i in 0..p {
-                    txs_per_dst[j].push(tx.clone());
+                    txs.push(tx.clone());
                 }
             }
             // reorganise: data_tx[i][j]
@@ -186,7 +186,11 @@ impl ThreadedRunner {
                         max_received: ctl.max_received,
                         total_items: ctl.sent_total,
                         max_message: ctl.max_message,
-                        min_message: if ctl.min_message == usize::MAX { 0 } else { ctl.min_message },
+                        min_message: if ctl.min_message == usize::MAX {
+                            0
+                        } else {
+                            ctl.min_message
+                        },
                     });
                 }
                 let decision = if ctl.n_done == v {
@@ -370,9 +374,7 @@ mod tests {
     fn matches_direct_runner_on_prefix_sum() {
         let v = 6;
         let init = || {
-            (0..v as u64)
-                .map(|i| ((0..=i).collect::<Vec<u64>>(), Vec::new()))
-                .collect::<Vec<_>>()
+            (0..v as u64).map(|i| ((0..=i).collect::<Vec<u64>>(), Vec::new())).collect::<Vec<_>>()
         };
         let (d, _) = DirectRunner::default().run(&PrefixSum, init()).unwrap();
         let (t, _) = ThreadedRunner::new(3).run(&PrefixSum, init()).unwrap();

@@ -9,6 +9,7 @@
 
 use crate::file_backend::FileStorage;
 use crate::stats::IoStats;
+use crate::storage::{MemStorage, TrackStorage};
 use crate::DiskGeometry;
 
 /// Address of one block: drive index plus track number on that drive.
@@ -82,13 +83,6 @@ impl std::fmt::Display for IoError {
 
 impl std::error::Error for IoError {}
 
-enum Storage {
-    /// In-memory tracks, allocated on demand. `None` reads as zeros.
-    Mem(Vec<Vec<Option<Box<[u8]>>>>),
-    /// Real files, one per drive.
-    File(FileStorage),
-}
-
 /// A `D`-drive disk array with exact parallel-I/O accounting.
 ///
 /// ```
@@ -105,25 +99,28 @@ enum Storage {
 /// ```
 pub struct DiskArray {
     geom: DiskGeometry,
-    storage: Storage,
+    storage: Box<dyn TrackStorage>,
     stats: IoStats,
 }
 
 impl DiskArray {
     /// Create an in-memory disk array.
     pub fn new(geom: DiskGeometry) -> Self {
-        Self {
-            storage: Storage::Mem(vec![Vec::new(); geom.num_disks]),
-            stats: IoStats::new(geom.num_disks),
-            geom,
-        }
+        Self::with_storage(geom, Box::new(MemStorage::new(geom)))
     }
 
     /// Create a disk array backed by real files in `dir` (one file per
     /// drive). I/O accounting is identical to the in-memory backend.
     pub fn new_file_backed(geom: DiskGeometry, dir: &std::path::Path) -> Result<Self, IoError> {
         let fs = FileStorage::open(dir, geom).map_err(|e| IoError::Backend(e.to_string()))?;
-        Ok(Self { storage: Storage::File(fs), stats: IoStats::new(geom.num_disks), geom })
+        Ok(Self::with_storage(geom, Box::new(fs)))
+    }
+
+    /// Create a disk array over an arbitrary [`TrackStorage`] backend
+    /// (e.g. `cgmio_io::ConcurrentStorage`). The accounting and legality
+    /// layer is identical for every backend.
+    pub fn with_storage(geom: DiskGeometry, storage: Box<dyn TrackStorage>) -> Self {
+        Self { storage, stats: IoStats::new(geom.num_disks), geom }
     }
 
     /// The array geometry.
@@ -143,10 +140,21 @@ impl DiskArray {
 
     /// Highest allocated track per disk (diagnostics / disk-space audit).
     pub fn tracks_used(&self) -> Vec<u64> {
-        match &self.storage {
-            Storage::Mem(disks) => disks.iter().map(|d| d.len() as u64).collect(),
-            Storage::File(fs) => fs.tracks_used(),
-        }
+        self.storage.tracks_used()
+    }
+
+    /// Hint that these tracks will be read soon. Free in the cost model
+    /// (no [`IoStats`] change) and a no-op on synchronous backends; the
+    /// concurrent backend starts fetching them in the background.
+    pub fn prefetch(&self, addrs: &[TrackAddr]) {
+        self.storage.prefetch(addrs);
+    }
+
+    /// Drain the backend's write pipeline, surfacing any deferred write
+    /// error; with `sync` also force data to stable storage. Free in the
+    /// cost model — write-behind I/Os were already counted when issued.
+    pub fn flush(&self, sync: bool) -> Result<(), IoError> {
+        self.storage.flush(sync).map_err(|e| IoError::Backend(e.to_string()))
     }
 
     fn check_op(&self, addrs: impl Iterator<Item = TrackAddr>) -> Result<usize, IoError> {
@@ -172,23 +180,11 @@ impl DiskArray {
         if n == 0 {
             return Ok(Vec::new());
         }
-        let bb = self.geom.block_bytes;
-        let mut out = Vec::with_capacity(addrs.len());
+        // Legality established above: ≤ 1 track per disk, so the backend
+        // may issue the transfers of this operation concurrently.
+        let out = self.storage.read_batch(addrs).map_err(|e| IoError::Backend(e.to_string()))?;
         for a in addrs {
-            let block = match &mut self.storage {
-                Storage::Mem(disks) => {
-                    let disk = &disks[a.disk];
-                    disk.get(a.track as usize)
-                        .and_then(|t| t.as_ref())
-                        .map(|t| t.to_vec())
-                        .unwrap_or_else(|| vec![0u8; bb])
-                }
-                Storage::File(fs) => {
-                    fs.read_track(a.disk, a.track).map_err(|e| IoError::Backend(e.to_string()))?
-                }
-            };
             self.stats.per_disk_blocks[a.disk] += 1;
-            out.push(block);
         }
         self.stats.record_read(n, self.geom.num_disks);
         Ok(out)
@@ -207,23 +203,8 @@ impl DiskArray {
                 return Err(IoError::BlockTooLarge { len: data.len(), block_bytes: bb });
             }
         }
-        for (a, data) in writes {
-            match &mut self.storage {
-                Storage::Mem(disks) => {
-                    let disk = &mut disks[a.disk];
-                    let idx = a.track as usize;
-                    if disk.len() <= idx {
-                        disk.resize_with(idx + 1, || None);
-                    }
-                    let mut block = vec![0u8; bb].into_boxed_slice();
-                    block[..data.len()].copy_from_slice(data);
-                    disk[idx] = Some(block);
-                }
-                Storage::File(fs) => {
-                    fs.write_track(a.disk, a.track, data)
-                        .map_err(|e| IoError::Backend(e.to_string()))?;
-                }
-            }
+        self.storage.write_batch(writes).map_err(|e| IoError::Backend(e.to_string()))?;
+        for (a, _) in writes {
             self.stats.per_disk_blocks[a.disk] += 1;
         }
         self.stats.record_write(n, self.geom.num_disks);
@@ -366,8 +347,7 @@ mod tests {
     #[test]
     fn fifo_read_matches_write_order() {
         let mut a = arr(3, 2);
-        let addrs: Vec<TrackAddr> =
-            (0..7).map(|i| TrackAddr::new(i % 3, (i / 3) as u64)).collect();
+        let addrs: Vec<TrackAddr> = (0..7).map(|i| TrackAddr::new(i % 3, (i / 3) as u64)).collect();
         for (i, &ad) in addrs.iter().enumerate() {
             a.parallel_write(&[(ad, &[i as u8, 0][..])]).unwrap();
         }

@@ -4,17 +4,26 @@
 //! backend exists so the same simulation code paths can be exercised
 //! against a real filesystem (the paper's prototype ran on physical
 //! disks). Tracks map to file offsets `track * block_bytes`.
+//!
+//! All I/O uses position-independent [`FileExt::read_at`] /
+//! [`FileExt::write_at`], so a `FileStorage` is `Sync` and can serve
+//! several drives' worker threads concurrently without seek races —
+//! which is what `cgmio_io::ConcurrentStorage` layers on top of.
 
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
 
+use crate::storage::TrackStorage;
 use crate::DiskGeometry;
 
 /// File-backed track storage for a disk array.
 pub struct FileStorage {
     files: Vec<File>,
     block_bytes: usize,
+    /// One block of zeros, allocated once and shared by every short
+    /// write's tail padding (writes never exceed a block).
+    zeros: Box<[u8]>,
 }
 
 impl FileStorage {
@@ -26,21 +35,30 @@ impl FileStorage {
             let path = dir.join(format!("disk{d}.dat"));
             // keep existing contents: reopening an array must see the
             // previously written tracks
-            let f = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+            let f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(path)?;
             files.push(f);
         }
-        Ok(Self { files, block_bytes: geom.block_bytes })
+        Ok(Self {
+            files,
+            block_bytes: geom.block_bytes,
+            zeros: vec![0u8; geom.block_bytes].into_boxed_slice(),
+        })
     }
 
     /// Read one track; short reads (past EOF) are zero-filled, matching
     /// the in-memory backend's fresh-disk semantics.
-    pub fn read_track(&mut self, disk: usize, track: u64) -> std::io::Result<Vec<u8>> {
-        let f = &mut self.files[disk];
-        f.seek(SeekFrom::Start(track * self.block_bytes as u64))?;
+    pub fn read_track(&self, disk: usize, track: u64) -> std::io::Result<Vec<u8>> {
+        let f = &self.files[disk];
+        let off = track * self.block_bytes as u64;
         let mut buf = vec![0u8; self.block_bytes];
         let mut read = 0;
         while read < buf.len() {
-            match f.read(&mut buf[read..])? {
+            match f.read_at(&mut buf[read..], off + read as u64)? {
                 0 => break,
                 n => read += n,
             }
@@ -49,15 +67,19 @@ impl FileStorage {
     }
 
     /// Write one track (zero-padding short payloads).
-    pub fn write_track(&mut self, disk: usize, track: u64, data: &[u8]) -> std::io::Result<()> {
-        let f = &mut self.files[disk];
-        f.seek(SeekFrom::Start(track * self.block_bytes as u64))?;
-        f.write_all(data)?;
+    pub fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> std::io::Result<()> {
+        let f = &self.files[disk];
+        let off = track * self.block_bytes as u64;
+        f.write_all_at(data, off)?;
         if data.len() < self.block_bytes {
-            let pad = vec![0u8; self.block_bytes - data.len()];
-            f.write_all(&pad)?;
+            f.write_all_at(&self.zeros[data.len()..], off + data.len() as u64)?;
         }
         Ok(())
+    }
+
+    /// Force one drive's data to stable storage.
+    pub fn sync_disk(&self, disk: usize) -> std::io::Result<()> {
+        self.files[disk].sync_all()
     }
 
     /// Allocated track count per drive, derived from file lengths.
@@ -69,16 +91,44 @@ impl FileStorage {
     }
 }
 
+impl TrackStorage for FileStorage {
+    fn read_track(&self, disk: usize, track: u64) -> std::io::Result<Vec<u8>> {
+        FileStorage::read_track(self, disk, track)
+    }
+
+    fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> std::io::Result<()> {
+        FileStorage::write_track(self, disk, track, data)
+    }
+
+    fn flush(&self, sync: bool) -> std::io::Result<()> {
+        if sync {
+            for d in 0..self.files.len() {
+                self.sync_disk(d)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn sync_disk(&self, disk: usize) -> std::io::Result<()> {
+        FileStorage::sync_disk(self, disk)
+    }
+
+    fn tracks_used(&self) -> Vec<u64> {
+        FileStorage::tracks_used(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::TempDir;
     use crate::{DiskArray, TrackAddr};
 
     #[test]
     fn file_backed_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("cgmio-fb-{}", std::process::id()));
+        let dir = TempDir::new("cgmio-fb");
         let geom = DiskGeometry::new(2, 16);
-        let mut a = DiskArray::new_file_backed(geom, &dir).unwrap();
+        let mut a = DiskArray::new_file_backed(geom, dir.path()).unwrap();
         a.parallel_write(&[
             (TrackAddr::new(0, 3), &[7u8; 16][..]),
             (TrackAddr::new(1, 0), &[8u8; 8][..]),
@@ -92,21 +142,49 @@ mod tests {
         let r = a.parallel_read(&[TrackAddr::new(0, 100)]).unwrap();
         assert_eq!(r[0], vec![0u8; 16]);
         assert_eq!(a.stats().total_ops(), 3);
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn reopen_preserves_data() {
-        let dir = std::env::temp_dir().join(format!("cgmio-fb2-{}", std::process::id()));
+        let dir = TempDir::new("cgmio-fb2");
         let geom = DiskGeometry::new(1, 8);
         {
-            let mut a = DiskArray::new_file_backed(geom, &dir).unwrap();
+            let mut a = DiskArray::new_file_backed(geom, dir.path()).unwrap();
             a.parallel_write(&[(TrackAddr::new(0, 1), &[5u8; 8][..])]).unwrap();
         }
-        let mut b = DiskArray::new_file_backed(geom, &dir).unwrap();
+        let mut b = DiskArray::new_file_backed(geom, dir.path()).unwrap();
         let r = b.parallel_read(&[TrackAddr::new(0, 1)]).unwrap();
         assert_eq!(r[0], vec![5u8; 8]);
         assert_eq!(b.tracks_used(), vec![2]);
-        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwrite_pads_stale_tail_with_zeros() {
+        let dir = TempDir::new("cgmio-fb3");
+        let s = FileStorage::open(dir.path(), DiskGeometry::new(1, 8)).unwrap();
+        s.write_track(0, 0, &[0xFF; 8]).unwrap();
+        s.write_track(0, 0, &[1, 2]).unwrap();
+        assert_eq!(s.read_track(0, 0).unwrap(), vec![1, 2, 0, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn concurrent_positioned_io_has_no_seek_races() {
+        let dir = TempDir::new("cgmio-fb4");
+        let s =
+            std::sync::Arc::new(FileStorage::open(dir.path(), DiskGeometry::new(1, 8)).unwrap());
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        s.write_track(0, t, &[t as u8; 8]).unwrap();
+                        assert_eq!(s.read_track(0, t).unwrap(), vec![t as u8; 8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -15,16 +15,29 @@ use crate::disk::TrackAddr;
 /// the `q`-th block of a stream is placed on disk `(d + q) mod D`, track
 /// `T0 + (d + q) / D`, where `T0` is the base track and `d` the disk
 /// offset of the stream's first block.
-pub fn consecutive_addr(num_disks: usize, base_track: u64, disk_offset: usize, q: u64) -> TrackAddr {
+pub fn consecutive_addr(
+    num_disks: usize,
+    base_track: u64,
+    disk_offset: usize,
+    q: u64,
+) -> TrackAddr {
     let idx = disk_offset as u64 + q;
-    TrackAddr { disk: (idx % num_disks as u64) as usize, track: base_track + idx / num_disks as u64 }
+    TrackAddr {
+        disk: (idx % num_disks as u64) as usize,
+        track: base_track + idx / num_disks as u64,
+    }
 }
 
 /// The staggered format: identical arithmetic to [`consecutive_addr`] but
 /// with a caller-chosen per-band disk offset (the paper staggers band `j`
 /// by `j·b′ mod D`). Provided as a named alias for readability at call
 /// sites that deal with the message matrix.
-pub fn staggered_addr(num_disks: usize, base_track: u64, band_disk_offset: usize, q: u64) -> TrackAddr {
+pub fn staggered_addr(
+    num_disks: usize,
+    base_track: u64,
+    band_disk_offset: usize,
+    q: u64,
+) -> TrackAddr {
     consecutive_addr(num_disks, base_track, band_disk_offset, q)
 }
 
@@ -117,16 +130,14 @@ impl MessageMatrixLayout {
     /// The block addresses written by source `src`, in the order it emits
     /// them (destination 0 first, `b′` blocks each).
     pub fn write_order_for_src(&self, src: usize) -> impl Iterator<Item = TrackAddr> + '_ {
-        (0..self.v).flat_map(move |dst| {
-            (0..self.blocks_per_msg).map(move |q| self.addr(src, dst, q))
-        })
+        (0..self.v)
+            .flat_map(move |dst| (0..self.blocks_per_msg).map(move |q| self.addr(src, dst, q)))
     }
 
     /// The block addresses read by destination `dst`, in source order.
     pub fn read_order_for_dst(&self, dst: usize) -> impl Iterator<Item = TrackAddr> + '_ {
-        (0..self.v).flat_map(move |src| {
-            (0..self.blocks_per_msg).map(move |q| self.addr(src, dst, q))
-        })
+        (0..self.v)
+            .flat_map(move |src| (0..self.blocks_per_msg).map(move |q| self.addr(src, dst, q)))
     }
 }
 
@@ -154,7 +165,8 @@ mod tests {
     fn writer_sequences_are_round_robin() {
         for d in [1usize, 2, 3, 4, 5, 8] {
             for bpm in [1u64, 2, 3, 7] {
-                let m = MessageMatrixLayout { num_disks: d, v: 6, blocks_per_msg: bpm, base_track: 4 };
+                let m =
+                    MessageMatrixLayout { num_disks: d, v: 6, blocks_per_msg: bpm, base_track: 4 };
                 for src in 0..6 {
                     let addrs: Vec<_> = m.write_order_for_src(src).collect();
                     assert!(round_robin(&addrs, d), "D={d} b'={bpm} src={src}");
@@ -167,7 +179,8 @@ mod tests {
     fn reader_sequences_are_round_robin() {
         for d in [1usize, 2, 3, 4, 5, 8] {
             for bpm in [1u64, 2, 3, 7] {
-                let m = MessageMatrixLayout { num_disks: d, v: 6, blocks_per_msg: bpm, base_track: 0 };
+                let m =
+                    MessageMatrixLayout { num_disks: d, v: 6, blocks_per_msg: bpm, base_track: 0 };
                 for dst in 0..6 {
                     let addrs: Vec<_> = m.read_order_for_dst(dst).collect();
                     assert!(round_robin(&addrs, d), "D={d} b'={bpm} dst={dst}");

@@ -27,6 +27,9 @@
 //! * [`paged`] — an LRU demand-paging simulator standing in for the
 //!   "virtual memory" baseline of the paper's Figure 3 and for the cache
 //!   extension of its Section 5,
+//! * [`storage`] — the [`TrackStorage`] trait the array's byte-moving is
+//!   delegated to, with the in-memory backend; the concurrent engine in
+//!   the `cgmio-io` crate plugs in through the same trait,
 //! * [`file_backend`] — an optional real-file backend so the same code
 //!   paths can be exercised against a filesystem.
 
@@ -38,13 +41,17 @@ pub mod item;
 pub mod layout;
 pub mod paged;
 pub mod stats;
+pub mod storage;
+pub mod testutil;
 pub mod timing;
 
 pub use disk::{DiskArray, IoError, IoRequest, TrackAddr};
+pub use file_backend::FileStorage;
 pub use item::Item;
 pub use layout::{consecutive_addr, staggered_addr, Layout, MessageMatrixLayout};
 pub use paged::PagedStore;
 pub use stats::IoStats;
+pub use storage::{MemStorage, TrackStorage};
 pub use timing::DiskTimingModel;
 
 /// Geometry of a disk array: number of drives and block size.

@@ -1,0 +1,150 @@
+//! Pluggable track storage behind [`crate::DiskArray`].
+//!
+//! The accounting layer (legality checks, [`crate::IoStats`]) lives in
+//! `DiskArray` and is backend-agnostic; a [`TrackStorage`] only moves
+//! bytes. Three backends exist:
+//!
+//! * [`MemStorage`] (here) — tracks in memory, the default,
+//! * [`crate::file_backend::FileStorage`] — one file per drive, synchronous,
+//! * `cgmio_io::ConcurrentStorage` — per-drive worker threads with
+//!   prefetch and write-behind, layered on `FileStorage`.
+//!
+//! All methods take `&self` so a storage can be driven from per-drive
+//! worker threads; backends provide their own interior mutability.
+
+use std::io;
+use std::sync::Mutex;
+
+use crate::disk::TrackAddr;
+use crate::DiskGeometry;
+
+/// Byte-moving backend for a [`crate::DiskArray`].
+///
+/// Contract (relied on by the equivalence tests across backends):
+///
+/// * a track reads back the last data written to it, zero-padded to the
+///   block size; never-written tracks read as zeros,
+/// * `write_track` is only called with `data.len() <= block_bytes`
+///   (`DiskArray` rejects larger payloads before reaching the backend),
+/// * [`TrackStorage::read_batch`] / [`TrackStorage::write_batch`] receive
+///   at most one track per disk (the PDM legality rule) — backends may
+///   exploit this to issue the transfers concurrently,
+/// * [`TrackStorage::prefetch`] is a pure hint: it must not change
+///   observable contents and completes in the background if at all,
+/// * after [`TrackStorage::flush`] returns, every previously submitted
+///   write has been applied (and any deferred write error is reported).
+pub trait TrackStorage: Send + Sync {
+    /// Read one track, zero-filled to the block size.
+    fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>>;
+
+    /// Write one track (short payloads are zero-padded on disk).
+    fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()>;
+
+    /// Read several tracks — at most one per disk — returning contents in
+    /// request order. Backends with real parallelism overlap the
+    /// transfers; the default does them sequentially.
+    fn read_batch(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
+        addrs.iter().map(|a| self.read_track(a.disk, a.track)).collect()
+    }
+
+    /// Write several tracks, at most one per disk.
+    fn write_batch(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+        for (a, data) in writes {
+            self.write_track(a.disk, a.track, data)?;
+        }
+        Ok(())
+    }
+
+    /// Hint that these tracks will be read soon. Never counted as I/O.
+    fn prefetch(&self, _addrs: &[TrackAddr]) {}
+
+    /// Wait for all submitted writes to be applied, surfacing any
+    /// deferred error; `sync` additionally forces data to stable storage
+    /// (fsync) where the backend has such a notion.
+    fn flush(&self, _sync: bool) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Force one drive's data to stable storage. Lets per-drive worker
+    /// threads fsync only their own file; default is a no-op (in-memory
+    /// backends have no stable storage).
+    fn sync_disk(&self, _disk: usize) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Highest allocated track count per drive (diagnostics).
+    fn tracks_used(&self) -> Vec<u64>;
+}
+
+/// One drive's tracks, allocated on demand (`None` reads as zeros).
+type DriveTracks = Vec<Option<Box<[u8]>>>;
+
+/// In-memory [`TrackStorage`]: tracks allocated on demand, `None` reads
+/// as zeros. Per-disk locks keep it `Sync` without serialising disks
+/// against each other.
+pub struct MemStorage {
+    disks: Vec<Mutex<DriveTracks>>,
+    block_bytes: usize,
+}
+
+impl MemStorage {
+    /// Empty storage for `geom.num_disks` drives.
+    pub fn new(geom: DiskGeometry) -> Self {
+        Self {
+            disks: (0..geom.num_disks).map(|_| Mutex::new(Vec::new())).collect(),
+            block_bytes: geom.block_bytes,
+        }
+    }
+}
+
+impl TrackStorage for MemStorage {
+    fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>> {
+        let tracks = self.disks[disk].lock().unwrap();
+        Ok(tracks
+            .get(track as usize)
+            .and_then(|t| t.as_ref())
+            .map(|t| t.to_vec())
+            .unwrap_or_else(|| vec![0u8; self.block_bytes]))
+    }
+
+    fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()> {
+        let mut tracks = self.disks[disk].lock().unwrap();
+        let idx = track as usize;
+        if tracks.len() <= idx {
+            tracks.resize_with(idx + 1, || None);
+        }
+        let mut block = vec![0u8; self.block_bytes].into_boxed_slice();
+        block[..data.len()].copy_from_slice(data);
+        tracks[idx] = Some(block);
+        Ok(())
+    }
+
+    fn tracks_used(&self) -> Vec<u64> {
+        self.disks.iter().map(|d| d.lock().unwrap().len() as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_roundtrip_and_zero_fill() {
+        let s = MemStorage::new(DiskGeometry::new(2, 4));
+        s.write_track(1, 3, &[7, 8]).unwrap();
+        assert_eq!(s.read_track(1, 3).unwrap(), vec![7, 8, 0, 0]);
+        assert_eq!(s.read_track(0, 0).unwrap(), vec![0; 4]);
+        assert_eq!(s.tracks_used(), vec![0, 4]);
+    }
+
+    #[test]
+    fn batch_defaults_preserve_order() {
+        let s = MemStorage::new(DiskGeometry::new(3, 2));
+        s.write_batch(&[(TrackAddr::new(2, 0), &[2u8][..]), (TrackAddr::new(0, 0), &[0u8][..])])
+            .unwrap();
+        let r = s
+            .read_batch(&[TrackAddr::new(0, 0), TrackAddr::new(1, 0), TrackAddr::new(2, 0)])
+            .unwrap();
+        assert_eq!(r, vec![vec![0, 0], vec![0, 0], vec![2, 0]]);
+    }
+}

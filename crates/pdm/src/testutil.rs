@@ -1,0 +1,57 @@
+//! Test support shared across the workspace's crates.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A temp directory removed on drop — including when the owning test
+/// panics, so failing file-backend tests don't leak directories into
+/// the system temp dir.
+pub struct TempDir {
+    path: PathBuf,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Create a fresh, uniquely named directory under the system temp
+    /// dir. `prefix` keeps leaked-by-SIGKILL leftovers identifiable.
+    pub fn new(prefix: &str) -> Self {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!("{prefix}-{}-{id}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("create temp dir");
+        Self { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removed_on_drop() {
+        let path = {
+            let d = TempDir::new("cgmio-tmp-test");
+            std::fs::write(d.path().join("f"), b"x").unwrap();
+            d.path().to_path_buf()
+        };
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn unique_per_instance() {
+        let a = TempDir::new("cgmio-tmp-uniq");
+        let b = TempDir::new("cgmio-tmp-uniq");
+        assert_ne!(a.path(), b.path());
+    }
+}

@@ -12,8 +12,8 @@
 //! hop can re-bin it and the final receiver can reassemble messages in
 //! exact send order.
 
-use cgmio_pdm::Item;
 use cgmio_model::{CgmProgram, Incoming, Outbox, RoundCtx, Status};
+use cgmio_pdm::Item;
 
 /// Wire format of a routed item: `(src, final_dst, seq, payload)`.
 pub type Routed<M> = (u32, u32, u64, M);

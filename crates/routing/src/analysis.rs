@@ -142,8 +142,8 @@ mod tests {
             for k in 0..v {
                 let h_k: usize = lens.iter().map(|r| r[k]).sum();
                 let b = theorem1_bounds(h_k, v);
-                for j in 0..v {
-                    let s = sb[j][k] as i64;
+                for (j, row) in sb.iter().enumerate() {
+                    let s = row[k] as i64;
                     prop_assert!((v as i64) * s >= b.v_times_min,
                         "v={v} j={j} k={k} s={s} h={h_k}");
                     prop_assert!((v as i64) * s <= b.v_times_max);

@@ -71,7 +71,14 @@ fn main() {
         }
         // one final streaming merge pass touches each line once in and once out
         transfers += 2 * (n * 8 / line) as u64;
-        println!("  N = {:>7}: {:>8} transfers  ({:.2} per item)", n, transfers, transfers as f64 / n as f64);
+        println!(
+            "  N = {:>7}: {:>8} transfers  ({:.2} per item)",
+            n,
+            transfers,
+            transfers as f64 / n as f64
+        );
     }
-    println!("\nthe tiled (coarse-grained) structure holds misses/item flat — the Section 5 claim.");
+    println!(
+        "\nthe tiled (coarse-grained) structure holds misses/item flat — the Section 5 claim."
+    );
 }

@@ -17,12 +17,8 @@ fn main() {
     let n = 200_000;
     let v = 16;
     let keys = uniform_u64(n, 11);
-    let mk = || {
-        block_split(keys.clone(), v)
-            .into_iter()
-            .map(|b| (b, Vec::new()))
-            .collect::<Vec<_>>()
-    };
+    let mk =
+        || block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>();
     let prog = CgmSort::<u64>::by_pivots();
     let model = DiskTimingModel::nineties_disk();
 
@@ -64,7 +60,10 @@ fn main() {
     let (_, rep) = SeqEmRunner::new(cfg).run(&prog, mk()).unwrap();
     println!(
         "\nbreakdown (p=1, D=4): setup {} | contexts {} | messages {} | readout {}",
-        rep.breakdown.setup_ops, rep.breakdown.ctx_ops, rep.breakdown.msg_ops, rep.breakdown.readout_ops
+        rep.breakdown.setup_ops,
+        rep.breakdown.ctx_ops,
+        rep.breakdown.msg_ops,
+        rep.breakdown.readout_ops
     );
 }
 

@@ -75,10 +75,7 @@ fn main() {
         .map(|r| [r.x1, r.y1, r.x2, r.y2])
         .collect();
     let mk = || {
-        data::block_split(rects.clone(), v)
-            .into_iter()
-            .map(|b| (b, Vec::new()))
-            .collect::<Vec<_>>()
+        data::block_split(rects.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
     };
     let (fin, rep) = run_seq_em(&CgmUnionArea, mk, v, d, bb);
     println!(

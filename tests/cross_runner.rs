@@ -73,12 +73,7 @@ fn transpose_agrees_everywhere() {
     let m = data::uniform_u64(k * l, 4);
     assert_all_runners_agree(
         &CgmTranspose,
-        || {
-            data::block_split(m.clone(), v)
-                .into_iter()
-                .map(|b| (b, k as u64, l as u64))
-                .collect()
-        },
+        || data::block_split(m.clone(), v).into_iter().map(|b| (b, k as u64, l as u64)).collect(),
         "transpose",
     );
 }
@@ -96,10 +91,8 @@ fn convex_hull_agrees_everywhere() {
 
 #[test]
 fn union_area_agrees_everywhere() {
-    let rects: Vec<[i64; 4]> = data::random_rects(600, 5_000, 6)
-        .into_iter()
-        .map(|r| [r.x1, r.y1, r.x2, r.y2])
-        .collect();
+    let rects: Vec<[i64; 4]> =
+        data::random_rects(600, 5_000, 6).into_iter().map(|r| [r.x1, r.y1, r.x2, r.y2]).collect();
     let v = 5;
     assert_all_runners_agree(
         &CgmUnionArea,
@@ -135,11 +128,8 @@ fn interval_stab_agrees_everywhere() {
 #[test]
 fn dominance_agrees_everywhere() {
     let pts = data::random_points(800, 2_000, 8);
-    let rows: Vec<[i64; 4]> = pts
-        .iter()
-        .enumerate()
-        .map(|(i, &(x, y))| [i as i64, x, y, (i % 9) as i64])
-        .collect();
+    let rows: Vec<[i64; 4]> =
+        pts.iter().enumerate().map(|(i, &(x, y))| [i as i64, x, y, (i % 9) as i64]).collect();
     let v = 5;
     assert_all_runners_agree(
         &CgmDominance,
@@ -178,9 +168,7 @@ fn euler_tour_agrees_everywhere() {
         || {
             data::block_split(parent.clone(), v)
                 .into_iter()
-                .map(|b| {
-                    ((vec![1000u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new()))
-                })
+                .map(|b| ((vec![1000u64], b, Vec::new()), (Vec::new(), Vec::new(), Vec::new())))
                 .collect()
         },
         "euler_tour",
@@ -199,9 +187,7 @@ fn connectivity_agrees_everywhere() {
             let eb = data::block_split(edges.clone(), v);
             vb.into_iter()
                 .zip(eb)
-                .map(|(vv, ee)| {
-                    ((n as u64, vv, Vec::new()), (edges.len() as u64, ee, Vec::new()))
-                })
+                .map(|(vv, ee)| ((n as u64, vv, Vec::new()), (edges.len() as u64, ee, Vec::new())))
                 .collect()
         },
         "connectivity",

@@ -70,10 +70,7 @@ fn multiple_disks_reduce_io() {
     };
     let d1 = ops(1);
     let d4 = ops(4);
-    assert!(
-        (d4 as f64) < 0.4 * d1 as f64,
-        "4 disks should cut ops ~4x: d1 = {d1}, d4 = {d4}"
-    );
+    assert!((d4 as f64) < 0.4 * d1 as f64, "4 disks should cut ops ~4x: d1 = {d1}, d4 = {d4}");
 }
 
 /// Figure 3: the EM simulation beats demand paging once the problem
@@ -144,9 +141,7 @@ fn file_backed_medium_roundtrip() {
     let geom = DiskGeometry::new(3, 256);
     let mut disks = DiskArray::new_file_backed(geom, &dir).unwrap();
     let payload: Vec<u64> = (0..32).collect();
-    disks
-        .parallel_write(&[(TrackAddr::new(2, 7), &u64::encode_slice(&payload)[..])])
-        .unwrap();
+    disks.parallel_write(&[(TrackAddr::new(2, 7), &u64::encode_slice(&payload)[..])]).unwrap();
     let back = disks.parallel_read(&[TrackAddr::new(2, 7)]).unwrap();
     assert_eq!(u64::decode_slice(&back[0], 32), payload);
     std::fs::remove_dir_all(&dir).ok();

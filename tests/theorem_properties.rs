@@ -78,9 +78,9 @@ proptest! {
         let lens: Vec<Vec<usize>> =
             (0..v).map(|i| (0..v).map(|j| flat[(i * v + j) % flat.len()]).collect()).collect();
         // round A conservation, per source
-        for i in 0..v {
-            let bins = bin_sizes(i, v, &lens[i]);
-            prop_assert_eq!(bins.iter().sum::<usize>(), lens[i].iter().sum::<usize>());
+        for (i, row) in lens.iter().enumerate() {
+            let bins = bin_sizes(i, v, row);
+            prop_assert_eq!(bins.iter().sum::<usize>(), row.iter().sum::<usize>());
         }
         // round B conservation, per destination
         let sb = superbin_sizes(v, &lens);
