@@ -1,6 +1,6 @@
 //! CGM sorting by deterministic regular sampling.
 //!
-//! The paper simulates Goodrich's deterministic BSP sort [31]; we use the
+//! The paper simulates Goodrich's deterministic BSP sort \[31\]; we use the
 //! classic *sorting by regular sampling* CGM algorithm, which has the
 //! same model-level profile — `λ = O(1)` communication rounds,
 //! `O(N/v)`-item h-relations, local memory `O(N/v)` — under the same

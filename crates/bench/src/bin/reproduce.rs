@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig3|fig4|fig5a|fig5a-scaling|fig5b|fig5c|
-//!            fig6|fig7|fig8|audit|ablation|cache|io-trace] [--out DIR]
+//!            fig6|fig7|fig8|audit|ablation|cache|io-trace|faults] [--out DIR]
 //! ```
 //!
 //! Each experiment prints an aligned table and archives a CSV under
 //! `results/` (or `--out DIR`). `io-trace` additionally archives the
-//! Fig 3 sort's physical I/O event log as `fig3_io_trace.jsonl`.
+//! Fig 3 sort's physical I/O event log as `fig3_io_trace.jsonl`;
+//! `faults` sweeps injected transient-fault rates over the Fig 3 sort
+//! and records retry recovery overhead plus a kill-and-resume check.
 
 use cgmio_bench::experiments as ex;
 use cgmio_bench::Table;
@@ -48,6 +50,7 @@ fn main() {
         ("ablation", Box::new(|_| ex::ablation_balance())),
         ("cache", Box::new(|_| ex::cache())),
         ("io-trace", Box::new(ex::io_trace)),
+        ("faults", Box::new(ex::faults)),
     ];
 
     let selected: Vec<&(&str, Exp)> = if which.iter().any(|w| w == "all") {

@@ -702,6 +702,7 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             "bytes",
             "max_queue_depth",
             "mean_read_lat_us",
+            "retries",
         ],
     );
     let (v, bb) = (16usize, 4096usize);
@@ -732,6 +733,95 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             s.bytes.to_string(),
             s.max_queue_depth.to_string(),
             s.mean_read_latency_us.to_string(),
+            s.retries.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fault-injection sweep (the `faults` experiment). The Figure 3 sort
+/// (n = 2^14 keys, v = 16, D = 2, B = 4096) runs on the concurrent
+/// engine while a seeded [`cgmio_pdm::FaultInjector`] fires transient
+/// read/write faults at increasing rates; the drive workers heal every
+/// fault by bounded retry (6 attempts, checksum verification on). Each
+/// rate is additionally run a second time, killed at the superstep-1
+/// barrier, and resumed from its checkpoint — `resume_exact` records
+/// whether the resumed run reproduced the uninterrupted run's final
+/// states and exact I/O counts. `retry_overhead_pct` is the recovery
+/// traffic (retried transfers) relative to the model's parallel I/O
+/// operations; the model counts themselves are fault-invariant.
+pub fn faults(_out_dir: &std::path::Path) -> Table {
+    use cgmio_core::{BackendSpec, RunOutcome};
+    use cgmio_io::{IoEngineOpts, RetryPolicy};
+    use cgmio_pdm::{FaultPlan, FaultStats};
+    use std::sync::Arc;
+
+    let mut t = Table::new(
+        "faults_recovery",
+        &["rate", "em_ops", "injected", "retries", "retry_overhead_pct", "wall_ms", "resume_exact"],
+    );
+    let (n, v, d, bb) = (1usize << 14, 16usize, 2usize, 4096usize);
+    let keys = data::uniform_u64(n, 42);
+    let mk = || {
+        data::block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+    let base_cfg = crate::config_for(&prog, mk(), v, 1, d, bb);
+
+    let cfg_at = |rate: f64, stats: &Arc<FaultStats>| {
+        let mut cfg = base_cfg.clone();
+        cfg.backend = BackendSpec::Concurrent {
+            dir: None, // memory-backed: concurrency + faults, no files
+            opts: IoEngineOpts {
+                trace: true,
+                verify_checksums: true,
+                retry: RetryPolicy { max_attempts: 6, base_backoff_us: 0 },
+                ..Default::default()
+            },
+        };
+        if rate > 0.0 {
+            cfg.fault = Some(FaultPlan::transient(1999, rate).with_observer(stats.clone()));
+        }
+        cfg
+    };
+
+    let mut fault_free_finals = None;
+    // ~2.5k physical transfers at this size: 0.005 is the smallest rate
+    // that reliably injects at least a handful of faults.
+    for rate in [0.0f64, 0.005, 0.01, 0.05] {
+        let stats = Arc::new(FaultStats::default());
+        let (finals, rep) =
+            SeqEmRunner::new(cfg_at(rate, &stats)).run(&prog, mk()).expect("faulty sort run");
+        let fault_free = fault_free_finals.get_or_insert_with(|| finals.clone());
+        assert_eq!(&finals, fault_free, "faults must never change results (rate {rate})");
+
+        // Kill at the superstep-1 barrier and resume from the checkpoint.
+        let rstats = Arc::new(FaultStats::default());
+        let mut hcfg = cfg_at(rate, &rstats);
+        hcfg.halt_after_superstep = Some(1);
+        let resume_exact = match SeqEmRunner::new(hcfg.clone())
+            .run_until(&prog, mk())
+            .expect("run to halt")
+        {
+            RunOutcome::Interrupted(ckpt) => {
+                let mut rcfg = hcfg;
+                rcfg.halt_after_superstep = None;
+                let (rf, rr) =
+                    SeqEmRunner::new(rcfg).resume(&prog, ckpt).expect("resume").expect_complete();
+                rf == finals && rr.io == rep.io && rr.breakdown == rep.breakdown
+            }
+            RunOutcome::Complete { .. } => false,
+        };
+
+        let s = cgmio_io::summarize(&rep.io_trace);
+        t.row(vec![
+            format!("{rate}"),
+            rep.breakdown.algorithm_ops().to_string(),
+            stats.counts().total_errors().to_string(),
+            s.retries.to_string(),
+            format!("{:.2}", 100.0 * s.retries as f64 / rep.io.total_ops().max(1) as f64),
+            rep.wall.as_millis().to_string(),
+            if resume_exact { "yes" } else { "no" }.to_string(),
         ]);
     }
     t
@@ -780,6 +870,28 @@ mod tests {
         assert!(text.lines().count() > 100, "Fig 3 sort must produce a substantial trace");
         assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(text.contains("\"kind\":\"prefetch\""), "read-ahead must appear in the trace");
+    }
+
+    #[test]
+    fn faults_sweep_heals_and_resumes_exactly() {
+        let out = cgmio_pdm::testutil::TempDir::new("cgmio-faults-exp");
+        let t = faults(out.path());
+        assert_eq!(t.rows.len(), 4, "one row per fault rate");
+        // Every row — including the seeded 1% and 5% rates — must have
+        // completed (no panic) and resumed bit-exactly.
+        for row in &t.rows {
+            assert_eq!(row[6], "yes", "rate {} did not resume exactly", row[0]);
+        }
+        // The zero-rate row injects nothing; the non-zero rows must both
+        // inject faults and spend retries recovering from them.
+        assert_eq!(t.rows[0][2], "0");
+        assert_eq!(t.rows[0][3], "0");
+        for row in &t.rows[1..] {
+            let injected: u64 = row[2].parse().unwrap();
+            let retries: u64 = row[3].parse().unwrap();
+            assert!(injected > 0, "rate {} injected nothing", row[0]);
+            assert!(retries > 0, "rate {} recorded no retries", row[0]);
+        }
     }
 
     #[test]

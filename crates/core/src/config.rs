@@ -3,8 +3,10 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use cgmio_io::{ConcurrentStorage, IoEngineOpts, TraceHandle};
-use cgmio_pdm::{DiskArray, DiskGeometry, MemStorage, TrackStorage};
+use cgmio_io::{ConcurrentStorage, IoEngineOpts, RetryPolicy, RetryStorage, TraceHandle};
+use cgmio_pdm::{
+    DiskArray, DiskGeometry, FaultInjector, FaultPlan, FileStorage, MemStorage, TrackStorage,
+};
 
 use crate::measure::Requirements;
 use crate::EmError;
@@ -43,6 +45,27 @@ pub enum BackendSpec {
 /// The paper's model parameters map as: `v` virtual processors, `p` real
 /// processors, `D = num_disks` drives **per real processor**, block size
 /// `B = block_bytes`, internal memory `M = mem_bytes` per real processor.
+///
+/// # Examples
+///
+/// Size a machine from measured requirements and run a program:
+///
+/// ```
+/// use cgmio_core::{measure_requirements, EmConfig, SeqEmRunner};
+/// use cgmio_model::demo::TokenRing;
+///
+/// let prog = TokenRing { rounds: 3 };
+/// let init = || (0..4u64).map(|i| vec![i]).collect::<Vec<_>>();
+///
+/// // Dry-run in memory to measure λ, h, μ — then size the slots from them.
+/// let (_, _, req) = measure_requirements(&prog, init()).unwrap();
+/// let cfg = EmConfig::from_requirements(4, 1, 2, 64, &req);
+///
+/// let (finals, report) = SeqEmRunner::new(cfg).run(&prog, init()).unwrap();
+/// assert_eq!(finals.len(), 4);
+/// assert_eq!(report.costs.lambda(), 3);
+/// assert!(report.io.total_ops() > 0); // contexts really moved through disk
+/// ```
 #[derive(Debug, Clone)]
 pub struct EmConfig {
     /// Virtual processors of the simulated CGM machine.
@@ -68,6 +91,27 @@ pub struct EmConfig {
     pub round_limit: usize,
     /// Storage backend for each real processor's disk array.
     pub backend: BackendSpec,
+    /// When set, write a [`crate::checkpoint::CheckpointManifest`] into
+    /// this directory at every superstep barrier (atomically, after an
+    /// fsync'd flush), enabling `resume_from` after a crash. Meaningful
+    /// persistence needs a file-backed [`Self::backend`] rooted in a
+    /// stable directory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Testing/operations hook: stop the run after this superstep
+    /// completes (0-based), returning
+    /// [`crate::checkpoint::RunOutcome::Interrupted`] from `run_until`
+    /// instead of driving to completion. `None` runs to completion.
+    pub halt_after_superstep: Option<usize>,
+    /// Deterministic fault-injection plan applied *beneath* the backend
+    /// (see [`cgmio_pdm::fault`]). Synchronous backends are additionally
+    /// wrapped in retry-with-backoff ([`Self::retry`]); the concurrent
+    /// engine retries inside its drive workers per its own
+    /// `opts.retry`. `None` (the default) adds no wrapper at all.
+    pub fault: Option<FaultPlan>,
+    /// Retry policy used for the `Mem`/`SyncFile` backends when
+    /// [`Self::fault`] is set (ignored otherwise, and ignored by the
+    /// `Concurrent` backend, which has its own `opts.retry`).
+    pub retry: RetryPolicy,
 }
 
 impl EmConfig {
@@ -94,7 +138,34 @@ impl EmConfig {
             strict: false,
             round_limit: cgmio_model::DEFAULT_ROUND_LIMIT,
             backend: BackendSpec::Mem,
+            checkpoint_dir: None,
+            halt_after_superstep: None,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Hash of the fields that determine the on-disk layout and the
+    /// simulation semantics (`v`, `p`, `D`, `B`, slot sizes). Stored in
+    /// checkpoint manifests; `resume_from` refuses a manifest whose hash
+    /// differs — resuming under a different layout would silently read
+    /// the wrong tracks.
+    pub fn config_hash(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for x in [
+            self.v as u64,
+            self.p as u64,
+            self.num_disks as u64,
+            self.block_bytes as u64,
+            self.msg_slot_items as u64,
+            self.max_ctx_bytes as u64,
+        ] {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
     }
 
     /// Build the disk array of real processor `worker_idx` according to
@@ -107,29 +178,58 @@ impl EmConfig {
         worker_idx: usize,
     ) -> Result<(DiskArray, Option<TraceHandle>), EmError> {
         let geom = self.geometry();
+        // Deterministic injection must differ per worker or every real
+        // processor would fault on the same (disk, op) pairs.
+        let plan = self.fault.clone().map(|mut p| {
+            p.seed = p.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker_idx as u64));
+            p
+        });
+        // Mem/SyncFile: inner -> FaultInjector -> RetryStorage.
+        let wrap_sync = |inner: Box<dyn TrackStorage>| -> Box<dyn TrackStorage> {
+            match &plan {
+                Some(p) => Box::new(RetryStorage::new(
+                    FaultInjector::new(inner, geom.num_disks, p.clone()),
+                    self.retry,
+                )),
+                None => inner,
+            }
+        };
         match &self.backend {
-            BackendSpec::Mem => Ok((DiskArray::new(geom), None)),
+            BackendSpec::Mem => {
+                let storage = wrap_sync(Box::new(MemStorage::new(geom)));
+                Ok((DiskArray::with_storage(geom, storage), None))
+            }
             BackendSpec::SyncFile { dir } => {
-                let arr = DiskArray::new_file_backed(geom, &dir.join(format!("p{worker_idx}")))
+                let fs = FileStorage::open(&dir.join(format!("p{worker_idx}")), geom)
                     .map_err(|e| EmError::BadConfig(format!("opening file backend: {e}")))?;
-                Ok((arr, None))
+                let storage = wrap_sync(Box::new(fs));
+                Ok((DiskArray::with_storage(geom, storage), None))
             }
             BackendSpec::Concurrent { dir, opts } => {
                 let mut opts = opts.clone();
                 opts.proc = worker_idx;
-                let storage = match dir {
+                // Faults are injected beneath the engine; its drive
+                // workers retry per opts.retry, so no RetryStorage here.
+                let inner: Arc<dyn TrackStorage> = match dir {
                     Some(d) => {
-                        ConcurrentStorage::open_dir(&d.join(format!("p{worker_idx}")), geom, opts)
+                        let fs = FileStorage::open(&d.join(format!("p{worker_idx}")), geom)
                             .map_err(|e| {
-                            EmError::BadConfig(format!("opening concurrent backend: {e}"))
-                        })?
+                                EmError::BadConfig(format!("opening concurrent backend: {e}"))
+                            })?;
+                        match &plan {
+                            Some(p) => Arc::new(FaultInjector::new(fs, geom.num_disks, p.clone())),
+                            None => Arc::new(fs),
+                        }
                     }
-                    None => ConcurrentStorage::new(
-                        Arc::new(MemStorage::new(geom)) as Arc<dyn TrackStorage>,
-                        geom.num_disks,
-                        opts,
-                    ),
+                    None => {
+                        let mem = MemStorage::new(geom);
+                        match &plan {
+                            Some(p) => Arc::new(FaultInjector::new(mem, geom.num_disks, p.clone())),
+                            None => Arc::new(mem),
+                        }
+                    }
                 };
+                let storage = ConcurrentStorage::new(inner, geom.num_disks, opts);
                 let trace = storage.trace_handle();
                 Ok((DiskArray::with_storage(geom, Box::new(storage)), trace))
             }
@@ -233,6 +333,10 @@ mod tests {
             strict: false,
             round_limit: 100,
             backend: BackendSpec::Mem,
+            checkpoint_dir: None,
+            halt_after_superstep: None,
+            fault: None,
+            retry: RetryPolicy::default(),
         }
     }
 

@@ -56,6 +56,32 @@ impl ContextStore {
         self.lens.iter().all(|&l| l == 0)
     }
 
+    /// The full per-slot length table (for checkpoint manifests).
+    pub fn lens(&self) -> &[usize] {
+        &self.lens
+    }
+
+    /// Restore the per-slot length table from a checkpoint manifest.
+    /// The on-disk slot contents must match (they do when the array was
+    /// flushed at the barrier the manifest describes).
+    pub fn set_lens(&mut self, lens: Vec<usize>) -> Result<(), EmError> {
+        if lens.len() != self.lens.len() {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint has {} context slots, store has {}",
+                lens.len(),
+                self.lens.len()
+            )));
+        }
+        if let Some(&l) = lens.iter().find(|&&l| l > self.cap_bytes) {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint context length {l} exceeds slot capacity {}",
+                self.cap_bytes
+            )));
+        }
+        self.lens = lens;
+        Ok(())
+    }
+
     /// Write context `slot`. Uses `⌈len/B⌉` blocks in consecutive format
     /// (fully parallel via the FIFO scheduler).
     pub fn write(

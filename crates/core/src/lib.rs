@@ -29,8 +29,9 @@
 //! marks, and the Theorem 2/3 parameter checks — the quantities the
 //! paper's experiments (and this workspace's `reproduce` harness) report.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod context;
 pub mod measure;
@@ -40,6 +41,7 @@ pub mod params;
 pub mod report;
 pub mod seq;
 
+pub use checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckpoint};
 pub use config::{BackendSpec, EmConfig, ParamCheck};
 pub use measure::{measure_requirements, Requirements};
 pub use par::ParEmRunner;
@@ -91,6 +93,14 @@ pub enum EmError {
     },
     /// Invalid configuration.
     BadConfig(String),
+    /// The run halted at a superstep barrier (per
+    /// [`EmConfig::halt_after_superstep`]) while being driven through an
+    /// API that cannot return a checkpoint. Use `run_until` to receive
+    /// the [`checkpoint::Checkpoint`] instead.
+    Interrupted {
+        /// Last completed superstep (the checkpoint's position).
+        superstep: usize,
+    },
 }
 
 impl From<ModelError> for EmError {
@@ -122,6 +132,9 @@ impl std::fmt::Display for EmError {
                 write!(f, "simulating vp {pid} needs {need} bytes of internal memory, M = {m}")
             }
             EmError::BadConfig(s) => write!(f, "bad config: {s}"),
+            EmError::Interrupted { superstep } => {
+                write!(f, "run interrupted after superstep {superstep} (checkpoint taken)")
+            }
         }
     }
 }

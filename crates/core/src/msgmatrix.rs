@@ -77,6 +77,29 @@ impl<M: Item> MessageMatrix<M> {
         &self.lens
     }
 
+    /// Restore the per-slot length table from a checkpoint manifest.
+    /// The on-disk slot contents must match (they do when the array was
+    /// flushed at the barrier the manifest describes).
+    pub fn set_lens(&mut self, lens: Vec<Vec<u32>>) -> Result<(), EmError> {
+        if lens.len() != self.lens.len() || lens.iter().any(|row| row.len() != self.lens[0].len()) {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint inbox table is {}x{}, matrix is {}x{}",
+                lens.len(),
+                lens.first().map_or(0, Vec::len),
+                self.lens.len(),
+                self.lens[0].len()
+            )));
+        }
+        if let Some(&l) = lens.iter().flatten().find(|&&l| l as usize > self.slot_items) {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint inbox length {l} exceeds slot capacity {}",
+                self.slot_items
+            )));
+        }
+        self.lens = lens;
+        Ok(())
+    }
+
     /// Reset all slots to empty (ping-pong reuse between supersteps).
     pub fn clear(&mut self) {
         for row in &mut self.lens {

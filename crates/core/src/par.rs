@@ -21,12 +21,13 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use cgmio_io::TraceEvent;
+use cgmio_io::{TraceEvent, TraceHandle};
 use cgmio_model::cost::{CommCosts, RoundCost};
 use cgmio_model::threaded::{block_range, owner_of};
 use cgmio_model::{CgmProgram, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status};
-use cgmio_pdm::{DiskArray, IoStats, Item};
+use cgmio_pdm::{DiskArray, IoError, IoStats, Item};
 
+use crate::checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckpoint};
 use crate::config::EmConfig;
 use crate::context::ContextStore;
 use crate::msgmatrix::MessageMatrix;
@@ -52,12 +53,29 @@ struct RoundCtl {
     min_message: usize,
     cross_items: u64,
     max_ctx: usize,
+    /// Barrier snapshot, attached when a checkpoint (or halt) is due
+    /// this round.
+    ckpt: Option<WorkerCheckpoint>,
 }
 
 enum Decision {
     Continue,
     Stop,
+    /// Stop at this barrier and hand the live disks back through
+    /// `WorkerOut::handoff` (the coordinator has the manifest).
+    Halt,
     Fail(EmError),
+}
+
+impl Decision {
+    fn dup(&self) -> Decision {
+        match self {
+            Decision::Continue => Decision::Continue,
+            Decision::Stop => Decision::Stop,
+            Decision::Halt => Decision::Halt,
+            Decision::Fail(e) => Decision::Fail(e.clone()),
+        }
+    }
 }
 
 struct WorkerOut<S> {
@@ -66,6 +84,23 @@ struct WorkerOut<S> {
     breakdown: IoBreakdown,
     peak_mem: usize,
     trace: Vec<TraceEvent>,
+    /// Live disks handed back on `Decision::Halt` (trace events not yet
+    /// drained — the handle travels with the disks so an in-process
+    /// resume keeps one continuous trace).
+    handoff: Option<(DiskArray, Option<TraceHandle>)>,
+}
+
+/// Per-worker start mode (mirrors the sequential runner's `Start`).
+struct WorkerInit<S> {
+    /// Initial states of the local virtual processors (empty on resume).
+    states: Vec<S>,
+    /// Barrier snapshot to restore, if resuming.
+    restore: Option<WorkerCheckpoint>,
+    /// Live disks from an in-process checkpoint (`None`: build from
+    /// config).
+    disks: Option<(DiskArray, Option<TraceHandle>)>,
+    /// First round to execute (`superstep + 1` on resume).
+    start_round: usize,
 }
 
 impl ParEmRunner {
@@ -77,11 +112,31 @@ impl ParEmRunner {
     /// Run `prog` from the given initial states across `p` real
     /// processors. Semantics and final states are identical to
     /// [`crate::SeqEmRunner`] and the in-memory runners.
+    ///
+    /// If [`EmConfig::halt_after_superstep`] is set this returns
+    /// [`EmError::Interrupted`]; use [`Self::run_until`] to receive the
+    /// checkpoint instead.
     pub fn run<P: CgmProgram>(
         &self,
         prog: &P,
         states: Vec<P::State>,
     ) -> Result<(Vec<P::State>, EmRunReport), EmError> {
+        match self.run_until(prog, states)? {
+            RunOutcome::Complete { finals, report } => Ok((finals, report)),
+            RunOutcome::Interrupted(c) => {
+                Err(EmError::Interrupted { superstep: c.manifest.superstep })
+            }
+        }
+    }
+
+    /// Like [`Self::run`], but an [`EmConfig::halt_after_superstep`]
+    /// interruption is a normal outcome carrying the checkpoint (with
+    /// all `p` live disk arrays).
+    pub fn run_until<P: CgmProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunOutcome<P::State>, EmError> {
         let cfg = &self.config;
         cfg.validate()?;
         let v = cfg.v;
@@ -92,6 +147,117 @@ impl ParEmRunner {
             )));
         }
         let p = cfg.p.min(v);
+        let mut inits = Vec::with_capacity(p);
+        let mut it = states.into_iter();
+        for t in 0..p {
+            let r = block_range(v, p, t);
+            inits.push(WorkerInit {
+                states: it.by_ref().take(r.len()).collect(),
+                restore: None,
+                disks: None,
+                start_round: 0,
+            });
+        }
+        self.drive(prog, inits, None)
+    }
+
+    /// Resume an interrupted run in-process: each worker continues on
+    /// the live disk array the checkpoint carries. Works with every
+    /// backend, including the non-persistent `Mem` one.
+    pub fn resume<P: CgmProgram>(
+        &self,
+        prog: &P,
+        ckpt: Checkpoint,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        self.check_manifest(&ckpt.manifest)?;
+        if ckpt.disks.len() != ckpt.manifest.workers.len() {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint carries {} disk arrays for {} workers",
+                ckpt.disks.len(),
+                ckpt.manifest.workers.len()
+            )));
+        }
+        let manifest = ckpt.manifest;
+        let start_round = manifest.superstep + 1;
+        let inits = manifest
+            .workers
+            .iter()
+            .cloned()
+            .zip(ckpt.disks)
+            .map(|(wc, disks)| WorkerInit {
+                states: Vec::new(),
+                restore: Some(wc),
+                disks: Some(disks),
+                start_round,
+            })
+            .collect();
+        self.drive(prog, inits, Some(&manifest))
+    }
+
+    /// Resume from a saved manifest, rebuilding each worker's disk array
+    /// from [`Self::config`] — the crash-recovery path. The config must
+    /// address the same persistent backend directories the interrupted
+    /// run used; final states and aggregate I/O counts are identical to
+    /// an uninterrupted run.
+    pub fn resume_from<P: CgmProgram>(
+        &self,
+        prog: &P,
+        manifest: &CheckpointManifest,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        self.check_manifest(manifest)?;
+        let start_round = manifest.superstep + 1;
+        let inits = manifest
+            .workers
+            .iter()
+            .cloned()
+            .map(|wc| WorkerInit {
+                states: Vec::new(),
+                restore: Some(wc),
+                disks: None,
+                start_round,
+            })
+            .collect();
+        self.drive(prog, inits, Some(manifest))
+    }
+
+    /// Resume requires the manifest to describe this exact machine.
+    fn check_manifest(&self, m: &CheckpointManifest) -> Result<(), EmError> {
+        let cfg = &self.config;
+        let p = cfg.p.min(cfg.v);
+        if m.config_hash != cfg.config_hash() {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint config hash {:#x} does not match this config ({:#x})",
+                m.config_hash,
+                cfg.config_hash()
+            )));
+        }
+        if m.v != cfg.v || m.p != p || m.workers.len() != p {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint shape (v={}, p={}, {} workers) does not fit this config \
+                 (v={}, p={p})",
+                m.v,
+                m.p,
+                m.workers.len(),
+                cfg.v
+            )));
+        }
+        if m.workers.iter().enumerate().any(|(i, w)| w.worker != i) {
+            return Err(EmError::BadConfig("checkpoint workers out of order".into()));
+        }
+        Ok(())
+    }
+
+    fn drive<P: CgmProgram>(
+        &self,
+        prog: &P,
+        inits: Vec<WorkerInit<P::State>>,
+        resume: Option<&CheckpointManifest>,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let v = cfg.v;
+        let p = inits.len();
+        let start_round = resume.map(|m| m.superstep + 1).unwrap_or(0);
 
         // Interconnect plumbing (same topology as the threaded runner).
         let mut data_tx: Vec<Vec<Sender<Packet<P::Msg>>>> = (0..p).map(|_| Vec::new()).collect();
@@ -121,44 +287,42 @@ impl ParEmRunner {
             dec_rx.push(rx);
         }
 
-        let mut blocks: Vec<Vec<P::State>> = Vec::with_capacity(p);
-        {
-            let mut it = states.into_iter();
-            for t in 0..p {
-                let r = block_range(v, p, t);
-                blocks.push(it.by_ref().take(r.len()).collect());
-            }
-        }
-
         let start = Instant::now();
         let mut costs = CommCosts::default();
         let mut cross_total = 0u64;
         let mut run_error: Option<EmError> = None;
         let mut max_ctx_seen = 0usize;
+        let mut halt_manifest: Option<CheckpointManifest> = None;
+        if let Some(m) = resume {
+            costs.rounds = m.rounds.clone();
+            cross_total = m.cross_items;
+            max_ctx_seen = m.max_ctx_bytes_seen;
+        }
         let mut outs: Vec<Option<WorkerOut<P::State>>> = (0..p).map(|_| None).collect();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (t, block) in blocks.into_iter().enumerate() {
+            for (t, init) in inits.into_iter().enumerate() {
                 let my_tx = std::mem::take(&mut data_tx[t]);
                 let my_rx = data_rx[t].clone();
                 let my_ctrl = ctrl_tx.clone();
                 let my_dec = dec_rx[t].clone();
                 let cfg = cfg.clone();
                 handles.push(scope.spawn(move || {
-                    worker::<P>(prog, &cfg, t, v, p, block, my_tx, my_rx, my_ctrl, my_dec)
+                    worker::<P>(prog, &cfg, t, v, p, init, my_tx, my_rx, my_ctrl, my_dec)
                 }));
             }
             drop(ctrl_tx);
 
-            for round in 0..=cfg.round_limit {
+            for round in start_round..=cfg.round_limit {
                 let mut n_done = 0usize;
                 let mut rc = RoundCost { min_message: usize::MAX, ..RoundCost::default() };
                 let mut cross = 0u64;
                 let mut err: Option<EmError> = None;
+                let mut ckpts: Vec<Option<WorkerCheckpoint>> = (0..p).map(|_| None).collect();
                 for _ in 0..p {
                     match ctrl_rx.recv().expect("worker died") {
-                        (_t, Ok(c)) => {
+                        (t, Ok(c)) => {
                             n_done += c.n_done;
                             rc.total_items += c.sent_total;
                             rc.max_sent = rc.max_sent.max(c.max_sent);
@@ -169,6 +333,7 @@ impl ParEmRunner {
                             }
                             cross += c.cross_items;
                             max_ctx_seen = max_ctx_seen.max(c.max_ctx);
+                            ckpts[t] = c.ckpt;
                         }
                         (_t, Err(e)) => err = Some(e),
                     }
@@ -181,7 +346,7 @@ impl ParEmRunner {
                 if err.is_none() && (sent_any || n_done < v) {
                     costs.rounds.push(rc);
                 }
-                let decision = if let Some(e) = err {
+                let mut decision = if let Some(e) = err {
                     Decision::Fail(e)
                 } else if n_done == v {
                     if sent_any {
@@ -193,20 +358,45 @@ impl ParEmRunner {
                     Decision::Fail(ModelError::StatusDisagreement { round }.into())
                 } else if round == cfg.round_limit {
                     Decision::Fail(ModelError::RoundLimit(cfg.round_limit).into())
+                } else if cfg.halt_after_superstep == Some(round) {
+                    Decision::Halt
                 } else {
                     Decision::Continue
                 };
+
+                // Aggregate the workers' barrier snapshots into one
+                // manifest; persist it and/or keep it for the halt path.
+                if matches!(decision, Decision::Continue | Decision::Halt)
+                    && ckpts.iter().all(Option::is_some)
+                {
+                    let manifest = CheckpointManifest {
+                        config_hash: cfg.config_hash(),
+                        v,
+                        p,
+                        superstep: round,
+                        max_ctx_bytes_seen: max_ctx_seen,
+                        cross_items: cross_total,
+                        rounds: costs.rounds.clone(),
+                        workers: ckpts.into_iter().map(Option::unwrap).collect(),
+                    };
+                    if let Some(dir) = &cfg.checkpoint_dir {
+                        if let Err(e) = manifest.save(&CheckpointManifest::path_in(dir)) {
+                            decision = Decision::Fail(EmError::Io(IoError::Backend(format!(
+                                "saving checkpoint: {e}"
+                            ))));
+                        }
+                    }
+                    if matches!(decision, Decision::Halt) {
+                        halt_manifest = Some(manifest);
+                    }
+                }
+
                 let stop = !matches!(decision, Decision::Continue);
                 if let Decision::Fail(ref e) = decision {
                     run_error = Some(e.clone());
                 }
                 for tx in &dec_tx {
-                    tx.send(match decision {
-                        Decision::Continue => Decision::Continue,
-                        Decision::Stop => Decision::Stop,
-                        Decision::Fail(ref e) => Decision::Fail(e.clone()),
-                    })
-                    .expect("worker died");
+                    tx.send(decision.dup()).expect("worker died");
                 }
                 if stop {
                     break;
@@ -227,6 +417,14 @@ impl ParEmRunner {
 
         if let Some(e) = run_error {
             return Err(e);
+        }
+        if let Some(manifest) = halt_manifest {
+            let disks = outs
+                .into_iter()
+                .map(|o| o.expect("missing worker result"))
+                .map(|w| w.handoff.expect("halted worker must hand off its disks"))
+                .collect();
+            return Ok(RunOutcome::Interrupted(Checkpoint { manifest, disks }));
         }
         costs.max_context_bytes = max_ctx_seen;
 
@@ -258,7 +456,7 @@ impl ParEmRunner {
             wall: start.elapsed(),
             io_trace,
         };
-        Ok((finals, report))
+        Ok(RunOutcome::Complete { finals, report })
     }
 }
 
@@ -269,7 +467,7 @@ fn worker<P: CgmProgram>(
     t: usize,
     v: usize,
     p: usize,
-    states: Vec<P::State>,
+    init: WorkerInit<P::State>,
     data_tx: Vec<Sender<Packet<P::Msg>>>,
     data_rx: Receiver<Packet<P::Msg>>,
     ctrl: Sender<(usize, Result<RoundCtl, EmError>)>,
@@ -282,12 +480,26 @@ fn worker<P: CgmProgram>(
     // (the coordinator expects one control message per worker per
     // round), so fall back to memory and report the error in round 0.
     let mut setup_err = None;
-    let (mut disks, trace) = match cfg.build_disks(t) {
-        Ok(x) => x,
-        Err(e) => {
-            setup_err = Some(e);
-            (DiskArray::new(geom), None)
-        }
+    // `base_io`: I/O the interrupted run already paid before the disks
+    // we hold were (re)opened — zero for fresh runs and in-process
+    // resume (live arrays keep their counters), the checkpoint's
+    // counters when rebuilding from disk files.
+    let (mut disks, trace, base_io) = match init.disks {
+        Some((d, tr)) => (d, tr, IoStats::new(geom.num_disks)),
+        None => match cfg.build_disks(t) {
+            Ok((d, tr)) => {
+                let base = init
+                    .restore
+                    .as_ref()
+                    .map(|w| w.io.clone())
+                    .unwrap_or_else(|| IoStats::new(geom.num_disks));
+                (d, tr, base)
+            }
+            Err(e) => {
+                setup_err = Some(e);
+                (DiskArray::new(geom), None, IoStats::new(geom.num_disks))
+            }
+        },
     };
 
     let mut ctx_store =
@@ -308,20 +520,41 @@ fn worker<P: CgmProgram>(
     let tracks = mats[0].total_tracks();
     mats[1] = mk_mat(mat_base + tracks);
 
-    // Input distribution.
-    if setup_err.is_none() {
-        for (k, state) in states.into_iter().enumerate() {
-            if let Err(e) = ctx_store.write(&mut disks, k, &state.to_bytes()) {
-                setup_err = Some(e);
-                break;
-            }
-        }
-    }
-    let mut breakdown =
-        IoBreakdown { setup_ops: disks.stats().total_ops(), ..IoBreakdown::default() };
+    let mut breakdown = IoBreakdown::default();
     let mut peak_mem = 0usize;
 
-    let mut round = 0usize;
+    match init.restore {
+        None => {
+            // Input distribution.
+            if setup_err.is_none() {
+                for (k, state) in init.states.into_iter().enumerate() {
+                    if let Err(e) = ctx_store.write(&mut disks, k, &state.to_bytes()) {
+                        setup_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            breakdown.setup_ops = disks.stats().total_ops();
+        }
+        Some(wc) => {
+            // The disks already hold the barrier state; restore the
+            // in-memory metadata describing it (see SeqEmRunner::drive
+            // for the matrix ping-pong argument).
+            if setup_err.is_none() {
+                if let Err(e) = ctx_store
+                    .set_lens(wc.ctx_lens)
+                    .and_then(|()| mats[init.start_round % 2].set_lens(wc.inbox_lens))
+                {
+                    setup_err = Some(e);
+                }
+            }
+            breakdown = wc.breakdown;
+            peak_mem = wc.peak_mem;
+        }
+    }
+
+    let mut halted = false;
+    let mut round = init.start_round;
     loop {
         let cur = round % 2;
         let mut ctl = RoundCtl {
@@ -333,6 +566,7 @@ fn worker<P: CgmProgram>(
             min_message: usize::MAX,
             cross_items: 0,
             max_ctx: 0,
+            ckpt: None,
         };
         let mut packets: Vec<Packet<P::Msg>> = (0..p).map(|_| Vec::new()).collect();
         let mut phase_err: Option<EmError> = setup_err.take();
@@ -455,11 +689,26 @@ fn worker<P: CgmProgram>(
         }
 
         // Superstep barrier: drain write-behind, apply the durability
-        // policy, surface any deferred write error. Uncounted.
+        // policy, surface any deferred write error. Uncounted. When a
+        // checkpoint is due the flush also fsyncs, so the manifest
+        // never describes data still in volatile caches.
+        let want_ckpt = cfg.checkpoint_dir.is_some() || cfg.halt_after_superstep == Some(round);
         if phase_err.is_none() {
-            if let Err(e) = disks.flush(false) {
+            if let Err(e) = disks.flush(want_ckpt) {
                 phase_err = Some(e.into());
             }
+        }
+        if want_ckpt && phase_err.is_none() {
+            let mut io = base_io.clone();
+            io.merge(disks.stats());
+            ctl.ckpt = Some(WorkerCheckpoint {
+                worker: t,
+                ctx_lens: ctx_store.lens().to_vec(),
+                inbox_lens: mats[1 - cur].lens().to_vec(),
+                io,
+                breakdown,
+                peak_mem,
+            });
         }
 
         let report = match phase_err {
@@ -473,8 +722,27 @@ fn worker<P: CgmProgram>(
                 round += 1;
             }
             Decision::Stop => break,
+            Decision::Halt => {
+                halted = true;
+                break;
+            }
             Decision::Fail(e) => return Err(e),
         }
+    }
+
+    let mut io = base_io;
+    if halted {
+        // Hand the live disks (and the un-drained trace handle) back for
+        // an in-process resume; the coordinator holds the manifest.
+        io.merge(disks.stats());
+        return Ok(WorkerOut {
+            finals: Vec::new(),
+            io,
+            breakdown,
+            peak_mem,
+            trace: Vec::new(),
+            handoff: Some((disks, trace)),
+        });
     }
 
     // Final readout.
@@ -486,12 +754,14 @@ fn worker<P: CgmProgram>(
     }
     breakdown.readout_ops = disks.stats().total_ops() - ops0;
 
+    io.merge(disks.stats());
     Ok(WorkerOut {
         finals,
-        io: disks.stats().clone(),
+        io,
         breakdown,
         peak_mem,
         trace: trace.map(|t| t.drain()).unwrap_or_default(),
+        handoff: None,
     })
 }
 
@@ -646,6 +916,81 @@ mod tests {
         };
         let e = ParEmRunner::new(cfg).run(&prog, init()).unwrap_err();
         assert!(matches!(e, EmError::BadConfig(_)), "got {e:?}");
+    }
+
+    #[test]
+    fn halt_resume_in_process_matches_uninterrupted() {
+        let v = 6;
+        let prog = TokenRing { rounds: 5 };
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let cfg = config_for(&prog, init(), v, 3, 2, 16);
+        let (want, want_rep) = ParEmRunner::new(cfg.clone()).run(&prog, init()).unwrap();
+        for halt in 0..4 {
+            let mut hcfg = cfg.clone();
+            hcfg.halt_after_superstep = Some(halt);
+            let ckpt = match ParEmRunner::new(hcfg).run_until(&prog, init()).unwrap() {
+                crate::RunOutcome::Interrupted(c) => c,
+                crate::RunOutcome::Complete { .. } => panic!("expected halt at superstep {halt}"),
+            };
+            assert_eq!(ckpt.manifest.superstep, halt);
+            assert_eq!(ckpt.manifest.workers.len(), 3);
+            let (finals, rep) =
+                ParEmRunner::new(cfg.clone()).resume(&prog, ckpt).unwrap().expect_complete();
+            assert_eq!(finals, want, "halt={halt}");
+            assert_eq!(rep.io, want_rep.io, "halt={halt}");
+            assert_eq!(rep.breakdown, want_rep.breakdown, "halt={halt}");
+            assert_eq!(rep.cross_thread_items, want_rep.cross_thread_items, "halt={halt}");
+            assert_eq!(rep.costs.lambda(), want_rep.costs.lambda(), "halt={halt}");
+        }
+    }
+
+    #[test]
+    fn resume_from_manifest_on_files_matches_uninterrupted() {
+        let v = 6;
+        let prog = TokenRing { rounds: 6 };
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let (want, want_rep) = {
+            let cfg = config_for(&prog, init(), v, 2, 2, 16);
+            ParEmRunner::new(cfg).run(&prog, init()).unwrap()
+        };
+        let dir = cgmio_pdm::testutil::TempDir::new("cgmio-par-resume");
+        let mut cfg = config_for(&prog, init(), v, 2, 2, 16);
+        cfg.backend = crate::BackendSpec::SyncFile { dir: dir.path().join("drives") };
+        cfg.checkpoint_dir = Some(dir.path().to_path_buf());
+        cfg.halt_after_superstep = Some(3);
+        match ParEmRunner::new(cfg.clone()).run_until(&prog, init()).unwrap() {
+            // "Crash": drop the live state, keep only the files.
+            crate::RunOutcome::Interrupted(c) => drop(c),
+            crate::RunOutcome::Complete { .. } => panic!("expected halt"),
+        }
+        let manifest = CheckpointManifest::load(&CheckpointManifest::path_in(dir.path())).unwrap();
+        assert_eq!(manifest.superstep, 3);
+        assert_eq!(manifest.workers.len(), 2);
+        cfg.halt_after_superstep = None;
+        let (finals, rep) =
+            ParEmRunner::new(cfg).resume_from(&prog, &manifest).unwrap().expect_complete();
+        assert_eq!(finals, want);
+        assert_eq!(rep.io, want_rep.io);
+        assert_eq!(rep.breakdown, want_rep.breakdown);
+        assert_eq!(rep.cross_thread_items, want_rep.cross_thread_items);
+    }
+
+    #[test]
+    fn injected_faults_heal_across_workers() {
+        let v = 8;
+        let prog = AllToAll { items_per_pair: 5 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let cfg = config_for(&prog, init(), v, 4, 2, 32);
+        let (want, want_rep) = ParEmRunner::new(cfg.clone()).run(&prog, init()).unwrap();
+
+        let stats = std::sync::Arc::new(cgmio_pdm::FaultStats::default());
+        let mut fcfg = cfg.clone();
+        fcfg.fault = Some(cgmio_pdm::FaultPlan::transient(23, 0.05).with_observer(stats.clone()));
+        fcfg.retry = cgmio_io::RetryPolicy { max_attempts: 6, base_backoff_us: 0 };
+        let (got, rep) = ParEmRunner::new(fcfg).run(&prog, init()).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(rep.io, want_rep.io);
+        assert!(stats.counts().total_errors() > 0, "no faults were injected");
     }
 
     #[test]

@@ -18,17 +18,27 @@
 
 use std::time::Instant;
 
+use cgmio_io::TraceHandle;
 use cgmio_model::cost::round_cost_from_matrix;
 use cgmio_model::{
     CgmProgram, CommCosts, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status,
 };
-use cgmio_pdm::Item;
+use cgmio_pdm::{DiskArray, IoError, IoStats, Item};
 
+use crate::checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckpoint};
 use crate::config::EmConfig;
 use crate::context::ContextStore;
 use crate::msgmatrix::MessageMatrix;
 use crate::report::{EmRunReport, IoBreakdown};
 use crate::EmError;
+
+/// How a run enters the superstep loop: from fresh initial states, or
+/// from a checkpoint (with the live disks for in-process resume, or
+/// `None` to rebuild them from the config).
+enum Start<S> {
+    Fresh(Vec<S>),
+    Resume { manifest: CheckpointManifest, disks: Option<(DiskArray, Option<TraceHandle>)> },
+}
 
 /// Single-processor external-memory runner (Algorithm 2).
 #[derive(Debug, Clone)]
@@ -46,22 +56,173 @@ impl SeqEmRunner {
     /// Run `prog` from the given initial states; returns final states
     /// and the full report. The disks are created fresh; initial
     /// contexts are loaded first (counted as `setup_ops`).
+    ///
+    /// If [`EmConfig::halt_after_superstep`] is set this returns
+    /// [`EmError::Interrupted`]; use [`Self::run_until`] to receive the
+    /// checkpoint instead.
     pub fn run<P: CgmProgram>(
         &self,
         prog: &P,
         states: Vec<P::State>,
     ) -> Result<(Vec<P::State>, EmRunReport), EmError> {
-        let cfg = &self.config;
-        cfg.validate()?;
-        let v = cfg.v;
-        if states.len() != v {
+        match self.run_until(prog, states)? {
+            RunOutcome::Complete { finals, report } => Ok((finals, report)),
+            RunOutcome::Interrupted(c) => {
+                Err(EmError::Interrupted { superstep: c.manifest.superstep })
+            }
+        }
+    }
+
+    /// Like [`Self::run`], but an [`EmConfig::halt_after_superstep`]
+    /// interruption is a normal outcome carrying the checkpoint.
+    pub fn run_until<P: CgmProgram>(
+        &self,
+        prog: &P,
+        states: Vec<P::State>,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        if states.len() != self.config.v {
             return Err(EmError::BadConfig(format!(
-                "config.v = {v} but {} initial states were given",
+                "config.v = {} but {} initial states were given",
+                self.config.v,
                 states.len()
             )));
         }
+        self.drive(prog, Start::Fresh(states))
+    }
+
+    /// Resume an interrupted run in-process: continue on the same live
+    /// disk arrays the checkpoint carries. Works with every backend,
+    /// including the non-persistent `Mem` one.
+    pub fn resume<P: CgmProgram>(
+        &self,
+        prog: &P,
+        ckpt: Checkpoint,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        self.check_manifest(&ckpt.manifest)?;
+        if ckpt.disks.len() != 1 {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint carries {} disk arrays, sequential runner needs 1",
+                ckpt.disks.len()
+            )));
+        }
+        let disks = ckpt.disks.into_iter().next();
+        self.drive(prog, Start::Resume { manifest: ckpt.manifest, disks })
+    }
+
+    /// Resume from a saved manifest, rebuilding the disk arrays from
+    /// [`Self::config`] — the crash-recovery path. The config must
+    /// address the same persistent backend directory the interrupted run
+    /// used; the run replays from the superstep after the manifest's and
+    /// produces final states and I/O counts **identical** to an
+    /// uninterrupted run.
+    ///
+    /// ```
+    /// use cgmio_core::{
+    ///     measure_requirements, BackendSpec, CheckpointManifest, EmConfig, RunOutcome,
+    ///     SeqEmRunner,
+    /// };
+    /// use cgmio_model::demo::TokenRing;
+    ///
+    /// let prog = TokenRing { rounds: 4 };
+    /// let init = || (0..3u64).map(|i| vec![i]).collect::<Vec<_>>();
+    /// let (_, _, req) = measure_requirements(&prog, init()).unwrap();
+    ///
+    /// let dir = cgmio_pdm::testutil::TempDir::new("cgmio-doc-resume");
+    /// let mut cfg = EmConfig::from_requirements(3, 1, 2, 32, &req);
+    /// cfg.backend = BackendSpec::SyncFile { dir: dir.path().join("drives") };
+    /// cfg.checkpoint_dir = Some(dir.path().to_path_buf());
+    /// cfg.halt_after_superstep = Some(1); // simulate a crash after superstep 1
+    ///
+    /// match SeqEmRunner::new(cfg.clone()).run_until(&prog, init()).unwrap() {
+    ///     RunOutcome::Interrupted(ckpt) => assert_eq!(ckpt.manifest.superstep, 1),
+    ///     RunOutcome::Complete { .. } => unreachable!(),
+    /// }
+    ///
+    /// // "New process": load the manifest, rebuild from the same config.
+    /// let manifest = CheckpointManifest::load(&CheckpointManifest::path_in(dir.path())).unwrap();
+    /// cfg.halt_after_superstep = None;
+    /// let (finals, report) =
+    ///     SeqEmRunner::new(cfg).resume_from(&prog, &manifest).unwrap().expect_complete();
+    /// assert_eq!(finals.len(), 3);
+    /// assert_eq!(report.costs.lambda(), 4); // pre- and post-resume rounds all accounted
+    /// ```
+    pub fn resume_from<P: CgmProgram>(
+        &self,
+        prog: &P,
+        manifest: &CheckpointManifest,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        self.check_manifest(manifest)?;
+        self.drive(prog, Start::Resume { manifest: manifest.clone(), disks: None })
+    }
+
+    /// Resume requires the manifest to describe this exact machine: same
+    /// layout hash, same shape.
+    fn check_manifest(&self, m: &CheckpointManifest) -> Result<(), EmError> {
+        let cfg = &self.config;
+        if m.config_hash != cfg.config_hash() {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint config hash {:#x} does not match this config ({:#x})",
+                m.config_hash,
+                cfg.config_hash()
+            )));
+        }
+        if m.v != cfg.v || m.p != 1 || m.workers.len() != 1 {
+            return Err(EmError::BadConfig(format!(
+                "checkpoint shape (v={}, p={}, {} workers) does not fit the sequential runner \
+                 (v={}, p=1, 1 worker)",
+                m.v,
+                m.p,
+                m.workers.len(),
+                cfg.v
+            )));
+        }
+        Ok(())
+    }
+
+    fn drive<P: CgmProgram>(
+        &self,
+        prog: &P,
+        start: Start<P::State>,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        let cfg = &self.config;
+        cfg.validate()?;
         let geom = cfg.geometry();
-        let (mut disks, trace) = cfg.build_disks(0)?;
+        // `base_io` is what the interrupted run already paid before the
+        // disks we hold were (re)opened: zero for fresh runs and for
+        // in-process resume (live arrays keep their cumulative counters),
+        // the manifest's counters when rebuilding from disk files.
+        match start {
+            Start::Resume { manifest, disks: Some((d, t)) } => self.drive_inner(
+                prog,
+                d,
+                t,
+                IoStats::new(geom.num_disks),
+                Start::Resume { manifest, disks: None },
+            ),
+            Start::Resume { manifest, disks: None } => {
+                let (d, t) = cfg.build_disks(0)?;
+                let base = manifest.workers[0].io.clone();
+                self.drive_inner(prog, d, t, base, Start::Resume { manifest, disks: None })
+            }
+            fresh @ Start::Fresh(_) => {
+                let (d, t) = cfg.build_disks(0)?;
+                self.drive_inner(prog, d, t, IoStats::new(geom.num_disks), fresh)
+            }
+        }
+    }
+
+    fn drive_inner<P: CgmProgram>(
+        &self,
+        prog: &P,
+        mut disks: DiskArray,
+        trace: Option<TraceHandle>,
+        base_io: IoStats,
+        start: Start<P::State>,
+    ) -> Result<RunOutcome<P::State>, EmError> {
+        let cfg = &self.config;
+        cfg.validate()?;
+        let v = cfg.v;
+        let geom = cfg.geometry();
 
         let mut ctx_store =
             ContextStore::new(geom.num_disks, geom.block_bytes, 0, v, cfg.max_ctx_bytes);
@@ -97,19 +258,40 @@ impl SeqEmRunner {
             cfg.msg_slot_items,
         );
 
-        // Input distribution: write initial contexts.
-        for (pid, state) in states.into_iter().enumerate() {
-            ctx_store.write(&mut disks, pid, &state.to_bytes())?;
-        }
-        let setup_ops = disks.stats().total_ops();
-
-        let start = Instant::now();
         let mut costs = CommCosts::default();
-        let mut breakdown = IoBreakdown { setup_ops, ..IoBreakdown::default() };
+        let mut breakdown = IoBreakdown::default();
         let mut peak_mem = 0usize;
         let mut max_ctx = 0usize;
+        let mut start_round = 0usize;
 
-        let mut round = 0usize;
+        match start {
+            Start::Fresh(states) => {
+                // Input distribution: write initial contexts.
+                for (pid, state) in states.into_iter().enumerate() {
+                    ctx_store.write(&mut disks, pid, &state.to_bytes())?;
+                }
+                breakdown.setup_ops = disks.stats().total_ops();
+            }
+            Start::Resume { manifest, .. } => {
+                // The disks already hold the barrier state; restore the
+                // in-memory metadata describing it. The matrix written
+                // *during* the checkpointed superstep is the one read in
+                // the round we re-enter at; its ping-pong partner was (or
+                // would have been) cleared, and a fresh matrix is equal
+                // to a cleared one.
+                let wc = &manifest.workers[0];
+                start_round = manifest.superstep + 1;
+                ctx_store.set_lens(wc.ctx_lens.clone())?;
+                mats[start_round % 2].set_lens(wc.inbox_lens.clone())?;
+                breakdown = wc.breakdown;
+                peak_mem = wc.peak_mem;
+                max_ctx = manifest.max_ctx_bytes_seen;
+                costs.rounds = manifest.rounds.clone();
+            }
+        }
+
+        let t0 = Instant::now();
+        let mut round = start_round;
         loop {
             if round >= cfg.round_limit {
                 return Err(ModelError::RoundLimit(cfg.round_limit).into());
@@ -193,8 +375,11 @@ impl SeqEmRunner {
             }
 
             // Superstep barrier: drain write-behind, apply the durability
-            // policy, surface any deferred write error. Uncounted.
-            disks.flush(false)?;
+            // policy, surface any deferred write error. Uncounted. When a
+            // checkpoint is due the flush also fsyncs, so the manifest
+            // never describes data still in volatile caches.
+            let want_ckpt = cfg.checkpoint_dir.is_some() || cfg.halt_after_superstep == Some(round);
+            disks.flush(want_ckpt)?;
 
             let round_cost = round_cost_from_matrix(&matrix_lens);
             let sent_any = round_cost.total_items > 0;
@@ -210,10 +395,44 @@ impl SeqEmRunner {
             if n_done != 0 {
                 return Err(ModelError::StatusDisagreement { round }.into());
             }
+
+            if want_ckpt {
+                let mut io = base_io.clone();
+                io.merge(disks.stats());
+                let manifest = CheckpointManifest {
+                    config_hash: cfg.config_hash(),
+                    v,
+                    p: 1,
+                    superstep: round,
+                    max_ctx_bytes_seen: max_ctx,
+                    cross_items: 0,
+                    rounds: costs.rounds.clone(),
+                    workers: vec![WorkerCheckpoint {
+                        worker: 0,
+                        ctx_lens: ctx_store.lens().to_vec(),
+                        inbox_lens: mats[1 - cur].lens().to_vec(),
+                        io,
+                        breakdown,
+                        peak_mem,
+                    }],
+                };
+                if let Some(dir) = &cfg.checkpoint_dir {
+                    manifest.save(&CheckpointManifest::path_in(dir)).map_err(|e| {
+                        EmError::Io(IoError::Backend(format!("saving checkpoint: {e}")))
+                    })?;
+                }
+                if cfg.halt_after_superstep == Some(round) {
+                    return Ok(RunOutcome::Interrupted(Checkpoint {
+                        manifest,
+                        disks: vec![(disks, trace)],
+                    }));
+                }
+            }
+
             mats[cur].clear();
             round += 1;
         }
-        let wall = start.elapsed();
+        let wall = t0.elapsed();
         costs.max_context_bytes = max_ctx;
 
         // Final readout.
@@ -225,9 +444,11 @@ impl SeqEmRunner {
         }
         breakdown.readout_ops = disks.stats().total_ops() - ops0;
 
+        let mut io = base_io;
+        io.merge(disks.stats());
         let report = EmRunReport {
             costs,
-            io: disks.stats().clone(),
+            io,
             breakdown,
             geometry: geom,
             p: 1,
@@ -237,7 +458,7 @@ impl SeqEmRunner {
             wall,
             io_trace: trace.map(|t| t.drain()).unwrap_or_default(),
         };
-        Ok((finals, report))
+        Ok(RunOutcome::Complete { finals, report })
     }
 }
 
@@ -408,6 +629,107 @@ mod tests {
         assert_eq!(summary.writes as u64, rep.io.blocks_written);
         assert!(summary.prefetches > 0, "read-ahead hints must reach the engine");
         assert!(summary.cache_hits > 0, "prefetched blocks must satisfy demand reads");
+    }
+
+    #[test]
+    fn halt_resume_in_process_matches_uninterrupted() {
+        let v = 4;
+        let prog = TokenRing { rounds: 5 };
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let cfg = config_for(&prog, init(), v, 2, 16);
+        let (want, want_rep) = SeqEmRunner::new(cfg.clone()).run(&prog, init()).unwrap();
+        for halt in 0..4 {
+            let mut hcfg = cfg.clone();
+            hcfg.halt_after_superstep = Some(halt);
+            let ckpt = match SeqEmRunner::new(hcfg).run_until(&prog, init()).unwrap() {
+                RunOutcome::Interrupted(c) => c,
+                RunOutcome::Complete { .. } => panic!("expected halt at superstep {halt}"),
+            };
+            assert_eq!(ckpt.manifest.superstep, halt);
+            let (finals, rep) =
+                SeqEmRunner::new(cfg.clone()).resume(&prog, ckpt).unwrap().expect_complete();
+            assert_eq!(finals, want, "halt={halt}");
+            assert_eq!(rep.io, want_rep.io, "halt={halt}");
+            assert_eq!(rep.breakdown, want_rep.breakdown, "halt={halt}");
+            assert_eq!(rep.costs.lambda(), want_rep.costs.lambda(), "halt={halt}");
+        }
+    }
+
+    #[test]
+    fn resume_from_manifest_on_files_matches_uninterrupted() {
+        let v = 5;
+        let prog = TokenRing { rounds: 6 };
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let (want, want_rep) = {
+            let cfg = config_for(&prog, init(), v, 2, 16);
+            SeqEmRunner::new(cfg).run(&prog, init()).unwrap()
+        };
+        let dir = cgmio_pdm::testutil::TempDir::new("cgmio-seq-resume");
+        let mut cfg = config_for(&prog, init(), v, 2, 16);
+        cfg.backend = crate::BackendSpec::SyncFile { dir: dir.path().join("drives") };
+        cfg.checkpoint_dir = Some(dir.path().to_path_buf());
+        cfg.halt_after_superstep = Some(2);
+        match SeqEmRunner::new(cfg.clone()).run_until(&prog, init()).unwrap() {
+            // "Crash": drop the live state, keep only the files.
+            RunOutcome::Interrupted(c) => drop(c),
+            RunOutcome::Complete { .. } => panic!("expected halt"),
+        }
+        let manifest = CheckpointManifest::load(&CheckpointManifest::path_in(dir.path())).unwrap();
+        assert_eq!(manifest.superstep, 2);
+        cfg.halt_after_superstep = None;
+        let (finals, rep) =
+            SeqEmRunner::new(cfg).resume_from(&prog, &manifest).unwrap().expect_complete();
+        assert_eq!(finals, want);
+        assert_eq!(rep.io, want_rep.io);
+        assert_eq!(rep.breakdown, want_rep.breakdown);
+        assert_eq!(rep.costs.lambda(), want_rep.costs.lambda());
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let v = 4;
+        let prog = TokenRing { rounds: 4 };
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let mut cfg = config_for(&prog, init(), v, 2, 16);
+        cfg.halt_after_superstep = Some(1);
+        let ckpt = match SeqEmRunner::new(cfg.clone()).run_until(&prog, init()).unwrap() {
+            RunOutcome::Interrupted(c) => c,
+            RunOutcome::Complete { .. } => panic!("expected halt"),
+        };
+        let mut other = cfg.clone();
+        other.block_bytes = 32; // different layout
+        let e = SeqEmRunner::new(other).resume(&prog, ckpt).unwrap_err();
+        assert!(matches!(e, EmError::BadConfig(_)), "got {e:?}");
+    }
+
+    #[test]
+    fn run_maps_halt_to_interrupted_error() {
+        let v = 4;
+        let prog = TokenRing { rounds: 4 };
+        let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+        let mut cfg = config_for(&prog, init(), v, 2, 16);
+        cfg.halt_after_superstep = Some(1);
+        let e = SeqEmRunner::new(cfg).run(&prog, init()).unwrap_err();
+        assert_eq!(e, EmError::Interrupted { superstep: 1 });
+    }
+
+    #[test]
+    fn injected_transient_faults_heal_without_changing_results() {
+        let v = 6;
+        let prog = AllToAll { items_per_pair: 7 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let cfg = config_for(&prog, init(), v, 2, 32);
+        let (want, want_rep) = SeqEmRunner::new(cfg.clone()).run(&prog, init()).unwrap();
+
+        let stats = std::sync::Arc::new(cgmio_pdm::FaultStats::default());
+        let mut fcfg = cfg.clone();
+        fcfg.fault = Some(cgmio_pdm::FaultPlan::transient(7, 0.05).with_observer(stats.clone()));
+        fcfg.retry = cgmio_io::RetryPolicy { max_attempts: 6, base_backoff_us: 0 };
+        let (got, rep) = SeqEmRunner::new(fcfg).run(&prog, init()).unwrap();
+        assert_eq!(got, want);
+        // Retries are recovery traffic, not model I/O: counts unchanged.
+        assert_eq!(rep.io, want_rep.io);
+        assert!(stats.counts().total_errors() > 0, "no faults were injected");
     }
 
     #[test]

@@ -32,8 +32,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use cgmio_pdm::{DiskGeometry, FileStorage, TrackAddr, TrackStorage};
+use cgmio_pdm::{FaultError, IoErrorKind};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
+use crate::retry::{track_checksum, RetryPolicy};
 use crate::trace::{OpKind, TraceEvent, TraceHandle};
 
 /// When data must reach stable storage.
@@ -62,6 +64,15 @@ pub struct IoEngineOpts {
     pub trace: bool,
     /// Simulated processor index stamped into trace events.
     pub proc: usize,
+    /// Retry policy the drive workers apply to transient read/write
+    /// faults (see [`crate::retry`]). Retries are counted per op in the
+    /// event trace.
+    pub retry: RetryPolicy,
+    /// Keep an in-memory FNV checksum per written track and verify every
+    /// read against it; a mismatch surfaces as an
+    /// [`IoErrorKind::Corrupt`] fault instead of silently returning bad
+    /// data.
+    pub verify_checksums: bool,
 }
 
 impl Default for IoEngineOpts {
@@ -72,6 +83,8 @@ impl Default for IoEngineOpts {
             durability: Durability::None,
             trace: false,
             proc: 0,
+            retry: RetryPolicy::default(),
+            verify_checksums: false,
         }
     }
 }
@@ -81,7 +94,16 @@ enum DriveOp {
     Read { track: u64, reply: Sender<io::Result<Vec<u8>>>, seq: u64, submit_us: u64 },
     Write { track: u64, data: Vec<u8>, seq: u64, submit_us: u64 },
     Prefetch { track: u64, seq: u64, submit_us: u64 },
-    Flush { sync: bool, reply: Sender<io::Result<()>>, seq: u64, submit_us: u64 },
+    Flush { sync: bool, barrier: bool, reply: Sender<io::Result<()>>, seq: u64, submit_us: u64 },
+}
+
+/// A write-behind failure held until the next write or flush surfaces
+/// it, with enough context to cross-reference the event trace.
+struct DeferredWriteError {
+    drive: usize,
+    track: u64,
+    superstep: u64,
+    detail: String,
 }
 
 /// [`TrackStorage`] that services each drive from its own worker thread.
@@ -94,7 +116,7 @@ pub struct ConcurrentStorage {
     inner: Arc<dyn TrackStorage>,
     queues: Vec<Sender<DriveOp>>,
     workers: Vec<JoinHandle<()>>,
-    write_err: Arc<Mutex<Option<String>>>,
+    write_err: Arc<Mutex<Option<DeferredWriteError>>>,
     durability: Durability,
     trace: Option<TraceHandle>,
 }
@@ -115,6 +137,8 @@ impl ConcurrentStorage {
                 write_err: write_err.clone(),
                 trace: trace.clone(),
                 cache_cap: opts.prefetch_cache_blocks,
+                retry: opts.retry,
+                verify: opts.verify_checksums,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -149,7 +173,10 @@ impl ConcurrentStorage {
 
     fn take_write_err(&self) -> io::Result<()> {
         match self.write_err.lock().unwrap().take() {
-            Some(msg) => Err(io::Error::other(format!("deferred write failed: {msg}"))),
+            Some(d) => Err(io::Error::other(format!(
+                "deferred write failed on drive {} track {} (superstep {}): {}",
+                d.drive, d.track, d.superstep, d.detail
+            ))),
             None => Ok(()),
         }
     }
@@ -219,7 +246,10 @@ impl TrackStorage for ConcurrentStorage {
         for drive in 0..self.queues.len() {
             let (tx, rx) = bounded(1);
             let (seq, submit_us) = self.stamp();
-            self.submit(drive, DriveOp::Flush { sync: fsync, reply: tx, seq, submit_us })?;
+            self.submit(
+                drive,
+                DriveOp::Flush { sync: fsync, barrier: true, reply: tx, seq, submit_us },
+            )?;
             replies.push(rx);
         }
         for rx in replies {
@@ -231,7 +261,10 @@ impl TrackStorage for ConcurrentStorage {
     fn sync_disk(&self, disk: usize) -> io::Result<()> {
         let (tx, rx) = bounded(1);
         let (seq, submit_us) = self.stamp();
-        self.submit(disk, DriveOp::Flush { sync: true, reply: tx, seq, submit_us })?;
+        self.submit(
+            disk,
+            DriveOp::Flush { sync: true, barrier: false, reply: tx, seq, submit_us },
+        )?;
         rx.recv().map_err(|_| io::Error::other("drive worker died mid-sync"))?
     }
 
@@ -259,9 +292,11 @@ struct WorkerCtx {
     drive: usize,
     proc: usize,
     inner: Arc<dyn TrackStorage>,
-    write_err: Arc<Mutex<Option<String>>>,
+    write_err: Arc<Mutex<Option<DeferredWriteError>>>,
     trace: Option<TraceHandle>,
     cache_cap: usize,
+    retry: RetryPolicy,
+    verify: bool,
 }
 
 impl WorkerCtx {
@@ -269,6 +304,13 @@ impl WorkerCtx {
         // Prefetch cache: worker-local, so no locks. FIFO eviction.
         let mut cache: HashMap<u64, Vec<u8>> = HashMap::new();
         let mut order: VecDeque<u64> = VecDeque::new();
+        // Expected FNV checksum per track this engine has written
+        // (worker-local: this worker services every op for its drive).
+        let mut sums: HashMap<u64, u64> = HashMap::new();
+        // Flush barriers serviced so far ≈ superstep index; stamps
+        // deferred write errors so they can be cross-referenced with the
+        // runner's superstep that issued the write.
+        let mut superstep: u64 = 0;
         // recv() drains already-queued ops even after the engine dropped
         // its senders, then errors out — that's the graceful shutdown.
         while let Ok(op) = rx.recv() {
@@ -276,14 +318,27 @@ impl WorkerCtx {
             match op {
                 DriveOp::Read { track, reply, seq, submit_us } => {
                     let start_us = self.now_us();
-                    let (res, hit) = match cache.get(&track) {
-                        Some(data) => (Ok(data.clone()), true),
-                        None => (self.inner.read_track(self.drive, track), false),
+                    let (res, hit, retries) = match cache.get(&track) {
+                        Some(data) => (Ok(data.clone()), true, 0),
+                        None => {
+                            let (res, retries) = self.read_verified(track, &sums);
+                            (res, false, retries)
+                        }
                     };
                     let bytes = res.as_ref().map(|d| d.len()).unwrap_or(0);
                     // Record before replying so a caller that observed
                     // the result also observes the trace event.
-                    self.record(OpKind::Read, track, bytes, depth, seq, submit_us, start_us, hit);
+                    self.record(
+                        OpKind::Read,
+                        track,
+                        bytes,
+                        depth,
+                        seq,
+                        submit_us,
+                        start_us,
+                        hit,
+                        retries,
+                    );
                     // The engine may already have given up on this read;
                     // a closed reply channel is not an error.
                     let _ = reply.send(res);
@@ -296,8 +351,22 @@ impl WorkerCtx {
                         order.retain(|&t| t != track);
                     }
                     let bytes = data.len();
-                    if let Err(e) = self.inner.write_track(self.drive, track, &data) {
-                        self.write_err.lock().unwrap().get_or_insert(e.to_string());
+                    let (res, retries) =
+                        self.retry.run(|| self.inner.write_track(self.drive, track, &data));
+                    match res {
+                        Ok(()) => {
+                            if self.verify {
+                                sums.insert(track, track_checksum(&data));
+                            }
+                        }
+                        Err(e) => {
+                            self.write_err.lock().unwrap().get_or_insert(DeferredWriteError {
+                                drive: self.drive,
+                                track,
+                                superstep,
+                                detail: e.to_string(),
+                            });
+                        }
                     }
                     self.record(
                         OpKind::Write,
@@ -308,6 +377,7 @@ impl WorkerCtx {
                         submit_us,
                         start_us,
                         false,
+                        retries,
                     );
                 }
                 DriveOp::Prefetch { track, seq, submit_us } => {
@@ -315,17 +385,19 @@ impl WorkerCtx {
                     let hit = cache.contains_key(&track);
                     let mut bytes = 0;
                     if !hit && self.cache_cap > 0 {
-                        // Failed prefetches are dropped: the demand read
-                        // will retry and report any real error.
+                        // Failed prefetches are dropped (no retry): the
+                        // demand read retries and reports any real error.
                         if let Ok(data) = self.inner.read_track(self.drive, track) {
-                            bytes = data.len();
-                            if order.len() >= self.cache_cap {
-                                if let Some(old) = order.pop_front() {
-                                    cache.remove(&old);
+                            if !self.verify || self.checksum_ok(track, &data, &sums) {
+                                bytes = data.len();
+                                if order.len() >= self.cache_cap {
+                                    if let Some(old) = order.pop_front() {
+                                        cache.remove(&old);
+                                    }
                                 }
+                                cache.insert(track, data);
+                                order.push_back(track);
                             }
-                            cache.insert(track, data);
-                            order.push_back(track);
                         }
                     }
                     self.record(
@@ -337,16 +409,45 @@ impl WorkerCtx {
                         submit_us,
                         start_us,
                         hit,
+                        0,
                     );
                 }
-                DriveOp::Flush { sync, reply, seq, submit_us } => {
+                DriveOp::Flush { sync, barrier, reply, seq, submit_us } => {
                     let start_us = self.now_us();
                     let res = if sync { self.inner.sync_disk(self.drive) } else { Ok(()) };
-                    self.record(OpKind::Flush, 0, 0, depth, seq, submit_us, start_us, false);
+                    if barrier {
+                        superstep += 1;
+                    }
+                    self.record(OpKind::Flush, 0, 0, depth, seq, submit_us, start_us, false, 0);
                     let _ = reply.send(res);
                 }
             }
         }
+    }
+
+    /// Demand read with transient-fault retries and (optional) checksum
+    /// verification. A mismatch is a [`IoErrorKind::Corrupt`] fault and
+    /// is *not* retried — a re-read returns the same bytes.
+    fn read_verified(&self, track: u64, sums: &HashMap<u64, u64>) -> (io::Result<Vec<u8>>, u32) {
+        self.retry.run(|| {
+            let data = self.inner.read_track(self.drive, track)?;
+            if self.verify && !self.checksum_ok(track, &data, sums) {
+                return Err(FaultError {
+                    kind: IoErrorKind::Corrupt,
+                    disk: self.drive,
+                    track,
+                    detail: "track checksum mismatch on read".into(),
+                }
+                .into_io_error());
+            }
+            Ok(data)
+        })
+    }
+
+    /// Does `data` match the checksum recorded for `track`? Tracks this
+    /// engine never wrote have no expectation and always pass.
+    fn checksum_ok(&self, track: u64, data: &[u8], sums: &HashMap<u64, u64>) -> bool {
+        sums.get(&track).is_none_or(|&want| track_checksum(data) == want)
     }
 
     fn now_us(&self) -> u64 {
@@ -364,6 +465,7 @@ impl WorkerCtx {
         submit_us: u64,
         start_us: u64,
         cache_hit: bool,
+        retries: u32,
     ) {
         if let Some(t) = &self.trace {
             t.record(TraceEvent {
@@ -378,6 +480,7 @@ impl WorkerCtx {
                 start_us,
                 end_us: t.now_us(),
                 cache_hit,
+                retries,
             });
         }
     }
@@ -520,6 +623,105 @@ mod tests {
         );
         s2.flush(false).unwrap();
         assert_eq!(lax.0.load(Ordering::SeqCst), 0, "Durability::None never fsyncs");
+    }
+
+    #[test]
+    fn deferred_error_names_drive_track_and_superstep() {
+        struct FailingWrites;
+        impl TrackStorage for FailingWrites {
+            fn read_track(&self, _d: usize, _t: u64) -> io::Result<Vec<u8>> {
+                Ok(vec![0; 4])
+            }
+            fn write_track(&self, _d: usize, _t: u64, _data: &[u8]) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                vec![0]
+            }
+        }
+        let s = ConcurrentStorage::new(Arc::new(FailingWrites), 1, IoEngineOpts::default());
+        // Two clean barriers, then a write that fails in superstep 2.
+        s.flush(false).unwrap();
+        s.flush(false).unwrap();
+        s.write_track(0, 7, &[1]).unwrap();
+        let msg = s.flush(false).unwrap_err().to_string();
+        assert!(msg.contains("drive 0"), "{msg}");
+        assert!(msg.contains("track 7"), "{msg}");
+        assert!(msg.contains("superstep 2"), "{msg}");
+        assert!(msg.contains("disk full"), "{msg}");
+    }
+
+    #[test]
+    fn workers_retry_injected_transient_faults() {
+        use cgmio_pdm::{FaultInjector, FaultPlan};
+        let geom = DiskGeometry::new(1, 4);
+        let inj = FaultInjector::new(MemStorage::new(geom), 1, FaultPlan::transient(5, 0.3));
+        let opts = IoEngineOpts {
+            trace: true,
+            verify_checksums: true,
+            retry: RetryPolicy { max_attempts: 12, base_backoff_us: 0 },
+            ..Default::default()
+        };
+        let s = ConcurrentStorage::new(Arc::new(inj), 1, opts);
+        let t = s.trace_handle().unwrap();
+        for i in 0..40u64 {
+            s.write_track(0, i, &[i as u8]).unwrap();
+        }
+        s.flush(false).unwrap();
+        for i in 0..40u64 {
+            assert_eq!(s.read_track(0, i).unwrap()[0], i as u8);
+        }
+        let sum = crate::trace::summarize(&t.snapshot());
+        assert!(sum.retries > 0, "expected traced retries at a 30% fault rate");
+    }
+
+    #[test]
+    fn torn_writes_heal_under_retry_and_pass_checksums() {
+        use cgmio_pdm::{FaultInjector, FaultPlan};
+        let geom = DiskGeometry::new(2, 8);
+        let plan = FaultPlan { seed: 9, torn_write: 0.4, ..FaultPlan::default() };
+        let inj = FaultInjector::new(MemStorage::new(geom), 2, plan);
+        let opts = IoEngineOpts {
+            verify_checksums: true,
+            retry: RetryPolicy { max_attempts: 16, base_backoff_us: 0 },
+            ..Default::default()
+        };
+        let s = ConcurrentStorage::new(Arc::new(inj), 2, opts);
+        for i in 0..60u64 {
+            s.write_track((i % 2) as usize, i, &[i as u8; 8]).unwrap();
+        }
+        s.flush(false).unwrap();
+        // Checksum verification proves every torn write was healed by a
+        // full rewrite before its data was read back.
+        for i in 0..60u64 {
+            assert_eq!(s.read_track((i % 2) as usize, i).unwrap(), vec![i as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_surfaces_as_corrupt() {
+        use cgmio_pdm::{classify, IoErrorKind};
+        struct BitRot(MemStorage);
+        impl TrackStorage for BitRot {
+            fn read_track(&self, d: usize, t: u64) -> io::Result<Vec<u8>> {
+                let mut data = self.0.read_track(d, t)?;
+                data[0] ^= 0xFF; // silent corruption
+                Ok(data)
+            }
+            fn write_track(&self, d: usize, t: u64, data: &[u8]) -> io::Result<()> {
+                self.0.write_track(d, t, data)
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                self.0.tracks_used()
+            }
+        }
+        let geom = DiskGeometry::new(1, 4);
+        let opts = IoEngineOpts { verify_checksums: true, ..Default::default() };
+        let s = ConcurrentStorage::new(Arc::new(BitRot(MemStorage::new(geom))), 1, opts);
+        s.write_track(0, 0, &[1, 2, 3, 4]).unwrap();
+        let e = s.read_track(0, 0).unwrap_err();
+        assert_eq!(classify(&e), IoErrorKind::Corrupt);
+        assert!(e.to_string().contains("checksum"), "{e}");
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //!   cache, configurable [`Durability`], and graceful shutdown that
 //!   drains in-flight writes,
 //! * [`trace`] — an opt-in I/O event trace (per-op latency, queue depth,
-//!   bytes, cache hits) exportable as JSONL or CSV.
+//!   bytes, cache hits, retries) exportable as JSONL or CSV,
+//! * [`retry`] — the recovery policy over the fault taxonomy of
+//!   [`cgmio_pdm::fault`]: bounded retry-with-backoff for transient
+//!   faults (applied inside the drive workers and, via [`RetryStorage`],
+//!   to synchronous backends) and per-track FNV checksums that turn
+//!   silent bit rot into typed [`cgmio_pdm::IoErrorKind::Corrupt`]
+//!   errors.
 //!
 //! The engine is a drop-in behind `DiskArray::with_storage`: legality
 //! checks ("≤ 1 track per disk per op") and [`cgmio_pdm::IoStats`]
@@ -22,10 +28,13 @@
 //! write contexts/messages behind it (the asynchronous pipeline the
 //! paper's physical prototype relied on).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
+pub mod retry;
 pub mod trace;
 
+pub use cgmio_pdm::{classify, FaultError, IoErrorKind};
 pub use engine::{ConcurrentStorage, Durability, IoEngineOpts};
+pub use retry::{track_checksum, RetryPolicy, RetryStorage};
 pub use trace::{summarize, write_csv, write_jsonl, OpKind, TraceEvent, TraceHandle, TraceSummary};

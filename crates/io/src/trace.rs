@@ -64,6 +64,9 @@ pub struct TraceEvent {
     pub end_us: u64,
     /// Whether a read/prefetch was satisfied from the prefetch cache.
     pub cache_hit: bool,
+    /// Transient-fault retries this op needed before the recorded
+    /// outcome (0 = first attempt stood).
+    pub retries: u32,
 }
 
 impl TraceEvent {
@@ -143,7 +146,7 @@ pub fn write_jsonl(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
             w,
             "{{\"seq\":{},\"proc\":{},\"drive\":{},\"kind\":\"{}\",\"track\":{},\
              \"bytes\":{},\"queue_depth\":{},\"submit_us\":{},\"start_us\":{},\
-             \"end_us\":{},\"cache_hit\":{}}}",
+             \"end_us\":{},\"cache_hit\":{},\"retries\":{}}}",
             e.seq,
             e.proc,
             e.drive,
@@ -154,7 +157,8 @@ pub fn write_jsonl(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
             e.submit_us,
             e.start_us,
             e.end_us,
-            e.cache_hit
+            e.cache_hit,
+            e.retries
         )?;
     }
     Ok(())
@@ -162,11 +166,14 @@ pub fn write_jsonl(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
 
 /// Write events as CSV with a header row.
 pub fn write_csv(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
-    writeln!(w, "seq,proc,drive,kind,track,bytes,queue_depth,submit_us,start_us,end_us,cache_hit")?;
+    writeln!(
+        w,
+        "seq,proc,drive,kind,track,bytes,queue_depth,submit_us,start_us,end_us,cache_hit,retries"
+    )?;
     for e in events {
         writeln!(
             w,
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             e.seq,
             e.proc,
             e.drive,
@@ -177,7 +184,8 @@ pub fn write_csv(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
             e.submit_us,
             e.start_us,
             e.end_us,
-            e.cache_hit
+            e.cache_hit,
+            e.retries
         )?;
     }
     Ok(())
@@ -201,6 +209,8 @@ pub struct TraceSummary {
     pub max_queue_depth: usize,
     /// Mean demand-read latency (queue + service), microseconds.
     pub mean_read_latency_us: u64,
+    /// Total transient-fault retries across all ops.
+    pub retries: u64,
 }
 
 /// Summarise a trace.
@@ -222,6 +232,7 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
         }
         s.bytes += e.bytes as u64;
         s.max_queue_depth = s.max_queue_depth.max(e.queue_depth);
+        s.retries += e.retries as u64;
     }
     if s.reads > 0 {
         s.mean_read_latency_us = read_lat / s.reads as u64;
@@ -246,6 +257,7 @@ mod tests {
             start_us: 10 * seq + 1,
             end_us: 10 * seq + 5,
             cache_hit: hit,
+            retries: 0,
         }
     }
 
@@ -270,7 +282,7 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("seq,proc,drive,kind"));
         assert!(lines[1].contains(",prefetch,"));
-        assert!(lines[1].ends_with("true"));
+        assert!(lines[1].ends_with("true,0"));
     }
 
     #[test]

@@ -60,8 +60,36 @@ pub enum IoError {
         /// Configured block size in bytes.
         block_bytes: usize,
     },
-    /// Underlying file backend failed.
+    /// A typed storage fault (see [`crate::fault`]) survived the
+    /// backend's recovery machinery and reached the array.
+    Fault {
+        /// Taxonomy class ([`crate::IoErrorKind`]).
+        kind: crate::fault::IoErrorKind,
+        /// Drive the faulting operation addressed.
+        disk: usize,
+        /// Track the faulting operation addressed.
+        track: u64,
+        /// Human-readable fault description.
+        detail: String,
+    },
+    /// Underlying file backend failed (untyped).
     Backend(String),
+}
+
+impl From<std::io::Error> for IoError {
+    /// Backend errors carrying a [`crate::fault::FaultError`] payload map
+    /// to the typed [`IoError::Fault`]; anything else stays untyped.
+    fn from(e: std::io::Error) -> Self {
+        match e.get_ref().and_then(|r| r.downcast_ref::<crate::fault::FaultError>()) {
+            Some(fe) => IoError::Fault {
+                kind: fe.kind,
+                disk: fe.disk,
+                track: fe.track,
+                detail: fe.detail.clone(),
+            },
+            None => IoError::Backend(e.to_string()),
+        }
+    }
 }
 
 impl std::fmt::Display for IoError {
@@ -75,6 +103,9 @@ impl std::fmt::Display for IoError {
             }
             IoError::BlockTooLarge { len, block_bytes } => {
                 write!(f, "payload of {len} bytes exceeds block size {block_bytes}")
+            }
+            IoError::Fault { kind, disk, track, detail } => {
+                write!(f, "{kind} fault on disk {disk} track {track}: {detail}")
             }
             IoError::Backend(e) => write!(f, "backend error: {e}"),
         }
@@ -154,7 +185,7 @@ impl DiskArray {
     /// error; with `sync` also force data to stable storage. Free in the
     /// cost model — write-behind I/Os were already counted when issued.
     pub fn flush(&self, sync: bool) -> Result<(), IoError> {
-        self.storage.flush(sync).map_err(|e| IoError::Backend(e.to_string()))
+        self.storage.flush(sync).map_err(IoError::from)
     }
 
     fn check_op(&self, addrs: impl Iterator<Item = TrackAddr>) -> Result<usize, IoError> {
@@ -182,7 +213,7 @@ impl DiskArray {
         }
         // Legality established above: ≤ 1 track per disk, so the backend
         // may issue the transfers of this operation concurrently.
-        let out = self.storage.read_batch(addrs).map_err(|e| IoError::Backend(e.to_string()))?;
+        let out = self.storage.read_batch(addrs).map_err(IoError::from)?;
         for a in addrs {
             self.stats.per_disk_blocks[a.disk] += 1;
         }
@@ -203,7 +234,7 @@ impl DiskArray {
                 return Err(IoError::BlockTooLarge { len: data.len(), block_bytes: bb });
             }
         }
-        self.storage.write_batch(writes).map_err(|e| IoError::Backend(e.to_string()))?;
+        self.storage.write_batch(writes).map_err(IoError::from)?;
         for (a, _) in writes {
             self.stats.per_disk_blocks[a.disk] += 1;
         }

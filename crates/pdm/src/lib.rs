@@ -31,11 +31,15 @@
 //!   delegated to, with the in-memory backend; the concurrent engine in
 //!   the `cgmio-io` crate plugs in through the same trait,
 //! * [`file_backend`] — an optional real-file backend so the same code
-//!   paths can be exercised against a filesystem.
+//!   paths can be exercised against a filesystem,
+//! * [`fault`] — a deterministic, seeded fault injector wrapping any
+//!   [`TrackStorage`], plus the `Transient`/`Corrupt`/`Permanent` error
+//!   taxonomy the recovery layers above are built on.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod disk;
+pub mod fault;
 pub mod file_backend;
 pub mod item;
 pub mod layout;
@@ -46,6 +50,9 @@ pub mod testutil;
 pub mod timing;
 
 pub use disk::{DiskArray, IoError, IoRequest, TrackAddr};
+pub use fault::{
+    classify, FaultCounts, FaultError, FaultInjector, FaultPlan, FaultStats, IoErrorKind,
+};
 pub use file_backend::FileStorage;
 pub use item::Item;
 pub use layout::{consecutive_addr, staggered_addr, Layout, MessageMatrixLayout};

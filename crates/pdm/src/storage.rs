@@ -33,6 +33,15 @@ use crate::DiskGeometry;
 ///   observable contents and completes in the background if at all,
 /// * after [`TrackStorage::flush`] returns, every previously submitted
 ///   write has been applied (and any deferred write error is reported).
+///
+/// ```
+/// use cgmio_pdm::{DiskGeometry, MemStorage, TrackStorage};
+/// let s = MemStorage::new(DiskGeometry::new(2, 4));
+/// s.write_track(1, 0, &[7, 8]).unwrap();
+/// assert_eq!(s.read_track(1, 0).unwrap(), vec![7, 8, 0, 0]); // zero-padded
+/// assert_eq!(s.read_track(0, 9).unwrap(), vec![0; 4]); // never written reads as zeros
+/// s.flush(false).unwrap(); // synchronous backend: nothing pending
+/// ```
 pub trait TrackStorage: Send + Sync {
     /// Read one track, zero-filled to the block size.
     fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>>;
@@ -75,6 +84,46 @@ pub trait TrackStorage: Send + Sync {
     /// Highest allocated track count per drive (diagnostics).
     fn tracks_used(&self) -> Vec<u64>;
 }
+
+/// Forwarding impls so wrappers (`FaultInjector`, retry layers) can be
+/// composed over type-erased backends. Every method forwards — including
+/// the batch defaults, so a backend's concurrent batch implementation is
+/// not silently replaced by the sequential default.
+macro_rules! forward_track_storage {
+    ($ptr:ident) => {
+        impl<S: TrackStorage + ?Sized> TrackStorage for $ptr<S> {
+            fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>> {
+                (**self).read_track(disk, track)
+            }
+            fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()> {
+                (**self).write_track(disk, track, data)
+            }
+            fn read_batch(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
+                (**self).read_batch(addrs)
+            }
+            fn write_batch(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+                (**self).write_batch(writes)
+            }
+            fn prefetch(&self, addrs: &[TrackAddr]) {
+                (**self).prefetch(addrs)
+            }
+            fn flush(&self, sync: bool) -> io::Result<()> {
+                (**self).flush(sync)
+            }
+            fn sync_disk(&self, disk: usize) -> io::Result<()> {
+                (**self).sync_disk(disk)
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                (**self).tracks_used()
+            }
+        }
+    };
+}
+
+use std::boxed::Box;
+use std::sync::Arc;
+forward_track_storage!(Box);
+forward_track_storage!(Arc);
 
 /// One drive's tracks, allocated on demand (`None` reads as zeros).
 type DriveTracks = Vec<Option<Box<[u8]>>>;

@@ -5,7 +5,7 @@
 //! have arbitrary sizes, which ruins the disk layout story of the EM
 //! simulation (fixed-size message slots, minimum block-size messages).
 //!
-//! BalancedRouting (after Bader, Helman and JáJá [10]) replaces one
+//! BalancedRouting (after Bader, Helman and JáJá \[10\]) replaces one
 //! arbitrary h-relation by **two balanced rounds**:
 //!
 //! * **Superstep A** — processor `i` deals word `ℓ` of its message to `j`
@@ -26,7 +26,7 @@
 //!   property-test suite,
 //! * parameter checks for Lemma 1 / Lemma 2 ([`lemma1_feasible`],
 //!   [`lemma2_feasible`]),
-//! * [`Balanced`] — an adapter that wraps **any** [`CgmProgram`] and
+//! * [`Balanced`] — an adapter that wraps **any** [`CgmProgram`](cgmio_model::CgmProgram) and
 //!   mechanically rewrites each of its communication rounds into the two
 //!   balanced rounds, preserving semantics exactly (same final states).
 //!   This is the `λ → 2λ` transformation of Lemma 2.

@@ -1,0 +1,155 @@
+//! Kill-and-resume property: halting an EM run at *any* superstep
+//! barrier and resuming from the checkpoint reproduces the
+//! uninterrupted run's final states and exact I/O accounting — across
+//! storage backends (in-memory, synchronous files, the concurrent
+//! engine) and across both runners (Algorithm 2 and Algorithm 3).
+//!
+//! This is the correctness contract behind `docs/OPERATIONS.md` §
+//! "Resuming an interrupted run": the on-disk contexts and inboxes at a
+//! barrier *are* the checkpoint, so no state can be lost between the
+//! manifest and the data.
+
+use proptest::prelude::*;
+
+use cgmio_core::{
+    measure_requirements, BackendSpec, CheckpointManifest, EmConfig, EmRunReport, ParEmRunner,
+    RunOutcome, SeqEmRunner,
+};
+use cgmio_io::IoEngineOpts;
+use cgmio_model::demo::TokenRing;
+use cgmio_pdm::testutil::TempDir;
+
+fn mk_states(v: usize) -> Vec<Vec<u64>> {
+    (0..v as u64).map(|i| vec![i]).collect()
+}
+
+fn config(prog: &TokenRing, v: usize, p: usize) -> EmConfig {
+    let (_, _, req) = measure_requirements(prog, mk_states(v)).unwrap();
+    EmConfig::from_requirements(v, p, 2, 64, &req)
+}
+
+/// Check a resumed run against the uninterrupted reference.
+fn assert_same(
+    tag: &str,
+    (finals, rep): &(Vec<Vec<u64>>, EmRunReport),
+    (want, want_rep): &(Vec<Vec<u64>>, EmRunReport),
+) {
+    assert_eq!(finals, want, "{tag}: final states differ");
+    assert_eq!(rep.io, want_rep.io, "{tag}: IoStats differ");
+    assert_eq!(rep.breakdown, want_rep.breakdown, "{tag}: I/O breakdown differs");
+    assert_eq!(rep.costs.lambda(), want_rep.costs.lambda(), "{tag}: superstep count differs");
+}
+
+/// Kill `cfg`'s run at superstep `halt`, resume, and return the result.
+/// `persist = true` drops the live checkpoint and resumes from the
+/// manifest file alone (crash recovery); `false` resumes the in-process
+/// checkpoint (works on any backend, including pure memory).
+fn kill_and_resume(
+    prog: &TokenRing,
+    cfg: &EmConfig,
+    v: usize,
+    halt: usize,
+    persist: Option<&std::path::Path>,
+) -> (Vec<Vec<u64>>, EmRunReport) {
+    let mut hcfg = cfg.clone();
+    hcfg.halt_after_superstep = Some(halt);
+    hcfg.checkpoint_dir = persist.map(|d| d.to_path_buf());
+    let ckpt = match SeqEmRunner::new(hcfg).run_until(prog, mk_states(v)).unwrap() {
+        RunOutcome::Interrupted(c) => c,
+        RunOutcome::Complete { .. } => panic!("run did not halt at superstep {halt}"),
+    };
+    assert_eq!(ckpt.manifest.superstep, halt);
+    match persist {
+        Some(dir) => {
+            drop(ckpt); // the "crash": only the files survive
+            let manifest = CheckpointManifest::load(&CheckpointManifest::path_in(dir)).unwrap();
+            SeqEmRunner::new(cfg.clone()).resume_from(prog, &manifest).unwrap().expect_complete()
+        }
+        None => SeqEmRunner::new(cfg.clone()).resume(prog, ckpt).unwrap().expect_complete(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Sequential runner (Algorithm 2): kill at an arbitrary superstep
+    /// on every backend; the resumed run must be byte- and
+    /// counter-identical to the uninterrupted one.
+    #[test]
+    fn seq_kill_resume_exact_across_backends(
+        v in 3usize..7,
+        rounds in 3usize..6,
+        halt_pick in 0usize..16,
+    ) {
+        let prog = TokenRing { rounds };
+        let halt = halt_pick % (rounds - 1); // any barrier before the last
+        let cfg = config(&prog, v, 1);
+        let want = SeqEmRunner::new(cfg.clone()).run(&prog, mk_states(v)).unwrap();
+
+        // In-memory backend: in-process resume (nothing persisted).
+        let got = kill_and_resume(&prog, &cfg, v, halt, None);
+        assert_same("mem", &got, &want);
+
+        // Synchronous files: crash recovery from the manifest alone.
+        let dir = TempDir::new("cgmio-ckpt-prop-sync");
+        let mut fcfg = cfg.clone();
+        fcfg.backend = BackendSpec::SyncFile { dir: dir.path().join("drives") };
+        let got = kill_and_resume(&prog, &fcfg, v, halt, Some(dir.path()));
+        assert_same("sync-file", &got, &want);
+
+        // Concurrent engine over files: crash recovery again.
+        let dir = TempDir::new("cgmio-ckpt-prop-conc");
+        let mut ccfg = cfg.clone();
+        ccfg.backend = BackendSpec::Concurrent {
+            dir: Some(dir.path().join("drives")),
+            opts: IoEngineOpts::default(),
+        };
+        let got = kill_and_resume(&prog, &ccfg, v, halt, Some(dir.path()));
+        assert_same("concurrent", &got, &want);
+    }
+
+    /// Parallel runner (Algorithm 3): same property with p > 1 workers,
+    /// each with its own disk array and manifest entry.
+    #[test]
+    fn par_kill_resume_exact(
+        v in 4usize..8,
+        p in 2usize..4,
+        rounds in 3usize..6,
+        halt_pick in 0usize..16,
+    ) {
+        let prog = TokenRing { rounds };
+        let halt = halt_pick % (rounds - 1);
+        let cfg = config(&prog, v, p);
+        let want = ParEmRunner::new(cfg.clone()).run(&prog, mk_states(v)).unwrap();
+
+        // In-process resume on the memory backend.
+        let mut hcfg = cfg.clone();
+        hcfg.halt_after_superstep = Some(halt);
+        let ckpt = match ParEmRunner::new(hcfg).run_until(&prog, mk_states(v)).unwrap() {
+            RunOutcome::Interrupted(c) => c,
+            RunOutcome::Complete { .. } => panic!("run did not halt at superstep {halt}"),
+        };
+        prop_assert_eq!(ckpt.manifest.superstep, halt);
+        let got =
+            ParEmRunner::new(cfg.clone()).resume(&prog, ckpt).unwrap().expect_complete();
+        assert_same("par-mem", &got, &want);
+
+        // Crash recovery from files.
+        let dir = TempDir::new("cgmio-ckpt-prop-par");
+        let mut fcfg = cfg.clone();
+        fcfg.backend = BackendSpec::SyncFile { dir: dir.path().join("drives") };
+        fcfg.checkpoint_dir = Some(dir.path().to_path_buf());
+        fcfg.halt_after_superstep = Some(halt);
+        match ParEmRunner::new(fcfg.clone()).run_until(&prog, mk_states(v)).unwrap() {
+            RunOutcome::Interrupted(c) => drop(c),
+            RunOutcome::Complete { .. } => panic!("run did not halt at superstep {halt}"),
+        }
+        let manifest =
+            CheckpointManifest::load(&CheckpointManifest::path_in(dir.path())).unwrap();
+        prop_assert_eq!(manifest.workers.len(), p.min(v));
+        fcfg.halt_after_superstep = None;
+        let got =
+            ParEmRunner::new(fcfg).resume_from(&prog, &manifest).unwrap().expect_complete();
+        assert_same("par-sync-file", &got, &want);
+    }
+}

@@ -90,7 +90,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range`.
     #[derive(Debug, Clone)]
     pub struct SizeBounds {
         lo: usize,
@@ -110,7 +110,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy producing `Vec`s of `elem`-generated values; see [`vec`].
+    /// Strategy producing `Vec`s of `elem`-generated values; see [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeBounds,
