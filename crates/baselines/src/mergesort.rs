@@ -7,7 +7,7 @@
 //! buffer per run, batching buffer refills into parallel operations
 //! whenever the needed blocks fall on distinct disks.
 
-use cgmio_pdm::{DiskArray, DiskGeometry, IoRequest, IoStats, Item, Layout};
+use cgmio_pdm::{DiskArray, DiskGeometry, IoStats, Item, Layout, SpanDecoder, TrackAddr};
 
 /// Outcome of an external sort.
 #[derive(Debug, Clone)]
@@ -37,16 +37,25 @@ fn write_stream<K: Item>(
     let geom = disks.geometry();
     let per = items_per_block::<K>(geom);
     let layout = Layout { num_disks: geom.num_disks, base_track };
-    let queue: Vec<IoRequest> = items
+    let nblocks = items.len().div_ceil(per);
+    // Stage the whole stream in one pooled buffer (each block's chunk at
+    // a block-aligned offset) and submit a single gather write.
+    let mut staging = disks.pool().checkout(nblocks * geom.block_bytes);
+    for (q, chunk) in items.chunks(per).enumerate() {
+        let off = q * geom.block_bytes;
+        K::encode_into(chunk, &mut staging[off..off + chunk.len() * K::SIZE])
+            .expect("staging sized to the stream");
+    }
+    let writes: Vec<(TrackAddr, &[u8])> = items
         .chunks(per)
         .enumerate()
-        .map(|(q, chunk)| IoRequest {
-            addr: layout.addr(start_block + q as u64),
-            data: K::encode_slice(chunk),
+        .map(|(q, chunk)| {
+            let off = q * geom.block_bytes;
+            (layout.addr(start_block + q as u64), &staging[off..off + chunk.len() * K::SIZE])
         })
         .collect();
-    disks.write_fifo(&queue).expect("baseline write");
-    items.len().div_ceil(per) as u64
+    disks.write_gather(&writes).expect("baseline write");
+    nblocks as u64
 }
 
 /// Read `n_items` from consecutive blocks at `base_track`/`start_block`.
@@ -60,14 +69,11 @@ fn read_stream<K: Item>(
     let per = items_per_block::<K>(geom);
     let layout = Layout { num_disks: geom.num_disks, base_track };
     let nblocks = n_items.div_ceil(per);
-    let blocks = disks
-        .read_fifo((0..nblocks as u64).map(|q| layout.addr(start_block + q)))
-        .expect("baseline read");
-    let mut bytes = Vec::with_capacity(nblocks * geom.block_bytes);
-    for b in blocks {
-        bytes.extend_from_slice(&b);
-    }
-    K::decode_slice(&bytes, n_items)
+    let addrs: Vec<TrackAddr> = (0..nblocks as u64).map(|q| layout.addr(start_block + q)).collect();
+    // Decode straight from the storage's block views — no reassembly copy.
+    let mut dec = SpanDecoder::new(n_items);
+    disks.read_gather_with(&addrs, &mut |_, b| dec.feed(b)).expect("baseline read");
+    dec.finish().expect("baseline stream truncated")
 }
 
 /// Sort `input` externally with memory for `mem_items` items. Returns
@@ -205,15 +211,18 @@ fn merge_group<K: Item + Ord>(
         if !need.is_empty() {
             let addrs: Vec<_> =
                 need.iter().map(|&i| src_layout.addr(cursors[i].next_block)).collect();
-            let blocks = disks.read_fifo(addrs.into_iter()).expect("merge read");
-            for (&i, block) in need.iter().zip(blocks) {
-                let c = &mut cursors[i];
-                let take = c.items_left.min(per);
-                c.buf.extend(K::decode_slice(&block, take));
-                c.items_left -= take;
-                c.next_block += 1;
-                c.blocks_left -= 1;
-            }
+            // Decode each refilled block straight into its cursor's
+            // deque — no per-block vectors.
+            disks
+                .read_gather_with(&addrs, &mut |j, block| {
+                    let c = &mut cursors[need[j]];
+                    let take = c.items_left.min(per);
+                    c.buf.extend(block[..take * K::SIZE].chunks_exact(K::SIZE).map(K::read_from));
+                    c.items_left -= take;
+                    c.next_block += 1;
+                    c.blocks_left -= 1;
+                })
+                .expect("merge read");
         }
         // Pop the global minimum among cursor fronts.
         let (best, _) = cursors
@@ -226,12 +235,10 @@ fn merge_group<K: Item + Ord>(
         out_buf.push(k);
         produced += 1;
         if out_buf.len() == per || produced == total_items {
-            let data = K::encode_slice(&out_buf);
+            let mut block = disks.pool().checkout(out_buf.len() * K::SIZE);
+            K::encode_into(&out_buf, &mut block).expect("block sized to the buffer");
             disks
-                .write_fifo(&[IoRequest {
-                    addr: dst_layout.addr(out_block + written_blocks),
-                    data,
-                }])
+                .write_gather(&[(dst_layout.addr(out_block + written_blocks), &block[..])])
                 .expect("merge write");
             written_blocks += 1;
             out_buf.clear();

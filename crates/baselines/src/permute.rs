@@ -6,7 +6,7 @@
 //! ([`sort_based_permutation`]). Matrix transpose reduces to the same
 //! sort ([`sort_based_transpose`]).
 
-use cgmio_pdm::{DiskArray, DiskGeometry, IoRequest, IoStats, Item, Layout};
+use cgmio_pdm::{DiskArray, DiskGeometry, IoStats, Item, Layout, SpanDecoder, TrackAddr};
 
 use crate::mergesort::external_merge_sort;
 
@@ -24,9 +24,9 @@ pub fn naive_permutation(geom: DiskGeometry, values: &[u64], perm: &[u64]) -> (V
     let mut cached_block: Option<(u64, Vec<u64>)> = None;
     let flush = |disks: &mut DiskArray, cached: &mut Option<(u64, Vec<u64>)>| {
         if let Some((b, buf)) = cached.take() {
-            disks
-                .write_fifo(&[IoRequest { addr: layout.addr(b), data: u64::encode_slice(&buf) }])
-                .expect("flush");
+            let mut block = disks.pool().checkout(buf.len() * 8);
+            u64::encode_into(&buf, &mut block).expect("block sized to the buffer");
+            disks.write_gather(&[(layout.addr(b), &block[..])]).expect("flush");
         }
     };
     for (i, &dst) in perm.iter().enumerate() {
@@ -36,8 +36,12 @@ pub fn naive_permutation(geom: DiskGeometry, values: &[u64], perm: &[u64]) -> (V
             Some((cb, buf)) if *cb == b => buf[off] = values[i],
             _ => {
                 flush(&mut disks, &mut cached_block);
-                let block = disks.read_fifo(std::iter::once(layout.addr(b))).expect("read");
-                let mut buf = u64::decode_slice(&block[0], per);
+                let mut buf: Vec<u64> = Vec::with_capacity(per);
+                disks
+                    .read_gather_with(&[layout.addr(b)], &mut |_, block| {
+                        buf.extend(block[..per * 8].chunks_exact(8).map(u64::read_from));
+                    })
+                    .expect("read");
                 buf[off] = values[i];
                 cached_block = Some((b, buf));
             }
@@ -47,12 +51,10 @@ pub fn naive_permutation(geom: DiskGeometry, values: &[u64], perm: &[u64]) -> (V
 
     // read the result back (counted: output must land in readable form)
     let nblocks = values.len().div_ceil(per);
-    let blocks = disks.read_fifo((0..nblocks as u64).map(|q| layout.addr(q))).expect("readout");
-    let mut bytes = Vec::new();
-    for b in blocks {
-        bytes.extend_from_slice(&b);
-    }
-    (u64::decode_slice(&bytes, values.len()), disks.stats().clone())
+    let addrs: Vec<TrackAddr> = (0..nblocks as u64).map(|q| layout.addr(q)).collect();
+    let mut dec = SpanDecoder::new(values.len());
+    disks.read_gather_with(&addrs, &mut |_, b| dec.feed(b)).expect("readout");
+    (dec.finish().expect("readout truncated"), disks.stats().clone())
 }
 
 /// Permute by external-sorting `(destination, value)` pairs — the

@@ -1,0 +1,57 @@
+//! Microbenchmarks for the pooled zero-copy data path: the allocating
+//! codec vs `encode_into` over pooled blocks, and the full context swap
+//! round-trip through `ContextStore` with reused scratch buffers.
+//!
+//! The headline numbers (allocation counts, bytes moved) come from
+//! `reproduce perf`; this harness tracks the same paths under Criterion
+//! for quick wall-clock regression checks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cgmio_core::context::ContextStore;
+use cgmio_model::ProcState;
+use cgmio_pdm::{BlockPool, DiskArray, DiskGeometry, Item};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath_codec");
+    for n in [64usize, 1024, 16384] {
+        let items: Vec<u64> = (0..n as u64).collect();
+        g.bench_with_input(BenchmarkId::new("encode_slice_alloc", n), &n, |b, _| {
+            b.iter(|| u64::encode_slice(&items).len())
+        });
+        let pool = BlockPool::default();
+        g.bench_with_input(BenchmarkId::new("encode_into_pooled", n), &n, |b, _| {
+            b.iter(|| {
+                let mut block = pool.checkout(items.len() * 8);
+                u64::encode_into(&items, &mut block).unwrap();
+                block.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_ctx_swap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("datapath_ctx_swap");
+    g.sample_size(20);
+    for n in [256usize, 4096] {
+        let state: Vec<u64> = (0..n as u64).collect();
+        let cap = state.encoded_len();
+        let mut disks = DiskArray::new(DiskGeometry::new(4, 4096));
+        let mut store = ContextStore::new(4, 4096, 0, 1, cap);
+        let mut enc: Vec<u8> = Vec::new();
+        let mut buf: Vec<u8> = Vec::new();
+        g.bench_with_input(BenchmarkId::new("swap_roundtrip", n), &n, |b, _| {
+            b.iter(|| {
+                state.encode_to_vec(&mut enc);
+                store.write(&mut disks, 0, &enc).unwrap();
+                store.read_into(&mut disks, 0, &mut buf).unwrap();
+                Vec::<u64>::try_from_bytes(&buf).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_ctx_swap);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig3|fig4|fig5a|fig5a-scaling|fig5b|fig5c|
-//!            fig6|fig7|fig8|audit|ablation|cache|io-trace|faults] [--out DIR]
+//!            fig6|fig7|fig8|audit|ablation|cache|io-trace|faults|perf] [--out DIR]
 //! ```
 //!
 //! Each experiment prints an aligned table and archives a CSV under
@@ -13,6 +13,11 @@
 
 use cgmio_bench::experiments as ex;
 use cgmio_bench::Table;
+
+/// Count every heap allocation so the `perf` experiment can report the
+/// data path's allocator traffic (see `BENCH_sort.json`).
+#[global_allocator]
+static ALLOC: cgmio_bench::alloc::CountingAlloc = cgmio_bench::alloc::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +56,7 @@ fn main() {
         ("cache", Box::new(|_| ex::cache())),
         ("io-trace", Box::new(ex::io_trace)),
         ("faults", Box::new(ex::faults)),
+        ("perf", Box::new(ex::perf)),
     ];
 
     let selected: Vec<&(&str, Exp)> = if which.iter().any(|w| w == "all") {

@@ -703,6 +703,7 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             "max_queue_depth",
             "mean_read_lat_us",
             "retries",
+            "prefetch_drops",
         ],
     );
     let (v, bb) = (16usize, 4096usize);
@@ -734,6 +735,7 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             s.max_queue_depth.to_string(),
             s.mean_read_latency_us.to_string(),
             s.retries.to_string(),
+            s.prefetch_drops.to_string(),
         ]);
     }
     t
@@ -846,6 +848,174 @@ pub fn cache() -> Table {
             format!("{n2:.3e}"),
             format!("{n3:.3e}"),
         ]);
+    }
+    t
+}
+
+/// Allocator traffic of the Fig 3/Fig 4 sort hot path measured **at the
+/// seed of this PR** (commit `3e6ab79`, the pre-zero-copy data path),
+/// with the same counting allocator and the same probe as [`perf`].
+/// Keyed by `(n, D)`; values are `(allocs, alloc_bytes)`. `perf` embeds
+/// these next to the current measurements in `BENCH_sort.json` so the
+/// reduction is computed against a fixed, honest baseline rather than a
+/// re-measurement of code that no longer exists.
+const SEED_DATAPATH: &[(usize, usize, u64, u64)] = &[
+    (8192, 1, 8243, 10_152_624),
+    (8192, 2, 7359, 10_131_952),
+    (8192, 4, 6981, 10_133_920),
+    (16384, 1, 8548, 12_799_584),
+    (16384, 2, 7641, 12_778_208),
+    (16384, 4, 7145, 12_776_176),
+    (32768, 1, 9173, 18_059_894),
+    (32768, 2, 8123, 18_033_908),
+    (32768, 4, 7605, 18_031_232),
+    (65536, 1, 10411, 28_556_108),
+    (65536, 2, 9830, 28_545_008),
+    (65536, 4, 8784, 28_516_168),
+    (131072, 1, 14364, 53_030_752),
+    (131072, 2, 12448, 52_959_036),
+    (131072, 4, 11117, 52_927_416),
+];
+
+/// One measured point of the `perf` experiment.
+struct PerfPoint {
+    n: usize,
+    d: usize,
+    wall_ms: f64,
+    io_ops: u64,
+    disk_bytes: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+/// Run the Fig 3 sort once at `(n, v, d, bb)` and measure wall-clock,
+/// I/O stats, and allocator traffic around the EM run only (input
+/// generation and the dry-run config measurement are excluded).
+fn perf_probe(n: usize, v: usize, d: usize, bb: usize) -> PerfPoint {
+    let keys = data::uniform_u64(n, 42);
+    let mk = || {
+        data::block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+    let cfg = crate::config_for(&prog, mk(), v, 1, d, bb);
+    let states = mk();
+
+    let before = crate::alloc::snapshot();
+    let t0 = std::time::Instant::now();
+    let (fin, rep) = SeqEmRunner::new(cfg).run(&prog, states).expect("perf sort run");
+    let wall = t0.elapsed();
+    let delta = crate::alloc::snapshot().since(before);
+
+    let flat: Vec<u64> = fin.iter().flat_map(|(b, _)| b.iter().copied()).collect();
+    assert_eq!(flat.len(), n);
+    assert!(flat.windows(2).all(|w| w[0] <= w[1]), "perf probe output not sorted");
+
+    let blocks = rep.io.blocks_read + rep.io.blocks_written;
+    PerfPoint {
+        n,
+        d,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        io_ops: rep.io.total_ops(),
+        disk_bytes: blocks * bb as u64,
+        allocs: delta.allocs,
+        alloc_bytes: delta.bytes,
+    }
+}
+
+/// `perf`: the data-path baseline. Runs the Fig 3 sort sweep (D = 1)
+/// and the Fig 4 multi-disk variants (D = 2, 4) under the counting
+/// allocator and writes `BENCH_sort.json` into the output directory
+/// (`results/` by default) — the perf trajectory point every later PR
+/// is compared against. Set
+/// `CGMIO_PERF_SMOKE=1` for a single small size (CI bench-smoke).
+///
+/// Allocation counts are only meaningful from the `reproduce` binary,
+/// which installs [`crate::alloc::CountingAlloc`]; elsewhere they read
+/// zero and the JSON marks `allocator_counted: false`.
+pub fn perf(out_dir: &std::path::Path) -> Table {
+    let mut t = Table::new(
+        "perf_datapath",
+        &["n", "D", "wall_ms", "io_ops", "disk_bytes", "allocs", "alloc_bytes", "vs_seed_pct"],
+    );
+    let (v, bb) = (16usize, 4096usize);
+    let smoke = std::env::var_os("CGMIO_PERF_SMOKE").is_some();
+    let (sizes, disks) =
+        if smoke { (vec![1usize << 12], vec![1usize, 2]) } else { (sweep_sizes(), vec![1, 2, 4]) };
+
+    let seed_for = |n: usize, d: usize| {
+        SEED_DATAPATH.iter().find(|&&(sn, sd, _, _)| sn == n && sd == d).map(|&(_, _, a, b)| (a, b))
+    };
+
+    let mut points = Vec::new();
+    for &n in &sizes {
+        for &d in &disks {
+            points.push(perf_probe(n, v, d, bb));
+        }
+    }
+
+    let counted = crate::alloc::counting_installed();
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n  \"bench\": \"em_cgm_sort_datapath\",\n");
+    json.push_str(
+        "  \"workload\": \"CgmSort<u64> by_pivots, v=16, B=4096 bytes \
+         (Fig 3: D=1 size sweep; Fig 4: D=2,4)\",\n",
+    );
+    json.push_str("  \"seed_commit\": \"3e6ab79\",\n");
+    json.push_str(&format!("  \"allocator_counted\": {counted},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
+    let mut headline: Option<(usize, f64)> = None;
+    for (i, p) in points.iter().enumerate() {
+        let seed = seed_for(p.n, p.d);
+        let vs_seed = match seed {
+            Some((_, sb)) if sb > 0 && counted => {
+                let pct = 100.0 * (1.0 - p.alloc_bytes as f64 / sb as f64);
+                if p.d == 1 && headline.is_none_or(|(hn, _)| p.n > hn) {
+                    headline = Some((p.n, pct));
+                }
+                format!("{pct:.1}")
+            }
+            _ => "n/a".to_string(),
+        };
+        json.push_str(&format!(
+            "    {{\"n\": {}, \"d\": {}, \"wall_ms\": {:.2}, \"io_ops\": {}, \
+             \"disk_bytes\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
+             \"seed_allocs\": {}, \"seed_alloc_bytes\": {}, \"alloc_bytes_vs_seed_pct\": {}}}{}\n",
+            p.n,
+            p.d,
+            p.wall_ms,
+            p.io_ops,
+            p.disk_bytes,
+            p.allocs,
+            p.alloc_bytes,
+            seed.map_or("null".into(), |(a, _)| a.to_string()),
+            seed.map_or("null".into(), |(_, b)| b.to_string()),
+            if vs_seed == "n/a" { "null".to_string() } else { vs_seed.clone() },
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+        t.row(vec![
+            p.n.to_string(),
+            p.d.to_string(),
+            format!("{:.2}", p.wall_ms),
+            p.io_ops.to_string(),
+            p.disk_bytes.to_string(),
+            p.allocs.to_string(),
+            p.alloc_bytes.to_string(),
+            vs_seed,
+        ]);
+    }
+    json.push_str("  ],\n");
+    match headline {
+        Some((n, pct)) => json.push_str(&format!(
+            "  \"headline\": {{\"n\": {n}, \"d\": 1, \"alloc_bytes_reduction_pct\": {pct:.1}}}\n"
+        )),
+        None => json.push_str("  \"headline\": null\n"),
+    }
+    json.push_str("}\n");
+
+    let path = out_dir.join("BENCH_sort.json");
+    match std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => eprintln!("  saved {}", path.display()),
+        Err(e) => eprintln!("  BENCH_sort.json save failed: {e}"),
     }
     t
 }

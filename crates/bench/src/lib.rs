@@ -15,6 +15,7 @@ use cgmio_io::IoEngineOpts;
 use cgmio_model::{CgmProgram, DirectRunner};
 use cgmio_pdm::{DiskGeometry, DiskTimingModel, IoRequest, MessageMatrixLayout};
 
+pub mod alloc;
 pub mod experiments;
 
 /// A printable/archivable result table.

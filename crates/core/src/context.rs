@@ -8,7 +8,7 @@
 //! `V_j` into blocks of size `B` and store the `i`-th block of `V_j` on
 //! disk `(i + j·(μ/B)) mod D`".
 
-use cgmio_pdm::{DiskArray, IoRequest, Layout};
+use cgmio_pdm::{CodecError, DiskArray, IoError, IoErrorKind, Layout, TrackAddr};
 
 use crate::EmError;
 
@@ -98,17 +98,34 @@ impl ContextStore {
             });
         }
         let base = slot as u64 * self.slot_blocks;
-        let queue: Vec<IoRequest> = bytes
+        // Gather write straight from the caller's encoded buffer — the
+        // chunks borrow `bytes`, so no per-block staging copies.
+        let writes: Vec<(TrackAddr, &[u8])> = bytes
             .chunks(self.block_bytes)
             .enumerate()
-            .map(|(q, chunk)| IoRequest {
-                addr: self.layout.addr(base + q as u64),
-                data: chunk.to_vec(),
-            })
+            .map(|(q, chunk)| (self.layout.addr(base + q as u64), chunk))
             .collect();
-        disks.write_fifo(&queue)?;
+        disks.write_gather(&writes)?;
         self.lens[slot] = bytes.len();
         Ok(())
+    }
+
+    /// First track address of `slot` (used to anchor error reports).
+    pub fn slot_addr(&self, slot: usize) -> TrackAddr {
+        self.layout.addr(slot as u64 * self.slot_blocks)
+    }
+
+    /// Map a context decode failure to a typed corrupt-I/O error anchored
+    /// at the slot's first on-disk block, so callers see *where* the bad
+    /// bytes live rather than a panic deep in the decoder.
+    pub fn corrupt_error(&self, slot: usize, e: CodecError) -> EmError {
+        let a = self.slot_addr(slot);
+        EmError::Io(IoError::Fault {
+            kind: IoErrorKind::Corrupt,
+            disk: a.disk,
+            track: a.track,
+            detail: format!("context {slot} failed to decode: {e}"),
+        })
     }
 
     /// Track addresses a `read(slot)` would touch right now — used as a
@@ -122,17 +139,31 @@ impl ContextStore {
 
     /// Read context `slot` back (exactly the bytes last written).
     pub fn read(&mut self, disks: &mut DiskArray, slot: usize) -> Result<Vec<u8>, EmError> {
+        let mut out = Vec::new();
+        self.read_into(disks, slot, &mut out)?;
+        Ok(out)
+    }
+
+    /// Read context `slot` into a reused buffer (cleared first). Blocks
+    /// are appended directly from the storage's block views — no
+    /// intermediate per-block vectors — and the buffer's capacity is
+    /// kept across supersteps, so the steady-state read path allocates
+    /// nothing.
+    pub fn read_into(
+        &mut self,
+        disks: &mut DiskArray,
+        slot: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EmError> {
         let len = self.lens[slot];
         let nblocks = (len as u64).div_ceil(self.block_bytes as u64);
         let base = slot as u64 * self.slot_blocks;
-        let addrs = (0..nblocks).map(|q| self.layout.addr(base + q));
-        let blocks = disks.read_fifo(addrs)?;
-        let mut out = Vec::with_capacity(len);
-        for b in blocks {
-            out.extend_from_slice(&b);
-        }
+        let addrs: Vec<TrackAddr> = (0..nblocks).map(|q| self.layout.addr(base + q)).collect();
+        out.clear();
+        out.reserve(nblocks as usize * self.block_bytes);
+        disks.read_gather_with(&addrs, &mut |_, b| out.extend_from_slice(b))?;
         out.truncate(len);
-        Ok(out)
+        Ok(())
     }
 }
 

@@ -14,7 +14,9 @@
 //! ablation benchmarks compare balanced vs unbalanced I/O efficiency
 //! through exactly this code path.
 
-use cgmio_pdm::{DiskArray, IoRequest, Item, MessageMatrixLayout};
+use cgmio_pdm::{
+    DiskArray, IoError, IoErrorKind, Item, MessageMatrixLayout, SpanDecoder, TrackAddr,
+};
 
 use crate::EmError;
 
@@ -115,12 +117,19 @@ impl<M: Item> MessageMatrix<M> {
     /// Write a batch of messages in the given order, packed greedily into
     /// parallel I/O operations (the paper's `DiskWrite` FIFO). Entries
     /// use *global* destination ids; each must be local to this matrix.
+    ///
+    /// The whole batch is encoded once into a single pooled staging
+    /// buffer (each message at a block-aligned offset) and submitted as
+    /// one gather write — no per-block `Vec` allocations, and concurrent
+    /// backends see one vectored submission per drive.
     pub fn write_batch(
         &mut self,
         disks: &mut DiskArray,
         entries: &[(usize, usize, &[M])],
     ) -> Result<(), EmError> {
-        let mut queue: Vec<IoRequest> = Vec::new();
+        // Validate the whole batch before touching disk or the length
+        // table, then size the staging buffer in one pass.
+        let mut total_blocks = 0usize;
         for &(src, dst, items) in entries {
             if items.len() > self.slot_items {
                 return Err(EmError::MsgSlotOverflow {
@@ -130,20 +139,31 @@ impl<M: Item> MessageMatrix<M> {
                     slot: self.slot_items,
                 });
             }
+            total_blocks += (items.len() * M::SIZE).div_ceil(self.block_bytes);
+        }
+        let mut staging = disks.pool().checkout(total_blocks * self.block_bytes);
+        // (stage offset, encoded bytes, src, dst_local) per non-empty entry
+        let mut placed: Vec<(usize, usize, usize, usize)> = Vec::with_capacity(entries.len());
+        let mut off = 0usize;
+        for &(src, dst, items) in entries {
             if items.is_empty() {
                 continue;
             }
             let dst_local = dst - self.dst_base;
-            let bytes = M::encode_slice(items);
-            for (q, chunk) in bytes.chunks(self.block_bytes).enumerate() {
-                queue.push(IoRequest {
-                    addr: self.layout.addr(src, dst_local, q as u64),
-                    data: chunk.to_vec(),
-                });
-            }
+            let bytes = items.len() * M::SIZE;
+            M::encode_into(items, &mut staging[off..off + bytes])
+                .expect("staging sized to the batch");
+            placed.push((off, bytes, src, dst_local));
+            off += bytes.div_ceil(self.block_bytes) * self.block_bytes;
             self.lens[dst_local][src] = items.len() as u32;
         }
-        disks.write_fifo(&queue)?;
+        let mut writes: Vec<(TrackAddr, &[u8])> = Vec::with_capacity(total_blocks);
+        for &(off, bytes, src, dst_local) in &placed {
+            for (q, chunk) in staging[off..off + bytes].chunks(self.block_bytes).enumerate() {
+                writes.push((self.layout.addr(src, dst_local, q as u64), chunk));
+            }
+        }
+        disks.write_gather(&writes)?;
         Ok(())
     }
 
@@ -183,16 +203,34 @@ impl<M: Item> MessageMatrix<M> {
                 addrs.push(self.layout.addr(src, dst_local, q as u64));
             }
         }
-        let blocks = disks.read_fifo(addrs.into_iter())?;
+        // Decode straight from the storage's block views: each block is
+        // fed to its slot's streaming decoder as it arrives — no
+        // reassembly buffer and, for in-memory backends, no block copy.
+        let mut owner: Vec<usize> = Vec::with_capacity(addrs.len());
+        for (si, &(_, nblocks)) in spans.iter().enumerate() {
+            owner.extend(std::iter::repeat_n(si, nblocks));
+        }
+        let mut decoders: Vec<SpanDecoder<M>> =
+            spans.iter().map(|&(n_items, _)| SpanDecoder::new(n_items)).collect();
+        disks.read_gather_with(&addrs, &mut |i, block| {
+            decoders[owner[i]].feed(block);
+        })?;
         let mut out = Vec::with_capacity(v);
         let mut bi = 0usize;
-        for (n_items, nblocks) in spans {
-            let mut bytes = Vec::with_capacity(nblocks * self.block_bytes);
-            for b in &blocks[bi..bi + nblocks] {
-                bytes.extend_from_slice(b);
+        for (src, dec) in decoders.into_iter().enumerate() {
+            let first = addrs.get(bi).copied().unwrap_or(TrackAddr::new(0, 0));
+            bi += spans[src].1;
+            match dec.finish() {
+                Ok(items) => out.push(items),
+                Err(e) => {
+                    return Err(EmError::Io(IoError::Fault {
+                        kind: IoErrorKind::Corrupt,
+                        disk: first.disk,
+                        track: first.track,
+                        detail: format!("message slot src {src} dst {dst}: {e}"),
+                    }))
+                }
             }
-            bi += nblocks;
-            out.push(M::decode_slice(&bytes, n_items));
         }
         Ok(out)
     }

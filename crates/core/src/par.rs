@@ -554,6 +554,11 @@ fn worker<P: CgmProgram>(
     }
 
     let mut halted = false;
+    // Per-worker scratch buffers reused across supersteps (see
+    // SeqEmRunner::drive_inner): the context swap path stops allocating
+    // once they reach the largest context size.
+    let mut ctx_buf: Vec<u8> = Vec::new();
+    let mut enc_buf: Vec<u8> = Vec::new();
     let mut round = init.start_round;
     loop {
         let cur = round % 2;
@@ -576,15 +581,18 @@ fn worker<P: CgmProgram>(
                 let pid = my_range.start + k;
                 // (a) context in
                 let ops0 = disks.stats().total_ops();
-                let ctx_bytes = match ctx_store.read(&mut disks, k) {
-                    Ok(b) => b,
+                if let Err(e) = ctx_store.read_into(&mut disks, k, &mut ctx_buf) {
+                    phase_err = Some(e);
+                    break 'compute;
+                }
+                breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+                let mut state = match P::State::try_from_bytes(&ctx_buf) {
+                    Ok(s) => s,
                     Err(e) => {
-                        phase_err = Some(e);
+                        phase_err = Some(ctx_store.corrupt_error(k, e));
                         break 'compute;
                     }
                 };
-                breakdown.ctx_ops += disks.stats().total_ops() - ops0;
-                let mut state = P::State::from_bytes(&ctx_bytes);
 
                 // (b) messages in (local disks)
                 let ops0 = disks.stats().total_ops();
@@ -626,7 +634,7 @@ fn worker<P: CgmProgram>(
                     ctl.n_done += 1;
                 }
                 let out_items = outbox.total();
-                let mem = ctx_bytes.len() + (inbox_items + out_items) * P::Msg::SIZE;
+                let mem = ctx_buf.len() + (inbox_items + out_items) * P::Msg::SIZE;
                 peak_mem = peak_mem.max(mem);
                 if cfg.strict && mem > cfg.mem_bytes {
                     phase_err = Some(EmError::MemoryExceeded { pid, need: mem, m: cfg.mem_bytes });
@@ -651,10 +659,10 @@ fn worker<P: CgmProgram>(
                 }
 
                 // (e) context out
-                let bytes = state.to_bytes();
-                ctl.max_ctx = ctl.max_ctx.max(bytes.len());
+                state.encode_to_vec(&mut enc_buf);
+                ctl.max_ctx = ctl.max_ctx.max(enc_buf.len());
                 let ops0 = disks.stats().total_ops();
-                if let Err(e) = ctx_store.write(&mut disks, k, &bytes) {
+                if let Err(e) = ctx_store.write(&mut disks, k, &enc_buf) {
                     phase_err = Some(e);
                     break 'compute;
                 }
@@ -749,8 +757,8 @@ fn worker<P: CgmProgram>(
     let ops0 = disks.stats().total_ops();
     let mut finals = Vec::with_capacity(n_local);
     for k in 0..n_local {
-        let bytes = ctx_store.read(&mut disks, k)?;
-        finals.push(P::State::from_bytes(&bytes));
+        ctx_store.read_into(&mut disks, k, &mut ctx_buf)?;
+        finals.push(P::State::try_from_bytes(&ctx_buf).map_err(|e| ctx_store.corrupt_error(k, e))?);
     }
     breakdown.readout_ops = disks.stats().total_ops() - ops0;
 

@@ -291,6 +291,11 @@ impl SeqEmRunner {
         }
 
         let t0 = Instant::now();
+        // Scratch buffers reused across all virtual processors and
+        // supersteps: once grown to the largest context, the swap path
+        // stops allocating.
+        let mut ctx_buf: Vec<u8> = Vec::new();
+        let mut enc_buf: Vec<u8> = Vec::new();
         let mut round = start_round;
         loop {
             if round >= cfg.round_limit {
@@ -303,9 +308,10 @@ impl SeqEmRunner {
             for (pid, matrix_row) in matrix_lens.iter_mut().enumerate() {
                 // (a) context in
                 let ops0 = disks.stats().total_ops();
-                let ctx_bytes = ctx_store.read(&mut disks, pid)?;
+                ctx_store.read_into(&mut disks, pid, &mut ctx_buf)?;
                 breakdown.ctx_ops += disks.stats().total_ops() - ops0;
-                let mut state = P::State::from_bytes(&ctx_bytes);
+                let mut state = P::State::try_from_bytes(&ctx_buf)
+                    .map_err(|e| ctx_store.corrupt_error(pid, e))?;
 
                 // (b) messages in
                 let ops0 = disks.stats().total_ops();
@@ -346,7 +352,7 @@ impl SeqEmRunner {
                 let out_items = outbox.total();
 
                 // Memory audit: context + inbox + outbox must fit in M.
-                let mem = ctx_bytes.len() + (inbox_items + out_items) * P::Msg::SIZE;
+                let mem = ctx_buf.len() + (inbox_items + out_items) * P::Msg::SIZE;
                 peak_mem = peak_mem.max(mem);
                 if cfg.strict && mem > cfg.mem_bytes {
                     return Err(EmError::MemoryExceeded { pid, need: mem, m: cfg.mem_bytes });
@@ -367,10 +373,10 @@ impl SeqEmRunner {
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
 
                 // (e) context out
-                let bytes = state.to_bytes();
-                max_ctx = max_ctx.max(bytes.len());
+                state.encode_to_vec(&mut enc_buf);
+                max_ctx = max_ctx.max(enc_buf.len());
                 let ops0 = disks.stats().total_ops();
-                ctx_store.write(&mut disks, pid, &bytes)?;
+                ctx_store.write(&mut disks, pid, &enc_buf)?;
                 breakdown.ctx_ops += disks.stats().total_ops() - ops0;
             }
 
@@ -439,8 +445,10 @@ impl SeqEmRunner {
         let ops0 = disks.stats().total_ops();
         let mut finals = Vec::with_capacity(v);
         for pid in 0..v {
-            let bytes = ctx_store.read(&mut disks, pid)?;
-            finals.push(P::State::from_bytes(&bytes));
+            ctx_store.read_into(&mut disks, pid, &mut ctx_buf)?;
+            finals.push(
+                P::State::try_from_bytes(&ctx_buf).map_err(|e| ctx_store.corrupt_error(pid, e))?,
+            );
         }
         breakdown.readout_ops = disks.stats().total_ops() - ops0;
 

@@ -28,10 +28,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use cgmio_pdm::{DiskGeometry, FileStorage, TrackAddr, TrackStorage};
+use cgmio_pdm::{
+    classify, BlockPool, DiskGeometry, FileStorage, PooledBlock, TrackAddr, TrackStorage,
+};
 use cgmio_pdm::{FaultError, IoErrorKind};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
@@ -89,20 +92,60 @@ impl Default for IoEngineOpts {
     }
 }
 
+/// One block of a vectored write: payload in a pooled buffer (returned
+/// to the pool when the worker drops it after the physical write), with
+/// its own trace stamp so per-block events are preserved.
+struct WriteBlock {
+    track: u64,
+    data: PooledBlock,
+    seq: u64,
+    submit_us: u64,
+}
+
+/// One result per submitted track, in submission order.
+type ReadManyReply = Vec<io::Result<Vec<u8>>>;
+
 /// One queued drive operation. `submit_us`/`seq` are 0 unless tracing.
+///
+/// Reads and writes travel as *vectored* per-drive submissions: a whole
+/// scatter-gather list occupies **one** queue slot per drive, so a
+/// compound-superstep transfer of hundreds of blocks can never deadlock
+/// against the bounded queue, and the channel send/recv cost is paid per
+/// drive instead of per block. Workers still service (and trace) each
+/// block individually.
 enum DriveOp {
-    Read { track: u64, reply: Sender<io::Result<Vec<u8>>>, seq: u64, submit_us: u64 },
-    Write { track: u64, data: Vec<u8>, seq: u64, submit_us: u64 },
-    Prefetch { track: u64, seq: u64, submit_us: u64 },
-    Flush { sync: bool, barrier: bool, reply: Sender<io::Result<()>>, seq: u64, submit_us: u64 },
+    /// `tracks` are `(track, seq, submit_us)`; the reply carries one
+    /// result per track, in submission order.
+    ReadMany {
+        tracks: Vec<(u64, u64, u64)>,
+        reply: Sender<ReadManyReply>,
+    },
+    WriteMany {
+        blocks: Vec<WriteBlock>,
+    },
+    Prefetch {
+        track: u64,
+        seq: u64,
+        submit_us: u64,
+    },
+    Flush {
+        sync: bool,
+        barrier: bool,
+        reply: Sender<io::Result<()>>,
+        seq: u64,
+        submit_us: u64,
+    },
 }
 
 /// A write-behind failure held until the next write or flush surfaces
-/// it, with enough context to cross-reference the event trace.
+/// it, with enough context to cross-reference the event trace. `kind`
+/// preserves the fault taxonomy of the original error so `classify()`
+/// downstream still distinguishes Transient/Corrupt/Permanent.
 struct DeferredWriteError {
     drive: usize,
     track: u64,
     superstep: u64,
+    kind: IoErrorKind,
     detail: String,
 }
 
@@ -119,6 +162,14 @@ pub struct ConcurrentStorage {
     write_err: Arc<Mutex<Option<DeferredWriteError>>>,
     durability: Durability,
     trace: Option<TraceHandle>,
+    proc: usize,
+    /// Pool recycling write-behind payload buffers between the engine
+    /// (which copies the caller's bytes in at submit) and the drive
+    /// workers (which return the buffer on drop after the physical
+    /// write) — the submit-side copy is the only one on the write path.
+    pool: BlockPool,
+    /// Per-drive count of prefetch hints dropped on a full queue.
+    prefetch_drops: Arc<Vec<AtomicU64>>,
 }
 
 impl ConcurrentStorage {
@@ -148,7 +199,17 @@ impl ConcurrentStorage {
             );
             queues.push(tx);
         }
-        Self { inner, queues, workers, write_err, durability: opts.durability, trace }
+        Self {
+            inner,
+            queues,
+            workers,
+            write_err,
+            durability: opts.durability,
+            trace,
+            proc: opts.proc,
+            pool: BlockPool::default(),
+            prefetch_drops: Arc::new((0..num_disks).map(|_| AtomicU64::new(0)).collect()),
+        }
     }
 
     /// Open (or create) file-backed drives in `dir` and run them through
@@ -171,12 +232,18 @@ impl ConcurrentStorage {
         }
     }
 
+    /// Surface (and clear) a deferred write-behind error as a typed
+    /// [`FaultError`] so `classify()` sees the original taxonomy class; a
+    /// permanent fault surfaced here stays permanent downstream.
     fn take_write_err(&self) -> io::Result<()> {
         match self.write_err.lock().unwrap().take() {
-            Some(d) => Err(io::Error::other(format!(
-                "deferred write failed on drive {} track {} (superstep {}): {}",
-                d.drive, d.track, d.superstep, d.detail
-            ))),
+            Some(d) => Err(FaultError {
+                kind: d.kind,
+                disk: d.drive,
+                track: d.track,
+                detail: format!("deferred write failed in superstep {}: {}", d.superstep, d.detail),
+            }
+            .into_io_error()),
             None => Ok(()),
         }
     }
@@ -185,6 +252,43 @@ impl ConcurrentStorage {
         self.queues[drive]
             .send(op)
             .map_err(|_| io::Error::other(format!("drive {drive} worker is gone")))
+    }
+
+    /// Prefetch hints dropped per drive so far (full submission queue).
+    pub fn prefetch_drop_counts(&self) -> Vec<u64> {
+        self.prefetch_drops.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Group a scatter list per drive, submit one vectored read per
+    /// drive, and return each block **owned** in request order.
+    fn read_scatter_owned(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
+        let nd = self.queues.len();
+        let mut groups: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); nd];
+        for a in addrs {
+            let (seq, submit_us) = self.stamp();
+            groups[a.disk].push((a.track, seq, submit_us));
+        }
+        let mut replies: Vec<Option<Receiver<ReadManyReply>>> = (0..nd).map(|_| None).collect();
+        for (drive, tracks) in groups.into_iter().enumerate() {
+            if tracks.is_empty() {
+                continue;
+            }
+            let (tx, rx) = bounded(1);
+            self.submit(drive, DriveOp::ReadMany { tracks, reply: tx })?;
+            replies[drive] = Some(rx);
+        }
+        let mut per_drive: Vec<VecDeque<io::Result<Vec<u8>>>> =
+            (0..nd).map(|_| VecDeque::new()).collect();
+        for (drive, rx) in replies.into_iter().enumerate() {
+            if let Some(rx) = rx {
+                per_drive[drive] =
+                    rx.recv().map_err(|_| io::Error::other("drive worker died mid-read"))?.into();
+            }
+        }
+        addrs
+            .iter()
+            .map(|a| per_drive[a.disk].pop_front().expect("one result per submitted track"))
+            .collect()
     }
 }
 
@@ -200,40 +304,80 @@ impl TrackStorage for ConcurrentStorage {
     /// Submit every read of the (legal) operation before awaiting any
     /// reply: the transfers overlap across drives.
     fn read_batch(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
-        let mut replies = Vec::with_capacity(addrs.len());
-        for a in addrs {
-            let (tx, rx) = bounded(1);
-            let (seq, submit_us) = self.stamp();
-            self.submit(a.disk, DriveOp::Read { track: a.track, reply: tx, seq, submit_us })?;
-            replies.push(rx);
+        self.read_scatter_owned(addrs)
+    }
+
+    /// Vectored scatter read: one submission per participating drive,
+    /// any number of tracks per drive, blocks handed to `f` in request
+    /// order.
+    fn read_scatter_with(
+        &self,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> io::Result<()> {
+        for (i, block) in self.read_scatter_owned(addrs)?.into_iter().enumerate() {
+            f(i, &block);
         }
-        replies
-            .into_iter()
-            .map(|rx| rx.recv().map_err(|_| io::Error::other("drive worker died mid-read"))?)
-            .collect()
+        Ok(())
     }
 
     /// Write-behind: returns once all blocks are queued. Errors from
     /// earlier deferred writes surface here (or at flush).
     fn write_batch(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+        self.write_scatter(writes)
+    }
+
+    /// Vectored write-behind: the whole scatter list becomes one
+    /// submission per participating drive. Payloads are copied once into
+    /// pooled buffers the workers recycle; this is the only copy between
+    /// the caller's staging buffer and the inner storage.
+    fn write_scatter(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
         self.take_write_err()?;
+        let nd = self.queues.len();
+        let mut groups: Vec<Vec<WriteBlock>> = (0..nd).map(|_| Vec::new()).collect();
         for (a, data) in writes {
             let (seq, submit_us) = self.stamp();
-            self.submit(
-                a.disk,
-                DriveOp::Write { track: a.track, data: data.to_vec(), seq, submit_us },
-            )?;
+            let mut block = self.pool.checkout(data.len());
+            block.copy_from_slice(data);
+            groups[a.disk].push(WriteBlock { track: a.track, data: block, seq, submit_us });
+        }
+        for (drive, blocks) in groups.into_iter().enumerate() {
+            if !blocks.is_empty() {
+                self.submit(drive, DriveOp::WriteMany { blocks })?;
+            }
         }
         Ok(())
     }
 
-    /// Best-effort hint; a full queue drops it rather than blocking.
+    /// Best-effort hint; a full queue drops it rather than blocking —
+    /// but a drop is counted per drive and traced, so prefetch
+    /// effectiveness analysis sees the hints that went missing.
     fn prefetch(&self, addrs: &[TrackAddr]) {
         for a in addrs {
             let (seq, submit_us) = self.stamp();
             match self.queues[a.disk].try_send(DriveOp::Prefetch { track: a.track, seq, submit_us })
             {
-                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+                Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.prefetch_drops[a.disk].fetch_add(1, Ordering::Relaxed);
+                    if let Some(t) = &self.trace {
+                        let now = t.now_us();
+                        t.record(TraceEvent {
+                            seq,
+                            proc: self.proc,
+                            drive: a.disk,
+                            kind: OpKind::PrefetchDropped,
+                            track: a.track,
+                            bytes: 0,
+                            queue_depth: self.queues[a.disk].len(),
+                            submit_us,
+                            start_us: now,
+                            end_us: now,
+                            cache_hit: false,
+                            retries: 0,
+                        });
+                    }
+                }
             }
         }
     }
@@ -316,69 +460,78 @@ impl WorkerCtx {
         while let Ok(op) = rx.recv() {
             let depth = rx.len();
             match op {
-                DriveOp::Read { track, reply, seq, submit_us } => {
-                    let start_us = self.now_us();
-                    let (res, hit, retries) = match cache.get(&track) {
-                        Some(data) => (Ok(data.clone()), true, 0),
-                        None => {
-                            let (res, retries) = self.read_verified(track, &sums);
-                            (res, false, retries)
-                        }
-                    };
-                    let bytes = res.as_ref().map(|d| d.len()).unwrap_or(0);
-                    // Record before replying so a caller that observed
-                    // the result also observes the trace event.
-                    self.record(
-                        OpKind::Read,
-                        track,
-                        bytes,
-                        depth,
-                        seq,
-                        submit_us,
-                        start_us,
-                        hit,
-                        retries,
-                    );
+                DriveOp::ReadMany { tracks, reply } => {
+                    let mut out = Vec::with_capacity(tracks.len());
+                    for (track, seq, submit_us) in tracks {
+                        let start_us = self.now_us();
+                        let (res, hit, retries) = match cache.get(&track) {
+                            Some(data) => (Ok(data.clone()), true, 0),
+                            None => {
+                                let (res, retries) = self.read_verified(track, &sums);
+                                (res, false, retries)
+                            }
+                        };
+                        let bytes = res.as_ref().map(|d| d.len()).unwrap_or(0);
+                        // Record before replying so a caller that
+                        // observed the result also observes the event.
+                        self.record(
+                            OpKind::Read,
+                            track,
+                            bytes,
+                            depth,
+                            seq,
+                            submit_us,
+                            start_us,
+                            hit,
+                            retries,
+                        );
+                        out.push(res);
+                    }
                     // The engine may already have given up on this read;
                     // a closed reply channel is not an error.
-                    let _ = reply.send(res);
+                    let _ = reply.send(out);
                 }
-                DriveOp::Write { track, data, seq, submit_us } => {
-                    let start_us = self.now_us();
-                    // FIFO order makes later reads see this write; the
-                    // cache entry is stale either way, so drop it.
-                    if cache.remove(&track).is_some() {
-                        order.retain(|&t| t != track);
-                    }
-                    let bytes = data.len();
-                    let (res, retries) =
-                        self.retry.run(|| self.inner.write_track(self.drive, track, &data));
-                    match res {
-                        Ok(()) => {
-                            if self.verify {
-                                sums.insert(track, track_checksum(&data));
+                DriveOp::WriteMany { blocks } => {
+                    for WriteBlock { track, data, seq, submit_us } in blocks {
+                        let start_us = self.now_us();
+                        // FIFO order makes later reads see this write;
+                        // the cache entry is stale either way — drop it.
+                        if cache.remove(&track).is_some() {
+                            order.retain(|&t| t != track);
+                        }
+                        let bytes = data.len();
+                        let (res, retries) =
+                            self.retry.run(|| self.inner.write_track(self.drive, track, &data));
+                        match res {
+                            Ok(()) => {
+                                if self.verify {
+                                    sums.insert(track, track_checksum(&data));
+                                }
+                            }
+                            Err(e) => {
+                                self.write_err.lock().unwrap().get_or_insert(DeferredWriteError {
+                                    drive: self.drive,
+                                    track,
+                                    superstep,
+                                    kind: classify(&e),
+                                    detail: e.to_string(),
+                                });
                             }
                         }
-                        Err(e) => {
-                            self.write_err.lock().unwrap().get_or_insert(DeferredWriteError {
-                                drive: self.drive,
-                                track,
-                                superstep,
-                                detail: e.to_string(),
-                            });
-                        }
+                        self.record(
+                            OpKind::Write,
+                            track,
+                            bytes,
+                            depth,
+                            seq,
+                            submit_us,
+                            start_us,
+                            false,
+                            retries,
+                        );
+                        // `data` (a PooledBlock) drops here, returning
+                        // the buffer to the engine's pool.
                     }
-                    self.record(
-                        OpKind::Write,
-                        track,
-                        bytes,
-                        depth,
-                        seq,
-                        submit_us,
-                        start_us,
-                        false,
-                        retries,
-                    );
                 }
                 DriveOp::Prefetch { track, seq, submit_us } => {
                     let start_us = self.now_us();
@@ -645,10 +798,119 @@ mod tests {
         s.flush(false).unwrap();
         s.write_track(0, 7, &[1]).unwrap();
         let msg = s.flush(false).unwrap_err().to_string();
-        assert!(msg.contains("drive 0"), "{msg}");
+        assert!(msg.contains("disk 0"), "{msg}");
         assert!(msg.contains("track 7"), "{msg}");
         assert!(msg.contains("superstep 2"), "{msg}");
         assert!(msg.contains("disk full"), "{msg}");
+    }
+
+    #[test]
+    fn deferred_write_error_keeps_fault_taxonomy() {
+        use cgmio_pdm::classify;
+        struct PermanentWrites;
+        impl TrackStorage for PermanentWrites {
+            fn read_track(&self, _d: usize, _t: u64) -> io::Result<Vec<u8>> {
+                Ok(vec![0; 4])
+            }
+            fn write_track(&self, d: usize, t: u64, _data: &[u8]) -> io::Result<()> {
+                Err(FaultError {
+                    kind: IoErrorKind::Permanent,
+                    disk: d,
+                    track: t,
+                    detail: "bad sector".into(),
+                }
+                .into_io_error())
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                vec![0]
+            }
+        }
+        let s = ConcurrentStorage::new(Arc::new(PermanentWrites), 1, IoEngineOpts::default());
+        s.write_track(0, 3, &[1]).unwrap();
+        let e = s.flush(false).unwrap_err();
+        // the deferred path must NOT flatten the typed payload: a
+        // permanent fault stays permanent for retry decisions downstream
+        assert_eq!(classify(&e), IoErrorKind::Permanent);
+        assert!(e.to_string().contains("bad sector"), "{e}");
+        // untyped io::Errors classify as Permanent (do-not-retry) too
+        struct UntypedFail;
+        impl TrackStorage for UntypedFail {
+            fn read_track(&self, _d: usize, _t: u64) -> io::Result<Vec<u8>> {
+                Ok(vec![0; 4])
+            }
+            fn write_track(&self, _d: usize, _t: u64, _data: &[u8]) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                vec![0]
+            }
+        }
+        let s = ConcurrentStorage::new(Arc::new(UntypedFail), 1, IoEngineOpts::default());
+        s.write_track(0, 0, &[1]).unwrap();
+        let e = s.flush(false).unwrap_err();
+        assert_eq!(classify(&e), classify(&io::Error::other("disk full")));
+    }
+
+    #[test]
+    fn scatter_paths_roundtrip_many_blocks_per_drive() {
+        let geom = DiskGeometry::new(2, 4);
+        let inner: Arc<dyn TrackStorage> = Arc::new(MemStorage::new(geom));
+        let s = ConcurrentStorage::new(inner.clone(), 2, IoEngineOpts::default());
+        // 100 blocks on 2 drives — far beyond the queue depth; the
+        // vectored submission must not deadlock.
+        let writes: Vec<(TrackAddr, Vec<u8>)> = (0..100u64)
+            .map(|i| (TrackAddr::new((i % 2) as usize, i / 2), vec![i as u8, 1, 2]))
+            .collect();
+        let borrowed: Vec<(TrackAddr, &[u8])> =
+            writes.iter().map(|(a, d)| (*a, d.as_slice())).collect();
+        s.write_scatter(&borrowed).unwrap();
+        let addrs: Vec<TrackAddr> = writes.iter().map(|(a, _)| *a).collect();
+        let mut got = Vec::new();
+        s.read_scatter_with(&addrs, &mut |i, b| {
+            assert_eq!(i, got.len());
+            got.push(b.to_vec());
+        })
+        .unwrap();
+        for (i, b) in got.iter().enumerate() {
+            assert_eq!(b, &vec![i as u8, 1, 2, 0]);
+        }
+    }
+
+    #[test]
+    fn dropped_prefetch_hints_are_counted_and_traced() {
+        use std::sync::atomic::AtomicBool;
+        // An inner storage whose reads block until released: the drive
+        // queue fills up behind the stuck op, so later hints must drop.
+        struct Stuck(Arc<AtomicBool>);
+        impl TrackStorage for Stuck {
+            fn read_track(&self, _d: usize, _t: u64) -> io::Result<Vec<u8>> {
+                while !self.0.load(Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
+                Ok(vec![0; 4])
+            }
+            fn write_track(&self, _d: usize, _t: u64, _data: &[u8]) -> io::Result<()> {
+                Ok(())
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                vec![0]
+            }
+        }
+        let release = Arc::new(AtomicBool::new(false));
+        let opts = IoEngineOpts { queue_depth: 2, trace: true, ..Default::default() };
+        let s = ConcurrentStorage::new(Arc::new(Stuck(release.clone())), 1, opts);
+        let t = s.trace_handle().unwrap();
+        // occupy the worker, then fill the 2-slot queue with hints
+        s.prefetch(&[TrackAddr::new(0, 0)]);
+        for i in 1..=20u64 {
+            s.prefetch(&[TrackAddr::new(0, i)]);
+        }
+        let drops = s.prefetch_drop_counts()[0];
+        assert!(drops > 0, "a 2-deep queue cannot absorb 20 hints");
+        release.store(true, Ordering::SeqCst);
+        s.flush(false).unwrap();
+        let sum = crate::trace::summarize(&t.snapshot());
+        assert_eq!(sum.prefetch_drops as u64, drops, "every drop is traced");
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub enum OpKind {
     Write,
     /// Background prefetch (a hint; never counted).
     Prefetch,
+    /// Prefetch hint dropped because the drive's queue was full — never
+    /// serviced, recorded so cache-hit-rate analysis can see the hints
+    /// that silently went missing.
+    PrefetchDropped,
     /// Pipeline drain / fsync barrier.
     Flush,
 }
@@ -34,6 +38,7 @@ impl OpKind {
             OpKind::Read => "read",
             OpKind::Write => "write",
             OpKind::Prefetch => "prefetch",
+            OpKind::PrefetchDropped => "prefetch_dropped",
             OpKind::Flush => "flush",
         }
     }
@@ -211,6 +216,8 @@ pub struct TraceSummary {
     pub mean_read_latency_us: u64,
     /// Total transient-fault retries across all ops.
     pub retries: u64,
+    /// Prefetch hints dropped on a full submission queue.
+    pub prefetch_drops: usize,
 }
 
 /// Summarise a trace.
@@ -225,6 +232,7 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             }
             OpKind::Write => s.writes += 1,
             OpKind::Prefetch => s.prefetches += 1,
+            OpKind::PrefetchDropped => s.prefetch_drops += 1,
             OpKind::Flush => {}
         }
         if e.cache_hit {
@@ -300,6 +308,17 @@ mod tests {
         assert_eq!(s.max_queue_depth, 2);
         // latency = end - submit = 5 for every op
         assert_eq!(s.mean_read_latency_us, 5);
+    }
+
+    #[test]
+    fn dropped_prefetches_are_counted_separately() {
+        let evs = vec![ev(0, OpKind::Prefetch, false), ev(1, OpKind::PrefetchDropped, false)];
+        let s = summarize(&evs);
+        assert_eq!(s.prefetches, 1);
+        assert_eq!(s.prefetch_drops, 1);
+        let mut buf = Vec::new();
+        write_jsonl(&evs, &mut buf).unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains("\"kind\":\"prefetch_dropped\""));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! self-describing binary encoding. The encoded length is the context
 //! size; its maximum over processors and rounds is the paper's `μ`.
 
-use cgmio_pdm::Item;
+use cgmio_pdm::{CodecError, Item};
 
 /// Streaming encoder used by [`ProcState::encode`].
 pub struct Encoder {
@@ -17,6 +17,14 @@ impl Encoder {
     /// New empty encoder.
     pub fn new() -> Self {
         Self { buf: Vec::new() }
+    }
+
+    /// Encoder reusing `buf`'s capacity (the buffer is cleared). The hot
+    /// path re-encodes every context each superstep; reusing one scratch
+    /// buffer removes that per-context allocation.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        Self { buf }
     }
 
     /// Append a length-prefixed slice of items.
@@ -70,58 +78,91 @@ impl Default for Encoder {
 }
 
 /// Streaming decoder used by [`ProcState::decode`].
+///
+/// The decoder is *poisoning*, not panicking: reading past the end of
+/// the buffer (or hitting a length prefix that doesn't fit) records a
+/// [`CodecError`], and every subsequent read returns a zero value /
+/// empty collection. Contexts read back from disk can be truncated or
+/// corrupt — a torn write that slipped past checksumming, a bad resume —
+/// and that is an I/O condition to report via
+/// [`ProcState::try_from_bytes`], never a reason to crash the run.
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    failed: Option<CodecError>,
 }
 
 impl<'a> Decoder<'a> {
     /// Decode from `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self { buf, pos: 0, failed: None }
     }
 
-    /// Read a length-prefixed item slice.
+    /// Take the next `n` bytes, or poison the decoder.
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let left = self.buf.len() - self.pos;
+        if left >= n {
+            let s = &self.buf[self.pos..self.pos + n];
+            self.pos += n;
+            Some(s)
+        } else {
+            if self.failed.is_none() {
+                self.failed = Some(CodecError { needed: n, got: left });
+            }
+            self.pos = self.buf.len();
+            None
+        }
+    }
+
+    /// Read a length-prefixed item slice; empty once poisoned.
+    ///
+    /// The length prefix is validated against the remaining bytes
+    /// *before* any allocation, so a corrupt prefix cannot trigger a
+    /// huge allocation (let alone an out-of-bounds read).
     pub fn items<T: Item>(&mut self) -> Vec<T> {
         let n = self.u64() as usize;
-        let bytes = n * T::SIZE;
-        let out = T::decode_slice(&self.buf[self.pos..self.pos + bytes], n);
-        self.pos += bytes;
-        out
+        let Some(bytes) = n.checked_mul(T::SIZE) else {
+            self.take(usize::MAX); // poison with an impossible need
+            return Vec::new();
+        };
+        match self.take(bytes) {
+            Some(buf) => T::decode_from(buf, n).expect("length checked"),
+            None => Vec::new(),
+        }
     }
 
-    /// Read a bare `u64`.
+    /// Read a bare `u64`; 0 once poisoned.
     pub fn u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
-        self.pos += 8;
-        v
+        self.take(8).map(|b| u64::from_le_bytes(b.try_into().unwrap())).unwrap_or(0)
     }
 
-    /// Read a bare `i64`.
+    /// Read a bare `i64`; 0 once poisoned.
     pub fn i64(&mut self) -> i64 {
-        let v = i64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
-        self.pos += 8;
-        v
+        self.take(8).map(|b| i64::from_le_bytes(b.try_into().unwrap())).unwrap_or(0)
     }
 
-    /// Read one item.
+    /// Read one item; zero-bytes value once poisoned.
     pub fn item<T: Item>(&mut self) -> T {
-        let v = T::read_from(&self.buf[self.pos..self.pos + T::SIZE]);
-        self.pos += T::SIZE;
-        v
+        match self.take(T::SIZE) {
+            Some(b) => T::read_from(b),
+            None => T::read_from(&vec![0u8; T::SIZE]),
+        }
     }
 
-    /// Read a length-prefixed byte string.
+    /// Read a length-prefixed byte string; empty once poisoned.
     pub fn bytes(&mut self) -> Vec<u8> {
         let n = self.u64() as usize;
-        let out = self.buf[self.pos..self.pos + n].to_vec();
-        self.pos += n;
-        out
+        self.take(n).map(|b| b.to_vec()).unwrap_or_default()
     }
 
     /// True if the whole buffer was consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// The first decode failure, if any read ran past the buffer.
+    pub fn error(&self) -> Option<CodecError> {
+        self.failed
     }
 }
 
@@ -147,9 +188,36 @@ pub trait ProcState: Sized {
         e.finish()
     }
 
-    /// Convenience: decode from a buffer.
+    /// Convenience: encode into a reused buffer (cleared first), keeping
+    /// its capacity across calls. This is what the runners use on the hot
+    /// path so swapping a context out doesn't allocate once the scratch
+    /// buffer has grown to the largest context size.
+    fn encode_to_vec(&self, buf: &mut Vec<u8>) {
+        let mut e = Encoder::with_buffer(std::mem::take(buf));
+        self.encode(&mut e);
+        *buf = e.finish();
+    }
+
+    /// Decode from a buffer, reporting truncated or corrupt input as an
+    /// error instead of panicking. Callers reading contexts back from
+    /// disk should use this and surface the failure as an I/O error.
+    fn try_from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Decoder::new(buf);
+        let v = Self::decode(&mut d);
+        match d.error() {
+            Some(e) => Err(e),
+            None => Ok(v),
+        }
+    }
+
+    /// Convenience: decode from a buffer known to be well-formed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is truncated or corrupt; use
+    /// [`ProcState::try_from_bytes`] for data read from disk.
     fn from_bytes(buf: &[u8]) -> Self {
-        Self::decode(&mut Decoder::new(buf))
+        Self::try_from_bytes(buf).expect("corrupt ProcState bytes")
     }
 }
 
@@ -235,5 +303,65 @@ mod tests {
     fn empty_vec_roundtrip() {
         let v: Vec<u64> = vec![];
         assert_eq!(Vec::<u64>::from_bytes(&v.to_bytes()), v);
+    }
+
+    #[test]
+    fn truncated_bytes_error_instead_of_panicking() {
+        let v: Vec<u64> = (0..8).collect();
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            let e = Vec::<u64>::try_from_bytes(&bytes[..cut])
+                .expect_err("truncated buffer must not decode");
+            assert!(e.got < e.needed, "{e}");
+        }
+        assert_eq!(Vec::<u64>::try_from_bytes(&bytes).unwrap(), v);
+        // tuple states poison through all fields without panicking
+        let s: (u64, Vec<i64>, Vec<(u64, u64)>) = (7, vec![-1, 2], vec![(1, 2)]);
+        let enc = s.to_bytes();
+        assert!(<(u64, Vec<i64>, Vec<(u64, u64)>)>::try_from_bytes(&enc[..enc.len() - 1]).is_err());
+        assert!(<(u64, Vec<i64>, Vec<(u64, u64)>)>::try_from_bytes(&enc).is_ok());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_is_bounded() {
+        // an absurd length prefix must neither panic nor allocate
+        let mut bytes = vec![0u8; 8];
+        bytes[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(Vec::<u64>::try_from_bytes(&bytes).is_err());
+        // a plausible-but-too-long prefix is caught by the remaining-bytes check
+        let mut e = Encoder::new();
+        e.u64(1000).u64(42);
+        assert!(Vec::<u64>::try_from_bytes(&e.finish()).is_err());
+    }
+
+    #[test]
+    fn poisoned_decoder_returns_defaults_and_first_error() {
+        let mut e = Encoder::new();
+        e.u64(5);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u64(), 5);
+        assert_eq!(d.u64(), 0); // past the end: default, poisoned
+        assert_eq!(d.i64(), 0);
+        assert_eq!(d.item::<(u32, u32)>(), (0, 0));
+        assert!(d.bytes().is_empty());
+        assert!(d.items::<u64>().is_empty());
+        let err = d.error().unwrap();
+        assert_eq!((err.needed, err.got), (8, 0)); // first failure is kept
+    }
+
+    #[test]
+    fn encode_to_vec_reuses_capacity() {
+        let v: Vec<u64> = (0..100).collect();
+        let mut buf = Vec::new();
+        v.encode_to_vec(&mut buf);
+        assert_eq!(buf, v.to_bytes());
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        let small: Vec<u64> = vec![1, 2];
+        small.encode_to_vec(&mut buf);
+        assert_eq!(buf, small.to_bytes());
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf.as_ptr(), ptr);
     }
 }

@@ -8,6 +8,7 @@
 //! kind the paper's staggered format exists to prevent) cannot hide.
 
 use crate::file_backend::FileStorage;
+use crate::pool::BlockPool;
 use crate::stats::IoStats;
 use crate::storage::{MemStorage, TrackStorage};
 use crate::DiskGeometry;
@@ -132,6 +133,7 @@ pub struct DiskArray {
     geom: DiskGeometry,
     storage: Box<dyn TrackStorage>,
     stats: IoStats,
+    pool: BlockPool,
 }
 
 impl DiskArray {
@@ -151,7 +153,14 @@ impl DiskArray {
     /// (e.g. `cgmio_io::ConcurrentStorage`). The accounting and legality
     /// layer is identical for every backend.
     pub fn with_storage(geom: DiskGeometry, storage: Box<dyn TrackStorage>) -> Self {
-        Self { storage, stats: IoStats::new(geom.num_disks), geom }
+        Self { storage, stats: IoStats::new(geom.num_disks), geom, pool: BlockPool::default() }
+    }
+
+    /// The array's buffer pool. Layers staging bytes for a gather write
+    /// check their buffer out here so it is recycled instead of
+    /// reallocated every superstep.
+    pub fn pool(&self) -> &BlockPool {
+        &self.pool
     }
 
     /// The array geometry.
@@ -242,6 +251,91 @@ impl DiskArray {
         Ok(())
     }
 
+    /// FIFO packing arithmetic shared by the gather paths: walk the
+    /// addresses in order, close the current parallel operation as soon
+    /// as a disk repeats (or all `D` disks are used), and return the size
+    /// of each operation. This is exactly the paper's `DiskWrite`
+    /// scheduling rule, computed *as counters* — the actual bytes move in
+    /// one scatter submission, but the [`IoStats`] cost model charges the
+    /// same operations it always did.
+    fn fifo_cycle_sizes<'a>(
+        &self,
+        addrs: impl Iterator<Item = &'a TrackAddr>,
+    ) -> Result<Vec<usize>, IoError> {
+        let mut sizes = Vec::new();
+        let mut used = vec![false; self.geom.num_disks];
+        let mut cur = 0usize;
+        for a in addrs {
+            if a.disk >= self.geom.num_disks {
+                return Err(IoError::NoSuchDisk { disk: a.disk, num_disks: self.geom.num_disks });
+            }
+            if used[a.disk] || cur == self.geom.num_disks {
+                sizes.push(cur);
+                cur = 0;
+                used.iter_mut().for_each(|u| *u = false);
+            }
+            used[a.disk] = true;
+            cur += 1;
+        }
+        if cur > 0 {
+            sizes.push(cur);
+        }
+        Ok(sizes)
+    }
+
+    /// Write an arbitrary list of blocks — any number per disk — as
+    /// **one** vectored submission to the backend, charged to the cost
+    /// model as if serviced by the paper's FIFO scheduler
+    /// (see [`Self::write_fifo`], which is this plus per-request `Vec`s).
+    ///
+    /// Returns the number of parallel operations charged.
+    pub fn write_gather(&mut self, writes: &[(TrackAddr, &[u8])]) -> Result<usize, IoError> {
+        let sizes = self.fifo_cycle_sizes(writes.iter().map(|(a, _)| a))?;
+        let bb = self.geom.block_bytes;
+        for (_, data) in writes {
+            if data.len() > bb {
+                return Err(IoError::BlockTooLarge { len: data.len(), block_bytes: bb });
+            }
+        }
+        if writes.is_empty() {
+            return Ok(0);
+        }
+        self.storage.write_scatter(writes).map_err(IoError::from)?;
+        for (a, _) in writes {
+            self.stats.per_disk_blocks[a.disk] += 1;
+        }
+        for n in &sizes {
+            self.stats.record_write(*n, self.geom.num_disks);
+        }
+        Ok(sizes.len())
+    }
+
+    /// Read an arbitrary list of blocks — any number per disk — in one
+    /// scatter submission, handing each block to `f(request_index,
+    /// bytes)` in request order. On in-memory backends the bytes are
+    /// **borrowed from storage** (zero-copy); the cost model charges the
+    /// FIFO-packed operations exactly as [`Self::read_fifo`] does.
+    ///
+    /// Returns the number of parallel operations charged.
+    pub fn read_gather_with(
+        &mut self,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> Result<usize, IoError> {
+        let sizes = self.fifo_cycle_sizes(addrs.iter())?;
+        if addrs.is_empty() {
+            return Ok(0);
+        }
+        self.storage.read_scatter_with(addrs, f).map_err(IoError::from)?;
+        for a in addrs {
+            self.stats.per_disk_blocks[a.disk] += 1;
+        }
+        for n in &sizes {
+            self.stats.record_read(*n, self.geom.num_disks);
+        }
+        Ok(sizes.len())
+    }
+
     /// The paper's `DiskWrite` procedure: service a FIFO queue of block
     /// writes, packing blocks into parallel operations **strictly in FIFO
     /// order** and closing the current operation as soon as a block's disk
@@ -251,58 +345,28 @@ impl DiskArray {
     /// layout this is `ceil(len/D)`; with a naive layout it degrades — the
     /// difference is what the paper's Figure 2 illustrates, and what the
     /// `ablation` benches measure.
+    ///
+    /// This is [`Self::write_gather`] over owned per-request buffers; the
+    /// hot path stages into one pooled buffer and calls `write_gather`
+    /// directly.
     pub fn write_fifo(&mut self, queue: &[IoRequest]) -> Result<usize, IoError> {
-        let mut ops = 0;
-        let mut cycle: Vec<(TrackAddr, &[u8])> = Vec::with_capacity(self.geom.num_disks);
-        let mut used = vec![false; self.geom.num_disks];
-        for req in queue {
-            if req.addr.disk >= self.geom.num_disks {
-                return Err(IoError::NoSuchDisk {
-                    disk: req.addr.disk,
-                    num_disks: self.geom.num_disks,
-                });
-            }
-            if used[req.addr.disk] || cycle.len() == self.geom.num_disks {
-                self.parallel_write(&cycle)?;
-                ops += 1;
-                cycle.clear();
-                used.iter_mut().for_each(|u| *u = false);
-            }
-            used[req.addr.disk] = true;
-            cycle.push((req.addr, &req.data));
-        }
-        if !cycle.is_empty() {
-            self.parallel_write(&cycle)?;
-            ops += 1;
-        }
-        Ok(ops)
+        let writes: Vec<(TrackAddr, &[u8])> =
+            queue.iter().map(|r| (r.addr, r.data.as_slice())).collect();
+        self.write_gather(&writes)
     }
 
-    /// Read `nblocks` blocks whose addresses are produced by `addrs`,
-    /// chunked greedily into legal parallel operations (FIFO order, one
-    /// operation per disk conflict — mirror of [`Self::write_fifo`]).
+    /// Read the blocks produced by `addrs`, chunked greedily into legal
+    /// parallel operations (FIFO order, one operation per disk conflict —
+    /// mirror of [`Self::write_fifo`]), returning an owned copy of each
+    /// block. The hot path uses [`Self::read_gather_with`] to decode
+    /// straight from the storage-owned bytes instead.
     pub fn read_fifo(
         &mut self,
         addrs: impl Iterator<Item = TrackAddr>,
     ) -> Result<Vec<Vec<u8>>, IoError> {
-        let mut out = Vec::new();
-        let mut cycle: Vec<TrackAddr> = Vec::with_capacity(self.geom.num_disks);
-        let mut used = vec![false; self.geom.num_disks];
-        for a in addrs {
-            if a.disk >= self.geom.num_disks {
-                return Err(IoError::NoSuchDisk { disk: a.disk, num_disks: self.geom.num_disks });
-            }
-            if used[a.disk] || cycle.len() == self.geom.num_disks {
-                out.extend(self.parallel_read(&cycle)?);
-                cycle.clear();
-                used.iter_mut().for_each(|u| *u = false);
-            }
-            used[a.disk] = true;
-            cycle.push(a);
-        }
-        if !cycle.is_empty() {
-            out.extend(self.parallel_read(&cycle)?);
-        }
+        let addrs: Vec<TrackAddr> = addrs.collect();
+        let mut out: Vec<Vec<u8>> = Vec::with_capacity(addrs.len());
+        self.read_gather_with(&addrs, &mut |_, b| out.push(b.to_vec()))?;
         Ok(out)
     }
 }
@@ -397,6 +461,59 @@ mod tests {
             .unwrap();
         a.parallel_read(&[TrackAddr::new(0, 0)]).unwrap();
         assert_eq!(a.stats().per_disk_blocks, vec![2, 1]);
+    }
+
+    #[test]
+    fn gather_counts_like_fifo() {
+        // 7 blocks round-robin over 3 disks: the FIFO scheduler and the
+        // gather path must charge the identical 3 read + 3 write ops.
+        let addrs: Vec<TrackAddr> = (0..7).map(|i| TrackAddr::new(i % 3, (i / 3) as u64)).collect();
+        let payloads: Vec<Vec<u8>> = (0..7).map(|i| vec![i as u8, 7]).collect();
+
+        let mut fifo = arr(3, 2);
+        let q: Vec<IoRequest> = addrs
+            .iter()
+            .zip(&payloads)
+            .map(|(&addr, data)| IoRequest { addr, data: data.clone() })
+            .collect();
+        fifo.write_fifo(&q).unwrap();
+        let fifo_blocks = fifo.read_fifo(addrs.iter().copied()).unwrap();
+
+        let mut gather = arr(3, 2);
+        let writes: Vec<(TrackAddr, &[u8])> =
+            addrs.iter().zip(&payloads).map(|(&a, d)| (a, d.as_slice())).collect();
+        assert_eq!(gather.write_gather(&writes).unwrap(), 3);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let ops = gather.read_gather_with(&addrs, &mut |i, b| {
+            assert_eq!(i, got.len());
+            got.push(b.to_vec());
+        });
+        assert_eq!(ops.unwrap(), 3);
+
+        assert_eq!(got, fifo_blocks);
+        assert_eq!(gather.stats(), fifo.stats(), "gather and FIFO accounting must be identical");
+    }
+
+    #[test]
+    fn gather_rejects_bad_requests_and_empty_is_free() {
+        let mut a = arr(2, 4);
+        assert_eq!(a.write_gather(&[]).unwrap(), 0);
+        assert_eq!(a.read_gather_with(&[], &mut |_, _| panic!("no blocks")).unwrap(), 0);
+        assert_eq!(a.stats().total_ops(), 0);
+        let e = a.write_gather(&[(TrackAddr::new(5, 0), &[1][..])]).unwrap_err();
+        assert_eq!(e, IoError::NoSuchDisk { disk: 5, num_disks: 2 });
+        let e = a.write_gather(&[(TrackAddr::new(0, 0), &[1u8; 9][..])]).unwrap_err();
+        assert_eq!(e, IoError::BlockTooLarge { len: 9, block_bytes: 4 });
+        assert_eq!(a.stats().total_ops(), 0, "failed gathers charge nothing");
+    }
+
+    #[test]
+    fn pool_recycles_staging_buffers() {
+        let a = arr(2, 4);
+        let b = a.pool().checkout(8);
+        drop(b);
+        let _b2 = a.pool().checkout(4);
+        assert_eq!(a.pool().stats().reused, 1);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! * [`paged`] — an LRU demand-paging simulator standing in for the
 //!   "virtual memory" baseline of the paper's Figure 3 and for the cache
 //!   extension of its Section 5,
+//! * [`pool`] — reusable block buffers ([`BlockPool`]) backing the
+//!   zero-copy scatter-gather data path,
 //! * [`storage`] — the [`TrackStorage`] trait the array's byte-moving is
 //!   delegated to, with the in-memory backend; the concurrent engine in
 //!   the `cgmio-io` crate plugs in through the same trait,
@@ -44,6 +46,7 @@ pub mod file_backend;
 pub mod item;
 pub mod layout;
 pub mod paged;
+pub mod pool;
 pub mod stats;
 pub mod storage;
 pub mod testutil;
@@ -54,9 +57,10 @@ pub use fault::{
     classify, FaultCounts, FaultError, FaultInjector, FaultPlan, FaultStats, IoErrorKind,
 };
 pub use file_backend::FileStorage;
-pub use item::Item;
+pub use item::{CodecError, Item, SpanDecoder};
 pub use layout::{consecutive_addr, staggered_addr, Layout, MessageMatrixLayout};
 pub use paged::PagedStore;
+pub use pool::{BlockPool, PoolStats, PooledBlock};
 pub use stats::IoStats;
 pub use storage::{MemStorage, TrackStorage};
 pub use timing::DiskTimingModel;

@@ -64,6 +64,41 @@ pub trait TrackStorage: Send + Sync {
         Ok(())
     }
 
+    /// Read an arbitrary scatter list of tracks — any number per disk —
+    /// handing each block to `f(request_index, bytes)` in request order.
+    ///
+    /// This is the zero-copy read entry point: backends that hold blocks
+    /// in addressable memory call `f` with a **borrowed** view of the
+    /// stored block (no per-block allocation); the default simply loops
+    /// [`TrackStorage::read_track`], so wrappers that intercept per-track
+    /// reads (fault injection, retry) keep working unmodified.
+    fn read_scatter_with(
+        &self,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> io::Result<()> {
+        for (i, a) in addrs.iter().enumerate() {
+            let data = self.read_track(a.disk, a.track)?;
+            f(i, &data);
+        }
+        Ok(())
+    }
+
+    /// Write an arbitrary scatter list of tracks — any number per disk —
+    /// as one vectored submission.
+    ///
+    /// Unlike [`TrackStorage::write_batch`] there is no one-track-per-disk
+    /// restriction: a whole compound-superstep write arrives as a single
+    /// call, and concurrent backends split it into one submission per
+    /// drive instead of per-block sends. The default loops
+    /// [`TrackStorage::write_track`].
+    fn write_scatter(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+        for (a, data) in writes {
+            self.write_track(a.disk, a.track, data)?;
+        }
+        Ok(())
+    }
+
     /// Hint that these tracks will be read soon. Never counted as I/O.
     fn prefetch(&self, _addrs: &[TrackAddr]) {}
 
@@ -103,6 +138,16 @@ macro_rules! forward_track_storage {
             }
             fn write_batch(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
                 (**self).write_batch(writes)
+            }
+            fn read_scatter_with(
+                &self,
+                addrs: &[TrackAddr],
+                f: &mut dyn FnMut(usize, &[u8]),
+            ) -> io::Result<()> {
+                (**self).read_scatter_with(addrs, f)
+            }
+            fn write_scatter(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+                (**self).write_scatter(writes)
             }
             fn prefetch(&self, addrs: &[TrackAddr]) {
                 (**self).prefetch(addrs)
@@ -168,6 +213,29 @@ impl TrackStorage for MemStorage {
         Ok(())
     }
 
+    /// Zero-copy override: hands `f` a borrowed view of each stored
+    /// block under the drive lock — no per-block allocation at all.
+    fn read_scatter_with(
+        &self,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> io::Result<()> {
+        let mut zeros: Vec<u8> = Vec::new();
+        for (i, a) in addrs.iter().enumerate() {
+            let tracks = self.disks[a.disk].lock().unwrap();
+            match tracks.get(a.track as usize).and_then(|t| t.as_ref()) {
+                Some(t) => f(i, t),
+                None => {
+                    if zeros.is_empty() {
+                        zeros.resize(self.block_bytes, 0);
+                    }
+                    f(i, &zeros);
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn tracks_used(&self) -> Vec<u64> {
         self.disks.iter().map(|d| d.lock().unwrap().len() as u64).collect()
     }
@@ -195,5 +263,30 @@ mod tests {
             .read_batch(&[TrackAddr::new(0, 0), TrackAddr::new(1, 0), TrackAddr::new(2, 0)])
             .unwrap();
         assert_eq!(r, vec![vec![0, 0], vec![0, 0], vec![2, 0]]);
+    }
+
+    #[test]
+    fn scatter_roundtrip_many_per_disk() {
+        let s = MemStorage::new(DiskGeometry::new(2, 2));
+        // three tracks on disk 0, one on disk 1 — illegal as a parallel
+        // op, fine as a scatter list
+        let writes: Vec<(TrackAddr, &[u8])> = vec![
+            (TrackAddr::new(0, 0), &[1u8][..]),
+            (TrackAddr::new(0, 1), &[2u8, 3][..]),
+            (TrackAddr::new(1, 0), &[4u8][..]),
+            (TrackAddr::new(0, 2), &[5u8][..]),
+        ];
+        s.write_scatter(&writes).unwrap();
+        let addrs: Vec<TrackAddr> = writes.iter().map(|w| w.0).collect();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        s.read_scatter_with(&addrs, &mut |i, b| {
+            assert_eq!(i, got.len(), "blocks arrive in request order");
+            got.push(b.to_vec());
+        })
+        .unwrap();
+        assert_eq!(got, vec![vec![1, 0], vec![2, 3], vec![4, 0], vec![5, 0]]);
+        // unwritten tracks read back as zeros through the scatter path too
+        s.read_scatter_with(&[TrackAddr::new(1, 9)], &mut |_, b| assert_eq!(b, &[0, 0][..]))
+            .unwrap();
     }
 }

@@ -1,0 +1,222 @@
+//! The pooled zero-copy data path must be *observably invisible*: final
+//! states, I/O counters, checkpoint manifests, and trace op counts have
+//! to match across every backend and both EM runners, and corrupt
+//! on-disk bytes must surface as typed errors — never panics.
+
+use cgmio_algos::CgmSort;
+use cgmio_core::context::ContextStore;
+use cgmio_core::{
+    measure_requirements, BackendSpec, CheckpointManifest, EmConfig, EmError, ParEmRunner,
+    RunOutcome, SeqEmRunner,
+};
+use cgmio_data as data;
+use cgmio_model::{Encoder, ProcState};
+use cgmio_pdm::{DiskArray, DiskGeometry, IoError, IoErrorKind, IoRequest, Item, SpanDecoder};
+use proptest::prelude::*;
+
+type SortState = (Vec<u64>, Vec<u64>);
+
+fn sort_states(keys: &[u64], v: usize) -> Vec<SortState> {
+    data::block_split(keys.to_vec(), v).into_iter().map(|b| (b, Vec::new())).collect()
+}
+
+fn sort_config(keys: &[u64], v: usize, d: usize, bb: usize) -> EmConfig {
+    let prog = CgmSort::<u64>::by_pivots();
+    let (_, _, req) = measure_requirements(&prog, sort_states(keys, v)).unwrap();
+    EmConfig::from_requirements(v, 1, d, bb, &req)
+}
+
+/// Final states, IoStats, and the op breakdown agree across Mem,
+/// SyncFile, and Concurrent backends, for both runners.
+#[test]
+fn backends_and_runners_bit_identical() {
+    let keys = data::uniform_u64(4000, 11);
+    let v = 6;
+    let prog = CgmSort::<u64>::by_pivots();
+    let base = sort_config(&keys, v, 2, 64);
+
+    let (want, want_rep) =
+        SeqEmRunner::new(base.clone()).run(&prog, sort_states(&keys, v)).unwrap();
+    let mut flat: Vec<u64> = want.iter().flat_map(|(s, _)| s.iter().copied()).collect();
+    let mut check = keys.clone();
+    check.sort_unstable();
+    flat.sort_unstable(); // per-vp blocks are sorted; global order depends on pivots
+    assert_eq!(flat, check, "sort must actually sort");
+
+    let dir = cgmio_pdm::testutil::TempDir::new("cgmio-zero-copy-eq");
+    let backends = [
+        BackendSpec::SyncFile { dir: dir.path().join("sync") },
+        BackendSpec::Concurrent { dir: None, opts: Default::default() },
+        BackendSpec::Concurrent {
+            dir: Some(dir.path().join("conc")),
+            opts: cgmio_io::IoEngineOpts { trace: true, ..Default::default() },
+        },
+    ];
+    for backend in backends {
+        let mut cfg = base.clone();
+        cfg.backend = backend.clone();
+        let (got, rep) = SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+        assert_eq!(got, want, "{backend:?}: finals differ");
+        assert_eq!(rep.io, want_rep.io, "{backend:?}: IoStats differ");
+        assert_eq!(rep.breakdown, want_rep.breakdown, "{backend:?}: breakdown differs");
+    }
+
+    // Parallel runner: identical finals for several worker counts.
+    for p in [2usize, 3] {
+        let mut cfg = base.clone();
+        cfg.p = p;
+        let (got, _) = ParEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+        assert_eq!(got, want, "par p={p}: finals differ");
+    }
+}
+
+/// Checkpoint manifests written at every superstep barrier are
+/// bit-identical across backends — the pooled path must not perturb
+/// length tables, I/O counters, or cost accounting.
+#[test]
+fn checkpoint_manifests_identical_across_backends() {
+    let keys = data::uniform_u64(1500, 5);
+    let v = 4;
+    let prog = CgmSort::<u64>::by_pivots();
+    let base = sort_config(&keys, v, 2, 64);
+
+    let manifest_at = |backend: BackendSpec, halt: usize| -> CheckpointManifest {
+        let mut cfg = base.clone();
+        cfg.backend = backend;
+        cfg.halt_after_superstep = Some(halt);
+        match SeqEmRunner::new(cfg).run_until(&prog, sort_states(&keys, v)).unwrap() {
+            RunOutcome::Interrupted(c) => c.manifest,
+            RunOutcome::Complete { .. } => panic!("expected halt at {halt}"),
+        }
+    };
+    let dir = cgmio_pdm::testutil::TempDir::new("cgmio-zero-copy-ckpt");
+    for halt in [0usize, 1] {
+        let want = manifest_at(BackendSpec::Mem, halt);
+        let sync =
+            manifest_at(BackendSpec::SyncFile { dir: dir.path().join(format!("s{halt}")) }, halt);
+        let conc =
+            manifest_at(BackendSpec::Concurrent { dir: None, opts: Default::default() }, halt);
+        assert_eq!(sync, want, "halt={halt}: SyncFile manifest differs");
+        assert_eq!(conc, want, "halt={halt}: Concurrent manifest differs");
+    }
+}
+
+/// Every counted block transfer still appears as exactly one physical
+/// trace event after the vectored scatter-gather rewrite.
+#[test]
+fn trace_op_counts_match_io_stats() {
+    let keys = data::uniform_u64(2000, 3);
+    let v = 4;
+    let prog = CgmSort::<u64>::by_pivots();
+    let mut cfg = sort_config(&keys, v, 2, 64);
+    cfg.backend = BackendSpec::Concurrent {
+        dir: None,
+        opts: cgmio_io::IoEngineOpts { trace: true, ..Default::default() },
+    };
+    let (_, rep) = SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+    let summary = cgmio_io::summarize(&rep.io_trace);
+    assert_eq!(summary.reads as u64, rep.io.blocks_read);
+    assert_eq!(summary.writes as u64, rep.io.blocks_written);
+}
+
+/// Corrupt on-disk context bytes surface as a typed
+/// `IoErrorKind::Corrupt` fault naming the slot's first block — not a
+/// panic from the decoder.
+#[test]
+fn corrupt_context_block_is_a_typed_error() {
+    let geom = DiskGeometry::new(2, 32);
+    let mut disks = DiskArray::new(geom);
+    let mut store = ContextStore::new(2, 32, 0, 2, 128);
+    let state: (Vec<u64>, Vec<u64>) = ((0..10).collect(), vec![99]);
+    store.write(&mut disks, 1, &state.to_bytes()).unwrap();
+
+    // Stamp an absurd length prefix over slot 1's first block.
+    let addr = store.slot_addr(1);
+    let mut evil = Encoder::new();
+    evil.u64(u64::MAX / 2);
+    disks.write_fifo(&[IoRequest { addr, data: evil.finish() }]).unwrap();
+
+    let bytes = store.read(&mut disks, 1).unwrap();
+    let err = <SortState as ProcState>::try_from_bytes(&bytes)
+        .expect_err("corrupt length prefix must not decode");
+    let mapped = store.corrupt_error(1, err);
+    match mapped {
+        EmError::Io(IoError::Fault { kind, disk, track, .. }) => {
+            assert_eq!(kind, IoErrorKind::Corrupt);
+            assert_eq!((disk, track), (addr.disk, addr.track));
+        }
+        other => panic!("expected a Corrupt fault, got {other:?}"),
+    }
+
+    // The untouched slot is unaffected.
+    store.write(&mut disks, 0, &state.to_bytes()).unwrap();
+    let ok = store.read(&mut disks, 0).unwrap();
+    assert_eq!(<SortState as ProcState>::try_from_bytes(&ok).unwrap(), state);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `encode_into` over a pooled buffer is byte-identical to the
+    /// allocating `encode_slice`, and `SpanDecoder` over arbitrary block
+    /// splits inverts it exactly.
+    #[test]
+    fn pooled_codec_matches_allocating_codec(
+        items in proptest::collection::vec(any::<u64>(), 0..200),
+        block in 8usize..64,
+    ) {
+        let block = block / 8 * 8; // whole items per span boundary not required, but keep blocks sane
+        let want = u64::encode_slice(&items);
+        let mut buf = vec![0u8; want.len()];
+        u64::encode_into(&items, &mut buf).unwrap();
+        prop_assert_eq!(&buf, &want);
+
+        let mut dec = SpanDecoder::<u64>::new(items.len());
+        for span in buf.chunks(block.max(1)) {
+            dec.feed(span);
+        }
+        prop_assert_eq!(dec.finish().unwrap(), items);
+    }
+
+    /// Truncating an encoded `ProcState` anywhere yields `Err`, never a
+    /// panic; the full buffer round-trips.
+    #[test]
+    fn truncated_states_never_panic(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+        cut_pct in 0u32..100,
+    ) {
+        let state: SortState = (a, b);
+        let bytes = state.to_bytes();
+        prop_assert_eq!(&SortState::try_from_bytes(&bytes).unwrap(), &state);
+        let cut = bytes.len() * cut_pct as usize / 100;
+        if cut < bytes.len() {
+            prop_assert!(SortState::try_from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full EM sort gives bit-identical finals and IoStats on Mem
+    /// and Concurrent backends for arbitrary inputs.
+    #[test]
+    fn mem_and_concurrent_agree_on_random_inputs(
+        seed in 0u64..1000,
+        n in 200usize..800,
+    ) {
+        let keys = data::uniform_u64(n, seed);
+        let v = 4;
+        let prog = CgmSort::<u64>::by_pivots();
+        let cfg = sort_config(&keys, v, 2, 64);
+        let (want, want_rep) =
+            SeqEmRunner::new(cfg.clone()).run(&prog, sort_states(&keys, v)).unwrap();
+        let mut ccfg = cfg;
+        ccfg.backend = BackendSpec::Concurrent { dir: None, opts: Default::default() };
+        let (got, rep) = SeqEmRunner::new(ccfg).run(&prog, sort_states(&keys, v)).unwrap();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(rep.io, want_rep.io);
+    }
+}
