@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! reproduce [all|fig1|fig2|fig3|fig4|fig5a|fig5a-scaling|fig5b|fig5c|
-//!            fig6|fig7|fig8|audit|ablation|cache|io-trace|faults|perf] [--out DIR]
+//!            fig6|fig7|fig8|audit|ablation|cache|io-trace|faults|perf|
+//!            observe] [--out DIR]
 //! ```
 //!
 //! Each experiment prints an aligned table and archives a CSV under
 //! `results/` (or `--out DIR`). `io-trace` additionally archives the
 //! Fig 3 sort's physical I/O event log as `fig3_io_trace.jsonl`;
 //! `faults` sweeps injected transient-fault rates over the Fig 3 sort
-//! and records retry recovery overhead plus a kill-and-resume check.
+//! and records retry recovery overhead plus a kill-and-resume check;
+//! `observe` runs the sort on both runners with the full observability
+//! stack attached and archives `observe_report.json` +
+//! `observe_metrics.prom` (see `docs/OBSERVABILITY.md`).
 
 use cgmio_bench::experiments as ex;
 use cgmio_bench::Table;
@@ -57,6 +61,7 @@ fn main() {
         ("io-trace", Box::new(ex::io_trace)),
         ("faults", Box::new(ex::faults)),
         ("perf", Box::new(ex::perf)),
+        ("observe", Box::new(cgmio_bench::observe::observe)),
     ];
 
     let selected: Vec<&(&str, Exp)> = if which.iter().any(|w| w == "all") {

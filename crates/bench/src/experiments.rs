@@ -704,6 +704,7 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             "mean_read_lat_us",
             "retries",
             "prefetch_drops",
+            "supersteps",
         ],
     );
     let (v, bb) = (16usize, 4096usize);
@@ -736,6 +737,7 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             s.mean_read_latency_us.to_string(),
             s.retries.to_string(),
             s.prefetch_drops.to_string(),
+            s.supersteps.to_string(),
         ]);
     }
     t

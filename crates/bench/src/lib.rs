@@ -17,6 +17,7 @@ use cgmio_pdm::{DiskGeometry, DiskTimingModel, IoRequest, MessageMatrixLayout};
 
 pub mod alloc;
 pub mod experiments;
+pub mod observe;
 
 /// A printable/archivable result table.
 #[derive(Debug, Clone)]

@@ -1,0 +1,334 @@
+//! The `observe` experiment: one fully-instrumented run of the Figure 3
+//! sort on **both** runners (Algorithm 2 and Algorithm 3), producing the
+//! unified run report the observability layer exists for.
+//!
+//! Each runner executes on the concurrent engine with the event trace,
+//! a seeded transient-fault injector, metrics, and spans all enabled.
+//! Two artifacts are written under the output directory:
+//!
+//! * `observe_report.json` — the [`RunReport`]: per-runner `IoStats`,
+//!   fault/retry counters, the top-N slowest spans, and a per-superstep
+//!   table with per-drive service-latency histograms (log-bucketed,
+//!   with p50/p95/p99/max) built from the superstep-stamped trace.
+//! * `observe_metrics.prom` — the merged Prometheus exposition of both
+//!   runners' registries (base label `runner="seq"` / `runner="par"`).
+//!
+//! The printed table summarises the same data: one row per runner and
+//! superstep. See `docs/OBSERVABILITY.md` for how to read the report.
+
+use std::collections::BTreeMap;
+
+use cgmio_algos::CgmSort;
+use cgmio_core::{BackendSpec, EmRunReport, ParEmRunner, SeqEmRunner};
+use cgmio_io::{IoEngineOpts, OpKind, RetryPolicy, TraceEvent};
+use cgmio_obs::json::Value;
+use cgmio_obs::{to_prometheus, HistogramSnapshot, Obs, Snapshot, DEFAULT_SPAN_CAPACITY};
+use cgmio_pdm::{FaultPlan, IoStats};
+
+use crate::Table;
+
+/// Spans listed in the report's `slowest_spans` section.
+const TOP_SPANS: usize = 10;
+
+/// One runner's captured telemetry.
+struct Capture {
+    name: &'static str,
+    p: usize,
+    rep: EmRunReport,
+    obs: Obs,
+}
+
+/// Everything `reproduce observe` writes to `observe_report.json`,
+/// assembled as a JSON value so numbers render exactly.
+pub struct RunReport {
+    /// Workload parameters (program, n, v, D, B).
+    pub workload: Value,
+    /// One section per runner (see module docs for the schema).
+    pub runners: Vec<Value>,
+    /// Merged metrics snapshot of all runners.
+    pub metrics: Snapshot,
+}
+
+impl RunReport {
+    /// The JSON document.
+    pub fn to_json(&self) -> String {
+        Value::Obj(vec![
+            ("experiment".into(), Value::str("observe")),
+            ("workload".into(), self.workload.clone()),
+            ("runners".into(), Value::Arr(self.runners.clone())),
+        ])
+        .render()
+    }
+
+    /// The Prometheus exposition of the merged metrics.
+    pub fn to_prom(&self) -> String {
+        to_prometheus(&self.metrics)
+    }
+}
+
+fn io_json(io: &IoStats) -> Value {
+    Value::Obj(vec![
+        ("read_ops".into(), Value::num(io.read_ops)),
+        ("write_ops".into(), Value::num(io.write_ops)),
+        ("blocks_read".into(), Value::num(io.blocks_read)),
+        ("blocks_written".into(), Value::num(io.blocks_written)),
+        ("full_ops".into(), Value::num(io.full_ops)),
+        ("parallel_efficiency".into(), Value::num(format!("{:.4}", io.parallel_efficiency()))),
+        ("per_disk_blocks".into(), Value::Arr(io.per_disk_blocks.iter().map(Value::num).collect())),
+    ])
+}
+
+fn hist_json(h: &HistogramSnapshot) -> Value {
+    let buckets: Vec<Value> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Value::Arr(vec![Value::num(i), Value::num(c)]))
+        .collect();
+    Value::Obj(vec![
+        ("count".into(), Value::num(h.count)),
+        ("p50_us".into(), Value::num(h.quantile(0.50))),
+        ("p95_us".into(), Value::num(h.quantile(0.95))),
+        ("p99_us".into(), Value::num(h.quantile(0.99))),
+        ("max_us".into(), Value::num(h.max)),
+        // log2 bucket index → count, nonzero entries only
+        ("buckets".into(), Value::Arr(buckets)),
+    ])
+}
+
+/// Group the trace by superstep, then by drive; service latencies go
+/// through the same log-bucketed histogram the live metrics use.
+fn superstep_table(trace: &[TraceEvent]) -> Vec<Value> {
+    let mut per_step: BTreeMap<u64, BTreeMap<usize, (u64, u64, cgmio_obs::Histogram)>> =
+        BTreeMap::new();
+    for e in trace {
+        if !matches!(e.kind, OpKind::Read | OpKind::Write) {
+            continue;
+        }
+        let (ops, bytes, hist) = per_step
+            .entry(e.superstep)
+            .or_default()
+            .entry(e.drive)
+            .or_insert_with(|| (0, 0, cgmio_obs::Histogram::detached()));
+        *ops += 1;
+        *bytes += e.bytes as u64;
+        hist.observe(e.service_us());
+    }
+    per_step
+        .into_iter()
+        .map(|(step, drives)| {
+            let (mut ops, mut bytes) = (0u64, 0u64);
+            let per_drive: Vec<Value> = drives
+                .into_iter()
+                .map(|(drive, (o, b, h))| {
+                    ops += o;
+                    bytes += b;
+                    Value::Obj(vec![
+                        ("drive".into(), Value::num(drive)),
+                        ("ops".into(), Value::num(o)),
+                        ("bytes".into(), Value::num(b)),
+                        ("service_us".into(), hist_json(&h.snapshot())),
+                    ])
+                })
+                .collect();
+            Value::Obj(vec![
+                ("superstep".into(), Value::num(step)),
+                ("ops".into(), Value::num(ops)),
+                ("bytes".into(), Value::num(bytes)),
+                ("per_drive".into(), Value::Arr(per_drive)),
+            ])
+        })
+        .collect()
+}
+
+fn runner_json(c: &Capture) -> Value {
+    let spans: Vec<Value> = c
+        .obs
+        .top_spans(TOP_SPANS)
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("proc".into(), Value::num(s.proc)),
+                ("superstep".into(), Value::num(s.superstep)),
+                ("phase".into(), Value::str(s.phase.name())),
+                ("start_us".into(), Value::num(s.start_us)),
+                ("duration_us".into(), Value::num(s.duration_us())),
+            ])
+        })
+        .collect();
+    let faults = match c.rep.faults {
+        None => Value::Null,
+        Some(f) => Value::Obj(vec![
+            ("read_transient".into(), Value::num(f.read_transient)),
+            ("write_transient".into(), Value::num(f.write_transient)),
+            ("torn_writes".into(), Value::num(f.torn_writes)),
+            ("permanent_denials".into(), Value::num(f.permanent_denials)),
+            ("latency_spikes".into(), Value::num(f.latency_spikes)),
+        ]),
+    };
+    Value::Obj(vec![
+        ("runner".into(), Value::str(c.name)),
+        ("p".into(), Value::num(c.p)),
+        ("io".into(), io_json(&c.rep.io)),
+        ("algorithm_ops".into(), Value::num(c.rep.breakdown.algorithm_ops())),
+        ("peak_mem_bytes".into(), Value::num(c.rep.peak_mem_bytes)),
+        ("wall_ms".into(), Value::num(c.rep.wall.as_millis())),
+        ("faults".into(), faults),
+        ("retries".into(), Value::num(c.rep.retries)),
+        ("spans_recorded".into(), Value::num(c.obs.spans().len())),
+        ("spans_dropped".into(), Value::num(c.obs.spans_dropped())),
+        ("slowest_spans".into(), Value::Arr(spans)),
+        ("supersteps".into(), Value::Arr(superstep_table(&c.rep.io_trace))),
+    ])
+}
+
+fn run_one(name: &'static str, p: usize, n: usize, v: usize, d: usize, bb: usize) -> Capture {
+    let keys = cgmio_data::uniform_u64(n, 42);
+    let mk = || {
+        cgmio_data::block_split(keys.clone(), v)
+            .into_iter()
+            .map(|b| (b, Vec::new()))
+            .collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+    let obs = Obs::with_options(DEFAULT_SPAN_CAPACITY, &[("runner", name)]);
+    let mut cfg = crate::config_for(&prog, mk(), v, p, d, bb);
+    cfg.backend = BackendSpec::Concurrent {
+        dir: None, // memory-backed drives: full concurrency, no tempdir
+        opts: IoEngineOpts {
+            trace: true,
+            verify_checksums: true,
+            retry: RetryPolicy { max_attempts: 6, base_backoff_us: 0 },
+            ..Default::default()
+        },
+    };
+    cfg.fault = Some(FaultPlan::transient(1999, 0.01));
+    cfg.retry = RetryPolicy { max_attempts: 6, base_backoff_us: 0 };
+    cfg.obs = Some(obs.clone());
+    let (fin, rep) = if p == 1 {
+        SeqEmRunner::new(cfg).run(&prog, mk()).expect("observed seq sort")
+    } else {
+        ParEmRunner::new(cfg).run(&prog, mk()).expect("observed par sort")
+    };
+    let flat: Vec<u64> = fin.iter().flat_map(|(b, _)| b.iter().copied()).collect();
+    assert!(flat.windows(2).all(|w| w[0] <= w[1]), "observed run output not sorted");
+    Capture { name, p, rep, obs }
+}
+
+/// Build the [`RunReport`] for the Figure 3 sort workload. Honours
+/// `CGMIO_PERF_SMOKE=1` (a single small size, what CI's `observe-smoke`
+/// job runs).
+pub fn run_report() -> RunReport {
+    let smoke = std::env::var_os("CGMIO_PERF_SMOKE").is_some();
+    let n = if smoke { 1usize << 12 } else { 1usize << 14 };
+    let (v, d, bb) = (16usize, 2usize, 4096usize);
+
+    let captures = vec![run_one("seq", 1, n, v, d, bb), run_one("par", 4, n, v, d, bb)];
+
+    let mut metrics = Snapshot::default();
+    for c in &captures {
+        metrics.merge(&c.obs.snapshot());
+    }
+    RunReport {
+        workload: Value::Obj(vec![
+            ("program".into(), Value::str("CgmSort<u64>")),
+            ("n".into(), Value::num(n)),
+            ("v".into(), Value::num(v)),
+            ("d".into(), Value::num(d)),
+            ("block_bytes".into(), Value::num(bb)),
+        ]),
+        runners: captures.iter().map(runner_json).collect(),
+        metrics,
+    }
+}
+
+/// The `observe` experiment. Writes `observe_report.json` and
+/// `observe_metrics.prom` under `out_dir`; the returned table
+/// summarises per-runner, per-superstep I/O with the aggregated
+/// service-latency p99 across drives.
+pub fn observe(out_dir: &std::path::Path) -> Table {
+    let report = run_report();
+
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("  cannot create {}: {e}", out_dir.display());
+    }
+    for (file, contents) in
+        [("observe_report.json", report.to_json()), ("observe_metrics.prom", report.to_prom())]
+    {
+        let path = out_dir.join(file);
+        match std::fs::write(&path, contents) {
+            Ok(()) => eprintln!("  saved {}", path.display()),
+            Err(e) => eprintln!("  save failed for {}: {e}", path.display()),
+        }
+    }
+
+    let mut t = Table::new(
+        "observe_summary",
+        &["runner", "p", "superstep", "ops", "bytes", "p99_service_us", "faults", "retries"],
+    );
+    for r in &report.runners {
+        let name = r.get("runner").and_then(Value::as_str).unwrap_or("?");
+        let p = r.get("p").and_then(Value::as_u64).unwrap_or(0);
+        let faults = match r.get("faults") {
+            Some(Value::Obj(fields)) => {
+                fields.iter().filter_map(|(_, v)| v.as_u64()).sum::<u64>().to_string()
+            }
+            _ => "-".into(),
+        };
+        let retries = r.get("retries").and_then(Value::as_u64).unwrap_or(0);
+        for step in r.get("supersteps").and_then(Value::as_array).unwrap_or(&[]) {
+            // p99 across drives: the max of the per-drive p99s.
+            let p99 = step
+                .get("per_drive")
+                .and_then(Value::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|d| d.get("service_us")?.get("p99_us")?.as_u64())
+                .max()
+                .unwrap_or(0);
+            t.row(vec![
+                name.to_string(),
+                p.to_string(),
+                step.get("superstep").and_then(Value::as_u64).unwrap_or(0).to_string(),
+                step.get("ops").and_then(Value::as_u64).unwrap_or(0).to_string(),
+                step.get("bytes").and_then(Value::as_u64).unwrap_or(0).to_string(),
+                p99.to_string(),
+                faults.clone(),
+                retries.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_report_has_both_runners_and_parses() {
+        // Smoke size regardless of env: the report builder itself reads
+        // the env var, so set it for this process.
+        std::env::set_var("CGMIO_PERF_SMOKE", "1");
+        let report = run_report();
+        assert_eq!(report.runners.len(), 2);
+        let doc = cgmio_obs::json::parse(&report.to_json()).expect("report JSON parses");
+        for (i, name) in ["seq", "par"].iter().enumerate() {
+            let r = &doc.get("runners").unwrap().as_array().unwrap()[i];
+            assert_eq!(r.get("runner").unwrap().as_str(), Some(*name));
+            let steps = r.get("supersteps").unwrap().as_array().unwrap();
+            assert!(!steps.is_empty(), "{name}: no supersteps in report");
+            let drives = steps[0].get("per_drive").unwrap().as_array().unwrap();
+            assert!(!drives.is_empty(), "{name}: no per-drive histograms");
+            assert!(drives[0].get("service_us").unwrap().get("p99_us").is_some());
+            let f = r.get("faults").unwrap();
+            assert!(f.get("read_transient").is_some(), "{name}: fault counters missing");
+        }
+        // The merged exposition parses back to the same snapshot.
+        let prom = report.to_prom();
+        let back = cgmio_obs::parse_prometheus(&prom).expect(".prom parses");
+        assert_eq!(back, report.metrics);
+        assert!(prom.contains("runner=\"seq\"") && prom.contains("runner=\"par\""));
+    }
+}

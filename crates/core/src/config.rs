@@ -4,8 +4,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use cgmio_io::{ConcurrentStorage, IoEngineOpts, RetryPolicy, RetryStorage, TraceHandle};
+use cgmio_obs::{Counter, Obs};
 use cgmio_pdm::{
-    DiskArray, DiskGeometry, FaultInjector, FaultPlan, FileStorage, MemStorage, TrackStorage,
+    DiskArray, DiskGeometry, FaultInjector, FaultPlan, FaultStats, FileStorage, MemStorage,
+    TrackStorage,
 };
 
 use crate::measure::Requirements;
@@ -38,6 +40,28 @@ pub enum BackendSpec {
         /// tracing). `opts.proc` is overwritten with the worker index.
         opts: IoEngineOpts,
     },
+}
+
+/// One real processor's disk array plus the observability handles that
+/// travel with it, as built by [`EmConfig::build_disks`].
+///
+/// The runners drain `trace` into the run report, read `retries` after
+/// the run (the counter is live across the whole storage stack — the
+/// engine's drive workers or the sync path's [`RetryStorage`]), and
+/// snapshot `faults` to attribute injected-fault counts to the run.
+pub struct DiskHandles {
+    /// The disk array (counts I/O above whichever backend was built).
+    pub disks: DiskArray,
+    /// Event-trace handle, when the concurrent engine was configured
+    /// with `opts.trace`.
+    pub trace: Option<TraceHandle>,
+    /// Live transient-retry counter for this array's storage stack.
+    /// Registered as `cgmio_io_retries_total{proc}` when
+    /// [`EmConfig::obs`] is set; detached (but still counting) else.
+    pub retries: Counter,
+    /// Injected-fault counters, present iff [`EmConfig::fault`] is set.
+    /// The plan's own observer when it has one, else one attached here.
+    pub faults: Option<Arc<FaultStats>>,
 }
 
 /// Configuration of the simulated EM-CGM target machine.
@@ -112,6 +136,14 @@ pub struct EmConfig {
     /// [`Self::fault`] is set (ignored otherwise, and ignored by the
     /// `Concurrent` backend, which has its own `opts.retry`).
     pub retry: RetryPolicy,
+    /// Optional observability handle (see `cgmio-obs`): runners publish
+    /// per-phase spans into it, the storage stack registers per-drive
+    /// metrics, and run reports carry its fault/retry totals.
+    /// Instrumentation never changes simulation semantics or `IoStats`,
+    /// and the field is deliberately **excluded from
+    /// [`Self::config_hash`]** so checkpoints taken with observability
+    /// on resume with it off (and vice versa).
+    pub obs: Option<Obs>,
 }
 
 impl EmConfig {
@@ -142,6 +174,7 @@ impl EmConfig {
             halt_after_superstep: None,
             fault: None,
             retry: RetryPolicy::default(),
+            obs: None,
         }
     }
 
@@ -169,45 +202,64 @@ impl EmConfig {
     }
 
     /// Build the disk array of real processor `worker_idx` according to
-    /// [`Self::backend`], plus the trace handle when the concurrent
-    /// engine was configured with `opts.trace`. File backends get a
-    /// per-processor subdirectory `p{worker_idx}` so the `p` arrays
-    /// never share files.
-    pub fn build_disks(
-        &self,
-        worker_idx: usize,
-    ) -> Result<(DiskArray, Option<TraceHandle>), EmError> {
+    /// [`Self::backend`], bundled with the observability handles the
+    /// runners thread into run reports (see [`DiskHandles`]). File
+    /// backends get a per-processor subdirectory `p{worker_idx}` so the
+    /// `p` arrays never share files.
+    pub fn build_disks(&self, worker_idx: usize) -> Result<DiskHandles, EmError> {
         let geom = self.geometry();
+        let retries = match &self.obs {
+            Some(o) => {
+                o.metrics().counter("cgmio_io_retries_total", &[("proc", worker_idx.to_string())])
+            }
+            None => Counter::detached(),
+        };
         // Deterministic injection must differ per worker or every real
-        // processor would fault on the same (disk, op) pairs.
+        // processor would fault on the same (disk, op) pairs. Always
+        // keep a handle on the injector's counters (attaching one when
+        // the plan has no observer) so reports can surface them.
+        let mut faults: Option<Arc<FaultStats>> = None;
         let plan = self.fault.clone().map(|mut p| {
             p.seed = p.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(worker_idx as u64));
+            faults = Some(Arc::clone(p.observer.get_or_insert_with(Default::default)));
             p
         });
         // Mem/SyncFile: inner -> FaultInjector -> RetryStorage.
-        let wrap_sync = |inner: Box<dyn TrackStorage>| -> Box<dyn TrackStorage> {
+        let wrap_sync = |inner: Box<dyn TrackStorage>, retries: Counter| -> Box<dyn TrackStorage> {
             match &plan {
-                Some(p) => Box::new(RetryStorage::new(
+                Some(p) => Box::new(RetryStorage::with_counter(
                     FaultInjector::new(inner, geom.num_disks, p.clone()),
                     self.retry,
+                    retries,
                 )),
                 None => inner,
             }
         };
         match &self.backend {
             BackendSpec::Mem => {
-                let storage = wrap_sync(Box::new(MemStorage::new(geom)));
-                Ok((DiskArray::with_storage(geom, storage), None))
+                let storage = wrap_sync(Box::new(MemStorage::new(geom)), retries.clone());
+                Ok(DiskHandles {
+                    disks: DiskArray::with_storage(geom, storage),
+                    trace: None,
+                    retries,
+                    faults,
+                })
             }
             BackendSpec::SyncFile { dir } => {
                 let fs = FileStorage::open(&dir.join(format!("p{worker_idx}")), geom)
                     .map_err(|e| EmError::BadConfig(format!("opening file backend: {e}")))?;
-                let storage = wrap_sync(Box::new(fs));
-                Ok((DiskArray::with_storage(geom, storage), None))
+                let storage = wrap_sync(Box::new(fs), retries.clone());
+                Ok(DiskHandles {
+                    disks: DiskArray::with_storage(geom, storage),
+                    trace: None,
+                    retries,
+                    faults,
+                })
             }
             BackendSpec::Concurrent { dir, opts } => {
                 let mut opts = opts.clone();
                 opts.proc = worker_idx;
+                opts.obs = self.obs.clone();
                 // Faults are injected beneath the engine; its drive
                 // workers retry per opts.retry, so no RetryStorage here.
                 let inner: Arc<dyn TrackStorage> = match dir {
@@ -231,7 +283,16 @@ impl EmConfig {
                 };
                 let storage = ConcurrentStorage::new(inner, geom.num_disks, opts);
                 let trace = storage.trace_handle();
-                Ok((DiskArray::with_storage(geom, Box::new(storage)), trace))
+                // The engine counts retries inside its drive workers;
+                // report through its counter (same registry series as
+                // the sync path when `obs` is attached).
+                let retries = storage.retry_counter();
+                Ok(DiskHandles {
+                    disks: DiskArray::with_storage(geom, Box::new(storage)),
+                    trace,
+                    retries,
+                    faults,
+                })
             }
         }
     }
@@ -337,6 +398,7 @@ mod tests {
             halt_after_superstep: None,
             fault: None,
             retry: RetryPolicy::default(),
+            obs: None,
         }
     }
 

@@ -17,6 +17,7 @@
 //! final states and the I/O operation counts fully deterministic
 //! regardless of thread scheduling.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -25,7 +26,8 @@ use cgmio_io::{TraceEvent, TraceHandle};
 use cgmio_model::cost::{CommCosts, RoundCost};
 use cgmio_model::threaded::{block_range, owner_of};
 use cgmio_model::{CgmProgram, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status};
-use cgmio_pdm::{DiskArray, IoError, IoStats, Item};
+use cgmio_obs::{Counter, Phase, COORD_PROC};
+use cgmio_pdm::{DiskArray, FaultCounts, FaultStats, IoError, IoStats, Item};
 
 use crate::checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckpoint};
 use crate::config::EmConfig;
@@ -84,6 +86,12 @@ struct WorkerOut<S> {
     breakdown: IoBreakdown,
     peak_mem: usize,
     trace: Vec<TraceEvent>,
+    /// Retries this worker's storage stack performed.
+    retries: u64,
+    /// This worker's injected-fault counters. Workers may share one
+    /// `FaultStats` (a user-supplied observer); the coordinator dedups
+    /// by pointer before summing.
+    faults: Option<Arc<FaultStats>>,
     /// Live disks handed back on `Decision::Halt` (trace events not yet
     /// drained — the handle travels with the disks so an in-process
     /// resume keeps one continuous trace).
@@ -287,6 +295,12 @@ impl ParEmRunner {
             dec_rx.push(rx);
         }
 
+        // A user-supplied fault observer is shared by every worker (and
+        // possibly by earlier runs on the same plan); snapshot it now so
+        // the report attributes counts to this run only.
+        let user_faults = cfg.fault.as_ref().and_then(|pl| pl.observer.clone());
+        let fault_base = user_faults.as_ref().map(|s| s.counts()).unwrap_or_default();
+
         let start = Instant::now();
         let mut costs = CommCosts::default();
         let mut cross_total = 0u64;
@@ -380,6 +394,10 @@ impl ParEmRunner {
                         workers: ckpts.into_iter().map(Option::unwrap).collect(),
                     };
                     if let Some(dir) = &cfg.checkpoint_dir {
+                        let _g = cfg
+                            .obs
+                            .as_ref()
+                            .map(|o| o.span(COORD_PROC, round as u64, Phase::Checkpoint));
                         if let Err(e) = manifest.save(&CheckpointManifest::path_in(dir)) {
                             decision = Decision::Fail(EmError::Io(IoError::Backend(format!(
                                 "saving checkpoint: {e}"
@@ -433,6 +451,8 @@ impl ParEmRunner {
         let mut breakdown = IoBreakdown::default();
         let mut peak_mem = 0usize;
         let mut io_trace = Vec::new();
+        let mut retries = 0u64;
+        let mut fault_arcs: Vec<Arc<FaultStats>> = Vec::new();
         for w in outs.into_iter().map(|o| o.expect("missing worker result")) {
             finals.extend(w.finals);
             io.merge(&w.io);
@@ -442,7 +462,27 @@ impl ParEmRunner {
             breakdown.readout_ops += w.breakdown.readout_ops;
             peak_mem = peak_mem.max(w.peak_mem);
             io_trace.extend(w.trace);
+            retries += w.retries;
+            if let Some(s) = w.faults {
+                if !fault_arcs.iter().any(|a| Arc::ptr_eq(a, &s)) {
+                    fault_arcs.push(s);
+                }
+            }
         }
+        // Sum the distinct injectors' counters; a user-supplied observer
+        // (one arc shared by all workers) is corrected back to this
+        // run's window via the snapshot taken before the spawn.
+        let faults = if fault_arcs.is_empty() {
+            None
+        } else {
+            let mut agg = FaultCounts::default();
+            let mut saw_user = false;
+            for a in &fault_arcs {
+                agg = agg.merged(a.counts());
+                saw_user |= user_faults.as_ref().map(|u| Arc::ptr_eq(u, a)).unwrap_or(false);
+            }
+            Some(if saw_user { agg.diff(fault_base) } else { agg })
+        };
 
         let report = EmRunReport {
             costs,
@@ -455,6 +495,8 @@ impl ParEmRunner {
             cross_thread_items: cross_total,
             wall: start.elapsed(),
             io_trace,
+            faults,
+            retries,
         };
         Ok(RunOutcome::Complete { finals, report })
     }
@@ -484,23 +526,35 @@ fn worker<P: CgmProgram>(
     // we hold were (re)opened — zero for fresh runs and in-process
     // resume (live arrays keep their counters), the checkpoint's
     // counters when rebuilding from disk files.
-    let (mut disks, trace, base_io) = match init.disks {
-        Some((d, tr)) => (d, tr, IoStats::new(geom.num_disks)),
+    let (mut disks, trace, base_io, retries, faults) = match init.disks {
+        // In-process resume: retry/fault handles do not travel with the
+        // handoff, so the resumed portion reports zero of both.
+        Some((d, tr)) => (d, tr, IoStats::new(geom.num_disks), Counter::detached(), None),
         None => match cfg.build_disks(t) {
-            Ok((d, tr)) => {
+            Ok(h) => {
                 let base = init
                     .restore
                     .as_ref()
                     .map(|w| w.io.clone())
                     .unwrap_or_else(|| IoStats::new(geom.num_disks));
-                (d, tr, base)
+                (h.disks, h.trace, base, h.retries, h.faults)
             }
             Err(e) => {
                 setup_err = Some(e);
-                (DiskArray::new(geom), None, IoStats::new(geom.num_disks))
+                (
+                    DiskArray::new(geom),
+                    None,
+                    IoStats::new(geom.num_disks),
+                    Counter::detached(),
+                    None,
+                )
             }
         },
     };
+    let base_retries = retries.get();
+    // Every span carries this worker's proc id so the coordinator's
+    // flamegraphs separate the p real processors.
+    let span = |ss: usize, ph: Phase| cfg.obs.as_ref().map(|o| o.span(t as u32, ss as u64, ph));
 
     let mut ctx_store =
         ContextStore::new(geom.num_disks, geom.block_bytes, 0, n_local, cfg.max_ctx_bytes);
@@ -526,6 +580,7 @@ fn worker<P: CgmProgram>(
     match init.restore {
         None => {
             // Input distribution.
+            let _g = span(init.start_round, Phase::Setup);
             if setup_err.is_none() {
                 for (k, state) in init.states.into_iter().enumerate() {
                     if let Err(e) = ctx_store.write(&mut disks, k, &state.to_bytes()) {
@@ -580,12 +635,14 @@ fn worker<P: CgmProgram>(
             'compute: for k in 0..n_local {
                 let pid = my_range.start + k;
                 // (a) context in
+                let g = span(round, Phase::CtxLoad);
                 let ops0 = disks.stats().total_ops();
                 if let Err(e) = ctx_store.read_into(&mut disks, k, &mut ctx_buf) {
                     phase_err = Some(e);
                     break 'compute;
                 }
                 breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+                drop(g);
                 let mut state = match P::State::try_from_bytes(&ctx_buf) {
                     Ok(s) => s,
                     Err(e) => {
@@ -595,6 +652,7 @@ fn worker<P: CgmProgram>(
                 };
 
                 // (b) messages in (local disks)
+                let g = span(round, Phase::MatrixRead);
                 let ops0 = disks.stats().total_ops();
                 let (left, right) = mats.split_at_mut(1);
                 let mat_cur = if cur == 0 { &mut left[0] } else { &mut right[0] };
@@ -608,6 +666,9 @@ fn worker<P: CgmProgram>(
                     }
                 };
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
+                drop(g);
+
+                let g = span(round, Phase::Rounds);
 
                 // Read-ahead: hint the next local vp's context and inbox
                 // while this one computes (no-op on synchronous
@@ -640,6 +701,7 @@ fn worker<P: CgmProgram>(
                     phase_err = Some(EmError::MemoryExceeded { pid, need: mem, m: cfg.mem_bytes });
                     break 'compute;
                 }
+                drop(g);
 
                 // (d) ship generated messages to their owners
                 let sent: usize = out_items;
@@ -659,6 +721,7 @@ fn worker<P: CgmProgram>(
                 }
 
                 // (e) context out
+                let _g = span(round, Phase::CtxLoad);
                 state.encode_to_vec(&mut enc_buf);
                 ctl.max_ctx = ctl.max_ctx.max(enc_buf.len());
                 let ops0 = disks.stats().total_ops();
@@ -672,6 +735,7 @@ fn worker<P: CgmProgram>(
 
         // Exchange: always send one packet per peer so nobody deadlocks,
         // even on error.
+        let g = span(round, Phase::Route);
         for (j, tx) in data_tx.iter().enumerate() {
             tx.send(std::mem::take(&mut packets[j])).expect("peer died");
         }
@@ -679,12 +743,16 @@ fn worker<P: CgmProgram>(
         for _ in 0..p {
             arrivals.extend(data_rx.recv().expect("peer died"));
         }
+        if phase_err.is_none() {
+            arrivals.sort_unstable_by_key(|&(src, dst, _)| (dst, src));
+        }
+        drop(g);
 
         // Arrange arrivals in memory and write them to the local disks
         // (the receiving half of step (d)). Sorted order keeps I/O
         // deterministic.
         if phase_err.is_none() {
-            arrivals.sort_unstable_by_key(|&(src, dst, _)| (dst, src));
+            let _g = span(round, Phase::MatrixWrite);
             let (left, right) = mats.split_at_mut(1);
             let mat_next = if cur == 0 { &mut right[0] } else { &mut left[0] };
             let entries: Vec<(usize, usize, &[P::Msg])> =
@@ -702,6 +770,7 @@ fn worker<P: CgmProgram>(
         // never describes data still in volatile caches.
         let want_ckpt = cfg.checkpoint_dir.is_some() || cfg.halt_after_superstep == Some(round);
         if phase_err.is_none() {
+            let _g = span(round, Phase::Barrier);
             if let Err(e) = disks.flush(want_ckpt) {
                 phase_err = Some(e.into());
             }
@@ -750,10 +819,13 @@ fn worker<P: CgmProgram>(
             peak_mem,
             trace: Vec::new(),
             handoff: Some((disks, trace)),
+            retries: retries.get().saturating_sub(base_retries),
+            faults,
         });
     }
 
     // Final readout.
+    let g = span(round, Phase::Readout);
     let ops0 = disks.stats().total_ops();
     let mut finals = Vec::with_capacity(n_local);
     for k in 0..n_local {
@@ -761,6 +833,7 @@ fn worker<P: CgmProgram>(
         finals.push(P::State::try_from_bytes(&ctx_buf).map_err(|e| ctx_store.corrupt_error(k, e))?);
     }
     breakdown.readout_ops = disks.stats().total_ops() - ops0;
+    drop(g);
 
     io.merge(disks.stats());
     Ok(WorkerOut {
@@ -770,6 +843,8 @@ fn worker<P: CgmProgram>(
         peak_mem,
         trace: trace.map(|t| t.drain()).unwrap_or_default(),
         handoff: None,
+        retries: retries.get().saturating_sub(base_retries),
+        faults,
     })
 }
 
@@ -999,6 +1074,52 @@ mod tests {
         assert_eq!(got, want);
         assert_eq!(rep.io, want_rep.io);
         assert!(stats.counts().total_errors() > 0, "no faults were injected");
+        // The shared observer is deduplicated, not double-counted, and
+        // the report window matches the observer exactly.
+        assert_eq!(rep.faults, Some(stats.counts()));
+        assert!(rep.retries > 0, "transient faults imply recovery retries");
+    }
+
+    #[test]
+    fn obs_metrics_and_fault_counts_across_workers() {
+        let v = 8;
+        let prog = AllToAll { items_per_pair: 3 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let cfg = config_for(&prog, init(), v, 4, 2, 32);
+        let (want, want_rep) = ParEmRunner::new(cfg.clone()).run(&prog, init()).unwrap();
+
+        let obs = cgmio_obs::Obs::new();
+        let mut ocfg = cfg.clone();
+        ocfg.obs = Some(obs.clone());
+        // No explicit observer: each worker's injector gets its own
+        // auto-attached FaultStats and the coordinator sums them.
+        ocfg.fault = Some(cgmio_pdm::FaultPlan::transient(7, 0.05));
+        ocfg.retry = cgmio_io::RetryPolicy { max_attempts: 6, base_backoff_us: 0 };
+        let (got, rep) = ParEmRunner::new(ocfg).run(&prog, init()).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(rep.io, want_rep.io, "obs + faults must not change counted I/O");
+        let f = rep.faults.expect("fault plan set, counts must be reported");
+        assert!(f.total_errors() > 0, "no faults were injected");
+        assert_eq!(rep.retries, f.read_transient + f.write_transient + f.torn_writes);
+
+        // Spans from every worker (proc label) and the phase taxonomy.
+        let spans = obs.spans();
+        for t in 0..4u32 {
+            assert!(spans.iter().any(|s| s.proc == t), "no spans from worker {t}");
+        }
+        for ph in [Phase::Setup, Phase::CtxLoad, Phase::MatrixRead, Phase::Route, Phase::Barrier] {
+            assert!(spans.iter().any(|s| s.phase == ph), "missing phase {ph:?}");
+        }
+        // Retries surfaced as metrics too, labelled per real processor.
+        let snap = obs.metrics().snapshot();
+        let total: u64 = (0..4)
+            .filter_map(|t| snap.get("cgmio_io_retries_total", &[("proc", &t.to_string())]))
+            .map(|m| match m {
+                cgmio_obs::SampleValue::Counter(n) => *n,
+                other => panic!("retries series is not a counter: {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, rep.retries);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use cgmio_io::TraceEvent;
 use cgmio_model::CommCosts;
-use cgmio_pdm::{DiskGeometry, DiskTimingModel, IoStats};
+use cgmio_pdm::{DiskGeometry, DiskTimingModel, FaultCounts, IoStats};
 
 /// Parallel-I/O operation counts split by purpose.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +58,15 @@ pub struct EmRunReport {
     /// otherwise). For `p > 1` the traces of all real processors are
     /// concatenated; `TraceEvent::proc` tells them apart.
     pub io_trace: Vec<TraceEvent>,
+    /// Faults injected during this run, aggregated over all real
+    /// processors' injectors — present iff `EmConfig::fault` was set.
+    /// `None` also for the portion of a run executed before an
+    /// in-process resume (the handles do not travel with checkpoints).
+    pub faults: Option<FaultCounts>,
+    /// Transient-fault retries performed by the storage stack during
+    /// this run (drive workers and `RetryStorage` combined). Recovery
+    /// traffic only — never part of [`Self::io`].
+    pub retries: u64,
 }
 
 impl EmRunReport {
@@ -108,6 +117,8 @@ mod tests {
             cross_thread_items: 0,
             wall: Duration::ZERO,
             io_trace: Vec::new(),
+            faults: None,
+            retries: 0,
         }
     }
 

@@ -23,10 +23,11 @@ use cgmio_model::cost::round_cost_from_matrix;
 use cgmio_model::{
     CgmProgram, CommCosts, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status,
 };
+use cgmio_obs::{Counter, Phase};
 use cgmio_pdm::{DiskArray, IoError, IoStats, Item};
 
 use crate::checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckpoint};
-use crate::config::EmConfig;
+use crate::config::{DiskHandles, EmConfig};
 use crate::context::ContextStore;
 use crate::msgmatrix::MessageMatrix;
 use crate::report::{EmRunReport, IoBreakdown};
@@ -192,21 +193,24 @@ impl SeqEmRunner {
         // in-process resume (live arrays keep their cumulative counters),
         // the manifest's counters when rebuilding from disk files.
         match start {
+            // In-process resume: the live array keeps its own counters,
+            // but the retry/fault handles do not travel with the
+            // checkpoint — the resumed portion reports 0 retries and no
+            // fault counts.
             Start::Resume { manifest, disks: Some((d, t)) } => self.drive_inner(
                 prog,
-                d,
-                t,
+                DiskHandles { disks: d, trace: t, retries: Counter::detached(), faults: None },
                 IoStats::new(geom.num_disks),
                 Start::Resume { manifest, disks: None },
             ),
             Start::Resume { manifest, disks: None } => {
-                let (d, t) = cfg.build_disks(0)?;
+                let handles = cfg.build_disks(0)?;
                 let base = manifest.workers[0].io.clone();
-                self.drive_inner(prog, d, t, base, Start::Resume { manifest, disks: None })
+                self.drive_inner(prog, handles, base, Start::Resume { manifest, disks: None })
             }
             fresh @ Start::Fresh(_) => {
-                let (d, t) = cfg.build_disks(0)?;
-                self.drive_inner(prog, d, t, IoStats::new(geom.num_disks), fresh)
+                let handles = cfg.build_disks(0)?;
+                self.drive_inner(prog, handles, IoStats::new(geom.num_disks), fresh)
             }
         }
     }
@@ -214,15 +218,26 @@ impl SeqEmRunner {
     fn drive_inner<P: CgmProgram>(
         &self,
         prog: &P,
-        mut disks: DiskArray,
-        trace: Option<TraceHandle>,
+        handles: DiskHandles,
         base_io: IoStats,
         start: Start<P::State>,
     ) -> Result<RunOutcome<P::State>, EmError> {
+        let DiskHandles { mut disks, trace, retries, faults } = handles;
         let cfg = &self.config;
         cfg.validate()?;
         let v = cfg.v;
         let geom = cfg.geometry();
+        // Counter positions at entry, so the report attributes only
+        // this run's recovery traffic (a user-shared fault observer may
+        // already hold counts from earlier runs).
+        let base_retries = retries.get();
+        let base_faults = faults.as_ref().map(|s| s.counts());
+        // One span guard per phase: publishes (superstep, phase) so the
+        // io layer stamps in-flight ops, and feeds cgmio_phase_us.
+        // `None` (no obs handle) costs nothing.
+        let span = |superstep: usize, phase: Phase| {
+            cfg.obs.as_ref().map(|o| o.span(0, superstep as u64, phase))
+        };
 
         let mut ctx_store =
             ContextStore::new(geom.num_disks, geom.block_bytes, 0, v, cfg.max_ctx_bytes);
@@ -267,6 +282,7 @@ impl SeqEmRunner {
         match start {
             Start::Fresh(states) => {
                 // Input distribution: write initial contexts.
+                let _g = span(0, Phase::Setup);
                 for (pid, state) in states.into_iter().enumerate() {
                     ctx_store.write(&mut disks, pid, &state.to_bytes())?;
                 }
@@ -307,13 +323,16 @@ impl SeqEmRunner {
 
             for (pid, matrix_row) in matrix_lens.iter_mut().enumerate() {
                 // (a) context in
+                let g = span(round, Phase::CtxLoad);
                 let ops0 = disks.stats().total_ops();
                 ctx_store.read_into(&mut disks, pid, &mut ctx_buf)?;
                 breakdown.ctx_ops += disks.stats().total_ops() - ops0;
                 let mut state = P::State::try_from_bytes(&ctx_buf)
                     .map_err(|e| ctx_store.corrupt_error(pid, e))?;
+                drop(g);
 
                 // (b) messages in
+                let g = span(round, Phase::MatrixRead);
                 let ops0 = disks.stats().total_ops();
                 let (left, right) = mats.split_at_mut(1);
                 let (mat_cur, mat_next) = if cur == 0 {
@@ -324,17 +343,19 @@ impl SeqEmRunner {
                 let inbox_items = mat_cur.received_items(pid);
                 let per_src = mat_cur.read_for_dst(&mut disks, pid)?;
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
+                drop(g);
 
-                // Read-ahead: while vp `pid` computes, hint the next
-                // vp's context and inbox to the backend (a no-op for
-                // synchronous backends; never counted as I/O).
+                // (c) compute (the read-ahead hints are submitted here,
+                // overlapping the compute step they hide behind)
+                let g = span(round, Phase::Rounds);
                 if pid + 1 < v {
+                    // Read-ahead: while vp `pid` computes, hint the next
+                    // vp's context and inbox to the backend (a no-op for
+                    // synchronous backends; never counted as I/O).
                     let mut hints = ctx_store.read_addrs(pid + 1);
                     hints.extend(mat_cur.read_addrs_for_dst(pid + 1));
                     disks.prefetch(&hints);
                 }
-
-                // (c) compute
                 let mut outbox = Outbox::new(v);
                 let status = {
                     let mut rctx = RoundCtx {
@@ -350,6 +371,7 @@ impl SeqEmRunner {
                     n_done += 1;
                 }
                 let out_items = outbox.total();
+                drop(g);
 
                 // Memory audit: context + inbox + outbox must fit in M.
                 let mem = ctx_buf.len() + (inbox_items + out_items) * P::Msg::SIZE;
@@ -359,6 +381,7 @@ impl SeqEmRunner {
                 }
 
                 // (d) messages out (staggered format, FIFO-packed)
+                let g = span(round, Phase::MatrixWrite);
                 let per_dst = outbox.into_per_dst();
                 for (cell, msg) in matrix_row.iter_mut().zip(&per_dst) {
                     *cell = msg.len();
@@ -371,13 +394,16 @@ impl SeqEmRunner {
                 let ops0 = disks.stats().total_ops();
                 mat_next.write_batch(&mut disks, &entries)?;
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
+                drop(g);
 
                 // (e) context out
+                let g = span(round, Phase::CtxLoad);
                 state.encode_to_vec(&mut enc_buf);
                 max_ctx = max_ctx.max(enc_buf.len());
                 let ops0 = disks.stats().total_ops();
                 ctx_store.write(&mut disks, pid, &enc_buf)?;
                 breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+                drop(g);
             }
 
             // Superstep barrier: drain write-behind, apply the durability
@@ -385,7 +411,10 @@ impl SeqEmRunner {
             // checkpoint is due the flush also fsyncs, so the manifest
             // never describes data still in volatile caches.
             let want_ckpt = cfg.checkpoint_dir.is_some() || cfg.halt_after_superstep == Some(round);
-            disks.flush(want_ckpt)?;
+            {
+                let _g = span(round, Phase::Barrier);
+                disks.flush(want_ckpt)?;
+            }
 
             let round_cost = round_cost_from_matrix(&matrix_lens);
             let sent_any = round_cost.total_items > 0;
@@ -403,6 +432,7 @@ impl SeqEmRunner {
             }
 
             if want_ckpt {
+                let _g = span(round, Phase::Checkpoint);
                 let mut io = base_io.clone();
                 io.merge(disks.stats());
                 let manifest = CheckpointManifest {
@@ -442,6 +472,7 @@ impl SeqEmRunner {
         costs.max_context_bytes = max_ctx;
 
         // Final readout.
+        let g = span(round, Phase::Readout);
         let ops0 = disks.stats().total_ops();
         let mut finals = Vec::with_capacity(v);
         for pid in 0..v {
@@ -451,6 +482,7 @@ impl SeqEmRunner {
             );
         }
         breakdown.readout_ops = disks.stats().total_ops() - ops0;
+        drop(g);
 
         let mut io = base_io;
         io.merge(disks.stats());
@@ -465,6 +497,8 @@ impl SeqEmRunner {
             cross_thread_items: 0,
             wall,
             io_trace: trace.map(|t| t.drain()).unwrap_or_default(),
+            faults: faults.map(|s| s.counts().diff(base_faults.unwrap_or_default())),
+            retries: retries.get().saturating_sub(base_retries),
         };
         Ok(RunOutcome::Complete { finals, report })
     }
@@ -738,6 +772,72 @@ mod tests {
         // Retries are recovery traffic, not model I/O: counts unchanged.
         assert_eq!(rep.io, want_rep.io);
         assert!(stats.counts().total_errors() > 0, "no faults were injected");
+        // The same counts are first-class in the report, plus the
+        // retries that healed them.
+        assert_eq!(rep.faults, Some(stats.counts()));
+        assert!(rep.retries > 0, "transient faults must have been retried");
+    }
+
+    #[test]
+    fn fault_counts_reported_without_explicit_observer() {
+        let v = 4;
+        let prog = AllToAll { items_per_pair: 5 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let mut cfg = config_for(&prog, init(), v, 2, 32);
+        cfg.fault = Some(cgmio_pdm::FaultPlan::transient(9, 0.05));
+        cfg.retry = cgmio_io::RetryPolicy { max_attempts: 6, base_backoff_us: 0 };
+        let (_, rep) = SeqEmRunner::new(cfg).run(&prog, init()).unwrap();
+        let f = rep.faults.expect("fault plan set => counts reported");
+        assert!(f.total_errors() > 0);
+        assert_eq!(rep.retries, f.read_transient + f.write_transient + f.torn_writes);
+    }
+
+    #[test]
+    fn obs_spans_and_metrics_leave_io_stats_untouched() {
+        let v = 5;
+        let prog = AllToAll { items_per_pair: 6 };
+        let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+        let base_cfg = config_for(&prog, init(), v, 2, 32);
+        let (want, want_rep) = SeqEmRunner::new(base_cfg.clone()).run(&prog, init()).unwrap();
+
+        let obs = cgmio_obs::Obs::new();
+        let mut cfg = base_cfg.clone();
+        cfg.obs = Some(obs.clone());
+        cfg.backend = crate::BackendSpec::Concurrent {
+            dir: None,
+            opts: cgmio_io::IoEngineOpts { trace: true, ..Default::default() },
+        };
+        let (got, rep) = SeqEmRunner::new(cfg).run(&prog, init()).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(rep.io, want_rep.io, "observability must not change accounting");
+        assert_eq!(rep.breakdown, want_rep.breakdown);
+
+        // Every instrumented phase of the superstep loop left spans…
+        let phases: std::collections::BTreeSet<Phase> =
+            obs.spans().iter().map(|s| s.phase).collect();
+        for ph in [
+            Phase::Setup,
+            Phase::CtxLoad,
+            Phase::MatrixRead,
+            Phase::Rounds,
+            Phase::MatrixWrite,
+            Phase::Barrier,
+            Phase::Readout,
+        ] {
+            assert!(phases.contains(&ph), "missing {ph} span");
+        }
+        // …and the trace events carry runner-published phases.
+        assert!(
+            rep.io_trace.iter().any(|e| e.phase == Phase::MatrixWrite),
+            "trace events must be stamped with the active phase"
+        );
+        // Per-drive service histograms landed in the registry.
+        let snap = obs.snapshot();
+        assert!(
+            snap.get("cgmio_io_service_us", &[("drive", "0"), ("kind", "write"), ("proc", "0")])
+                .is_some(),
+            "per-drive service histogram missing"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use cgmio_obs::{Counter, Gauge, Histogram, Obs, Phase, PhaseCell};
 use cgmio_pdm::{
     classify, BlockPool, DiskGeometry, FileStorage, PooledBlock, TrackAddr, TrackStorage,
 };
@@ -76,6 +77,13 @@ pub struct IoEngineOpts {
     /// [`IoErrorKind::Corrupt`] fault instead of silently returning bad
     /// data.
     pub verify_checksums: bool,
+    /// Observability handle. When set, the workers record per-drive
+    /// service-time histograms, byte/cache-hit/retry counters, and
+    /// queue-depth gauges into its registry, and every trace event is
+    /// stamped with the `(superstep, phase)` published through the
+    /// handle's [`PhaseCell`] by the runner's
+    /// spans. `None` (the default) skips all of it.
+    pub obs: Option<Obs>,
 }
 
 impl Default for IoEngineOpts {
@@ -88,8 +96,22 @@ impl Default for IoEngineOpts {
             proc: 0,
             retry: RetryPolicy::default(),
             verify_checksums: false,
+            obs: None,
         }
     }
+}
+
+/// Submit-time context attached to every queued op: trace sequencing
+/// plus the `(superstep, phase)` active at submission. Per-drive FIFO
+/// servicing means the submit-time superstep equals the count of
+/// barrier flushes the worker has passed when it services the op, so
+/// one stamp serves both the trace and deferred-error attribution.
+#[derive(Debug, Clone, Copy, Default)]
+struct Stamp {
+    seq: u64,
+    submit_us: u64,
+    superstep: u64,
+    phase: Phase,
 }
 
 /// One block of a vectored write: payload in a pooled buffer (returned
@@ -98,8 +120,7 @@ impl Default for IoEngineOpts {
 struct WriteBlock {
     track: u64,
     data: PooledBlock,
-    seq: u64,
-    submit_us: u64,
+    stamp: Stamp,
 }
 
 /// One result per submitted track, in submission order.
@@ -114,10 +135,9 @@ type ReadManyReply = Vec<io::Result<Vec<u8>>>;
 /// drive instead of per block. Workers still service (and trace) each
 /// block individually.
 enum DriveOp {
-    /// `tracks` are `(track, seq, submit_us)`; the reply carries one
-    /// result per track, in submission order.
+    /// The reply carries one result per track, in submission order.
     ReadMany {
-        tracks: Vec<(u64, u64, u64)>,
+        tracks: Vec<(u64, Stamp)>,
         reply: Sender<ReadManyReply>,
     },
     WriteMany {
@@ -125,15 +145,12 @@ enum DriveOp {
     },
     Prefetch {
         track: u64,
-        seq: u64,
-        submit_us: u64,
+        stamp: Stamp,
     },
     Flush {
         sync: bool,
-        barrier: bool,
         reply: Sender<io::Result<()>>,
-        seq: u64,
-        submit_us: u64,
+        stamp: Stamp,
     },
 }
 
@@ -170,6 +187,20 @@ pub struct ConcurrentStorage {
     pool: BlockPool,
     /// Per-drive count of prefetch hints dropped on a full queue.
     prefetch_drops: Arc<Vec<AtomicU64>>,
+    obs: Option<Obs>,
+    /// This proc's phase cell, resolved once so the submit path reads
+    /// the runner-published `(superstep, phase)` with one atomic load.
+    phase: Option<Arc<PhaseCell>>,
+    /// Barrier flushes completed — the engine's own superstep counter,
+    /// used to stamp ops when no runner is publishing phases.
+    superstep: AtomicU64,
+    /// Transient-fault retries across all drive workers. Registered as
+    /// `cgmio_io_retries_total{proc}` when `obs` is set, detached (but
+    /// still counting, for run reports) otherwise.
+    retries: Counter,
+    /// Per-drive `cgmio_io_prefetch_dropped_total` handles (detached
+    /// when `obs` is unset).
+    prefetch_drop_metrics: Vec<Counter>,
 }
 
 impl ConcurrentStorage {
@@ -177,6 +208,21 @@ impl ConcurrentStorage {
     pub fn new(inner: Arc<dyn TrackStorage>, num_disks: usize, opts: IoEngineOpts) -> Self {
         let write_err = Arc::new(Mutex::new(None));
         let trace = opts.trace.then(TraceHandle::new);
+        let retries = match &opts.obs {
+            Some(o) => {
+                o.metrics().counter("cgmio_io_retries_total", &[("proc", opts.proc.to_string())])
+            }
+            None => Counter::detached(),
+        };
+        let prefetch_drop_metrics: Vec<Counter> = (0..num_disks)
+            .map(|drive| match &opts.obs {
+                Some(o) => o.metrics().counter(
+                    "cgmio_io_prefetch_dropped_total",
+                    &[("proc", opts.proc.to_string()), ("drive", drive.to_string())],
+                ),
+                None => Counter::detached(),
+            })
+            .collect();
         let mut queues = Vec::with_capacity(num_disks);
         let mut workers = Vec::with_capacity(num_disks);
         for drive in 0..num_disks {
@@ -190,6 +236,9 @@ impl ConcurrentStorage {
                 cache_cap: opts.prefetch_cache_blocks,
                 retry: opts.retry,
                 verify: opts.verify_checksums,
+                obs: opts.obs.clone(),
+                metrics: opts.obs.as_ref().map(|o| DriveObs::new(o, opts.proc, drive)),
+                retries: retries.clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -209,6 +258,11 @@ impl ConcurrentStorage {
             proc: opts.proc,
             pool: BlockPool::default(),
             prefetch_drops: Arc::new((0..num_disks).map(|_| AtomicU64::new(0)).collect()),
+            phase: opts.obs.as_ref().map(|o| o.phase_cell(opts.proc as u32)),
+            obs: opts.obs,
+            superstep: AtomicU64::new(0),
+            retries,
+            prefetch_drop_metrics,
         }
     }
 
@@ -225,11 +279,25 @@ impl ConcurrentStorage {
         self.trace.clone()
     }
 
-    fn stamp(&self) -> (u64, u64) {
-        match &self.trace {
+    /// Handle onto the engine's transient-retry counter. Counts across
+    /// all drive workers for the engine's whole lifetime, whether or
+    /// not an observability handle is attached.
+    pub fn retry_counter(&self) -> Counter {
+        self.retries.clone()
+    }
+
+    fn stamp(&self) -> Stamp {
+        let (seq, submit_us) = match &self.trace {
             Some(t) => (t.next_seq(), t.now_us()),
-            None => (0, 0),
-        }
+            None => (0, self.obs.as_ref().map(|o| o.now_us()).unwrap_or(0)),
+        };
+        // Prefer the runner-published (superstep, phase); fall back to
+        // the engine's own barrier count when nothing is published.
+        let (superstep, phase) = match self.phase.as_ref().map(|c| c.get()) {
+            Some((step, phase)) if phase != Phase::None => (step, phase),
+            _ => (self.superstep.load(Ordering::Relaxed), Phase::None),
+        };
+        Stamp { seq, submit_us, superstep, phase }
     }
 
     /// Surface (and clear) a deferred write-behind error as a typed
@@ -263,10 +331,9 @@ impl ConcurrentStorage {
     /// drive, and return each block **owned** in request order.
     fn read_scatter_owned(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
         let nd = self.queues.len();
-        let mut groups: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); nd];
+        let mut groups: Vec<Vec<(u64, Stamp)>> = vec![Vec::new(); nd];
         for a in addrs {
-            let (seq, submit_us) = self.stamp();
-            groups[a.disk].push((a.track, seq, submit_us));
+            groups[a.disk].push((a.track, self.stamp()));
         }
         let mut replies: Vec<Option<Receiver<ReadManyReply>>> = (0..nd).map(|_| None).collect();
         for (drive, tracks) in groups.into_iter().enumerate() {
@@ -336,10 +403,10 @@ impl TrackStorage for ConcurrentStorage {
         let nd = self.queues.len();
         let mut groups: Vec<Vec<WriteBlock>> = (0..nd).map(|_| Vec::new()).collect();
         for (a, data) in writes {
-            let (seq, submit_us) = self.stamp();
+            let stamp = self.stamp();
             let mut block = self.pool.checkout(data.len());
             block.copy_from_slice(data);
-            groups[a.disk].push(WriteBlock { track: a.track, data: block, seq, submit_us });
+            groups[a.disk].push(WriteBlock { track: a.track, data: block, stamp });
         }
         for (drive, blocks) in groups.into_iter().enumerate() {
             if !blocks.is_empty() {
@@ -354,27 +421,29 @@ impl TrackStorage for ConcurrentStorage {
     /// effectiveness analysis sees the hints that went missing.
     fn prefetch(&self, addrs: &[TrackAddr]) {
         for a in addrs {
-            let (seq, submit_us) = self.stamp();
-            match self.queues[a.disk].try_send(DriveOp::Prefetch { track: a.track, seq, submit_us })
-            {
+            let stamp = self.stamp();
+            match self.queues[a.disk].try_send(DriveOp::Prefetch { track: a.track, stamp }) {
                 Ok(()) | Err(TrySendError::Disconnected(_)) => {}
                 Err(TrySendError::Full(_)) => {
                     self.prefetch_drops[a.disk].fetch_add(1, Ordering::Relaxed);
+                    self.prefetch_drop_metrics[a.disk].inc();
                     if let Some(t) = &self.trace {
                         let now = t.now_us();
                         t.record(TraceEvent {
-                            seq,
+                            seq: stamp.seq,
                             proc: self.proc,
                             drive: a.disk,
                             kind: OpKind::PrefetchDropped,
                             track: a.track,
                             bytes: 0,
                             queue_depth: self.queues[a.disk].len(),
-                            submit_us,
+                            submit_us: stamp.submit_us,
                             start_us: now,
                             end_us: now,
                             cache_hit: false,
                             retries: 0,
+                            superstep: stamp.superstep,
+                            phase: stamp.phase,
                         });
                     }
                 }
@@ -389,13 +458,13 @@ impl TrackStorage for ConcurrentStorage {
         let mut replies = Vec::with_capacity(self.queues.len());
         for drive in 0..self.queues.len() {
             let (tx, rx) = bounded(1);
-            let (seq, submit_us) = self.stamp();
-            self.submit(
-                drive,
-                DriveOp::Flush { sync: fsync, barrier: true, reply: tx, seq, submit_us },
-            )?;
+            let stamp = self.stamp();
+            self.submit(drive, DriveOp::Flush { sync: fsync, reply: tx, stamp })?;
             replies.push(rx);
         }
+        // The flush ops above belong to the superstep they close; ops
+        // submitted after this barrier are stamped with the next one.
+        self.superstep.fetch_add(1, Ordering::Relaxed);
         for rx in replies {
             rx.recv().map_err(|_| io::Error::other("drive worker died mid-flush"))??;
         }
@@ -404,11 +473,8 @@ impl TrackStorage for ConcurrentStorage {
 
     fn sync_disk(&self, disk: usize) -> io::Result<()> {
         let (tx, rx) = bounded(1);
-        let (seq, submit_us) = self.stamp();
-        self.submit(
-            disk,
-            DriveOp::Flush { sync: true, barrier: false, reply: tx, seq, submit_us },
-        )?;
+        let stamp = self.stamp();
+        self.submit(disk, DriveOp::Flush { sync: true, reply: tx, stamp })?;
         rx.recv().map_err(|_| io::Error::other("drive worker died mid-sync"))?
     }
 
@@ -431,6 +497,49 @@ impl Drop for ConcurrentStorage {
     }
 }
 
+/// Per-drive metric handles, resolved once at worker spawn so the hot
+/// path never touches the registry map.
+struct DriveObs {
+    /// Service-time histograms indexed by [`DriveObs::kind_idx`].
+    service_us: [Histogram; 4],
+    /// Payload bytes moved, same indexing (flush always moves 0 bytes
+    /// and shares the reads slot harmlessly).
+    bytes: [Counter; 4],
+    queue_depth: Gauge,
+    cache_hits: Counter,
+}
+
+impl DriveObs {
+    fn new(obs: &Obs, proc: usize, drive: usize) -> Self {
+        let m = obs.metrics();
+        let kinds = ["read", "write", "prefetch", "flush"];
+        let labels = |kind: &str| {
+            [("proc", proc.to_string()), ("drive", drive.to_string()), ("kind", kind.to_string())]
+        };
+        Self {
+            service_us: kinds.map(|k| m.histogram("cgmio_io_service_us", &labels(k))),
+            bytes: kinds.map(|k| m.counter("cgmio_io_bytes_total", &labels(k))),
+            queue_depth: m.gauge(
+                "cgmio_io_queue_depth",
+                &[("proc", proc.to_string()), ("drive", drive.to_string())],
+            ),
+            cache_hits: m.counter(
+                "cgmio_io_cache_hits_total",
+                &[("proc", proc.to_string()), ("drive", drive.to_string())],
+            ),
+        }
+    }
+
+    fn kind_idx(kind: OpKind) -> usize {
+        match kind {
+            OpKind::Read => 0,
+            OpKind::Write => 1,
+            OpKind::Prefetch | OpKind::PrefetchDropped => 2,
+            OpKind::Flush => 3,
+        }
+    }
+}
+
 /// Per-drive worker state.
 struct WorkerCtx {
     drive: usize,
@@ -441,6 +550,9 @@ struct WorkerCtx {
     cache_cap: usize,
     retry: RetryPolicy,
     verify: bool,
+    obs: Option<Obs>,
+    metrics: Option<DriveObs>,
+    retries: Counter,
 }
 
 impl WorkerCtx {
@@ -451,10 +563,6 @@ impl WorkerCtx {
         // Expected FNV checksum per track this engine has written
         // (worker-local: this worker services every op for its drive).
         let mut sums: HashMap<u64, u64> = HashMap::new();
-        // Flush barriers serviced so far ≈ superstep index; stamps
-        // deferred write errors so they can be cross-referenced with the
-        // runner's superstep that issued the write.
-        let mut superstep: u64 = 0;
         // recv() drains already-queued ops even after the engine dropped
         // its senders, then errors out — that's the graceful shutdown.
         while let Ok(op) = rx.recv() {
@@ -462,7 +570,7 @@ impl WorkerCtx {
             match op {
                 DriveOp::ReadMany { tracks, reply } => {
                     let mut out = Vec::with_capacity(tracks.len());
-                    for (track, seq, submit_us) in tracks {
+                    for (track, stamp) in tracks {
                         let start_us = self.now_us();
                         let (res, hit, retries) = match cache.get(&track) {
                             Some(data) => (Ok(data.clone()), true, 0),
@@ -479,8 +587,7 @@ impl WorkerCtx {
                             track,
                             bytes,
                             depth,
-                            seq,
-                            submit_us,
+                            stamp,
                             start_us,
                             hit,
                             retries,
@@ -492,7 +599,7 @@ impl WorkerCtx {
                     let _ = reply.send(out);
                 }
                 DriveOp::WriteMany { blocks } => {
-                    for WriteBlock { track, data, seq, submit_us } in blocks {
+                    for WriteBlock { track, data, stamp } in blocks {
                         let start_us = self.now_us();
                         // FIFO order makes later reads see this write;
                         // the cache entry is stale either way — drop it.
@@ -512,7 +619,7 @@ impl WorkerCtx {
                                 self.write_err.lock().unwrap().get_or_insert(DeferredWriteError {
                                     drive: self.drive,
                                     track,
-                                    superstep,
+                                    superstep: stamp.superstep,
                                     kind: classify(&e),
                                     detail: e.to_string(),
                                 });
@@ -523,8 +630,7 @@ impl WorkerCtx {
                             track,
                             bytes,
                             depth,
-                            seq,
-                            submit_us,
+                            stamp,
                             start_us,
                             false,
                             retries,
@@ -533,7 +639,7 @@ impl WorkerCtx {
                         // the buffer to the engine's pool.
                     }
                 }
-                DriveOp::Prefetch { track, seq, submit_us } => {
+                DriveOp::Prefetch { track, stamp } => {
                     let start_us = self.now_us();
                     let hit = cache.contains_key(&track);
                     let mut bytes = 0;
@@ -553,25 +659,12 @@ impl WorkerCtx {
                             }
                         }
                     }
-                    self.record(
-                        OpKind::Prefetch,
-                        track,
-                        bytes,
-                        depth,
-                        seq,
-                        submit_us,
-                        start_us,
-                        hit,
-                        0,
-                    );
+                    self.record(OpKind::Prefetch, track, bytes, depth, stamp, start_us, hit, 0);
                 }
-                DriveOp::Flush { sync, barrier, reply, seq, submit_us } => {
+                DriveOp::Flush { sync, reply, stamp } => {
                     let start_us = self.now_us();
                     let res = if sync { self.inner.sync_disk(self.drive) } else { Ok(()) };
-                    if barrier {
-                        superstep += 1;
-                    }
-                    self.record(OpKind::Flush, 0, 0, depth, seq, submit_us, start_us, false, 0);
+                    self.record(OpKind::Flush, 0, 0, depth, stamp, start_us, false, 0);
                     let _ = reply.send(res);
                 }
             }
@@ -603,8 +696,14 @@ impl WorkerCtx {
         sums.get(&track).is_none_or(|&want| track_checksum(data) == want)
     }
 
+    /// Worker timebase: the trace epoch when tracing, else the obs
+    /// epoch (so service histograms work with tracing off), else 0.
     fn now_us(&self) -> u64 {
-        self.trace.as_ref().map(|t| t.now_us()).unwrap_or(0)
+        match (&self.trace, &self.obs) {
+            (Some(t), _) => t.now_us(),
+            (None, Some(o)) => o.now_us(),
+            (None, None) => 0,
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -614,26 +713,40 @@ impl WorkerCtx {
         track: u64,
         bytes: usize,
         queue_depth: usize,
-        seq: u64,
-        submit_us: u64,
+        stamp: Stamp,
         start_us: u64,
         cache_hit: bool,
         retries: u32,
     ) {
+        let end_us = self.now_us();
+        if retries > 0 {
+            self.retries.add(retries as u64);
+        }
+        if let Some(m) = &self.metrics {
+            let i = DriveObs::kind_idx(kind);
+            m.service_us[i].observe(end_us.saturating_sub(start_us));
+            m.bytes[i].add(bytes as u64);
+            m.queue_depth.set(queue_depth as i64);
+            if cache_hit {
+                m.cache_hits.inc();
+            }
+        }
         if let Some(t) = &self.trace {
             t.record(TraceEvent {
-                seq,
+                seq: stamp.seq,
                 proc: self.proc,
                 drive: self.drive,
                 kind,
                 track,
                 bytes,
                 queue_depth,
-                submit_us,
+                submit_us: stamp.submit_us,
                 start_us,
-                end_us: t.now_us(),
+                end_us,
                 cache_hit,
                 retries,
+                superstep: stamp.superstep,
+                phase: stamp.phase,
             });
         }
     }
@@ -984,6 +1097,64 @@ mod tests {
         let e = s.read_track(0, 0).unwrap_err();
         assert_eq!(classify(&e), IoErrorKind::Corrupt);
         assert!(e.to_string().contains("checksum"), "{e}");
+    }
+
+    #[test]
+    fn obs_records_metrics_and_stamps_trace_with_published_phase() {
+        use cgmio_obs::SampleValue;
+        let obs = Obs::new();
+        let opts = IoEngineOpts { trace: true, obs: Some(obs.clone()), ..Default::default() };
+        let s = engine(2, 4, opts);
+        let t = s.trace_handle().unwrap();
+        // Ops issued inside a span carry its (superstep, phase)...
+        {
+            let _span = obs.span(0, 3, Phase::MatrixWrite);
+            s.write_batch(&[
+                (TrackAddr::new(0, 0), &[1u8][..]),
+                (TrackAddr::new(1, 0), &[2u8][..]),
+            ])
+            .unwrap();
+        }
+        // ...and ops outside any span fall back to the barrier count.
+        s.flush(false).unwrap();
+        s.read_track(0, 0).unwrap();
+        let evs = t.snapshot();
+        let w: Vec<_> = evs.iter().filter(|e| e.kind == OpKind::Write).collect();
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|e| e.superstep == 3 && e.phase == Phase::MatrixWrite));
+        let r = evs.iter().find(|e| e.kind == OpKind::Read).unwrap();
+        assert_eq!((r.superstep, r.phase), (1, Phase::None), "one barrier passed, no span");
+        // Metrics landed under the right labels.
+        let snap = obs.snapshot();
+        match snap.get("cgmio_io_service_us", &[("proc", "0"), ("drive", "0"), ("kind", "write")]) {
+            Some(SampleValue::Histogram(h)) => assert_eq!(h.count, 1),
+            other => panic!("missing write service histogram: {other:?}"),
+        }
+        match snap.get("cgmio_io_bytes_total", &[("proc", "0"), ("drive", "0"), ("kind", "read")]) {
+            Some(SampleValue::Counter(b)) => assert_eq!(*b, 4),
+            other => panic!("missing read byte counter: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_counter_counts_without_obs_attached() {
+        use cgmio_pdm::{FaultInjector, FaultPlan};
+        let geom = DiskGeometry::new(1, 4);
+        let inj = FaultInjector::new(MemStorage::new(geom), 1, FaultPlan::transient(5, 0.3));
+        let opts = IoEngineOpts {
+            retry: RetryPolicy { max_attempts: 12, base_backoff_us: 0 },
+            ..Default::default()
+        };
+        let s = ConcurrentStorage::new(Arc::new(inj), 1, opts);
+        let retries = s.retry_counter();
+        for i in 0..40u64 {
+            s.write_track(0, i, &[i as u8]).unwrap();
+        }
+        s.flush(false).unwrap();
+        for i in 0..40u64 {
+            s.read_track(0, i).unwrap();
+        }
+        assert!(retries.get() > 0, "expected retries at a 30% transient rate");
     }
 
     #[test]

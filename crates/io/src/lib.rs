@@ -11,7 +11,8 @@
 //!   cache, configurable [`Durability`], and graceful shutdown that
 //!   drains in-flight writes,
 //! * [`trace`] — an opt-in I/O event trace (per-op latency, queue depth,
-//!   bytes, cache hits, retries) exportable as JSONL or CSV,
+//!   bytes, cache hits, retries, and the EM superstep/[`Phase`] active
+//!   at submission) exportable as JSONL or CSV,
 //! * [`retry`] — the recovery policy over the fault taxonomy of
 //!   [`cgmio_pdm::fault`]: bounded retry-with-backoff for transient
 //!   faults (applied inside the drive workers and, via [`RetryStorage`],
@@ -27,6 +28,13 @@
 //! processor's context ahead of the current one's compute step and to
 //! write contexts/messages behind it (the asynchronous pipeline the
 //! paper's physical prototype relied on).
+//!
+//! When an [`Obs`] handle is passed via [`IoEngineOpts::obs`], the
+//! drive workers additionally record per-drive service-time
+//! histograms, byte/cache-hit/retry counters, queue-depth gauges, and
+//! prefetch-drop counters into its registry (catalogue in
+//! `docs/OBSERVABILITY.md`) — all off the accounting path, so
+//! `IoStats` stays bit-identical with observability on.
 
 #![deny(missing_docs)]
 
@@ -34,6 +42,7 @@ pub mod engine;
 pub mod retry;
 pub mod trace;
 
+pub use cgmio_obs::{Counter, Obs, Phase};
 pub use cgmio_pdm::{classify, FaultError, IoErrorKind};
 pub use engine::{ConcurrentStorage, Durability, IoEngineOpts};
 pub use retry::{track_checksum, RetryPolicy, RetryStorage};

@@ -18,6 +18,7 @@
 use std::io;
 use std::time::Duration;
 
+use cgmio_obs::Counter;
 use cgmio_pdm::{classify, IoErrorKind, TrackAddr, TrackStorage};
 
 /// Bounded exponential-backoff retry policy for transient faults.
@@ -73,22 +74,37 @@ impl RetryPolicy {
 pub struct RetryStorage<S> {
     inner: S,
     policy: RetryPolicy,
+    retries: Counter,
 }
 
 impl<S: TrackStorage> RetryStorage<S> {
     /// Wrap `inner` with the given policy.
     pub fn new(inner: S, policy: RetryPolicy) -> Self {
-        Self { inner, policy }
+        Self::with_counter(inner, policy, Counter::detached())
+    }
+
+    /// Wrap `inner`, incrementing `counter` once per retry performed —
+    /// pass a registered metric handle to make the retry total
+    /// first-class in run reports and Prometheus exports.
+    pub fn with_counter(inner: S, policy: RetryPolicy, counter: Counter) -> Self {
+        Self { inner, policy, retries: counter }
+    }
+
+    fn count<T>(&self, (res, retries): (io::Result<T>, u32)) -> io::Result<T> {
+        if retries > 0 {
+            self.retries.add(retries as u64);
+        }
+        res
     }
 }
 
 impl<S: TrackStorage> TrackStorage for RetryStorage<S> {
     fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>> {
-        self.policy.run(|| self.inner.read_track(disk, track)).0
+        self.count(self.policy.run(|| self.inner.read_track(disk, track)))
     }
 
     fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()> {
-        self.policy.run(|| self.inner.write_track(disk, track, data)).0
+        self.count(self.policy.run(|| self.inner.write_track(disk, track, data)))
     }
 
     fn prefetch(&self, addrs: &[TrackAddr]) {
@@ -182,6 +198,23 @@ mod tests {
         for t in 0..50 {
             assert_eq!(s.read_track(t as usize % 2, t).unwrap(), vec![t as u8; 8]);
         }
+    }
+
+    #[test]
+    fn retry_storage_counts_retries_into_shared_counter() {
+        let geom = DiskGeometry::new(2, 8);
+        let inj = FaultInjector::new(MemStorage::new(geom), 2, FaultPlan::transient(11, 0.2));
+        let counter = Counter::detached();
+        let s = RetryStorage::with_counter(
+            inj,
+            RetryPolicy { max_attempts: 8, base_backoff_us: 0 },
+            counter.clone(),
+        );
+        for t in 0..80 {
+            s.write_track(t as usize % 2, t, &[t as u8; 8]).unwrap();
+            let _ = s.read_track(t as usize % 2, t).unwrap();
+        }
+        assert!(counter.get() > 0, "a 20% transient rate over 160 ops must retry");
     }
 
     #[test]

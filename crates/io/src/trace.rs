@@ -8,7 +8,14 @@
 //!
 //! Export is hand-rolled JSONL / CSV — the records are flat, so neither
 //! needs a serialisation framework.
+//!
+//! Since the observability layer landed, every event also carries the
+//! compound superstep and EM [`Phase`] that were active when the op was
+//! *submitted* (per-drive FIFO servicing makes the submit-time stamp
+//! equal the barrier count at service time), so traces join directly
+//! against span exports and per-superstep metrics.
 
+use cgmio_obs::Phase;
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -72,6 +79,12 @@ pub struct TraceEvent {
     /// Transient-fault retries this op needed before the recorded
     /// outcome (0 = first attempt stood).
     pub retries: u32,
+    /// Compound superstep active when the op was submitted (counted by
+    /// barrier flushes; 0 before the first barrier).
+    pub superstep: u64,
+    /// EM phase active when the op was submitted (`Phase::None` when no
+    /// observability handle is attached).
+    pub phase: Phase,
 }
 
 impl TraceEvent {
@@ -151,7 +164,8 @@ pub fn write_jsonl(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
             w,
             "{{\"seq\":{},\"proc\":{},\"drive\":{},\"kind\":\"{}\",\"track\":{},\
              \"bytes\":{},\"queue_depth\":{},\"submit_us\":{},\"start_us\":{},\
-             \"end_us\":{},\"cache_hit\":{},\"retries\":{}}}",
+             \"end_us\":{},\"cache_hit\":{},\"retries\":{},\"superstep\":{},\
+             \"phase\":\"{}\"}}",
             e.seq,
             e.proc,
             e.drive,
@@ -163,7 +177,9 @@ pub fn write_jsonl(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
             e.start_us,
             e.end_us,
             e.cache_hit,
-            e.retries
+            e.retries,
+            e.superstep,
+            e.phase.name()
         )?;
     }
     Ok(())
@@ -173,12 +189,13 @@ pub fn write_jsonl(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
 pub fn write_csv(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
     writeln!(
         w,
-        "seq,proc,drive,kind,track,bytes,queue_depth,submit_us,start_us,end_us,cache_hit,retries"
+        "seq,proc,drive,kind,track,bytes,queue_depth,submit_us,start_us,end_us,cache_hit,\
+         retries,superstep,phase"
     )?;
     for e in events {
         writeln!(
             w,
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             e.seq,
             e.proc,
             e.drive,
@@ -190,7 +207,9 @@ pub fn write_csv(events: &[TraceEvent], w: &mut dyn Write) -> io::Result<()> {
             e.start_us,
             e.end_us,
             e.cache_hit,
-            e.retries
+            e.retries,
+            e.superstep,
+            e.phase.name()
         )?;
     }
     Ok(())
@@ -218,13 +237,18 @@ pub struct TraceSummary {
     pub retries: u64,
     /// Prefetch hints dropped on a full submission queue.
     pub prefetch_drops: usize,
+    /// Number of distinct supersteps the trace spans (count of distinct
+    /// `superstep` stamps observed).
+    pub supersteps: usize,
 }
 
 /// Summarise a trace.
 pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     let mut s = TraceSummary::default();
     let mut read_lat = 0u64;
+    let mut steps = std::collections::BTreeSet::new();
     for e in events {
+        steps.insert(e.superstep);
         match e.kind {
             OpKind::Read => {
                 s.reads += 1;
@@ -245,6 +269,7 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     if s.reads > 0 {
         s.mean_read_latency_us = read_lat / s.reads as u64;
     }
+    s.supersteps = steps.len();
     s
 }
 
@@ -266,6 +291,8 @@ mod tests {
             end_us: 10 * seq + 5,
             cache_hit: hit,
             retries: 0,
+            superstep: seq / 2,
+            phase: Phase::MatrixRead,
         }
     }
 
@@ -278,6 +305,8 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("{\"seq\":0,"));
         assert!(lines[0].contains("\"kind\":\"read\""));
+        assert!(lines[0].contains("\"superstep\":0"));
+        assert!(lines[0].contains("\"phase\":\"matrix_read\""));
         assert!(lines[1].contains("\"kind\":\"write\""));
     }
 
@@ -289,8 +318,9 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("seq,proc,drive,kind"));
+        assert!(lines[0].ends_with("retries,superstep,phase"));
         assert!(lines[1].contains(",prefetch,"));
-        assert!(lines[1].ends_with("true,0"));
+        assert!(lines[1].ends_with("true,0,0,matrix_read"));
     }
 
     #[test]
@@ -308,6 +338,8 @@ mod tests {
         assert_eq!(s.max_queue_depth, 2);
         // latency = end - submit = 5 for every op
         assert_eq!(s.mean_read_latency_us, 5);
+        // ev() stamps superstep = seq/2, so seqs 0..=2 span steps {0, 1}
+        assert_eq!(s.supersteps, 2);
     }
 
     #[test]

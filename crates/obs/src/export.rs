@@ -1,0 +1,822 @@
+//! Snapshot serialisation: Prometheus text exposition format and JSON,
+//! each with a matching parser so exports can be verified round-trip.
+//!
+//! Both formats are hand-rolled (the crate takes no dependencies) and
+//! intentionally small: the Prometheus writer emits only what the
+//! scrape format requires (`# TYPE` lines, cumulative `_bucket`
+//! samples with `le`, `_sum`/`_count`), and the JSON writer emits one
+//! object per series with derived quantiles included for human
+//! consumption. Parsers accept exactly what the writers produce plus
+//! reasonable whitespace slack — they exist for tests and for the
+//! `reproduce observe` lint, not as general scrapers.
+
+use crate::metrics::{
+    bucket_index, bucket_upper_bound, HistogramSnapshot, Labels, MetricSample, SampleValue,
+    Snapshot, HIST_BUCKETS,
+};
+
+// ---------------------------------------------------------------------------
+// Prometheus text format
+// ---------------------------------------------------------------------------
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn unescape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (version 0.0.4). Histograms follow the `_bucket`/`_sum`/`_count`
+/// convention with cumulative `le` buckets; the histogram maximum is
+/// exported as a companion `<name>_max` gauge. Only non-empty buckets
+/// are listed (plus the mandatory `+Inf`), keeping the file small.
+pub fn to_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_type_line: Option<String> = None;
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let line = format!("# TYPE {name} {kind}\n");
+        if last_type_line.as_deref() != Some(&line) {
+            out.push_str(&line);
+            last_type_line = Some(line);
+        }
+    };
+    for s in &snap.samples {
+        match &s.value {
+            SampleValue::Counter(v) => {
+                type_line(&mut out, &s.name, "counter");
+                out.push_str(&format!("{}{} {v}\n", s.name, label_block(&s.labels, None)));
+            }
+            SampleValue::Gauge(v) => {
+                type_line(&mut out, &s.name, "gauge");
+                out.push_str(&format!("{}{} {v}\n", s.name, label_block(&s.labels, None)));
+            }
+            SampleValue::Histogram(h) => {
+                type_line(&mut out, &s.name, "histogram");
+                let mut cum = 0u64;
+                for (i, &c) in h.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    cum += c;
+                    let le = if i == HIST_BUCKETS - 1 {
+                        "+Inf".to_string()
+                    } else {
+                        bucket_upper_bound(i).to_string()
+                    };
+                    out.push_str(&format!(
+                        "{}_bucket{} {cum}\n",
+                        s.name,
+                        label_block(&s.labels, Some(("le", &le)))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    s.name,
+                    label_block(&s.labels, Some(("le", "+Inf"))),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_max{} {}\n",
+                    s.name,
+                    label_block(&s.labels, None),
+                    h.max
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn split_name_labels(line: &str) -> Option<(String, Labels, String)> {
+    let line = line.trim();
+    let (series, value) = line.rsplit_once(' ')?;
+    let (name, labels) = match series.find('{') {
+        Some(b) => {
+            let name = &series[..b];
+            let inner = series[b + 1..].strip_suffix('}')?;
+            let mut labels = Labels::new();
+            // Split on commas outside quotes.
+            let mut rest = inner;
+            while !rest.is_empty() {
+                let eq = rest.find('=')?;
+                let key = rest[..eq].to_string();
+                let after = &rest[eq + 1..];
+                let after = after.strip_prefix('"')?;
+                // Find closing unescaped quote.
+                let mut end = None;
+                let mut escaped = false;
+                for (i, c) in after.char_indices() {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                let end = end?;
+                labels.push((key, unescape_label(&after[..end])));
+                rest = after[end + 1..].strip_prefix(',').unwrap_or(&after[end + 1..]);
+            }
+            (name.to_string(), labels)
+        }
+        None => (series.to_string(), Labels::new()),
+    };
+    Some((name, labels, value.to_string()))
+}
+
+/// Parse text produced by [`to_prometheus`] back into a [`Snapshot`].
+///
+/// Returns `Err` with a line-numbered message on anything malformed.
+/// Histogram buckets are reconstructed exactly from the cumulative
+/// `le` samples, so `parse_prometheus(&to_prometheus(s)) == Ok(s)`.
+pub fn parse_prometheus(text: &str) -> Result<Snapshot, String> {
+    use std::collections::BTreeMap;
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut plain: Vec<MetricSample> = Vec::new();
+    // (name, labels-without-le) -> partial histogram
+    #[derive(Default)]
+    struct PartialHist {
+        cum: Vec<(usize, u64)>,
+        sum: u64,
+        count: u64,
+        max: u64,
+    }
+    let mut hists: BTreeMap<(String, Labels), PartialHist> = BTreeMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |msg: &str| format!("line {}: {msg}: {raw}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().ok_or_else(|| err("missing name"))?;
+            let kind = it.next().ok_or_else(|| err("missing kind"))?;
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, mut labels, value) =
+            split_name_labels(line).ok_or_else(|| err("unparseable sample"))?;
+        // Histogram component?
+        let base = ["_bucket", "_sum", "_count", "_max"]
+            .iter()
+            .find_map(|suf| name.strip_suffix(suf).map(|b| (b.to_string(), *suf)))
+            .filter(|(b, _)| types.get(b).map(String::as_str) == Some("histogram"));
+        if let Some((base, suffix)) = base {
+            let le = if suffix == "_bucket" {
+                let pos = labels
+                    .iter()
+                    .position(|(k, _)| k == "le")
+                    .ok_or_else(|| err("bucket without le"))?;
+                Some(labels.remove(pos).1)
+            } else {
+                None
+            };
+            labels.sort();
+            let h = hists.entry((base, labels)).or_default();
+            let v: u64 = value.parse().map_err(|_| err("bad u64"))?;
+            match suffix {
+                "_bucket" => {
+                    let le = le.unwrap();
+                    let idx = if le == "+Inf" {
+                        HIST_BUCKETS - 1
+                    } else {
+                        bucket_index(le.parse::<u64>().map_err(|_| err("bad le"))?)
+                    };
+                    h.cum.push((idx, v));
+                }
+                "_sum" => h.sum = v,
+                "_count" => h.count = v,
+                "_max" => h.max = v,
+                _ => unreachable!(),
+            }
+            continue;
+        }
+        labels.sort();
+        let sample_value = match types.get(&name).map(String::as_str) {
+            Some("counter") => SampleValue::Counter(value.parse().map_err(|_| err("bad u64"))?),
+            Some("gauge") => SampleValue::Gauge(value.parse().map_err(|_| err("bad i64"))?),
+            other => return Err(err(&format!("unknown metric type {other:?}"))),
+        };
+        plain.push(MetricSample { name, labels, value: sample_value });
+    }
+
+    for ((name, labels), ph) in hists {
+        let mut snap = HistogramSnapshot::empty();
+        let mut prev_cum = 0u64;
+        let mut cum = ph.cum;
+        cum.sort();
+        cum.dedup();
+        for (idx, c) in cum {
+            snap.buckets[idx] = c.saturating_sub(prev_cum);
+            prev_cum = c;
+        }
+        snap.sum = ph.sum;
+        snap.count = ph.count;
+        snap.max = ph.max;
+        plain.push(MetricSample { name, labels, value: SampleValue::Histogram(snap) });
+    }
+    plain.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    Ok(Snapshot { samples: plain })
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+// ---------------------------------------------------------------------------
+
+/// Escape a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn labels_json(labels: &Labels) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Render a snapshot as a JSON document:
+/// `{"metrics":[{"name":…,"labels":{…},"type":…,…}]}`. Histogram
+/// entries carry exact state (`buckets` as `[index,count]` pairs,
+/// `sum`, `count`, `max`) plus derived `p50`/`p95`/`p99` for readers
+/// that don't want to re-derive quantiles.
+pub fn to_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"metrics\":[\n");
+    for (i, s) in snap.samples.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let head = format!(
+            "  {{\"name\":\"{}\",\"labels\":{},",
+            json_escape(&s.name),
+            labels_json(&s.labels)
+        );
+        out.push_str(&head);
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!("\"type\":\"counter\",\"value\":{v}}}"));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!("\"type\":\"gauge\",\"value\":{v}}}"));
+            }
+            SampleValue::Histogram(h) => {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c != 0)
+                    .map(|(i, &c)| format!("[{i},{c}]"))
+                    .collect();
+                out.push_str(&format!(
+                    "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
+                    h.count,
+                    h.sum,
+                    h.max,
+                    h.p50(),
+                    h.p95(),
+                    h.p99(),
+                    buckets.join(",")
+                ));
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Parse a document produced by [`to_json`] back into a [`Snapshot`]
+/// (inverse up to derived fields): `parse_json(&to_json(s)) == Ok(s)`.
+pub fn parse_json(text: &str) -> Result<Snapshot, String> {
+    let v = json::parse(text)?;
+    let metrics = v.get("metrics").and_then(json::Value::as_array).ok_or("missing metrics")?;
+    let mut samples = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let name =
+            m.get("name").and_then(json::Value::as_str).ok_or("metric missing name")?.to_string();
+        let mut labels: Labels = m
+            .get("labels")
+            .and_then(json::Value::as_object)
+            .ok_or("metric missing labels")?
+            .iter()
+            .map(|(k, v)| v.as_str().map(|s| (k.clone(), s.to_string())).ok_or("non-string label"))
+            .collect::<Result<_, _>>()?;
+        labels.sort();
+        let kind = m.get("type").and_then(json::Value::as_str).ok_or("metric missing type")?;
+        let value = match kind {
+            "counter" => SampleValue::Counter(
+                m.get("value").and_then(json::Value::as_u64).ok_or("bad counter value")?,
+            ),
+            "gauge" => SampleValue::Gauge(
+                m.get("value").and_then(json::Value::as_i64).ok_or("bad gauge value")?,
+            ),
+            "histogram" => {
+                let mut h = HistogramSnapshot::empty();
+                h.count = m.get("count").and_then(json::Value::as_u64).ok_or("bad hist count")?;
+                h.sum = m.get("sum").and_then(json::Value::as_u64).ok_or("bad hist sum")?;
+                h.max = m.get("max").and_then(json::Value::as_u64).ok_or("bad hist max")?;
+                let buckets =
+                    m.get("buckets").and_then(json::Value::as_array).ok_or("bad hist buckets")?;
+                for pair in buckets {
+                    let pair = pair.as_array().ok_or("bad bucket pair")?;
+                    let idx =
+                        pair.first().and_then(json::Value::as_u64).ok_or("bad bucket index")?
+                            as usize;
+                    let c = pair.get(1).and_then(json::Value::as_u64).ok_or("bad bucket count")?;
+                    if idx >= HIST_BUCKETS {
+                        return Err(format!("bucket index {idx} out of range"));
+                    }
+                    h.buckets[idx] = c;
+                }
+                SampleValue::Histogram(h)
+            }
+            other => return Err(format!("unknown metric type {other:?}")),
+        };
+        samples.push(MetricSample { name, labels, value });
+    }
+    samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    Ok(Snapshot { samples })
+}
+
+/// Minimal JSON value model and recursive-descent parser — enough to
+/// read back this crate's own exports (and the run report) in tests.
+/// Numbers keep their raw text so `u64::MAX` survives untouched.
+pub mod json {
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any number, kept as its raw source text for exactness.
+        Num(String),
+        /// A string (unescaped).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// String payload, if a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Array payload, if an array.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+
+        /// Object payload, if an object.
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// Number as `u64`, if exactly representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// Number as `i64`, if exactly representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// Number as `f64`.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(s) => s.parse().ok(),
+                _ => None,
+            }
+        }
+
+        /// A number value from anything displayable as one (the raw
+        /// text is kept verbatim, so `u64::MAX` survives).
+        pub fn num(n: impl std::fmt::Display) -> Value {
+            Value::Num(n.to_string())
+        }
+
+        /// A string value.
+        pub fn str(s: impl Into<String>) -> Value {
+            Value::Str(s.into())
+        }
+
+        /// Serialise back to JSON text (inverse of [`parse`]; numbers
+        /// round-trip exactly because they are kept as source text).
+        pub fn render(&self) -> String {
+            let mut out = String::new();
+            self.render_into(&mut out);
+            out
+        }
+
+        fn render_into(&self, out: &mut String) {
+            match self {
+                Value::Null => out.push_str("null"),
+                Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Value::Num(s) => out.push_str(s),
+                Value::Str(s) => {
+                    out.push('"');
+                    out.push_str(&super::json_escape(s));
+                    out.push('"');
+                }
+                Value::Arr(items) => {
+                    out.push('[');
+                    for (i, v) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        v.render_into(out);
+                    }
+                    out.push(']');
+                }
+                Value::Obj(members) => {
+                    out.push('{');
+                    for (i, (k, v)) in members.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push('"');
+                        out.push_str(&super::json_escape(k));
+                        out.push_str("\":");
+                        v.render_into(out);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    /// Parse a JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    impl<'a> Parser<'a> {
+        fn skip_ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.b.get(self.i).copied().ok_or_else(|| "unexpected end".to_string())
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek()? == c {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at offset {}", c as char, self.i))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.lit("true", Value::Bool(true)),
+                b'f' => self.lit("false", Value::Bool(false)),
+                b'n' => self.lit("null", Value::Null),
+                _ => self.number(),
+            }
+        }
+
+        fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at offset {}", self.i))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            let start = self.i;
+            while self.i < self.b.len()
+                && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                self.i += 1;
+            }
+            if self.i == start {
+                return Err(format!("expected number at offset {start}"));
+            }
+            let raw = std::str::from_utf8(&self.b[start..self.i]).unwrap().to_string();
+            raw.parse::<f64>().map_err(|_| format!("bad number {raw:?}"))?;
+            Ok(Value::Num(raw))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let c = *self.b.get(self.i).ok_or_else(|| "unterminated string".to_string())?;
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let e =
+                            *self.b.get(self.i).ok_or_else(|| "unterminated escape".to_string())?;
+                        self.i += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b'r' => out.push('\r'),
+                            b't' => out.push('\t'),
+                            b'b' => out.push('\u{8}'),
+                            b'f' => out.push('\u{c}'),
+                            b'u' => {
+                                let hex = self
+                                    .b
+                                    .get(self.i..self.i + 4)
+                                    .ok_or_else(|| "short \\u escape".to_string())?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                self.i += 4;
+                                out.push(
+                                    char::from_u32(code).unwrap_or(char::REPLACEMENT_CHARACTER),
+                                );
+                            }
+                            other => {
+                                return Err(format!("bad escape \\{}", other as char));
+                            }
+                        }
+                    }
+                    _ => {
+                        // Re-sync to char boundary for multi-byte UTF-8.
+                        let s = &self.b[self.i - 1..];
+                        let ch_len = utf8_len(c);
+                        let chunk = s.get(..ch_len).ok_or_else(|| "truncated utf-8".to_string())?;
+                        out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                        self.i += ch_len - 1;
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.eat(b'[')?;
+            let mut out = Vec::new();
+            if self.peek()? == b']' {
+                self.i += 1;
+                return Ok(Value::Arr(out));
+            }
+            loop {
+                out.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.i += 1,
+                    b']' => {
+                        self.i += 1;
+                        return Ok(Value::Arr(out));
+                    }
+                    c => return Err(format!("expected ',' or ']' got '{}'", c as char)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.eat(b'{')?;
+            let mut out = Vec::new();
+            if self.peek()? == b'}' {
+                self.i += 1;
+                return Ok(Value::Obj(out));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.eat(b':')?;
+                out.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.i += 1,
+                    b'}' => {
+                        self.i += 1;
+                        return Ok(Value::Obj(out));
+                    }
+                    c => return Err(format!("expected ',' or '}}' got '{}'", c as char)),
+                }
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_snapshot() -> Snapshot {
+        let r = MetricsRegistry::with_base_labels(&[("run", "seq")]);
+        r.counter("cgmio_io_retries_total", &[("proc", "0".into())]).add(7);
+        r.gauge("cgmio_io_queue_depth", &[("proc", "0".into()), ("drive", "1".into())]).set(-3);
+        let h = r.histogram(
+            "cgmio_io_service_us",
+            &[("proc", "0".into()), ("drive", "0".into()), ("kind", "read".into())],
+        );
+        h.observe(0);
+        h.observe(5);
+        h.observe(5);
+        h.observe(4096);
+        h.observe(u64::MAX);
+        r.snapshot()
+    }
+
+    #[test]
+    fn prometheus_round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let text = to_prometheus(&snap);
+        let back = parse_prometheus(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_text_shape() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE cgmio_io_retries_total counter\n"));
+        assert!(text.contains("# TYPE cgmio_io_service_us histogram\n"));
+        assert!(text.contains("cgmio_io_retries_total{proc=\"0\",run=\"seq\"} 7\n"));
+        assert!(text.contains("le=\"+Inf\"} 5\n"));
+        assert!(text.contains("cgmio_io_service_us_count{"));
+        // Every non-comment line is `series value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(split_name_labels(line).is_some(), "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snap = sample_snapshot();
+        let text = to_json(&snap);
+        let back = parse_json(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_escapes_awkward_labels() {
+        let r = MetricsRegistry::new();
+        r.counter("weird", &[("path", "a\"b\\c\nd".into())]).inc();
+        let snap = r.snapshot();
+        assert_eq!(parse_json(&to_json(&snap)).unwrap(), snap);
+        assert_eq!(parse_prometheus(&to_prometheus(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(parse_prometheus(&to_prometheus(&snap)).unwrap(), snap);
+        assert_eq!(parse_json(&to_json(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn merge_keeps_sorted_order() {
+        let a = sample_snapshot();
+        let r = MetricsRegistry::with_base_labels(&[("run", "par")]);
+        r.counter("cgmio_io_retries_total", &[("proc", "1".into())]).add(2);
+        let mut merged = a.clone();
+        merged.merge(&r.snapshot());
+        assert_eq!(merged.samples.len(), a.samples.len() + 1);
+        let text = to_prometheus(&merged);
+        let back = parse_prometheus(&text).unwrap();
+        assert_eq!(back, merged);
+    }
+
+    #[test]
+    fn json_value_render_round_trips() {
+        use json::Value;
+        let v = Value::Obj(vec![
+            ("runner".into(), Value::str("seq")),
+            ("max".into(), Value::num(u64::MAX)),
+            ("spans".into(), Value::Arr(vec![Value::Null, Value::Bool(true)])),
+            ("label".into(), Value::str("a\"b\\c\nd")),
+        ]);
+        let text = v.render();
+        assert_eq!(json::parse(&text).unwrap(), v);
+        assert!(text.contains("\"max\":18446744073709551615"));
+    }
+
+    #[test]
+    fn json_parser_handles_nested_values() {
+        let v = json::parse("{\"a\": [1, 2.5, {\"b\": \"x\\u0041\", \"c\": null}], \"d\": true}")
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(2.5));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].get("b").unwrap().as_str(),
+            Some("xA")
+        );
+        assert_eq!(v.get("d"), Some(&json::Value::Bool(true)));
+        assert!(json::parse("{\"a\":}").is_err());
+        assert!(json::parse("[1,2]extra").is_err());
+    }
+}

@@ -206,6 +206,31 @@ impl FaultCounts {
     pub fn total_errors(&self) -> u64 {
         self.read_transient + self.write_transient + self.torn_writes + self.permanent_denials
     }
+
+    /// Field-wise sum — aggregates the per-worker injectors of a
+    /// parallel run into one total.
+    pub fn merged(self, other: FaultCounts) -> FaultCounts {
+        FaultCounts {
+            read_transient: self.read_transient + other.read_transient,
+            write_transient: self.write_transient + other.write_transient,
+            torn_writes: self.torn_writes + other.torn_writes,
+            permanent_denials: self.permanent_denials + other.permanent_denials,
+            latency_spikes: self.latency_spikes + other.latency_spikes,
+        }
+    }
+
+    /// Field-wise saturating difference (`self - earlier`) — attributes
+    /// counts to the window between two snapshots of the same
+    /// [`FaultStats`] (e.g. one EM run on a shared observer).
+    pub fn diff(self, earlier: FaultCounts) -> FaultCounts {
+        FaultCounts {
+            read_transient: self.read_transient.saturating_sub(earlier.read_transient),
+            write_transient: self.write_transient.saturating_sub(earlier.write_transient),
+            torn_writes: self.torn_writes.saturating_sub(earlier.torn_writes),
+            permanent_denials: self.permanent_denials.saturating_sub(earlier.permanent_denials),
+            latency_spikes: self.latency_spikes.saturating_sub(earlier.latency_spikes),
+        }
+    }
 }
 
 impl FaultStats {
@@ -449,6 +474,23 @@ mod tests {
         }
         let good = (0..64).find(|t| !bad.contains(t)).unwrap();
         inj.write_track(0, good, &[1]).unwrap();
+    }
+
+    #[test]
+    fn counts_merge_and_diff() {
+        let a = FaultCounts {
+            read_transient: 3,
+            write_transient: 1,
+            torn_writes: 2,
+            permanent_denials: 0,
+            latency_spikes: 4,
+        };
+        let b = FaultCounts { read_transient: 1, ..FaultCounts::default() };
+        let sum = a.merged(b);
+        assert_eq!(sum.read_transient, 4);
+        assert_eq!(sum.total_errors(), 7);
+        assert_eq!(sum.diff(a), b);
+        assert_eq!(b.diff(a), FaultCounts::default(), "diff saturates");
     }
 
     #[test]

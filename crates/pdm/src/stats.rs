@@ -77,6 +77,40 @@ impl IoStats {
         }
     }
 
+    /// Counters accumulated since `earlier` was captured: every field
+    /// of the result is `self - earlier` (saturating, so a mismatched
+    /// pair clamps at zero instead of wrapping). `earlier` should be a
+    /// snapshot of the *same* counter stream taken before `self` — the
+    /// runners use this to attribute I/O to individual supersteps and
+    /// phases in run reports.
+    ///
+    /// ```
+    /// use cgmio_pdm::IoStats;
+    /// let mut before = IoStats::new(2);
+    /// before.per_disk_blocks = vec![1, 1];
+    /// before.read_ops = 1;
+    /// let mut after = before.clone();
+    /// after.read_ops = 3;
+    /// after.per_disk_blocks = vec![4, 1];
+    /// let delta = after.diff(&before);
+    /// assert_eq!(delta.read_ops, 2);
+    /// assert_eq!(delta.per_disk_blocks, vec![3, 0]);
+    /// ```
+    pub fn diff(&self, earlier: &IoStats) -> IoStats {
+        let mut per_disk_blocks: Vec<u64> = self.per_disk_blocks.clone();
+        for (a, b) in per_disk_blocks.iter_mut().zip(&earlier.per_disk_blocks) {
+            *a = a.saturating_sub(*b);
+        }
+        IoStats {
+            read_ops: self.read_ops.saturating_sub(earlier.read_ops),
+            write_ops: self.write_ops.saturating_sub(earlier.write_ops),
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
+            full_ops: self.full_ops.saturating_sub(earlier.full_ops),
+            per_disk_blocks,
+        }
+    }
+
     /// Merge another stats object into this one (e.g. to aggregate the
     /// per-processor disk arrays of a parallel run).
     pub fn merge(&mut self, other: &IoStats) {
@@ -118,6 +152,41 @@ mod tests {
         assert_eq!(s.total_ops(), 0);
         assert_eq!(s.parallel_efficiency(), 1.0);
         assert_eq!(s.blocks_per_op(), 0.0);
+    }
+
+    #[test]
+    fn diff_undoes_merge() {
+        let mut a = IoStats::new(2);
+        a.record_read(2, 2);
+        a.per_disk_blocks = vec![3, 4];
+        let mut b = a.clone();
+        b.record_write(1, 2);
+        b.record_read(2, 2);
+        b.per_disk_blocks = vec![5, 4];
+        let d = b.diff(&a);
+        assert_eq!(d.read_ops, 1);
+        assert_eq!(d.write_ops, 1);
+        assert_eq!(d.blocks_read, 2);
+        assert_eq!(d.blocks_written, 1);
+        assert_eq!(d.full_ops, 1);
+        assert_eq!(d.per_disk_blocks, vec![2, 0]);
+        // diff against itself is zero; merging the delta back restores b
+        assert_eq!(b.diff(&b).total_ops(), 0);
+        let mut restored = a.clone();
+        restored.merge(&d);
+        assert_eq!(restored, b);
+    }
+
+    #[test]
+    fn diff_saturates_instead_of_wrapping() {
+        let mut newer = IoStats::new(1);
+        let mut older = IoStats::new(1);
+        newer.read_ops = 1;
+        older.read_ops = 5;
+        older.per_disk_blocks = vec![9];
+        let d = newer.diff(&older);
+        assert_eq!(d.read_ops, 0);
+        assert_eq!(d.per_disk_blocks, vec![0]);
     }
 
     #[test]

@@ -69,6 +69,48 @@ fn kill_and_resume(
     }
 }
 
+/// Fault and retry totals surface in both runners' final reports, and a
+/// crash-recovered run reports the counters of its own window (the
+/// pre-crash portion's injector handles die with the crash — resumed
+/// runs count from the barrier they restart at).
+#[test]
+fn fault_and_retry_totals_appear_in_reports() {
+    let (v, rounds) = (6usize, 4usize);
+    let prog = TokenRing { rounds };
+    let retry = cgmio_io::RetryPolicy { max_attempts: 6, base_backoff_us: 0 };
+
+    for p in [1usize, 3] {
+        let mut cfg = config(&prog, v, p);
+        cfg.fault = Some(cgmio_pdm::FaultPlan::transient(11, 0.1));
+        cfg.retry = retry;
+        let (_, rep) = if p == 1 {
+            SeqEmRunner::new(cfg).run(&prog, mk_states(v)).unwrap()
+        } else {
+            ParEmRunner::new(cfg).run(&prog, mk_states(v)).unwrap()
+        };
+        let f = rep.faults.expect("fault plan set, report must carry counts");
+        assert!(f.total_errors() > 0, "p={p}: seeded plan injected nothing");
+        // On the synchronous backends every healed transient fault is
+        // exactly one RetryStorage retry.
+        assert_eq!(
+            rep.retries,
+            f.read_transient + f.write_transient + f.torn_writes,
+            "p={p}: retries must match healed transient faults"
+        );
+    }
+
+    // Crash recovery: the resumed run rebuilds its injectors, so its
+    // report counts only the post-resume window — present, not None.
+    let dir = TempDir::new("cgmio-ckpt-fault-report");
+    let mut fcfg = config(&prog, v, 1);
+    fcfg.backend = BackendSpec::SyncFile { dir: dir.path().join("drives") };
+    fcfg.fault = Some(cgmio_pdm::FaultPlan::transient(11, 0.1));
+    fcfg.retry = retry;
+    let (_, rep) = kill_and_resume(&prog, &fcfg, v, 1, Some(dir.path()));
+    let f = rep.faults.expect("crash recovery rebuilds injectors, counts must be present");
+    assert_eq!(rep.retries, f.read_transient + f.write_transient + f.torn_writes);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
