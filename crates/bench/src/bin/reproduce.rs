@@ -3,14 +3,17 @@
 //! ```text
 //! reproduce [all|fig1|fig2|fig3|fig4|fig5a|fig5a-scaling|fig5b|fig5c|
 //!            fig6|fig7|fig8|audit|ablation|cache|io-trace|faults|perf|
-//!            observe] [--out DIR]
+//!            pipeline|observe] [--out DIR]
 //! ```
 //!
 //! Each experiment prints an aligned table and archives a CSV under
 //! `results/` (or `--out DIR`). `io-trace` additionally archives the
-//! Fig 3 sort's physical I/O event log as `fig3_io_trace.jsonl`;
+//! Fig 3 sort's physical I/O event log as `fig3_io_trace.jsonl` and a
+//! per-drive queue-wait/service split as `io_trace_drives.csv`;
 //! `faults` sweeps injected transient-fault rates over the Fig 3 sort
 //! and records retry recovery overhead plus a kill-and-resume check;
+//! `pipeline` sweeps the superstep pipeline depth over all backends
+//! under a simulated device latency and archives `BENCH_pipeline.json`;
 //! `observe` runs the sort on both runners with the full observability
 //! stack attached and archives `observe_report.json` +
 //! `observe_metrics.prom` (see `docs/OBSERVABILITY.md`).
@@ -61,6 +64,7 @@ fn main() {
         ("io-trace", Box::new(ex::io_trace)),
         ("faults", Box::new(ex::faults)),
         ("perf", Box::new(ex::perf)),
+        ("pipeline", Box::new(ex::pipeline)),
         ("observe", Box::new(cgmio_bench::observe::observe)),
     ];
 

@@ -702,10 +702,17 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             "bytes",
             "max_queue_depth",
             "mean_read_lat_us",
+            "mean_q_wait_us",
+            "mean_service_us",
+            "stalls",
             "retries",
             "prefetch_drops",
             "supersteps",
         ],
+    );
+    let mut drives_t = Table::new(
+        "io_trace_drives",
+        &["n", "D", "drive", "reads", "writes", "mean_q_wait_us", "mean_service_us", "stalls"],
     );
     let (v, bb) = (16usize, 4096usize);
     let n = 1usize << 14;
@@ -735,10 +742,34 @@ pub fn io_trace(out_dir: &std::path::Path) -> Table {
             s.bytes.to_string(),
             s.max_queue_depth.to_string(),
             s.mean_read_latency_us.to_string(),
+            s.mean_read_queue_wait_us.to_string(),
+            s.mean_read_service_us.to_string(),
+            s.stalls.to_string(),
             s.retries.to_string(),
             s.prefetch_drops.to_string(),
             s.supersteps.to_string(),
         ]);
+        // Per-drive queue-wait vs service split: a drive whose queue
+        // wait dwarfs its service time is *behind* (deepen the pipeline
+        // or add drives); one whose service time dominates is *slow*.
+        for drive in 0..d {
+            let evs: Vec<_> = rep.io_trace.iter().filter(|e| e.drive == drive).cloned().collect();
+            let ds = cgmio_io::summarize(&evs);
+            drives_t.row(vec![
+                n.to_string(),
+                d.to_string(),
+                drive.to_string(),
+                ds.reads.to_string(),
+                ds.writes.to_string(),
+                ds.mean_read_queue_wait_us.to_string(),
+                ds.mean_read_service_us.to_string(),
+                ds.stalls.to_string(),
+            ]);
+        }
+    }
+    match drives_t.save_csv(out_dir) {
+        Ok(p) => eprintln!("  saved {}", p.display()),
+        Err(e) => eprintln!("  io_trace_drives.csv save failed: {e}"),
     }
     t
 }
@@ -1018,6 +1049,183 @@ pub fn perf(out_dir: &std::path::Path) -> Table {
     match std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, &json)) {
         Ok(()) => eprintln!("  saved {}", path.display()),
         Err(e) => eprintln!("  BENCH_sort.json save failed: {e}"),
+    }
+    t
+}
+
+/// One measured point of the `pipeline` experiment.
+struct PipelinePoint {
+    backend: &'static str,
+    depth: usize,
+    wall_ms: f64,
+    io_ops: u64,
+    stalls: Option<usize>,
+    q_wait_us: Option<u64>,
+    improvement_pct: f64,
+}
+
+/// `pipeline`: wall-clock effect of the software-pipelined superstep
+/// executor. The Fig 3 sort runs at pipeline depths {0, 1, 2, 4} on all
+/// three backends while a seeded [`cgmio_pdm::FaultPlan`] latency spike
+/// models a device with a fixed per-track access latency (`spike_us`,
+/// probability 1.0 — every physical transfer sleeps, deterministically).
+/// On the synchronous backends that latency is paid inline, so depth
+/// cannot help; on the concurrent engine, depth ≥ 1 pre-issues the next
+/// vps' context/inbox reads so the drive workers absorb the latency
+/// while the current vp computes. Each point is the best of `reps` runs
+/// (min wall-clock); finals are asserted identical across every cell.
+/// Writes `BENCH_pipeline.json` into the output directory. Set
+/// `CGMIO_PERF_SMOKE=1` for a small size (CI bench-smoke).
+pub fn pipeline(out_dir: &std::path::Path) -> Table {
+    use cgmio_core::BackendSpec;
+    use cgmio_io::IoEngineOpts;
+    use cgmio_pdm::FaultPlan;
+
+    let mut t = Table::new(
+        "pipeline_overlap",
+        &["backend", "depth", "wall_ms", "io_ops", "stalls", "mean_q_wait_us", "improvement_pct"],
+    );
+    let smoke = std::env::var_os("CGMIO_PERF_SMOKE").is_some();
+    // Geometry note: the per-track latency (spike_us plus the OS sleep
+    // granularity, identical for every op) times the transfer count,
+    // divided across the D drive workers, is sized to roughly balance
+    // the total compute — the regime where overlap has the most to
+    // hide. Overlap cannot beat max(total I/O, total compute), so a
+    // grossly I/O-bound geometry would cap the visible win at a few
+    // percent no matter how deep the pipeline runs.
+    let (n, bb, reps) = if smoke { (1usize << 16, 8192usize, 3usize) } else { (1 << 20, 32768, 5) };
+    let (v, d, spike_us) = (16usize, 4usize, 30u64);
+    let depths = [0usize, 1, 2, 4];
+
+    let keys = data::uniform_u64(n, 42);
+    let mk = || {
+        data::block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+    let base_cfg = crate::config_for(&prog, mk(), v, 1, d, bb);
+
+    let mut want: Option<Vec<u64>> = None;
+    let mut points: Vec<PipelinePoint> = Vec::new();
+    for backend in ["mem", "sync_file", "concurrent"] {
+        let mut d0_wall = 0.0f64;
+        for depth in depths {
+            let mut best: Option<(f64, cgmio_core::EmRunReport)> = None;
+            for _ in 0..reps {
+                let mut cfg = base_cfg.clone();
+                cfg.pipeline_depth = depth;
+                cfg.fault = Some(FaultPlan {
+                    seed: 7,
+                    latency_spike: 1.0,
+                    spike_us,
+                    ..FaultPlan::default()
+                });
+                let _tmp; // keeps the SyncFile drive dir alive across the run
+                cfg.backend = match backend {
+                    "mem" => BackendSpec::Mem,
+                    "sync_file" => {
+                        let tmp = cgmio_pdm::testutil::TempDir::new("cgmio-pipe-bench");
+                        let dir = tmp.path().join("drives");
+                        _tmp = tmp;
+                        BackendSpec::SyncFile { dir }
+                    }
+                    _ => BackendSpec::Concurrent {
+                        dir: None,
+                        opts: IoEngineOpts { trace: true, ..Default::default() },
+                    },
+                };
+                let (fin, rep) =
+                    SeqEmRunner::new(cfg).run(&prog, mk()).expect("pipeline bench run");
+                let flat: Vec<u64> = fin.iter().flat_map(|(b, _)| b.iter().copied()).collect();
+                assert!(flat.windows(2).all(|w| w[0] <= w[1]), "pipeline bench output not sorted");
+                match &want {
+                    None => want = Some(flat),
+                    Some(w) => {
+                        assert_eq!(&flat, w, "{backend} depth={depth}: finals differ")
+                    }
+                }
+                let wall = rep.wall.as_secs_f64() * 1e3;
+                if best.as_ref().is_none_or(|(bw, _)| wall < *bw) {
+                    best = Some((wall, rep));
+                }
+            }
+            let (wall_ms, rep) = best.expect("reps >= 1");
+            if depth == 0 {
+                d0_wall = wall_ms;
+            }
+            let (stalls, q_wait_us) = if backend == "concurrent" {
+                let s = cgmio_io::summarize(&rep.io_trace);
+                (Some(s.stalls), Some(s.mean_read_queue_wait_us))
+            } else {
+                (None, None)
+            };
+            points.push(PipelinePoint {
+                backend,
+                depth,
+                wall_ms,
+                io_ops: rep.io.total_ops(),
+                stalls,
+                q_wait_us,
+                improvement_pct: 100.0 * (1.0 - wall_ms / d0_wall.max(1e-9)),
+            });
+        }
+    }
+
+    // The headline: best concurrent depth ≥ 2 improvement over depth 0.
+    let headline = points
+        .iter()
+        .filter(|p| p.backend == "concurrent" && p.depth >= 2)
+        .max_by(|a, b| a.improvement_pct.total_cmp(&b.improvement_pct));
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": 1,\n  \"bench\": \"em_cgm_sort_pipeline\",\n");
+    json.push_str(&format!(
+        "  \"workload\": \"CgmSort<u64> by_pivots, n={n}, v={v}, D={d}, B={bb} bytes; \
+         simulated device latency {spike_us} us per track op (FaultPlan latency spike, \
+         probability 1.0)\",\n",
+    ));
+    json.push_str(&format!("  \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"points\": [\n"));
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"depth\": {}, \"wall_ms\": {:.2}, \"io_ops\": {}, \
+             \"stalls\": {}, \"mean_read_queue_wait_us\": {}, \
+             \"improvement_vs_depth0_pct\": {:.1}}}{}\n",
+            p.backend,
+            p.depth,
+            p.wall_ms,
+            p.io_ops,
+            p.stalls.map_or("null".into(), |s| s.to_string()),
+            p.q_wait_us.map_or("null".into(), |q| q.to_string()),
+            p.improvement_pct,
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    match headline {
+        Some(h) => json.push_str(&format!(
+            "  \"headline\": {{\"backend\": \"concurrent\", \"depth\": {}, \
+             \"improvement_pct\": {:.1}}}\n",
+            h.depth, h.improvement_pct
+        )),
+        None => json.push_str("  \"headline\": null\n"),
+    }
+    json.push_str("}\n");
+
+    let path = out_dir.join("BENCH_pipeline.json");
+    match std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, &json)) {
+        Ok(()) => eprintln!("  saved {}", path.display()),
+        Err(e) => eprintln!("  BENCH_pipeline.json save failed: {e}"),
+    }
+
+    for p in points {
+        t.row(vec![
+            p.backend.to_string(),
+            p.depth.to_string(),
+            format!("{:.2}", p.wall_ms),
+            p.io_ops.to_string(),
+            p.stalls.map_or("-".into(), |s| s.to_string()),
+            p.q_wait_us.map_or("-".into(), |q| q.to_string()),
+            format!("{:.1}", p.improvement_pct),
+        ]);
     }
     t
 }

@@ -144,6 +144,21 @@ pub struct EmConfig {
     /// [`Self::config_hash`]** so checkpoints taken with observability
     /// on resume with it off (and vice versa).
     pub obs: Option<Obs>,
+    /// Superstep software-pipeline depth: how many virtual processors
+    /// ahead of the one currently computing have their context and inbox
+    /// reads *pre-issued as demand reads* (not hints). `0` — the default
+    /// — is the fully serial loop; `2` is a good starting point for the
+    /// `Concurrent` backend (see the OPERATIONS depth-tuning guide).
+    /// Synchronous backends accept any depth and simply perform the
+    /// reads at wait time, so equivalence tests can sweep depths on
+    /// every backend. The depth changes *when* I/O happens on the wall
+    /// clock, never what the cost model counts: `IoStats`, op
+    /// breakdowns, final states, and checkpoint manifests are
+    /// bit-identical at every depth (property-tested in
+    /// `tests/pipeline_equivalence.rs`), and the field is therefore —
+    /// like [`Self::obs`] — **excluded from [`Self::config_hash`]**, so
+    /// a checkpoint taken at one depth resumes at any other.
+    pub pipeline_depth: usize,
 }
 
 impl EmConfig {
@@ -175,6 +190,7 @@ impl EmConfig {
             fault: None,
             retry: RetryPolicy::default(),
             obs: None,
+            pipeline_depth: 0,
         }
     }
 
@@ -262,6 +278,14 @@ impl EmConfig {
                 opts.obs = self.obs.clone();
                 // Faults are injected beneath the engine; its drive
                 // workers retry per opts.retry, so no RetryStorage here.
+                // With a plan active, prefetch hints are discarded so
+                // fault rolls bind to demand accesses only — hint
+                // traffic varies with pipeline depth and cache
+                // pressure, and must not perturb the deterministic
+                // fault/retry totals.
+                if plan.is_some() {
+                    opts.ignore_hints = true;
+                }
                 let inner: Arc<dyn TrackStorage> = match dir {
                     Some(d) => {
                         let fs = FileStorage::open(&d.join(format!("p{worker_idx}")), geom)
@@ -399,6 +423,7 @@ mod tests {
             fault: None,
             retry: RetryPolicy::default(),
             obs: None,
+            pipeline_depth: 0,
         }
     }
 

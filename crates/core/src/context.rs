@@ -149,22 +149,65 @@ impl ContextStore {
     /// intermediate per-block vectors — and the buffer's capacity is
     /// kept across supersteps, so the steady-state read path allocates
     /// nothing.
+    ///
+    /// This is [`Self::read_submit`] followed immediately by
+    /// [`Self::read_finish`]: the serial path and the pipelined path are
+    /// the same code with a different gap between the two halves.
     pub fn read_into(
         &mut self,
         disks: &mut DiskArray,
         slot: usize,
         out: &mut Vec<u8>,
     ) -> Result<(), EmError> {
+        let t = self.read_submit(disks, slot)?;
+        self.read_finish(disks, t, out)
+    }
+
+    /// Begin an asynchronous read of context `slot`: captures the slot's
+    /// current addresses and length, submits the gather read (charged to
+    /// the cost model now), and returns the ticket to redeem with
+    /// [`Self::read_finish`]. The slot must not be rewritten between the
+    /// two calls — the pipelined runners guarantee this because a vp's
+    /// context is only written by its own step (e), which runs after its
+    /// own read completes.
+    pub fn read_submit(
+        &self,
+        disks: &mut DiskArray,
+        slot: usize,
+    ) -> Result<CtxReadTicket, EmError> {
         let len = self.lens[slot];
         let nblocks = (len as u64).div_ceil(self.block_bytes as u64);
         let base = slot as u64 * self.slot_blocks;
         let addrs: Vec<TrackAddr> = (0..nblocks).map(|q| self.layout.addr(base + q)).collect();
+        let ticket = disks.read_gather_submit(&addrs)?;
+        Ok(CtxReadTicket { len, addrs, ticket })
+    }
+
+    /// Complete a read begun with [`Self::read_submit`], filling `out`
+    /// (cleared first) with exactly the bytes last written to the slot.
+    /// Charges nothing — the submit already did.
+    pub fn read_finish(
+        &self,
+        disks: &mut DiskArray,
+        t: CtxReadTicket,
+        out: &mut Vec<u8>,
+    ) -> Result<(), EmError> {
         out.clear();
-        out.reserve(nblocks as usize * self.block_bytes);
-        disks.read_gather_with(&addrs, &mut |_, b| out.extend_from_slice(b))?;
-        out.truncate(len);
+        out.reserve(t.addrs.len() * self.block_bytes);
+        disks.read_gather_finish(t.ticket, &t.addrs, &mut |_, b| out.extend_from_slice(b))?;
+        out.truncate(t.len);
         Ok(())
     }
+}
+
+/// Completion handle for an in-flight context read (see
+/// [`ContextStore::read_submit`]). Captures the slot's addresses and
+/// encoded length at submit time, so the finish decodes exactly the
+/// bytes that were current when the read was issued.
+pub struct CtxReadTicket {
+    len: usize,
+    addrs: Vec<TrackAddr>,
+    ticket: u64,
 }
 
 #[cfg(test)]

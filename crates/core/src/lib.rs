@@ -38,6 +38,7 @@ pub mod measure;
 pub mod msgmatrix;
 pub mod par;
 pub mod params;
+mod pipeline;
 pub mod report;
 pub mod seq;
 

@@ -185,11 +185,33 @@ impl<M: Item> MessageMatrix<M> {
     /// source, in source order (steps (b) of Algorithm 2). Only occupied
     /// blocks are read, in staggered order (round-robin across disks for
     /// balanced traffic).
+    ///
+    /// This is [`Self::read_for_dst_submit`] followed immediately by
+    /// [`Self::read_for_dst_finish`]: the serial path and the pipelined
+    /// path are the same code with a different gap between the halves.
     pub fn read_for_dst(
         &mut self,
         disks: &mut DiskArray,
         dst: usize,
     ) -> Result<Vec<Vec<M>>, EmError> {
+        let t = self.read_for_dst_submit(disks, dst)?;
+        self.read_for_dst_finish(disks, t)
+    }
+
+    /// Begin an asynchronous read of destination `dst`'s inbox: captures
+    /// the per-source slot lengths and block addresses *as they are now*,
+    /// submits the gather read (charged to the cost model now), and
+    /// returns the ticket to redeem with [`Self::read_for_dst_finish`].
+    /// The captured slots must not be rewritten between the two calls —
+    /// the pipelined runners guarantee this because the inbox matrix of
+    /// the current superstep was fully written (and barrier-flushed) last
+    /// superstep, while this superstep's sends go to the other matrix of
+    /// the ping-pong pair.
+    pub fn read_for_dst_submit(
+        &self,
+        disks: &mut DiskArray,
+        dst: usize,
+    ) -> Result<InboxTicket, EmError> {
         let dst_local = dst - self.dst_base;
         let v = self.lens[dst_local].len();
         let mut addrs = Vec::new();
@@ -203,19 +225,31 @@ impl<M: Item> MessageMatrix<M> {
                 addrs.push(self.layout.addr(src, dst_local, q as u64));
             }
         }
-        // Decode straight from the storage's block views: each block is
-        // fed to its slot's streaming decoder as it arrives — no
-        // reassembly buffer and, for in-memory backends, no block copy.
+        let ticket = disks.read_gather_submit(&addrs)?;
+        Ok(InboxTicket { dst, addrs, spans, ticket })
+    }
+
+    /// Complete a read begun with [`Self::read_for_dst_submit`],
+    /// decoding each block straight from the storage's block views into
+    /// per-source streaming decoders — no reassembly buffer and, for
+    /// in-memory backends, no block copy. Charges nothing — the submit
+    /// already did.
+    pub fn read_for_dst_finish(
+        &self,
+        disks: &mut DiskArray,
+        t: InboxTicket,
+    ) -> Result<Vec<Vec<M>>, EmError> {
+        let InboxTicket { dst, addrs, spans, ticket } = t;
         let mut owner: Vec<usize> = Vec::with_capacity(addrs.len());
         for (si, &(_, nblocks)) in spans.iter().enumerate() {
             owner.extend(std::iter::repeat_n(si, nblocks));
         }
         let mut decoders: Vec<SpanDecoder<M>> =
             spans.iter().map(|&(n_items, _)| SpanDecoder::new(n_items)).collect();
-        disks.read_gather_with(&addrs, &mut |i, block| {
+        disks.read_gather_finish(ticket, &addrs, &mut |i, block| {
             decoders[owner[i]].feed(block);
         })?;
-        let mut out = Vec::with_capacity(v);
+        let mut out = Vec::with_capacity(spans.len());
         let mut bi = 0usize;
         for (src, dec) in decoders.into_iter().enumerate() {
             let first = addrs.get(bi).copied().unwrap_or(TrackAddr::new(0, 0));
@@ -233,6 +267,26 @@ impl<M: Item> MessageMatrix<M> {
             }
         }
         Ok(out)
+    }
+}
+
+/// Completion handle for an in-flight inbox read (see
+/// [`MessageMatrix::read_for_dst_submit`]). Captures the destination's
+/// slot lengths and block addresses at submit time, so the finish
+/// decodes exactly the inbox that was current when the read was issued.
+pub struct InboxTicket {
+    dst: usize,
+    addrs: Vec<TrackAddr>,
+    /// `(items, nblocks)` per source, in source order.
+    spans: Vec<(usize, usize)>,
+    ticket: u64,
+}
+
+impl InboxTicket {
+    /// Total items this inbox read will deliver (the submit-time
+    /// `received_items` of the destination).
+    pub fn items(&self) -> usize {
+        self.spans.iter().map(|&(n, _)| n).sum()
     }
 }
 

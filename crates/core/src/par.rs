@@ -33,6 +33,7 @@ use crate::checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckp
 use crate::config::EmConfig;
 use crate::context::ContextStore;
 use crate::msgmatrix::MessageMatrix;
+use crate::pipeline;
 use crate::report::{EmRunReport, IoBreakdown};
 use crate::EmError;
 
@@ -614,6 +615,10 @@ fn worker<P: CgmProgram>(
     // once they reach the largest context size.
     let mut ctx_buf: Vec<u8> = Vec::new();
     let mut enc_buf: Vec<u8> = Vec::new();
+    // Software pipeline window over the local vps (see SeqEmRunner and
+    // the `pipeline` module). Depth 0 is the serial demand path.
+    let depth = cfg.pipeline_depth.min(n_local);
+    let mut inflight: pipeline::InflightReads = std::collections::VecDeque::new();
     let mut round = init.start_round;
     loop {
         let cur = round % 2;
@@ -628,55 +633,151 @@ fn worker<P: CgmProgram>(
             max_ctx: 0,
             ckpt: None,
         };
-        let mut packets: Vec<Packet<P::Msg>> = (0..p).map(|_| Vec::new()).collect();
         let mut phase_err: Option<EmError> = setup_err.take();
+
+        let (left, right) = mats.split_at_mut(1);
+        let (mat_cur, mat_next) =
+            if cur == 0 { (&mut left[0], &mut right[0]) } else { (&mut right[0], &mut left[0]) };
+
+        // Every peer sends one packet per *sender vp* (possibly empty),
+        // so `v` packets arrive machine-wide per round; arrivals are
+        // staged opportunistically while later vps still compute, then
+        // the Route phase blocks only for stragglers.
+        let mut arrivals: Vec<(usize, usize, Vec<P::Msg>)> = Vec::new();
+        let mut recv_count = 0usize;
+        let mut sent_vps = 0usize;
+
+        // Pipeline priming: submit the first `depth` local vps' reads
+        // before the loop (charged exactly as the serial path charges
+        // them in this superstep, after the previous barrier and
+        // checkpoint decision — see SeqEmRunner).
+        if phase_err.is_none() {
+            for k in 0..depth {
+                match pipeline::submit_vp_reads(
+                    cfg.obs.as_ref(),
+                    t as u32,
+                    round,
+                    &mut disks,
+                    &ctx_store,
+                    mat_cur,
+                    &mut breakdown,
+                    k,
+                    my_range.start + k,
+                ) {
+                    Ok(ts) => inflight.push_back(ts),
+                    Err(e) => {
+                        phase_err = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
 
         if phase_err.is_none() {
             'compute: for k in 0..n_local {
                 let pid = my_range.start + k;
-                // (a) context in
-                let g = span(round, Phase::CtxLoad);
-                let ops0 = disks.stats().total_ops();
-                if let Err(e) = ctx_store.read_into(&mut disks, k, &mut ctx_buf) {
-                    phase_err = Some(e);
-                    break 'compute;
-                }
-                breakdown.ctx_ops += disks.stats().total_ops() - ops0;
-                drop(g);
-                let mut state = match P::State::try_from_bytes(&ctx_buf) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        phase_err = Some(ctx_store.corrupt_error(k, e));
-                        break 'compute;
-                    }
-                };
-
-                // (b) messages in (local disks)
-                let g = span(round, Phase::MatrixRead);
-                let ops0 = disks.stats().total_ops();
-                let (left, right) = mats.split_at_mut(1);
-                let mat_cur = if cur == 0 { &mut left[0] } else { &mut right[0] };
-                let inbox_items = mat_cur.received_items(k);
-                ctl.max_received = ctl.max_received.max(inbox_items);
-                let per_src = match mat_cur.read_for_dst(&mut disks, pid) {
-                    Ok(x) => x,
-                    Err(e) => {
+                // (a)+(b): serial demand reads at depth 0; at depth > 0
+                // redeem the in-flight tickets and top the window back
+                // up (see SeqEmRunner for the staging argument).
+                let (mut state, inbox_items, per_src) = if depth == 0 {
+                    // (a) context in
+                    let g = span(round, Phase::CtxLoad);
+                    let ops0 = disks.stats().total_ops();
+                    if let Err(e) = ctx_store.read_into(&mut disks, k, &mut ctx_buf) {
                         phase_err = Some(e);
                         break 'compute;
                     }
+                    breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+                    drop(g);
+                    let state = match P::State::try_from_bytes(&ctx_buf) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            phase_err = Some(ctx_store.corrupt_error(k, e));
+                            break 'compute;
+                        }
+                    };
+
+                    // (b) messages in (local disks)
+                    let g = span(round, Phase::MatrixRead);
+                    let ops0 = disks.stats().total_ops();
+                    let inbox_items = mat_cur.received_items(k);
+                    let per_src = match mat_cur.read_for_dst(&mut disks, pid) {
+                        Ok(x) => x,
+                        Err(e) => {
+                            phase_err = Some(e);
+                            break 'compute;
+                        }
+                    };
+                    breakdown.msg_ops += disks.stats().total_ops() - ops0;
+                    drop(g);
+                    (state, inbox_items, per_src)
+                } else {
+                    let (ctx_t, inbox_t) = inflight.pop_front().expect("pipeline window underflow");
+                    if k + depth < n_local {
+                        match pipeline::submit_vp_reads(
+                            cfg.obs.as_ref(),
+                            t as u32,
+                            round,
+                            &mut disks,
+                            &ctx_store,
+                            mat_cur,
+                            &mut breakdown,
+                            k + depth,
+                            my_range.start + k + depth,
+                        ) {
+                            Ok(ts) => inflight.push_back(ts),
+                            Err(e) => {
+                                phase_err = Some(e);
+                                break 'compute;
+                            }
+                        }
+                    }
+                    // (a) context in — completion only, charged at submit.
+                    let g = span(round, Phase::CtxLoad);
+                    let inbox_items = inbox_t.items();
+                    if let Err(e) = ctx_store.read_finish(&mut disks, ctx_t, &mut ctx_buf) {
+                        phase_err = Some(e);
+                        break 'compute;
+                    }
+                    let state = match P::State::try_from_bytes(&ctx_buf) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            phase_err = Some(ctx_store.corrupt_error(k, e));
+                            break 'compute;
+                        }
+                    };
+                    drop(g);
+                    // (b) messages in — completion only.
+                    let g = span(round, Phase::MatrixRead);
+                    let per_src = match mat_cur.read_for_dst_finish(&mut disks, inbox_t) {
+                        Ok(x) => x,
+                        Err(e) => {
+                            phase_err = Some(e);
+                            break 'compute;
+                        }
+                    };
+                    drop(g);
+                    (state, inbox_items, per_src)
                 };
-                breakdown.msg_ops += disks.stats().total_ops() - ops0;
-                drop(g);
+                ctl.max_received = ctl.max_received.max(inbox_items);
 
                 let g = span(round, Phase::Rounds);
 
                 // Read-ahead: hint the next local vp's context and inbox
                 // while this one computes (no-op on synchronous
-                // backends; never counted as I/O).
-                if k + 1 < n_local {
+                // backends; never counted as I/O). The pipelined path
+                // (depth > 0) pre-issues real reads instead.
+                if depth == 0 && k + 1 < n_local {
                     let mut hints = ctx_store.read_addrs(k + 1);
                     hints.extend(mat_cur.read_addrs_for_dst(my_range.start + k + 1));
                     disks.prefetch(&hints);
+                } else if k + 1 == n_local {
+                    // Superstep-boundary read-ahead: the first local
+                    // vp's next-superstep context was written back this
+                    // superstep already; hint it while the last vp
+                    // computes. Its inbox is hinted after the arrivals
+                    // are written, below.
+                    disks.prefetch(&ctx_store.read_addrs(0));
                 }
 
                 // (c) compute
@@ -703,10 +804,14 @@ fn worker<P: CgmProgram>(
                 }
                 drop(g);
 
-                // (d) ship generated messages to their owners
+                // (d) ship this vp's messages to their owners right away
+                // — one packet per peer per vp — so the interconnect and
+                // the receivers' staging overlap the remaining vps'
+                // compute instead of waiting for the round to end.
                 let sent: usize = out_items;
                 ctl.sent_total += sent;
                 ctl.max_sent = ctl.max_sent.max(sent);
+                let mut per_owner: Vec<Packet<P::Msg>> = (0..p).map(|_| Vec::new()).collect();
                 for (dst, msg) in outbox.into_per_dst().into_iter().enumerate() {
                     if msg.is_empty() {
                         continue;
@@ -717,7 +822,16 @@ fn worker<P: CgmProgram>(
                     if owner != t {
                         ctl.cross_items += msg.len() as u64;
                     }
-                    packets[owner].push((pid, dst, msg));
+                    per_owner[owner].push((pid, dst, msg));
+                }
+                for (j, tx) in data_tx.iter().enumerate() {
+                    tx.send(std::mem::take(&mut per_owner[j])).expect("peer died");
+                }
+                sent_vps += 1;
+                // Opportunistically stage arrivals that already landed.
+                while let Ok(pk) = data_rx.try_recv() {
+                    arrivals.extend(pk);
+                    recv_count += 1;
                 }
 
                 // (e) context out
@@ -733,15 +847,18 @@ fn worker<P: CgmProgram>(
             }
         }
 
-        // Exchange: always send one packet per peer so nobody deadlocks,
-        // even on error.
+        // Exchange tail: peers expect one packet per sender vp, so pad
+        // for any vps this worker did not reach (error paths keep the
+        // protocol alive), then block for the stragglers.
         let g = span(round, Phase::Route);
-        for (j, tx) in data_tx.iter().enumerate() {
-            tx.send(std::mem::take(&mut packets[j])).expect("peer died");
+        for _ in sent_vps..n_local {
+            for tx in &data_tx {
+                tx.send(Vec::new()).expect("peer died");
+            }
         }
-        let mut arrivals: Vec<(usize, usize, Vec<P::Msg>)> = Vec::new();
-        for _ in 0..p {
+        while recv_count < v {
             arrivals.extend(data_rx.recv().expect("peer died"));
+            recv_count += 1;
         }
         if phase_err.is_none() {
             arrivals.sort_unstable_by_key(|&(src, dst, _)| (dst, src));
@@ -753,8 +870,6 @@ fn worker<P: CgmProgram>(
         // deterministic.
         if phase_err.is_none() {
             let _g = span(round, Phase::MatrixWrite);
-            let (left, right) = mats.split_at_mut(1);
-            let mat_next = if cur == 0 { &mut right[0] } else { &mut left[0] };
             let entries: Vec<(usize, usize, &[P::Msg])> =
                 arrivals.iter().map(|(src, dst, m)| (*src, *dst, m.as_slice())).collect();
             let ops0 = disks.stats().total_ops();
@@ -762,6 +877,11 @@ fn worker<P: CgmProgram>(
                 phase_err = Some(e);
             }
             breakdown.msg_ops += disks.stats().total_ops() - ops0;
+            if phase_err.is_none() {
+                // Superstep-boundary read-ahead, inbox half: the first
+                // local vp's full next-superstep inbox now exists.
+                disks.prefetch(&mat_next.read_addrs_for_dst(my_range.start));
+            }
         }
 
         // Superstep barrier: drain write-behind, apply the durability

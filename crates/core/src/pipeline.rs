@@ -1,0 +1,69 @@
+//! Shared plumbing for the software-pipelined compound superstep.
+//!
+//! Both runners drive the same three-stage pipeline per virtual
+//! processor: **load** (steps (a)+(b), submitted up to
+//! [`crate::EmConfig::pipeline_depth`] vps ahead of the one computing),
+//! **compute** (step (c)), and **store** (steps (d)+(e), drained by the
+//! backend's write-behind). This module holds the one piece both
+//! runners share: submitting a vp's reads with cost-model charging and
+//! span attribution identical to the serial demand path, so `IoStats`,
+//! the op breakdown, and checkpoint manifests stay bit-identical at
+//! every pipeline depth.
+//!
+//! Why pre-issuing inside a superstep is safe: vp `k`'s context slot is
+//! only rewritten by vp `k`'s own step (e), which runs strictly after
+//! its step (a) read completes; and the inbox matrix of the current
+//! superstep was fully written (and barrier-flushed) last superstep,
+//! while this superstep's sends go to the other matrix of the ping-pong
+//! pair. Per-drive FIFO submission in the concurrent backend then gives
+//! read-after-write coherence for everything older.
+
+use std::collections::VecDeque;
+
+use cgmio_obs::{Obs, Phase};
+use cgmio_pdm::{DiskArray, Item};
+
+use crate::context::{ContextStore, CtxReadTicket};
+use crate::msgmatrix::{InboxTicket, MessageMatrix};
+use crate::report::IoBreakdown;
+use crate::EmError;
+
+/// In-flight step (a)+(b) tickets; the front entry belongs to the next
+/// vp to compute. Holds at most `pipeline_depth` entries.
+pub(crate) type InflightReads = VecDeque<(CtxReadTicket, InboxTicket)>;
+
+/// Submit one vp's step (a) context read and step (b) inbox read.
+///
+/// `ctx_slot` is the vp's local context slot, `dst` its global pid (the
+/// two coincide on the sequential runner; parallel workers address the
+/// context store locally and the message matrix globally).
+///
+/// Charges the cost model *now* — with exactly the increments, phase
+/// spans, and breakdown buckets the serial demand path uses — and
+/// returns the completion tickets to redeem when that vp is next to
+/// compute. Redemption charges nothing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn submit_vp_reads<M: Item>(
+    obs: Option<&Obs>,
+    proc: u32,
+    round: usize,
+    disks: &mut DiskArray,
+    ctx_store: &ContextStore,
+    mat_cur: &MessageMatrix<M>,
+    breakdown: &mut IoBreakdown,
+    ctx_slot: usize,
+    dst: usize,
+) -> Result<(CtxReadTicket, InboxTicket), EmError> {
+    let g = obs.map(|o| o.span(proc, round as u64, Phase::CtxLoad));
+    let ops0 = disks.stats().total_ops();
+    let ctx_t = ctx_store.read_submit(disks, ctx_slot)?;
+    breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+    drop(g);
+
+    let g = obs.map(|o| o.span(proc, round as u64, Phase::MatrixRead));
+    let ops0 = disks.stats().total_ops();
+    let inbox_t = mat_cur.read_for_dst_submit(disks, dst)?;
+    breakdown.msg_ops += disks.stats().total_ops() - ops0;
+    drop(g);
+    Ok((ctx_t, inbox_t))
+}

@@ -30,6 +30,7 @@ use crate::checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckp
 use crate::config::{DiskHandles, EmConfig};
 use crate::context::ContextStore;
 use crate::msgmatrix::MessageMatrix;
+use crate::pipeline;
 use crate::report::{EmRunReport, IoBreakdown};
 use crate::EmError;
 
@@ -312,6 +313,10 @@ impl SeqEmRunner {
         // stops allocating.
         let mut ctx_buf: Vec<u8> = Vec::new();
         let mut enc_buf: Vec<u8> = Vec::new();
+        // Software pipeline: step (a)+(b) reads for up to `depth` vps
+        // ahead of the one computing. Depth 0 is the serial demand path.
+        let depth = cfg.pipeline_depth.min(v);
+        let mut inflight: pipeline::InflightReads = std::collections::VecDeque::new();
         let mut round = start_round;
         loop {
             if round >= cfg.round_limit {
@@ -321,40 +326,105 @@ impl SeqEmRunner {
             let mut n_done = 0usize;
             let mut matrix_lens: Vec<Vec<usize>> = vec![vec![0; v]; v];
 
-            for (pid, matrix_row) in matrix_lens.iter_mut().enumerate() {
-                // (a) context in
-                let g = span(round, Phase::CtxLoad);
-                let ops0 = disks.stats().total_ops();
-                ctx_store.read_into(&mut disks, pid, &mut ctx_buf)?;
-                breakdown.ctx_ops += disks.stats().total_ops() - ops0;
-                let mut state = P::State::try_from_bytes(&ctx_buf)
-                    .map_err(|e| ctx_store.corrupt_error(pid, e))?;
-                drop(g);
+            let (left, right) = mats.split_at_mut(1);
+            let (mat_cur, mat_next) = if cur == 0 {
+                (&mut left[0], &mut right[0])
+            } else {
+                (&mut right[0], &mut left[0])
+            };
 
-                // (b) messages in
-                let g = span(round, Phase::MatrixRead);
-                let ops0 = disks.stats().total_ops();
-                let (left, right) = mats.split_at_mut(1);
-                let (mat_cur, mat_next) = if cur == 0 {
-                    (&mut left[0], &mut right[0])
+            // Pipeline priming: submit the first `depth` vps' reads up
+            // front so vp 0 finds its blocks already in flight. Priming
+            // sits *after* the previous barrier and checkpoint decision,
+            // so no read of superstep `r` is issued — or charged —
+            // before superstep `r` begins; checkpoint manifests are
+            // therefore bit-identical at every depth.
+            for k in 0..depth {
+                inflight.push_back(pipeline::submit_vp_reads(
+                    cfg.obs.as_ref(),
+                    0,
+                    round,
+                    &mut disks,
+                    &ctx_store,
+                    mat_cur,
+                    &mut breakdown,
+                    k,
+                    k,
+                )?);
+            }
+
+            for (pid, matrix_row) in matrix_lens.iter_mut().enumerate() {
+                // (a)+(b): serial demand reads at depth 0; at depth > 0
+                // redeem the in-flight tickets and top the window back
+                // up, so vp `pid + depth`'s blocks travel while vp
+                // `pid` decodes and computes.
+                let (mut state, inbox_items, per_src) = if depth == 0 {
+                    // (a) context in
+                    let g = span(round, Phase::CtxLoad);
+                    let ops0 = disks.stats().total_ops();
+                    ctx_store.read_into(&mut disks, pid, &mut ctx_buf)?;
+                    breakdown.ctx_ops += disks.stats().total_ops() - ops0;
+                    let state = P::State::try_from_bytes(&ctx_buf)
+                        .map_err(|e| ctx_store.corrupt_error(pid, e))?;
+                    drop(g);
+
+                    // (b) messages in
+                    let g = span(round, Phase::MatrixRead);
+                    let ops0 = disks.stats().total_ops();
+                    let inbox_items = mat_cur.received_items(pid);
+                    let per_src = mat_cur.read_for_dst(&mut disks, pid)?;
+                    breakdown.msg_ops += disks.stats().total_ops() - ops0;
+                    drop(g);
+                    (state, inbox_items, per_src)
                 } else {
-                    (&mut right[0], &mut left[0])
+                    let (ctx_t, inbox_t) = inflight.pop_front().expect("pipeline window underflow");
+                    if pid + depth < v {
+                        inflight.push_back(pipeline::submit_vp_reads(
+                            cfg.obs.as_ref(),
+                            0,
+                            round,
+                            &mut disks,
+                            &ctx_store,
+                            mat_cur,
+                            &mut breakdown,
+                            pid + depth,
+                            pid + depth,
+                        )?);
+                    }
+                    // (a) context in — completion only, charged at submit.
+                    let g = span(round, Phase::CtxLoad);
+                    let inbox_items = inbox_t.items();
+                    ctx_store.read_finish(&mut disks, ctx_t, &mut ctx_buf)?;
+                    let state = P::State::try_from_bytes(&ctx_buf)
+                        .map_err(|e| ctx_store.corrupt_error(pid, e))?;
+                    drop(g);
+                    // (b) messages in — completion only.
+                    let g = span(round, Phase::MatrixRead);
+                    let per_src = mat_cur.read_for_dst_finish(&mut disks, inbox_t)?;
+                    drop(g);
+                    (state, inbox_items, per_src)
                 };
-                let inbox_items = mat_cur.received_items(pid);
-                let per_src = mat_cur.read_for_dst(&mut disks, pid)?;
-                breakdown.msg_ops += disks.stats().total_ops() - ops0;
-                drop(g);
 
                 // (c) compute (the read-ahead hints are submitted here,
                 // overlapping the compute step they hide behind)
                 let g = span(round, Phase::Rounds);
-                if pid + 1 < v {
+                if depth == 0 && pid + 1 < v {
                     // Read-ahead: while vp `pid` computes, hint the next
                     // vp's context and inbox to the backend (a no-op for
-                    // synchronous backends; never counted as I/O).
+                    // synchronous backends; never counted as I/O). The
+                    // pipelined path (depth > 0) pre-issues real reads
+                    // instead.
                     let mut hints = ctx_store.read_addrs(pid + 1);
                     hints.extend(mat_cur.read_addrs_for_dst(pid + 1));
                     disks.prefetch(&hints);
+                } else if pid + 1 == v {
+                    // Superstep-boundary read-ahead: the next
+                    // superstep's first context was already written back
+                    // this superstep (vp 0's step (e)), so hint it while
+                    // the last vp computes. Its inbox lives in
+                    // `mat_next` and is hinted once this vp's sends
+                    // complete, below.
+                    disks.prefetch(&ctx_store.read_addrs(0));
                 }
                 let mut outbox = Outbox::new(v);
                 let status = {
@@ -394,6 +464,12 @@ impl SeqEmRunner {
                 let ops0 = disks.stats().total_ops();
                 mat_next.write_batch(&mut disks, &entries)?;
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
+                if pid + 1 == v {
+                    // Boundary read-ahead, inbox half: every dst-0 slot
+                    // of next superstep's matrix now exists, so the hint
+                    // covers the first vp's full inbox (uncounted).
+                    disks.prefetch(&mat_next.read_addrs_for_dst(0));
+                }
                 drop(g);
 
                 // (e) context out

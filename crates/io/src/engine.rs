@@ -84,6 +84,15 @@ pub struct IoEngineOpts {
     /// handle's [`PhaseCell`] by the runner's
     /// spans. `None` (the default) skips all of it.
     pub obs: Option<Obs>,
+    /// Silently discard prefetch hints. Demand reads, vectored gathers,
+    /// and pre-issued pipeline reads are unaffected — only best-effort
+    /// cache-fill hints are dropped. Set by the runners whenever a fault
+    /// plan is active: hint traffic is free in the cost model but would
+    /// still consume deterministic fault rolls beneath the engine, and
+    /// how many hints fire varies with pipeline depth and cache
+    /// pressure. Binding faults to demand accesses only keeps injected
+    /// fault and retry totals bit-identical at every pipeline depth.
+    pub ignore_hints: bool,
 }
 
 impl Default for IoEngineOpts {
@@ -97,6 +106,7 @@ impl Default for IoEngineOpts {
             retry: RetryPolicy::default(),
             verify_checksums: false,
             obs: None,
+            ignore_hints: false,
         }
     }
 }
@@ -142,6 +152,9 @@ enum DriveOp {
     },
     WriteMany {
         blocks: Vec<WriteBlock>,
+        /// Completion signal for [`ConcurrentStorage::submit_write_gather`]
+        /// callers; plain write-behind passes `None`.
+        done: Option<Sender<()>>,
     },
     Prefetch {
         track: u64,
@@ -152,6 +165,27 @@ enum DriveOp {
         reply: Sender<io::Result<()>>,
         stamp: Stamp,
     },
+}
+
+/// Completion handle for an in-flight gather read started with
+/// [`ConcurrentStorage::submit_read_gather`]. The transfers run on the
+/// drive workers while the submitter computes; [`ConcurrentStorage::wait`]
+/// blocks until every block has arrived and returns them in request
+/// order. Dropping the ticket abandons the read (the workers still
+/// service it; the replies go nowhere).
+pub struct ReadTicket {
+    addrs: Vec<TrackAddr>,
+    replies: Vec<Option<Receiver<ReadManyReply>>>,
+}
+
+/// Completion handle for a gather write started with
+/// [`ConcurrentStorage::submit_write_gather`]. The payload was copied
+/// into pooled buffers at submit, so the caller's staging buffer is free
+/// immediately; [`ConcurrentStorage::wait_write`] blocks until every
+/// participating drive has applied its blocks and surfaces any deferred
+/// write error.
+pub struct WriteTicket {
+    replies: Vec<Receiver<()>>,
 }
 
 /// A write-behind failure held until the next write or flush surfaces
@@ -201,6 +235,15 @@ pub struct ConcurrentStorage {
     /// Per-drive `cgmio_io_prefetch_dropped_total` handles (detached
     /// when `obs` is unset).
     prefetch_drop_metrics: Vec<Counter>,
+    /// In-flight reads submitted through the type-erased
+    /// [`TrackStorage::read_scatter_submit`] entry point, keyed by the
+    /// opaque ticket ids it hands out.
+    pending_reads: Mutex<HashMap<u64, ReadTicket>>,
+    /// Ticket-id source for `pending_reads` (ids start at 1; 0 is the
+    /// synchronous backends' "no ticket" value).
+    next_ticket: AtomicU64,
+    /// Discard prefetch hints (see [`IoEngineOpts::ignore_hints`]).
+    ignore_hints: bool,
 }
 
 impl ConcurrentStorage {
@@ -263,6 +306,9 @@ impl ConcurrentStorage {
             superstep: AtomicU64::new(0),
             retries,
             prefetch_drop_metrics,
+            pending_reads: Mutex::new(HashMap::new()),
+            next_ticket: AtomicU64::new(1),
+            ignore_hints: opts.ignore_hints,
         }
     }
 
@@ -327,9 +373,15 @@ impl ConcurrentStorage {
         self.prefetch_drops.iter().map(|c| c.load(Ordering::Relaxed)).collect()
     }
 
-    /// Group a scatter list per drive, submit one vectored read per
-    /// drive, and return each block **owned** in request order.
-    fn read_scatter_owned(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
+    /// Start a gather read without waiting for it: group the scatter
+    /// list per drive, submit one vectored read per drive, and return a
+    /// [`ReadTicket`] immediately. The drive workers fetch the blocks
+    /// while the caller computes; redeem the ticket with
+    /// [`ConcurrentStorage::wait`]. This is the pipelined runners' demand
+    /// pre-read — unlike [`TrackStorage::prefetch`] the read runs to
+    /// completion, is never dropped, and its result is delivered directly
+    /// instead of through the bounded prefetch cache.
+    pub fn submit_read_gather(&self, addrs: &[TrackAddr]) -> io::Result<ReadTicket> {
         let nd = self.queues.len();
         let mut groups: Vec<Vec<(u64, Stamp)>> = vec![Vec::new(); nd];
         for a in addrs {
@@ -344,18 +396,78 @@ impl ConcurrentStorage {
             self.submit(drive, DriveOp::ReadMany { tracks, reply: tx })?;
             replies[drive] = Some(rx);
         }
+        Ok(ReadTicket { addrs: addrs.to_vec(), replies })
+    }
+
+    /// Block until every transfer of `ticket` has completed and return
+    /// the blocks in the submission's request order. Time spent blocked
+    /// here (the submitter out-ran the drives) is recorded into the
+    /// `cgmio_pipeline_stall_us` histogram when observability is on.
+    pub fn wait(&self, ticket: ReadTicket) -> io::Result<Vec<Vec<u8>>> {
+        let stall_from = self.obs.as_ref().map(|o| o.now_us());
+        let nd = self.queues.len();
         let mut per_drive: Vec<VecDeque<io::Result<Vec<u8>>>> =
             (0..nd).map(|_| VecDeque::new()).collect();
-        for (drive, rx) in replies.into_iter().enumerate() {
+        for (drive, rx) in ticket.replies.into_iter().enumerate() {
             if let Some(rx) = rx {
                 per_drive[drive] =
                     rx.recv().map_err(|_| io::Error::other("drive worker died mid-read"))?.into();
             }
         }
-        addrs
+        if let (Some(obs), Some(t0)) = (&self.obs, stall_from) {
+            obs.metrics()
+                .histogram("cgmio_pipeline_stall_us", &[("proc", self.proc.to_string())])
+                .observe(obs.now_us().saturating_sub(t0));
+        }
+        ticket
+            .addrs
             .iter()
             .map(|a| per_drive[a.disk].pop_front().expect("one result per submitted track"))
             .collect()
+    }
+
+    /// Start a gather write without waiting for it: the payloads are
+    /// copied into pooled buffers and queued (exactly like the
+    /// write-behind path), and the returned [`WriteTicket`] additionally
+    /// carries per-drive completion signals. Redeem it with
+    /// [`ConcurrentStorage::wait_write`] — or drop it and let the
+    /// superstep flush be the barrier, as the runners do.
+    pub fn submit_write_gather(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<WriteTicket> {
+        self.take_write_err()?;
+        let nd = self.queues.len();
+        let mut groups: Vec<Vec<WriteBlock>> = (0..nd).map(|_| Vec::new()).collect();
+        for (a, data) in writes {
+            let stamp = self.stamp();
+            let mut block = self.pool.checkout(data.len());
+            block.copy_from_slice(data);
+            groups[a.disk].push(WriteBlock { track: a.track, data: block, stamp });
+        }
+        let mut replies = Vec::new();
+        for (drive, blocks) in groups.into_iter().enumerate() {
+            if !blocks.is_empty() {
+                let (tx, rx) = bounded(1);
+                self.submit(drive, DriveOp::WriteMany { blocks, done: Some(tx) })?;
+                replies.push(rx);
+            }
+        }
+        Ok(WriteTicket { replies })
+    }
+
+    /// Block until every block of `ticket` has been applied by its drive
+    /// worker, then surface any deferred write error.
+    pub fn wait_write(&self, ticket: WriteTicket) -> io::Result<()> {
+        for rx in ticket.replies {
+            rx.recv().map_err(|_| io::Error::other("drive worker died mid-write"))?;
+        }
+        self.take_write_err()
+    }
+
+    /// Blocking gather read: submit, then immediately wait. The order of
+    /// per-drive submissions and physical transfers is identical to the
+    /// split-phase path, so pipelined and serial executions see the same
+    /// per-track operation sequences.
+    fn read_scatter_owned(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
+        self.wait(self.submit_read_gather(addrs)?)
     }
 }
 
@@ -410,8 +522,38 @@ impl TrackStorage for ConcurrentStorage {
         }
         for (drive, blocks) in groups.into_iter().enumerate() {
             if !blocks.is_empty() {
-                self.submit(drive, DriveOp::WriteMany { blocks })?;
+                self.submit(drive, DriveOp::WriteMany { blocks, done: None })?;
             }
+        }
+        Ok(())
+    }
+
+    /// Split-phase gather read behind the type-erased storage trait:
+    /// parks a [`ReadTicket`] in the engine's pending map and hands back
+    /// its id, so `DiskArray` can charge the cost model at submit time
+    /// and redeem the ticket later via
+    /// [`TrackStorage::read_scatter_wait`].
+    fn read_scatter_submit(&self, addrs: &[TrackAddr]) -> io::Result<u64> {
+        let ticket = self.submit_read_gather(addrs)?;
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.pending_reads.lock().unwrap().insert(id, ticket);
+        Ok(id)
+    }
+
+    fn read_scatter_wait(
+        &self,
+        ticket: u64,
+        _addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> io::Result<()> {
+        let pending = self
+            .pending_reads
+            .lock()
+            .unwrap()
+            .remove(&ticket)
+            .ok_or_else(|| io::Error::other("unknown or already-redeemed read ticket"))?;
+        for (i, block) in self.wait(pending)?.into_iter().enumerate() {
+            f(i, &block);
         }
         Ok(())
     }
@@ -419,7 +561,11 @@ impl TrackStorage for ConcurrentStorage {
     /// Best-effort hint; a full queue drops it rather than blocking —
     /// but a drop is counted per drive and traced, so prefetch
     /// effectiveness analysis sees the hints that went missing.
+    /// Discarded wholesale under [`IoEngineOpts::ignore_hints`].
     fn prefetch(&self, addrs: &[TrackAddr]) {
+        if self.ignore_hints {
+            return;
+        }
         for a in addrs {
             let stamp = self.stamp();
             match self.queues[a.disk].try_send(DriveOp::Prefetch { track: a.track, stamp }) {
@@ -502,6 +648,10 @@ impl Drop for ConcurrentStorage {
 struct DriveObs {
     /// Service-time histograms indexed by [`DriveObs::kind_idx`].
     service_us: [Histogram; 4],
+    /// Queue-wait histograms (submit → service start), same indexing.
+    /// Service time says how slow the medium is; queue wait says how far
+    /// behind the drive is — the pipeline-depth tuning signal.
+    queue_wait_us: [Histogram; 4],
     /// Payload bytes moved, same indexing (flush always moves 0 bytes
     /// and shares the reads slot harmlessly).
     bytes: [Counter; 4],
@@ -518,6 +668,7 @@ impl DriveObs {
         };
         Self {
             service_us: kinds.map(|k| m.histogram("cgmio_io_service_us", &labels(k))),
+            queue_wait_us: kinds.map(|k| m.histogram("cgmio_io_queue_wait_us", &labels(k))),
             bytes: kinds.map(|k| m.counter("cgmio_io_bytes_total", &labels(k))),
             queue_depth: m.gauge(
                 "cgmio_io_queue_depth",
@@ -598,7 +749,7 @@ impl WorkerCtx {
                     // a closed reply channel is not an error.
                     let _ = reply.send(out);
                 }
-                DriveOp::WriteMany { blocks } => {
+                DriveOp::WriteMany { blocks, done } => {
                     for WriteBlock { track, data, stamp } in blocks {
                         let start_us = self.now_us();
                         // FIFO order makes later reads see this write;
@@ -637,6 +788,11 @@ impl WorkerCtx {
                         );
                         // `data` (a PooledBlock) drops here, returning
                         // the buffer to the engine's pool.
+                    }
+                    // Completion signal for submit_write_gather callers;
+                    // an abandoned ticket is not an error.
+                    if let Some(tx) = done {
+                        let _ = tx.send(());
                     }
                 }
                 DriveOp::Prefetch { track, stamp } => {
@@ -725,6 +881,7 @@ impl WorkerCtx {
         if let Some(m) = &self.metrics {
             let i = DriveObs::kind_idx(kind);
             m.service_us[i].observe(end_us.saturating_sub(start_us));
+            m.queue_wait_us[i].observe(start_us.saturating_sub(stamp.submit_us));
             m.bytes[i].add(bytes as u64);
             m.queue_depth.set(queue_depth as i64);
             if cache_hit {

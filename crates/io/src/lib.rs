@@ -44,6 +44,6 @@ pub mod trace;
 
 pub use cgmio_obs::{Counter, Obs, Phase};
 pub use cgmio_pdm::{classify, FaultError, IoErrorKind};
-pub use engine::{ConcurrentStorage, Durability, IoEngineOpts};
+pub use engine::{ConcurrentStorage, Durability, IoEngineOpts, ReadTicket, WriteTicket};
 pub use retry::{track_checksum, RetryPolicy, RetryStorage};
 pub use trace::{summarize, write_csv, write_jsonl, OpKind, TraceEvent, TraceHandle, TraceSummary};

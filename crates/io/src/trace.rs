@@ -93,6 +93,12 @@ impl TraceEvent {
         self.end_us.saturating_sub(self.start_us)
     }
 
+    /// Queue wait (submission → service start) in microseconds — how
+    /// long the op sat behind earlier work on its drive.
+    pub fn queue_wait_us(&self) -> u64 {
+        self.start_us.saturating_sub(self.submit_us)
+    }
+
     /// Total latency (queueing + service) in microseconds.
     pub fn latency_us(&self) -> u64 {
         self.end_us.saturating_sub(self.submit_us)
@@ -233,6 +239,19 @@ pub struct TraceSummary {
     pub max_queue_depth: usize,
     /// Mean demand-read latency (queue + service), microseconds.
     pub mean_read_latency_us: u64,
+    /// Mean demand-read queue wait (submit → service start),
+    /// microseconds. High queue wait with low service time means the
+    /// drive is behind, not slow — the signal that a deeper pipeline (or
+    /// more drives) would help.
+    pub mean_read_queue_wait_us: u64,
+    /// Mean demand-read service time (service start → completion),
+    /// microseconds.
+    pub mean_read_service_us: u64,
+    /// Demand reads that waited in the queue longer than they took to
+    /// service — operations the submitter out-ran. A depth sweep that
+    /// doesn't move wall clock but grows `stalls` is queue-bound, not
+    /// compute-bound.
+    pub stalls: usize,
     /// Total transient-fault retries across all ops.
     pub retries: u64,
     /// Prefetch hints dropped on a full submission queue.
@@ -246,6 +265,8 @@ pub struct TraceSummary {
 pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     let mut s = TraceSummary::default();
     let mut read_lat = 0u64;
+    let mut read_wait = 0u64;
+    let mut read_service = 0u64;
     let mut steps = std::collections::BTreeSet::new();
     for e in events {
         steps.insert(e.superstep);
@@ -253,6 +274,11 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             OpKind::Read => {
                 s.reads += 1;
                 read_lat += e.latency_us();
+                read_wait += e.queue_wait_us();
+                read_service += e.service_us();
+                if e.queue_wait_us() > e.service_us() {
+                    s.stalls += 1;
+                }
             }
             OpKind::Write => s.writes += 1,
             OpKind::Prefetch => s.prefetches += 1,
@@ -268,6 +294,8 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     }
     if s.reads > 0 {
         s.mean_read_latency_us = read_lat / s.reads as u64;
+        s.mean_read_queue_wait_us = read_wait / s.reads as u64;
+        s.mean_read_service_us = read_service / s.reads as u64;
     }
     s.supersteps = steps.len();
     s
@@ -338,6 +366,10 @@ mod tests {
         assert_eq!(s.max_queue_depth, 2);
         // latency = end - submit = 5 for every op
         assert_eq!(s.mean_read_latency_us, 5);
+        // queue wait = start - submit = 1, service = end - start = 4
+        assert_eq!(s.mean_read_queue_wait_us, 1);
+        assert_eq!(s.mean_read_service_us, 4);
+        assert_eq!(s.stalls, 0, "wait (1us) < service (4us): nothing stalled");
         // ev() stamps superstep = seq/2, so seqs 0..=2 span steps {0, 1}
         assert_eq!(s.supersteps, 2);
     }

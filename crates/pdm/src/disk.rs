@@ -336,6 +336,47 @@ impl DiskArray {
         Ok(sizes.len())
     }
 
+    /// Begin an asynchronous gather read of `addrs`, charging the cost
+    /// model **now** — the same FIFO-packed operations and per-disk
+    /// block counts [`Self::read_gather_with`] charges — and returning a
+    /// ticket to redeem with [`Self::read_gather_finish`] (passing the
+    /// same address list). On asynchronous backends the transfers start
+    /// immediately and overlap the caller's compute; on synchronous
+    /// backends nothing moves until finish. Either way the [`IoStats`]
+    /// are identical to a blocking `read_gather_with` at the same point
+    /// in the program: the pipeline changes *when* bytes move on the
+    /// wall clock, never what the cost model counts.
+    pub fn read_gather_submit(&mut self, addrs: &[TrackAddr]) -> Result<u64, IoError> {
+        let sizes = self.fifo_cycle_sizes(addrs.iter())?;
+        if addrs.is_empty() {
+            return Ok(0);
+        }
+        let ticket = self.storage.read_scatter_submit(addrs).map_err(IoError::from)?;
+        for a in addrs {
+            self.stats.per_disk_blocks[a.disk] += 1;
+        }
+        for n in &sizes {
+            self.stats.record_read(*n, self.geom.num_disks);
+        }
+        Ok(ticket)
+    }
+
+    /// Complete a read begun with [`Self::read_gather_submit`], handing
+    /// each block to `f(request_index, bytes)` in request order. `addrs`
+    /// must be the list the ticket was submitted with. Charges nothing —
+    /// the submit already did.
+    pub fn read_gather_finish(
+        &mut self,
+        ticket: u64,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> Result<(), IoError> {
+        if addrs.is_empty() {
+            return Ok(());
+        }
+        self.storage.read_scatter_wait(ticket, addrs, f).map_err(IoError::from)
+    }
+
     /// The paper's `DiskWrite` procedure: service a FIFO queue of block
     /// writes, packing blocks into parallel operations **strictly in FIFO
     /// order** and closing the current operation as soon as a block's disk

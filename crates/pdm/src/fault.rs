@@ -19,11 +19,14 @@
 //!   cannot help and the error must surface to the caller.
 //!
 //! Determinism: every injection decision is a pure function of the plan's
-//! seed, the drive index, and a per-drive operation counter (plus the
-//! track number for permanent faults). Two runs with the same plan and
-//! the same per-drive operation sequence inject exactly the same faults —
-//! which is what makes the `faults` experiment and the recovery tests
-//! reproducible.
+//! seed, the drive index, the track number, and a per-`(drive, track)`
+//! operation counter. Two runs that touch each track in the same order
+//! inject exactly the same faults — and because the decision never
+//! depends on how operations on *different* tracks interleave, the
+//! stream is invariant under the reorderings a pipelined executor
+//! introduces (pre-issued reads overtaking unrelated writes on the same
+//! drive). That is what makes the `faults` experiment, the recovery
+//! tests, and the pipeline depth-equivalence tests reproducible.
 
 use std::fmt;
 use std::io;
@@ -262,14 +265,18 @@ fn unit(h: u64) -> f64 {
 /// [`TrackStorage`] wrapper that deterministically injects the faults
 /// described by a [`FaultPlan`] into an inner backend.
 ///
-/// Injection decisions are keyed on `(seed, disk, per-drive op counter)`
-/// — so the same plan over the same per-drive operation sequence always
-/// faults the same operations — except permanent faults, which are keyed
-/// on `(seed, disk, track)` so a bad track stays bad forever.
+/// Injection decisions are keyed on `(seed, disk, track, per-track op
+/// counter)` — so the same plan over the same per-track operation
+/// sequence always faults the same operations, no matter how operations
+/// on *different* tracks interleave (the pipelined executor reorders
+/// exactly that). Permanent faults are keyed on `(seed, disk, track)`
+/// alone so a bad track stays bad forever.
 pub struct FaultInjector<S> {
     inner: S,
     plan: FaultPlan,
-    ops: Vec<AtomicU64>,
+    /// Per-drive map of per-track operation counters (locked per drive
+    /// so concurrent drive workers never contend with each other).
+    ops: Vec<std::sync::Mutex<std::collections::HashMap<u64, u64>>>,
     stats: Arc<FaultStats>,
 }
 
@@ -277,7 +284,12 @@ impl<S: TrackStorage> FaultInjector<S> {
     /// Wrap `inner` (serving `num_disks` drives) with the given plan.
     pub fn new(inner: S, num_disks: usize, plan: FaultPlan) -> Self {
         let stats = plan.observer.clone().unwrap_or_default();
-        Self { inner, plan, ops: (0..num_disks).map(|_| AtomicU64::new(0)).collect(), stats }
+        Self {
+            inner,
+            plan,
+            ops: (0..num_disks).map(|_| std::sync::Mutex::new(Default::default())).collect(),
+            stats,
+        }
     }
 
     /// The injected-fault counters of this injector.
@@ -285,10 +297,17 @@ impl<S: TrackStorage> FaultInjector<S> {
         Arc::clone(&self.stats)
     }
 
-    /// Next per-drive decision hash (advances the drive's op counter).
-    fn next_roll(&self, disk: usize) -> u64 {
-        let n = self.ops[disk].fetch_add(1, Ordering::Relaxed);
-        mix(self.plan.seed ^ mix(disk as u64 + 1) ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D))
+    /// Next decision hash for `(disk, track)` (advances that track's op
+    /// counter).
+    fn next_roll(&self, disk: usize, track: u64) -> u64 {
+        let mut ops = self.ops[disk].lock().unwrap();
+        let slot = ops.entry(track).or_insert(0);
+        let n = *slot;
+        *slot += 1;
+        mix(self.plan.seed
+            ^ mix(disk as u64 + 1)
+            ^ mix(track.wrapping_add(0x5151))
+            ^ n.wrapping_mul(0x2545_F491_4F6C_DD1D))
     }
 
     /// Is `(disk, track)` permanently faulted? Pure function of the seed.
@@ -320,7 +339,7 @@ impl<S: TrackStorage> FaultInjector<S> {
 
 impl<S: TrackStorage> TrackStorage for FaultInjector<S> {
     fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>> {
-        let h = self.next_roll(disk);
+        let h = self.next_roll(disk, track);
         self.maybe_spike(h);
         if self.is_permanent(disk, track) {
             return Err(self.permanent_err(disk, track, "read"));
@@ -339,7 +358,7 @@ impl<S: TrackStorage> TrackStorage for FaultInjector<S> {
     }
 
     fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()> {
-        let h = self.next_roll(disk);
+        let h = self.next_roll(disk, track);
         self.maybe_spike(h);
         if self.is_permanent(disk, track) {
             return Err(self.permanent_err(disk, track, "write"));

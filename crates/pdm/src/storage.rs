@@ -99,6 +99,31 @@ pub trait TrackStorage: Send + Sync {
         Ok(())
     }
 
+    /// Begin an asynchronous scatter read of `addrs`, returning an
+    /// opaque ticket to pass (with the *same* address list) to
+    /// [`TrackStorage::read_scatter_wait`]. Asynchronous backends start
+    /// the transfers immediately and return; the default — used by every
+    /// synchronous backend and by fault/retry wrappers — does nothing
+    /// here and performs the whole read at wait time, so split-phase
+    /// callers see identical bytes, errors, and per-track operation
+    /// order on every backend.
+    fn read_scatter_submit(&self, _addrs: &[TrackAddr]) -> io::Result<u64> {
+        Ok(0)
+    }
+
+    /// Complete a read begun with [`TrackStorage::read_scatter_submit`],
+    /// handing each block to `f(request_index, bytes)` in request order.
+    /// `addrs` must be the list the ticket was submitted with. Each
+    /// ticket must be waited on exactly once.
+    fn read_scatter_wait(
+        &self,
+        _ticket: u64,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> io::Result<()> {
+        self.read_scatter_with(addrs, f)
+    }
+
     /// Hint that these tracks will be read soon. Never counted as I/O.
     fn prefetch(&self, _addrs: &[TrackAddr]) {}
 
@@ -148,6 +173,17 @@ macro_rules! forward_track_storage {
             }
             fn write_scatter(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
                 (**self).write_scatter(writes)
+            }
+            fn read_scatter_submit(&self, addrs: &[TrackAddr]) -> io::Result<u64> {
+                (**self).read_scatter_submit(addrs)
+            }
+            fn read_scatter_wait(
+                &self,
+                ticket: u64,
+                addrs: &[TrackAddr],
+                f: &mut dyn FnMut(usize, &[u8]),
+            ) -> io::Result<()> {
+                (**self).read_scatter_wait(ticket, addrs, f)
             }
             fn prefetch(&self, addrs: &[TrackAddr]) {
                 (**self).prefetch(addrs)
