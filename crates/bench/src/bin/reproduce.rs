@@ -1,22 +1,14 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce [all|fig1|fig2|fig3|fig4|fig5a|fig5a-scaling|fig5b|fig5c|
-//!            fig6|fig7|fig8|audit|ablation|cache|io-trace|faults|perf|
-//!            pipeline|observe] [--out DIR]
+//! reproduce [EXPERIMENT ...|all] [--out DIR]
+//! reproduce --list
 //! ```
 //!
 //! Each experiment prints an aligned table and archives a CSV under
-//! `results/` (or `--out DIR`). `io-trace` additionally archives the
-//! Fig 3 sort's physical I/O event log as `fig3_io_trace.jsonl` and a
-//! per-drive queue-wait/service split as `io_trace_drives.csv`;
-//! `faults` sweeps injected transient-fault rates over the Fig 3 sort
-//! and records retry recovery overhead plus a kill-and-resume check;
-//! `pipeline` sweeps the superstep pipeline depth over all backends
-//! under a simulated device latency and archives `BENCH_pipeline.json`;
-//! `observe` runs the sort on both runners with the full observability
-//! stack attached and archives `observe_report.json` +
-//! `observe_metrics.prom` (see `docs/OBSERVABILITY.md`).
+//! `results/` (or `--out DIR`); several also archive richer artifacts
+//! (JSON/JSONL/prom) there. Run `reproduce --list` for the experiment
+//! inventory with one-line descriptions.
 
 use cgmio_bench::experiments as ex;
 use cgmio_bench::Table;
@@ -25,6 +17,74 @@ use cgmio_bench::Table;
 /// data path's allocator traffic (see `BENCH_sort.json`).
 #[global_allocator]
 static ALLOC: cgmio_bench::alloc::CountingAlloc = cgmio_bench::alloc::CountingAlloc;
+
+/// Experiments take the output directory: most ignore it (the CSV is
+/// archived by this binary), but some write extra artifacts there.
+type Exp = Box<dyn Fn(&std::path::Path) -> Table>;
+
+/// Name, one-line description, runner — the single experiment registry
+/// (drives dispatch, `--list`, and the unknown-experiment error alike).
+fn menu() -> Vec<(&'static str, &'static str, Exp)> {
+    vec![
+        ("fig1", "balanced-routing bin sizes vs the Theorem 1 bounds", Box::new(|_| ex::fig1())),
+        ("fig2", "staggered message-matrix layout vs naive (write ops)", Box::new(|_| ex::fig2())),
+        ("fig3", "sort: EM simulation vs in-memory, D=1 size sweep", Box::new(|_| ex::fig3())),
+        ("fig4", "sort with D=1,2,4 disks (multi-disk speedup)", Box::new(|_| ex::fig4())),
+        ("fig5a", "fundamental ops: sort/permute/transpose I/O counts", Box::new(|_| ex::fig5a())),
+        (
+            "fig5a-scaling",
+            "fundamental ops under real-processor scaling (p sweep)",
+            Box::new(|_| ex::fig5a_scaling()),
+        ),
+        ("fig5b", "geometry algorithms: I/O vs problem size", Box::new(|_| ex::fig5b())),
+        ("fig5c", "graph algorithms: I/O vs problem size", Box::new(|_| ex::fig5c())),
+        ("fig6", "I/O surface over (D, B) for the Fig 3 sort", Box::new(|_| ex::fig6())),
+        ("fig7", "c2 slice: I/O vs B at fixed D", Box::new(|_| ex::fig7())),
+        ("fig8", "block-size sweep at fixed geometry", Box::new(|_| ex::fig8())),
+        ("audit", "measured I/O vs the Theorem 2 prediction", Box::new(|_| ex::audit())),
+        ("ablation", "Lemma 2 message balancing on/off", Box::new(|_| ex::ablation_balance())),
+        ("cache", "prefetch-cache extension hit rates", Box::new(|_| ex::cache())),
+        (
+            "io-trace",
+            "physical I/O event log of the Fig 3 sort (JSONL + per-drive CSV)",
+            Box::new(ex::io_trace),
+        ),
+        (
+            "faults",
+            "transient-fault injection sweep with kill-and-resume check",
+            Box::new(ex::faults),
+        ),
+        ("perf", "data-path baseline: wall/io/alloc vs seed (BENCH_sort.json)", Box::new(ex::perf)),
+        (
+            "pipeline",
+            "superstep pipeline depth sweep, all backends (BENCH_pipeline.json)",
+            Box::new(ex::pipeline),
+        ),
+        (
+            "observe",
+            "sort with the observability stack on (report JSON + prom)",
+            Box::new(cgmio_bench::observe::observe),
+        ),
+        (
+            "service",
+            "multi-tenant job service burst: fairness + latency (BENCH_service.json)",
+            Box::new(ex::service),
+        ),
+    ]
+}
+
+fn print_menu(to_stderr: bool) {
+    let entries = menu();
+    let width = entries.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+    for (name, desc, _) in &entries {
+        let line = format!("  {name:<width$}  {desc}");
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,6 +96,11 @@ fn main() {
             "--out" => {
                 out_dir = std::path::PathBuf::from(it.next().expect("--out needs a directory"));
             }
+            "--list" => {
+                println!("experiments (run `reproduce <name> [...]` or `reproduce all`):");
+                print_menu(false);
+                return;
+            }
             other => which.push(other.to_string()),
         }
     }
@@ -43,45 +108,26 @@ fn main() {
         which.push("all".into());
     }
 
-    // Experiments take the output directory: most ignore it (the CSV is
-    // archived by this binary), but io-trace writes its JSONL there too.
-    type Exp = Box<dyn Fn(&std::path::Path) -> Table>;
-    let menu: Vec<(&str, Exp)> = vec![
-        ("fig1", Box::new(|_| ex::fig1())),
-        ("fig2", Box::new(|_| ex::fig2())),
-        ("fig3", Box::new(|_| ex::fig3())),
-        ("fig4", Box::new(|_| ex::fig4())),
-        ("fig5a", Box::new(|_| ex::fig5a())),
-        ("fig5a-scaling", Box::new(|_| ex::fig5a_scaling())),
-        ("fig5b", Box::new(|_| ex::fig5b())),
-        ("fig5c", Box::new(|_| ex::fig5c())),
-        ("fig6", Box::new(|_| ex::fig6())),
-        ("fig7", Box::new(|_| ex::fig7())),
-        ("fig8", Box::new(|_| ex::fig8())),
-        ("audit", Box::new(|_| ex::audit())),
-        ("ablation", Box::new(|_| ex::ablation_balance())),
-        ("cache", Box::new(|_| ex::cache())),
-        ("io-trace", Box::new(ex::io_trace)),
-        ("faults", Box::new(ex::faults)),
-        ("perf", Box::new(ex::perf)),
-        ("pipeline", Box::new(ex::pipeline)),
-        ("observe", Box::new(cgmio_bench::observe::observe)),
-    ];
-
-    let selected: Vec<&(&str, Exp)> = if which.iter().any(|w| w == "all") {
-        menu.iter().collect()
-    } else {
-        menu.iter().filter(|(name, _)| which.iter().any(|w| w == name)).collect()
-    };
-    if selected.is_empty() {
-        eprintln!("unknown experiment; available:");
-        for (name, _) in &menu {
-            eprintln!("  {name}");
+    let menu = menu();
+    let known: Vec<&str> = menu.iter().map(|(n, _, _)| *n).collect();
+    let unknown: Vec<&String> =
+        which.iter().filter(|w| *w != "all" && !known.contains(&w.as_str())).collect();
+    if !unknown.is_empty() {
+        for w in &unknown {
+            eprintln!("unknown experiment `{w}`");
         }
+        eprintln!("available (see also `reproduce --list`):");
+        print_menu(true);
         std::process::exit(2);
     }
 
-    for (name, f) in selected {
+    let selected: Vec<&(&str, &str, Exp)> = if which.iter().any(|w| w == "all") {
+        menu.iter().collect()
+    } else {
+        menu.iter().filter(|(name, _, _)| which.iter().any(|w| w == name)).collect()
+    };
+
+    for (name, _, f) in selected {
         eprintln!("running {name} ...");
         let t = f(&out_dir);
         println!("{}", t.render());

@@ -1,5 +1,6 @@
 //! One function per paper artefact. See DESIGN.md §4 for the index.
 
+use crate::results::{obj, percentile_us, BenchReport, Value};
 use crate::{
     disk_model, em_permute_report, em_sort_report, em_transpose_report, layout_ablation_ops,
     run_seq_em, sweep_sizes, Table,
@@ -593,13 +594,12 @@ pub fn audit() -> Table {
     let (v, d, bb) = (16usize, 2usize, 2048usize);
     for n in [1usize << 14, 1 << 16] {
         let rep = em_sort_report(n, v, d, bb);
-        let lambda = rep.costs.lambda() as f64;
-        let mu = rep.costs.max_context_bytes as f64;
-        let predicted = lambda * (v as f64) * mu / (d as f64 * bb as f64);
+        // Same predictor the job service's admission controller uses.
+        let predicted = rep.costs.predicted_ops(v, d, bb);
         let measured = rep.breakdown.algorithm_ops() as f64;
         t.row(vec![
             n.to_string(),
-            format!("{lambda}"),
+            format!("{}", rep.costs.lambda()),
             rep.breakdown.ctx_ops.to_string(),
             rep.breakdown.msg_ops.to_string(),
             format!("{predicted:.0}"),
@@ -987,17 +987,15 @@ pub fn perf(out_dir: &std::path::Path) -> Table {
     }
 
     let counted = crate::alloc::counting_installed();
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": 1,\n  \"bench\": \"em_cgm_sort_datapath\",\n");
-    json.push_str(
-        "  \"workload\": \"CgmSort<u64> by_pivots, v=16, B=4096 bytes \
-         (Fig 3: D=1 size sweep; Fig 4: D=2,4)\",\n",
-    );
-    json.push_str("  \"seed_commit\": \"3e6ab79\",\n");
-    json.push_str(&format!("  \"allocator_counted\": {counted},\n"));
-    json.push_str(&format!("  \"smoke\": {smoke},\n  \"points\": [\n"));
+    let mut report = BenchReport::new(
+        "em_cgm_sort_datapath",
+        "CgmSort<u64> by_pivots, v=16, B=4096 bytes (Fig 3: D=1 size sweep; Fig 4: D=2,4)",
+        smoke,
+    )
+    .extra("seed_commit", Value::str("3e6ab79"))
+    .extra("allocator_counted", Value::Bool(counted));
     let mut headline: Option<(usize, f64)> = None;
-    for (i, p) in points.iter().enumerate() {
+    for p in &points {
         let seed = seed_for(p.n, p.d);
         let vs_seed = match seed {
             Some((_, sb)) if sb > 0 && counted => {
@@ -1009,22 +1007,21 @@ pub fn perf(out_dir: &std::path::Path) -> Table {
             }
             _ => "n/a".to_string(),
         };
-        json.push_str(&format!(
-            "    {{\"n\": {}, \"d\": {}, \"wall_ms\": {:.2}, \"io_ops\": {}, \
-             \"disk_bytes\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \
-             \"seed_allocs\": {}, \"seed_alloc_bytes\": {}, \"alloc_bytes_vs_seed_pct\": {}}}{}\n",
-            p.n,
-            p.d,
-            p.wall_ms,
-            p.io_ops,
-            p.disk_bytes,
-            p.allocs,
-            p.alloc_bytes,
-            seed.map_or("null".into(), |(a, _)| a.to_string()),
-            seed.map_or("null".into(), |(_, b)| b.to_string()),
-            if vs_seed == "n/a" { "null".to_string() } else { vs_seed.clone() },
-            if i + 1 < points.len() { "," } else { "" },
-        ));
+        report.point(obj(vec![
+            ("n", Value::num(p.n)),
+            ("d", Value::num(p.d)),
+            ("wall_ms", Value::num(format!("{:.2}", p.wall_ms))),
+            ("io_ops", Value::num(p.io_ops)),
+            ("disk_bytes", Value::num(p.disk_bytes)),
+            ("allocs", Value::num(p.allocs)),
+            ("alloc_bytes", Value::num(p.alloc_bytes)),
+            ("seed_allocs", seed.map_or(Value::Null, |(a, _)| Value::num(a))),
+            ("seed_alloc_bytes", seed.map_or(Value::Null, |(_, b)| Value::num(b))),
+            (
+                "alloc_bytes_vs_seed_pct",
+                if vs_seed == "n/a" { Value::Null } else { Value::num(vs_seed.clone()) },
+            ),
+        ]));
         t.row(vec![
             p.n.to_string(),
             p.d.to_string(),
@@ -1036,20 +1033,14 @@ pub fn perf(out_dir: &std::path::Path) -> Table {
             vs_seed,
         ]);
     }
-    json.push_str("  ],\n");
-    match headline {
-        Some((n, pct)) => json.push_str(&format!(
-            "  \"headline\": {{\"n\": {n}, \"d\": 1, \"alloc_bytes_reduction_pct\": {pct:.1}}}\n"
-        )),
-        None => json.push_str("  \"headline\": null\n"),
+    if let Some((n, pct)) = headline {
+        report.set_headline(obj(vec![
+            ("n", Value::num(n)),
+            ("d", Value::num(1)),
+            ("alloc_bytes_reduction_pct", Value::num(format!("{pct:.1}"))),
+        ]));
     }
-    json.push_str("}\n");
-
-    let path = out_dir.join("BENCH_sort.json");
-    match std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, &json)) {
-        Ok(()) => eprintln!("  saved {}", path.display()),
-        Err(e) => eprintln!("  BENCH_sort.json save failed: {e}"),
-    }
+    report.save(out_dir, "BENCH_sort.json");
     t
 }
 
@@ -1176,45 +1167,35 @@ pub fn pipeline(out_dir: &std::path::Path) -> Table {
         .filter(|p| p.backend == "concurrent" && p.depth >= 2)
         .max_by(|a, b| a.improvement_pct.total_cmp(&b.improvement_pct));
 
-    let mut json = String::new();
-    json.push_str("{\n  \"schema\": 1,\n  \"bench\": \"em_cgm_sort_pipeline\",\n");
-    json.push_str(&format!(
-        "  \"workload\": \"CgmSort<u64> by_pivots, n={n}, v={v}, D={d}, B={bb} bytes; \
-         simulated device latency {spike_us} us per track op (FaultPlan latency spike, \
-         probability 1.0)\",\n",
-    ));
-    json.push_str(&format!("  \"smoke\": {smoke},\n  \"reps\": {reps},\n  \"points\": [\n"));
-    for (i, p) in points.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"backend\": \"{}\", \"depth\": {}, \"wall_ms\": {:.2}, \"io_ops\": {}, \
-             \"stalls\": {}, \"mean_read_queue_wait_us\": {}, \
-             \"improvement_vs_depth0_pct\": {:.1}}}{}\n",
-            p.backend,
-            p.depth,
-            p.wall_ms,
-            p.io_ops,
-            p.stalls.map_or("null".into(), |s| s.to_string()),
-            p.q_wait_us.map_or("null".into(), |q| q.to_string()),
-            p.improvement_pct,
-            if i + 1 < points.len() { "," } else { "" },
-        ));
+    let mut report = BenchReport::new(
+        "em_cgm_sort_pipeline",
+        format!(
+            "CgmSort<u64> by_pivots, n={n}, v={v}, D={d}, B={bb} bytes; \
+             simulated device latency {spike_us} us per track op (FaultPlan latency spike, \
+             probability 1.0)"
+        ),
+        smoke,
+    )
+    .extra("reps", Value::num(reps));
+    for p in &points {
+        report.point(obj(vec![
+            ("backend", Value::str(p.backend)),
+            ("depth", Value::num(p.depth)),
+            ("wall_ms", Value::num(format!("{:.2}", p.wall_ms))),
+            ("io_ops", Value::num(p.io_ops)),
+            ("stalls", p.stalls.map_or(Value::Null, Value::num)),
+            ("mean_read_queue_wait_us", p.q_wait_us.map_or(Value::Null, Value::num)),
+            ("improvement_vs_depth0_pct", Value::num(format!("{:.1}", p.improvement_pct))),
+        ]));
     }
-    json.push_str("  ],\n");
-    match headline {
-        Some(h) => json.push_str(&format!(
-            "  \"headline\": {{\"backend\": \"concurrent\", \"depth\": {}, \
-             \"improvement_pct\": {:.1}}}\n",
-            h.depth, h.improvement_pct
-        )),
-        None => json.push_str("  \"headline\": null\n"),
+    if let Some(h) = headline {
+        report.set_headline(obj(vec![
+            ("backend", Value::str("concurrent")),
+            ("depth", Value::num(h.depth)),
+            ("improvement_pct", Value::num(format!("{:.1}", h.improvement_pct))),
+        ]));
     }
-    json.push_str("}\n");
-
-    let path = out_dir.join("BENCH_pipeline.json");
-    match std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, &json)) {
-        Ok(()) => eprintln!("  saved {}", path.display()),
-        Err(e) => eprintln!("  BENCH_pipeline.json save failed: {e}"),
-    }
+    report.save(out_dir, "BENCH_pipeline.json");
 
     for p in points {
         t.row(vec![
@@ -1227,6 +1208,169 @@ pub fn pipeline(out_dir: &std::path::Path) -> Table {
             format!("{:.1}", p.improvement_pct),
         ]);
     }
+    t
+}
+
+/// `service`: the multi-tenant job service under a seeded open-loop
+/// workload. Hundreds of mixed jobs (sort/permute/transpose, two
+/// problem sizes, all three priorities) from three tenants are
+/// submitted in one burst to a [`cgmio_svc::JobService`] over a shared
+/// concurrent in-memory pool; the deficit round-robin scheduler and
+/// admission budget arbitrate, and every job runs in its own track
+/// window. Writes `BENCH_service.json` (aggregate throughput headline,
+/// per-tenant p50/p99 latency points) into the output directory; the
+/// returned table archives as `service_tenants.csv`. Set
+/// `CGMIO_SERVICE_SMOKE=1` for a small job count (CI service-smoke).
+pub fn service(out_dir: &std::path::Path) -> Table {
+    use cgmio_svc::{JobService, JobSpec, Priority, ServiceConfig, WorkloadKind};
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    let smoke = std::env::var_os("CGMIO_SERVICE_SMOKE").is_some();
+    let (jobs, n_small, n_large) =
+        if smoke { (24usize, 1usize << 9, 1usize << 10) } else { (240, 1 << 11, 1 << 12) };
+    let tenants = ["acme", "globex", "initech"];
+    let workloads = [WorkloadKind::Sort, WorkloadKind::Permute, WorkloadKind::Transpose];
+    let priorities = [Priority::Batch, Priority::Normal, Priority::Interactive];
+    let (d, bb, v, workers, budget_ops) = (4usize, 1024usize, 8usize, 3usize, 4096.0f64);
+
+    let svc = JobService::new(ServiceConfig {
+        num_disks: d,
+        block_bytes: bb,
+        workers,
+        budget_ops,
+        quantum_ops: 64.0,
+        ..ServiceConfig::default()
+    })
+    .expect("in-memory service needs no I/O to start");
+
+    let start = std::time::Instant::now();
+    let mut submitted = 0usize;
+    let mut rejected = 0usize;
+    let mut spec_of: std::collections::BTreeMap<cgmio_svc::JobId, (&str, usize, u64)> =
+        std::collections::BTreeMap::new();
+    for i in 0..jobs {
+        let r = splitmix64(0xC61A + i as u64);
+        let spec = JobSpec {
+            tenant: tenants[(r % 3) as usize].into(),
+            workload: workloads[((r >> 8) % 3) as usize],
+            n: if (r >> 16).is_multiple_of(2) { n_small } else { n_large },
+            v,
+            block_bytes: bb,
+            priority: priorities[((r >> 24) % 3) as usize],
+            deadline_hint_ms: ((r >> 32).is_multiple_of(4)).then_some(2_000),
+            // A small seed pool, so some jobs repeat a spec exactly —
+            // their finals hashes must agree (cross-job isolation).
+            seed: (r >> 40) % 4,
+        };
+        let key = (spec.workload.name(), spec.n, spec.seed);
+        match svc.submit(spec) {
+            Ok(id) => {
+                submitted += 1;
+                spec_of.insert(id, key);
+            }
+            Err(e) => {
+                rejected += 1;
+                eprintln!("  admission reject: {e}");
+            }
+        }
+    }
+    let records = svc.drain();
+    let wall = start.elapsed();
+    assert_eq!(records.len(), submitted, "every admitted job must finish");
+    assert!(records.iter().all(|r| r.ok), "service jobs must not fail");
+
+    // Identical specs (same workload/n/seed) must have identical finals
+    // regardless of tenant, priority, scheduling order, or which pool
+    // window each landed in — the burst reuses a 4-seed pool precisely
+    // so these collisions happen often.
+    let mut by_spec: std::collections::BTreeMap<(&str, usize, u64), u64> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        let key = spec_of[&r.id];
+        match by_spec.get(&key) {
+            Some(&h) => assert_eq!(h, r.finals_hash, "cross-job interference on {key:?}"),
+            None => {
+                by_spec.insert(key, r.finals_hash);
+            }
+        }
+    }
+
+    let mut t = Table::new(
+        "service_tenants",
+        &[
+            "tenant",
+            "jobs",
+            "p50_queue_wait_us",
+            "p99_queue_wait_us",
+            "p50_latency_us",
+            "p99_latency_us",
+            "mean_measured_ops",
+        ],
+    );
+    let mut report = BenchReport::new(
+        "em_cgm_job_service",
+        format!(
+            "{jobs} mixed jobs (sort/permute/transpose, n∈{{{n_small},{n_large}}}, v={v}, \
+             B={bb} bytes) from {} tenants over one shared {d}-disk concurrent pool; \
+             {workers} workers, admission budget {budget_ops} predicted ops, DRR quantum 64",
+            tenants.len()
+        ),
+        smoke,
+    )
+    .extra("jobs_submitted", Value::num(submitted))
+    .extra("jobs_rejected", Value::num(rejected))
+    .extra("workers", Value::num(workers))
+    .extra("budget_ops", Value::num(budget_ops));
+
+    let mut max_p99 = 0u64;
+    for tenant in tenants {
+        let recs: Vec<_> = records.iter().filter(|r| r.tenant == tenant).collect();
+        let lat: Vec<u64> = recs.iter().map(|r| r.latency_us).collect();
+        let wait: Vec<u64> = recs.iter().map(|r| r.queue_wait_us).collect();
+        let mean_ops = if recs.is_empty() {
+            0
+        } else {
+            recs.iter().map(|r| r.measured_ops).sum::<u64>() / recs.len() as u64
+        };
+        let (p50w, p99w) = (percentile_us(&wait, 50.0), percentile_us(&wait, 99.0));
+        let (p50l, p99l) = (percentile_us(&lat, 50.0), percentile_us(&lat, 99.0));
+        max_p99 = max_p99.max(p99l);
+        report.point(obj(vec![
+            ("tenant", Value::str(tenant)),
+            ("jobs", Value::num(recs.len())),
+            ("p50_queue_wait_us", Value::num(p50w)),
+            ("p99_queue_wait_us", Value::num(p99w)),
+            ("p50_latency_us", Value::num(p50l)),
+            ("p99_latency_us", Value::num(p99l)),
+            ("mean_measured_ops", Value::num(mean_ops)),
+        ]));
+        t.row(vec![
+            tenant.to_string(),
+            recs.len().to_string(),
+            p50w.to_string(),
+            p99w.to_string(),
+            p50l.to_string(),
+            p99l.to_string(),
+            mean_ops.to_string(),
+        ]);
+    }
+
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let throughput = records.len() as f64 / wall.as_secs_f64().max(1e-9);
+    report.set_headline(obj(vec![
+        ("jobs_completed", Value::num(records.len())),
+        ("tenants", Value::num(tenants.len())),
+        ("wall_ms", Value::num(format!("{wall_ms:.1}"))),
+        ("throughput_jobs_per_s", Value::num(format!("{throughput:.1}"))),
+        ("max_tenant_p99_latency_us", Value::num(max_p99)),
+    ]));
+    report.save(out_dir, "BENCH_service.json");
     t
 }
 

@@ -18,6 +18,7 @@ use cgmio_pdm::{DiskGeometry, DiskTimingModel, IoRequest, MessageMatrixLayout};
 pub mod alloc;
 pub mod experiments;
 pub mod observe;
+pub mod results;
 
 /// A printable/archivable result table.
 #[derive(Debug, Clone)]

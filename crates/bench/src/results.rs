@@ -1,0 +1,188 @@
+//! Shared writers for the committed `results/` artifacts.
+//!
+//! Every perf-trajectory experiment emits the same envelope —
+//! `{schema, bench, workload, …, smoke, points, headline}` — which CI's
+//! results-staleness job checks structurally. This module is the one
+//! place that envelope is spelled, so experiments can't drift apart:
+//! build a [`BenchReport`], push point objects, set the headline, and
+//! [`BenchReport::save`] it. JSON is rendered through
+//! [`cgmio_obs::json::Value`], whose `Num` holds raw source text —
+//! pre-format floats (`format!("{x:.2}")`) to control precision.
+
+use std::path::Path;
+
+pub use cgmio_obs::json::Value;
+
+/// One `BENCH_*.json` document under construction.
+#[derive(Debug)]
+pub struct BenchReport {
+    bench: &'static str,
+    workload: String,
+    smoke: bool,
+    extra: Vec<(String, Value)>,
+    points: Vec<Value>,
+    headline: Value,
+}
+
+impl BenchReport {
+    /// Start a report for benchmark `bench` (the stable machine name)
+    /// describing `workload` in one human-readable line.
+    pub fn new(bench: &'static str, workload: impl Into<String>, smoke: bool) -> Self {
+        Self {
+            bench,
+            workload: workload.into(),
+            smoke,
+            extra: Vec::new(),
+            points: Vec::new(),
+            headline: Value::Null,
+        }
+    }
+
+    /// Add a top-level field between `workload` and `smoke` (e.g.
+    /// `seed_commit`, `reps`, `allocator_counted`).
+    pub fn extra(mut self, key: &str, value: Value) -> Self {
+        self.extra.push((key.to_string(), value));
+        self
+    }
+
+    /// Append one measurement point (an object).
+    pub fn point(&mut self, point: Value) {
+        self.points.push(point);
+    }
+
+    /// Set the headline object (defaults to `null` when a run can't
+    /// produce one, e.g. smoke mode skipping the headline size).
+    pub fn set_headline(&mut self, headline: Value) {
+        self.headline = headline;
+    }
+
+    /// The assembled document.
+    pub fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("schema".to_string(), Value::num(1)),
+            ("bench".to_string(), Value::str(self.bench)),
+            ("workload".to_string(), Value::str(self.workload.clone())),
+        ];
+        fields.extend(self.extra.iter().cloned());
+        fields.push(("smoke".to_string(), Value::Bool(self.smoke)));
+        fields.push(("points".to_string(), Value::Arr(self.points.clone())));
+        fields.push(("headline".to_string(), self.headline.clone()));
+        Value::Obj(fields)
+    }
+
+    /// Write `<out_dir>/<file>`, creating `out_dir` if needed. Saving
+    /// is best-effort like every `results/` artifact: failures are
+    /// reported on stderr, never panicked on (the Table still renders).
+    pub fn save(&self, out_dir: &Path, file: &str) {
+        let path = out_dir.join(file);
+        let text = pretty_top(&self.to_value());
+        match std::fs::create_dir_all(out_dir).and_then(|()| std::fs::write(&path, &text)) {
+            Ok(()) => eprintln!("  saved {}", path.display()),
+            Err(e) => eprintln!("  {file} save failed: {e}"),
+        }
+    }
+}
+
+/// Render the committed-diff style the `results/` files use: one
+/// top-level field per line, one point per line, leaf values compact.
+fn pretty_top(v: &Value) -> String {
+    let Value::Obj(fields) = v else {
+        return v.render() + "\n";
+    };
+    let mut out = String::from("{\n");
+    for (i, (k, val)) in fields.iter().enumerate() {
+        out.push_str("  \"");
+        out.push_str(&cgmio_obs::json_escape(k));
+        out.push_str("\": ");
+        match val {
+            Value::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (j, item) in items.iter().enumerate() {
+                    out.push_str("    ");
+                    out.push_str(&item.render());
+                    if j + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str("  ]");
+            }
+            other => out.push_str(&other.render()),
+        }
+        if i + 1 < fields.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// An object value from key/value pairs, in order.
+pub fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// The `p`-th percentile (0–100, nearest-rank) of an unsorted sample.
+/// Returns 0 for an empty sample.
+pub fn percentile_us(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_has_the_stable_shape() {
+        let mut r = BenchReport::new("demo_bench", "w", true).extra("reps", Value::num(5));
+        r.point(obj(vec![("n", Value::num(4)), ("wall_ms", Value::num("1.50"))]));
+        r.set_headline(obj(vec![("n", Value::num(4))]));
+        let v = r.to_value();
+        let text = v.render();
+        let back = cgmio_obs::json::parse(&text).unwrap();
+        assert_eq!(back.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(back.get("bench").unwrap().as_str(), Some("demo_bench"));
+        assert_eq!(back.get("reps").unwrap().as_u64(), Some(5));
+        assert!(matches!(back.get("smoke"), Some(Value::Bool(true))));
+        let pts = back.get("points").unwrap().as_array().unwrap();
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].get("wall_ms").unwrap().as_f64(), Some(1.5));
+        assert!(back.get("headline").unwrap().get("n").is_some());
+        // Key order is part of the committed-diff contract.
+        let keys: Vec<&str> = match &back {
+            Value::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+            _ => panic!("not an object"),
+        };
+        assert_eq!(keys, ["schema", "bench", "workload", "reps", "smoke", "points", "headline"]);
+    }
+
+    #[test]
+    fn missing_headline_renders_null_and_pretty_round_trips() {
+        let mut r = BenchReport::new("b", "w", false);
+        r.point(obj(vec![("x", Value::num(1))]));
+        let text = pretty_top(&r.to_value());
+        assert!(text.contains("  \"headline\": null"), "{text}");
+        assert!(text.lines().count() > 5, "one field per line: {text}");
+        let back = cgmio_obs::json::parse(&text).unwrap();
+        assert_eq!(back.get("points").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile_us(&[], 99.0), 0);
+        assert_eq!(percentile_us(&[7], 50.0), 7);
+        let s: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&s, 50.0), 50);
+        assert_eq!(percentile_us(&s, 99.0), 99);
+        assert_eq!(percentile_us(&s, 100.0), 100);
+        // Unsorted input is fine.
+        assert_eq!(percentile_us(&[30, 10, 20], 50.0), 20);
+    }
+}

@@ -7,7 +7,7 @@ use cgmio_io::{ConcurrentStorage, IoEngineOpts, RetryPolicy, RetryStorage, Trace
 use cgmio_obs::{Counter, Obs};
 use cgmio_pdm::{
     DiskArray, DiskGeometry, FaultInjector, FaultPlan, FaultStats, FileStorage, MemStorage,
-    TrackStorage,
+    TrackRange, TrackStorage,
 };
 
 use crate::measure::Requirements;
@@ -19,7 +19,7 @@ use crate::EmError;
 /// identical contents, identical `IoStats`, identical legality errors
 /// (property-tested in `cgmio-io`) — so the choice only affects
 /// wall-clock behaviour and persistence.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub enum BackendSpec {
     /// In-memory tracks (the default; fastest, nothing persisted).
     #[default]
@@ -40,6 +40,47 @@ pub enum BackendSpec {
         /// tracing). `opts.proc` is overwritten with the worker index.
         opts: IoEngineOpts,
     },
+    /// A caller-owned storage — typically one `Arc`'d
+    /// [`cgmio_io::ConcurrentStorage`] multiplexed between many runs by
+    /// the job service — of which this run sees only a namespaced
+    /// per-drive track window (see [`cgmio_pdm::TrackRange`]).
+    ///
+    /// Real processor `t` is wrapped in the window
+    /// `[base_track + t·worker_span_tracks, base_track +
+    /// (t+1)·worker_span_tracks)`, so a run with `p` workers reserves
+    /// `p · worker_span_tracks` tracks per drive in total; size the
+    /// span with [`EmConfig::tracks_per_worker`]. The storage must have
+    /// the same [`DiskGeometry`] as this config, and windows handed to
+    /// concurrently executing runs must be disjoint and previously
+    /// unwritten — then bytes, `IoStats`, and errors are bit-identical
+    /// to a solo run on a fresh backend (property-tested in
+    /// `tests/service_isolation.rs`).
+    Shared {
+        /// The shared backend (the engine outlives every run using it).
+        storage: Arc<dyn TrackStorage>,
+        /// First track (per drive) of this run's reservation.
+        base_track: u64,
+        /// Tracks reserved per real processor, per drive.
+        worker_span_tracks: u64,
+    },
+}
+
+impl std::fmt::Debug for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendSpec::Mem => f.debug_struct("Mem").finish(),
+            BackendSpec::SyncFile { dir } => f.debug_struct("SyncFile").field("dir", dir).finish(),
+            BackendSpec::Concurrent { dir, opts } => {
+                f.debug_struct("Concurrent").field("dir", dir).field("opts", opts).finish()
+            }
+            // `storage` is a type-erased trait object with no Debug bound.
+            BackendSpec::Shared { base_track, worker_span_tracks, .. } => f
+                .debug_struct("Shared")
+                .field("base_track", base_track)
+                .field("worker_span_tracks", worker_span_tracks)
+                .finish_non_exhaustive(),
+        }
+    }
 }
 
 /// One real processor's disk array plus the observability handles that
@@ -318,7 +359,45 @@ impl EmConfig {
                     faults,
                 })
             }
+            BackendSpec::Shared { storage, base_track, worker_span_tracks } => {
+                // Each real processor gets its own disjoint window of
+                // the reservation; the fault/retry wrappers compose
+                // above the window exactly as they do above Mem.
+                let base = base_track + *worker_span_tracks * worker_idx as u64;
+                let window = TrackRange::new(Arc::clone(storage), base, *worker_span_tracks);
+                let storage = wrap_sync(Box::new(window), retries.clone());
+                Ok(DiskHandles {
+                    disks: DiskArray::with_storage(geom, storage),
+                    trace: None,
+                    retries,
+                    faults,
+                })
+            }
         }
+    }
+
+    /// Per-drive tracks one real processor of this machine needs for a
+    /// program whose messages are items of `msg_item_bytes` bytes — the
+    /// context store plus the two ping-pong message matrices, exactly as
+    /// the runners lay them out. This is the `worker_span_tracks` to
+    /// reserve per worker for [`BackendSpec::Shared`] (a run with `p`
+    /// workers needs `p` consecutive spans).
+    pub fn tracks_per_worker(&self, msg_item_bytes: usize) -> u64 {
+        // Workers split the v virtual processors into contiguous ranges
+        // of at most ceil(v/p); span for the largest range bounds all.
+        let n_local = self.v.div_ceil(self.p) as u64;
+        let bb = self.block_bytes as u64;
+        let d = self.num_disks as u64;
+        // ContextStore: n_local slots of ceil(max_ctx_bytes/B) blocks,
+        // consecutive format, one slack track.
+        let ctx_slot_blocks = (self.max_ctx_bytes as u64).div_ceil(bb).max(1);
+        let ctx_tracks = (n_local * ctx_slot_blocks).div_ceil(d) + 1;
+        // MessageMatrix: one band of v messages per local destination,
+        // staggered format, one slack track — twice (ping-pong).
+        let blocks_per_msg = ((self.msg_slot_items * msg_item_bytes) as u64).div_ceil(bb).max(1);
+        let tracks_per_band = (self.v as u64 * blocks_per_msg + d - 1).div_ceil(d);
+        let mat_tracks = tracks_per_band * n_local + 1;
+        ctx_tracks + 2 * mat_tracks
     }
 
     /// Disk geometry of each real processor's array.
@@ -459,6 +538,55 @@ mod tests {
         // Lemma 2: v^2*B + v^2(v-1)/2 = 64*8 + 64*3.5 = 512 + 224 = 736
         assert!(c.check_params(736, 8).lemma2);
         assert!(!c.check_params(735, 8).lemma2);
+    }
+
+    #[test]
+    fn tracks_per_worker_matches_runner_layout() {
+        use crate::context::ContextStore;
+        use crate::msgmatrix::MessageMatrix;
+        for (v, p) in [(8usize, 1usize), (8, 2), (7, 3), (16, 4)] {
+            let mut c = base();
+            c.v = v;
+            c.p = p;
+            let n_local = v.div_ceil(p);
+            let ctx = ContextStore::new(c.num_disks, c.block_bytes, 0, n_local, c.max_ctx_bytes);
+            let mat = MessageMatrix::<u64>::new(
+                c.num_disks,
+                c.block_bytes,
+                0,
+                v,
+                0,
+                n_local,
+                c.msg_slot_items,
+            );
+            assert_eq!(
+                c.tracks_per_worker(8),
+                ctx.total_tracks() + 2 * mat.total_tracks(),
+                "span formula drifted from the runners' layout (v={v} p={p})"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_backend_windows_are_disjoint_per_worker() {
+        let pool: Arc<dyn TrackStorage> = Arc::new(MemStorage::new(DiskGeometry::new(2, 64)));
+        let mut c = base();
+        c.backend = BackendSpec::Shared {
+            storage: Arc::clone(&pool),
+            base_track: 5,
+            worker_span_tracks: 10,
+        };
+        let mut h0 = c.build_disks(0).unwrap();
+        let mut h1 = c.build_disks(1).unwrap();
+        let addr = cgmio_pdm::TrackAddr::new(0, 0);
+        h0.disks.write_fifo(&[cgmio_pdm::IoRequest { addr, data: vec![1u8] }]).unwrap();
+        h1.disks.write_fifo(&[cgmio_pdm::IoRequest { addr, data: vec![2u8] }]).unwrap();
+        // Worker windows land at base + t*span on the shared pool.
+        assert_eq!(pool.read_track(0, 5).unwrap()[0], 1);
+        assert_eq!(pool.read_track(0, 15).unwrap()[0], 2);
+        // Debug impl elides the trait object but shows the window.
+        let dbg = format!("{:?}", c.backend);
+        assert!(dbg.contains("Shared") && dbg.contains("base_track: 5"), "{dbg}");
     }
 
     #[test]

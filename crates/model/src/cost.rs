@@ -66,6 +66,39 @@ impl CommCosts {
     }
 }
 
+/// Theorem 2's predicted parallel I/O operations for a full EM-CGM run:
+/// `λ · v·μ / (D·B)` — each of the `λ` compound supersteps swaps `v`
+/// contexts of up to `μ` bytes through `D` disks in blocks of `B`
+/// bytes (message traffic is bounded by the same term under the
+/// theorem's premises, so this is the per-constant-factor shape of the
+/// whole run's demand).
+///
+/// This is the primitive the job service's admission controller prices
+/// jobs with: `λ` and `μ` come from a dry-run measurement
+/// (`cgmio_core::measure_requirements`) or from a prior run's
+/// [`CommCosts`], and the result is compared against the pool's
+/// in-flight I/O budget *before* any disk is touched. The `audit`
+/// experiment checks measured ops stay within a small constant of this
+/// value.
+pub fn theorem2_predicted_ops(
+    lambda: usize,
+    v: usize,
+    max_ctx_bytes: usize,
+    num_disks: usize,
+    block_bytes: usize,
+) -> f64 {
+    assert!(num_disks > 0 && block_bytes > 0, "degenerate disk geometry");
+    lambda as f64 * v as f64 * max_ctx_bytes as f64 / (num_disks as f64 * block_bytes as f64)
+}
+
+impl CommCosts {
+    /// [`theorem2_predicted_ops`] evaluated with this run's measured
+    /// `λ` and `μ` on a `(D, B)` disk geometry.
+    pub fn predicted_ops(&self, v: usize, num_disks: usize, block_bytes: usize) -> f64 {
+        theorem2_predicted_ops(self.lambda(), v, self.max_context_bytes, num_disks, block_bytes)
+    }
+}
+
 /// Compute a [`RoundCost`] from the full `v × v` message matrix of one
 /// round (`matrix[src][dst]` = message length in items).
 pub fn round_cost_from_matrix(matrix: &[Vec<usize>]) -> RoundCost {
@@ -115,6 +148,18 @@ mod tests {
         let m = vec![vec![0, 0], vec![0, 0]];
         let c = round_cost_from_matrix(&m);
         assert_eq!(c, RoundCost::default());
+    }
+
+    #[test]
+    fn theorem2_prediction_shape() {
+        // λ=3, v=16, μ=2048, D=2, B=2048: 3·16·2048/(2·2048) = 24.
+        assert_eq!(theorem2_predicted_ops(3, 16, 2048, 2, 2048), 24.0);
+        // Doubling the disks halves the predicted ops.
+        assert_eq!(theorem2_predicted_ops(3, 16, 2048, 4, 2048), 12.0);
+        // Zero rounds predict zero I/O.
+        assert_eq!(theorem2_predicted_ops(0, 16, 2048, 2, 2048), 0.0);
+        let costs = CommCosts { rounds: vec![RoundCost::default(); 3], max_context_bytes: 2048 };
+        assert_eq!(costs.predicted_ops(16, 2, 2048), 24.0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod program;
 pub mod state;
 pub mod threaded;
 
-pub use cost::{CommCosts, RoundCost};
+pub use cost::{theorem2_predicted_ops, CommCosts, RoundCost};
 pub use direct::DirectRunner;
 pub use program::{CgmProgram, Incoming, Outbox, RoundCtx, Status};
 pub use state::{Decoder, Encoder, ProcState};

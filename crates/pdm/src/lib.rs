@@ -62,7 +62,7 @@ pub use layout::{consecutive_addr, staggered_addr, Layout, MessageMatrixLayout};
 pub use paged::PagedStore;
 pub use pool::{BlockPool, PoolStats, PooledBlock};
 pub use stats::IoStats;
-pub use storage::{MemStorage, TrackStorage};
+pub use storage::{MemStorage, TrackRange, TrackStorage};
 pub use timing::DiskTimingModel;
 
 /// Geometry of a disk array: number of drives and block size.

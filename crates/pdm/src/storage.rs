@@ -9,6 +9,11 @@
 //! * `cgmio_io::ConcurrentStorage` — per-drive worker threads with
 //!   prefetch and write-behind, layered on `FileStorage`.
 //!
+//! [`TrackRange`] is not a backend but a *namespacing wrapper*: it
+//! exposes a bounded per-drive track window of any backend as a storage
+//! of its own, which is how the job service multiplexes many runs over
+//! one shared engine.
+//!
 //! All methods take `&self` so a storage can be driven from per-drive
 //! worker threads; backends provide their own interior mutability.
 
@@ -206,6 +211,155 @@ use std::sync::Arc;
 forward_track_storage!(Box);
 forward_track_storage!(Arc);
 
+/// A contiguous per-drive track window of another storage, exposed as a
+/// storage of its own: track `t` of the range is track `base_track + t`
+/// of the inner backend, and any access at or past `span_tracks` is
+/// rejected with [`io::ErrorKind::InvalidInput`] before it reaches the
+/// backend.
+///
+/// This is the namespacing primitive the multi-tenant job service
+/// (`cgmio-svc`) is built on: many jobs share one `Arc`'d concurrent
+/// engine, each seeing only its own disjoint window. Because a
+/// never-written track reads as zeros in every backend, a fresh window
+/// is indistinguishable from a fresh disk array — so a job's bytes,
+/// I/O counts, and errors are bit-identical to a solo run (see
+/// `tests/service_isolation.rs`).
+///
+/// All forwarding preserves the inner backend's concurrency: batches,
+/// scatter lists, split-phase tickets, and prefetch hints are remapped
+/// address-by-address, never serialised.
+///
+/// ```
+/// use cgmio_pdm::{DiskGeometry, MemStorage, TrackRange, TrackStorage};
+/// use std::sync::Arc;
+/// let pool = Arc::new(MemStorage::new(DiskGeometry::new(2, 4)));
+/// let a = TrackRange::new(Arc::clone(&pool), 0, 10);
+/// let b = TrackRange::new(Arc::clone(&pool), 10, 10);
+/// a.write_track(0, 3, &[7]).unwrap();
+/// assert_eq!(b.read_track(0, 3).unwrap(), vec![0; 4]); // b's window is untouched
+/// assert_eq!(pool.read_track(0, 3).unwrap(), vec![7, 0, 0, 0]);
+/// assert!(b.read_track(0, 10).is_err()); // outside the span
+/// ```
+pub struct TrackRange<S> {
+    inner: S,
+    base_track: u64,
+    span_tracks: u64,
+}
+
+impl<S: TrackStorage> TrackRange<S> {
+    /// View tracks `[base_track, base_track + span_tracks)` of every
+    /// drive of `inner` as a storage whose tracks start at 0.
+    pub fn new(inner: S, base_track: u64, span_tracks: u64) -> Self {
+        assert!(span_tracks > 0, "a track range must hold at least one track");
+        Self { inner, base_track, span_tracks }
+    }
+
+    /// First inner track of the window.
+    pub fn base_track(&self) -> u64 {
+        self.base_track
+    }
+
+    /// Window size in tracks per drive.
+    pub fn span_tracks(&self) -> u64 {
+        self.span_tracks
+    }
+
+    fn map(&self, track: u64) -> io::Result<u64> {
+        if track >= self.span_tracks {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "track {track} outside namespaced range of {} tracks (base {})",
+                    self.span_tracks, self.base_track
+                ),
+            ));
+        }
+        Ok(self.base_track + track)
+    }
+
+    fn map_addrs(&self, addrs: &[TrackAddr]) -> io::Result<Vec<TrackAddr>> {
+        addrs.iter().map(|a| Ok(TrackAddr::new(a.disk, self.map(a.track)?))).collect()
+    }
+}
+
+impl<S: TrackStorage> TrackStorage for TrackRange<S> {
+    fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>> {
+        self.inner.read_track(disk, self.map(track)?)
+    }
+
+    fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()> {
+        self.inner.write_track(disk, self.map(track)?, data)
+    }
+
+    fn read_batch(&self, addrs: &[TrackAddr]) -> io::Result<Vec<Vec<u8>>> {
+        self.inner.read_batch(&self.map_addrs(addrs)?)
+    }
+
+    fn write_batch(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+        let mapped: Vec<(TrackAddr, &[u8])> = writes
+            .iter()
+            .map(|(a, d)| Ok((TrackAddr::new(a.disk, self.map(a.track)?), *d)))
+            .collect::<io::Result<_>>()?;
+        self.inner.write_batch(&mapped)
+    }
+
+    fn read_scatter_with(
+        &self,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> io::Result<()> {
+        self.inner.read_scatter_with(&self.map_addrs(addrs)?, f)
+    }
+
+    fn write_scatter(&self, writes: &[(TrackAddr, &[u8])]) -> io::Result<()> {
+        let mapped: Vec<(TrackAddr, &[u8])> = writes
+            .iter()
+            .map(|(a, d)| Ok((TrackAddr::new(a.disk, self.map(a.track)?), *d)))
+            .collect::<io::Result<_>>()?;
+        self.inner.write_scatter(&mapped)
+    }
+
+    fn read_scatter_submit(&self, addrs: &[TrackAddr]) -> io::Result<u64> {
+        self.inner.read_scatter_submit(&self.map_addrs(addrs)?)
+    }
+
+    fn read_scatter_wait(
+        &self,
+        ticket: u64,
+        addrs: &[TrackAddr],
+        f: &mut dyn FnMut(usize, &[u8]),
+    ) -> io::Result<()> {
+        // Submit remapped the same list, so the ticket pairs with the
+        // remapped addresses on the inner backend.
+        self.inner.read_scatter_wait(ticket, &self.map_addrs(addrs)?, f)
+    }
+
+    fn prefetch(&self, addrs: &[TrackAddr]) {
+        // Hints must stay hints: silently drop out-of-range addresses
+        // rather than error from a method that cannot fail.
+        if let Ok(mapped) = self.map_addrs(addrs) {
+            self.inner.prefetch(&mapped);
+        }
+    }
+
+    fn flush(&self, sync: bool) -> io::Result<()> {
+        self.inner.flush(sync)
+    }
+
+    fn sync_disk(&self, disk: usize) -> io::Result<()> {
+        self.inner.sync_disk(disk)
+    }
+
+    fn tracks_used(&self) -> Vec<u64> {
+        // Report usage window-relative, clamped to the span.
+        self.inner
+            .tracks_used()
+            .into_iter()
+            .map(|u| u.saturating_sub(self.base_track).min(self.span_tracks))
+            .collect()
+    }
+}
+
 /// One drive's tracks, allocated on demand (`None` reads as zeros).
 type DriveTracks = Vec<Option<Box<[u8]>>>;
 
@@ -299,6 +453,54 @@ mod tests {
             .read_batch(&[TrackAddr::new(0, 0), TrackAddr::new(1, 0), TrackAddr::new(2, 0)])
             .unwrap();
         assert_eq!(r, vec![vec![0, 0], vec![0, 0], vec![2, 0]]);
+    }
+
+    #[test]
+    fn track_range_offsets_and_bounds() {
+        let pool = Arc::new(MemStorage::new(DiskGeometry::new(2, 4)));
+        let a = TrackRange::new(Arc::clone(&pool), 0, 4);
+        let b = TrackRange::new(Arc::clone(&pool), 4, 4);
+        a.write_track(0, 0, &[1]).unwrap();
+        b.write_track(0, 0, &[2]).unwrap();
+        // Same (disk, track) in each namespace, different inner tracks.
+        assert_eq!(a.read_track(0, 0).unwrap(), vec![1, 0, 0, 0]);
+        assert_eq!(b.read_track(0, 0).unwrap(), vec![2, 0, 0, 0]);
+        assert_eq!(pool.read_track(0, 4).unwrap(), vec![2, 0, 0, 0]);
+        // Bounds: track 4 of a 4-track window is out of range everywhere.
+        assert_eq!(a.read_track(1, 4).unwrap_err().kind(), io::ErrorKind::InvalidInput);
+        assert!(a.write_track(1, 4, &[9]).is_err());
+        assert!(a.read_batch(&[TrackAddr::new(0, 9)]).is_err());
+        // tracks_used is window-relative and clamped: the pool's disk-0
+        // high-water mark (5, set by b's write) clamps to a's full
+        // window and lands at offset 1 inside b's.
+        assert_eq!(a.tracks_used(), vec![4, 0]);
+        assert_eq!(b.tracks_used(), vec![1, 0]);
+    }
+
+    #[test]
+    fn track_range_scatter_and_batch_remap() {
+        let pool = Arc::new(MemStorage::new(DiskGeometry::new(2, 2)));
+        let r = TrackRange::new(Arc::clone(&pool), 3, 5);
+        let writes: Vec<(TrackAddr, &[u8])> =
+            vec![(TrackAddr::new(0, 0), &[1u8][..]), (TrackAddr::new(0, 4), &[2u8][..])];
+        r.write_scatter(&writes).unwrap();
+        assert_eq!(pool.read_track(0, 3).unwrap(), vec![1, 0]);
+        assert_eq!(pool.read_track(0, 7).unwrap(), vec![2, 0]);
+        let addrs = [TrackAddr::new(0, 0), TrackAddr::new(0, 4), TrackAddr::new(1, 1)];
+        let mut got = Vec::new();
+        r.read_scatter_with(&addrs, &mut |i, b| {
+            assert_eq!(i, got.len());
+            got.push(b.to_vec());
+        })
+        .unwrap();
+        assert_eq!(got, vec![vec![1, 0], vec![2, 0], vec![0, 0]]);
+        // Split-phase defaults go through the same remapping.
+        let ticket = r.read_scatter_submit(&addrs).unwrap();
+        let mut n = 0;
+        r.read_scatter_wait(ticket, &addrs, &mut |_, _| n += 1).unwrap();
+        assert_eq!(n, 3);
+        // Out-of-range prefetch hints are dropped, not errors.
+        r.prefetch(&[TrackAddr::new(0, 99)]);
     }
 
     #[test]

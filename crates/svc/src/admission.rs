@@ -1,0 +1,181 @@
+//! Cost-model-driven admission control.
+//!
+//! The controller holds a configurable budget of *predicted in-flight
+//! parallel I/O operations*. Every job is priced before any disk is
+//! touched — Theorem 2's `λ·v·μ/(D·B)` on the dry-run measurement
+//! (see [`crate::workload::prepare`]) — and three things can happen:
+//!
+//! * the price exceeds the whole budget → **rejected** outright (it
+//!   could never dispatch),
+//! * the price fits the budget but not the current headroom → the job
+//!   stays **queued**; the scheduler retries as running jobs release
+//!   their reservations,
+//! * the price fits the headroom → **admitted**: the reservation is
+//!   taken and the job may dispatch.
+//!
+//! Reservations are released when the job finishes (success or
+//! failure), making the budget a sliding window over the pool's
+//! predicted demand rather than a hard partition.
+
+use std::sync::Mutex;
+
+/// Why a job was refused at submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// Predicted demand exceeds the *entire* budget; resubmitting
+    /// later cannot help.
+    ExceedsBudget {
+        /// Theorem 2 predicted parallel I/O ops for the job.
+        predicted_ops: f64,
+        /// The pool's total budget.
+        budget_ops: f64,
+    },
+    /// The job's block size differs from the shared pool's geometry.
+    GeometryMismatch {
+        /// Block size the job asked for.
+        job_block_bytes: usize,
+        /// Block size the pool is formatted with.
+        pool_block_bytes: usize,
+    },
+    /// The spec failed validation or its dry run failed.
+    BadSpec(
+        /// Human-readable cause.
+        String,
+    ),
+}
+
+impl RejectReason {
+    /// Stable label for the `cgmio_svc_admission_rejects_total{reason}`
+    /// counter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RejectReason::ExceedsBudget { .. } => "exceeds_budget",
+            RejectReason::GeometryMismatch { .. } => "geometry_mismatch",
+            RejectReason::BadSpec(_) => "bad_spec",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::ExceedsBudget { predicted_ops, budget_ops } => write!(
+                f,
+                "predicted {predicted_ops:.0} parallel I/O ops exceed the pool budget of \
+                 {budget_ops:.0}"
+            ),
+            RejectReason::GeometryMismatch { job_block_bytes, pool_block_bytes } => write!(
+                f,
+                "job block size {job_block_bytes} B differs from the pool's \
+                 {pool_block_bytes} B"
+            ),
+            RejectReason::BadSpec(s) => write!(f, "bad spec: {s}"),
+        }
+    }
+}
+
+/// The in-flight I/O budget and its current reservations.
+#[derive(Debug)]
+pub struct AdmissionController {
+    budget_ops: f64,
+    in_flight_ops: Mutex<f64>,
+}
+
+impl AdmissionController {
+    /// A controller with `budget_ops` of predicted parallel I/O
+    /// operations allowed in flight at once.
+    pub fn new(budget_ops: f64) -> Self {
+        assert!(budget_ops > 0.0, "budget must be positive");
+        Self { budget_ops, in_flight_ops: Mutex::new(0.0) }
+    }
+
+    /// The total budget.
+    pub fn budget_ops(&self) -> f64 {
+        self.budget_ops
+    }
+
+    /// Currently reserved predicted ops.
+    pub fn in_flight_ops(&self) -> f64 {
+        *self.in_flight_ops.lock().unwrap()
+    }
+
+    /// Submission-time screen: can this job *ever* dispatch?
+    pub fn screen(&self, predicted_ops: f64) -> Result<(), RejectReason> {
+        if predicted_ops > self.budget_ops {
+            return Err(RejectReason::ExceedsBudget { predicted_ops, budget_ops: self.budget_ops });
+        }
+        Ok(())
+    }
+
+    /// Dispatch-time gate: reserve `predicted_ops` if the headroom
+    /// allows, atomically. Returns whether the reservation was taken.
+    pub fn try_reserve(&self, predicted_ops: f64) -> bool {
+        let mut in_flight = self.in_flight_ops.lock().unwrap();
+        if *in_flight + predicted_ops > self.budget_ops {
+            return false;
+        }
+        *in_flight += predicted_ops;
+        true
+    }
+
+    /// Release a reservation taken by [`Self::try_reserve`] (job
+    /// finished, successfully or not).
+    pub fn release(&self, predicted_ops: f64) {
+        let mut in_flight = self.in_flight_ops.lock().unwrap();
+        *in_flight = (*in_flight - predicted_ops).max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn screen_rejects_only_impossible_jobs() {
+        let a = AdmissionController::new(100.0);
+        a.screen(100.0).unwrap();
+        let err = a.screen(100.1).unwrap_err();
+        assert_eq!(err.label(), "exceeds_budget");
+        assert!(err.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn reserve_respects_headroom_and_release_restores_it() {
+        let a = AdmissionController::new(100.0);
+        assert!(a.try_reserve(60.0));
+        assert!(!a.try_reserve(50.0), "60 + 50 > 100");
+        assert!(a.try_reserve(40.0));
+        assert_eq!(a.in_flight_ops(), 100.0);
+        a.release(60.0);
+        assert!(a.try_reserve(50.0));
+        a.release(40.0);
+        a.release(50.0);
+        a.release(1.0); // over-release clamps at zero, never goes negative
+        assert_eq!(a.in_flight_ops(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_reservations_never_exceed_budget() {
+        use std::sync::Arc;
+        let a = Arc::new(AdmissionController::new(10.0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let a = Arc::clone(&a);
+                std::thread::spawn(move || {
+                    let mut taken = 0u32;
+                    for _ in 0..1000 {
+                        if a.try_reserve(1.0) {
+                            taken += 1;
+                            assert!(a.in_flight_ops() <= 10.0);
+                            a.release(1.0);
+                        }
+                    }
+                    taken
+                })
+            })
+            .collect();
+        let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0);
+        assert_eq!(a.in_flight_ops(), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! From [`JobSpec`] to a runnable, priced job.
+//!
+//! Preparation dry-runs the program in memory
+//! ([`cgmio_core::measure_requirements`]) to obtain the quantities the
+//! simulation theorems — and therefore the admission controller — are
+//! stated in: `λ` (rounds), `μ` (largest context), and the message
+//! maxima that size the [`EmConfig`] slots. The predicted I/O demand is
+//! Theorem 2's `λ·v·μ/(D·B)`
+//! ([`cgmio_model::theorem2_predicted_ops`]), and the track reservation
+//! is the exact per-worker span of the runners' disk layout
+//! ([`EmConfig::tracks_per_worker`]).
+//!
+//! The program/state types are erased behind a boxed closure so the
+//! service can queue and execute heterogeneous workloads uniformly.
+
+use cgmio_core::{measure_requirements, EmConfig, EmError, EmRunReport, SeqEmRunner};
+use cgmio_model::{CgmProgram, CommCosts, ProcState};
+use cgmio_pdm::Item;
+
+use crate::spec::{JobSpec, WorkloadKind};
+
+/// What a finished job hands back to the service.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The full EM run report (exact I/O counts, λ/h/μ accounting).
+    pub report: EmRunReport,
+    /// FNV-1a digest of every final context's encoded bytes, in
+    /// processor order with length framing — the value the isolation
+    /// tests compare against a solo run of the same spec.
+    pub finals_hash: u64,
+}
+
+/// A priced, sized, ready-to-dispatch job.
+pub struct PreparedJob {
+    /// Dry-run cost accounting (`λ`, `μ`, per-round h-relations).
+    pub costs: CommCosts,
+    /// Theorem 2 predicted parallel I/O operations for the whole run.
+    pub predicted_ops: f64,
+    /// Per-drive tracks this job's (single-worker) run occupies.
+    pub span_tracks: u64,
+    /// Machine config sized from the dry run. `backend` is left at the
+    /// default; the dispatcher overrides it with the pool window.
+    pub config: EmConfig,
+    runner: Box<dyn FnOnce(EmConfig) -> Result<JobOutcome, EmError> + Send>,
+}
+
+impl PreparedJob {
+    /// Execute the job under `config` (the prepared [`Self::config`]
+    /// with the backend swapped for the dispatcher's pool window).
+    pub fn run(self, config: EmConfig) -> Result<JobOutcome, EmError> {
+        (self.runner)(config)
+    }
+}
+
+impl std::fmt::Debug for PreparedJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedJob")
+            .field("predicted_ops", &self.predicted_ops)
+            .field("span_tracks", &self.span_tracks)
+            .finish_non_exhaustive()
+    }
+}
+
+/// FNV-1a over the encoded finals, with per-state length framing so
+/// `["ab","c"]` and `["a","bc"]` differ.
+pub fn hash_finals<S: ProcState>(finals: &[S]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for s in finals {
+        let bytes = s.to_bytes();
+        eat(&(bytes.len() as u64).to_le_bytes());
+        eat(&bytes);
+    }
+    h
+}
+
+fn prep<P>(
+    prog: P,
+    states: Vec<P::State>,
+    mk: impl Fn() -> Vec<P::State> + Send + 'static,
+    spec: &JobSpec,
+    num_disks: usize,
+) -> Result<PreparedJob, String>
+where
+    P: CgmProgram + 'static,
+{
+    let (_, mut costs, req) =
+        measure_requirements(&prog, states).map_err(|e| format!("dry run failed: {e}"))?;
+    // The in-memory dry run never encodes contexts, so its CommCosts
+    // carry μ = 0; the measuring wrapper put the real μ in `req`.
+    costs.max_context_bytes = req.max_ctx_bytes;
+    let config = EmConfig::from_requirements(spec.v, 1, num_disks, spec.block_bytes, &req);
+    let predicted_ops = costs.predicted_ops(spec.v, num_disks, spec.block_bytes);
+    let span_tracks = config.tracks_per_worker(<P::Msg as Item>::SIZE);
+    let runner = Box::new(move |cfg: EmConfig| {
+        let (finals, report) = SeqEmRunner::new(cfg).run(&prog, mk())?;
+        Ok(JobOutcome { report, finals_hash: hash_finals(&finals) })
+    });
+    Ok(PreparedJob { costs, predicted_ops, span_tracks, config, runner })
+}
+
+/// Dry-run, size, and price `spec` for a pool of `num_disks` drives.
+///
+/// Errors are tenant mistakes (invalid spec, program refusing the
+/// input), reported as admission rejects — never panics.
+pub fn prepare(spec: &JobSpec, num_disks: usize) -> Result<PreparedJob, String> {
+    spec.validate()?;
+    let (n, v, seed) = (spec.n, spec.v, spec.seed);
+    match spec.workload {
+        WorkloadKind::Sort => {
+            let keys = cgmio_data::uniform_u64(n, seed);
+            let mk = move || {
+                cgmio_data::block_split(keys.clone(), v)
+                    .into_iter()
+                    .map(|b| (b, Vec::new()))
+                    .collect::<Vec<_>>()
+            };
+            prep(cgmio_algos::CgmSort::<u64>::by_pivots(), mk(), mk, spec, num_disks)
+        }
+        WorkloadKind::Permute => {
+            let vals = cgmio_data::uniform_u64(n, seed);
+            let perm = cgmio_data::random_permutation(n, seed.wrapping_add(1));
+            let mk = move || {
+                cgmio_data::block_split(vals.clone(), v)
+                    .into_iter()
+                    .zip(cgmio_data::block_split(perm.clone(), v))
+                    .map(|(vb, pb)| (vb, pb, n as u64))
+                    .collect::<Vec<_>>()
+            };
+            prep(cgmio_algos::CgmPermute, mk(), mk, spec, num_disks)
+        }
+        WorkloadKind::Transpose => {
+            let (k, l) = (v, n / v);
+            let m = cgmio_data::uniform_u64(n, seed);
+            let mk = move || {
+                cgmio_data::block_split(m.clone(), v)
+                    .into_iter()
+                    .map(|b| (b, k as u64, l as u64))
+                    .collect::<Vec<_>>()
+            };
+            prep(cgmio_algos::CgmTranspose, mk(), mk, spec, num_disks)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Priority;
+
+    fn spec(workload: WorkloadKind) -> JobSpec {
+        JobSpec {
+            tenant: "t".into(),
+            workload,
+            n: 1 << 10,
+            v: 4,
+            block_bytes: 512,
+            priority: Priority::Normal,
+            deadline_hint_ms: None,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn prepare_prices_and_sizes_all_workloads() {
+        for w in [WorkloadKind::Sort, WorkloadKind::Permute, WorkloadKind::Transpose] {
+            let p = prepare(&spec(w), 2).unwrap();
+            assert!(p.predicted_ops > 0.0, "{w:?} predicted no I/O");
+            assert!(p.span_tracks > 0);
+            assert_eq!(p.config.v, 4);
+            // Prediction matches the exported formula on the dry-run λ/μ.
+            let want = cgmio_model::theorem2_predicted_ops(
+                p.costs.lambda(),
+                4,
+                p.costs.max_context_bytes,
+                2,
+                512,
+            );
+            assert_eq!(p.predicted_ops, want);
+        }
+    }
+
+    #[test]
+    fn prepared_job_runs_and_fits_its_span() {
+        use cgmio_core::BackendSpec;
+        use cgmio_pdm::{DiskGeometry, MemStorage, TrackStorage};
+        use std::sync::Arc;
+        for w in [WorkloadKind::Sort, WorkloadKind::Permute, WorkloadKind::Transpose] {
+            let p = prepare(&spec(w), 2).unwrap();
+            let span = p.span_tracks;
+            let pool: Arc<dyn TrackStorage> = Arc::new(MemStorage::new(DiskGeometry::new(2, 512)));
+            let mut cfg = p.config.clone();
+            cfg.backend = BackendSpec::Shared {
+                storage: Arc::clone(&pool),
+                base_track: 0,
+                worker_span_tracks: span,
+            };
+            let out = p.run(cfg).unwrap();
+            assert!(out.report.io.total_ops() > 0);
+            // The reservation formula really bounds the runner's layout:
+            // the run never touched a track at or past its span.
+            for (d, &used) in pool.tracks_used().iter().enumerate() {
+                assert!(used <= span, "{w:?}: drive {d} used {used} of {span} tracks");
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_hash_different_seed_differs() {
+        let s = spec(WorkloadKind::Sort);
+        let a = prepare(&s, 2).unwrap();
+        let cfg = a.config.clone();
+        let ha = a.run(cfg).unwrap().finals_hash;
+        let b = prepare(&s, 2).unwrap();
+        let cfg = b.config.clone();
+        assert_eq!(ha, b.run(cfg).unwrap().finals_hash, "deterministic by seed");
+        let mut s2 = spec(WorkloadKind::Sort);
+        s2.seed = 12;
+        let c = prepare(&s2, 2).unwrap();
+        let cfg = c.config.clone();
+        assert_ne!(ha, c.run(cfg).unwrap().finals_hash);
+    }
+
+    #[test]
+    fn hash_framing_distinguishes_boundaries() {
+        // Vec<u8> is not a ProcState; use the sort state type instead.
+        let a: Vec<(Vec<u64>, Vec<u64>)> = vec![(vec![1, 2], vec![]), (vec![3], vec![])];
+        let b: Vec<(Vec<u64>, Vec<u64>)> = vec![(vec![1], vec![]), (vec![2, 3], vec![])];
+        assert_ne!(hash_finals(&a), hash_finals(&b));
+    }
+}
