@@ -70,6 +70,11 @@ fn menu() -> Vec<(&'static str, &'static str, Exp)> {
             "multi-tenant job service burst: fairness + latency (BENCH_service.json)",
             Box::new(ex::service),
         ),
+        (
+            "scale",
+            "per-processor state at large v: sparse/paged sweep (BENCH_scale.json)",
+            Box::new(ex::scale),
+        ),
     ]
 }
 

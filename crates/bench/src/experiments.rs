@@ -1374,6 +1374,226 @@ pub fn service(out_dir: &std::path::Path) -> Table {
     t
 }
 
+/// One measured cell of the `scale` sweep.
+struct ScaleCell {
+    backend: &'static str,
+    v: usize,
+    mode: &'static str,
+    wall_ms: f64,
+    io_ops: u64,
+    peak_mem_bytes: usize,
+    alloc_bytes: u64,
+    ctx_spills: u64,
+    ctx_loads: u64,
+    finals_hash: u64,
+    io: cgmio_pdm::IoStats,
+}
+
+/// What the dense per-processor state tables *would* hold resident at
+/// `v` virtual processors: two ping-pong `v × v` `u32` message-length
+/// grids plus the `v`-entry context-length vector. This is the scale
+/// blocker the sparse/paged representations remove (≈ 8 TB at
+/// `v = 10^6`).
+fn dense_lens_bytes(v: usize) -> u64 {
+    2 * (v as u64) * (v as u64) * 4 + (v as u64) * 8
+}
+
+/// `scale`: per-processor state at large `v`. Runs a 2-round
+/// [`cgmio_model::demo::TokenRing`] — a balanced O(v)-message workload
+/// whose slot sizes are independent of `v` — across
+/// `v ∈ {16, 10³, 10⁵, 10⁶}` on the `Mem` and `Concurrent` backends
+/// with the auto-selected representations ([`cgmio_core::ScaleTuning`]:
+/// dense/resident below v=4096, sparse/paged above). At `v = 16` the
+/// sweep additionally runs both representations *forced* (with a tiny
+/// 4-entry/2-page context table so paging really happens) and asserts
+/// finals and `IoStats` bit-identical — the equivalence half of the
+/// tentpole claim; the proptest in `tests/scale_equivalence.rs` widens
+/// it to both runners. For `v ≥ 10⁵` the sweep asserts the run's entire
+/// allocator traffic stays under what the dense tables alone would hold
+/// resident. Writes `BENCH_scale.json`. Set `CGMIO_PERF_SMOKE=1` for
+/// the small-`v` subset (CI scale-smoke; the forced-sparse cells keep
+/// the paged path covered). The `Concurrent` backend is capped at
+/// `v = 10⁵` (per-op channel round-trips dominate far above that) —
+/// the cap is recorded in the JSON, not silent.
+pub fn scale(out_dir: &std::path::Path) -> Table {
+    use cgmio_core::BackendSpec;
+    use cgmio_model::demo::TokenRing;
+    use cgmio_obs::{Obs, SampleValue};
+
+    let smoke = std::env::var_os("CGMIO_PERF_SMOKE").is_some();
+    let vs: Vec<usize> = if smoke { vec![16, 1_000] } else { vec![16, 1_000, 100_000, 1_000_000] };
+    const CONCURRENT_V_CAP: usize = 100_000;
+    let (d, bb) = (2usize, 64usize);
+    let prog = TokenRing { rounds: 2 };
+    let mk = |v: usize| (0..v as u64).map(|i| vec![i]).collect::<Vec<Vec<u64>>>();
+    // Slot sizes are v-independent for a ring (1-item messages, 1-token
+    // contexts): measure once at v=16 and size every machine from it.
+    // measure_requirements dry-runs through DirectRunner's dense O(v²)
+    // matrix, which is exactly what large v cannot afford.
+    let (_, _, req) = measure_requirements(&prog, mk(16)).expect("token ring dry run");
+
+    let fnv = |tokens: &[u64]| {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for t in tokens {
+            for b in t.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        h
+    };
+
+    let run_cell = |backend: &'static str, v: usize, mode: &'static str| -> ScaleCell {
+        let mut cfg = EmConfig::from_requirements(v, 1, d, bb, &req);
+        match mode {
+            "dense" => {
+                cfg.scale.sparse_msg_lens = Some(false);
+                cfg.scale.paged_ctx_lens = Some(false);
+            }
+            "sparse" => {
+                cfg.scale.sparse_msg_lens = Some(true);
+                cfg.scale.paged_ctx_lens = Some(true);
+                cfg.scale.ctx_page_entries = 4;
+                cfg.scale.ctx_resident_pages = 2;
+            }
+            _ => {}
+        }
+        cfg.backend = match backend {
+            "mem" => BackendSpec::Mem,
+            _ => BackendSpec::Concurrent { dir: None, opts: Default::default() },
+        };
+        let obs = Obs::new();
+        cfg.obs = Some(obs.clone());
+        let before = crate::alloc::snapshot();
+        let t0 = std::time::Instant::now();
+        let (fin, rep) = SeqEmRunner::new(cfg).run(&prog, mk(v)).expect("scale cell run");
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let alloc = crate::alloc::snapshot().since(before);
+        // After 2 rotations every token sits 2 places past its origin.
+        let tokens: Vec<u64> = fin.iter().map(|s| s[0]).collect();
+        assert!(
+            tokens.iter().enumerate().all(|(pid, &t)| t == ((pid + v - 2) % v) as u64),
+            "{backend} v={v} {mode}: ring rotation wrong"
+        );
+        let snap = obs.snapshot();
+        let ctr = |name: &str| match snap.get(name, &[("proc", "0")]) {
+            Some(SampleValue::Counter(c)) => *c,
+            _ => 0,
+        };
+        ScaleCell {
+            backend,
+            v,
+            mode,
+            wall_ms,
+            io_ops: rep.io.total_ops(),
+            peak_mem_bytes: rep.peak_mem_bytes,
+            alloc_bytes: alloc.bytes,
+            ctx_spills: ctr("cgmio_ctx_page_spills_total"),
+            ctx_loads: ctr("cgmio_ctx_page_loads_total"),
+            finals_hash: fnv(&tokens),
+            io: rep.io.clone(),
+        }
+    };
+
+    let counted = crate::alloc::counting_installed();
+    let mut cells: Vec<ScaleCell> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
+    for backend in ["mem", "concurrent"] {
+        // The equivalence pair: identical machine, representations
+        // forced apart — everything observable must match.
+        let dense = run_cell(backend, 16, "dense");
+        let sparse = run_cell(backend, 16, "sparse");
+        assert_eq!(dense.finals_hash, sparse.finals_hash, "{backend}: finals diverge");
+        assert_eq!(dense.io, sparse.io, "{backend}: IoStats diverge");
+        assert!(sparse.ctx_spills > 0, "{backend}: tiny paged table never spilled");
+        cells.push(dense);
+        cells.push(sparse);
+        for &v in &vs {
+            if backend == "concurrent" && v > CONCURRENT_V_CAP {
+                let note =
+                    format!("concurrent backend capped at v={CONCURRENT_V_CAP}: v={v} skipped");
+                eprintln!("  {note}");
+                skipped.push(note);
+                continue;
+            }
+            let cell = run_cell(backend, v, "auto");
+            if v >= 100_000 && counted {
+                assert!(
+                    cell.alloc_bytes < dense_lens_bytes(v),
+                    "{backend} v={v}: allocated {} bytes, dense tables alone would be {}",
+                    cell.alloc_bytes,
+                    dense_lens_bytes(v)
+                );
+            }
+            cells.push(cell);
+        }
+    }
+
+    let mut t = Table::new(
+        "scale_state",
+        &[
+            "backend",
+            "v",
+            "mode",
+            "wall_ms",
+            "io_ops",
+            "peak_mem_B",
+            "alloc_MB",
+            "ctx_spills",
+            "ctx_loads",
+        ],
+    );
+    let mut report = BenchReport::new(
+        "em_cgm_state_scale",
+        format!(
+            "TokenRing rounds=2, D={d}, B={bb} bytes, seq runner; auto representations \
+             (sparse message lens + paged context lens above v=4096) vs forced \
+             dense/sparse at v=16"
+        ),
+        smoke,
+    )
+    .extra("allocator_counted", Value::Bool(counted))
+    .extra("skipped", Value::Arr(skipped.iter().map(|s| Value::str(s.clone())).collect()));
+    for c in &cells {
+        report.point(obj(vec![
+            ("backend", Value::str(c.backend)),
+            ("v", Value::num(c.v)),
+            ("mode", Value::str(c.mode)),
+            ("wall_ms", Value::num(format!("{:.2}", c.wall_ms))),
+            ("io_ops", Value::num(c.io_ops)),
+            ("peak_mem_bytes", Value::num(c.peak_mem_bytes)),
+            ("alloc_bytes", Value::num(c.alloc_bytes)),
+            ("ctx_page_spills", Value::num(c.ctx_spills)),
+            ("ctx_page_loads", Value::num(c.ctx_loads)),
+            ("dense_lens_bytes_would_be", Value::num(dense_lens_bytes(c.v))),
+            ("finals_hash", Value::str(format!("{:016x}", c.finals_hash))),
+        ]));
+        t.row(vec![
+            c.backend.to_string(),
+            c.v.to_string(),
+            c.mode.to_string(),
+            format!("{:.2}", c.wall_ms),
+            c.io_ops.to_string(),
+            c.peak_mem_bytes.to_string(),
+            format!("{:.1}", c.alloc_bytes as f64 / 1e6),
+            c.ctx_spills.to_string(),
+            c.ctx_loads.to_string(),
+        ]);
+    }
+    if let Some(h) = cells.iter().filter(|c| c.mode == "auto").max_by_key(|c| c.v) {
+        report.set_headline(obj(vec![
+            ("backend", Value::str(h.backend)),
+            ("v", Value::num(h.v)),
+            ("wall_ms", Value::num(format!("{:.2}", h.wall_ms))),
+            ("io_ops", Value::num(h.io_ops)),
+            ("alloc_bytes", Value::num(h.alloc_bytes)),
+            ("dense_lens_bytes_would_be", Value::num(dense_lens_bytes(h.v))),
+        ]));
+    }
+    report.save(out_dir, "BENCH_scale.json");
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

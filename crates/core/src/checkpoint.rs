@@ -33,19 +33,28 @@ use cgmio_pdm::{DiskArray, IoStats};
 
 use crate::report::{EmRunReport, IoBreakdown};
 
-/// File-format version tag (first line of every manifest).
-const MAGIC: &str = "cgmio-checkpoint v1";
+/// File-format version tag (first line of every manifest). `v2`
+/// switched the per-worker length tables to compact encodings —
+/// run-length context lengths and sparse inbox rows — so a manifest
+/// stays kilobytes at `v = 10^6` instead of the dense `v × v` table
+/// that dominated `v1`. `v1` manifests are rejected (re-checkpoint from
+/// a fresh run).
+const MAGIC: &str = "cgmio-checkpoint v2";
 
 /// Per-real-processor state captured at a superstep barrier.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerCheckpoint {
     /// Real-processor index (0 for the sequential runner).
     pub worker: usize,
-    /// Encoded byte length of each local context slot.
-    pub ctx_lens: Vec<usize>,
-    /// Length table of the *next* round's inbox matrix:
-    /// `inbox_lens[dst_local][src]` items.
-    pub inbox_lens: Vec<Vec<u32>>,
+    /// Encoded byte length of each local context slot, run-length
+    /// encoded as `(run, length)` pairs covering the slots in order
+    /// (the encoding of [`crate::context::ContextStore::lens_rle`]).
+    pub ctx_lens: Vec<(u64, u64)>,
+    /// Length table of the *next* round's inbox matrix, one row per
+    /// local destination of sorted `(src, items)` pairs — non-empty
+    /// slots only (the encoding of
+    /// [`crate::msgmatrix::MessageMatrix::sparse_lens`]).
+    pub inbox_lens: Vec<Vec<(u64, u32)>>,
     /// Cumulative I/O counters of this worker's array at the barrier.
     pub io: IoStats,
     /// Cumulative per-purpose op breakdown at the barrier.
@@ -124,16 +133,16 @@ impl CheckpointManifest {
                 w.breakdown.msg_ops,
                 w.breakdown.readout_ops
             );
-            let _ = write!(s, "ctx_lens");
-            for l in &w.ctx_lens {
-                let _ = write!(s, " {l}");
+            let _ = write!(s, "ctx_lens_rle");
+            for (run, len) in &w.ctx_lens {
+                let _ = write!(s, " {run} {len}");
             }
             let _ = writeln!(s);
             let _ = writeln!(s, "inbox_rows {}", w.inbox_lens.len());
             for row in &w.inbox_lens {
                 let _ = write!(s, "row");
-                for l in row {
-                    let _ = write!(s, " {l}");
+                for (src, len) in row {
+                    let _ = write!(s, " {src} {len}");
                 }
                 let _ = writeln!(s);
             }
@@ -217,11 +226,22 @@ impl CheckpointManifest {
                 msg_ops: bd[2],
                 readout_ops: bd[3],
             };
-            let ctx_lens = field("ctx_lens")?.into_iter().map(|x| x as usize).collect();
+            let pairs = |vals: Vec<u64>, key: &str| -> io::Result<Vec<(u64, u64)>> {
+                if !vals.len().is_multiple_of(2) {
+                    return Err(bad(&format!("field `{key}` needs an even pair count")));
+                }
+                Ok(vals.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+            };
+            let ctx_lens = pairs(field("ctx_lens_rle")?, "ctx_lens_rle")?;
             let n_rows = one(field("inbox_rows")?, "inbox_rows")? as usize;
             let mut inbox_lens = Vec::with_capacity(n_rows);
             for _ in 0..n_rows {
-                inbox_lens.push(field("row")?.into_iter().map(|x| x as u32).collect());
+                inbox_lens.push(
+                    pairs(field("row")?, "row")?
+                        .into_iter()
+                        .map(|(src, len)| (src, len as u32))
+                        .collect(),
+                );
             }
             workers.push(WorkerCheckpoint {
                 worker,
@@ -349,8 +369,8 @@ mod tests {
             workers: vec![
                 WorkerCheckpoint {
                     worker: 0,
-                    ctx_lens: vec![16, 0, 24],
-                    inbox_lens: vec![vec![0, 2, 0, 1, 0, 0], vec![3, 0, 0, 0, 0, 9]],
+                    ctx_lens: vec![(1, 16), (1, 0), (1, 24)],
+                    inbox_lens: vec![vec![(1, 2), (3, 1)], vec![(0, 3), (5, 9)]],
                     io: IoStats {
                         read_ops: 10,
                         write_ops: 11,
@@ -369,8 +389,8 @@ mod tests {
                 },
                 WorkerCheckpoint {
                     worker: 1,
-                    ctx_lens: vec![8, 8, 8],
-                    inbox_lens: vec![vec![0; 6]],
+                    ctx_lens: vec![(3, 8)],
+                    inbox_lens: vec![vec![]],
                     io: IoStats::new(2),
                     breakdown: IoBreakdown::default(),
                     peak_mem: 64,
@@ -409,6 +429,12 @@ mod tests {
         // Corrupt a number.
         let garbled = text.replace("superstep 3", "superstep x");
         assert!(CheckpointManifest::from_text(&garbled).is_err());
+        // v1 manifests (dense tables) are not resumable under v2.
+        let v1 = text.replace("cgmio-checkpoint v2", "cgmio-checkpoint v1");
+        assert!(CheckpointManifest::from_text(&v1).is_err());
+        // RLE/sparse fields must hold whole pairs.
+        let odd = text.replace("ctx_lens_rle 1 16 1 0 1 24", "ctx_lens_rle 1 16 1");
+        assert!(CheckpointManifest::from_text(&odd).is_err());
     }
 
     #[test]

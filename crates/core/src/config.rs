@@ -10,8 +10,75 @@ use cgmio_pdm::{
     TrackRange, TrackStorage,
 };
 
+use crate::context::CtxPaging;
 use crate::measure::Requirements;
 use crate::EmError;
+
+/// Representation knobs for the `10^5`–`10^6` virtual-processor range.
+///
+/// These choose *representations*, never semantics: sparse vs dense
+/// message-length tables and paged vs resident context-length tables
+/// are bit-identical in finals, `IoStats`, and checkpoint manifests
+/// (property-tested in `tests/scale_equivalence.rs`). The struct is
+/// therefore — like [`EmConfig::obs`] and [`EmConfig::pipeline_depth`]
+/// — **excluded from [`EmConfig::config_hash`]**: a checkpoint taken
+/// with one tuning resumes under any other.
+///
+/// The `None` defaults auto-select by `v`: dense/resident at or below
+/// [`Self::AUTO_THRESHOLD`] virtual processors, sparse/paged above.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleTuning {
+    /// Force the sparse (`Some(true)`) or dense (`Some(false)`)
+    /// message-matrix length table; `None` auto-selects by `v`.
+    pub sparse_msg_lens: Option<bool>,
+    /// Force the paged (`Some(true)`) or resident (`Some(false)`)
+    /// context-store length table; `None` auto-selects by `v`.
+    pub paged_ctx_lens: Option<bool>,
+    /// Lengths per page of the paged context table (one side-store
+    /// track of `8 * ctx_page_entries` bytes each).
+    pub ctx_page_entries: usize,
+    /// Hot-page budget of the paged context table: resident table
+    /// memory is bounded by `ctx_resident_pages * ctx_page_entries * 8`
+    /// bytes regardless of `v`. Sized to comfortably cover the pipeline
+    /// window plus the sequential scan's current page.
+    pub ctx_resident_pages: usize,
+}
+
+impl Default for ScaleTuning {
+    fn default() -> Self {
+        Self {
+            sparse_msg_lens: None,
+            paged_ctx_lens: None,
+            ctx_page_entries: 4096,
+            ctx_resident_pages: 8,
+        }
+    }
+}
+
+impl ScaleTuning {
+    /// `v` above which the auto-selecting defaults switch to the sparse
+    /// message table and the paged context table.
+    pub const AUTO_THRESHOLD: usize = 4096;
+
+    /// Resolved message-table representation for a machine of `v`
+    /// virtual processors.
+    pub fn sparse_msgs(&self, v: usize) -> bool {
+        self.sparse_msg_lens.unwrap_or(v > Self::AUTO_THRESHOLD)
+    }
+
+    /// Resolved context-table residency policy for a worker of `count`
+    /// local slots on a machine of `v` virtual processors.
+    pub fn ctx_paging(&self, v: usize) -> CtxPaging {
+        if self.paged_ctx_lens.unwrap_or(v > Self::AUTO_THRESHOLD) {
+            CtxPaging::Paged {
+                page_entries: self.ctx_page_entries.max(1),
+                resident_pages: self.ctx_resident_pages.max(1),
+            }
+        } else {
+            CtxPaging::Resident
+        }
+    }
+}
 
 /// Which physical storage sits behind each real processor's disk array.
 ///
@@ -200,6 +267,10 @@ pub struct EmConfig {
     /// like [`Self::obs`] — **excluded from [`Self::config_hash`]**, so
     /// a checkpoint taken at one depth resumes at any other.
     pub pipeline_depth: usize,
+    /// Representation tuning for large `v` (sparse message tables,
+    /// paged context tables). Pure representation — bit-identical
+    /// results — and therefore **excluded from [`Self::config_hash`]**.
+    pub scale: ScaleTuning,
 }
 
 impl EmConfig {
@@ -232,6 +303,7 @@ impl EmConfig {
             retry: RetryPolicy::default(),
             obs: None,
             pipeline_depth: 0,
+            scale: ScaleTuning::default(),
         }
     }
 
@@ -503,6 +575,7 @@ mod tests {
             retry: RetryPolicy::default(),
             obs: None,
             pipeline_depth: 0,
+            scale: ScaleTuning::default(),
         }
     }
 

@@ -7,10 +7,198 @@
 //! paper's deterministic context distribution: "we split the context
 //! `V_j` into blocks of size `B` and store the `i`-th block of `V_j` on
 //! disk `(i + j·(μ/B)) mod D`".
+//!
+//! # The length table at scale
+//!
+//! The context *bytes* were always disk-resident; the per-slot length
+//! table was not. A resident `Vec<usize>` is 8 MB at `v = 10^6` per
+//! worker — small next to the dense message table it used to sit
+//! beside, but still linear state the runner holds for the whole run
+//! while only ever touching the pipeline window of it. [`CtxPaging`]
+//! therefore offers a paged table: lengths live in fixed pages of
+//! `page_entries` `u64`s, at most `resident_pages` of which are hot
+//! (LRU); evicted dirty pages spill through a **private side
+//! [`TrackStorage`]** (one `MemStorage` "drive", one track per page,
+//! staged through a [`BlockPool`]) and fault back in on demand. The
+//! side store is deliberately *not* the run's [`DiskArray`]: spills are
+//! bookkeeping, not simulation I/O, and must never perturb `IoStats` —
+//! paged and resident tables are bit-identical in every observable
+//! (tested below and in `tests/scale_equivalence.rs`). Spill/reload
+//! traffic is observable instead through the `cgmio_ctx_*` metric
+//! series (see `docs/OPERATIONS.md`).
 
-use cgmio_pdm::{CodecError, DiskArray, IoError, IoErrorKind, Layout, TrackAddr};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use cgmio_obs::{Counter, Gauge, Obs};
+use cgmio_pdm::{
+    BlockPool, CodecError, DiskArray, DiskGeometry, IoError, IoErrorKind, Layout, MemStorage,
+    TrackAddr, TrackStorage,
+};
 
 use crate::EmError;
+
+/// Residency policy for a [`ContextStore`]'s per-slot length table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtxPaging {
+    /// Keep the whole table resident (a `Vec<usize>` — the original
+    /// layout; right for small `v`).
+    Resident,
+    /// Page the table: fixed pages of `page_entries` lengths, at most
+    /// `resident_pages` resident, the rest spilled to a private side
+    /// track store.
+    Paged {
+        /// Lengths per page (each page is one side-store track of
+        /// `8 * page_entries` bytes).
+        page_entries: usize,
+        /// Maximum hot pages (LRU). Resident table memory is bounded by
+        /// `resident_pages * page_entries * 8` bytes regardless of `v`.
+        resident_pages: usize,
+    },
+}
+
+/// Per-slot length table: resident vector or LRU-paged (see module
+/// docs).
+enum CtxLens {
+    Resident(Vec<usize>),
+    Paged(PagedLens),
+}
+
+/// The paged table. Interior mutability (`RefCell`) because reads of the
+/// store (`len`, `read_submit`) take `&self` but may fault pages; the
+/// store is owned by a single worker thread, never shared.
+struct PagedLens {
+    count: usize,
+    page_entries: usize,
+    resident_pages: usize,
+    inner: RefCell<PagedInner>,
+    spills: Counter,
+    loads: Counter,
+    resident: Gauge,
+}
+
+struct PagedInner {
+    /// Hot pages: page index → decoded lengths.
+    hot: HashMap<usize, Box<[u64]>>,
+    /// LRU order of hot pages, least-recent first.
+    lru: VecDeque<usize>,
+    /// Hot pages modified since their last spill.
+    dirty: HashSet<usize>,
+    /// Spill target: one "drive", one track per page. Unwritten tracks
+    /// read as zeros — exactly the table's initial state.
+    side: MemStorage,
+    /// Staging buffer pool for page encodes.
+    pool: BlockPool,
+}
+
+impl PagedLens {
+    fn new(count: usize, page_entries: usize, resident_pages: usize) -> Self {
+        assert!(
+            page_entries >= 1 && resident_pages >= 1,
+            "paging needs at least one resident page"
+        );
+        Self {
+            count,
+            page_entries,
+            resident_pages,
+            inner: RefCell::new(PagedInner {
+                hot: HashMap::new(),
+                lru: VecDeque::new(),
+                dirty: HashSet::new(),
+                side: MemStorage::new(DiskGeometry::new(1, page_entries * 8)),
+                pool: BlockPool::with_max_free(2),
+            }),
+            spills: Counter::detached(),
+            loads: Counter::detached(),
+            resident: Gauge::detached(),
+        }
+    }
+
+    fn decode_page(&self, bytes: &[u8]) -> Box<[u64]> {
+        let mut page = vec![0u64; self.page_entries].into_boxed_slice();
+        for (i, chunk) in bytes.chunks_exact(8).take(self.page_entries).enumerate() {
+            page[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        page
+    }
+
+    /// Fault `page` in (evicting the LRU page if over budget) and run
+    /// `f` against its entries.
+    fn with_page<R>(&self, page: usize, f: impl FnOnce(&mut Box<[u64]>) -> R) -> R {
+        let inner = &mut *self.inner.borrow_mut();
+        if inner.hot.contains_key(&page) {
+            if inner.lru.back() != Some(&page) {
+                inner.lru.retain(|&p| p != page);
+                inner.lru.push_back(page);
+            }
+        } else {
+            if inner.lru.len() >= self.resident_pages {
+                let victim = inner.lru.pop_front().expect("resident_pages >= 1");
+                let data = inner.hot.remove(&victim).expect("lru tracks hot");
+                if inner.dirty.remove(&victim) {
+                    let mut buf = inner.pool.checkout(self.page_entries * 8);
+                    for (i, &l) in data.iter().enumerate() {
+                        buf[i * 8..i * 8 + 8].copy_from_slice(&l.to_le_bytes());
+                    }
+                    inner
+                        .side
+                        .write_track(0, victim as u64, &buf)
+                        .expect("private side store never faults");
+                    self.spills.inc();
+                }
+            }
+            let bytes =
+                inner.side.read_track(0, page as u64).expect("private side store never faults");
+            let data = self.decode_page(&bytes);
+            inner.hot.insert(page, data);
+            inner.lru.push_back(page);
+            self.loads.inc();
+            self.resident.set(inner.lru.len() as i64);
+        }
+        f(inner.hot.get_mut(&page).expect("just faulted in"))
+    }
+
+    fn get(&self, slot: usize) -> usize {
+        let (page, k) = (slot / self.page_entries, slot % self.page_entries);
+        self.with_page(page, |p| p[k] as usize)
+    }
+
+    fn set(&self, slot: usize, len: usize) {
+        let (page, k) = (slot / self.page_entries, slot % self.page_entries);
+        self.with_page(page, |p| p[k] = len as u64);
+        self.inner.borrow_mut().dirty.insert(page);
+    }
+
+    /// Visit every slot in order *without* disturbing the LRU — cold
+    /// pages are decoded straight from the side store. Used by the
+    /// checkpoint/RLE paths, which scan all `v` slots once.
+    fn for_each(&self, mut f: impl FnMut(usize, usize)) {
+        let inner = self.inner.borrow();
+        let n_pages = self.count.div_ceil(self.page_entries);
+        for page in 0..n_pages {
+            let cold;
+            let data: &[u64] = match inner.hot.get(&page) {
+                Some(hot) => hot,
+                None => {
+                    let bytes = inner
+                        .side
+                        .read_track(0, page as u64)
+                        .expect("private side store never faults");
+                    cold = self.decode_page(&bytes);
+                    &cold
+                }
+            };
+            let base = page * self.page_entries;
+            for (k, &l) in data.iter().enumerate() {
+                let slot = base + k;
+                if slot >= self.count {
+                    break;
+                }
+                f(slot, l as usize);
+            }
+        }
+    }
+}
 
 /// Fixed-slot context store over one disk array.
 pub struct ContextStore {
@@ -18,12 +206,15 @@ pub struct ContextStore {
     slot_blocks: u64,
     block_bytes: usize,
     cap_bytes: usize,
-    lens: Vec<usize>,
+    count: usize,
+    lens: CtxLens,
 }
 
 impl ContextStore {
     /// A store for `count` contexts of up to `cap_bytes` bytes each,
-    /// placed at `base_track` of an array with `num_disks` drives.
+    /// placed at `base_track` of an array with `num_disks` drives, with
+    /// a fully resident length table. See [`Self::new_with`] for the
+    /// paged variant.
     pub fn new(
         num_disks: usize,
         block_bytes: usize,
@@ -31,54 +222,141 @@ impl ContextStore {
         count: usize,
         cap_bytes: usize,
     ) -> Self {
+        Self::new_with(num_disks, block_bytes, base_track, count, cap_bytes, &CtxPaging::Resident)
+    }
+
+    /// [`Self::new`] with an explicit length-table residency policy.
+    /// Both policies are observationally identical (lengths, I/O,
+    /// [`Self::lens_rle`]); paging bounds the runner-held table memory
+    /// at large `v`.
+    pub fn new_with(
+        num_disks: usize,
+        block_bytes: usize,
+        base_track: u64,
+        count: usize,
+        cap_bytes: usize,
+        paging: &CtxPaging,
+    ) -> Self {
         let slot_blocks = (cap_bytes as u64).div_ceil(block_bytes as u64).max(1);
+        let lens = match *paging {
+            CtxPaging::Resident => CtxLens::Resident(vec![0; count]),
+            CtxPaging::Paged { page_entries, resident_pages } => {
+                CtxLens::Paged(PagedLens::new(count, page_entries, resident_pages))
+            }
+        };
         Self {
             layout: Layout { num_disks, base_track },
             slot_blocks,
             block_bytes,
             cap_bytes,
-            lens: vec![0; count],
+            count,
+            lens,
+        }
+    }
+
+    /// Register this store's paging metrics (`cgmio_ctx_page_spills_total`,
+    /// `cgmio_ctx_page_loads_total`, `cgmio_ctx_resident_pages`) with an
+    /// observability pipeline, labelled by real processor. No-op for a
+    /// resident table.
+    pub fn attach_obs(&mut self, obs: &Obs, proc: usize) {
+        if let CtxLens::Paged(p) = &mut self.lens {
+            let labels = [("proc", proc.to_string())];
+            p.spills = obs.metrics().counter("cgmio_ctx_page_spills_total", &labels);
+            p.loads = obs.metrics().counter("cgmio_ctx_page_loads_total", &labels);
+            p.resident = obs.metrics().gauge("cgmio_ctx_resident_pages", &labels);
+        }
+    }
+
+    /// `(spills, loads)` of the paged length table so far, `None` for a
+    /// resident table. The same numbers flow to the `cgmio_ctx_*`
+    /// series when an [`Obs`] is attached.
+    pub fn paging_stats(&self) -> Option<(u64, u64)> {
+        match &self.lens {
+            CtxLens::Resident(_) => None,
+            CtxLens::Paged(p) => Some((p.spills.get(), p.loads.get())),
         }
     }
 
     /// Tracks this store occupies per drive.
     pub fn total_tracks(&self) -> u64 {
-        self.layout.tracks_for(self.lens.len() as u64 * self.slot_blocks) + 1
+        self.layout.tracks_for(self.count as u64 * self.slot_blocks) + 1
     }
 
     /// Current encoded length of context `slot` (0 when never written).
     pub fn len(&self, slot: usize) -> usize {
-        self.lens[slot]
+        match &self.lens {
+            CtxLens::Resident(lens) => lens[slot],
+            CtxLens::Paged(p) => {
+                assert!(slot < self.count, "slot {slot} out of range ({})", self.count);
+                p.get(slot)
+            }
+        }
+    }
+
+    fn set_len(&mut self, slot: usize, len: usize) {
+        match &mut self.lens {
+            CtxLens::Resident(lens) => lens[slot] = len,
+            CtxLens::Paged(p) => {
+                assert!(slot < self.count, "slot {slot} out of range ({})", self.count);
+                p.set(slot, len);
+            }
+        }
     }
 
     /// True if no context was ever written.
     pub fn is_empty(&self) -> bool {
-        self.lens.iter().all(|&l| l == 0)
+        match &self.lens {
+            CtxLens::Resident(lens) => lens.iter().all(|&l| l == 0),
+            CtxLens::Paged(p) => {
+                let mut empty = true;
+                p.for_each(|_, l| empty &= l == 0);
+                empty
+            }
+        }
     }
 
-    /// The full per-slot length table (for checkpoint manifests).
-    pub fn lens(&self) -> &[usize] {
-        &self.lens
+    /// The per-slot length table, run-length encoded as `(run, length)`
+    /// pairs covering slots `0..count` in order — the compact form
+    /// checkpoint manifests persist. Identical for both residency
+    /// policies; a fresh store encodes to a single `(count, 0)` run.
+    pub fn lens_rle(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = Vec::new();
+        let mut push = |l: usize| match out.last_mut() {
+            Some((run, v)) if *v == l as u64 => *run += 1,
+            _ => out.push((1, l as u64)),
+        };
+        match &self.lens {
+            CtxLens::Resident(lens) => lens.iter().for_each(|&l| push(l)),
+            CtxLens::Paged(p) => p.for_each(|_, l| push(l)),
+        }
+        out
     }
 
-    /// Restore the per-slot length table from a checkpoint manifest.
-    /// The on-disk slot contents must match (they do when the array was
-    /// flushed at the barrier the manifest describes).
-    pub fn set_lens(&mut self, lens: Vec<usize>) -> Result<(), EmError> {
-        if lens.len() != self.lens.len() {
+    /// Restore the per-slot length table from a checkpoint manifest (the
+    /// encoding of [`Self::lens_rle`]). The on-disk slot contents must
+    /// match (they do when the array was flushed at the barrier the
+    /// manifest describes).
+    pub fn set_lens_rle(&mut self, rle: &[(u64, u64)]) -> Result<(), EmError> {
+        let total: u64 = rle.iter().map(|&(run, _)| run).sum();
+        if total != self.count as u64 || rle.iter().any(|&(run, _)| run == 0) {
             return Err(EmError::BadConfig(format!(
-                "checkpoint has {} context slots, store has {}",
-                lens.len(),
-                self.lens.len()
+                "checkpoint context table covers {total} slots, store has {}",
+                self.count
             )));
         }
-        if let Some(&l) = lens.iter().find(|&&l| l > self.cap_bytes) {
+        if let Some(&(_, l)) = rle.iter().find(|&&(_, l)| l > self.cap_bytes as u64) {
             return Err(EmError::BadConfig(format!(
                 "checkpoint context length {l} exceeds slot capacity {}",
                 self.cap_bytes
             )));
         }
-        self.lens = lens;
+        let mut slot = 0usize;
+        for &(run, l) in rle {
+            for _ in 0..run {
+                self.set_len(slot, l as usize);
+                slot += 1;
+            }
+        }
         Ok(())
     }
 
@@ -106,7 +384,7 @@ impl ContextStore {
             .map(|(q, chunk)| (self.layout.addr(base + q as u64), chunk))
             .collect();
         disks.write_gather(&writes)?;
-        self.lens[slot] = bytes.len();
+        self.set_len(slot, bytes.len());
         Ok(())
     }
 
@@ -131,7 +409,7 @@ impl ContextStore {
     /// Track addresses a `read(slot)` would touch right now — used as a
     /// prefetch hint for asynchronous backends (never counted as I/O).
     pub fn read_addrs(&self, slot: usize) -> Vec<cgmio_pdm::TrackAddr> {
-        let len = self.lens[slot];
+        let len = self.len(slot);
         let nblocks = (len as u64).div_ceil(self.block_bytes as u64);
         let base = slot as u64 * self.slot_blocks;
         (0..nblocks).map(|q| self.layout.addr(base + q)).collect()
@@ -175,7 +453,7 @@ impl ContextStore {
         disks: &mut DiskArray,
         slot: usize,
     ) -> Result<CtxReadTicket, EmError> {
-        let len = self.lens[slot];
+        let len = self.len(slot);
         let nblocks = (len as u64).div_ceil(self.block_bytes as u64);
         let base = slot as u64 * self.slot_blocks;
         let addrs: Vec<TrackAddr> = (0..nblocks).map(|q| self.layout.addr(base + q)).collect();
@@ -272,5 +550,65 @@ mod tests {
         assert_eq!(store.read(&mut disks, 0).unwrap(), vec![1; 12]);
         assert_eq!(store.read(&mut disks, 1).unwrap(), vec![2; 12]);
         assert_eq!(store.read(&mut disks, 2).unwrap(), vec![3; 12]);
+    }
+
+    #[test]
+    fn paged_table_matches_resident_exactly() {
+        let n = 23;
+        let paging = CtxPaging::Paged { page_entries: 4, resident_pages: 2 };
+        let run = |p: &CtxPaging| {
+            let mut disks = DiskArray::new(DiskGeometry::new(3, 16));
+            let mut store = ContextStore::new_with(3, 16, 0, n, 64, p);
+            for slot in 0..n {
+                store.write(&mut disks, slot, &vec![slot as u8; (7 * slot) % 64]).unwrap();
+            }
+            // Touch slots in a paging-hostile order.
+            let reads: Vec<Vec<u8>> =
+                (0..n).rev().map(|slot| store.read(&mut disks, slot).unwrap()).collect();
+            (reads, store.lens_rle(), disks.stats().clone())
+        };
+        let (res_reads, res_rle, res_io) = run(&CtxPaging::Resident);
+        let (pag_reads, pag_rle, pag_io) = run(&paging);
+        assert_eq!(res_reads, pag_reads);
+        assert_eq!(res_rle, pag_rle);
+        assert_eq!(res_io, pag_io, "side-store spills must not leak into IoStats");
+    }
+
+    #[test]
+    fn paged_table_spills_and_reloads() {
+        let mut disks = DiskArray::new(DiskGeometry::new(1, 8));
+        let paging = CtxPaging::Paged { page_entries: 2, resident_pages: 1 };
+        let mut store = ContextStore::new_with(1, 8, 0, 8, 8, &paging);
+        for slot in 0..8 {
+            store.write(&mut disks, slot, &[slot as u8; 5]).unwrap();
+        }
+        // 4 pages through a 1-page window: every page was evicted dirty.
+        let (spills, loads) = store.paging_stats().unwrap();
+        assert!(spills >= 3, "spills = {spills}");
+        assert!(loads >= 4, "loads = {loads}");
+        for slot in (0..8).rev() {
+            assert_eq!(store.len(slot), 5, "length survives spill/reload");
+        }
+        let (spills2, loads2) = store.paging_stats().unwrap();
+        assert!(spills2 > spills && loads2 > loads, "reverse scan faults again");
+    }
+
+    #[test]
+    fn lens_rle_roundtrip() {
+        let mut disks = DiskArray::new(DiskGeometry::new(2, 8));
+        let mut store = ContextStore::new(2, 8, 0, 6, 32);
+        assert_eq!(store.lens_rle(), vec![(6, 0)], "fresh store is one zero run");
+        store.write(&mut disks, 0, &[1; 16]).unwrap();
+        store.write(&mut disks, 1, &[1; 16]).unwrap();
+        store.write(&mut disks, 4, &[1; 3]).unwrap();
+        let rle = store.lens_rle();
+        assert_eq!(rle, vec![(2, 16), (2, 0), (1, 3), (1, 0)]);
+        let paging = CtxPaging::Paged { page_entries: 2, resident_pages: 1 };
+        let mut other = ContextStore::new_with(2, 8, 0, 6, 32, &paging);
+        other.set_lens_rle(&rle).unwrap();
+        assert_eq!(other.lens_rle(), rle);
+        // Wrong slot count and over-capacity lengths are rejected.
+        assert!(other.set_lens_rle(&[(5, 0)]).is_err());
+        assert!(other.set_lens_rle(&[(6, 999)]).is_err());
     }
 }

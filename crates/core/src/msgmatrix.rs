@@ -13,6 +13,22 @@
 //! unbalanced traffic the round-robin property degrades — measurably: the
 //! ablation benchmarks compare balanced vs unbalanced I/O efficiency
 //! through exactly this code path.
+//!
+//! # Length tables at scale
+//!
+//! The on-disk layout is a full `v × dst_count` grid, but the in-memory
+//! *length table* that tracks which slots are occupied does not have to
+//! be: in the coarse-grained regime a destination hears from a handful
+//! of sources per round, so a dense `dst_count × v` table of `u32`s —
+//! 4 TB at `v = 10^6` — is the scale blocker while holding almost
+//! nothing. [`LenTable`] therefore has two representations behind one
+//! interface: a dense grid (small `v`, matches the original layout
+//! 1:1), and a CSR-style sparse table of sorted `(src, len)` rows
+//! holding only non-empty slots. Both produce **identical** block
+//! addresses, `IoStats`, and [`MessageMatrix::sparse_lens`] snapshots —
+//! property-tested in `tests/scale_equivalence.rs` — so the choice is
+//! purely a memory/time trade governed by
+//! [`crate::ScaleTuning`].
 
 use cgmio_pdm::{
     DiskArray, IoError, IoErrorKind, Item, MessageMatrixLayout, SpanDecoder, TrackAddr,
@@ -20,24 +36,94 @@ use cgmio_pdm::{
 
 use crate::EmError;
 
+/// Per-slot message lengths: which `(src, dst_local)` slots are occupied
+/// and by how many items. Sparse rows hold only non-zero entries, sorted
+/// by source (`u64` source ids — the addressing convention for the
+/// `10^5`–`10^6` vp range).
+enum LenTable {
+    /// `rows[dst_local][src]` = items in that slot (0 = empty).
+    Dense(Vec<Vec<u32>>),
+    /// `rows[dst_local]` = sorted `(src, len)` with `len > 0` only.
+    Sparse(Vec<Vec<(u64, u32)>>),
+}
+
+impl LenTable {
+    fn new(dst_count: usize, v: usize, sparse: bool) -> Self {
+        if sparse {
+            LenTable::Sparse((0..dst_count).map(|_| Vec::new()).collect())
+        } else {
+            LenTable::Dense(vec![vec![0; v]; dst_count])
+        }
+    }
+
+    fn set(&mut self, dst_local: usize, src: usize, len: u32) {
+        match self {
+            LenTable::Dense(rows) => rows[dst_local][src] = len,
+            LenTable::Sparse(rows) => {
+                let row = &mut rows[dst_local];
+                match row.binary_search_by_key(&(src as u64), |&(s, _)| s) {
+                    Ok(k) if len == 0 => {
+                        row.remove(k);
+                    }
+                    Ok(k) => row[k].1 = len,
+                    Err(_) if len == 0 => {}
+                    Err(k) => row.insert(k, (src as u64, len)),
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            LenTable::Dense(rows) => {
+                rows.iter_mut().for_each(|r| r.iter_mut().for_each(|l| *l = 0))
+            }
+            LenTable::Sparse(rows) => rows.iter_mut().for_each(Vec::clear),
+        }
+    }
+
+    fn rows(&self) -> usize {
+        match self {
+            LenTable::Dense(rows) => rows.len(),
+            LenTable::Sparse(rows) => rows.len(),
+        }
+    }
+
+    /// Non-empty `(src, len)` entries of one row, in source order — the
+    /// one iteration shape both representations share.
+    fn row_nonzero<'a>(&'a self, dst_local: usize) -> Box<dyn Iterator<Item = (usize, u32)> + 'a> {
+        match self {
+            LenTable::Dense(rows) => Box::new(
+                rows[dst_local].iter().enumerate().filter(|&(_, &l)| l > 0).map(|(s, &l)| (s, l)),
+            ),
+            LenTable::Sparse(rows) => {
+                Box::new(rows[dst_local].iter().map(|&(s, l)| (s as usize, l)))
+            }
+        }
+    }
+}
+
 /// One superstep's worth of messages on disk, for the destinations local
 /// to one real processor.
 pub struct MessageMatrix<M: Item> {
     layout: MessageMatrixLayout,
     block_bytes: usize,
     slot_items: usize,
+    /// Sources addressing this matrix (`v` of the machine).
+    v: usize,
     /// First global destination id of band 0 (0 for the sequential
     /// engine; the block start of the owning real processor otherwise).
     dst_base: usize,
-    /// `lens[dst_local][src]` = items currently stored in that slot.
-    lens: Vec<Vec<u32>>,
+    lens: LenTable,
     _marker: std::marker::PhantomData<M>,
 }
 
 impl<M: Item> MessageMatrix<M> {
     /// A matrix for `v` sources and `dst_count` local destinations
     /// (global ids `dst_base .. dst_base + dst_count`), slots of
-    /// `slot_items` items, starting at `base_track`.
+    /// `slot_items` items, starting at `base_track`. The length table is
+    /// dense below [`crate::ScaleTuning::AUTO_THRESHOLD`] sources and
+    /// sparse above; use [`Self::new_with_mode`] to force either.
     pub fn new(
         num_disks: usize,
         block_bytes: usize,
@@ -46,6 +132,33 @@ impl<M: Item> MessageMatrix<M> {
         dst_base: usize,
         dst_count: usize,
         slot_items: usize,
+    ) -> Self {
+        let sparse = v > crate::ScaleTuning::AUTO_THRESHOLD;
+        Self::new_with_mode(
+            num_disks,
+            block_bytes,
+            base_track,
+            v,
+            dst_base,
+            dst_count,
+            slot_items,
+            sparse,
+        )
+    }
+
+    /// [`Self::new`] with an explicit length-table representation
+    /// (`sparse = false` is the dense grid). Both modes are
+    /// observationally identical; see the module docs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_mode(
+        num_disks: usize,
+        block_bytes: usize,
+        base_track: u64,
+        v: usize,
+        dst_base: usize,
+        dst_count: usize,
+        slot_items: usize,
+        sparse: bool,
     ) -> Self {
         let slot_bytes = slot_items * M::SIZE;
         let blocks_per_msg = (slot_bytes as u64).div_ceil(block_bytes as u64).max(1);
@@ -58,15 +171,16 @@ impl<M: Item> MessageMatrix<M> {
             },
             block_bytes,
             slot_items,
+            v,
             dst_base,
-            lens: vec![vec![0; v]; dst_count],
+            lens: LenTable::new(dst_count, v, sparse),
             _marker: std::marker::PhantomData,
         }
     }
 
     /// Tracks this matrix occupies per drive.
     pub fn total_tracks(&self) -> u64 {
-        self.layout.tracks_per_band() * self.lens.len() as u64 + 1
+        self.layout.tracks_per_band() * self.lens.rows() as u64 + 1
     }
 
     /// Slot capacity in items.
@@ -74,44 +188,78 @@ impl<M: Item> MessageMatrix<M> {
         self.slot_items
     }
 
-    /// The per-slot length table: `lens()[dst_local][src]`.
-    pub fn lens(&self) -> &[Vec<u32>] {
-        &self.lens
+    /// The per-slot length table in its canonical compact form: one row
+    /// per local destination of sorted `(src, len)` pairs, non-empty
+    /// slots only. Identical for both table representations — this is
+    /// the shape checkpoint manifests persist.
+    pub fn sparse_lens(&self) -> Vec<Vec<(u64, u32)>> {
+        (0..self.lens.rows())
+            .map(|d| self.lens.row_nonzero(d).map(|(s, l)| (s as u64, l)).collect())
+            .collect()
     }
 
-    /// Restore the per-slot length table from a checkpoint manifest.
-    /// The on-disk slot contents must match (they do when the array was
-    /// flushed at the barrier the manifest describes).
-    pub fn set_lens(&mut self, lens: Vec<Vec<u32>>) -> Result<(), EmError> {
-        if lens.len() != self.lens.len() || lens.iter().any(|row| row.len() != self.lens[0].len()) {
+    /// Restore the per-slot length table from a checkpoint manifest
+    /// (the compact form of [`Self::sparse_lens`]). The on-disk slot
+    /// contents must match (they do when the array was flushed at the
+    /// barrier the manifest describes).
+    pub fn set_sparse_lens(&mut self, rows: Vec<Vec<(u64, u32)>>) -> Result<(), EmError> {
+        if rows.len() != self.lens.rows() {
             return Err(EmError::BadConfig(format!(
-                "checkpoint inbox table is {}x{}, matrix is {}x{}",
-                lens.len(),
-                lens.first().map_or(0, Vec::len),
-                self.lens.len(),
-                self.lens[0].len()
+                "checkpoint inbox table has {} rows, matrix has {}",
+                rows.len(),
+                self.lens.rows()
             )));
         }
-        if let Some(&l) = lens.iter().flatten().find(|&&l| l as usize > self.slot_items) {
-            return Err(EmError::BadConfig(format!(
-                "checkpoint inbox length {l} exceeds slot capacity {}",
-                self.slot_items
-            )));
+        for row in &rows {
+            for &(src, len) in row {
+                if src >= self.v as u64 {
+                    return Err(EmError::BadConfig(format!(
+                        "checkpoint inbox source {src} out of range (v = {})",
+                        self.v
+                    )));
+                }
+                if len == 0 || len as usize > self.slot_items {
+                    return Err(EmError::BadConfig(format!(
+                        "checkpoint inbox length {len} outside (0, {}]",
+                        self.slot_items
+                    )));
+                }
+            }
+            if row.windows(2).any(|w| w[0].0 >= w[1].0) {
+                return Err(EmError::BadConfig("checkpoint inbox row not sorted by source".into()));
+            }
         }
-        self.lens = lens;
+        self.lens.clear();
+        for (dst_local, row) in rows.into_iter().enumerate() {
+            for (src, len) in row {
+                self.lens.set(dst_local, src as usize, len);
+            }
+        }
         Ok(())
     }
 
     /// Reset all slots to empty (ping-pong reuse between supersteps).
     pub fn clear(&mut self) {
-        for row in &mut self.lens {
-            row.iter_mut().for_each(|l| *l = 0);
-        }
+        self.lens.clear();
     }
 
     /// Total items received by local destination `dst_local`.
     pub fn received_items(&self, dst_local: usize) -> usize {
-        self.lens[dst_local].iter().map(|&l| l as usize).sum()
+        self.lens.row_nonzero(dst_local).map(|(_, l)| l as usize).sum()
+    }
+
+    /// Largest inbox (total items) over all local destinations — the
+    /// `max_received` of a round cost, computed straight off the length
+    /// table (`O(dst_count + nnz)`, no per-row iterator allocation).
+    pub fn max_received_items(&self) -> usize {
+        match &self.lens {
+            LenTable::Dense(rows) => {
+                rows.iter().map(|r| r.iter().map(|&l| l as usize).sum()).max().unwrap_or(0)
+            }
+            LenTable::Sparse(rows) => {
+                rows.iter().map(|r| r.iter().map(|&(_, l)| l as usize).sum()).max().unwrap_or(0)
+            }
+        }
     }
 
     /// Write a batch of messages in the given order, packed greedily into
@@ -155,7 +303,7 @@ impl<M: Item> MessageMatrix<M> {
                 .expect("staging sized to the batch");
             placed.push((off, bytes, src, dst_local));
             off += bytes.div_ceil(self.block_bytes) * self.block_bytes;
-            self.lens[dst_local][src] = items.len() as u32;
+            self.lens.set(dst_local, src, items.len() as u32);
         }
         let mut writes: Vec<(TrackAddr, &[u8])> = Vec::with_capacity(total_blocks);
         for &(off, bytes, src, dst_local) in &placed {
@@ -172,7 +320,7 @@ impl<M: Item> MessageMatrix<M> {
     pub fn read_addrs_for_dst(&self, dst: usize) -> Vec<cgmio_pdm::TrackAddr> {
         let dst_local = dst - self.dst_base;
         let mut addrs = Vec::new();
-        for (src, &len) in self.lens[dst_local].iter().enumerate() {
+        for (src, len) in self.lens.row_nonzero(dst_local) {
             let nblocks = (len as usize * M::SIZE).div_ceil(self.block_bytes);
             for q in 0..nblocks {
                 addrs.push(self.layout.addr(src, dst_local, q as u64));
@@ -181,10 +329,11 @@ impl<M: Item> MessageMatrix<M> {
         addrs
     }
 
-    /// Read the full inbox of global destination `dst`: one `Vec<M>` per
-    /// source, in source order (steps (b) of Algorithm 2). Only occupied
-    /// blocks are read, in staggered order (round-robin across disks for
-    /// balanced traffic).
+    /// Read the full inbox of global destination `dst`: `(src, items)`
+    /// per *non-empty* source, in source order (step (b) of Algorithm
+    /// 2) — the shape [`cgmio_model::Incoming::from_sparse`] consumes.
+    /// Only occupied blocks are read, in staggered order (round-robin
+    /// across disks for balanced traffic).
     ///
     /// This is [`Self::read_for_dst_submit`] followed immediately by
     /// [`Self::read_for_dst_finish`]: the serial path and the pipelined
@@ -193,7 +342,7 @@ impl<M: Item> MessageMatrix<M> {
         &mut self,
         disks: &mut DiskArray,
         dst: usize,
-    ) -> Result<Vec<Vec<M>>, EmError> {
+    ) -> Result<Vec<(usize, Vec<M>)>, EmError> {
         let t = self.read_for_dst_submit(disks, dst)?;
         self.read_for_dst_finish(disks, t)
     }
@@ -213,14 +362,14 @@ impl<M: Item> MessageMatrix<M> {
         dst: usize,
     ) -> Result<InboxTicket, EmError> {
         let dst_local = dst - self.dst_base;
-        let v = self.lens[dst_local].len();
         let mut addrs = Vec::new();
-        let mut spans: Vec<(usize, usize)> = Vec::with_capacity(v); // (items, nblocks)
-        for src in 0..v {
-            let n_items = self.lens[dst_local][src] as usize;
+        // (src, items, nblocks) per non-empty source, in source order.
+        let mut spans: Vec<(usize, usize, usize)> = Vec::new();
+        for (src, len) in self.lens.row_nonzero(dst_local) {
+            let n_items = len as usize;
             let bytes = n_items * M::SIZE;
             let nblocks = bytes.div_ceil(self.block_bytes);
-            spans.push((n_items, nblocks));
+            spans.push((src, n_items, nblocks));
             for q in 0..nblocks {
                 addrs.push(self.layout.addr(src, dst_local, q as u64));
             }
@@ -238,24 +387,25 @@ impl<M: Item> MessageMatrix<M> {
         &self,
         disks: &mut DiskArray,
         t: InboxTicket,
-    ) -> Result<Vec<Vec<M>>, EmError> {
+    ) -> Result<Vec<(usize, Vec<M>)>, EmError> {
         let InboxTicket { dst, addrs, spans, ticket } = t;
         let mut owner: Vec<usize> = Vec::with_capacity(addrs.len());
-        for (si, &(_, nblocks)) in spans.iter().enumerate() {
+        for (si, &(_, _, nblocks)) in spans.iter().enumerate() {
             owner.extend(std::iter::repeat_n(si, nblocks));
         }
         let mut decoders: Vec<SpanDecoder<M>> =
-            spans.iter().map(|&(n_items, _)| SpanDecoder::new(n_items)).collect();
+            spans.iter().map(|&(_, n_items, _)| SpanDecoder::new(n_items)).collect();
         disks.read_gather_finish(ticket, &addrs, &mut |i, block| {
             decoders[owner[i]].feed(block);
         })?;
         let mut out = Vec::with_capacity(spans.len());
         let mut bi = 0usize;
-        for (src, dec) in decoders.into_iter().enumerate() {
+        for (si, dec) in decoders.into_iter().enumerate() {
+            let (src, _, nblocks) = spans[si];
             let first = addrs.get(bi).copied().unwrap_or(TrackAddr::new(0, 0));
-            bi += spans[src].1;
+            bi += nblocks;
             match dec.finish() {
-                Ok(items) => out.push(items),
+                Ok(items) => out.push((src, items)),
                 Err(e) => {
                     return Err(EmError::Io(IoError::Fault {
                         kind: IoErrorKind::Corrupt,
@@ -277,8 +427,8 @@ impl<M: Item> MessageMatrix<M> {
 pub struct InboxTicket {
     dst: usize,
     addrs: Vec<TrackAddr>,
-    /// `(items, nblocks)` per source, in source order.
-    spans: Vec<(usize, usize)>,
+    /// `(src, items, nblocks)` per non-empty source, in source order.
+    spans: Vec<(usize, usize, usize)>,
     ticket: u64,
 }
 
@@ -286,7 +436,7 @@ impl InboxTicket {
     /// Total items this inbox read will deliver (the submit-time
     /// `received_items` of the destination).
     pub fn items(&self) -> usize {
-        self.spans.iter().map(|&(n, _)| n).sum()
+        self.spans.iter().map(|&(_, n, _)| n).sum()
     }
 }
 
@@ -301,6 +451,15 @@ mod tests {
         (disks, m)
     }
 
+    /// Dense view of a sparse inbox, for assertions.
+    fn densify(v: usize, sparse: Vec<(usize, Vec<u64>)>) -> Vec<Vec<u64>> {
+        let mut out = vec![Vec::new(); v];
+        for (src, items) in sparse {
+            out[src] = items;
+        }
+        out
+    }
+
     #[test]
     fn roundtrip_full_matrix() {
         let v = 4;
@@ -313,12 +472,56 @@ mod tests {
             m.write_batch(&mut disks, &entries).unwrap();
         }
         for dst in 0..v {
-            let inbox = m.read_for_dst(&mut disks, dst).unwrap();
+            let inbox = densify(v, m.read_for_dst(&mut disks, dst).unwrap());
             for (src, msg) in inbox.iter().enumerate() {
                 let want: Vec<u64> = (0..(src + dst) as u64 % 8).map(|k| k + 100).collect();
                 assert_eq!(msg, &want, "src={src} dst={dst}");
             }
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_tables_are_observationally_identical() {
+        let d = 3;
+        let bb = 16;
+        let v = 5;
+        let run = |sparse: bool| {
+            let mut disks = DiskArray::new(DiskGeometry::new(d, bb));
+            let mut m: MessageMatrix<u64> =
+                MessageMatrix::new_with_mode(d, bb, 0, v, 0, v, 8, sparse);
+            for src in 0..v {
+                let msgs: Vec<Vec<u64>> = (0..v)
+                    .map(|dst| (0..(3 * src + dst) as u64 % 7).map(|k| k + 10).collect())
+                    .collect();
+                let entries: Vec<(usize, usize, &[u64])> =
+                    msgs.iter().enumerate().map(|(dst, ms)| (src, dst, ms.as_slice())).collect();
+                m.write_batch(&mut disks, &entries).unwrap();
+            }
+            let inboxes: Vec<_> =
+                (0..v).map(|dst| m.read_for_dst(&mut disks, dst).unwrap()).collect();
+            (inboxes, m.sparse_lens(), disks.stats().clone())
+        };
+        let (dense_inbox, dense_lens, dense_io) = run(false);
+        let (sparse_inbox, sparse_lens, sparse_io) = run(true);
+        assert_eq!(dense_inbox, sparse_inbox);
+        assert_eq!(dense_lens, sparse_lens);
+        assert_eq!(dense_io, sparse_io);
+    }
+
+    #[test]
+    fn sparse_lens_roundtrips_through_set() {
+        let (mut disks, mut m) = setup(2, 16, 4, 4);
+        let msg = vec![1u64, 2, 3];
+        m.write_batch(&mut disks, &[(2, 1, msg.as_slice()), (0, 3, msg.as_slice())]).unwrap();
+        let lens = m.sparse_lens();
+        assert_eq!(lens[1], vec![(2, 3)]);
+        assert_eq!(lens[3], vec![(0, 3)]);
+        let mut m2: MessageMatrix<u64> = MessageMatrix::new_with_mode(2, 16, 0, 4, 0, 4, 4, true);
+        m2.set_sparse_lens(lens.clone()).unwrap();
+        assert_eq!(m2.sparse_lens(), lens);
+        // Out-of-range source and unsorted rows are rejected.
+        assert!(m2.set_sparse_lens(vec![vec![(9, 1)], vec![], vec![], vec![]]).is_err());
+        assert!(m2.set_sparse_lens(vec![vec![(2, 1), (1, 1)], vec![], vec![], vec![]]).is_err());
     }
 
     #[test]
@@ -366,7 +569,7 @@ mod tests {
         m.clear();
         assert_eq!(m.received_items(0), 0);
         let inbox = m.read_for_dst(&mut disks, 0).unwrap();
-        assert!(inbox.iter().all(Vec::is_empty));
+        assert!(inbox.is_empty(), "cleared matrix has no occupied slots");
     }
 
     #[test]
@@ -377,7 +580,7 @@ mod tests {
         let mut m: MessageMatrix<u64> = MessageMatrix::new(d, 16, 0, 4, 2, 2, 4);
         let msg: Vec<u64> = vec![5, 6, 7];
         m.write_batch(&mut disks, &[(1, 3, msg.as_slice())]).unwrap();
-        let inbox = m.read_for_dst(&mut disks, 3).unwrap();
+        let inbox = densify(4, m.read_for_dst(&mut disks, 3).unwrap());
         assert_eq!(inbox[1], msg);
         assert!(inbox[0].is_empty() && inbox[2].is_empty() && inbox[3].is_empty());
     }
@@ -390,6 +593,20 @@ mod tests {
         assert_eq!(disks.stats().total_ops(), 0);
         let inbox = m.read_for_dst(&mut disks, 0).unwrap();
         assert_eq!(disks.stats().total_ops(), 0);
-        assert!(inbox[0].is_empty());
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn huge_v_sparse_table_is_cheap() {
+        // The point of the sparse table: a million sources cost nothing
+        // until they actually send.
+        let v = 1_000_000;
+        let mut disks = DiskArray::new(DiskGeometry::new(2, 16));
+        let mut m: MessageMatrix<u64> = MessageMatrix::new(2, 16, 0, v, 0, 1, 4);
+        let msg = vec![42u64, 43];
+        m.write_batch(&mut disks, &[(999_999, 0, msg.as_slice())]).unwrap();
+        assert_eq!(m.received_items(0), 2);
+        let inbox = m.read_for_dst(&mut disks, 0).unwrap();
+        assert_eq!(inbox, vec![(999_999, vec![42, 43])]);
     }
 }

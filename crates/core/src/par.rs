@@ -557,11 +557,24 @@ fn worker<P: CgmProgram>(
     // flamegraphs separate the p real processors.
     let span = |ss: usize, ph: Phase| cfg.obs.as_ref().map(|o| o.span(t as u32, ss as u64, ph));
 
-    let mut ctx_store =
-        ContextStore::new(geom.num_disks, geom.block_bytes, 0, n_local, cfg.max_ctx_bytes);
+    // Representation tuning (see SeqEmRunner): sparse message length
+    // tables and a paged context length table keep per-worker state
+    // sublinear in v.
+    let sparse = cfg.scale.sparse_msgs(v);
+    let mut ctx_store = ContextStore::new_with(
+        geom.num_disks,
+        geom.block_bytes,
+        0,
+        n_local,
+        cfg.max_ctx_bytes,
+        &cfg.scale.ctx_paging(v),
+    );
+    if let Some(o) = &cfg.obs {
+        ctx_store.attach_obs(o, t);
+    }
     let mat_base = ctx_store.total_tracks();
     let mk_mat = |base| {
-        MessageMatrix::<P::Msg>::new(
+        MessageMatrix::<P::Msg>::new_with_mode(
             geom.num_disks,
             geom.block_bytes,
             base,
@@ -569,6 +582,7 @@ fn worker<P: CgmProgram>(
             my_range.start,
             n_local,
             cfg.msg_slot_items,
+            sparse,
         )
     };
     let mut mats = [mk_mat(mat_base), mk_mat(mat_base)];
@@ -598,8 +612,8 @@ fn worker<P: CgmProgram>(
             // for the matrix ping-pong argument).
             if setup_err.is_none() {
                 if let Err(e) = ctx_store
-                    .set_lens(wc.ctx_lens)
-                    .and_then(|()| mats[init.start_round % 2].set_lens(wc.inbox_lens))
+                    .set_lens_rle(&wc.ctx_lens)
+                    .and_then(|()| mats[init.start_round % 2].set_sparse_lens(wc.inbox_lens))
                 {
                     setup_err = Some(e);
                 }
@@ -787,7 +801,7 @@ fn worker<P: CgmProgram>(
                         pid,
                         v,
                         round,
-                        incoming: Incoming::new(per_src),
+                        incoming: Incoming::from_sparse(v, per_src),
                         outbox: &mut outbox,
                     };
                     prog.round(&mut rctx, &mut state)
@@ -812,10 +826,10 @@ fn worker<P: CgmProgram>(
                 ctl.sent_total += sent;
                 ctl.max_sent = ctl.max_sent.max(sent);
                 let mut per_owner: Vec<Packet<P::Msg>> = (0..p).map(|_| Vec::new()).collect();
-                for (dst, msg) in outbox.into_per_dst().into_iter().enumerate() {
-                    if msg.is_empty() {
-                        continue;
-                    }
+                // Sparse outbox drain: only destinations actually sent
+                // to (sorted, merged), so a vp that messages a handful
+                // of peers costs O(fanout), not O(v).
+                for (dst, msg) in outbox.into_sparse() {
                     ctl.max_message = ctl.max_message.max(msg.len());
                     ctl.min_message = ctl.min_message.min(msg.len());
                     let owner = owner_of(v, p, dst);
@@ -900,8 +914,8 @@ fn worker<P: CgmProgram>(
             io.merge(disks.stats());
             ctl.ckpt = Some(WorkerCheckpoint {
                 worker: t,
-                ctx_lens: ctx_store.lens().to_vec(),
-                inbox_lens: mats[1 - cur].lens().to_vec(),
+                ctx_lens: ctx_store.lens_rle(),
+                inbox_lens: mats[1 - cur].sparse_lens(),
                 io,
                 breakdown,
                 peak_mem,

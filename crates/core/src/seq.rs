@@ -19,7 +19,7 @@
 use std::time::Instant;
 
 use cgmio_io::TraceHandle;
-use cgmio_model::cost::round_cost_from_matrix;
+use cgmio_model::cost::RoundCost;
 use cgmio_model::{
     CgmProgram, CommCosts, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status,
 };
@@ -240,11 +240,24 @@ impl SeqEmRunner {
             cfg.obs.as_ref().map(|o| o.span(0, superstep as u64, phase))
         };
 
-        let mut ctx_store =
-            ContextStore::new(geom.num_disks, geom.block_bytes, 0, v, cfg.max_ctx_bytes);
+        // Representation tuning (auto-selected by v unless forced):
+        // sparse message length tables and a paged context length table
+        // are what keep runner-held state sublinear in v.
+        let sparse = cfg.scale.sparse_msgs(v);
+        let mut ctx_store = ContextStore::new_with(
+            geom.num_disks,
+            geom.block_bytes,
+            0,
+            v,
+            cfg.max_ctx_bytes,
+            &cfg.scale.ctx_paging(v),
+        );
+        if let Some(o) = &cfg.obs {
+            ctx_store.attach_obs(o, 0);
+        }
         let mat_base = ctx_store.total_tracks();
         let mut mats: [MessageMatrix<P::Msg>; 2] = [
-            MessageMatrix::new(
+            MessageMatrix::new_with_mode(
                 geom.num_disks,
                 geom.block_bytes,
                 mat_base,
@@ -252,8 +265,9 @@ impl SeqEmRunner {
                 0,
                 v,
                 cfg.msg_slot_items,
+                sparse,
             ),
-            MessageMatrix::new(
+            MessageMatrix::new_with_mode(
                 geom.num_disks,
                 geom.block_bytes,
                 mat_base, // placeholder, fixed just below
@@ -261,10 +275,11 @@ impl SeqEmRunner {
                 0,
                 v,
                 cfg.msg_slot_items,
+                sparse,
             ),
         ];
         let mat_tracks = mats[0].total_tracks();
-        mats[1] = MessageMatrix::new(
+        mats[1] = MessageMatrix::new_with_mode(
             geom.num_disks,
             geom.block_bytes,
             mat_base + mat_tracks,
@@ -272,6 +287,7 @@ impl SeqEmRunner {
             0,
             v,
             cfg.msg_slot_items,
+            sparse,
         );
 
         let mut costs = CommCosts::default();
@@ -298,8 +314,8 @@ impl SeqEmRunner {
                 // to a cleared one.
                 let wc = &manifest.workers[0];
                 start_round = manifest.superstep + 1;
-                ctx_store.set_lens(wc.ctx_lens.clone())?;
-                mats[start_round % 2].set_lens(wc.inbox_lens.clone())?;
+                ctx_store.set_lens_rle(&wc.ctx_lens)?;
+                mats[start_round % 2].set_sparse_lens(wc.inbox_lens.clone())?;
                 breakdown = wc.breakdown;
                 peak_mem = wc.peak_mem;
                 max_ctx = manifest.max_ctx_bytes_seen;
@@ -324,7 +340,13 @@ impl SeqEmRunner {
             }
             let cur = round % 2;
             let mut n_done = 0usize;
-            let mut matrix_lens: Vec<Vec<usize>> = vec![vec![0; v]; v];
+            // Round cost, accumulated incrementally (the dense v×v length
+            // matrix this used to be built from is gone — at v = 10^6 it
+            // was the scale blocker). Semantics are identical to
+            // `round_cost_from_matrix`: max_sent is the largest per-vp
+            // outbox, max_received the largest inbox of the *next*
+            // matrix, max/min_message range over non-empty messages.
+            let mut rc = RoundCost { min_message: usize::MAX, ..Default::default() };
 
             let (left, right) = mats.split_at_mut(1);
             let (mat_cur, mat_next) = if cur == 0 {
@@ -353,7 +375,7 @@ impl SeqEmRunner {
                 )?);
             }
 
-            for (pid, matrix_row) in matrix_lens.iter_mut().enumerate() {
+            for pid in 0..v {
                 // (a)+(b): serial demand reads at depth 0; at depth > 0
                 // redeem the in-flight tickets and top the window back
                 // up, so vp `pid + depth`'s blocks travel while vp
@@ -432,7 +454,7 @@ impl SeqEmRunner {
                         pid,
                         v,
                         round,
-                        incoming: Incoming::new(per_src),
+                        incoming: Incoming::from_sparse(v, per_src),
                         outbox: &mut outbox,
                     };
                     prog.round(&mut rctx, &mut state)
@@ -452,15 +474,15 @@ impl SeqEmRunner {
 
                 // (d) messages out (staggered format, FIFO-packed)
                 let g = span(round, Phase::MatrixWrite);
-                let per_dst = outbox.into_per_dst();
-                for (cell, msg) in matrix_row.iter_mut().zip(&per_dst) {
-                    *cell = msg.len();
+                rc.max_sent = rc.max_sent.max(out_items);
+                rc.total_items += out_items;
+                let sent = outbox.into_sparse();
+                for (_, msg) in &sent {
+                    rc.max_message = rc.max_message.max(msg.len());
+                    rc.min_message = rc.min_message.min(msg.len());
                 }
-                let entries: Vec<(usize, usize, &[P::Msg])> = per_dst
-                    .iter()
-                    .enumerate()
-                    .map(|(dst, msg)| (pid, dst, msg.as_slice()))
-                    .collect();
+                let entries: Vec<(usize, usize, &[P::Msg])> =
+                    sent.iter().map(|&(dst, ref msg)| (pid, dst, msg.as_slice())).collect();
                 let ops0 = disks.stats().total_ops();
                 mat_next.write_batch(&mut disks, &entries)?;
                 breakdown.msg_ops += disks.stats().total_ops() - ops0;
@@ -492,7 +514,11 @@ impl SeqEmRunner {
                 disks.flush(want_ckpt)?;
             }
 
-            let round_cost = round_cost_from_matrix(&matrix_lens);
+            rc.max_received = mat_next.max_received_items();
+            if rc.min_message == usize::MAX {
+                rc.min_message = 0;
+            }
+            let round_cost = rc;
             let sent_any = round_cost.total_items > 0;
             if sent_any || n_done < v {
                 costs.rounds.push(round_cost);
@@ -521,8 +547,8 @@ impl SeqEmRunner {
                     rounds: costs.rounds.clone(),
                     workers: vec![WorkerCheckpoint {
                         worker: 0,
-                        ctx_lens: ctx_store.lens().to_vec(),
-                        inbox_lens: mats[1 - cur].lens().to_vec(),
+                        ctx_lens: ctx_store.lens_rle(),
+                        inbox_lens: mats[1 - cur].sparse_lens(),
                         io,
                         breakdown,
                         peak_mem,

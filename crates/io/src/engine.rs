@@ -165,6 +165,14 @@ enum DriveOp {
         reply: Sender<io::Result<()>>,
         stamp: Stamp,
     },
+    /// Reclaim a track range: drop cached blocks and checksums for the
+    /// range, then forward to the inner backend. Travels through the
+    /// FIFO queue, so every write submitted before the discard is
+    /// applied first — no flush barrier needed.
+    Discard {
+        tracks: std::ops::Range<u64>,
+        reply: Sender<io::Result<bool>>,
+    },
 }
 
 /// Completion handle for an in-flight gather read started with
@@ -624,6 +632,17 @@ impl TrackStorage for ConcurrentStorage {
         rx.recv().map_err(|_| io::Error::other("drive worker died mid-sync"))?
     }
 
+    /// Reclamation runs on the drive worker behind every already-queued
+    /// write (FIFO coherence, like reads), and the worker drops its
+    /// prefetch-cache and checksum entries for the range before
+    /// forwarding to the inner backend — so a later tenant of the same
+    /// tracks can never be served a stale cached block.
+    fn discard(&self, disk: usize, tracks: std::ops::Range<u64>) -> io::Result<bool> {
+        let (tx, rx) = bounded(1);
+        self.submit(disk, DriveOp::Discard { tracks, reply: tx })?;
+        rx.recv().map_err(|_| io::Error::other("drive worker died mid-discard"))?
+    }
+
     fn tracks_used(&self) -> Vec<u64> {
         // Drain pending writes so file lengths are current; a deferred
         // error stays sticky for the next write/flush to report.
@@ -822,6 +841,12 @@ impl WorkerCtx {
                     let res = if sync { self.inner.sync_disk(self.drive) } else { Ok(()) };
                     self.record(OpKind::Flush, 0, 0, depth, stamp, start_us, false, 0);
                     let _ = reply.send(res);
+                }
+                DriveOp::Discard { tracks, reply } => {
+                    cache.retain(|t, _| !tracks.contains(t));
+                    order.retain(|t| !tracks.contains(t));
+                    sums.retain(|t, _| !tracks.contains(t));
+                    let _ = reply.send(self.inner.discard(self.drive, tracks));
                 }
             }
         }

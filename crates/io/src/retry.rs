@@ -119,6 +119,12 @@ impl<S: TrackStorage> TrackStorage for RetryStorage<S> {
         self.inner.sync_disk(disk)
     }
 
+    fn discard(&self, disk: usize, tracks: std::ops::Range<u64>) -> io::Result<bool> {
+        // Reclamation is bookkeeping, not a data transfer: it is never
+        // faulted or retried, only forwarded.
+        self.inner.discard(disk, tracks)
+    }
+
     fn tracks_used(&self) -> Vec<u64> {
         self.inner.tracks_used()
     }

@@ -22,30 +22,69 @@ pub enum Status {
 /// virtual processor `src` in the previous communication round, in send
 /// order. This source-indexed shape mirrors the simulation engine's
 /// message matrix, where the `(src, dst)` slot is a fixed disk region.
+///
+/// Storage is sparse: only sources that actually sent something occupy
+/// memory, so an inbox at `v = 10^6` with two senders costs two entries,
+/// not a million empty vectors. The dense-looking API (`from`, `iter`)
+/// is preserved on top.
 #[derive(Debug)]
 pub struct Incoming<M> {
-    per_src: Vec<Vec<M>>,
+    v: usize,
+    /// `(src, items)` for non-empty sources only, sorted by `src`.
+    entries: Vec<(usize, Vec<M>)>,
 }
 
 impl<M> Incoming<M> {
-    /// Build from a per-source vector (length `v`).
+    /// Build from a per-source vector (length `v`). Empty sources are
+    /// dropped on the way in.
     pub fn new(per_src: Vec<Vec<M>>) -> Self {
-        Self { per_src }
+        let v = per_src.len();
+        let entries =
+            per_src.into_iter().enumerate().filter(|(_, items)| !items.is_empty()).collect();
+        Self { v, entries }
+    }
+
+    /// Build from sparse `(src, items)` entries, which must be sorted by
+    /// `src`, unique, non-empty, and `< v`. This is the EM runners'
+    /// entry point: the message matrix's sparse length table produces
+    /// exactly this shape without materialising `v` vectors.
+    pub fn from_sparse(v: usize, entries: Vec<(usize, Vec<M>)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "sources must be sorted");
+        debug_assert!(entries.iter().all(|(s, items)| *s < v && !items.is_empty()));
+        Self { v, entries }
     }
 
     /// Empty inbox for `v` sources.
     pub fn empty(v: usize) -> Self {
-        Self { per_src: (0..v).map(|_| Vec::new()).collect() }
+        Self { v, entries: Vec::new() }
     }
 
     /// Messages from processor `src`.
     pub fn from(&self, src: usize) -> &[M] {
-        &self.per_src[src]
+        debug_assert!(src < self.v, "source {src} out of range for v={}", self.v);
+        match self.entries.binary_search_by_key(&src, |(s, _)| *s) {
+            Ok(k) => &self.entries[k].1,
+            Err(_) => &[],
+        }
     }
 
     /// Iterate `(src, items)` over all sources (including empty ones).
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[M])> {
-        self.per_src.iter().enumerate().map(|(s, v)| (s, v.as_slice()))
+        let mut k = 0;
+        (0..self.v).map(move |s| {
+            if k < self.entries.len() && self.entries[k].0 == s {
+                k += 1;
+                (s, self.entries[k - 1].1.as_slice())
+            } else {
+                (s, &[][..])
+            }
+        })
+    }
+
+    /// Iterate `(src, items)` over non-empty sources only, in source
+    /// order — O(senders), not O(v).
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (usize, &[M])> {
+        self.entries.iter().map(|(s, items)| (*s, items.as_slice()))
     }
 
     /// All received items, in source order, flattened.
@@ -53,61 +92,114 @@ impl<M> Incoming<M> {
     where
         M: Copy,
     {
-        self.per_src.iter().flat_map(|v| v.iter().copied()).collect()
+        self.entries.iter().flat_map(|(_, items)| items.iter().copied()).collect()
     }
 
     /// Total number of items received (the `h` of the h-relation, on the
     /// receive side).
     pub fn total(&self) -> usize {
-        self.per_src.iter().map(Vec::len).sum()
+        self.entries.iter().map(|(_, items)| items.len()).sum()
     }
 
-    /// Consume, returning the per-source vectors.
+    /// Consume, returning dense per-source vectors (length `v`).
     pub fn into_per_src(self) -> Vec<Vec<M>> {
-        self.per_src
+        let mut per_src: Vec<Vec<M>> = (0..self.v).map(|_| Vec::new()).collect();
+        for (s, items) in self.entries {
+            per_src[s] = items;
+        }
+        per_src
     }
 }
 
 /// Staging area for the messages a processor sends in one round.
+///
+/// Sparse like [`Incoming`]: destinations are materialised on first
+/// touch, so `Outbox::new(10^6)` is two machine words until the program
+/// actually sends. Entries keep first-touch order internally;
+/// [`Outbox::into_sparse`] sorts by destination.
 #[derive(Debug)]
 pub struct Outbox<M> {
-    per_dst: Vec<Vec<M>>,
+    v: usize,
+    /// `(dst, items)` in first-touch order.
+    entries: Vec<(usize, Vec<M>)>,
 }
 
 impl<M: Item> Outbox<M> {
     /// New empty outbox for `v` destinations.
     pub fn new(v: usize) -> Self {
-        Self { per_dst: (0..v).map(|_| Vec::new()).collect() }
+        Self { v, entries: Vec::new() }
     }
 
     /// Number of destinations (`v`).
     pub fn v(&self) -> usize {
-        self.per_dst.len()
+        self.v
+    }
+
+    /// The staging vector for `dst` (created on first touch). Checks the
+    /// most recent destination first — the common send pattern streams
+    /// many items to one destination before moving on.
+    fn slot(&mut self, dst: usize) -> &mut Vec<M> {
+        assert!(dst < self.v, "destination {dst} out of range for v={}", self.v);
+        let k = match self.entries.last() {
+            Some((d, _)) if *d == dst => self.entries.len() - 1,
+            _ => match self.entries.iter().position(|(d, _)| *d == dst) {
+                Some(k) => k,
+                None => {
+                    self.entries.push((dst, Vec::new()));
+                    self.entries.len() - 1
+                }
+            },
+        };
+        &mut self.entries[k].1
     }
 
     /// Append one item to the message for `dst`.
     pub fn push(&mut self, dst: usize, item: M) {
-        self.per_dst[dst].push(item);
+        self.slot(dst).push(item);
     }
 
     /// Append many items to the message for `dst`.
     pub fn send(&mut self, dst: usize, items: impl IntoIterator<Item = M>) {
-        self.per_dst[dst].extend(items);
+        self.slot(dst).extend(items);
     }
 
     /// Items queued for `dst` so far.
     pub fn queued(&self, dst: usize) -> usize {
-        self.per_dst[dst].len()
+        self.entries.iter().find(|(d, _)| *d == dst).map_or(0, |(_, items)| items.len())
     }
 
     /// Total items queued (send-side `h`).
     pub fn total(&self) -> usize {
-        self.per_dst.iter().map(Vec::len).sum()
+        self.entries.iter().map(|(_, items)| items.len()).sum()
     }
 
-    /// Consume, returning per-destination vectors.
+    /// Consume, returning dense per-destination vectors (length `v`).
     pub fn into_per_dst(self) -> Vec<Vec<M>> {
-        self.per_dst
+        let mut per_dst: Vec<Vec<M>> = (0..self.v).map(|_| Vec::new()).collect();
+        for (d, items) in self.entries {
+            per_dst[d].extend(items);
+        }
+        per_dst
+    }
+
+    /// Consume, returning sparse `(dst, items)` entries sorted by
+    /// destination, non-empty messages only — the EM runners' step (d)
+    /// input. Repeated touches of one destination are merged in send
+    /// order, exactly as the dense form would concatenate them.
+    pub fn into_sparse(mut self) -> Vec<(usize, Vec<M>)> {
+        // First-touch order may interleave destinations; merge dupes.
+        self.entries.sort_by_key(|(d, _)| *d);
+        let mut out: Vec<(usize, Vec<M>)> = Vec::with_capacity(self.entries.len());
+        for (d, items) in self.entries {
+            if items.is_empty() {
+                continue;
+            }
+            match out.last_mut() {
+                Some((last, acc)) if *last == d => acc.extend(items),
+                _ => out.push((d, items)),
+            }
+        }
+        out
     }
 }
 
@@ -198,5 +290,39 @@ mod tests {
         assert_eq!(inc.flatten(), vec![1, 2, 3]);
         let pairs: Vec<(usize, usize)> = inc.iter().map(|(s, m)| (s, m.len())).collect();
         assert_eq!(pairs, vec![(0, 2), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn sparse_and_dense_incoming_agree() {
+        let dense = Incoming::new(vec![vec![], vec![7u64], vec![], vec![8, 9]]);
+        let sparse = Incoming::from_sparse(4, vec![(1, vec![7u64]), (3, vec![8, 9])]);
+        assert_eq!(dense.from(1), sparse.from(1));
+        assert_eq!(dense.from(2), sparse.from(2));
+        assert_eq!(dense.total(), sparse.total());
+        assert_eq!(dense.flatten(), sparse.flatten());
+        let nonempty: Vec<usize> = sparse.iter_nonempty().map(|(s, _)| s).collect();
+        assert_eq!(nonempty, vec![1, 3]);
+        assert_eq!(sparse.into_per_src(), vec![vec![], vec![7], vec![], vec![8, 9]]);
+    }
+
+    #[test]
+    fn outbox_into_sparse_sorts_and_merges_interleaved_sends() {
+        let mut o: Outbox<u64> = Outbox::new(5);
+        o.push(3, 1);
+        o.push(0, 2);
+        o.push(3, 3); // revisit dst 3 after touching dst 0
+        o.send(1, []); // empty touch must not appear in sparse form
+        let sparse = o.into_sparse();
+        assert_eq!(sparse, vec![(0, vec![2]), (3, vec![1, 3])]);
+    }
+
+    #[test]
+    fn outbox_new_does_not_allocate_per_destination() {
+        // The whole point of the sparse outbox: v can be huge for free.
+        let mut o: Outbox<u64> = Outbox::new(1_000_000);
+        o.push(999_999, 42);
+        assert_eq!(o.total(), 1);
+        assert_eq!(o.queued(999_999), 1);
+        assert_eq!(o.into_sparse(), vec![(999_999, vec![42])]);
     }
 }

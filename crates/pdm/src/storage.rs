@@ -17,7 +17,9 @@
 //! All methods take `&self` so a storage can be driven from per-drive
 //! worker threads; backends provide their own interior mutability.
 
+use std::collections::HashMap;
 use std::io;
+use std::ops::Range;
 use std::sync::Mutex;
 
 use crate::disk::TrackAddr;
@@ -146,6 +148,19 @@ pub trait TrackStorage: Send + Sync {
         Ok(())
     }
 
+    /// Release the tracks of `tracks` on `disk`, returning `Ok(true)`
+    /// when the backend reclaimed them. After a successful discard the
+    /// tracks read as zeros again — exactly like never-written tracks —
+    /// and any backing resources are freed, so a caller that hands the
+    /// range to a new tenant preserves the fresh-window contract.
+    ///
+    /// `Ok(false)` means the backend cannot reclaim (the default):
+    /// contents are unchanged and the caller must treat the range as
+    /// still occupied. Discards are bookkeeping, never counted as I/O.
+    fn discard(&self, _disk: usize, _tracks: Range<u64>) -> io::Result<bool> {
+        Ok(false)
+    }
+
     /// Highest allocated track count per drive (diagnostics).
     fn tracks_used(&self) -> Vec<u64>;
 }
@@ -198,6 +213,9 @@ macro_rules! forward_track_storage {
             }
             fn sync_disk(&self, disk: usize) -> io::Result<()> {
                 (**self).sync_disk(disk)
+            }
+            fn discard(&self, disk: usize, tracks: std::ops::Range<u64>) -> io::Result<bool> {
+                (**self).discard(disk, tracks)
             }
             fn tracks_used(&self) -> Vec<u64> {
                 (**self).tracks_used()
@@ -350,6 +368,21 @@ impl<S: TrackStorage> TrackStorage for TrackRange<S> {
         self.inner.sync_disk(disk)
     }
 
+    fn discard(&self, disk: usize, tracks: Range<u64>) -> io::Result<bool> {
+        // Validate both bounds against the window before remapping so a
+        // range can never leak past the span into a neighbour's tracks.
+        if tracks.start > tracks.end || tracks.end > self.span_tracks {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "discard {tracks:?} outside namespaced range of {} tracks (base {})",
+                    self.span_tracks, self.base_track
+                ),
+            ));
+        }
+        self.inner.discard(disk, self.base_track + tracks.start..self.base_track + tracks.end)
+    }
+
     fn tracks_used(&self) -> Vec<u64> {
         // Report usage window-relative, clamped to the span.
         self.inner
@@ -360,12 +393,19 @@ impl<S: TrackStorage> TrackStorage for TrackRange<S> {
     }
 }
 
-/// One drive's tracks, allocated on demand (`None` reads as zeros).
-type DriveTracks = Vec<Option<Box<[u8]>>>;
+/// One drive's tracks, allocated on demand (absent tracks read as
+/// zeros). Keyed by the full u64 track address — the map is as sparse
+/// as the data, so a run that touches a handful of tracks at a huge
+/// base offset (a paged context spill, a job window deep in a shared
+/// pool) costs memory proportional to the tracks *written*, not to the
+/// highest address. The dense `Vec<Option<...>>` this replaces made
+/// `MemStorage` the scale blocker: addressing track `t` allocated `t`
+/// slots.
+type DriveTracks = HashMap<u64, Box<[u8]>>;
 
-/// In-memory [`TrackStorage`]: tracks allocated on demand, `None` reads
-/// as zeros. Per-disk locks keep it `Sync` without serialising disks
-/// against each other.
+/// In-memory [`TrackStorage`]: tracks allocated on demand, absent
+/// tracks read as zeros. Per-disk locks keep it `Sync` without
+/// serialising disks against each other.
 pub struct MemStorage {
     disks: Vec<Mutex<DriveTracks>>,
     block_bytes: usize,
@@ -375,7 +415,7 @@ impl MemStorage {
     /// Empty storage for `geom.num_disks` drives.
     pub fn new(geom: DiskGeometry) -> Self {
         Self {
-            disks: (0..geom.num_disks).map(|_| Mutex::new(Vec::new())).collect(),
+            disks: (0..geom.num_disks).map(|_| Mutex::new(HashMap::new())).collect(),
             block_bytes: geom.block_bytes,
         }
     }
@@ -384,22 +424,14 @@ impl MemStorage {
 impl TrackStorage for MemStorage {
     fn read_track(&self, disk: usize, track: u64) -> io::Result<Vec<u8>> {
         let tracks = self.disks[disk].lock().unwrap();
-        Ok(tracks
-            .get(track as usize)
-            .and_then(|t| t.as_ref())
-            .map(|t| t.to_vec())
-            .unwrap_or_else(|| vec![0u8; self.block_bytes]))
+        Ok(tracks.get(&track).map(|t| t.to_vec()).unwrap_or_else(|| vec![0u8; self.block_bytes]))
     }
 
     fn write_track(&self, disk: usize, track: u64, data: &[u8]) -> io::Result<()> {
         let mut tracks = self.disks[disk].lock().unwrap();
-        let idx = track as usize;
-        if tracks.len() <= idx {
-            tracks.resize_with(idx + 1, || None);
-        }
         let mut block = vec![0u8; self.block_bytes].into_boxed_slice();
         block[..data.len()].copy_from_slice(data);
-        tracks[idx] = Some(block);
+        tracks.insert(track, block);
         Ok(())
     }
 
@@ -413,7 +445,7 @@ impl TrackStorage for MemStorage {
         let mut zeros: Vec<u8> = Vec::new();
         for (i, a) in addrs.iter().enumerate() {
             let tracks = self.disks[a.disk].lock().unwrap();
-            match tracks.get(a.track as usize).and_then(|t| t.as_ref()) {
+            match tracks.get(&a.track) {
                 Some(t) => f(i, t),
                 None => {
                     if zeros.is_empty() {
@@ -426,8 +458,16 @@ impl TrackStorage for MemStorage {
         Ok(())
     }
 
+    fn discard(&self, disk: usize, tracks: Range<u64>) -> io::Result<bool> {
+        let mut map = self.disks[disk].lock().unwrap();
+        map.retain(|t, _| !tracks.contains(t));
+        Ok(true)
+    }
+
     fn tracks_used(&self) -> Vec<u64> {
-        self.disks.iter().map(|d| d.lock().unwrap().len() as u64).collect()
+        // High-water mark: one past the highest *live* track, so a full
+        // discard of the tail really lowers the mark.
+        self.disks.iter().map(|d| d.lock().unwrap().keys().max().map_or(0, |&t| t + 1)).collect()
     }
 }
 
@@ -501,6 +541,40 @@ mod tests {
         assert_eq!(n, 3);
         // Out-of-range prefetch hints are dropped, not errors.
         r.prefetch(&[TrackAddr::new(0, 99)]);
+    }
+
+    #[test]
+    fn discard_zeroes_and_lowers_high_water() {
+        let s = MemStorage::new(DiskGeometry::new(2, 4));
+        for t in 0..8u64 {
+            s.write_track(0, t, &[t as u8 + 1]).unwrap();
+        }
+        assert_eq!(s.tracks_used(), vec![8, 0]);
+        assert!(s.discard(0, 4..8).unwrap());
+        assert_eq!(s.tracks_used(), vec![4, 0], "tail discard lowers the mark");
+        assert_eq!(s.read_track(0, 5).unwrap(), vec![0; 4], "discarded tracks read as zeros");
+        assert_eq!(s.read_track(0, 3).unwrap(), vec![4, 0, 0, 0], "live tracks untouched");
+    }
+
+    #[test]
+    fn sparse_tracks_cost_no_dense_backing() {
+        // A single write at a huge track address must not allocate a
+        // dense table up to it — this is the v=10^6 scale contract.
+        let s = MemStorage::new(DiskGeometry::new(1, 4));
+        s.write_track(0, u64::from(u32::MAX) * 16, &[9]).unwrap();
+        assert_eq!(s.read_track(0, u64::from(u32::MAX) * 16).unwrap(), vec![9, 0, 0, 0]);
+        assert_eq!(s.tracks_used(), vec![u64::from(u32::MAX) * 16 + 1]);
+    }
+
+    #[test]
+    fn track_range_discard_remaps_and_bounds() {
+        let pool = Arc::new(MemStorage::new(DiskGeometry::new(1, 4)));
+        let a = TrackRange::new(Arc::clone(&pool), 10, 5);
+        a.write_track(0, 2, &[7]).unwrap();
+        assert!(a.discard(0, 0..5).unwrap());
+        assert_eq!(pool.read_track(0, 12).unwrap(), vec![0; 4]);
+        // A range reaching past the span is rejected before remapping.
+        assert_eq!(a.discard(0, 3..6).unwrap_err().kind(), io::ErrorKind::InvalidInput);
     }
 
     #[test]

@@ -9,13 +9,19 @@
 //! private track window out of the pool ([`BackendSpec::Shared`]), run
 //! the job, and write its report.
 //!
-//! **Isolation.** Track windows are allocated monotonically from an
-//! atomic counter, so no two jobs ever share a track; a fresh window
-//! reads as zeros, exactly like a fresh disk array, which is why a
-//! job's finals and `IoStats` are bit-identical to a solo run (see
-//! `tests/service_isolation.rs`). The engine's sticky write-error is
-//! the one engine-global piece of state: the service runs the pool
-//! fault-free (no fault plan is ever attached), so it stays clear.
+//! **Isolation.** Track windows come from a [`TrackPool`]: live jobs
+//! never share a track, and when a job completes its window is
+//! *discarded* (`TrackStorage::discard` — caches dropped, backing
+//! freed, tracks read as zeros again) and recycled for a later job of
+//! the same span. A recycled window is therefore indistinguishable
+//! from a fresh one, which is why a job's finals and `IoStats` are
+//! bit-identical to a solo run (see `tests/service_isolation.rs`).
+//! If the backend cannot reclaim (`discard` returns `Ok(false)` or
+//! errors) the window is leaked and allocation falls back to the
+//! monotonic bump — correctness is kept either way, only pool
+//! high-water suffers. The engine's sticky write-error is the one
+//! engine-global piece of state: the service runs the pool fault-free
+//! (no fault plan is ever attached), so it stays clear.
 //!
 //! **No per-job runner observability.** The shared engine publishes its
 //! drive metrics through the service's [`Obs`]; per-job runner spans
@@ -24,6 +30,7 @@
 //! and the service reports job-level metrics itself (queue wait,
 //! latency, outcome counters — all labelled by tenant).
 
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -149,14 +156,55 @@ struct SchedState {
     records: Vec<JobRecord>,
 }
 
+/// Track-window allocator for the shared pool: exact-span free lists
+/// over a monotonic bump pointer.
+///
+/// `alloc` prefers a previously released window of the *same* span —
+/// exact-fit only, so a recycled window can never straddle tracks still
+/// owned by a neighbour — and bumps `next` otherwise. `release` is only
+/// called after the window's tracks were successfully discarded, so
+/// every window handed out reads as zeros. Without reclamation a
+/// long-running service's pool footprint grows with every job ever run;
+/// with it, the high-water mark is bounded by the peak *concurrent*
+/// span (see `long_job_stream_reuses_pool_windows`).
+#[derive(Debug, Default)]
+struct TrackPool {
+    inner: Mutex<TrackPoolInner>,
+}
+
+#[derive(Debug, Default)]
+struct TrackPoolInner {
+    next: u64,
+    /// span → bases of discarded windows of exactly that span.
+    free: HashMap<u64, Vec<u64>>,
+}
+
+impl TrackPool {
+    fn alloc(&self, span: u64) -> u64 {
+        let mut g = self.inner.lock().unwrap();
+        if let Some(base) = g.free.get_mut(&span).and_then(Vec::pop) {
+            return base;
+        }
+        let base = g.next;
+        g.next += span;
+        base
+    }
+
+    fn release(&self, base: u64, span: u64) {
+        self.inner.lock().unwrap().free.entry(span).or_default().push(base);
+    }
+
+    /// One past the highest track ever allocated (per drive).
+    fn high_water(&self) -> u64 {
+        self.inner.lock().unwrap().next
+    }
+}
+
 struct Shared {
     num_disks: usize,
     block_bytes: usize,
     pool: Arc<ConcurrentStorage>,
-    /// Next unallocated track (per drive) in the pool. Monotonic: track
-    /// windows are never reused, which is what guarantees cross-job
-    /// isolation on the shared backend.
-    next_track: AtomicU64,
+    tracks: TrackPool,
     admission: AdmissionController,
     state: Mutex<SchedState>,
     cv: Condvar,
@@ -204,6 +252,7 @@ impl Shared {
             m.gauge("cgmio_svc_queue_depth", &[]).set(queued as i64);
             m.gauge("cgmio_svc_inflight_predicted_ops", &[])
                 .set(self.admission.in_flight_ops() as i64);
+            m.gauge("cgmio_svc_pool_high_water_tracks", &[]).set(self.tracks.high_water() as i64);
         }
     }
 
@@ -221,7 +270,7 @@ impl Shared {
         let queue_wait_us = self.now_us().saturating_sub(submitted_us);
         let predicted_ops = prepared.predicted_ops;
         let span = prepared.span_tracks;
-        let base = self.next_track.fetch_add(span, Ordering::Relaxed);
+        let base = self.tracks.alloc(span);
         let mut status = JobStatus {
             state: JobState::Running,
             tenant: spec.tenant.clone(),
@@ -239,6 +288,20 @@ impl Shared {
             worker_span_tracks: span,
         };
         let result = prepared.run(cfg);
+        // Reclaim the window (failed runs included — their writes are
+        // garbage either way). The engine queues the discard behind the
+        // job's in-flight writes and drops its caches for the range, so
+        // recycling is race-free. Any drive that cannot reclaim leaks
+        // the whole window back to the bump allocator.
+        let mut reclaimed = true;
+        for disk in 0..self.num_disks {
+            if !matches!(self.pool.discard(disk, base..base + span), Ok(true)) {
+                reclaimed = false;
+            }
+        }
+        if reclaimed {
+            self.tracks.release(base, span);
+        }
         let latency_us = self.now_us().saturating_sub(submitted_us);
         let deadline_missed = spec.deadline_hint_ms.map(|ms| latency_us > ms.saturating_mul(1000));
         let rec = match result {
@@ -347,7 +410,7 @@ impl JobService {
             num_disks: cfg.num_disks,
             block_bytes: cfg.block_bytes,
             pool,
-            next_track: AtomicU64::new(0),
+            tracks: TrackPool::default(),
             admission: AdmissionController::new(cfg.budget_ops),
             state: Mutex::new(SchedState {
                 queue: DrrScheduler::new(cfg.quantum_ops),
@@ -444,6 +507,14 @@ impl JobService {
         self.shared.admission.in_flight_ops()
     }
 
+    /// Pool high-water mark: one past the highest track (per drive)
+    /// ever carved out of the shared pool. With a reclaiming backend
+    /// this is bounded by the peak *concurrent* window span, not by the
+    /// number of jobs ever run.
+    pub fn pool_high_water_tracks(&self) -> u64 {
+        self.shared.tracks.high_water()
+    }
+
     /// The artifact directory of a job, when artifacts are enabled.
     pub fn job_dir(&self, id: JobId) -> Option<PathBuf> {
         self.shared.artifacts.as_ref().map(|a| a.job_dir(id))
@@ -533,6 +604,39 @@ mod tests {
         let by_id = |id: u64| records.iter().find(|r| r.id.0 == id).unwrap();
         assert_eq!(by_id(0).finals_hash, by_id(1).finals_hash);
         assert_ne!(by_id(0).finals_hash, by_id(2).finals_hash, "different seed");
+    }
+
+    #[test]
+    fn long_job_stream_reuses_pool_windows() {
+        let c = cfg();
+        let (num_disks, workers) = (c.num_disks, c.workers);
+        let svc = JobService::new(c).unwrap();
+        let one = prepare(&spec("t", 0), num_disks).unwrap().span_tracks;
+        let sh = Arc::clone(&svc.shared);
+        // Same spec throughout ⇒ same window span ⇒ the exact-fit free
+        // list must recycle (differently-sized windows recycle too, but
+        // only among jobs of their own span).
+        for _ in 0..24u64 {
+            svc.submit(spec("t", 0)).unwrap();
+        }
+        let records = svc.drain();
+        assert_eq!(records.len(), 24);
+        assert!(records.iter().all(|r| r.ok), "{records:?}");
+        // Windows are recycled on completion, so the pool footprint is
+        // bounded by the concurrent window span — it must NOT scale
+        // with the 24 jobs the stream pushed through.
+        let hw = sh.tracks.high_water();
+        assert!(
+            hw <= workers as u64 * one,
+            "pool high-water {hw} tracks exceeds {workers} concurrent windows of {one}"
+        );
+        // And determinism survives reuse: same seed ⇒ same finals even
+        // when the second run lands in a recycled window.
+        let again = JobService::new(cfg()).unwrap();
+        again.submit(spec("t", 7)).unwrap();
+        again.submit(spec("t", 7)).unwrap();
+        let rs = again.drain();
+        assert_eq!(rs[0].finals_hash, rs[1].finals_hash);
     }
 
     #[test]

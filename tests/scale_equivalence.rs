@@ -1,0 +1,221 @@
+//! The large-`v` representations must be *observably invisible*: the
+//! sparse message-length table and the paged context-length table
+//! ([`cgmio_core::ScaleTuning`]) are memory layouts, not semantics, so
+//! final states, `IoStats`, op breakdowns, and checkpoint manifests
+//! have to be bit-identical to the dense/resident path — across both
+//! EM runners and backends, including a checkpoint taken under one
+//! representation and resumed under the other (`ScaleTuning` is
+//! excluded from `config_hash` precisely to allow that).
+
+use cgmio_algos::CgmSort;
+use cgmio_core::{
+    measure_requirements, BackendSpec, CheckpointManifest, EmConfig, ParEmRunner, RunOutcome,
+    ScaleTuning, SeqEmRunner,
+};
+use cgmio_data as data;
+use cgmio_model::demo::{AllToOne, TokenRing};
+use proptest::prelude::*;
+
+type SortState = (Vec<u64>, Vec<u64>);
+
+fn sort_states(keys: &[u64], v: usize) -> Vec<SortState> {
+    data::block_split(keys.to_vec(), v).into_iter().map(|b| (b, Vec::new())).collect()
+}
+
+fn sort_config(keys: &[u64], v: usize, d: usize, bb: usize) -> EmConfig {
+    let prog = CgmSort::<u64>::by_pivots();
+    let (_, _, req) = measure_requirements(&prog, sort_states(keys, v)).unwrap();
+    EmConfig::from_requirements(v, 1, d, bb, &req)
+}
+
+/// Force the dense message table and fully resident context table.
+fn dense() -> ScaleTuning {
+    ScaleTuning {
+        sparse_msg_lens: Some(false),
+        paged_ctx_lens: Some(false),
+        ..ScaleTuning::default()
+    }
+}
+
+/// Force the sparse message table and a deliberately tiny paged context
+/// table (2-entry pages, 1 hot page) so eviction and reload really
+/// happen even at test-sized `v`.
+fn sparse() -> ScaleTuning {
+    ScaleTuning {
+        sparse_msg_lens: Some(true),
+        paged_ctx_lens: Some(true),
+        ctx_page_entries: 2,
+        ctx_resident_pages: 1,
+    }
+}
+
+/// Finals, IoStats, and op breakdowns agree between representations on
+/// both runners and all three backends, for a message-heavy sort.
+#[test]
+fn representations_invisible_across_backends_and_runners() {
+    let keys = data::uniform_u64(3000, 29);
+    let v = 6;
+    let prog = CgmSort::<u64>::by_pivots();
+    let base = sort_config(&keys, v, 2, 64);
+    let dir = cgmio_pdm::testutil::TempDir::new("cgmio-scale-eq");
+
+    for p in [1usize, 2] {
+        let mut want = None;
+        for (tag, tuning) in [("dense", dense()), ("sparse", sparse())] {
+            for backend in [
+                BackendSpec::Mem,
+                BackendSpec::SyncFile { dir: dir.path().join(format!("sync-{p}-{tag}")) },
+                BackendSpec::Concurrent { dir: None, opts: Default::default() },
+            ] {
+                let mut cfg = base.clone();
+                cfg.p = p;
+                cfg.scale = tuning.clone();
+                cfg.backend = backend.clone();
+                let (got, rep) = if p == 1 {
+                    SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap()
+                } else {
+                    ParEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap()
+                };
+                let key = (got, rep.io.clone(), rep.breakdown, rep.costs.clone());
+                match &want {
+                    None => want = Some(key),
+                    Some(w) => {
+                        assert_eq!(&key.0, &w.0, "p={p} {tag} {backend:?}: finals differ");
+                        assert_eq!(&key.1, &w.1, "p={p} {tag} {backend:?}: IoStats differ");
+                        assert_eq!(&key.2, &w.2, "p={p} {tag} {backend:?}: breakdown differs");
+                        assert_eq!(&key.3, &w.3, "p={p} {tag} {backend:?}: costs differ");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Checkpoint manifests are representation-independent, and a manifest
+/// written under one representation resumes under the other with
+/// bit-identical finals and cumulative I/O — on both runners.
+#[test]
+fn manifests_and_resume_cross_representations() {
+    let v = 4;
+    let prog = TokenRing { rounds: 6 };
+    let init = || (0..v as u64).map(|i| vec![i]).collect::<Vec<_>>();
+    let (_, _, req) = measure_requirements(&prog, init()).unwrap();
+
+    for p in [1usize, 2] {
+        for (take, resume) in [(dense(), sparse()), (sparse(), dense())] {
+            let dir = cgmio_pdm::testutil::TempDir::new(&format!("cgmio-scale-resume-{p}"));
+            let mut cfg = EmConfig::from_requirements(v, p, 2, 32, &req);
+            let run = |c: EmConfig| {
+                if p == 1 {
+                    SeqEmRunner::new(c).run_until(&prog, init())
+                } else {
+                    ParEmRunner::new(c).run_until(&prog, init())
+                }
+            };
+            let (want, want_rep) = run(cfg.clone()).unwrap().expect_complete();
+
+            // The manifest itself must not depend on the representation
+            // that produced it.
+            let manifest_under = |tuning: ScaleTuning, halt: usize| {
+                let mut c = cfg.clone();
+                c.scale = tuning;
+                c.halt_after_superstep = Some(halt);
+                match run(c).unwrap() {
+                    RunOutcome::Interrupted(ck) => ck.manifest,
+                    RunOutcome::Complete { .. } => panic!("expected halt at {halt}"),
+                }
+            };
+            for halt in [0usize, 2] {
+                assert_eq!(
+                    manifest_under(dense(), halt),
+                    manifest_under(sparse(), halt),
+                    "p={p} halt={halt}: manifest depends on representation"
+                );
+            }
+
+            // Crash under `take`, resume under `resume`.
+            cfg.backend = BackendSpec::SyncFile { dir: dir.path().join("drives") };
+            cfg.checkpoint_dir = Some(dir.path().to_path_buf());
+            cfg.scale = take;
+            cfg.halt_after_superstep = Some(2);
+            match run(cfg.clone()).unwrap() {
+                RunOutcome::Interrupted(c) => drop(c), // the "crash"
+                RunOutcome::Complete { .. } => panic!("expected halt"),
+            }
+            let manifest =
+                CheckpointManifest::load(&CheckpointManifest::path_in(dir.path())).unwrap();
+            cfg.halt_after_superstep = None;
+            cfg.scale = resume;
+            let resumed = if p == 1 {
+                SeqEmRunner::new(cfg).resume_from(&prog, &manifest).unwrap()
+            } else {
+                ParEmRunner::new(cfg).resume_from(&prog, &manifest).unwrap()
+            };
+            let (finals, rep) = resumed.expect_complete();
+            assert_eq!(finals, want, "p={p}: cross-representation resume diverged");
+            assert_eq!(rep.io, want_rep.io, "p={p}: cumulative I/O diverged");
+        }
+    }
+}
+
+/// Skewed traffic (everything to vp 0) exercises the sparse table's
+/// asymmetric rows: one crowded row, all others empty.
+#[test]
+fn skewed_traffic_identical_across_representations() {
+    let v = 8;
+    let prog = AllToOne { items_per_proc: 5 };
+    let init = || (0..v).map(|_| Vec::new()).collect::<Vec<Vec<u64>>>();
+    let (_, _, req) = measure_requirements(&prog, init()).unwrap();
+    for p in [1usize, 2, 4] {
+        let mut cfg = EmConfig::from_requirements(v, p, 2, 32, &req);
+        cfg.scale = dense();
+        let run = |c: EmConfig| {
+            if p == 1 {
+                SeqEmRunner::new(c).run(&prog, init()).unwrap()
+            } else {
+                ParEmRunner::new(c).run(&prog, init()).unwrap()
+            }
+        };
+        let (want, want_rep) = run(cfg.clone());
+        cfg.scale = sparse();
+        let (got, rep) = run(cfg);
+        assert_eq!(got, want, "p={p}: skewed finals differ");
+        assert_eq!(rep.io, want_rep.io, "p={p}: skewed IoStats differ");
+        assert_eq!(rep.costs, want_rep.costs, "p={p}: skewed costs differ");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary inputs and machine shapes: sparse/paged matches
+    /// dense/resident bit-for-bit on both runners.
+    #[test]
+    fn random_inputs_representation_invariant(
+        seed in 0u64..1000,
+        n in 200usize..800,
+        v in 2usize..8,
+        p in 1usize..3,
+    ) {
+        let p = p.min(v);
+        let keys = data::uniform_u64(n, seed);
+        let prog = CgmSort::<u64>::by_pivots();
+        let mut cfg = sort_config(&keys, v, 2, 64);
+        cfg.p = p;
+        let run = |c: EmConfig| {
+            if p == 1 {
+                SeqEmRunner::new(c).run(&prog, sort_states(&keys, v)).unwrap()
+            } else {
+                ParEmRunner::new(c).run(&prog, sort_states(&keys, v)).unwrap()
+            }
+        };
+        let mut cd = cfg.clone();
+        cd.scale = dense();
+        let (want, want_rep) = run(cd);
+        cfg.scale = sparse();
+        let (got, rep) = run(cfg);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(rep.io, want_rep.io);
+        prop_assert_eq!(rep.breakdown, want_rep.breakdown);
+    }
+}
