@@ -75,6 +75,11 @@ fn menu() -> Vec<(&'static str, &'static str, Exp)> {
             "per-processor state at large v: sparse/paged sweep (BENCH_scale.json)",
             Box::new(ex::scale),
         ),
+        (
+            "disk",
+            "real multi-file layouts, D={4,8,16}: threads vs async reactors (BENCH_disk.json)",
+            Box::new(ex::disk),
+        ),
     ]
 }
 

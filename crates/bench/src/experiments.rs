@@ -1594,6 +1594,200 @@ pub fn scale(out_dir: &std::path::Path) -> Table {
     t
 }
 
+/// One measured point of the `disk` experiment.
+struct DiskPoint {
+    d: usize,
+    backend: &'static str,
+    wall_ms: f64,
+    io_ops: u64,
+    io_blocks: u64,
+    /// Mean submission-batch size (blocks per reactor drain), async
+    /// backend only — the direct measure of coalescing opportunity.
+    mean_batch_blocks: Option<f64>,
+}
+
+/// `disk`: the thread-per-drive engine vs the async submission backend
+/// on *real multi-file layouts*, D ∈ {4, 8, 16} — buffered and, as a
+/// third variant, with `O_DIRECT` (page cache bypassed; silently
+/// buffered again where the filesystem rejects the flag). The Fig 3
+/// sort runs on each backend with one `disk{d}.dat` file per drive in
+/// a fresh directory; finals and `IoStats` are asserted bit-identical
+/// in every cell (logical accounting must not see the physical
+/// backend), wall clock is the best of `reps` runs, and an extra
+/// instrumented async run per D records the mean submission-batch size
+/// the reactors actually coalesced. Writes `BENCH_disk.json` into the output
+/// directory. Set `CGMIO_PERF_SMOKE=1` for a small size (CI
+/// disk-smoke).
+pub fn disk(out_dir: &std::path::Path) -> Table {
+    use cgmio_core::BackendSpec;
+    use cgmio_io::IoEngineOpts;
+    use cgmio_obs::{Obs, SampleValue};
+
+    let mut t = Table::new(
+        "disk_backends",
+        &["d", "backend", "wall_ms", "io_ops", "io_blocks", "mean_batch_blocks", "vs_threads_pct"],
+    );
+    let smoke = std::env::var_os("CGMIO_PERF_SMOKE").is_some();
+    let (n, bb, reps) = if smoke { (1usize << 15, 4096usize, 2usize) } else { (1 << 19, 16384, 4) };
+    let v = 16usize;
+    let ds = [4usize, 8, 16];
+
+    let keys = data::uniform_u64(n, 23);
+    let mk = || {
+        data::block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+
+    let mut points: Vec<DiskPoint> = Vec::new();
+    for d in ds {
+        let base_cfg = crate::config_for(&prog, mk(), v, 1, d, bb);
+        // Reference: the memory backend pins the expected finals and
+        // IoStats for this geometry.
+        let (want_fin, want_rep) =
+            SeqEmRunner::new(base_cfg.clone()).run(&prog, mk()).expect("disk bench reference");
+
+        for backend in ["threads", "async", "async-direct"] {
+            let mut best: Option<(f64, cgmio_core::EmRunReport)> = None;
+            for _ in 0..reps {
+                let tmp = cgmio_pdm::testutil::TempDir::new("cgmio-disk-bench");
+                let mut cfg = base_cfg.clone();
+                cfg.backend = match backend {
+                    "threads" => BackendSpec::Concurrent {
+                        dir: Some(tmp.path().join("drives")),
+                        opts: IoEngineOpts::default(),
+                    },
+                    "async" => BackendSpec::AsyncFile {
+                        dir: tmp.path().join("drives"),
+                        opts: IoEngineOpts::default(),
+                    },
+                    // Page cache bypassed: every transfer is a real
+                    // device round trip (silently buffered again on
+                    // filesystems that reject O_DIRECT, e.g. tmpfs).
+                    _ => BackendSpec::AsyncFile {
+                        dir: tmp.path().join("drives"),
+                        opts: IoEngineOpts { direct_io: true, ..Default::default() },
+                    },
+                };
+                let (fin, rep) = SeqEmRunner::new(cfg).run(&prog, mk()).expect("disk bench run");
+                assert_eq!(fin, want_fin, "D={d} {backend}: finals differ from memory backend");
+                assert_eq!(rep.io, want_rep.io, "D={d} {backend}: IoStats differ");
+                let wall = rep.wall.as_secs_f64() * 1e3;
+                if best.as_ref().is_none_or(|(bw, _)| wall < *bw) {
+                    best = Some((wall, rep));
+                }
+            }
+            let (wall_ms, rep) = best.expect("reps >= 1");
+
+            // Untimed instrumented pass: how much did the reactors
+            // actually coalesce per queue drain?
+            let mean_batch_blocks = (backend == "async").then(|| {
+                let tmp = cgmio_pdm::testutil::TempDir::new("cgmio-disk-bench-obs");
+                let obs = Obs::new();
+                let mut cfg = base_cfg.clone();
+                cfg.obs = Some(obs.clone());
+                cfg.backend = BackendSpec::AsyncFile {
+                    dir: tmp.path().join("drives"),
+                    opts: IoEngineOpts::default(),
+                };
+                SeqEmRunner::new(cfg).run(&prog, mk()).expect("disk bench obs run");
+                let snap = obs.snapshot();
+                let (mut total, mut count) = (0.0f64, 0u64);
+                for drive in 0..d {
+                    if let Some(SampleValue::Histogram(h)) = snap.get(
+                        "cgmio_io_submit_batch_blocks",
+                        &[("drive", &drive.to_string()), ("proc", "0")],
+                    ) {
+                        total += h.mean() * h.count as f64;
+                        count += h.count;
+                    }
+                }
+                if count == 0 {
+                    0.0
+                } else {
+                    total / count as f64
+                }
+            });
+
+            points.push(DiskPoint {
+                d,
+                backend,
+                wall_ms,
+                io_ops: rep.io.total_ops(),
+                io_blocks: rep.io.total_blocks(),
+                mean_batch_blocks,
+            });
+        }
+    }
+
+    let pct = |d: usize, backend: &str| -> Option<f64> {
+        let threads = points.iter().find(|p| p.d == d && p.backend == "threads")?;
+        let asy = points.iter().find(|p| p.d == d && p.backend == backend)?;
+        Some(100.0 * (1.0 - asy.wall_ms / threads.wall_ms.max(1e-9)))
+    };
+
+    let mut report = BenchReport::new(
+        "em_cgm_sort_disk_backends",
+        format!(
+            "CgmSort<u64> by_pivots, n={n}, v={v}, B={bb} bytes, D in {{4,8,16}}; \
+             real per-drive files (disk{{d}}.dat layout): thread-per-drive engine \
+             vs async submission reactors (buffered and O_DIRECT), best of {reps} runs each"
+        ),
+        smoke,
+    )
+    .extra("reps", Value::num(reps));
+    for p in &points {
+        report.point(obj(vec![
+            ("d", Value::num(p.d)),
+            ("backend", Value::str(p.backend)),
+            ("wall_ms", Value::num(format!("{:.2}", p.wall_ms))),
+            ("io_ops", Value::num(p.io_ops)),
+            ("io_blocks", Value::num(p.io_blocks)),
+            (
+                "mean_batch_blocks",
+                p.mean_batch_blocks.map_or(Value::Null, |m| Value::num(format!("{m:.2}"))),
+            ),
+            (
+                "vs_threads_pct",
+                if p.backend.starts_with("async") {
+                    pct(p.d, p.backend).map_or(Value::Null, |x| Value::num(format!("{x:.1}")))
+                } else {
+                    Value::Null
+                },
+            ),
+        ]));
+    }
+    // Headline: the D where the buffered async reactors help (or hurt)
+    // the most relative to thread-per-drive, by absolute delta.
+    if let Some(h) = ds
+        .iter()
+        .filter_map(|&d| pct(d, "async").map(|x| (d, x)))
+        .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+    {
+        report.set_headline(obj(vec![
+            ("d", Value::num(h.0)),
+            ("async_vs_threads_pct", Value::num(format!("{:.1}", h.1))),
+        ]));
+    }
+    report.save(out_dir, "BENCH_disk.json");
+
+    for p in &points {
+        t.row(vec![
+            p.d.to_string(),
+            p.backend.to_string(),
+            format!("{:.2}", p.wall_ms),
+            p.io_ops.to_string(),
+            p.io_blocks.to_string(),
+            p.mean_batch_blocks.map_or("-".into(), |m| format!("{m:.2}")),
+            if p.backend.starts_with("async") {
+                pct(p.d, p.backend).map_or("-".into(), |x| format!("{x:.1}"))
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

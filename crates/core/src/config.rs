@@ -3,7 +3,9 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use cgmio_io::{ConcurrentStorage, IoEngineOpts, RetryPolicy, RetryStorage, TraceHandle};
+use cgmio_io::{
+    AsyncFileStorage, ConcurrentStorage, IoEngineOpts, RetryPolicy, RetryStorage, TraceHandle,
+};
 use cgmio_obs::{Counter, Obs};
 use cgmio_pdm::{
     DiskArray, DiskGeometry, FaultInjector, FaultPlan, FaultStats, FileStorage, MemStorage,
@@ -107,6 +109,22 @@ pub enum BackendSpec {
         /// tracing). `opts.proc` is overwritten with the worker index.
         opts: IoEngineOpts,
     },
+    /// The `cgmio-io` async submission backend
+    /// ([`cgmio_io::AsyncFileStorage`]): one reactor per drive that
+    /// drains its submission queue in batches and coalesces
+    /// adjacent-track ops into single vectored transfers against real
+    /// drive files under `dir` (O_DIRECT where the filesystem allows
+    /// it). Same `disk{d}.dat` layout as [`BackendSpec::SyncFile`].
+    AsyncFile {
+        /// Directory for the drive files (per-processor subdirectory
+        /// `p{t}` for the parallel runner).
+        dir: PathBuf,
+        /// Engine tuning (queue depth, durability, tracing).
+        /// `opts.proc` is overwritten with the worker index. Prefetch
+        /// hints are no-ops on this backend (there is no cache), so
+        /// `opts.prefetch_cap`/`ignore_hints` have no effect.
+        opts: IoEngineOpts,
+    },
     /// A caller-owned storage — typically one `Arc`'d
     /// [`cgmio_io::ConcurrentStorage`] multiplexed between many runs by
     /// the job service — of which this run sees only a namespaced
@@ -140,6 +158,9 @@ impl std::fmt::Debug for BackendSpec {
             BackendSpec::Concurrent { dir, opts } => {
                 f.debug_struct("Concurrent").field("dir", dir).field("opts", opts).finish()
             }
+            BackendSpec::AsyncFile { dir, opts } => {
+                f.debug_struct("AsyncFile").field("dir", dir).field("opts", opts).finish()
+            }
             // `storage` is a type-erased trait object with no Debug bound.
             BackendSpec::Shared { base_track, worker_span_tracks, .. } => f
                 .debug_struct("Shared")
@@ -170,6 +191,10 @@ pub struct DiskHandles {
     /// Injected-fault counters, present iff [`EmConfig::fault`] is set.
     /// The plan's own observer when it has one, else one attached here.
     pub faults: Option<Arc<FaultStats>>,
+    /// Live count of deferred write-behind errors discarded because the
+    /// engine's bounded retained-error list was full. Always zero for
+    /// the synchronous backends (they fail writes in-line).
+    pub deferred_drops: Counter,
 }
 
 /// Configuration of the simulated EM-CGM target machine.
@@ -372,6 +397,7 @@ impl EmConfig {
                     trace: None,
                     retries,
                     faults,
+                    deferred_drops: Counter::detached(),
                 })
             }
             BackendSpec::SyncFile { dir } => {
@@ -383,6 +409,7 @@ impl EmConfig {
                     trace: None,
                     retries,
                     faults,
+                    deferred_drops: Counter::detached(),
                 })
             }
             BackendSpec::Concurrent { dir, opts } => {
@@ -424,11 +451,49 @@ impl EmConfig {
                 // report through its counter (same registry series as
                 // the sync path when `obs` is attached).
                 let retries = storage.retry_counter();
+                let deferred_drops = storage.deferred_drop_counter();
                 Ok(DiskHandles {
                     disks: DiskArray::with_storage(geom, Box::new(storage)),
                     trace,
                     retries,
                     faults,
+                    deferred_drops,
+                })
+            }
+            BackendSpec::AsyncFile { dir, opts } => {
+                let mut opts = opts.clone();
+                opts.proc = worker_idx;
+                opts.obs = self.obs.clone();
+                let worker_dir = dir.join(format!("p{worker_idx}"));
+                // Faults go beneath the reactors, which then service
+                // ops per-track in queue order (the layered path): the
+                // injector sees the same per-drive demand sequence as
+                // under the other backends, keeping fault/retry totals
+                // deterministic. Without a plan the reactors own the
+                // drive files directly and coalesce for real.
+                let storage = match &plan {
+                    Some(p) => {
+                        let fs = FileStorage::open(&worker_dir, geom).map_err(|e| {
+                            EmError::BadConfig(format!("opening async backend: {e}"))
+                        })?;
+                        AsyncFileStorage::over(
+                            Arc::new(FaultInjector::new(fs, geom.num_disks, p.clone())),
+                            geom.num_disks,
+                            opts,
+                        )
+                    }
+                    None => AsyncFileStorage::open_dir(&worker_dir, geom, opts)
+                        .map_err(|e| EmError::BadConfig(format!("opening async backend: {e}")))?,
+                };
+                let trace = storage.trace_handle();
+                let retries = storage.retry_counter();
+                let deferred_drops = storage.deferred_drop_counter();
+                Ok(DiskHandles {
+                    disks: DiskArray::with_storage(geom, Box::new(storage)),
+                    trace,
+                    retries,
+                    faults,
+                    deferred_drops,
                 })
             }
             BackendSpec::Shared { storage, base_track, worker_span_tracks } => {
@@ -443,6 +508,7 @@ impl EmConfig {
                     trace: None,
                     retries,
                     faults,
+                    deferred_drops: Counter::detached(),
                 })
             }
         }

@@ -89,6 +89,9 @@ struct WorkerOut<S> {
     trace: Vec<TraceEvent>,
     /// Retries this worker's storage stack performed.
     retries: u64,
+    /// Deferred write errors this worker's engine discarded on a full
+    /// retained-error list.
+    deferred_drops: u64,
     /// This worker's injected-fault counters. Workers may share one
     /// `FaultStats` (a user-supplied observer); the coordinator dedups
     /// by pointer before summing.
@@ -453,6 +456,7 @@ impl ParEmRunner {
         let mut peak_mem = 0usize;
         let mut io_trace = Vec::new();
         let mut retries = 0u64;
+        let mut deferred_write_errors_dropped = 0u64;
         let mut fault_arcs: Vec<Arc<FaultStats>> = Vec::new();
         for w in outs.into_iter().map(|o| o.expect("missing worker result")) {
             finals.extend(w.finals);
@@ -464,6 +468,7 @@ impl ParEmRunner {
             peak_mem = peak_mem.max(w.peak_mem);
             io_trace.extend(w.trace);
             retries += w.retries;
+            deferred_write_errors_dropped += w.deferred_drops;
             if let Some(s) = w.faults {
                 if !fault_arcs.iter().any(|a| Arc::ptr_eq(a, &s)) {
                     fault_arcs.push(s);
@@ -498,6 +503,7 @@ impl ParEmRunner {
             io_trace,
             faults,
             retries,
+            deferred_write_errors_dropped,
         };
         Ok(RunOutcome::Complete { finals, report })
     }
@@ -527,10 +533,12 @@ fn worker<P: CgmProgram>(
     // we hold were (re)opened — zero for fresh runs and in-process
     // resume (live arrays keep their counters), the checkpoint's
     // counters when rebuilding from disk files.
-    let (mut disks, trace, base_io, retries, faults) = match init.disks {
+    let (mut disks, trace, base_io, retries, faults, deferred_drops) = match init.disks {
         // In-process resume: retry/fault handles do not travel with the
         // handoff, so the resumed portion reports zero of both.
-        Some((d, tr)) => (d, tr, IoStats::new(geom.num_disks), Counter::detached(), None),
+        Some((d, tr)) => {
+            (d, tr, IoStats::new(geom.num_disks), Counter::detached(), None, Counter::detached())
+        }
         None => match cfg.build_disks(t) {
             Ok(h) => {
                 let base = init
@@ -538,7 +546,7 @@ fn worker<P: CgmProgram>(
                     .as_ref()
                     .map(|w| w.io.clone())
                     .unwrap_or_else(|| IoStats::new(geom.num_disks));
-                (h.disks, h.trace, base, h.retries, h.faults)
+                (h.disks, h.trace, base, h.retries, h.faults, h.deferred_drops)
             }
             Err(e) => {
                 setup_err = Some(e);
@@ -548,14 +556,16 @@ fn worker<P: CgmProgram>(
                     IoStats::new(geom.num_disks),
                     Counter::detached(),
                     None,
+                    Counter::detached(),
                 )
             }
         },
     };
     let base_retries = retries.get();
+    let base_deferred_drops = deferred_drops.get();
     // Every span carries this worker's proc id so the coordinator's
     // flamegraphs separate the p real processors.
-    let span = |ss: usize, ph: Phase| cfg.obs.as_ref().map(|o| o.span(t as u32, ss as u64, ph));
+    let span = |ss: usize, ph: Phase| cfg.obs.as_ref().map(|o| o.span(t as u64, ss as u64, ph));
 
     // Representation tuning (see SeqEmRunner): sparse message length
     // tables and a paged context length table keep per-worker state
@@ -669,7 +679,7 @@ fn worker<P: CgmProgram>(
             for k in 0..depth {
                 match pipeline::submit_vp_reads(
                     cfg.obs.as_ref(),
-                    t as u32,
+                    t as u64,
                     round,
                     &mut disks,
                     &ctx_store,
@@ -730,7 +740,7 @@ fn worker<P: CgmProgram>(
                     if k + depth < n_local {
                         match pipeline::submit_vp_reads(
                             cfg.obs.as_ref(),
-                            t as u32,
+                            t as u64,
                             round,
                             &mut disks,
                             &ctx_store,
@@ -954,6 +964,7 @@ fn worker<P: CgmProgram>(
             trace: Vec::new(),
             handoff: Some((disks, trace)),
             retries: retries.get().saturating_sub(base_retries),
+            deferred_drops: deferred_drops.get().saturating_sub(base_deferred_drops),
             faults,
         });
     }
@@ -978,6 +989,7 @@ fn worker<P: CgmProgram>(
         trace: trace.map(|t| t.drain()).unwrap_or_default(),
         handoff: None,
         retries: retries.get().saturating_sub(base_retries),
+        deferred_drops: deferred_drops.get().saturating_sub(base_deferred_drops),
         faults,
     })
 }
@@ -1238,7 +1250,7 @@ mod tests {
 
         // Spans from every worker (proc label) and the phase taxonomy.
         let spans = obs.spans();
-        for t in 0..4u32 {
+        for t in 0..4u64 {
             assert!(spans.iter().any(|s| s.proc == t), "no spans from worker {t}");
         }
         for ph in [Phase::Setup, Phase::CtxLoad, Phase::MatrixRead, Phase::Route, Phase::Barrier] {

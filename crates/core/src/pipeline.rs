@@ -45,7 +45,7 @@ pub(crate) type InflightReads = VecDeque<(CtxReadTicket, InboxTicket)>;
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn submit_vp_reads<M: Item>(
     obs: Option<&Obs>,
-    proc: u32,
+    proc: u64,
     round: usize,
     disks: &mut DiskArray,
     ctx_store: &ContextStore,

@@ -67,6 +67,13 @@ pub struct EmRunReport {
     /// this run (drive workers and `RetryStorage` combined). Recovery
     /// traffic only — never part of [`Self::io`].
     pub retries: u64,
+    /// Deferred write-behind errors the concurrent engine discarded
+    /// because its bounded retained-error list was already full. The
+    /// run still fails with the first retained error; a non-zero count
+    /// here means the full failure set was wider than what the error
+    /// message enumerates (each drop also leaves a `write_error_dropped`
+    /// event in [`Self::io_trace`]). Always zero for sync backends.
+    pub deferred_write_errors_dropped: u64,
 }
 
 impl EmRunReport {
@@ -119,6 +126,7 @@ mod tests {
             io_trace: Vec::new(),
             faults: None,
             retries: 0,
+            deferred_write_errors_dropped: 0,
         }
     }
 

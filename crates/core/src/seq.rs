@@ -200,7 +200,13 @@ impl SeqEmRunner {
             // fault counts.
             Start::Resume { manifest, disks: Some((d, t)) } => self.drive_inner(
                 prog,
-                DiskHandles { disks: d, trace: t, retries: Counter::detached(), faults: None },
+                DiskHandles {
+                    disks: d,
+                    trace: t,
+                    retries: Counter::detached(),
+                    faults: None,
+                    deferred_drops: Counter::detached(),
+                },
                 IoStats::new(geom.num_disks),
                 Start::Resume { manifest, disks: None },
             ),
@@ -223,7 +229,7 @@ impl SeqEmRunner {
         base_io: IoStats,
         start: Start<P::State>,
     ) -> Result<RunOutcome<P::State>, EmError> {
-        let DiskHandles { mut disks, trace, retries, faults } = handles;
+        let DiskHandles { mut disks, trace, retries, faults, deferred_drops } = handles;
         let cfg = &self.config;
         cfg.validate()?;
         let v = cfg.v;
@@ -232,6 +238,7 @@ impl SeqEmRunner {
         // this run's recovery traffic (a user-shared fault observer may
         // already hold counts from earlier runs).
         let base_retries = retries.get();
+        let base_deferred_drops = deferred_drops.get();
         let base_faults = faults.as_ref().map(|s| s.counts());
         // One span guard per phase: publishes (superstep, phase) so the
         // io layer stamps in-flight ops, and feeds cgmio_phase_us.
@@ -601,6 +608,7 @@ impl SeqEmRunner {
             io_trace: trace.map(|t| t.drain()).unwrap_or_default(),
             faults: faults.map(|s| s.counts().diff(base_faults.unwrap_or_default())),
             retries: retries.get().saturating_sub(base_retries),
+            deferred_write_errors_dropped: deferred_drops.get().saturating_sub(base_deferred_drops),
         };
         Ok(RunOutcome::Complete { finals, report })
     }

@@ -93,6 +93,16 @@ pub struct IoEngineOpts {
     /// pressure. Binding faults to demand accesses only keeps injected
     /// fault and retry totals bit-identical at every pipeline depth.
     pub ignore_hints: bool,
+    /// Open backing files with `O_DIRECT` where the platform and
+    /// filesystem allow it, bypassing the page cache (real device
+    /// transfers with sector-aligned pooled buffers). Only honoured by
+    /// the async submission backend's raw file path
+    /// ([`crate::AsyncFileStorage::open_dir`]) and only when the track
+    /// size is a multiple of 512 bytes; everything else — including a
+    /// filesystem that rejects the flag, e.g. tmpfs — silently falls
+    /// back to buffered I/O. Off by default: buffered I/O is the right
+    /// choice whenever the page cache is allowed to help.
+    pub direct_io: bool,
 }
 
 impl Default for IoEngineOpts {
@@ -107,6 +117,7 @@ impl Default for IoEngineOpts {
             verify_checksums: false,
             obs: None,
             ignore_hints: false,
+            direct_io: false,
         }
     }
 }
@@ -208,6 +219,23 @@ struct DeferredWriteError {
     detail: String,
 }
 
+/// Deferred write-behind failures retained at most
+/// [`MAX_DEFERRED_WRITE_ERRORS`] deep. A sick drive can fail every
+/// queued write; keeping the list bounded caps memory while the
+/// `dropped` count (and the engine-wide counter behind
+/// [`ConcurrentStorage::deferred_drop_counter`]) preserves how many
+/// failures the bound discarded — nothing is silently lost anymore.
+#[derive(Default)]
+struct DeferredErrors {
+    errors: Vec<DeferredWriteError>,
+    /// Failures discarded because `errors` was already full, since the
+    /// last [`ConcurrentStorage::take_write_err`].
+    dropped: u64,
+}
+
+/// Bound on retained deferred write errors (per engine, across drives).
+pub const MAX_DEFERRED_WRITE_ERRORS: usize = 16;
+
 /// [`TrackStorage`] that services each drive from its own worker thread.
 ///
 /// Layers over any inner `TrackStorage` (normally a [`FileStorage`]; the
@@ -218,7 +246,7 @@ pub struct ConcurrentStorage {
     inner: Arc<dyn TrackStorage>,
     queues: Vec<Sender<DriveOp>>,
     workers: Vec<JoinHandle<()>>,
-    write_err: Arc<Mutex<Option<DeferredWriteError>>>,
+    write_err: Arc<Mutex<DeferredErrors>>,
     durability: Durability,
     trace: Option<TraceHandle>,
     proc: usize,
@@ -243,6 +271,11 @@ pub struct ConcurrentStorage {
     /// Per-drive `cgmio_io_prefetch_dropped_total` handles (detached
     /// when `obs` is unset).
     prefetch_drop_metrics: Vec<Counter>,
+    /// Deferred write errors discarded by the bounded retained list,
+    /// across all drive workers for the engine's lifetime. Registered
+    /// as `cgmio_io_deferred_write_errors_dropped_total{proc}` when
+    /// `obs` is set, detached (still counting) otherwise.
+    deferred_drops: Counter,
     /// In-flight reads submitted through the type-erased
     /// [`TrackStorage::read_scatter_submit`] entry point, keyed by the
     /// opaque ticket ids it hands out.
@@ -257,12 +290,19 @@ pub struct ConcurrentStorage {
 impl ConcurrentStorage {
     /// Spin up one worker per drive over an existing backend.
     pub fn new(inner: Arc<dyn TrackStorage>, num_disks: usize, opts: IoEngineOpts) -> Self {
-        let write_err = Arc::new(Mutex::new(None));
+        let write_err = Arc::new(Mutex::new(DeferredErrors::default()));
         let trace = opts.trace.then(TraceHandle::new);
         let retries = match &opts.obs {
             Some(o) => {
                 o.metrics().counter("cgmio_io_retries_total", &[("proc", opts.proc.to_string())])
             }
+            None => Counter::detached(),
+        };
+        let deferred_drops = match &opts.obs {
+            Some(o) => o.metrics().counter(
+                "cgmio_io_deferred_write_errors_dropped_total",
+                &[("proc", opts.proc.to_string())],
+            ),
             None => Counter::detached(),
         };
         let prefetch_drop_metrics: Vec<Counter> = (0..num_disks)
@@ -290,6 +330,7 @@ impl ConcurrentStorage {
                 obs: opts.obs.clone(),
                 metrics: opts.obs.as_ref().map(|o| DriveObs::new(o, opts.proc, drive)),
                 retries: retries.clone(),
+                deferred_drops: deferred_drops.clone(),
             };
             workers.push(
                 std::thread::Builder::new()
@@ -309,11 +350,12 @@ impl ConcurrentStorage {
             proc: opts.proc,
             pool: BlockPool::default(),
             prefetch_drops: Arc::new((0..num_disks).map(|_| AtomicU64::new(0)).collect()),
-            phase: opts.obs.as_ref().map(|o| o.phase_cell(opts.proc as u32)),
+            phase: opts.obs.as_ref().map(|o| o.phase_cell(opts.proc as u64)),
             obs: opts.obs,
             superstep: AtomicU64::new(0),
             retries,
             prefetch_drop_metrics,
+            deferred_drops,
             pending_reads: Mutex::new(HashMap::new()),
             next_ticket: AtomicU64::new(1),
             ignore_hints: opts.ignore_hints,
@@ -340,6 +382,14 @@ impl ConcurrentStorage {
         self.retries.clone()
     }
 
+    /// Handle onto the count of deferred write errors the bounded
+    /// retained list discarded (see [`MAX_DEFERRED_WRITE_ERRORS`]).
+    /// Counts across all drive workers for the engine's whole lifetime,
+    /// whether or not an observability handle is attached.
+    pub fn deferred_drop_counter(&self) -> Counter {
+        self.deferred_drops.clone()
+    }
+
     fn stamp(&self) -> Stamp {
         let (seq, submit_us) = match &self.trace {
             Some(t) => (t.next_seq(), t.now_us()),
@@ -354,20 +404,34 @@ impl ConcurrentStorage {
         Stamp { seq, submit_us, superstep, phase }
     }
 
-    /// Surface (and clear) a deferred write-behind error as a typed
+    /// Surface (and clear) deferred write-behind errors as a typed
     /// [`FaultError`] so `classify()` sees the original taxonomy class; a
-    /// permanent fault surfaced here stays permanent downstream.
+    /// permanent fault surfaced here stays permanent downstream. The
+    /// first failure carries the typed payload; any further retained or
+    /// bound-dropped failures are summarised in the detail so multiple
+    /// failures in one superstep are no longer silently collapsed.
     fn take_write_err(&self) -> io::Result<()> {
-        match self.write_err.lock().unwrap().take() {
-            Some(d) => Err(FaultError {
-                kind: d.kind,
-                disk: d.drive,
-                track: d.track,
-                detail: format!("deferred write failed in superstep {}: {}", d.superstep, d.detail),
-            }
-            .into_io_error()),
-            None => Ok(()),
+        let (mut errors, dropped) = {
+            let mut g = self.write_err.lock().unwrap();
+            (std::mem::take(&mut g.errors), std::mem::take(&mut g.dropped))
+        };
+        if errors.is_empty() {
+            return Ok(());
         }
+        let more = errors.len() as u64 - 1 + dropped;
+        let suffix =
+            if more > 0 { format!(" (+{more} more deferred write errors)") } else { String::new() };
+        let d = errors.remove(0);
+        Err(FaultError {
+            kind: d.kind,
+            disk: d.drive,
+            track: d.track,
+            detail: format!(
+                "deferred write failed in superstep {}: {}{suffix}",
+                d.superstep, d.detail
+            ),
+        }
+        .into_io_error())
     }
 
     fn submit(&self, drive: usize, op: DriveOp) -> io::Result<()> {
@@ -703,7 +767,7 @@ impl DriveObs {
     fn kind_idx(kind: OpKind) -> usize {
         match kind {
             OpKind::Read => 0,
-            OpKind::Write => 1,
+            OpKind::Write | OpKind::WriteErrorDropped => 1,
             OpKind::Prefetch | OpKind::PrefetchDropped => 2,
             OpKind::Flush => 3,
         }
@@ -715,7 +779,7 @@ struct WorkerCtx {
     drive: usize,
     proc: usize,
     inner: Arc<dyn TrackStorage>,
-    write_err: Arc<Mutex<Option<DeferredWriteError>>>,
+    write_err: Arc<Mutex<DeferredErrors>>,
     trace: Option<TraceHandle>,
     cache_cap: usize,
     retry: RetryPolicy,
@@ -723,6 +787,7 @@ struct WorkerCtx {
     obs: Option<Obs>,
     metrics: Option<DriveObs>,
     retries: Counter,
+    deferred_drops: Counter,
 }
 
 impl WorkerCtx {
@@ -786,13 +851,39 @@ impl WorkerCtx {
                                 }
                             }
                             Err(e) => {
-                                self.write_err.lock().unwrap().get_or_insert(DeferredWriteError {
-                                    drive: self.drive,
-                                    track,
-                                    superstep: stamp.superstep,
-                                    kind: classify(&e),
-                                    detail: e.to_string(),
-                                });
+                                let mut derr = self.write_err.lock().unwrap();
+                                if derr.errors.len() < MAX_DEFERRED_WRITE_ERRORS {
+                                    derr.errors.push(DeferredWriteError {
+                                        drive: self.drive,
+                                        track,
+                                        superstep: stamp.superstep,
+                                        kind: classify(&e),
+                                        detail: e.to_string(),
+                                    });
+                                } else {
+                                    derr.dropped += 1;
+                                    drop(derr);
+                                    self.deferred_drops.inc();
+                                    if let Some(t) = &self.trace {
+                                        let now = t.now_us();
+                                        t.record(TraceEvent {
+                                            seq: stamp.seq,
+                                            proc: self.proc,
+                                            drive: self.drive,
+                                            kind: OpKind::WriteErrorDropped,
+                                            track,
+                                            bytes: 0,
+                                            queue_depth: depth,
+                                            submit_us: stamp.submit_us,
+                                            start_us: now,
+                                            end_us: now,
+                                            cache_hit: false,
+                                            retries: 0,
+                                            superstep: stamp.superstep,
+                                            phase: stamp.phase,
+                                        });
+                                    }
+                                }
                             }
                         }
                         self.record(
@@ -1097,6 +1188,47 @@ mod tests {
         assert!(msg.contains("track 7"), "{msg}");
         assert!(msg.contains("superstep 2"), "{msg}");
         assert!(msg.contains("disk full"), "{msg}");
+    }
+
+    #[test]
+    fn deferred_errors_are_bounded_not_silently_dropped() {
+        struct FailingWrites;
+        impl TrackStorage for FailingWrites {
+            fn read_track(&self, _d: usize, _t: u64) -> io::Result<Vec<u8>> {
+                Ok(vec![0; 4])
+            }
+            fn write_track(&self, _d: usize, _t: u64, _data: &[u8]) -> io::Result<()> {
+                Err(io::Error::other("disk full"))
+            }
+            fn tracks_used(&self) -> Vec<u64> {
+                vec![0]
+            }
+        }
+        let n_writes = MAX_DEFERRED_WRITE_ERRORS + 5;
+        let opts = IoEngineOpts { trace: true, ..Default::default() };
+        let s = ConcurrentStorage::new(Arc::new(FailingWrites), 1, opts);
+        let trace = s.trace_handle().unwrap();
+        let drops = s.deferred_drop_counter();
+        // One scatter submission: separate write calls could surface the
+        // first deferred error early (write paths are sticky-checked),
+        // which would reset the episode mid-test.
+        let writes: Vec<(TrackAddr, &[u8])> =
+            (0..n_writes as u64).map(|t| (TrackAddr::new(0, t), &[1u8][..])).collect();
+        s.write_scatter(&writes).unwrap();
+        let msg = s.flush(false).unwrap_err().to_string();
+        // The surfaced error enumerates how much failure it stands for:
+        // the retained-but-unreported errors plus the dropped overflow.
+        assert!(msg.contains(&format!("+{} more", n_writes - 1)), "{msg}");
+        assert_eq!(drops.get(), 5, "overflow beyond the retained list is counted");
+        let events = trace.drain();
+        let dropped: Vec<_> =
+            events.iter().filter(|e| e.kind == OpKind::WriteErrorDropped).collect();
+        assert_eq!(dropped.len(), 5, "one trace event per discarded error");
+        assert!(dropped.iter().all(|e| e.drive == 0 && e.bytes == 0));
+        // Reporting clears the list *and* the episode: a later clean
+        // barrier is not haunted by drop counts from the surfaced error.
+        s.flush(false).unwrap();
+        assert_eq!(drops.get(), 5);
     }
 
     #[test]

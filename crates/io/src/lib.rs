@@ -38,12 +38,16 @@
 
 #![deny(missing_docs)]
 
+pub mod async_backend;
 pub mod engine;
 pub mod retry;
 pub mod trace;
 
+pub use async_backend::AsyncFileStorage;
 pub use cgmio_obs::{Counter, Obs, Phase};
 pub use cgmio_pdm::{classify, FaultError, IoErrorKind};
-pub use engine::{ConcurrentStorage, Durability, IoEngineOpts, ReadTicket, WriteTicket};
+pub use engine::{
+    ConcurrentStorage, Durability, IoEngineOpts, ReadTicket, WriteTicket, MAX_DEFERRED_WRITE_ERRORS,
+};
 pub use retry::{track_checksum, RetryPolicy, RetryStorage};
 pub use trace::{summarize, write_csv, write_jsonl, OpKind, TraceEvent, TraceHandle, TraceSummary};

@@ -36,6 +36,11 @@ pub enum OpKind {
     PrefetchDropped,
     /// Pipeline drain / fsync barrier.
     Flush,
+    /// A deferred write-behind error discarded because the engine's
+    /// bounded retained-error list was full — the failing write's own
+    /// `Write` event precedes this one; this record keeps the discarded
+    /// failure visible in post-mortems.
+    WriteErrorDropped,
 }
 
 impl OpKind {
@@ -47,6 +52,7 @@ impl OpKind {
             OpKind::Prefetch => "prefetch",
             OpKind::PrefetchDropped => "prefetch_dropped",
             OpKind::Flush => "flush",
+            OpKind::WriteErrorDropped => "write_error_dropped",
         }
     }
 }
@@ -256,6 +262,9 @@ pub struct TraceSummary {
     pub retries: u64,
     /// Prefetch hints dropped on a full submission queue.
     pub prefetch_drops: usize,
+    /// Deferred write errors discarded by the engine's bounded
+    /// retained-error list.
+    pub deferred_error_drops: usize,
     /// Number of distinct supersteps the trace spans (count of distinct
     /// `superstep` stamps observed).
     pub supersteps: usize,
@@ -284,6 +293,7 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
             OpKind::Prefetch => s.prefetches += 1,
             OpKind::PrefetchDropped => s.prefetch_drops += 1,
             OpKind::Flush => {}
+            OpKind::WriteErrorDropped => s.deferred_error_drops += 1,
         }
         if e.cache_hit {
             s.cache_hits += 1;

@@ -56,7 +56,7 @@ use std::time::Instant;
 
 /// `proc` label used for coordinator-side spans (checkpoint writes,
 /// readout) that belong to no worker.
-pub const COORD_PROC: u32 = u32::MAX;
+pub const COORD_PROC: u64 = u64::MAX;
 
 /// Default span-ring capacity: enough for every phase of tens of
 /// thousands of supersteps while bounding memory at a few MiB.
@@ -70,7 +70,7 @@ struct ObsInner {
     /// One phase cell per real processor: the parallel runner's workers
     /// progress through phases independently, so a single shared cell
     /// would let them clobber each other's stamps.
-    phases: Mutex<BTreeMap<u32, Arc<PhaseCell>>>,
+    phases: Mutex<BTreeMap<u64, Arc<PhaseCell>>>,
 }
 
 /// Shared observability handle for one run (cheap to clone — all
@@ -118,14 +118,14 @@ impl Obs {
     /// `(superstep, phase)`. Cells are created on first use; resolve
     /// once and keep the `Arc` on hot paths (the io engine does this at
     /// construction).
-    pub fn phase_cell(&self, proc: u32) -> Arc<PhaseCell> {
+    pub fn phase_cell(&self, proc: u64) -> Arc<PhaseCell> {
         Arc::clone(self.0.phases.lock().unwrap().entry(proc).or_default())
     }
 
     /// Enter a span: publishes `(superstep, phase)` to `proc`'s phase
     /// cell and, when the returned guard drops, records the span and
     /// its duration (into the `cgmio_phase_us{phase=…}` histogram).
-    pub fn span(&self, proc: u32, superstep: u64, phase: Phase) -> SpanScope {
+    pub fn span(&self, proc: u64, superstep: u64, phase: Phase) -> SpanScope {
         let cell = self.phase_cell(proc);
         let prev = cell.set(superstep, phase);
         SpanScope { obs: self.clone(), cell, proc, superstep, phase, start_us: self.now_us(), prev }
@@ -162,7 +162,7 @@ impl Obs {
 pub struct SpanScope {
     obs: Obs,
     cell: Arc<PhaseCell>,
-    proc: u32,
+    proc: u64,
     superstep: u64,
     phase: Phase,
     start_us: u64,

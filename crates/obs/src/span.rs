@@ -118,9 +118,10 @@ impl PhaseCell {
 /// One completed span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SpanRecord {
-    /// Worker index (`u32::MAX >> 1` marks the coordinator; see
-    /// [`crate::COORD_PROC`]).
-    pub proc: u32,
+    /// Worker index — a virtual-processor id at large `v` must not be
+    /// truncated, so this is as wide as the vp address space
+    /// (`u64::MAX` marks the coordinator; see [`crate::COORD_PROC`]).
+    pub proc: u64,
     /// Compound superstep the span belongs to.
     pub superstep: u64,
     /// Phase taxonomy label.
@@ -224,7 +225,7 @@ pub fn chrome_trace_json(spans: &[SpanRecord], pid: &str) -> String {
 /// one line per distinct stack, durations in microseconds — ready for
 /// `flamegraph.pl` or speedscope's "folded" importer.
 pub fn folded_stacks(spans: &[SpanRecord]) -> String {
-    let mut agg: std::collections::BTreeMap<(u32, u64, Phase), u64> =
+    let mut agg: std::collections::BTreeMap<(u64, u64, Phase), u64> =
         std::collections::BTreeMap::new();
     for s in spans {
         *agg.entry((s.proc, s.superstep, s.phase)).or_insert(0) += s.duration_us();
@@ -240,7 +241,7 @@ pub fn folded_stacks(spans: &[SpanRecord]) -> String {
 mod tests {
     use super::*;
 
-    fn rec(proc: u32, superstep: u64, phase: Phase, start: u64, end: u64) -> SpanRecord {
+    fn rec(proc: u64, superstep: u64, phase: Phase, start: u64, end: u64) -> SpanRecord {
         SpanRecord { proc, superstep, phase, start_us: start, end_us: end }
     }
 

@@ -225,6 +225,7 @@ mod tests {
             io_trace: Vec::new(),
             faults: None,
             retries: 0,
+            deferred_write_errors_dropped: 0,
         };
         let j = report_to_json(&rep, 0xdead_beef);
         assert_eq!(j.get("wall_us").unwrap().as_u64(), Some(42));

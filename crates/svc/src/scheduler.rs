@@ -15,6 +15,13 @@
 //! controller's in-flight budget): a gate refusal returns `None`
 //! *without* minting deficit, so a saturated pool does not let idle
 //! tenants accumulate unbounded credit.
+//!
+//! Within one tenant, jobs carrying an absolute deadline are served
+//! earliest-deadline-first; deadline-less jobs sort after every
+//! deadline and keep FIFO order among themselves. This reorders only
+//! the tenant's own queue — cost accounting, and therefore the
+//! cross-tenant DRR fairness bound, is unchanged — so a tenant can
+//! fast-track a tight job without buying extra share.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -26,6 +33,11 @@ pub struct Entry<T> {
     /// Priority weight multiplying the tenant's per-visit quantum
     /// while this job heads the queue (see [`crate::Priority::weight`]).
     pub weight: f64,
+    /// Absolute deadline on the service clock, microseconds. Within the
+    /// owning tenant's queue the earliest deadline dispatches first, at
+    /// equal deficit; `None` sorts after every deadline (FIFO among
+    /// deadline-less jobs).
+    pub deadline_us: Option<u64>,
     /// Caller payload.
     pub payload: T,
 }
@@ -40,6 +52,13 @@ impl<T> Default for Tenant<T> {
     fn default() -> Self {
         Self { deficit: 0.0, queue: VecDeque::new() }
     }
+}
+
+/// Index of the entry a tenant serves next: earliest deadline first,
+/// deadline-less entries after every deadline, submission order as the
+/// tie-break (so a queue without deadlines is plain FIFO).
+fn serve_idx<T>(queue: &VecDeque<Entry<T>>) -> Option<usize> {
+    (0..queue.len()).min_by_key(|&i| (queue[i].deadline_us.unwrap_or(u64::MAX), i))
 }
 
 /// The scheduler: per-tenant FIFO queues drained fairly by deficit
@@ -120,19 +139,19 @@ impl<T> DrrScheduler<T> {
         let max_cost = self
             .tenants
             .values()
-            .filter_map(|t| t.queue.front())
-            .map(|e| e.cost_ops)
+            .filter_map(|t| serve_idx(&t.queue).map(|i| t.queue[i].cost_ops))
             .fold(0.0f64, f64::max);
         let cycles = (max_cost / self.quantum_ops).ceil() as usize + 2;
         for _ in 0..cycles * n {
             let name = &self.order[self.cursor % n];
             let t = self.tenants.get_mut(name).expect("order entries have queues");
-            let Some(head) = t.queue.front() else {
+            let Some(idx) = serve_idx(&t.queue) else {
                 // Idle tenants forfeit their deficit (standard DRR).
                 t.deficit = 0.0;
                 self.advance();
                 continue;
             };
+            let head = &t.queue[idx];
             if !self.charged {
                 t.deficit += self.quantum_ops * head.weight;
                 self.charged = true;
@@ -140,7 +159,7 @@ impl<T> DrrScheduler<T> {
             if head.cost_ops <= t.deficit {
                 if gate(head.cost_ops) {
                     let name = name.clone();
-                    let e = t.queue.pop_front().expect("head exists");
+                    let e = t.queue.remove(idx).expect("head exists");
                     t.deficit -= e.cost_ops;
                     if t.queue.is_empty() {
                         t.deficit = 0.0;
@@ -165,7 +184,7 @@ mod tests {
     use super::*;
 
     fn job(cost: f64) -> Entry<u32> {
-        Entry { cost_ops: cost, weight: 1.0, payload: 0 }
+        Entry { cost_ops: cost, weight: 1.0, deadline_us: None, payload: 0 }
     }
 
     fn drain_order(s: &mut DrrScheduler<u32>) -> Vec<String> {
@@ -213,8 +232,14 @@ mod tests {
     fn priority_weight_speeds_up_the_head() {
         let mut s = DrrScheduler::new(5.0);
         for _ in 0..8 {
-            s.push("batch", Entry { cost_ops: 10.0, weight: 1.0, payload: 0u32 });
-            s.push("inter", Entry { cost_ops: 10.0, weight: 4.0, payload: 0u32 });
+            s.push(
+                "batch",
+                Entry { cost_ops: 10.0, weight: 1.0, deadline_us: None, payload: 0u32 },
+            );
+            s.push(
+                "inter",
+                Entry { cost_ops: 10.0, weight: 4.0, deadline_us: None, payload: 0u32 },
+            );
         }
         let order = drain_order(&mut s);
         // weight 4 ⇒ quantum 20 per visit vs 5: the interactive tenant
@@ -245,6 +270,37 @@ mod tests {
         // Head cost 30 > remaining deficit: needs more visits, not zero.
         assert!(s.next(&mut |_| true).is_some(), "eventually dispatches");
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn tight_deadline_overtakes_loose_within_a_tenant() {
+        let mut s = DrrScheduler::new(10.0);
+        // FIFO order: loose deadline first, tight second, none last —
+        // equal cost and weight, so at equal deficit FIFO alone would
+        // dispatch in push order.
+        s.push("a", Entry { cost_ops: 5.0, weight: 1.0, deadline_us: Some(9_000), payload: 1u32 });
+        s.push("a", Entry { cost_ops: 5.0, weight: 1.0, deadline_us: Some(1_000), payload: 2u32 });
+        s.push("a", Entry { cost_ops: 5.0, weight: 1.0, deadline_us: None, payload: 3u32 });
+        let order: Vec<u32> =
+            std::iter::from_fn(|| s.next(&mut |_| true).map(|(_, e)| e.payload)).collect();
+        assert_eq!(order, vec![2, 1, 3], "EDF within the tenant, deadline-less last");
+    }
+
+    #[test]
+    fn deadlines_do_not_buy_cross_tenant_share() {
+        let mut s = DrrScheduler::new(10.0);
+        for i in 0..10 {
+            // A tenant stamping tight deadlines on everything…
+            s.push(
+                "pushy",
+                Entry { cost_ops: 10.0, weight: 1.0, deadline_us: Some(i), payload: 0u32 },
+            );
+            // …gets no more throughput than one that stamps nothing.
+            s.push("calm", job(10.0));
+        }
+        let order = drain_order(&mut s);
+        let pushy_first_10 = order.iter().take(10).filter(|t| *t == "pushy").count();
+        assert_eq!(pushy_first_10, 5, "strict alternation despite deadlines: {order:?}");
     }
 
     #[test]

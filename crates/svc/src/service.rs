@@ -477,10 +477,16 @@ impl JobService {
             },
         );
         let tenant = spec.tenant.clone();
+        let submitted_us = sh.now_us();
         let entry = Entry {
             cost_ops: prepared.predicted_ops,
             weight: spec.priority.weight(),
-            payload: QueuedJob { id, spec, prepared, submitted_us: sh.now_us() },
+            // The advisory deadline also steers intra-tenant order:
+            // earliest absolute deadline first (see DrrScheduler docs).
+            deadline_us: spec
+                .deadline_hint_ms
+                .map(|ms| submitted_us.saturating_add(ms.saturating_mul(1000))),
+            payload: QueuedJob { id, spec, prepared, submitted_us },
         };
         let queued = {
             let mut st = sh.state.lock().unwrap();
