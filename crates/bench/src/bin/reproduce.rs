@@ -61,6 +61,11 @@ fn menu() -> Vec<(&'static str, &'static str, Exp)> {
             Box::new(ex::pipeline),
         ),
         (
+            "autotune",
+            "feedback tuner vs hand-swept pipeline depth (BENCH_autotune.json)",
+            Box::new(ex::autotune),
+        ),
+        (
             "observe",
             "sort with the observability stack on (report JSON + prom)",
             Box::new(cgmio_bench::observe::observe),

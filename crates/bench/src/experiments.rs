@@ -1,5 +1,7 @@
 //! One function per paper artefact. See DESIGN.md §4 for the index.
 
+use std::fmt::Write as _;
+
 use crate::results::{obj, percentile_us, BenchReport, Value};
 use crate::{
     disk_model, em_permute_report, em_sort_report, em_transpose_report, layout_ablation_ops,
@@ -1207,6 +1209,167 @@ pub fn pipeline(out_dir: &std::path::Path) -> Table {
             p.q_wait_us.map_or("-".into(), |q| q.to_string()),
             format!("{:.1}", p.improvement_pct),
         ]);
+    }
+    t
+}
+
+/// `autotune`: the self-tuning runtime against a hand-swept pipeline
+/// depth. The Fig 3 sort runs on the concurrent engine under the same
+/// seeded latency spike as the `pipeline` experiment, once per hand
+/// depth {0, 1, 2, 4} and once with the tuner on: the static planner
+/// ([`cgmio_tune::plan`]) picks the starting depth from the dry-run
+/// λ/μ, and the barrier-time [`cgmio_tune::Controller`] adapts from
+/// there using the windowed stall/queue-wait deltas. Each cell is the
+/// best of `reps` runs; finals and exact I/O op counts are asserted
+/// identical across every cell (tuning is accounting-invariant). Writes
+/// `BENCH_autotune.json` (headline: auto wall vs best hand depth, must
+/// stay within a few percent) and `autotune_decisions.csv` (the audit
+/// log of the best auto run) into the output directory. Set
+/// `CGMIO_PERF_SMOKE=1` for a small size (CI autotune-smoke).
+pub fn autotune(out_dir: &std::path::Path) -> Table {
+    use cgmio_core::BackendSpec;
+    use cgmio_io::IoEngineOpts;
+    use cgmio_pdm::FaultPlan;
+
+    let mut t = Table::new(
+        "autotune_vs_hand_depth",
+        &["cell", "start_depth", "final_depth", "wall_ms", "io_ops", "moves", "vs_best_hand_pct"],
+    );
+    let smoke = std::env::var_os("CGMIO_PERF_SMOKE").is_some();
+    // Same geometry as the `pipeline` experiment so the two reports are
+    // directly comparable (see the geometry note there).
+    let (n, bb, reps) = if smoke { (1usize << 16, 8192usize, 3usize) } else { (1 << 20, 32768, 5) };
+    let (v, d, spike_us) = (16usize, 4usize, 30u64);
+    let hand_depths = [0usize, 1, 2, 4];
+
+    let keys = data::uniform_u64(n, 42);
+    let mk = || {
+        data::block_split(keys.clone(), v).into_iter().map(|b| (b, Vec::new())).collect::<Vec<_>>()
+    };
+    let prog = CgmSort::<u64>::by_pivots();
+    let (_, mut costs, req) = measure_requirements(&prog, mk()).expect("dry run");
+    costs.max_context_bytes = req.max_ctx_bytes;
+    let base_cfg = EmConfig::from_requirements(v, 1, d, bb, &req);
+    let plan = cgmio_tune::plan(&costs, v, d, &disk_model());
+
+    let mut want: Option<Vec<u64>> = None;
+    let mut want_ops: Option<u64> = None;
+    // (cell, start depth, best wall, report, decisions of the best rep)
+    let mut cells: Vec<(String, usize, f64, cgmio_core::EmRunReport, Vec<cgmio_tune::Decision>)> =
+        Vec::new();
+    for cell in hand_depths.iter().map(|d| d.to_string()).chain(["auto".to_string()]) {
+        let auto = cell == "auto";
+        let start_depth = if auto { plan.pipeline_depth.min(v) } else { cell.parse().unwrap() };
+        let mut best: Option<(f64, cgmio_core::EmRunReport, Vec<cgmio_tune::Decision>)> = None;
+        for _ in 0..reps {
+            let mut cfg = base_cfg.clone();
+            cfg.pipeline_depth = start_depth;
+            let log = cgmio_tune::DecisionLog::new();
+            if auto {
+                cfg.autotune = cgmio_tune::Autotune::with_log(log.clone());
+            }
+            cfg.fault =
+                Some(FaultPlan { seed: 7, latency_spike: 1.0, spike_us, ..FaultPlan::default() });
+            cfg.backend = BackendSpec::Concurrent {
+                dir: None,
+                opts: IoEngineOpts { trace: true, ..Default::default() },
+            };
+            let (fin, rep) = SeqEmRunner::new(cfg).run(&prog, mk()).expect("autotune bench run");
+            let flat: Vec<u64> = fin.iter().flat_map(|(b, _)| b.iter().copied()).collect();
+            assert!(flat.windows(2).all(|w| w[0] <= w[1]), "autotune bench output not sorted");
+            match &want {
+                None => want = Some(flat),
+                Some(w) => assert_eq!(&flat, w, "cell {cell}: finals differ"),
+            }
+            match want_ops {
+                None => want_ops = Some(rep.io.total_ops()),
+                Some(w) => assert_eq!(
+                    rep.io.total_ops(),
+                    w,
+                    "cell {cell}: tuning must not change the I/O accounting"
+                ),
+            }
+            let wall = rep.wall.as_secs_f64() * 1e3;
+            if best.as_ref().is_none_or(|(bw, _, _)| wall < *bw) {
+                best = Some((wall, rep, log.snapshot()));
+            }
+        }
+        let (wall_ms, rep, decisions) = best.expect("reps >= 1");
+        cells.push((cell, start_depth, wall_ms, rep, decisions));
+    }
+
+    let best_hand_wall = cells
+        .iter()
+        .filter(|(c, ..)| c != "auto")
+        .map(|&(_, _, w, ..)| w)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut report = BenchReport::new(
+        "em_cgm_sort_autotune",
+        format!(
+            "CgmSort<u64> by_pivots, n={n}, v={v}, D={d}, B={bb} bytes, concurrent engine; \
+             simulated device latency {spike_us} us per track op; auto cell starts at the \
+             planner depth and adapts at superstep barriers"
+        ),
+        smoke,
+    )
+    .extra("reps", Value::num(reps))
+    .extra("planned", plan.to_json());
+    let mut csv = String::from(
+        "proc,superstep,stall_us,stall_count,queue_wait_us,queue_wait_count,action,depth,prefetch_blocks\n",
+    );
+    for (cell, start_depth, wall_ms, rep, decisions) in &cells {
+        let final_depth = decisions.last().map_or(*start_depth, |dec| dec.depth).min(v);
+        let moves =
+            decisions.iter().filter(|dec| dec.action != cgmio_tune::TuneAction::Hold).count();
+        let vs_best = 100.0 * (wall_ms / best_hand_wall.max(1e-9) - 1.0);
+        report.point(obj(vec![
+            ("cell", Value::str(cell.clone())),
+            ("start_depth", Value::num(*start_depth)),
+            ("final_depth", Value::num(final_depth)),
+            ("wall_ms", Value::num(format!("{wall_ms:.2}"))),
+            ("io_ops", Value::num(rep.io.total_ops())),
+            ("moves", Value::num(moves)),
+            ("vs_best_hand_pct", Value::num(format!("{vs_best:.1}"))),
+        ]));
+        t.row(vec![
+            cell.clone(),
+            start_depth.to_string(),
+            final_depth.to_string(),
+            format!("{wall_ms:.2}"),
+            rep.io.total_ops().to_string(),
+            moves.to_string(),
+            format!("{vs_best:+.1}"),
+        ]);
+        if cell == "auto" {
+            report.set_headline(obj(vec![
+                ("auto_wall_ms", Value::num(format!("{wall_ms:.2}"))),
+                ("best_hand_wall_ms", Value::num(format!("{best_hand_wall:.2}"))),
+                ("auto_vs_best_hand_pct", Value::num(format!("{vs_best:.1}"))),
+                ("start_depth", Value::num(*start_depth)),
+                ("final_depth", Value::num(final_depth)),
+            ]));
+            for dec in decisions {
+                let _ = writeln!(
+                    csv,
+                    "{},{},{},{},{},{},{},{},{}",
+                    dec.proc,
+                    dec.superstep,
+                    dec.signals.stall_us,
+                    dec.signals.stall_count,
+                    dec.signals.queue_wait_us,
+                    dec.signals.queue_wait_count,
+                    dec.action.name(),
+                    dec.depth,
+                    dec.prefetch_blocks
+                );
+            }
+        }
+    }
+    report.save(out_dir, "BENCH_autotune.json");
+    let _ = std::fs::create_dir_all(out_dir);
+    if let Err(e) = std::fs::write(out_dir.join("autotune_decisions.csv"), csv) {
+        eprintln!("  autotune_decisions.csv save failed: {e}");
     }
     t
 }

@@ -1,6 +1,7 @@
 //! EM-CGM machine configuration and the paper's parameter conditions.
 
 use std::path::PathBuf;
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use cgmio_io::{
@@ -195,6 +196,12 @@ pub struct DiskHandles {
     /// engine's bounded retained-error list was full. Always zero for
     /// the synchronous backends (they fail writes in-line).
     pub deferred_drops: Counter,
+    /// Shared handle onto the concurrent engine's live prefetch-cache
+    /// capacity (blocks per drive), present only for the `Concurrent`
+    /// backend. The auto-tuner resizes the window through it between
+    /// supersteps; `None` on backends with no prefetch cache, where
+    /// prefetch tuning is a no-op.
+    pub prefetch_cap: Option<Arc<AtomicUsize>>,
 }
 
 /// Configuration of the simulated EM-CGM target machine.
@@ -296,6 +303,20 @@ pub struct EmConfig {
     /// paged context tables). Pure representation — bit-identical
     /// results — and therefore **excluded from [`Self::config_hash`]**.
     pub scale: ScaleTuning,
+    /// Barrier-time feedback auto-tuner (see `cgmio-tune`): when
+    /// enabled, the runners read per-superstep deltas of the
+    /// stall/queue-wait histograms at each barrier and adapt
+    /// [`Self::pipeline_depth`] and the concurrent engine's prefetch
+    /// window for the next superstep. Tuning only ever moves knobs
+    /// already proven accounting-neutral (`pipeline_depth`, the hint
+    /// cache) at round boundaries where the pipeline window has fully
+    /// drained, so finals, `IoStats`, fault/retry totals, and
+    /// checkpoint manifests stay bit-identical tuner-on vs tuner-off
+    /// (property-tested in `tests/autotune_equivalence.rs`). Like
+    /// [`Self::obs`] and [`Self::pipeline_depth`], the field is
+    /// **excluded from [`Self::config_hash`]**: a checkpoint taken with
+    /// tuning on resumes with it off and vice versa.
+    pub autotune: cgmio_tune::Autotune,
 }
 
 impl EmConfig {
@@ -329,6 +350,7 @@ impl EmConfig {
             obs: None,
             pipeline_depth: 0,
             scale: ScaleTuning::default(),
+            autotune: cgmio_tune::Autotune::default(),
         }
     }
 
@@ -398,6 +420,7 @@ impl EmConfig {
                     retries,
                     faults,
                     deferred_drops: Counter::detached(),
+                    prefetch_cap: None,
                 })
             }
             BackendSpec::SyncFile { dir } => {
@@ -410,6 +433,7 @@ impl EmConfig {
                     retries,
                     faults,
                     deferred_drops: Counter::detached(),
+                    prefetch_cap: None,
                 })
             }
             BackendSpec::Concurrent { dir, opts } => {
@@ -452,12 +476,14 @@ impl EmConfig {
                 // the sync path when `obs` is attached).
                 let retries = storage.retry_counter();
                 let deferred_drops = storage.deferred_drop_counter();
+                let prefetch_cap = Some(storage.prefetch_cap_handle());
                 Ok(DiskHandles {
                     disks: DiskArray::with_storage(geom, Box::new(storage)),
                     trace,
                     retries,
                     faults,
                     deferred_drops,
+                    prefetch_cap,
                 })
             }
             BackendSpec::AsyncFile { dir, opts } => {
@@ -494,6 +520,9 @@ impl EmConfig {
                     retries,
                     faults,
                     deferred_drops,
+                    // No prefetch cache on the async reactors; hint
+                    // tuning is inert here.
+                    prefetch_cap: None,
                 })
             }
             BackendSpec::Shared { storage, base_track, worker_span_tracks } => {
@@ -509,6 +538,7 @@ impl EmConfig {
                     retries,
                     faults,
                     deferred_drops: Counter::detached(),
+                    prefetch_cap: None,
                 })
             }
         }
@@ -642,6 +672,7 @@ mod tests {
             obs: None,
             pipeline_depth: 0,
             scale: ScaleTuning::default(),
+            autotune: cgmio_tune::Autotune::default(),
         }
     }
 

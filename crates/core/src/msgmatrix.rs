@@ -21,7 +21,7 @@
 //! be: in the coarse-grained regime a destination hears from a handful
 //! of sources per round, so a dense `dst_count × v` table of `u32`s —
 //! 4 TB at `v = 10^6` — is the scale blocker while holding almost
-//! nothing. [`LenTable`] therefore has two representations behind one
+//! nothing. `LenTable` therefore has two representations behind one
 //! interface: a dense grid (small `v`, matches the original layout
 //! 1:1), and a CSR-style sparse table of sorted `(src, len)` rows
 //! holding only non-empty slots. Both produce **identical** block

@@ -265,6 +265,15 @@ impl ParEmRunner {
         inits: Vec<WorkerInit<P::State>>,
         resume: Option<&CheckpointManifest>,
     ) -> Result<RunOutcome<P::State>, EmError> {
+        // The feedback tuner reads the stall/queue-wait histograms,
+        // which only register when an Obs handle is attached — inject a
+        // private one when the caller enabled tuning without
+        // observability (accounting-invariant; see SeqEmRunner::drive).
+        if self.config.autotune.enabled && self.config.obs.is_none() {
+            let mut cfg = self.config.clone();
+            cfg.obs = Some(cgmio_obs::Obs::new());
+            return ParEmRunner::new(cfg).drive(prog, inits, resume);
+        }
         let cfg = &self.config;
         cfg.validate()?;
         let v = cfg.v;
@@ -533,34 +542,42 @@ fn worker<P: CgmProgram>(
     // we hold were (re)opened — zero for fresh runs and in-process
     // resume (live arrays keep their counters), the checkpoint's
     // counters when rebuilding from disk files.
-    let (mut disks, trace, base_io, retries, faults, deferred_drops) = match init.disks {
-        // In-process resume: retry/fault handles do not travel with the
-        // handoff, so the resumed portion reports zero of both.
-        Some((d, tr)) => {
-            (d, tr, IoStats::new(geom.num_disks), Counter::detached(), None, Counter::detached())
-        }
-        None => match cfg.build_disks(t) {
-            Ok(h) => {
-                let base = init
-                    .restore
-                    .as_ref()
-                    .map(|w| w.io.clone())
-                    .unwrap_or_else(|| IoStats::new(geom.num_disks));
-                (h.disks, h.trace, base, h.retries, h.faults, h.deferred_drops)
-            }
-            Err(e) => {
-                setup_err = Some(e);
-                (
-                    DiskArray::new(geom),
-                    None,
-                    IoStats::new(geom.num_disks),
-                    Counter::detached(),
-                    None,
-                    Counter::detached(),
-                )
-            }
-        },
-    };
+    let (mut disks, trace, base_io, retries, faults, deferred_drops, prefetch_cap) =
+        match init.disks {
+            // In-process resume: retry/fault handles do not travel with the
+            // handoff, so the resumed portion reports zero of both.
+            Some((d, tr)) => (
+                d,
+                tr,
+                IoStats::new(geom.num_disks),
+                Counter::detached(),
+                None,
+                Counter::detached(),
+                None,
+            ),
+            None => match cfg.build_disks(t) {
+                Ok(h) => {
+                    let base = init
+                        .restore
+                        .as_ref()
+                        .map(|w| w.io.clone())
+                        .unwrap_or_else(|| IoStats::new(geom.num_disks));
+                    (h.disks, h.trace, base, h.retries, h.faults, h.deferred_drops, h.prefetch_cap)
+                }
+                Err(e) => {
+                    setup_err = Some(e);
+                    (
+                        DiskArray::new(geom),
+                        None,
+                        IoStats::new(geom.num_disks),
+                        Counter::detached(),
+                        None,
+                        Counter::detached(),
+                        None,
+                    )
+                }
+            },
+        };
     let base_retries = retries.get();
     let base_deferred_drops = deferred_drops.get();
     // Every span carries this worker's proc id so the coordinator's
@@ -641,7 +658,31 @@ fn worker<P: CgmProgram>(
     let mut enc_buf: Vec<u8> = Vec::new();
     // Software pipeline window over the local vps (see SeqEmRunner and
     // the `pipeline` module). Depth 0 is the serial demand path.
-    let depth = cfg.pipeline_depth.min(n_local);
+    // Mutable: the per-worker feedback tuner may move it between rounds
+    // (where the inflight window has drained), never within one.
+    let mut depth = cfg.pipeline_depth.min(n_local);
+    let mut tuner = cfg.autotune.enabled.then(|| {
+        let prefetch0 = prefetch_cap
+            .as_ref()
+            .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+            .unwrap_or(cfg.autotune.policy.min_prefetch_blocks);
+        cgmio_tune::Controller::new(cfg.autotune.policy.clone(), depth, prefetch0)
+    });
+    // Windowed baseline for this worker's per-superstep metric deltas,
+    // plus the decision gauges the tuner emits.
+    let mut prev_snap = tuner.as_ref().and(cfg.obs.as_ref()).map(|o| o.snapshot());
+    let tune_gauges = tuner.as_ref().and(cfg.obs.as_ref()).map(|o| {
+        (
+            o.metrics().gauge("cgmio_tune_depth", &[("proc", t.to_string())]),
+            o.metrics().gauge("cgmio_tune_prefetch_blocks", &[("proc", t.to_string())]),
+        )
+    });
+    if let Some((gd, gp)) = &tune_gauges {
+        gd.set(depth as i64);
+        if let Some(c) = &tuner {
+            gp.set(c.prefetch_blocks() as i64);
+        }
+    }
     let mut inflight: pipeline::InflightReads = std::collections::VecDeque::new();
     let mut round = init.start_round;
     loop {
@@ -939,6 +980,46 @@ fn worker<P: CgmProgram>(
         ctrl.send((t, report)).expect("coordinator died");
         match dec.recv().expect("coordinator died") {
             Decision::Continue => {
+                // Feedback tuning (see SeqEmRunner): consult this
+                // worker's window of the stall/queue-wait histograms
+                // and set the next superstep's depth and prefetch
+                // window. After the barrier, before the next priming —
+                // the only accounting-safe boundary.
+                if let (Some(tctl), Some(o)) = (tuner.as_mut(), cfg.obs.as_ref()) {
+                    let _g = span(round, Phase::Tune);
+                    let now = o.snapshot();
+                    let delta = match &prev_snap {
+                        Some(prev) => now.delta_since(prev),
+                        None => now.clone(),
+                    };
+                    prev_snap = Some(now);
+                    let signals = cgmio_tune::WindowSignals::from_delta(&delta, t as u64);
+                    let action = tctl.observe(&signals);
+                    depth = tctl.depth().min(n_local);
+                    if let Some(cap) = &prefetch_cap {
+                        cap.store(tctl.prefetch_blocks(), std::sync::atomic::Ordering::Relaxed);
+                    }
+                    if let Some((gd, gp)) = &tune_gauges {
+                        gd.set(depth as i64);
+                        gp.set(tctl.prefetch_blocks() as i64);
+                    }
+                    o.metrics()
+                        .counter(
+                            "cgmio_tune_decisions_total",
+                            &[("proc", t.to_string()), ("action", action.name().into())],
+                        )
+                        .inc();
+                    if let Some(log) = &cfg.autotune.log {
+                        log.push(cgmio_tune::Decision {
+                            proc: t as u64,
+                            superstep: round as u64,
+                            signals,
+                            action,
+                            depth,
+                            prefetch_blocks: tctl.prefetch_blocks(),
+                        });
+                    }
+                }
                 mats[cur].clear();
                 round += 1;
             }

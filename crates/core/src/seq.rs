@@ -23,7 +23,7 @@ use cgmio_model::cost::RoundCost;
 use cgmio_model::{
     CgmProgram, CommCosts, Incoming, ModelError, Outbox, ProcState, RoundCtx, Status,
 };
-use cgmio_obs::{Counter, Phase};
+use cgmio_obs::{Counter, Obs, Phase};
 use cgmio_pdm::{DiskArray, IoError, IoStats, Item};
 
 use crate::checkpoint::{Checkpoint, CheckpointManifest, RunOutcome, WorkerCheckpoint};
@@ -186,6 +186,16 @@ impl SeqEmRunner {
         prog: &P,
         start: Start<P::State>,
     ) -> Result<RunOutcome<P::State>, EmError> {
+        // The feedback tuner reads the stall/queue-wait histograms,
+        // which only register when an Obs handle is attached — inject a
+        // private one when the caller enabled tuning without
+        // observability. Instrumentation never changes accounting
+        // (property-tested), so the injection is invisible in results.
+        if self.config.autotune.enabled && self.config.obs.is_none() {
+            let mut cfg = self.config.clone();
+            cfg.obs = Some(Obs::new());
+            return SeqEmRunner::new(cfg).drive(prog, start);
+        }
         let cfg = &self.config;
         cfg.validate()?;
         let geom = cfg.geometry();
@@ -206,6 +216,7 @@ impl SeqEmRunner {
                     retries: Counter::detached(),
                     faults: None,
                     deferred_drops: Counter::detached(),
+                    prefetch_cap: None,
                 },
                 IoStats::new(geom.num_disks),
                 Start::Resume { manifest, disks: None },
@@ -229,7 +240,8 @@ impl SeqEmRunner {
         base_io: IoStats,
         start: Start<P::State>,
     ) -> Result<RunOutcome<P::State>, EmError> {
-        let DiskHandles { mut disks, trace, retries, faults, deferred_drops } = handles;
+        let DiskHandles { mut disks, trace, retries, faults, deferred_drops, prefetch_cap } =
+            handles;
         let cfg = &self.config;
         cfg.validate()?;
         let v = cfg.v;
@@ -338,7 +350,33 @@ impl SeqEmRunner {
         let mut enc_buf: Vec<u8> = Vec::new();
         // Software pipeline: step (a)+(b) reads for up to `depth` vps
         // ahead of the one computing. Depth 0 is the serial demand path.
-        let depth = cfg.pipeline_depth.min(v);
+        // Mutable: the feedback tuner may move it between rounds, where
+        // the inflight window has fully drained — so a change never
+        // moves I/O across a superstep boundary and accounting stays
+        // depth-invariant.
+        let mut depth = cfg.pipeline_depth.min(v);
+        let mut tuner = cfg.autotune.enabled.then(|| {
+            let prefetch0 = prefetch_cap
+                .as_ref()
+                .map(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+                .unwrap_or(cfg.autotune.policy.min_prefetch_blocks);
+            cgmio_tune::Controller::new(cfg.autotune.policy.clone(), depth, prefetch0)
+        });
+        // Windowed baseline for per-superstep metric deltas, plus the
+        // decision metrics the tuner emits.
+        let mut prev_snap = tuner.as_ref().and(cfg.obs.as_ref()).map(|o| o.snapshot());
+        let tune_gauges = tuner.as_ref().and(cfg.obs.as_ref()).map(|o| {
+            (
+                o.metrics().gauge("cgmio_tune_depth", &[("proc", "0".into())]),
+                o.metrics().gauge("cgmio_tune_prefetch_blocks", &[("proc", "0".into())]),
+            )
+        });
+        if let Some((gd, gp)) = &tune_gauges {
+            gd.set(depth as i64);
+            if let Some(ctl) = &tuner {
+                gp.set(ctl.prefetch_blocks() as i64);
+            }
+        }
         let mut inflight: pipeline::InflightReads = std::collections::VecDeque::new();
         let mut round = start_round;
         loop {
@@ -571,6 +609,48 @@ impl SeqEmRunner {
                         manifest,
                         disks: vec![(disks, trace)],
                     }));
+                }
+            }
+
+            // Feedback tuning: read this superstep's window of the
+            // stall/queue-wait histograms and pick the next superstep's
+            // pipeline depth and prefetch window. Runs after the
+            // barrier (inflight window drained, write-behind flushed)
+            // and before the next round's priming, so the knobs only
+            // ever move at an accounting-safe boundary.
+            if let (Some(ctl), Some(o)) = (tuner.as_mut(), cfg.obs.as_ref()) {
+                let _g = span(round, Phase::Tune);
+                let now = o.snapshot();
+                let delta = match &prev_snap {
+                    Some(prev) => now.delta_since(prev),
+                    None => now.clone(),
+                };
+                prev_snap = Some(now);
+                let signals = cgmio_tune::WindowSignals::from_delta(&delta, 0);
+                let action = ctl.observe(&signals);
+                depth = ctl.depth().min(v);
+                if let Some(cap) = &prefetch_cap {
+                    cap.store(ctl.prefetch_blocks(), std::sync::atomic::Ordering::Relaxed);
+                }
+                if let Some((gd, gp)) = &tune_gauges {
+                    gd.set(depth as i64);
+                    gp.set(ctl.prefetch_blocks() as i64);
+                }
+                o.metrics()
+                    .counter(
+                        "cgmio_tune_decisions_total",
+                        &[("proc", "0".into()), ("action", action.name().into())],
+                    )
+                    .inc();
+                if let Some(log) = &cfg.autotune.log {
+                    log.push(cgmio_tune::Decision {
+                        proc: 0,
+                        superstep: round as u64,
+                        signals,
+                        action,
+                        depth,
+                        prefetch_blocks: ctl.prefetch_blocks(),
+                    });
                 }
             }
 

@@ -28,7 +28,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -285,6 +285,13 @@ pub struct ConcurrentStorage {
     next_ticket: AtomicU64,
     /// Discard prefetch hints (see [`IoEngineOpts::ignore_hints`]).
     ignore_hints: bool,
+    /// Live prefetch-cache capacity in blocks, shared with every drive
+    /// worker. Runtime-adjustable (see
+    /// [`ConcurrentStorage::set_prefetch_cache_blocks`]) so a tuner can
+    /// resize the window between supersteps without rebuilding the
+    /// engine. Capacity only affects the hint cache, never logical I/O
+    /// accounting.
+    prefetch_cap: Arc<AtomicUsize>,
 }
 
 impl ConcurrentStorage {
@@ -314,6 +321,7 @@ impl ConcurrentStorage {
                 None => Counter::detached(),
             })
             .collect();
+        let prefetch_cap = Arc::new(AtomicUsize::new(opts.prefetch_cache_blocks));
         let mut queues = Vec::with_capacity(num_disks);
         let mut workers = Vec::with_capacity(num_disks);
         for drive in 0..num_disks {
@@ -324,7 +332,7 @@ impl ConcurrentStorage {
                 inner: inner.clone(),
                 write_err: write_err.clone(),
                 trace: trace.clone(),
-                cache_cap: opts.prefetch_cache_blocks,
+                cache_cap: prefetch_cap.clone(),
                 retry: opts.retry,
                 verify: opts.verify_checksums,
                 obs: opts.obs.clone(),
@@ -359,6 +367,7 @@ impl ConcurrentStorage {
             pending_reads: Mutex::new(HashMap::new()),
             next_ticket: AtomicU64::new(1),
             ignore_hints: opts.ignore_hints,
+            prefetch_cap,
         }
     }
 
@@ -388,6 +397,28 @@ impl ConcurrentStorage {
     /// whether or not an observability handle is attached.
     pub fn deferred_drop_counter(&self) -> Counter {
         self.deferred_drops.clone()
+    }
+
+    /// Current prefetch-cache capacity, in blocks per drive worker.
+    pub fn prefetch_cache_blocks(&self) -> usize {
+        self.prefetch_cap.load(Ordering::Relaxed)
+    }
+
+    /// Resize the per-drive prefetch cache at runtime. Takes effect on
+    /// the next hint each worker services: growing admits more blocks,
+    /// shrinking evicts FIFO down to the new bound (0 disables caching
+    /// of new hints). Never touches logical I/O accounting — only the
+    /// hint cache's hit rate changes.
+    pub fn set_prefetch_cache_blocks(&self, blocks: usize) {
+        self.prefetch_cap.store(blocks, Ordering::Relaxed);
+    }
+
+    /// Shared handle onto the live prefetch-cache capacity. Clone it
+    /// before moving the storage into a `DiskArray` so a runtime tuner
+    /// can keep adjusting the window (same pattern as
+    /// [`ConcurrentStorage::trace_handle`]).
+    pub fn prefetch_cap_handle(&self) -> Arc<AtomicUsize> {
+        self.prefetch_cap.clone()
     }
 
     fn stamp(&self) -> Stamp {
@@ -781,7 +812,9 @@ struct WorkerCtx {
     inner: Arc<dyn TrackStorage>,
     write_err: Arc<Mutex<DeferredErrors>>,
     trace: Option<TraceHandle>,
-    cache_cap: usize,
+    /// Live prefetch-cache capacity, shared with the owning engine so a
+    /// tuner can resize the window between supersteps.
+    cache_cap: Arc<AtomicUsize>,
     retry: RetryPolicy,
     verify: bool,
     obs: Option<Obs>,
@@ -909,15 +942,21 @@ impl WorkerCtx {
                     let start_us = self.now_us();
                     let hit = cache.contains_key(&track);
                     let mut bytes = 0;
-                    if !hit && self.cache_cap > 0 {
+                    let cap = self.cache_cap.load(Ordering::Relaxed);
+                    if !hit && cap > 0 {
                         // Failed prefetches are dropped (no retry): the
                         // demand read retries and reports any real error.
                         if let Ok(data) = self.inner.read_track(self.drive, track) {
                             if !self.verify || self.checksum_ok(track, &data, &sums) {
                                 bytes = data.len();
-                                if order.len() >= self.cache_cap {
+                                // `while`, not `if`: after a runtime
+                                // shrink the cache may be over the new
+                                // bound by more than one block.
+                                while order.len() >= cap {
                                     if let Some(old) = order.pop_front() {
                                         cache.remove(&old);
+                                    } else {
+                                        break;
                                     }
                                 }
                                 cache.insert(track, data);
@@ -1071,6 +1110,34 @@ mod tests {
         let hits: Vec<bool> =
             evs.iter().filter(|e| e.kind == OpKind::Read).map(|e| e.cache_hit).collect();
         assert_eq!(hits, vec![true, false], "first read hits prefetch, post-write read misses");
+    }
+
+    #[test]
+    fn prefetch_cache_resizes_at_runtime() {
+        let opts = IoEngineOpts { trace: true, ..Default::default() };
+        let s = engine(1, 2, opts);
+        let t = s.trace_handle().unwrap();
+        for track in 0..4 {
+            s.write_track(0, track, &[track as u8]).unwrap();
+        }
+        assert_eq!(s.prefetch_cache_blocks(), IoEngineOpts::default().prefetch_cache_blocks);
+        // Capacity 0 disables caching of new hints: the demand read
+        // that follows must miss.
+        s.set_prefetch_cache_blocks(0);
+        s.prefetch(&[TrackAddr::new(0, 0)]);
+        s.flush(false).unwrap();
+        assert_eq!(s.read_track(0, 0).unwrap(), vec![0, 0]);
+        // Growing back re-enables it mid-flight, through the shared
+        // handle a tuner would hold.
+        let cap = s.prefetch_cap_handle();
+        cap.store(4, Ordering::Relaxed);
+        assert_eq!(s.prefetch_cache_blocks(), 4);
+        s.prefetch(&[TrackAddr::new(0, 1)]);
+        s.flush(false).unwrap();
+        assert_eq!(s.read_track(0, 1).unwrap(), vec![1, 0]);
+        let hits: Vec<bool> =
+            t.snapshot().iter().filter(|e| e.kind == OpKind::Read).map(|e| e.cache_hit).collect();
+        assert_eq!(hits, vec![false, true], "cap 0 read misses, post-resize read hits");
     }
 
     #[test]

@@ -138,6 +138,12 @@ impl ArtifactStore {
         self.write_json(id, "status.json", &status.to_json())
     }
 
+    /// Write `plan.json` — the static planner's knob choices for this
+    /// job (planned B/depth/prefetch plus what actually executes).
+    pub fn write_plan(&self, id: JobId, plan: &Value) -> io::Result<()> {
+        self.write_json(id, "plan.json", plan)
+    }
+
     /// Write `report.json` for a completed job.
     pub fn write_report(&self, id: JobId, rep: &EmRunReport, finals_hash: u64) -> io::Result<()> {
         self.write_json(id, "report.json", &report_to_json(rep, finals_hash))

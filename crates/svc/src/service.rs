@@ -464,6 +464,16 @@ impl JobService {
         let id = JobId(sh.next_id.fetch_add(1, Ordering::Relaxed));
         if let Some(store) = &sh.artifacts {
             let _ = store.write_spec(id, &spec);
+            // The planner's proposal, plus what actually executes: the
+            // pool geometry pins B, the planned depth is applied.
+            let _ = store.write_plan(
+                id,
+                &Value::Obj(vec![
+                    ("planned".into(), prepared.plan.to_json()),
+                    ("executed_block_bytes".into(), Value::num(spec.block_bytes)),
+                    ("executed_pipeline_depth".into(), Value::num(prepared.config.pipeline_depth)),
+                ]),
+            );
         }
         sh.write_status(
             id,
@@ -688,6 +698,18 @@ mod tests {
             format!("{:016x}", records[0].finals_hash)
         );
         assert!(job_dir.join("spec.json").exists());
+        // The planner's choice travels with the job: plan.json records
+        // the proposal and the executed knobs.
+        let plan = std::fs::read_to_string(job_dir.join("plan.json")).unwrap();
+        let p = cgmio_obs::json::parse(&plan).unwrap();
+        assert_eq!(p.get("executed_block_bytes").unwrap().as_u64(), Some(512));
+        let planned = p.get("planned").unwrap();
+        assert!(planned.get("pipeline_depth").unwrap().as_u64().is_some());
+        assert_eq!(
+            p.get("executed_pipeline_depth").unwrap().as_u64(),
+            planned.get("pipeline_depth").unwrap().as_u64().map(|d| d.min(4)),
+            "executed depth is the planned depth clamped to v"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -38,8 +38,18 @@ pub struct PreparedJob {
     pub predicted_ops: f64,
     /// Per-drive tracks this job's (single-worker) run occupies.
     pub span_tracks: u64,
-    /// Machine config sized from the dry run. `backend` is left at the
-    /// default; the dispatcher overrides it with the pool window.
+    /// The static planner's knob proposal for this job, from the
+    /// dry-run costs and the reference disk timing model. The planned
+    /// `pipeline_depth` is already applied to [`Self::config`]; the
+    /// planned `block_bytes` is advisory only — the shared pool's
+    /// geometry fixes `B` at admission (a mismatched request is
+    /// rejected), so it is recorded in the job artifacts rather than
+    /// executed.
+    pub plan: cgmio_tune::Plan,
+    /// Machine config sized from the dry run, with the planner's
+    /// per-job `pipeline_depth` applied (replacing the service-wide
+    /// default). `backend` is left at the default; the dispatcher
+    /// overrides it with the pool window.
     pub config: EmConfig,
     runner: Box<dyn FnOnce(EmConfig) -> Result<JobOutcome, EmError> + Send>,
 }
@@ -94,14 +104,20 @@ where
     // The in-memory dry run never encodes contexts, so its CommCosts
     // carry μ = 0; the measuring wrapper put the real μ in `req`.
     costs.max_context_bytes = req.max_ctx_bytes;
-    let config = EmConfig::from_requirements(spec.v, 1, num_disks, spec.block_bytes, &req);
+    let mut config = EmConfig::from_requirements(spec.v, 1, num_disks, spec.block_bytes, &req);
+    // Cost-model planning: per-job initial knobs from the dry-run λ/μ
+    // and the reference disk timing model. The pool's geometry fixes B
+    // (see PreparedJob::plan), so only the pipeline depth is executed.
+    let plan =
+        cgmio_tune::plan(&costs, spec.v, num_disks, &cgmio_pdm::DiskTimingModel::nineties_disk());
+    config.pipeline_depth = plan.pipeline_depth.min(spec.v);
     let predicted_ops = costs.predicted_ops(spec.v, num_disks, spec.block_bytes);
     let span_tracks = config.tracks_per_worker(<P::Msg as Item>::SIZE);
     let runner = Box::new(move |cfg: EmConfig| {
         let (finals, report) = SeqEmRunner::new(cfg).run(&prog, mk())?;
         Ok(JobOutcome { report, finals_hash: hash_finals(&finals) })
     });
-    Ok(PreparedJob { costs, predicted_ops, span_tracks, config, runner })
+    Ok(PreparedJob { costs, predicted_ops, span_tracks, plan, config, runner })
 }
 
 /// Dry-run, size, and price `spec` for a pool of `num_disks` drives.
@@ -207,6 +223,21 @@ mod tests {
             for (d, &used) in pool.tracks_used().iter().enumerate() {
                 assert!(used <= span, "{w:?}: drive {d} used {used} of {span} tracks");
             }
+        }
+    }
+
+    #[test]
+    fn planner_depth_is_applied_to_the_job_config() {
+        for w in [WorkloadKind::Sort, WorkloadKind::Permute, WorkloadKind::Transpose] {
+            let p = prepare(&spec(w), 2).unwrap();
+            assert_eq!(
+                p.config.pipeline_depth,
+                p.plan.pipeline_depth.min(4),
+                "{w:?}: executed depth must be the planned depth clamped to v"
+            );
+            assert!(p.plan.predicted_ops > 0.0);
+            // The plan renders to valid JSON for the artifact store.
+            cgmio_obs::json::parse(&p.plan.to_json().render()).unwrap();
         }
     }
 

@@ -1,0 +1,253 @@
+//! The self-tuning runtime must be *observably invisible* to the
+//! accounting: final states, `IoStats`, op breakdowns, checkpoint
+//! manifests, and fault/retry totals have to be bit-identical with the
+//! feedback tuner on or off — across every backend and both EM runners.
+//! The tuner only moves knobs excluded from `config_hash`
+//! (`pipeline_depth`, the concurrent engine's prefetch window) and only
+//! at drained round boundaries, so wall-clock is the one thing allowed
+//! to change.
+
+use cgmio_algos::CgmSort;
+use cgmio_core::{
+    measure_requirements, BackendSpec, EmConfig, ParEmRunner, RunOutcome, SeqEmRunner,
+};
+use cgmio_data as data;
+use proptest::prelude::*;
+
+type SortState = (Vec<u64>, Vec<u64>);
+
+fn sort_states(keys: &[u64], v: usize) -> Vec<SortState> {
+    data::block_split(keys.to_vec(), v).into_iter().map(|b| (b, Vec::new())).collect()
+}
+
+fn sort_config(keys: &[u64], v: usize, d: usize, bb: usize) -> EmConfig {
+    let prog = CgmSort::<u64>::by_pivots();
+    let (_, _, req) = measure_requirements(&prog, sort_states(keys, v)).unwrap();
+    EmConfig::from_requirements(v, 1, d, bb, &req)
+}
+
+/// A twitchy policy (patience 1, wide depth range) so short test runs
+/// actually move the knobs — an inert tuner would vacuously pass.
+fn twitchy() -> cgmio_tune::Autotune {
+    cgmio_tune::Autotune {
+        enabled: true,
+        policy: cgmio_tune::TunePolicy {
+            patience: 1,
+            dominance_ratio: 1.1,
+            ..cgmio_tune::TunePolicy::default()
+        },
+        log: Some(cgmio_tune::DecisionLog::new()),
+    }
+}
+
+fn backends(dir: &cgmio_pdm::testutil::TempDir, tag: &str) -> Vec<BackendSpec> {
+    vec![
+        BackendSpec::Mem,
+        BackendSpec::SyncFile { dir: dir.path().join(format!("sync-{tag}")) },
+        BackendSpec::Concurrent { dir: None, opts: Default::default() },
+        BackendSpec::AsyncFile {
+            dir: dir.path().join(format!("async-{tag}")),
+            opts: Default::default(),
+        },
+    ]
+}
+
+/// Finals, IoStats, and op breakdowns agree tuner-on vs tuner-off on
+/// {Mem, SyncFile, Concurrent, AsyncFile} × both runners.
+#[test]
+fn tuner_invisible_across_backends_and_runners() {
+    let keys = data::uniform_u64(3000, 17);
+    let v = 6;
+    let prog = CgmSort::<u64>::by_pivots();
+    let base = sort_config(&keys, v, 2, 64);
+    let dir = cgmio_pdm::testutil::TempDir::new("cgmio-tune-eq");
+
+    for p in [1usize, 2] {
+        for (tag, backend) in backends(&dir, &format!("p{p}")).into_iter().enumerate() {
+            let run = |autotune: cgmio_tune::Autotune, subtag: usize| {
+                let mut cfg = base.clone();
+                cfg.p = p;
+                cfg.autotune = autotune;
+                cfg.backend = match &backend {
+                    // Fresh drive dirs per run: a file backend would
+                    // otherwise see the previous run's tracks.
+                    BackendSpec::SyncFile { dir } => {
+                        BackendSpec::SyncFile { dir: dir.join(format!("r{subtag}")) }
+                    }
+                    BackendSpec::AsyncFile { dir, opts } => BackendSpec::AsyncFile {
+                        dir: dir.join(format!("r{subtag}")),
+                        opts: opts.clone(),
+                    },
+                    b => b.clone(),
+                };
+                if p == 1 {
+                    SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap()
+                } else {
+                    ParEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap()
+                }
+            };
+            let (want, want_rep) = run(cgmio_tune::Autotune::default(), 0);
+            let tuned = twitchy();
+            let log = tuned.log.clone().unwrap();
+            let (got, rep) = run(tuned, 1);
+            assert_eq!(got, want, "p={p} backend #{tag}: finals differ with tuner on");
+            assert_eq!(rep.io, want_rep.io, "p={p} backend #{tag}: IoStats differ with tuner on");
+            assert_eq!(
+                rep.breakdown, want_rep.breakdown,
+                "p={p} backend #{tag}: breakdown differs with tuner on"
+            );
+            assert!(
+                !log.snapshot().is_empty(),
+                "p={p} backend #{tag}: tuner never consulted — test is vacuous"
+            );
+        }
+    }
+}
+
+/// Checkpoint manifests written at a mid-run barrier are bit-identical
+/// tuner-on vs tuner-off: the controller runs strictly after the
+/// barrier flush and the checkpoint decision.
+#[test]
+fn manifests_identical_with_tuner_on() {
+    let keys = data::uniform_u64(1200, 7);
+    let v = 4;
+    let prog = CgmSort::<u64>::by_pivots();
+    let base = sort_config(&keys, v, 2, 64);
+
+    let manifest_at = |autotune: cgmio_tune::Autotune, p: usize, halt: usize| {
+        let mut cfg = base.clone();
+        cfg.autotune = autotune;
+        cfg.p = p;
+        cfg.backend = BackendSpec::Concurrent { dir: None, opts: Default::default() };
+        cfg.halt_after_superstep = Some(halt);
+        let run = if p == 1 {
+            SeqEmRunner::new(cfg).run_until(&prog, sort_states(&keys, v)).unwrap()
+        } else {
+            ParEmRunner::new(cfg).run_until(&prog, sort_states(&keys, v)).unwrap()
+        };
+        match run {
+            RunOutcome::Interrupted(c) => c.manifest,
+            RunOutcome::Complete { .. } => panic!("expected halt at {halt}"),
+        }
+    };
+    for p in [1usize, 2] {
+        for halt in [0usize, 1] {
+            let want = manifest_at(cgmio_tune::Autotune::default(), p, halt);
+            assert_eq!(
+                manifest_at(twitchy(), p, halt),
+                want,
+                "p={p} halt={halt}: manifest differs with tuner on"
+            );
+        }
+    }
+}
+
+/// Injected-fault and retry totals are tuner-invariant: a FaultPlan
+/// forces `ignore_hints`, and depth changes preserve per-track access
+/// order, so the injector sees the identical op stream.
+#[test]
+fn fault_and_retry_totals_identical_with_tuner_on() {
+    let keys = data::uniform_u64(2000, 23);
+    let v = 6;
+    let prog = CgmSort::<u64>::by_pivots();
+    let base = sort_config(&keys, v, 2, 64);
+
+    for backend in
+        [BackendSpec::Mem, BackendSpec::Concurrent { dir: None, opts: Default::default() }]
+    {
+        let run = |autotune: cgmio_tune::Autotune| {
+            let mut cfg = base.clone();
+            cfg.autotune = autotune;
+            cfg.backend = backend.clone();
+            cfg.fault = Some(cgmio_pdm::FaultPlan::transient(41, 0.04));
+            cfg.retry = cgmio_io::RetryPolicy { max_attempts: 8, base_backoff_us: 0 };
+            let (got, rep) = SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+            let faults = rep.faults.expect("fault plan set => counts reported");
+            assert!(faults.total_errors() > 0, "{backend:?}: no faults injected");
+            (got, rep.io.clone(), faults, rep.retries)
+        };
+        let want = run(cgmio_tune::Autotune::default());
+        let got = run(twitchy());
+        assert_eq!(got.0, want.0, "{backend:?}: finals differ with tuner on");
+        assert_eq!(got.1, want.1, "{backend:?}: IoStats differ with tuner on");
+        assert_eq!(got.2, want.2, "{backend:?}: fault counts differ with tuner on");
+        assert_eq!(got.3, want.3, "{backend:?}: retries differ with tuner on");
+    }
+}
+
+/// The tuner composes with a user-supplied `Obs`: decisions land in the
+/// log, the decision counter and knob gauges are exported, and the
+/// accounting still matches the untuned run.
+#[test]
+fn tuner_shares_a_caller_obs_and_exports_decisions() {
+    let keys = data::uniform_u64(1500, 3);
+    let v = 4;
+    let prog = CgmSort::<u64>::by_pivots();
+    let base = sort_config(&keys, v, 2, 64);
+
+    let (want, want_rep) =
+        SeqEmRunner::new(base.clone()).run(&prog, sort_states(&keys, v)).unwrap();
+
+    let obs = cgmio_obs::Obs::new();
+    let mut cfg = base.clone();
+    cfg.obs = Some(obs.clone());
+    cfg.autotune = twitchy();
+    let log = cfg.autotune.log.clone().unwrap();
+    cfg.backend = BackendSpec::Concurrent { dir: None, opts: Default::default() };
+    let (got, rep) = SeqEmRunner::new(cfg).run(&prog, sort_states(&keys, v)).unwrap();
+    assert_eq!(got, want);
+    assert_eq!(rep.io, want_rep.io);
+
+    let decisions = log.snapshot();
+    assert!(!decisions.is_empty(), "controller never consulted");
+    // One decision per completed superstep, knobs within policy bounds.
+    for d in &decisions {
+        assert!(d.depth <= cgmio_tune::TunePolicy::default().max_depth);
+    }
+    let snap = obs.snapshot();
+    let total: u64 = ["deepen", "back_off", "hold"]
+        .into_iter()
+        .filter_map(|a| {
+            snap.get("cgmio_tune_decisions_total", &[("action", a), ("proc", "0")]).and_then(|s| {
+                match s {
+                    cgmio_obs::SampleValue::Counter(c) => Some(*c),
+                    _ => None,
+                }
+            })
+        })
+        .sum();
+    assert_eq!(total as usize, decisions.len(), "decision counter must match the audit log");
+    assert!(snap.get("cgmio_tune_depth", &[("proc", "0")]).is_some(), "depth gauge not exported");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary inputs: tuner-on matches tuner-off bit-for-bit on both
+    /// Mem and Concurrent backends.
+    #[test]
+    fn random_inputs_tuner_invariant(
+        seed in 0u64..1000,
+        n in 200usize..800,
+    ) {
+        let keys = data::uniform_u64(n, seed);
+        let v = 4;
+        let prog = CgmSort::<u64>::by_pivots();
+        let cfg = sort_config(&keys, v, 2, 64);
+        for backend in
+            [BackendSpec::Mem, BackendSpec::Concurrent { dir: None, opts: Default::default() }]
+        {
+            let mut off = cfg.clone();
+            off.backend = backend.clone();
+            let (want, want_rep) =
+                SeqEmRunner::new(off).run(&prog, sort_states(&keys, v)).unwrap();
+            let mut on = cfg.clone();
+            on.backend = backend;
+            on.autotune = twitchy();
+            let (got, rep) = SeqEmRunner::new(on).run(&prog, sort_states(&keys, v)).unwrap();
+            prop_assert_eq!(got, want);
+            prop_assert_eq!(rep.io, want_rep.io);
+            prop_assert_eq!(rep.breakdown, want_rep.breakdown);
+        }
+    }
+}
